@@ -1,0 +1,162 @@
+package fela
+
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// benchmark regenerates its experiment on the simulated testbed (Quick
+// context: 10 iterations per measurement, 2 warm-up iterations per
+// tuning case) and reports domain-specific metrics alongside wall time:
+// simulated samples/s for training runs, tuning cases for Figure 6, and
+// so on. `go test -bench=. -benchmem` prints the full set;
+// cmd/felabench runs the paper-scale (100-iteration) versions.
+
+import (
+	"testing"
+
+	"fela/internal/experiments"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1()
+		if len(r.Rows) != 9 {
+			b.Fatal("table 1 rows")
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	ctx := experiments.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1(ctx)
+		if len(r.Panels) != 3 {
+			b.Fatal("fig1 panels")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2().CheckTable2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	ctx := experiments.Quick()
+	models := experiments.BenchModels()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			if r := experiments.Fig5(ctx, m); len(r.SubModels) != 3 {
+				b.Fatal("fig5 partition")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.Quick() // fresh cache: benchmark the search itself
+		r, err := experiments.Fig6(ctx, experiments.BenchModels()[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(r.Rounds[0].Result.Cases)), "tuning-cases")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.Quick()
+		if _, err := experiments.Fig7(ctx, experiments.BenchModels()[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	var lastRatio float64
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.Quick()
+		r, err := experiments.Fig8(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, lastRatio = r.Series[0].RatioRange("DP")
+	}
+	b.ReportMetric(lastRatio, "max-Fela/DP")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.Quick()
+		if _, err := experiments.Fig9(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.Quick()
+		if _, err := experiments.Fig10(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedIteration measures the simulator's own speed: how
+// fast one tuned Fela BSP iteration (VGG19, batch 256) executes in the
+// discrete-event engine, and the simulated training throughput it
+// reports.
+func BenchmarkSimulatedIteration(b *testing.B) {
+	var at float64
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(SimConfig{
+			Model: VGG19(), TotalBatch: 256, Iterations: 10,
+			Weights: []int{1, 1, 8}, SubsetSize: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = res.AvgThroughput()
+	}
+	b.ReportMetric(at, "sim-samples/s")
+}
+
+// BenchmarkRealTimeTraining measures the real-execution engine: tokens
+// trained per second of wall time with 4 goroutine workers.
+func BenchmarkRealTimeTraining(b *testing.B) {
+	mk := func() *Network { return NewMLP(42, 16, 32, 4) }
+	ds := SyntheticDataset(7, 256, 16, 4)
+	cfg := RTConfig{Workers: 4, TotalBatch: 64, TokenBatch: 8, Iterations: 10, LR: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RTTrain(mk, ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tokens := float64(cfg.Iterations * cfg.TotalBatch / cfg.TokenBatch)
+	b.ReportMetric(tokens*float64(b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkExtensions regenerates the beyond-the-paper experiments:
+// weak scaling, heterogeneous clusters and the SSP staleness sweep.
+func BenchmarkExtensions(b *testing.B) {
+	m := experiments.BenchModels()[0]
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.Quick()
+		if _, err := experiments.Scalability(ctx, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Heterogeneous(ctx, m, 0.6); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.SSP(ctx, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

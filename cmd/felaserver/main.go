@@ -1,0 +1,94 @@
+// Command felaserver runs the real-time Fela coordinator (Token Server +
+// BSP synchronizer) on a TCP address and trains a real MLP on the
+// deterministic synthetic dataset together with felaworker processes.
+//
+// Start the server, then launch -workers felaworker processes pointing
+// at the printed address:
+//
+//	felaserver -addr 127.0.0.1:7070 -workers 4 -iters 20
+//	felaworker -addr 127.0.0.1:7070 -wid 0   (… one per worker id)
+//
+// The server prints per-iteration loss, the token distribution across
+// workers, and verifies the result bit-for-bit against the sequential
+// reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fela/internal/minidnn"
+	"fela/internal/rt"
+	"fela/internal/transport"
+)
+
+// sessionConfig derives the shared session parameters both server and
+// workers must agree on (see cmd/felaworker).
+func sessionConfig(workers, iters int) (rt.Config, func() *minidnn.Network, *minidnn.Dataset) {
+	cfg := rt.Config{
+		Workers:    workers,
+		TotalBatch: 64,
+		TokenBatch: 8,
+		Iterations: iters,
+		LR:         0.05,
+	}
+	mk := func() *minidnn.Network { return minidnn.NewMLP(42, 16, 32, 4) }
+	ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
+	return cfg, mk, ds
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "address to listen on")
+	workers := flag.Int("workers", 4, "number of workers to wait for")
+	iters := flag.Int("iters", 20, "iterations to train")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "felaserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, iters int) error {
+	cfg, mk, ds := sessionConfig(workers, iters)
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("felaserver: listening on %s, waiting for %d workers\n", l.Addr(), workers)
+
+	conns := make([]transport.Conn, workers)
+	for i := range conns {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		conns[i] = c
+		fmt.Printf("felaserver: worker connection %d/%d\n", i+1, workers)
+	}
+	co, err := rt.NewCoordinator(mk(), cfg)
+	if err != nil {
+		return err
+	}
+	res, err := co.Run(conns)
+	if err != nil {
+		return err
+	}
+	for i, loss := range res.Losses {
+		fmt.Printf("iteration %3d: loss %.6f\n", i, loss)
+	}
+	fmt.Printf("tokens per worker: %v (steals: %d)\n", res.TokensByWorker, res.Steals)
+
+	ref, err := rt.Sequential(mk(), ds, cfg)
+	if err != nil {
+		return err
+	}
+	if minidnn.ParamsEqual(ref.Params, res.Params) {
+		fmt.Println("verified: distributed result is bit-identical to sequential SGD")
+	} else {
+		return fmt.Errorf("distributed result diverged from sequential reference")
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Command felaworker joins a felaserver session as one real-time worker:
+// it connects, registers its worker id, then pulls tokens and trains
+// them on its replica of the model and dataset (both reconstructed from
+// the shared deterministic seeds).
+//
+//	felaworker -addr 127.0.0.1:7070 -wid 0 -workers 4 -iters 20
+//
+// The -workers/-iters flags must match the server's so that the derived
+// session configuration is identical on both sides.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fela/internal/minidnn"
+	"fela/internal/rt"
+	"fela/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "coordinator address")
+	wid := flag.Int("wid", 0, "this worker's id (0-based, unique per worker)")
+	workers := flag.Int("workers", 4, "total workers in the session (must match server)")
+	iters := flag.Int("iters", 20, "iterations (must match server)")
+	sleepMS := flag.Int("straggle", 0, "artificial per-iteration sleep in ms (demo stragglers)")
+	flag.Parse()
+
+	if err := run(*addr, *wid, *workers, *iters, *sleepMS); err != nil {
+		fmt.Fprintln(os.Stderr, "felaworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, wid, workers, iters, sleepMS int) error {
+	cfg := rt.Config{
+		Workers:    workers,
+		TotalBatch: 64,
+		TokenBatch: 8,
+		Iterations: iters,
+		LR:         0.05,
+	}
+	if sleepMS > 0 {
+		cfg.Delay = func(int, int) time.Duration { return time.Duration(sleepMS) * time.Millisecond }
+	}
+	net := minidnn.NewMLP(42, 16, 32, 4)
+	ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
+
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("felaworker %d: connected to %s\n", wid, addr)
+	if err := rt.NewWorker(wid, net, ds, cfg).Run(conn); err != nil {
+		return err
+	}
+	fmt.Printf("felaworker %d: session complete\n", wid)
+	return nil
+}

@@ -1,0 +1,40 @@
+// Quickstart: partition VGG19 with the paper's bin-partitioned method,
+// run one tuned Fela training on the simulated 8-node testbed, and print
+// the measured throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fela"
+)
+
+func main() {
+	m := fela.VGG19()
+	fmt.Printf("model: %s — %d weight layers, %.1f M parameters\n",
+		m.Name, m.WeightLayerCount(), float64(m.Params())/1e6)
+
+	// Offline model partition (§IV-A): bins of threshold batch sizes.
+	for _, sm := range fela.Partition(m) {
+		fmt.Printf("  %-22s threshold batch %4d, %7.1f MB parameters\n",
+			sm.Name, sm.ThresholdBatch, float64(sm.ParamBytes())/1e6)
+	}
+
+	// Tuned Fela run: the two-phase tuner (§IV-B) picks the parallelism
+	// weights and the CTD conditional subset, then 20 BSP iterations run
+	// under the full ADS+HF+CTD policy stack.
+	res, err := fela.Simulate(fela.SimConfig{
+		Model:      m,
+		TotalBatch: 256,
+		Iterations: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFela on the 8-node K40c testbed, batch 256:\n")
+	fmt.Printf("  avg iteration time: %.3f s\n", res.AvgIterTime())
+	fmt.Printf("  avg throughput:     %.1f samples/s (Eq. 3)\n", res.AvgThroughput())
+	fmt.Printf("  network payload:    %.0f MB/iteration\n",
+		float64(res.BytesSent)/float64(res.Iterations)/1e6)
+}

@@ -1,0 +1,151 @@
+package fela
+
+import "testing"
+
+func TestPartitionPublicAPI(t *testing.T) {
+	subs := Partition(VGG19())
+	if len(subs) != 3 {
+		t.Fatalf("VGG19 partition = %d sub-models, want 3", len(subs))
+	}
+	if subs[0].FromLayer != 1 || subs[2].ToLayer != 19 {
+		t.Fatalf("partition bounds wrong: %+v", subs)
+	}
+}
+
+func TestSimulateWithExplicitConfig(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Model: VGG19(), TotalBatch: 128, Iterations: 5,
+		Weights: []int{1, 1, 8}, SubsetSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgThroughput() <= 0 || res.Iterations != 5 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestSimulateTunes(t *testing.T) {
+	res, err := Simulate(SimConfig{Model: GoogLeNet(), TotalBatch: 256, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgThroughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{TotalBatch: 64, Iterations: 1}); err == nil {
+		t.Error("expected error for nil model")
+	}
+}
+
+func TestComparePoint(t *testing.T) {
+	cmp, err := Compare(VGG19(), 128, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Fela.AvgThroughput() <= cmp.MP.AvgThroughput() {
+		t.Errorf("Fela %.1f should beat MP %.1f", cmp.Fela.AvgThroughput(), cmp.MP.AvgThroughput())
+	}
+	if cmp.DP.System != "DP" || cmp.HP.System != "HP" {
+		t.Error("system labels wrong")
+	}
+}
+
+func TestStragglerScenariosAndPID(t *testing.T) {
+	base, err := Simulate(SimConfig{Model: VGG19(), TotalBatch: 128, Iterations: 8,
+		Weights: []int{1, 1, 8}, SubsetSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strag, err := Simulate(SimConfig{Model: VGG19(), TotalBatch: 128, Iterations: 8,
+		Weights: []int{1, 1, 8}, SubsetSize: 1,
+		Scenario: RoundRobinStraggler(2, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid := PID(strag, base); pid <= 0 || pid >= 2 {
+		t.Errorf("PID = %v, want in (0, 2)", pid)
+	}
+	if NoStraggler().Delay(0, 0) != 0 {
+		t.Error("NoStraggler delays")
+	}
+	if ProbabilityStraggler(1, 3).Delay(5, 2) != 3 {
+		t.Error("ProbabilityStraggler(p=1) must always delay")
+	}
+}
+
+func TestFullPolicy(t *testing.T) {
+	p := FullPolicy(2, 8)
+	if !p.CTD || len(p.CTDSubset) != 2 || !p.ADS || !p.HF {
+		t.Errorf("FullPolicy(2,8) = %+v", p)
+	}
+	p = FullPolicy(8, 8)
+	if p.CTD {
+		t.Error("full subset must disable CTD")
+	}
+}
+
+func TestRealTimeRoundTrip(t *testing.T) {
+	mk := func() *Network { return NewMLP(5, 6, 12, 3) }
+	ds := SyntheticDataset(9, 64, 6, 3)
+	cfg := RTConfig{Workers: 3, TotalBatch: 32, TokenBatch: 8, Iterations: 4, LR: 0.05}
+	seq, err := RTSequential(mk(), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := RTTrain(mk, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ParamsEqual(seq, dist) {
+		t.Fatal("real-time training diverged from sequential reference")
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("VGG19")
+	if err != nil || m.WeightLayerCount() != 19 {
+		t.Fatalf("ModelByName: %v %v", m, err)
+	}
+	if _, err := ModelByName("bogus"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSimulateTraced(t *testing.T) {
+	res, tr, err := SimulateTraced(SimConfig{
+		Model: VGG19(), TotalBatch: 128, Iterations: 2,
+		Weights: []int{1, 1, 8}, SubsetSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgThroughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no trace events")
+	}
+	if out := tr.Timeline(50); len(out) == 0 {
+		t.Fatal("empty timeline")
+	}
+	if _, _, err := SimulateTraced(SimConfig{}); err == nil {
+		t.Error("expected error for nil model")
+	}
+}
+
+func TestCommBreakdownExposed(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Model: VGG19(), TotalBatch: 256, Iterations: 3,
+		Weights: []int{1, 1, 8}, SubsetSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.Total() != res.BytesSent {
+		t.Errorf("breakdown %d != wire %d", res.Comm.Total(), res.BytesSent)
+	}
+}

@@ -1,0 +1,3 @@
+module fela
+
+go 1.22

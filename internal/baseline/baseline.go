@@ -1,0 +1,130 @@
+// Package baseline implements the three comparison systems of §V-A on
+// the same simulated substrate as Fela:
+//
+//   - DP: the data-parallel BSP baseline — every worker trains the full
+//     model on totalBatch/N samples, then a cluster-wide ring all-reduce
+//     of all parameters.
+//   - MP: the model-parallel baseline (after PipeDream/ElasticPipe) —
+//     the model is split into N balanced pipeline stages; fixed small
+//     micro-batches flow forward then backward, with activation/gradient
+//     transfers between neighbours and fill/drain bubbles.
+//   - HP: the hybrid-parallel baseline (after Stanza) — N−1 CONV workers
+//     train the convolutional front data-parallel, one FC worker owns
+//     the fully connected tail; activations funnel into the FC worker
+//     and gradients funnel back, then the CONV workers all-reduce.
+//
+// All three honour the same straggler scenarios as the Fela engine.
+package baseline
+
+import (
+	"fmt"
+
+	"fela/internal/cluster"
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/straggler"
+)
+
+// Config describes a baseline run.
+type Config struct {
+	// Model is the benchmark model.
+	Model *model.Model
+	// TotalBatch is the global per-iteration batch size.
+	TotalBatch int
+	// Iterations is the number of BSP iterations.
+	Iterations int
+	// Scenario injects straggler delays; nil means none.
+	Scenario straggler.Scenario
+	// MicroBatch is MP's fixed micro-batch size (default 16, the small
+	// fixed micro-batch the paper attributes to the MP baseline).
+	MicroBatch int
+}
+
+func (cfg *Config) validate(c *cluster.Cluster) error {
+	if cfg.Model == nil {
+		return fmt.Errorf("baseline: nil model")
+	}
+	if cfg.TotalBatch < c.N() {
+		return fmt.Errorf("baseline: total batch %d smaller than cluster %d", cfg.TotalBatch, c.N())
+	}
+	if cfg.Iterations <= 0 {
+		return fmt.Errorf("baseline: iterations must be positive")
+	}
+	return nil
+}
+
+func (cfg *Config) scenario() straggler.Scenario {
+	if cfg.Scenario == nil {
+		return straggler.None{}
+	}
+	return cfg.Scenario
+}
+
+// splitEvenly distributes total across n slots as evenly as possible.
+func splitEvenly(total, n int) []int {
+	out := make([]int, n)
+	base, rem := total/n, total%n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// result assembles a RunResult from recorded iteration boundaries.
+func result(system string, c *cluster.Cluster, cfg Config, iterTimes []float64, total float64) metrics.RunResult {
+	return metrics.RunResult{
+		System:     system,
+		Model:      cfg.Model.Name,
+		TotalBatch: cfg.TotalBatch,
+		Iterations: cfg.Iterations,
+		TotalTime:  total,
+		IterTimes:  iterTimes,
+		BytesSent:  c.Net.BytesSent(),
+	}
+}
+
+// RunDP executes the data-parallel baseline.
+func RunDP(c *cluster.Cluster, cfg Config) (metrics.RunResult, error) {
+	if err := cfg.validate(c); err != nil {
+		return metrics.RunResult{}, err
+	}
+	scen := cfg.scenario()
+	batches := splitEvenly(cfg.TotalBatch, c.N())
+	paramBytes := cfg.Model.ParamBytes()
+	group := make([]int, c.N())
+	for i := range group {
+		group[i] = i
+	}
+
+	var iterTimes []float64
+	var total float64
+	var runIter func(it int, start float64)
+	runIter = func(it int, start float64) {
+		left := c.N()
+		for w := 0; w < c.N(); w++ {
+			c.Sleep(w, scen.Delay(it, w))
+			c.Compute(w, c.DB.LayersTimeFit(cfg.Model.Layers, batches[w]), func() {
+				left--
+				if left > 0 {
+					return
+				}
+				// BSP barrier reached: synchronize all parameters.
+				c.Net.AllReduce(group, paramBytes, func() {
+					now := c.Eng.Now()
+					iterTimes = append(iterTimes, now-start)
+					if it+1 < cfg.Iterations {
+						runIter(it+1, now)
+						return
+					}
+					total = now
+				})
+			})
+		}
+	}
+	c.Eng.At(0, func() { runIter(0, 0) })
+	c.Eng.Run()
+	return result("DP", c, cfg, iterTimes, total), nil
+}

@@ -1,0 +1,268 @@
+package baseline
+
+import (
+	"testing"
+
+	"fela/internal/cluster"
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/straggler"
+)
+
+func cfg(m *model.Model, batch, iters int) Config {
+	return Config{Model: m, TotalBatch: batch, Iterations: iters}
+}
+
+func mustRun(t *testing.T, fn func(*cluster.Cluster, Config) (metrics.RunResult, error), c Config) metrics.RunResult {
+	t.Helper()
+	res, err := fn(cluster.New(cluster.Testbed8()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDPBasics(t *testing.T) {
+	res := mustRun(t, RunDP, cfg(model.VGG19(), 128, 5))
+	if res.System != "DP" || res.Iterations != 5 || len(res.IterTimes) != 5 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.TotalTime <= 0 || res.AvgThroughput() <= 0 {
+		t.Fatal("degenerate timings")
+	}
+	// DP synchronizes the full model every iteration: wire bytes are
+	// 2(N-1) x paramBytes x iterations.
+	wantBytes := int64(2*7) * model.VGG19().ParamBytes() * 5
+	if res.BytesSent != wantBytes {
+		t.Errorf("DP bytes = %d, want %d", res.BytesSent, wantBytes)
+	}
+}
+
+// TestDPCommConstantInBatch checks the §V-C1 claim: "the amount of
+// network transfer in DP does not change as the batch grows".
+func TestDPCommConstantInBatch(t *testing.T) {
+	a := mustRun(t, RunDP, cfg(model.VGG19(), 64, 3))
+	b := mustRun(t, RunDP, cfg(model.VGG19(), 1024, 3))
+	if a.BytesSent != b.BytesSent {
+		t.Errorf("DP bytes changed with batch: %d vs %d", a.BytesSent, b.BytesSent)
+	}
+}
+
+func TestMPBasics(t *testing.T) {
+	res := mustRun(t, RunMP, cfg(model.VGG19(), 128, 5))
+	if res.System != "MP" || len(res.IterTimes) != 5 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	// MP synchronizes no parameters; it only ships activations, which
+	// scale with the batch.
+	small := mustRun(t, RunMP, cfg(model.VGG19(), 64, 3))
+	large := mustRun(t, RunMP, cfg(model.VGG19(), 512, 3))
+	if large.BytesSent <= small.BytesSent {
+		t.Error("MP bytes should grow with batch")
+	}
+	// And far less wire traffic than DP at the same scale (its whole
+	// selling point).
+	dp := mustRun(t, RunDP, cfg(model.VGG19(), 128, 5))
+	if res.BytesSent >= dp.BytesSent {
+		t.Errorf("MP bytes %d not below DP %d", res.BytesSent, dp.BytesSent)
+	}
+}
+
+func TestStagesPartition(t *testing.T) {
+	m := model.VGG19()
+	stages := Stages(m, 8)
+	if len(stages) != 8 {
+		t.Fatalf("stages = %d, want 8", len(stages))
+	}
+	weights := 0
+	for _, st := range stages {
+		has := false
+		for _, l := range st {
+			if l.HasWeights() {
+				weights++
+				has = true
+			}
+		}
+		if !has {
+			t.Error("stage without weight layers")
+		}
+	}
+	if weights != 19 {
+		t.Errorf("stages cover %d weight layers, want 19", weights)
+	}
+	// More stages than weight layers clamps.
+	small := Stages(model.LeNet5(), 8)
+	if len(small) != 5 {
+		t.Errorf("LeNet-5 stages = %d, want 5", len(small))
+	}
+}
+
+func TestHPBasics(t *testing.T) {
+	res := mustRun(t, RunHP, cfg(model.VGG19(), 128, 5))
+	if res.System != "HP" || len(res.IterTimes) != 5 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	// HP all-reduces only CONV parameters (FC lives on one worker), so
+	// its sync traffic is far below DP's.
+	dp := mustRun(t, RunDP, cfg(model.VGG19(), 128, 5))
+	if res.BytesSent >= dp.BytesSent/2 {
+		t.Errorf("HP bytes %d not well below DP %d", res.BytesSent, dp.BytesSent)
+	}
+	// HP activation traffic grows with batch (the §V-C1 reason it loses
+	// to DP at large batch).
+	small := mustRun(t, RunHP, cfg(model.VGG19(), 64, 3))
+	large := mustRun(t, RunHP, cfg(model.VGG19(), 1024, 3))
+	if large.BytesSent <= small.BytesSent {
+		t.Error("HP bytes should grow with batch")
+	}
+}
+
+func TestSplitConvFC(t *testing.T) {
+	conv, fc, err := SplitConvFC(model.VGG19())
+	if err != nil {
+		t.Fatal(err)
+	}
+	convW, fcW := 0, 0
+	for _, l := range conv {
+		if l.HasWeights() {
+			convW++
+		}
+		if l.CommIntensive {
+			t.Error("conv part contains FC layer")
+		}
+	}
+	for _, l := range fc {
+		if l.HasWeights() {
+			fcW++
+		}
+	}
+	if convW != 16 || fcW != 3 {
+		t.Errorf("split = %d conv + %d fc weight layers, want 16+3", convW, fcW)
+	}
+	// A model with no CONV front fails.
+	mlp := &model.Model{Name: "mlp", InputC: 1, InputH: 1, InputW: 10}
+	mlp.Layers = []model.Layer{model.NewFC("fc1", 10, 10)}
+	if _, _, err := SplitConvFC(mlp); err == nil {
+		t.Error("expected error for FC-only model")
+	}
+}
+
+// TestPaperShapeNonStraggler asserts the qualitative Fig. 8 structure at
+// representative batch sizes: HP beats DP at small batch, DP catches up
+// at large batch, and MP is far behind everyone.
+func TestPaperShapeNonStraggler(t *testing.T) {
+	m := model.VGG19()
+	at := func(fn func(*cluster.Cluster, Config) (metrics.RunResult, error), batch int) float64 {
+		return mustRun(t, fn, cfg(m, batch, 5)).AvgThroughput()
+	}
+	dpSmall, hpSmall, mpSmall := at(RunDP, 64), at(RunHP, 64), at(RunMP, 64)
+	dpLarge, hpLarge := at(RunDP, 1024), at(RunHP, 1024)
+	if hpSmall <= dpSmall {
+		t.Errorf("HP (%.1f) should beat DP (%.1f) at batch 64", hpSmall, dpSmall)
+	}
+	if hpLarge >= dpLarge {
+		t.Errorf("HP (%.1f) should fall behind DP (%.1f) at batch 1024", hpLarge, dpLarge)
+	}
+	if mpSmall >= dpSmall/2 {
+		t.Errorf("MP (%.1f) should be far behind DP (%.1f)", mpSmall, dpSmall)
+	}
+}
+
+// TestMPAbsorbsStragglers reproduces the §V-C2 observation: MP's idle
+// pipeline stages absorb part of the injected sleep, so MP's PID is
+// below DP's.
+func TestMPAbsorbsStragglers(t *testing.T) {
+	m := model.VGG19()
+	scen := straggler.RoundRobin{D: 4, N: 8}
+	base := func(fn func(*cluster.Cluster, Config) (metrics.RunResult, error)) (metrics.RunResult, metrics.RunResult) {
+		c0 := cfg(m, 256, 16)
+		cs := cfg(m, 256, 16)
+		cs.Scenario = scen
+		r0, err := fn(cluster.New(cluster.Testbed8()), c0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := fn(cluster.New(cluster.Testbed8()), cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs, r0
+	}
+	dpS, dp0 := base(RunDP)
+	mpS, mp0 := base(RunMP)
+	dpPID, mpPID := metrics.PID(dpS, dp0), metrics.PID(mpS, mp0)
+	if dpPID <= 0 || mpPID <= 0 {
+		t.Fatalf("PIDs must be positive: dp=%v mp=%v", dpPID, mpPID)
+	}
+	if mpPID >= dpPID {
+		t.Errorf("MP PID %.2f not below DP PID %.2f", mpPID, dpPID)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := cluster.New(cluster.Testbed8())
+	if _, err := RunDP(c, Config{Model: model.VGG19(), TotalBatch: 4, Iterations: 5}); err == nil {
+		t.Error("expected error: batch below cluster size")
+	}
+	if _, err := RunDP(cluster.New(cluster.Testbed8()), Config{Model: model.VGG19(), TotalBatch: 64, Iterations: 0}); err == nil {
+		t.Error("expected error: zero iterations")
+	}
+	if _, err := RunDP(cluster.New(cluster.Testbed8()), Config{TotalBatch: 64, Iterations: 1}); err == nil {
+		t.Error("expected error: nil model")
+	}
+}
+
+func TestSplitEvenly(t *testing.T) {
+	got := splitEvenly(10, 4)
+	want := []int{3, 3, 2, 2}
+	total := 0
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("splitEvenly(10,4) = %v, want %v", got, want)
+		}
+		total += got[i]
+	}
+	if total != 10 {
+		t.Fatal("split loses samples")
+	}
+}
+
+func TestDeterministicBaselines(t *testing.T) {
+	for name, fn := range map[string]func(*cluster.Cluster, Config) (metrics.RunResult, error){
+		"DP": RunDP, "MP": RunMP, "HP": RunHP,
+	} {
+		a := mustRun(t, fn, cfg(model.GoogLeNet(), 128, 4))
+		b := mustRun(t, fn, cfg(model.GoogLeNet(), 128, 4))
+		if a.TotalTime != b.TotalTime {
+			t.Errorf("%s not deterministic", name)
+		}
+	}
+}
+
+// TestPSBottleneck: the PS-architecture DP variant is slower than
+// all-reduce DP — 2(N-1) model-sized transfers serialize through the PS
+// NIC (§II-D's "centralized network bottleneck").
+func TestPSBottleneck(t *testing.T) {
+	ps := mustRun(t, RunDPPS, cfg(model.VGG19(), 128, 5))
+	dp := mustRun(t, RunDP, cfg(model.VGG19(), 128, 5))
+	if ps.System != "DP-PS" {
+		t.Fatalf("system = %s", ps.System)
+	}
+	if ps.AvgThroughput() >= dp.AvgThroughput() {
+		t.Errorf("PS throughput %.1f not below all-reduce DP %.1f",
+			ps.AvgThroughput(), dp.AvgThroughput())
+	}
+	// PS wire bytes: 2(N-1) x params x iters.
+	want := int64(2*7) * model.VGG19().ParamBytes() * 5
+	if ps.BytesSent != want {
+		t.Errorf("PS bytes = %d, want %d", ps.BytesSent, want)
+	}
+}
+
+func TestPSNeedsTwoNodes(t *testing.T) {
+	one := cluster.Testbed8()
+	one.N = 1
+	if _, err := RunDPPS(cluster.New(one), cfg(model.VGG19(), 64, 1)); err == nil {
+		t.Error("expected error for single-node PS")
+	}
+}

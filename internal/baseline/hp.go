@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fela/internal/cluster"
+	"fela/internal/metrics"
+	"fela/internal/model"
+)
+
+// SplitConvFC separates the model at its first communication-intensive
+// (FC) weight layer: the Stanza layer separation. The returned conv part
+// includes every layer before the first FC (with interleaved pools);
+// the fc part is the tail from the first FC on.
+func SplitConvFC(m *model.Model) (conv, fc []model.Layer, err error) {
+	wl := m.WeightLayers()
+	firstFC := -1
+	for i, l := range wl {
+		if l.CommIntensive {
+			firstFC = i + 1 // 1-based
+			break
+		}
+	}
+	if firstFC <= 1 {
+		return nil, nil, fmt.Errorf("baseline: model %s has no CONV front or no FC tail", m.Name)
+	}
+	return m.LayerRange(1, firstFC-1), m.LayerRange(firstFC, len(wl)), nil
+}
+
+// RunHP executes the hybrid-parallel baseline (Stanza, §V-C1): N−1 CONV
+// workers train the convolutional front data-parallel; the last worker
+// owns the FC tail. Per iteration:
+//
+//  1. every CONV worker runs its forward pass on totalBatch/(N−1)
+//     samples and ships the top activations to the FC worker (incast);
+//  2. the FC worker runs the FC forward+backward on the full batch and
+//     ships activation gradients back to every CONV worker;
+//  3. CONV workers run their backward pass, then all-reduce the CONV
+//     parameters among themselves. FC parameters live on one node and
+//     need no synchronization — HP's communication advantage; the
+//     FC worker's idle time and inbound bottleneck are its weaknesses.
+func RunHP(c *cluster.Cluster, cfg Config) (metrics.RunResult, error) {
+	if err := cfg.validate(c); err != nil {
+		return metrics.RunResult{}, err
+	}
+	conv, fc, err := SplitConvFC(cfg.Model)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	if c.N() < 2 {
+		return metrics.RunResult{}, fmt.Errorf("baseline: HP needs at least 2 workers")
+	}
+	scen := cfg.scenario()
+	nConv := c.N() - 1
+	fcWorker := c.N() - 1
+	batches := splitEvenly(cfg.TotalBatch, nConv)
+	// Per-sample boundary size between the CONV front and FC tail.
+	actBytes := fc[0].InElems * model.BytesPerElement
+
+	var convParams int64
+	for _, l := range conv {
+		convParams += l.ParamBytes()
+	}
+	convGroup := make([]int, nConv)
+	for i := range convGroup {
+		convGroup[i] = i
+	}
+
+	var iterTimes []float64
+	var total float64
+
+	// ship models the layer-separation implementation's host-side tensor
+	// copy/serialization before the wire transfer (same cost model as the
+	// MP pipeline's hooks).
+	ship := func(from, to int, bytes int64, done func()) {
+		c.Eng.After(hopOverhead+float64(bytes)/hopCopyBW, func() {
+			c.Net.Transfer(from, to, bytes, done)
+		})
+	}
+
+	var runIter func(it int, start float64)
+	runIter = func(it int, start float64) {
+		for w := 0; w < c.N(); w++ {
+			c.Sleep(w, scen.Delay(it, w))
+		}
+		arrived := 0
+		bwdLeft := nConv
+		finish := func() {
+			c.Net.AllReduce(convGroup, convParams, func() {
+				now := c.Eng.Now()
+				iterTimes = append(iterTimes, now-start)
+				if it+1 < cfg.Iterations {
+					runIter(it+1, now)
+					return
+				}
+				total = now
+			})
+		}
+		fcPhase := func() {
+			c.Compute(fcWorker, c.DB.LayersTimeFit(fc, cfg.TotalBatch), func() {
+				// Ship activation gradients back to every CONV worker.
+				for w := 0; w < nConv; w++ {
+					w := w
+					ship(fcWorker, w, int64(batches[w])*actBytes, func() {
+						bwd := c.DB.LayersTimeFit(conv, batches[w]) - c.DB.LayersFwdTimeFit(conv, batches[w])
+						c.Compute(w, bwd, func() {
+							bwdLeft--
+							if bwdLeft == 0 {
+								finish()
+							}
+						})
+					})
+				}
+			})
+		}
+		for w := 0; w < nConv; w++ {
+			w := w
+			c.Compute(w, c.DB.LayersFwdTimeFit(conv, batches[w]), func() {
+				ship(w, fcWorker, int64(batches[w])*actBytes, func() {
+					arrived++
+					if arrived == nConv {
+						fcPhase()
+					}
+				})
+			})
+		}
+	}
+	c.Eng.At(0, func() { runIter(0, 0) })
+	c.Eng.Run()
+	return result("HP", c, cfg, iterTimes, total), nil
+}

@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fela/internal/cluster"
+	"fela/internal/metrics"
+	"fela/internal/model"
+)
+
+// DefaultMicroBatch is the MP baseline's fixed micro-batch size. The
+// paper attributes MP's poor GPU utilization to its "small and fixed
+// micro-batches" used to amortize pipeline bubbles (§V-C1).
+const DefaultMicroBatch = 8
+
+// Per-hop framework costs of the pipeline baseline: every micro-batch
+// crossing a stage boundary pays a fixed dispatch overhead plus a
+// host-side tensor copy/serialization at copy bandwidth. These are costs
+// of per-hop hooking in the PipeDream/ElasticPipe-style implementation;
+// the collective-based systems (DP, HP, Fela) move bulk data through
+// zero-copy collectives and coordinated fetches instead.
+const (
+	hopOverhead = 1e-3 // seconds per stage crossing
+	hopCopyBW   = 1e9  // bytes/second host-side copy + serialization
+)
+
+// MaxInflight bounds how many micro-batches the pipeline keeps in
+// flight. Stashing weights and activations for every in-flight
+// micro-batch is what limits PipeDream-style pipelines; under BSP with
+// K40c-sized memory two micro-batches per stage is the practical limit,
+// and it is the source of MP's poor work conservation (§V-C1: "the
+// majority of workers remain idle during one iteration").
+const MaxInflight = 2
+
+// Stages partitions the model's weight layers into n contiguous pipeline
+// stages with approximately balanced forward FLOPs (greedy cumulative
+// split; every stage gets at least one weight layer).
+func Stages(m *model.Model, n int) [][]model.Layer {
+	wl := m.WeightLayers()
+	if n > len(wl) {
+		n = len(wl)
+	}
+	var total float64
+	for _, l := range wl {
+		total += float64(l.FwdFLOPs)
+	}
+	stages := make([][]model.Layer, 0, n)
+	start := 1 // 1-based weight-layer index
+	var cum float64
+	li := 0
+	for s := 0; s < n; s++ {
+		target := total * float64(s+1) / float64(n)
+		end := start
+		// Leave enough layers for the remaining stages.
+		maxEnd := len(wl) - (n - s - 1)
+		for li < len(wl) {
+			cum += float64(wl[li].FwdFLOPs)
+			li++
+			end = li
+			if cum >= target || end >= maxEnd {
+				break
+			}
+		}
+		stages = append(stages, m.LayerRange(start, end))
+		start = end + 1
+	}
+	return stages
+}
+
+// RunMP executes the model-parallel pipeline baseline: one stage per
+// worker, fixed micro-batches flowing forward then backward through the
+// pipeline with boundary activation/gradient transfers, at most
+// MaxInflight micro-batches in flight. There is no parameter
+// synchronization — each stage owns its parameters exclusively, which is
+// MP's communication advantage and work-conservation weakness.
+func RunMP(c *cluster.Cluster, cfg Config) (metrics.RunResult, error) {
+	if err := cfg.validate(c); err != nil {
+		return metrics.RunResult{}, err
+	}
+	scen := cfg.scenario()
+	micro := cfg.MicroBatch
+	if micro <= 0 {
+		micro = DefaultMicroBatch
+	}
+	if micro > cfg.TotalBatch {
+		micro = cfg.TotalBatch
+	}
+	stages := Stages(cfg.Model, c.N())
+	n := len(stages)
+	if n < 2 {
+		return metrics.RunResult{}, fmt.Errorf("baseline: MP needs at least 2 stages, model has %d weight layers", cfg.Model.WeightLayerCount())
+	}
+
+	// Micro-batch sizes: fixed micro, last one takes the remainder.
+	var micros []int
+	for left := cfg.TotalBatch; left > 0; left -= micro {
+		if left < micro {
+			micros = append(micros, left)
+		} else {
+			micros = append(micros, micro)
+		}
+	}
+
+	// boundary[i] is the per-sample activation size flowing from stage i
+	// to stage i+1 (and the gradient size flowing back).
+	boundary := make([]int64, n-1)
+	for i := 0; i < n-1; i++ {
+		last := stages[i][len(stages[i])-1]
+		boundary[i] = last.OutBytes()
+	}
+
+	fwdT := make([][]float64, n)
+	bwdT := make([][]float64, n)
+	for i, st := range stages {
+		fwdT[i] = make([]float64, len(micros))
+		bwdT[i] = make([]float64, len(micros))
+		for k, mb := range micros {
+			fwd := c.DB.LayersFwdTimeFit(st, mb)
+			fwdT[i][k] = fwd
+			bwdT[i][k] = c.DB.LayersTimeFit(st, mb) - fwd
+		}
+	}
+
+	var iterTimes []float64
+	var total float64
+
+	var runIter func(it int, start float64)
+	runIter = func(it int, start float64) {
+		for w := 0; w < n; w++ {
+			c.Sleep(w, scen.Delay(it, w))
+		}
+		remaining := len(micros)
+		nextK := 0
+		inFlight := 0
+		compute := func(w int, d float64, done func()) {
+			c.Compute(w, d, done)
+		}
+		hop := func(from, to int, bytes int64, done func()) {
+			c.Eng.After(hopOverhead+float64(bytes)/hopCopyBW, func() {
+				c.Net.Transfer(from, to, bytes, done)
+			})
+		}
+		var launch func()
+		var bwd func(k, i int)
+		bwd = func(k, i int) {
+			compute(i, bwdT[i][k], func() {
+				if i > 0 {
+					hop(i, i-1, int64(micros[k])*boundary[i-1], func() { bwd(k, i-1) })
+					return
+				}
+				remaining--
+				inFlight--
+				launch()
+				if remaining > 0 {
+					return
+				}
+				now := c.Eng.Now()
+				iterTimes = append(iterTimes, now-start)
+				if it+1 < cfg.Iterations {
+					runIter(it+1, now)
+					return
+				}
+				total = now
+			})
+		}
+		var fwd func(k, i int)
+		fwd = func(k, i int) {
+			compute(i, fwdT[i][k], func() {
+				if i < n-1 {
+					hop(i, i+1, int64(micros[k])*boundary[i], func() { fwd(k, i+1) })
+					return
+				}
+				bwd(k, n-1)
+			})
+		}
+		launch = func() {
+			for inFlight < MaxInflight && nextK < len(micros) {
+				inFlight++
+				fwd(nextK, 0)
+				nextK++
+			}
+		}
+		launch()
+	}
+	c.Eng.At(0, func() { runIter(0, 0) })
+	c.Eng.Run()
+	return result("MP", c, cfg, iterTimes, total), nil
+}

@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fela/internal/cluster"
+	"fela/internal/metrics"
+)
+
+// RunDPPS executes the data-parallel baseline under a Parameter-Server
+// architecture instead of all-reduce: the last node serves as the PS,
+// the remaining N−1 nodes train. Every iteration each worker pushes its
+// full gradient to the PS and pulls the updated parameters back, so
+// 2(N−1) model-sized transfers funnel through one NIC — the centralized
+// bottleneck the paper holds against PS-based solutions such as FlexPS
+// (§II-D, Table II note 2).
+func RunDPPS(c *cluster.Cluster, cfg Config) (metrics.RunResult, error) {
+	if err := cfg.validate(c); err != nil {
+		return metrics.RunResult{}, err
+	}
+	if c.N() < 2 {
+		return metrics.RunResult{}, fmt.Errorf("baseline: PS needs at least 2 nodes")
+	}
+	scen := cfg.scenario()
+	ps := c.N() - 1
+	nWorkers := c.N() - 1
+	batches := splitEvenly(cfg.TotalBatch, nWorkers)
+	paramBytes := cfg.Model.ParamBytes()
+
+	var iterTimes []float64
+	var total float64
+	var runIter func(it int, start float64)
+	runIter = func(it int, start float64) {
+		for w := 0; w < c.N(); w++ {
+			c.Sleep(w, scen.Delay(it, w))
+		}
+		pulled := 0
+		pushed := 0
+		finish := func() {
+			now := c.Eng.Now()
+			iterTimes = append(iterTimes, now-start)
+			if it+1 < cfg.Iterations {
+				runIter(it+1, now)
+				return
+			}
+			total = now
+		}
+		// After every push arrives, the PS applies the update (cheap)
+		// and every worker pulls the fresh parameters.
+		pullPhase := func() {
+			for w := 0; w < nWorkers; w++ {
+				c.Net.Transfer(ps, w, paramBytes, func() {
+					pulled++
+					if pulled == nWorkers {
+						finish()
+					}
+				})
+			}
+		}
+		for w := 0; w < nWorkers; w++ {
+			w := w
+			c.Compute(w, c.DB.LayersTimeFit(cfg.Model.Layers, batches[w]), func() {
+				c.Net.Transfer(w, ps, paramBytes, func() {
+					pushed++
+					if pushed == nWorkers {
+						pullPhase()
+					}
+				})
+			})
+		}
+	}
+	c.Eng.At(0, func() { runIter(0, 0) })
+	c.Eng.Run()
+	return result("DP-PS", c, cfg, iterTimes, total), nil
+}

@@ -1,0 +1,127 @@
+// Package cluster assembles the simulated testbed: N nodes, each with
+// one GPU (a capacity-1 sim.Resource) and a NIC pair managed by
+// internal/netsim, plus a local shard of the training data.
+//
+// The paper's testbed (§V-A) is 8 nodes, one Tesla K40c each, 10 Gbps
+// links to a 40GE switch; Testbed8 builds exactly that.
+package cluster
+
+import (
+	"fmt"
+
+	"fela/internal/gpu"
+	"fela/internal/netsim"
+	"fela/internal/sim"
+)
+
+// Node is one machine of the cluster.
+type Node struct {
+	// ID is the node index, also its network host id.
+	ID int
+	// GPU serializes kernel executions on the node's single device.
+	GPU *sim.Resource
+	// Speed scales compute time: 1.0 is nominal; a persistent slow node
+	// would use < 1.0. Injected straggler delays are separate.
+	Speed float64
+
+	computeSeq uint64
+}
+
+// Cluster is the simulated testbed.
+type Cluster struct {
+	// Eng is the discrete-event engine all components share.
+	Eng *sim.Engine
+	// Net is the cluster network.
+	Net *netsim.Network
+	// DB is the GPU profile repository used for every cost query.
+	DB *gpu.ProfileDB
+	// Nodes are the machines, indexed by ID.
+	Nodes []*Node
+
+	jitter float64
+}
+
+// Config describes a cluster to build.
+type Config struct {
+	// N is the node count.
+	N int
+	// Device is the GPU installed in every node.
+	Device gpu.Device
+	// Net is the link configuration.
+	Net netsim.Config
+	// Jitter is the amplitude of the natural per-kernel compute-time
+	// variation (±Jitter, uniform, deterministic per node and
+	// invocation). Real clusters never run perfectly uniform (§II-C);
+	// BSP systems pay the max over workers every iteration.
+	Jitter float64
+}
+
+// Testbed8 is the paper's evaluation cluster: 8 nodes, Tesla K40c,
+// 10 Gbps Ethernet.
+func Testbed8() Config {
+	return Config{N: 8, Device: gpu.TeslaK40c(), Net: netsim.TenGbE(), Jitter: 0.08}
+}
+
+// New builds a cluster on a fresh engine.
+func New(cfg Config) *Cluster {
+	if cfg.N <= 0 {
+		panic("cluster: need at least one node")
+	}
+	eng := sim.New()
+	c := &Cluster{
+		Eng:    eng,
+		Net:    netsim.New(eng, cfg.N, cfg.Net),
+		DB:     gpu.DefaultDB(cfg.Device),
+		jitter: cfg.Jitter,
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.Nodes = append(c.Nodes, &Node{
+			ID:    i,
+			GPU:   sim.NewResource(eng, fmt.Sprintf("gpu%d", i), 1),
+			Speed: 1.0,
+		})
+	}
+	return c
+}
+
+// N returns the node count.
+func (c *Cluster) N() int { return len(c.Nodes) }
+
+// Compute occupies node's GPU for the given kernel duration (scaled by
+// the node speed) and calls done when it finishes. Queued computations
+// on the same node serialize in FIFO order.
+func (c *Cluster) Compute(node int, seconds float64, done func()) {
+	if seconds < 0 {
+		panic("cluster: negative compute time")
+	}
+	n := c.Nodes[node]
+	n.computeSeq++
+	f := 1 + c.jitter*(2*uniform(uint64(node), n.computeSeq)-1)
+	n.GPU.Use(seconds*f/n.Speed, done)
+}
+
+// uniform hashes (a, b) to [0,1) with the SplitMix64 finalizer, keeping
+// jitter deterministic across runs.
+func uniform(a, b uint64) float64 {
+	x := a*0x9E3779B97F4A7C15 ^ b*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Sleep occupies the node's GPU for exactly d seconds (no jitter),
+// modelling an injected straggler delay at iteration start: computations
+// already queued or arriving during the sleep wait behind it, while
+// communication proceeds (the sleep stalls computation, not the NIC).
+func (c *Cluster) Sleep(node int, d float64) {
+	if d <= 0 {
+		return
+	}
+	c.Nodes[node].GPU.Use(d, nil)
+}
+
+// GPUBusy reports the accumulated busy seconds of a node's GPU.
+func (c *Cluster) GPUBusy(node int) float64 { return c.Nodes[node].GPU.BusyTime() }

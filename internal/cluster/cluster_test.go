@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"fela/internal/gpu"
+	"fela/internal/netsim"
+)
+
+func noJitter() Config {
+	cfg := Testbed8()
+	cfg.Jitter = 0
+	return cfg
+}
+
+func TestTestbed8Shape(t *testing.T) {
+	c := New(Testbed8())
+	if c.N() != 8 {
+		t.Fatalf("N = %d, want 8", c.N())
+	}
+	if c.Net.Hosts() != 8 {
+		t.Fatalf("network hosts = %d", c.Net.Hosts())
+	}
+	if c.DB.Device().Name != "Tesla K40c" {
+		t.Fatalf("device = %s", c.DB.Device().Name)
+	}
+	for i, n := range c.Nodes {
+		if n.ID != i || n.Speed != 1.0 {
+			t.Fatalf("node %d misconfigured: %+v", i, n)
+		}
+	}
+}
+
+func TestComputeSerializesPerNode(t *testing.T) {
+	c := New(noJitter())
+	var done []float64
+	c.Compute(0, 1, func() { done = append(done, c.Eng.Now()) })
+	c.Compute(0, 2, func() { done = append(done, c.Eng.Now()) })
+	c.Compute(1, 1, func() { done = append(done, c.Eng.Now()) })
+	c.Eng.Run()
+	if done[0] != 1 || done[2] != 3 {
+		t.Errorf("same-node computes = %v, want serialized at 1 and 3", done)
+	}
+	if done[1] != 1 {
+		t.Errorf("other-node compute at %v, want parallel at 1", done[1])
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	run := func() []float64 {
+		c := New(Testbed8()) // jitter 0.08
+		var times []float64
+		for i := 0; i < 50; i++ {
+			start := c.Eng.Now()
+			_ = start
+			c.Compute(i%8, 1, func() { times = append(times, c.Eng.Now()) })
+			c.Eng.Run()
+		}
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not deterministic at %d", i)
+		}
+	}
+	// Durations stay within +-8% of nominal.
+	c := New(Testbed8())
+	for i := 0; i < 20; i++ {
+		var end float64
+		start := c.Eng.Now()
+		c.Compute(3, 1, func() { end = c.Eng.Now() })
+		c.Eng.Run()
+		d := end - start
+		if d < 0.92-1e-9 || d > 1.08+1e-9 {
+			t.Fatalf("jittered duration %v outside [0.92,1.08]", d)
+		}
+	}
+}
+
+func TestJitterVaries(t *testing.T) {
+	c := New(Testbed8())
+	durs := map[float64]bool{}
+	for i := 0; i < 10; i++ {
+		start := c.Eng.Now()
+		var end float64
+		c.Compute(0, 1, func() { end = c.Eng.Now() })
+		c.Eng.Run()
+		durs[math.Round((end-start)*1e9)] = true
+	}
+	if len(durs) < 5 {
+		t.Errorf("jitter produced only %d distinct durations", len(durs))
+	}
+}
+
+func TestSpeedScaling(t *testing.T) {
+	c := New(noJitter())
+	c.Nodes[2].Speed = 0.5 // half-speed node
+	var end float64
+	c.Compute(2, 1, func() { end = c.Eng.Now() })
+	c.Eng.Run()
+	if end != 2 {
+		t.Errorf("half-speed compute finished at %v, want 2", end)
+	}
+}
+
+func TestSleepBlocksCompute(t *testing.T) {
+	c := New(noJitter())
+	c.Sleep(0, 5)
+	var end float64
+	c.Compute(0, 1, func() { end = c.Eng.Now() })
+	c.Eng.Run()
+	if end != 6 {
+		t.Errorf("compute after sleep finished at %v, want 6", end)
+	}
+	// Sleep of zero or negative is a no-op.
+	c2 := New(noJitter())
+	c2.Sleep(1, 0)
+	c2.Sleep(1, -3)
+	var e2 float64
+	c2.Compute(1, 1, func() { e2 = c2.Eng.Now() })
+	c2.Eng.Run()
+	if e2 != 1 {
+		t.Errorf("compute after no-op sleeps at %v, want 1", e2)
+	}
+}
+
+func TestGPUBusyAccounting(t *testing.T) {
+	c := New(noJitter())
+	c.Compute(0, 2, nil)
+	c.Compute(0, 3, nil)
+	c.Eng.Run()
+	if got := c.GPUBusy(0); math.Abs(got-5) > 1e-9 {
+		t.Errorf("GPU busy = %v, want 5", got)
+	}
+	if got := c.GPUBusy(1); got != 0 {
+		t.Errorf("idle GPU busy = %v", got)
+	}
+}
+
+func TestNegativeComputePanics(t *testing.T) {
+	c := New(noJitter())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Compute(0, -1, nil)
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero nodes")
+		}
+	}()
+	New(Config{N: 0, Device: gpu.TeslaK40c(), Net: netsim.TenGbE()})
+}

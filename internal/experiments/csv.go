@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV exports turn each figure's data series into plotting-ready
+// comma-separated values (one file per figure, header row first), so the
+// paper's plots can be regenerated with any charting tool.
+
+func csvJoin(cells ...string) string { return strings.Join(cells, ",") }
+
+// CSV renders the Figure 1 sweep.
+func (r *Fig1Result) CSV() string {
+	var b strings.Builder
+	header := []string{"batch"}
+	for _, p := range r.Panels {
+		header = append(header, strings.ReplaceAll(p.Name, ",", ";"))
+	}
+	b.WriteString(csvJoin(header...) + "\n")
+	for i := range r.Panels[0].Points {
+		row := []string{fmt.Sprint(r.Panels[0].Points[i].Batch)}
+		for _, p := range r.Panels {
+			row = append(row, fmt.Sprintf("%.3f", p.Points[i].Throughput))
+		}
+		b.WriteString(csvJoin(row...) + "\n")
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 5 threshold staircase.
+func (r *Fig5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("layer,kind,threshold\n")
+	for _, lt := range r.Thresholds {
+		b.WriteString(csvJoin(fmt.Sprint(lt.Index), lt.Layer.Kind.String(), fmt.Sprint(lt.Threshold)) + "\n")
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 6(a) normalized case series.
+func (r *Fig6Result) CSV() string {
+	var b strings.Builder
+	header := []string{"case"}
+	for _, rd := range r.Rounds {
+		header = append(header, fmt.Sprintf("batch%d", rd.TotalBatch))
+	}
+	b.WriteString(csvJoin(header...) + "\n")
+	n := 0
+	for _, rd := range r.Rounds {
+		if len(rd.Normalized) > n {
+			n = len(rd.Normalized)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprint(i)}
+		for _, rd := range r.Rounds {
+			if i < len(rd.Normalized) {
+				row = append(row, fmt.Sprintf("%.4f", rd.Normalized[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		b.WriteString(csvJoin(row...) + "\n")
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 7 ablation points.
+func (r *Fig7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("batch,fela,no_ads,no_hf,ads_gain,hf_gain\n")
+	for _, p := range r.Points {
+		b.WriteString(csvJoin(
+			fmt.Sprint(p.TotalBatch),
+			fmt.Sprintf("%.2f", p.Full), fmt.Sprintf("%.2f", p.NoADS), fmt.Sprintf("%.2f", p.NoHF),
+			fmt.Sprintf("%.4f", p.Improvement("ADS")), fmt.Sprintf("%.4f", p.Improvement("HF")),
+		) + "\n")
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 8 sweep, one block per model.
+func (r *Fig8Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("model,batch,fela,dp,mp,hp\n")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			b.WriteString(csvJoin(s.Model, fmt.Sprint(p.TotalBatch),
+				fmt.Sprintf("%.2f", p.Fela), fmt.Sprintf("%.2f", p.DP),
+				fmt.Sprintf("%.2f", p.MP), fmt.Sprintf("%.2f", p.HP)) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// stragglerCSV is shared by Figures 9 and 10.
+func stragglerCSV(series []StragglerSeries, param string) string {
+	var b strings.Builder
+	b.WriteString("model," + param + ",at_fela,at_dp,at_mp,at_hp,pid_fela,pid_dp,pid_mp,pid_hp\n")
+	for _, s := range series {
+		for _, p := range s.Points {
+			b.WriteString(csvJoin(s.Model, fmt.Sprintf("%g", p.Param),
+				fmt.Sprintf("%.2f", p.ATs.Fela), fmt.Sprintf("%.2f", p.ATs.DP),
+				fmt.Sprintf("%.2f", p.ATs.MP), fmt.Sprintf("%.2f", p.ATs.HP),
+				fmt.Sprintf("%.4f", p.PIDFela), fmt.Sprintf("%.4f", p.PIDDP),
+				fmt.Sprintf("%.4f", p.PIDMP), fmt.Sprintf("%.4f", p.PIDHP)) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 9 data.
+func (r *Fig9Result) CSV() string { return stragglerCSV(r.Series, "d") }
+
+// CSV renders the Figure 10 data.
+func (r *Fig10Result) CSV() string { return stragglerCSV(r.Series, "p") }

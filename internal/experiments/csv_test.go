@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func lines(s string) []string { return strings.Split(strings.TrimRight(s, "\n"), "\n") }
+
+func TestFig1CSV(t *testing.T) {
+	r := Fig1(Quick())
+	out := lines(r.CSV())
+	if len(out) != 1+len(Fig1Batches) {
+		t.Fatalf("fig1 csv rows = %d", len(out))
+	}
+	if !strings.HasPrefix(out[0], "batch,") {
+		t.Errorf("header = %q", out[0])
+	}
+	if strings.Count(out[1], ",") != 3 {
+		t.Errorf("data row columns wrong: %q", out[1])
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	r := Fig5(Quick(), BenchModels()[0])
+	out := lines(r.CSV())
+	if len(out) != 1+19 {
+		t.Fatalf("fig5 csv rows = %d", len(out))
+	}
+	if out[1] != "1,CONV,16" {
+		t.Errorf("first layer row = %q", out[1])
+	}
+	last := out[len(out)-1]
+	if !strings.HasSuffix(last, ",FC,2048") {
+		t.Errorf("last layer row = %q", last)
+	}
+}
+
+func TestStragglerAndSweepCSVs(t *testing.T) {
+	ctx := Quick()
+	f8, err := Fig8(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lines(f8.CSV())
+	// header + 2 models x 5 batches.
+	if len(out) != 1+10 {
+		t.Fatalf("fig8 csv rows = %d", len(out))
+	}
+	if !strings.HasPrefix(out[1], "VGG19,64,") {
+		t.Errorf("fig8 first row = %q", out[1])
+	}
+
+	f7, err := Fig7(ctx, BenchModels()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lines(f7.CSV())); got != 1+len(Batches) {
+		t.Fatalf("fig7 csv rows = %d", got)
+	}
+
+	f6, err := Fig6(ctx, BenchModels()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c6 := lines(f6.CSV())
+	if len(c6) < 14 {
+		t.Fatalf("fig6 csv rows = %d", len(c6))
+	}
+
+	f9, err := Fig9(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c9 := lines(f9.CSV())
+	if len(c9) != 1+10 {
+		t.Fatalf("fig9 csv rows = %d", len(c9))
+	}
+	if !strings.HasPrefix(c9[0], "model,d,") {
+		t.Errorf("fig9 header = %q", c9[0])
+	}
+
+	f10, err := Fig10(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lines(f10.CSV()); !strings.HasPrefix(got[0], "model,p,") {
+		t.Errorf("fig10 header = %q", got[0])
+	}
+}

@@ -1,0 +1,111 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§II, §IV, §V). Every driver returns a structured
+// result plus a Render method that prints the same rows/series the paper
+// reports, and is wired to both cmd/felabench and the repository-level
+// benchmarks.
+//
+// Experiment inventory (see DESIGN.md for the full index):
+//
+//	table1  – growing layer counts (Table I)
+//	fig1    – per-layer throughput vs batch size (Figure 1 a–c)
+//	table2  – qualitative comparison of DML solutions (Table II)
+//	fig5    – VGG19 threshold batch sizes and bin partition (Figure 5)
+//	fig6    – two-phase configuration tuning (Figure 6 a–b)
+//	fig7    – ablation study of ADS/HF/CTD (Figure 7, Table III)
+//	fig8    – non-straggler throughput comparison (Figure 8)
+//	fig9    – round-robin straggler scenario (Figure 9 a–d)
+//	fig10   – probability-based straggler scenario (Figure 10 a–d)
+package experiments
+
+import (
+	"fmt"
+
+	"fela/internal/cluster"
+	"fela/internal/felaengine"
+	"fela/internal/gpu"
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/partition"
+	"fela/internal/tuning"
+)
+
+// Context carries shared experiment parameters. The paper uses 100
+// iterations per measurement (Eq. 3) and 5 warm-up iterations per tuning
+// case on the 8-node testbed.
+type Context struct {
+	// Iterations per measured run.
+	Iterations int
+	// TuneIters is the warm-up iteration count per tuning case.
+	TuneIters int
+	// Cluster is the testbed configuration.
+	Cluster cluster.Config
+
+	tuned map[string]*tuning.Result
+}
+
+// Default returns the paper's experiment setup.
+func Default() *Context {
+	return &Context{Iterations: 100, TuneIters: 5, Cluster: cluster.Testbed8()}
+}
+
+// Quick returns a reduced setup for fast regression runs (same
+// structure, fewer iterations).
+func Quick() *Context {
+	return &Context{Iterations: 10, TuneIters: 2, Cluster: cluster.Testbed8()}
+}
+
+// DB returns the profile repository for the context's device.
+func (ctx *Context) DB() *gpu.ProfileDB { return gpu.DefaultDB(ctx.Cluster.Device) }
+
+// Partition returns the bin partition of the model.
+func (ctx *Context) Partition(m *model.Model) []model.SubModel {
+	return partition.Partition(m, ctx.DB(), partition.DefaultBinSize)
+}
+
+// Tuned returns (and caches) the tuned configuration for the workload,
+// running the two-phase search of §IV-B on first use.
+func (ctx *Context) Tuned(m *model.Model, batch int) (*tuning.Result, error) {
+	key := fmt.Sprintf("%s/%d", m.Name, batch)
+	if r, ok := ctx.tuned[key]; ok {
+		return r, nil
+	}
+	opts := tuning.Options{WarmupIters: ctx.TuneIters, ClusterConfig: ctx.Cluster}
+	r, err := tuning.Tune(m, ctx.Partition(m), batch, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.tuned == nil {
+		ctx.tuned = make(map[string]*tuning.Result)
+	}
+	ctx.tuned[key] = r
+	return r, nil
+}
+
+// RunTunedFela executes Fela with the tuned configuration for the
+// workload under the given scenario.
+func (ctx *Context) RunTunedFela(m *model.Model, batch int, cfgMod func(*felaengine.Config)) (metrics.RunResult, error) {
+	tr, err := ctx.Tuned(m, batch)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	cfg := felaengine.Config{
+		Model:      m,
+		Subs:       ctx.Partition(m),
+		Weights:    tr.BestWeights,
+		TotalBatch: batch,
+		Iterations: ctx.Iterations,
+		Policy:     tr.Policy(ctx.Cluster.N),
+	}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	return felaengine.Run(cluster.New(ctx.Cluster), cfg)
+}
+
+// Batches are the total batch sizes swept in Figures 6–8.
+var Batches = []int{64, 128, 256, 512, 1024}
+
+// BenchModels returns the paper's two benchmarks (§V-A).
+func BenchModels() []*model.Model {
+	return []*model.Model{model.VGG19(), model.GoogLeNet()}
+}

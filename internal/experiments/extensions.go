@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fela/internal/baseline"
+	"fela/internal/cluster"
+	"fela/internal/felaengine"
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/scheduler"
+	"fela/internal/tuning"
+)
+
+// Extension experiments beyond the paper's figures: cluster-size scaling
+// and persistently heterogeneous clusters. Both probe the same claim the
+// straggler scenarios test — that reactive token pull adapts workload to
+// real capability — under conditions the paper discusses (§I, §II-C)
+// but does not plot.
+
+// ScalePoint is one cluster size of the weak-scaling sweep.
+type ScalePoint struct {
+	Nodes      int
+	TotalBatch int
+	Fela, DP   float64
+	// Efficiency is Fela's throughput relative to perfect linear
+	// scaling from the smallest cluster.
+	Efficiency float64
+}
+
+// ScalabilityResult is the weak-scaling experiment: per-node batch held
+// constant while the cluster grows.
+type ScalabilityResult struct {
+	Model          string
+	PerNodeBatch   int
+	Points         []ScalePoint
+	BaselineFactor float64 // smallest cluster's Fela AT / node
+}
+
+// Scalability sweeps cluster sizes 2..16 with 32 samples per node,
+// comparing tuned Fela to DP. Weak scaling keeps per-node work constant,
+// so perfectly scalable systems show flat per-node throughput.
+func Scalability(ctx *Context, m *model.Model) (*ScalabilityResult, error) {
+	const perNode = 32
+	res := &ScalabilityResult{Model: m.Name, PerNodeBatch: perNode}
+	subs := ctx.Partition(m)
+	for _, n := range []int{2, 4, 8, 16} {
+		ccfg := ctx.Cluster
+		ccfg.N = n
+		batch := perNode * n
+		opts := tuning.Options{WarmupIters: ctx.TuneIters, ClusterConfig: ccfg}
+		tr, err := tuning.Tune(m, subs, batch, opts)
+		if err != nil {
+			return nil, fmt.Errorf("scalability: tune N=%d: %w", n, err)
+		}
+		fe, err := felaengine.Run(cluster.New(ccfg), felaengine.Config{
+			Model: m, Subs: subs, Weights: tr.BestWeights,
+			TotalBatch: batch, Iterations: ctx.Iterations,
+			Policy: tr.Policy(n),
+		})
+		if err != nil {
+			return nil, err
+		}
+		dp, err := baseline.RunDP(cluster.New(ccfg), baseline.Config{
+			Model: m, TotalBatch: batch, Iterations: ctx.Iterations,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := ScalePoint{Nodes: n, TotalBatch: batch, Fela: fe.AvgThroughput(), DP: dp.AvgThroughput()}
+		if len(res.Points) == 0 {
+			res.BaselineFactor = pt.Fela / float64(n)
+		}
+		pt.Efficiency = pt.Fela / (res.BaselineFactor * float64(n))
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Render prints the weak-scaling table.
+func (r *ScalabilityResult) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Extension: weak scaling (%s, %d samples/node)", r.Model, r.PerNodeBatch),
+		Headers: []string{"Nodes", "Batch", "Fela AT", "DP AT", "Fela/DP", "Scaling eff."},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Nodes), fmt.Sprint(p.TotalBatch),
+			fmt.Sprintf("%.1f", p.Fela), fmt.Sprintf("%.1f", p.DP),
+			fmt.Sprintf("%.2fx", p.Fela/p.DP), fmt.Sprintf("%.2f", p.Efficiency))
+	}
+	return t.String()
+}
+
+// HeteroResult compares Fela and DP on a persistently heterogeneous
+// cluster: two nodes run at a fraction of nominal speed (aging hardware,
+// co-located tenants — §II-C's "heterogeneity of computation
+// performance"), with no injected sleeps.
+type HeteroResult struct {
+	Model      string
+	SlowFactor float64
+	// Homogeneous and Hetero hold {Fela, DP} throughput pairs.
+	HomoFela, HomoDP     float64
+	HeteroFela, HeteroDP float64
+}
+
+// FelaDegradation is Fela's throughput loss moving to the slow cluster.
+func (r *HeteroResult) FelaDegradation() float64 { return 1 - r.HeteroFela/r.HomoFela }
+
+// DPDegradation is DP's loss on the same hardware change.
+func (r *HeteroResult) DPDegradation() float64 { return 1 - r.HeteroDP/r.HomoDP }
+
+// Heterogeneous measures both systems on the standard testbed and on one
+// where the last two nodes run at slowFactor of nominal speed. (The CTD
+// conditional subset occupies the lowest-numbered workers, so slowing
+// the tail nodes matches the sensible deployment of keeping the
+// FC-hosting subset on healthy machines.)
+func Heterogeneous(ctx *Context, m *model.Model, slowFactor float64) (*HeteroResult, error) {
+	const batch = 256
+	subs := ctx.Partition(m)
+	tr, err := ctx.Tuned(m, batch)
+	if err != nil {
+		return nil, err
+	}
+	run := func(slow bool) (fela, dp float64, err error) {
+		mk := func() *cluster.Cluster {
+			c := cluster.New(ctx.Cluster)
+			if slow {
+				c.Nodes[c.N()-1].Speed = slowFactor
+				c.Nodes[c.N()-2].Speed = slowFactor
+			}
+			return c
+		}
+		fe, err := felaengine.Run(mk(), felaengine.Config{
+			Model: m, Subs: subs, Weights: tr.BestWeights,
+			TotalBatch: batch, Iterations: ctx.Iterations,
+			Policy: tr.Policy(ctx.Cluster.N),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		d, err := baseline.RunDP(mk(), baseline.Config{
+			Model: m, TotalBatch: batch, Iterations: ctx.Iterations,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return fe.AvgThroughput(), d.AvgThroughput(), nil
+	}
+	res := &HeteroResult{Model: m.Name, SlowFactor: slowFactor}
+	if res.HomoFela, res.HomoDP, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.HeteroFela, res.HeteroDP, err = run(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the heterogeneity comparison.
+func (r *HeteroResult) Render() string {
+	t := metrics.Table{
+		Title: fmt.Sprintf("Extension: heterogeneous cluster (%s, 2 nodes at %.0f%% speed)",
+			r.Model, 100*r.SlowFactor),
+		Headers: []string{"Cluster", "Fela AT", "DP AT", "Fela/DP"},
+	}
+	t.AddRow("homogeneous", fmt.Sprintf("%.1f", r.HomoFela), fmt.Sprintf("%.1f", r.HomoDP),
+		fmt.Sprintf("%.2fx", r.HomoFela/r.HomoDP))
+	t.AddRow("heterogeneous", fmt.Sprintf("%.1f", r.HeteroFela), fmt.Sprintf("%.1f", r.HeteroDP),
+		fmt.Sprintf("%.2fx", r.HeteroFela/r.HeteroDP))
+	out := t.String()
+	out += fmt.Sprintf("degradation: Fela %.1f%%, DP %.1f%% — token pull feeds slow nodes less work\n",
+		100*r.FelaDegradation(), 100*r.DPDegradation())
+	return out
+}
+
+// SSPPoint is one staleness bound of the SSP extension sweep.
+type SSPPoint struct {
+	Staleness int
+	AT        float64
+}
+
+// SSPResult sweeps the bounded-staleness extension (§VI sketch).
+type SSPResult struct {
+	Model      string
+	TotalBatch int
+	Points     []SSPPoint
+}
+
+// SSP measures throughput for staleness bounds 0 (BSP) through 3 using
+// the full-cluster sync configuration, where synchronization tails exist
+// to hide.
+func SSP(ctx *Context, m *model.Model) (*SSPResult, error) {
+	const batch = 256
+	subs := ctx.Partition(m)
+	res := &SSPResult{Model: m.Name, TotalBatch: batch}
+	for s := 0; s <= 3; s++ {
+		fe, err := felaengine.Run(cluster.New(ctx.Cluster), felaengine.Config{
+			Model: m, Subs: subs, Weights: []int{1, 1, 8},
+			TotalBatch: batch, Iterations: ctx.Iterations,
+			Policy:    scheduler.Policy{ADS: true, HF: true},
+			Staleness: s,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SSPPoint{Staleness: s, AT: fe.AvgThroughput()})
+	}
+	return res, nil
+}
+
+// Render prints the staleness sweep.
+func (r *SSPResult) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Extension: SSP staleness sweep (%s, batch %d, full-cluster sync)", r.Model, r.TotalBatch),
+		Headers: []string{"Staleness", "AT (samples/s)", "vs BSP"},
+	}
+	base := r.Points[0].AT
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Staleness), fmt.Sprintf("%.1f", p.AT),
+			fmt.Sprintf("%+.1f%%", 100*(p.AT/base-1)))
+	}
+	return t.String()
+}
+
+// CommResult is the communication-breakdown experiment: where Fela's
+// wire bytes go (samples vs activations vs synchronization) per batch
+// size, and how CTD moves the split — quantifying §III-E/F's arguments.
+type CommResult struct {
+	Model  string
+	Points []CommPoint
+}
+
+// CommPoint is one batch size's traffic split in MB per iteration.
+type CommPoint struct {
+	TotalBatch             int
+	SampleMB, ActivationMB float64
+	SyncMB                 float64
+	SyncMBNoCTD            float64
+}
+
+// CommBreakdown measures the tuned configuration's traffic split and the
+// sync traffic with CTD disabled.
+func CommBreakdown(ctx *Context, m *model.Model) (*CommResult, error) {
+	res := &CommResult{Model: m.Name}
+	subs := ctx.Partition(m)
+	for _, batch := range Batches {
+		tr, err := ctx.Tuned(m, batch)
+		if err != nil {
+			return nil, err
+		}
+		run := func(pol scheduler.Policy) (metrics.RunResult, error) {
+			return felaengine.Run(cluster.New(ctx.Cluster), felaengine.Config{
+				Model: m, Subs: subs, Weights: tr.BestWeights,
+				TotalBatch: batch, Iterations: ctx.Iterations, Policy: pol,
+			})
+		}
+		tuned, err := run(tr.Policy(ctx.Cluster.N))
+		if err != nil {
+			return nil, err
+		}
+		noCTD := tr.Policy(ctx.Cluster.N)
+		noCTD.CTD = false
+		noCTD.CTDSubset = nil
+		open, err := run(noCTD)
+		if err != nil {
+			return nil, err
+		}
+		iters := float64(ctx.Iterations)
+		res.Points = append(res.Points, CommPoint{
+			TotalBatch:   batch,
+			SampleMB:     float64(tuned.Comm.SampleBytes) / iters / 1e6,
+			ActivationMB: float64(tuned.Comm.ActivationBytes) / iters / 1e6,
+			SyncMB:       float64(tuned.Comm.SyncBytes) / iters / 1e6,
+			SyncMBNoCTD:  float64(open.Comm.SyncBytes) / iters / 1e6,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the per-iteration traffic split.
+func (r *CommResult) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Extension: communication breakdown (%s, MB/iteration)", r.Model),
+		Headers: []string{"Batch", "Samples", "Activations", "Sync (tuned)", "Sync (no CTD)"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.TotalBatch),
+			fmt.Sprintf("%.1f", p.SampleMB), fmt.Sprintf("%.1f", p.ActivationMB),
+			fmt.Sprintf("%.1f", p.SyncMB), fmt.Sprintf("%.1f", p.SyncMBNoCTD))
+	}
+	return t.String()
+}

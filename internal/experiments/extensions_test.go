@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalability(t *testing.T) {
+	ctx := Quick()
+	r, err := Scalability(ctx, BenchModels()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Throughput grows with cluster size under weak scaling.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Fela <= r.Points[i-1].Fela {
+			t.Errorf("Fela AT did not grow from %d to %d nodes", r.Points[i-1].Nodes, r.Points[i].Nodes)
+		}
+	}
+	// Efficiency stays meaningful (no pathological collapse) and the
+	// 2-node point is exactly 1 by construction.
+	if r.Points[0].Efficiency != 1 {
+		t.Errorf("base efficiency = %v", r.Points[0].Efficiency)
+	}
+	for _, p := range r.Points {
+		if p.Efficiency < 0.3 || p.Efficiency > 1.5 {
+			t.Errorf("N=%d efficiency %.2f out of range", p.Nodes, p.Efficiency)
+		}
+		if p.Fela <= p.DP*0.9 {
+			t.Errorf("N=%d: Fela %.1f far below DP %.1f", p.Nodes, p.Fela, p.DP)
+		}
+	}
+	if !strings.Contains(r.Render(), "weak scaling") {
+		t.Error("render missing title")
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	ctx := Quick()
+	r, err := Heterogeneous(ctx, BenchModels()[0], 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both systems lose throughput on slower hardware...
+	if r.HeteroFela >= r.HomoFela || r.HeteroDP >= r.HomoDP {
+		t.Fatalf("slow nodes did not slow anything: %+v", r)
+	}
+	// ...but Fela degrades less: token pull routes work away from the
+	// slow nodes while DP waits for them every iteration.
+	if r.FelaDegradation() >= r.DPDegradation() {
+		t.Errorf("Fela degradation %.3f not below DP %.3f",
+			r.FelaDegradation(), r.DPDegradation())
+	}
+	if !strings.Contains(r.Render(), "heterogeneous") {
+		t.Error("render missing title")
+	}
+}
+
+func TestSSPSweep(t *testing.T) {
+	ctx := Quick()
+	r, err := SSP(ctx, BenchModels()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 || r.Points[0].Staleness != 0 {
+		t.Fatalf("points = %+v", r.Points)
+	}
+	// Staleness 1 must beat strict BSP (it hides the sync tail).
+	if r.Points[1].AT <= r.Points[0].AT {
+		t.Errorf("SSP(1) %.1f not above BSP %.1f", r.Points[1].AT, r.Points[0].AT)
+	}
+	if !strings.Contains(r.Render(), "SSP") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCommBreakdownExperiment(t *testing.T) {
+	ctx := Quick()
+	r, err := CommBreakdown(ctx, BenchModels()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(Batches) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// CTD must not increase sync traffic.
+		if p.SyncMB > p.SyncMBNoCTD {
+			t.Errorf("batch %d: tuned sync %.1f above no-CTD %.1f", p.TotalBatch, p.SyncMB, p.SyncMBNoCTD)
+		}
+		// Activation traffic exists (sub-model dependencies cross workers)
+		// and grows with batch somewhere in the sweep.
+		if p.ActivationMB < 0 || p.SampleMB < 0 {
+			t.Errorf("negative traffic at batch %d", p.TotalBatch)
+		}
+	}
+	if r.Points[0].SyncMBNoCTD <= r.Points[0].SyncMB {
+		t.Error("no-CTD sync should exceed tuned sync at batch 64 (FC all-reduce)")
+	}
+	if !strings.Contains(r.Render(), "communication breakdown") {
+		t.Error("render title")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fela/internal/gpu"
+	"fela/internal/metrics"
+	"fela/internal/model"
+)
+
+// Fig1Panel is one sub-figure of Figure 1: a layer trained alone at
+// increasing batch sizes.
+type Fig1Panel struct {
+	// Name matches the paper's caption, e.g. "CONV (64,64,224,224)".
+	Name string
+	// Layer is the profiled layer.
+	Layer model.Layer
+	// Points is the throughput sweep.
+	Points []gpu.SweepPoint
+	// Saturation is the measured 90%-of-peak batch size.
+	Saturation int
+}
+
+// Fig1Result reproduces Figure 1 (a–c).
+type Fig1Result struct {
+	Device string
+	Panels []Fig1Panel
+}
+
+// Fig1Batches is the sweep grid.
+var Fig1Batches = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Fig1 sweeps the paper's three representative layers on the profiled
+// device: the front CONV (saturates ≈16), the back CONV (≈64) and the
+// big FC (≈2048).
+func Fig1(ctx *Context) *Fig1Result {
+	db := ctx.DB()
+	layers := []struct {
+		name  string
+		layer model.Layer
+	}{
+		{"CONV (64,64,224,224)", model.NewConv(model.ConvSpec{
+			Name: "conv", InC: 64, OutC: 64, InH: 224, InW: 224, Kernel: 3, Pad: 1})},
+		{"CONV (512,512,14,14)", model.NewConv(model.ConvSpec{
+			Name: "conv", InC: 512, OutC: 512, InH: 14, InW: 14, Kernel: 3, Pad: 1})},
+		{"FC (4096,4096)", model.NewFC("fc", 4096, 4096)},
+	}
+	res := &Fig1Result{Device: db.Device().Name}
+	for _, l := range layers {
+		pts := db.Sweep(l.layer, Fig1Batches)
+		res.Panels = append(res.Panels, Fig1Panel{
+			Name:       l.name,
+			Layer:      l.layer,
+			Points:     pts,
+			Saturation: gpu.SaturationBatch(pts, 0.9),
+		})
+	}
+	return res
+}
+
+// Render prints the three throughput-vs-batch series.
+func (r *Fig1Result) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Figure 1: Training throughput vs batch size (%s)", r.Device),
+		Headers: []string{"Batch"},
+	}
+	for _, p := range r.Panels {
+		t.Headers = append(t.Headers, p.Name+" (samples/s)")
+	}
+	for i := range r.Panels[0].Points {
+		row := []string{fmt.Sprint(r.Panels[0].Points[i].Batch)}
+		for _, p := range r.Panels {
+			row = append(row, fmt.Sprintf("%.1f", p.Points[i].Throughput))
+		}
+		t.AddRow(row...)
+	}
+	out := t.String()
+	for _, p := range r.Panels {
+		out += fmt.Sprintf("saturation batch of %s: %d\n", p.Name, p.Saturation)
+	}
+	return out
+}

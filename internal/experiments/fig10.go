@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fela/internal/model"
+	"fela/internal/straggler"
+)
+
+// Fig10Result reproduces Figure 10: the probability-based straggler
+// scenario, p ∈ {0.1..0.5}, with d = 6 s for VGG19 and 3 s for
+// GoogLeNet (§V-C2).
+type Fig10Result struct {
+	Series []StragglerSeries
+}
+
+// ProbabilityGrid is the paper's probability sweep.
+var ProbabilityGrid = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+
+// ProbabilityDelay returns the fixed injected delay per model.
+func ProbabilityDelay(m *model.Model) float64 {
+	if m.Name == "GoogLeNet" {
+		return 3
+	}
+	return 6
+}
+
+// Fig10 sweeps the probability-based straggler scenario for both
+// benchmarks.
+func Fig10(ctx *Context) (*Fig10Result, error) {
+	res := &Fig10Result{}
+	for _, m := range BenchModels() {
+		d := ProbabilityDelay(m)
+		series, err := stragglerSweep(ctx, m, "probability-based", ProbabilityGrid,
+			func(p float64) straggler.Scenario {
+				return straggler.Probability{P: p, D: d, Seed: 2020}
+			})
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Render prints the Figure 10 panels.
+func (r *Fig10Result) Render() string {
+	out := renderStraggler(r.Series, "Figure 10", "p")
+	out += "paper (probability): VGG19 AT vs DP +19.58%-33.91%, vs MP 2.70x-4.25x, vs HP +27.13%-80.29%\n"
+	out += "paper (probability): PID reduction vs DP 23.23%-51.36%, vs HP 6.97%-65.12% (VGG19)\n"
+	return out
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/partition"
+)
+
+// Fig5Result reproduces Figure 5: per-layer threshold batch sizes and
+// the resulting bin partition.
+type Fig5Result struct {
+	Model      string
+	BinSize    int
+	Thresholds []partition.LayerThreshold
+	SubModels  []model.SubModel
+}
+
+// Fig5 profiles every weight layer of the model and applies the
+// bin-partitioned method of §IV-A. With the default profiles, VGG19
+// yields the paper's three sub-models L1–8, L9–16, L17–19.
+func Fig5(ctx *Context, m *model.Model) *Fig5Result {
+	db := ctx.DB()
+	return &Fig5Result{
+		Model:      m.Name,
+		BinSize:    partition.DefaultBinSize,
+		Thresholds: partition.Thresholds(m, db, partition.DefaultBinSize),
+		SubModels:  partition.Partition(m, db, partition.DefaultBinSize),
+	}
+}
+
+// Render prints the threshold staircase and the partition.
+func (r *Fig5Result) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Figure 5: Threshold batch sizes of %s layers (bin=%d)", r.Model, r.BinSize),
+		Headers: []string{"Layer", "Kind", "Shape", "Threshold", "Bin"},
+	}
+	for _, lt := range r.Thresholds {
+		t.AddRow(fmt.Sprintf("L%d (%s)", lt.Index, lt.Layer.Name), lt.Layer.Kind.String(),
+			lt.Layer.Shape, fmt.Sprint(lt.Threshold), fmt.Sprint(lt.Bin))
+	}
+	out := t.String()
+	for _, sm := range r.SubModels {
+		out += fmt.Sprintf("sub-model %s: threshold batch %d, %.1f MB params\n",
+			sm.Name, sm.ThresholdBatch, float64(sm.ParamBytes())/1e6)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/tuning"
+)
+
+// Fig6Round is one tuning run at one total batch size.
+type Fig6Round struct {
+	TotalBatch int
+	Result     *tuning.Result
+	// Normalized is the per-case series of Fig. 6(a).
+	Normalized []float64
+}
+
+// Fig6Result reproduces Figure 6: per-case normalized iteration times
+// (a) and best-worst gaps (b) across total batch sizes.
+type Fig6Result struct {
+	Model  string
+	Rounds []Fig6Round
+	// Gap summaries across all rounds (the paper reports
+	// Phase 1: 8.51–51.69 %, Phase 2: 5.31–41.25 %, overall
+	// 8.51–66.78 %).
+	Phase1Min, Phase1Max   float64
+	Phase2Min, Phase2Max   float64
+	OverallMin, OverallMax float64
+}
+
+// Fig6 runs the two-phase tuner for each batch size.
+func Fig6(ctx *Context, m *model.Model) (*Fig6Result, error) {
+	res := &Fig6Result{Model: m.Name}
+	for _, batch := range Batches {
+		tr, err := ctx.Tuned(m, batch)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = append(res.Rounds, Fig6Round{
+			TotalBatch: batch,
+			Result:     tr,
+			Normalized: tr.NormalizedTimes(),
+		})
+	}
+	collect := func(get func(*tuning.Result) float64) (min, max float64) {
+		for i, rd := range res.Rounds {
+			v := get(rd.Result)
+			if i == 0 || v < min {
+				min = v
+			}
+			if i == 0 || v > max {
+				max = v
+			}
+		}
+		return min, max
+	}
+	res.Phase1Min, res.Phase1Max = collect(func(r *tuning.Result) float64 { return r.Phase1Gap })
+	res.Phase2Min, res.Phase2Max = collect(func(r *tuning.Result) float64 { return r.Phase2Gap })
+	res.OverallMin, res.OverallMax = collect(func(r *tuning.Result) float64 { return r.OverallGap })
+	return res, nil
+}
+
+// Render prints the normalized per-case series and the gap summary.
+func (r *Fig6Result) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Figure 6(a): Normalized per-iteration time per tuning case (%s)", r.Model),
+		Headers: []string{"Case"},
+	}
+	for _, rd := range r.Rounds {
+		t.Headers = append(t.Headers, fmt.Sprintf("batch %d", rd.TotalBatch))
+	}
+	nCases := 0
+	for _, rd := range r.Rounds {
+		if len(rd.Normalized) > nCases {
+			nCases = len(rd.Normalized)
+		}
+	}
+	for i := 0; i < nCases; i++ {
+		label := fmt.Sprintf("Case %d", i)
+		if i >= 13 {
+			label += " (refine)"
+		}
+		row := []string{label}
+		for _, rd := range r.Rounds {
+			if i < len(rd.Normalized) {
+				row = append(row, fmt.Sprintf("%.3f", rd.Normalized[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	out := t.String()
+	out += "\nchosen configurations:\n"
+	for _, rd := range r.Rounds {
+		out += fmt.Sprintf("  batch %4d: weights %v, conditional subset %d (warm-up %d iters)\n",
+			rd.TotalBatch, rd.Result.BestWeights, rd.Result.BestSubset, rd.Result.WarmupIterations)
+	}
+	out += fmt.Sprintf("\nFigure 6(b) best-worst gaps: phase 1 %.2f%%-%.2f%%, phase 2 %.2f%%-%.2f%%, overall %.2f%%-%.2f%%\n",
+		100*r.Phase1Min, 100*r.Phase1Max, 100*r.Phase2Min, 100*r.Phase2Max, 100*r.OverallMin, 100*r.OverallMax)
+	out += "paper: phase 1 8.51%-51.69%, phase 2 5.31%-41.25%, overall 8.51%-66.78%\n"
+	return out
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fela/internal/cluster"
+	"fela/internal/felaengine"
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/scheduler"
+)
+
+// AblationPoint is one batch size of the ablation study: throughput of
+// full Fela and of Fela with a single policy removed. Figure 7 ablates
+// ADS and HF only; tuning and CTD effectiveness come from the Figure 6
+// phase gaps (§V-B: "the configuration tuning mechanism has proved the
+// effectiveness of flexible parallelism degree and CDT Policy").
+type AblationPoint struct {
+	TotalBatch int
+	// Full is the tuned, all-policies throughput.
+	Full float64
+	// NoADS and NoHF are throughputs with one policy disabled.
+	NoADS, NoHF float64
+}
+
+// Improvement of the named policy at this point ((full/without − 1)).
+func (p AblationPoint) Improvement(policy string) float64 {
+	var without float64
+	switch policy {
+	case "ADS":
+		without = p.NoADS
+	case "HF":
+		without = p.NoHF
+	default:
+		panic("experiments: unknown policy " + policy)
+	}
+	if without == 0 {
+		return 0
+	}
+	return p.Full/without - 1
+}
+
+// Fig7Result reproduces Figure 7 and Table III: per-policy throughput
+// improvements across batch sizes, plus the tuning gap from Figure 6.
+type Fig7Result struct {
+	Model  string
+	Points []AblationPoint
+	// TuningGapMin/Max come from the Phase-1 tuning spread (Table III's
+	// "Parallelism Degree Tuning" row); CTDGapMin/Max from the Phase-2
+	// spread (Table III's "CDT Policy" row).
+	TuningGapMin, TuningGapMax float64
+	CTDGapMin, CTDGapMax       float64
+}
+
+// Fig7 measures each policy's contribution: the tuned configuration runs
+// with all policies, then with ADS, HF, or CTD individually disabled
+// (§V-B: "we apply the tuned configurations to the comparative cases
+// with and without the policy").
+func Fig7(ctx *Context, m *model.Model) (*Fig7Result, error) {
+	res := &Fig7Result{Model: m.Name}
+	subs := ctx.Partition(m)
+	for _, batch := range Batches {
+		tr, err := ctx.Tuned(m, batch)
+		if err != nil {
+			return nil, err
+		}
+		run := func(pol scheduler.Policy) (float64, error) {
+			r, err := felaengine.Run(cluster.New(ctx.Cluster), felaengine.Config{
+				Model: m, Subs: subs, Weights: tr.BestWeights,
+				TotalBatch: batch, Iterations: ctx.Iterations, Policy: pol,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return r.AvgThroughput(), nil
+		}
+		full := tr.Policy(ctx.Cluster.N)
+		noADS, noHF := full, full
+		noADS.ADS = false
+		noHF.HF = false
+		pt := AblationPoint{TotalBatch: batch}
+		var errAny error
+		for _, step := range []struct {
+			pol scheduler.Policy
+			dst *float64
+		}{
+			{full, &pt.Full}, {noADS, &pt.NoADS}, {noHF, &pt.NoHF},
+		} {
+			v, err := run(step.pol)
+			if err != nil {
+				errAny = err
+				break
+			}
+			*step.dst = v
+		}
+		if errAny != nil {
+			return nil, errAny
+		}
+		res.Points = append(res.Points, pt)
+		if tr.Phase1Gap < res.TuningGapMin || res.TuningGapMin == 0 {
+			res.TuningGapMin = tr.Phase1Gap
+		}
+		if tr.Phase1Gap > res.TuningGapMax {
+			res.TuningGapMax = tr.Phase1Gap
+		}
+		if tr.Phase2Gap < res.CTDGapMin || res.CTDGapMin == 0 {
+			res.CTDGapMin = tr.Phase2Gap
+		}
+		if tr.Phase2Gap > res.CTDGapMax {
+			res.CTDGapMax = tr.Phase2Gap
+		}
+	}
+	return res, nil
+}
+
+// Range returns the min and max improvement of a policy over the sweep.
+func (r *Fig7Result) Range(policy string) (min, max float64) {
+	for i, p := range r.Points {
+		v := p.Improvement(policy)
+		if i == 0 || v < min {
+			min = v
+		}
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Render prints Figure 7 and the Table III summary.
+func (r *Fig7Result) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Figure 7: Ablation study, ADS and HF policies (%s)", r.Model),
+		Headers: []string{"Batch", "Fela (samples/s)", "no ADS", "no HF", "ADS gain", "HF gain"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.TotalBatch),
+			fmt.Sprintf("%.1f", p.Full), fmt.Sprintf("%.1f", p.NoADS),
+			fmt.Sprintf("%.1f", p.NoHF),
+			fmt.Sprintf("%.2f%%", 100*p.Improvement("ADS")),
+			fmt.Sprintf("%.2f%%", 100*p.Improvement("HF")))
+	}
+	out := t.String()
+	s := metrics.Table{
+		Title:   "Table III: Summary of Ablation Study",
+		Headers: []string{"Strategy/Policy", "Measured Improvement", "Paper"},
+	}
+	adsMin, adsMax := r.Range("ADS")
+	hfMin, hfMax := r.Range("HF")
+	s.AddRow("Parallelism Degree Tuning",
+		fmt.Sprintf("%.2f%%~%.2f%%", 100*r.TuningGapMin, 100*r.TuningGapMax), "8.51%~51.69%")
+	s.AddRow("ADS Policy", fmt.Sprintf("%.2f%%~%.2f%%", 100*adsMin, 100*adsMax), "1.64%~8.21%")
+	s.AddRow("HF Policy", fmt.Sprintf("%.2f%%~%.2f%%", 100*hfMin, 100*hfMax), "44.80%~96.30%")
+	s.AddRow("CTD Policy", fmt.Sprintf("%.2f%%~%.2f%%", 100*r.CTDGapMin, 100*r.CTDGapMax), "5.31%~41.25%")
+	return out + "\n" + s.String()
+}

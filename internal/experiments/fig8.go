@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fela/internal/baseline"
+	"fela/internal/cluster"
+	"fela/internal/felaengine"
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/straggler"
+)
+
+// SystemATs holds the four systems' average throughputs at one point.
+type SystemATs struct {
+	TotalBatch          int
+	Fela, DP, MP, HP    float64
+	FelaRun             metrics.RunResult
+	DPRun, MPRun, HPRun metrics.RunResult
+}
+
+// Ratio returns Fela's throughput ratio over the named baseline.
+func (s SystemATs) Ratio(sys string) float64 {
+	switch sys {
+	case "DP":
+		return s.Fela / s.DP
+	case "MP":
+		return s.Fela / s.MP
+	case "HP":
+		return s.Fela / s.HP
+	default:
+		panic("experiments: unknown system " + sys)
+	}
+}
+
+// Fig8Series is one model's non-straggler sweep.
+type Fig8Series struct {
+	Model  string
+	Points []SystemATs
+}
+
+// RatioRange reports the min/max Fela-over-baseline ratio in the sweep.
+func (s *Fig8Series) RatioRange(sys string) (min, max float64) {
+	for i, p := range s.Points {
+		v := p.Ratio(sys)
+		if i == 0 || v < min {
+			min = v
+		}
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Fig8Result reproduces Figure 8: average throughput of Fela vs DP, MP
+// and HP in the non-straggler scenario for both benchmarks.
+type Fig8Result struct {
+	Series []Fig8Series
+}
+
+// Fig8 sweeps both benchmarks across the batch grid.
+func Fig8(ctx *Context) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	for _, m := range BenchModels() {
+		series := Fig8Series{Model: m.Name}
+		for _, batch := range Batches {
+			pt, err := runPoint(ctx, m, batch, nil)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, pt)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// runPoint measures the four systems for one configuration.
+func runPoint(ctx *Context, m *model.Model, batch int, scen straggler.Scenario) (SystemATs, error) {
+	pt := SystemATs{TotalBatch: batch}
+	fe, err := ctx.RunTunedFela(m, batch, func(cfg *felaengine.Config) { cfg.Scenario = scen })
+	if err != nil {
+		return pt, err
+	}
+	pt.FelaRun = fe
+	pt.Fela = fe.AvgThroughput()
+	bcfg := baseline.Config{Model: m, TotalBatch: batch, Iterations: ctx.Iterations, Scenario: scen}
+	if pt.DPRun, err = baseline.RunDP(cluster.New(ctx.Cluster), bcfg); err != nil {
+		return pt, err
+	}
+	if pt.MPRun, err = baseline.RunMP(cluster.New(ctx.Cluster), bcfg); err != nil {
+		return pt, err
+	}
+	if pt.HPRun, err = baseline.RunHP(cluster.New(ctx.Cluster), bcfg); err != nil {
+		return pt, err
+	}
+	pt.DP = pt.DPRun.AvgThroughput()
+	pt.MP = pt.MPRun.AvgThroughput()
+	pt.HP = pt.HPRun.AvgThroughput()
+	return pt, nil
+}
+
+// Render prints the AT sweep and the headline ratios.
+func (r *Fig8Result) Render() string {
+	out := ""
+	for _, s := range r.Series {
+		t := metrics.Table{
+			Title:   fmt.Sprintf("Figure 8: AT comparison, non-straggler (%s)", s.Model),
+			Headers: []string{"Batch", "Fela", "DP", "MP", "HP", "Fela/DP", "Fela/MP", "Fela/HP"},
+		}
+		for _, p := range s.Points {
+			t.AddRow(fmt.Sprint(p.TotalBatch),
+				fmt.Sprintf("%.1f", p.Fela), fmt.Sprintf("%.1f", p.DP),
+				fmt.Sprintf("%.1f", p.MP), fmt.Sprintf("%.1f", p.HP),
+				fmt.Sprintf("%.2fx", p.Ratio("DP")), fmt.Sprintf("%.2fx", p.Ratio("MP")),
+				fmt.Sprintf("%.2fx", p.Ratio("HP")))
+		}
+		out += t.String()
+		for _, sys := range []string{"DP", "MP", "HP"} {
+			min, max := s.RatioRange(sys)
+			out += fmt.Sprintf("Fela vs %s: %.2fx - %.2fx\n", sys, min, max)
+		}
+		out += "\n"
+	}
+	out += "paper: VGG19 vs DP 1.10x-3.23x, vs MP 5.18x-8.12x, vs HP 1.16x-1.50x\n"
+	out += "paper: GoogLeNet vs DP 1.13x-2.15x, vs MP 3.63x-12.22x, vs HP 1.19x-1.85x\n"
+	return out
+}

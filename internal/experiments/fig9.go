@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/straggler"
+)
+
+// StragglerPoint is one straggler setting: throughput of each system
+// plus per-iteration delay (Eq. 4) against that system's non-straggler
+// baseline.
+type StragglerPoint struct {
+	// Param is the x-axis value: the delay d (Fig. 9) or the
+	// probability p (Fig. 10).
+	Param float64
+	ATs   SystemATs
+	// PID per system, seconds.
+	PIDFela, PIDDP, PIDMP, PIDHP float64
+}
+
+// StragglerSeries is one model's sweep in a straggler scenario.
+type StragglerSeries struct {
+	Model    string
+	Scenario string
+	// Baseline holds the non-straggler runs PIDs are computed against.
+	Baseline SystemATs
+	Points   []StragglerPoint
+}
+
+// ATRange reports Fela's min/max throughput ratio over a baseline.
+func (s *StragglerSeries) ATRange(sys string) (min, max float64) {
+	for i, p := range s.Points {
+		v := p.ATs.Ratio(sys)
+		if i == 0 || v < min {
+			min = v
+		}
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// PIDReductionRange reports Fela's min/max PID reduction vs a baseline
+// ((pidBase − pidFela)/pidBase).
+func (s *StragglerSeries) PIDReductionRange(sys string) (min, max float64) {
+	for i, p := range s.Points {
+		base := p.PIDDP
+		if sys == "HP" {
+			base = p.PIDHP
+		}
+		v := 0.0
+		if base > 0 {
+			v = (base - p.PIDFela) / base
+		}
+		if i == 0 || v < min {
+			min = v
+		}
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Fig9Result reproduces Figure 9: the round-robin straggler scenario.
+type Fig9Result struct {
+	Series []StragglerSeries
+}
+
+// RoundRobinDelays returns the paper's delay grid per model: VGG19 uses
+// d ∈ {2,4,6,8,10} s, GoogLeNet d ∈ {1..5} s (§V-C2).
+func RoundRobinDelays(m *model.Model) []float64 {
+	if m.Name == "GoogLeNet" {
+		return []float64{1, 2, 3, 4, 5}
+	}
+	return []float64{2, 4, 6, 8, 10}
+}
+
+// StragglerBatch is the fixed total batch used in the straggler
+// scenarios.
+const StragglerBatch = 256
+
+// stragglerSweep measures one model under a family of scenarios.
+func stragglerSweep(ctx *Context, m *model.Model, name string, params []float64,
+	mk func(p float64) straggler.Scenario) (StragglerSeries, error) {
+	series := StragglerSeries{Model: m.Name, Scenario: name}
+	base, err := runPoint(ctx, m, StragglerBatch, nil)
+	if err != nil {
+		return series, err
+	}
+	series.Baseline = base
+	for _, p := range params {
+		pt, err := runPoint(ctx, m, StragglerBatch, mk(p))
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, StragglerPoint{
+			Param:   p,
+			ATs:     pt,
+			PIDFela: metrics.PID(pt.FelaRun, base.FelaRun),
+			PIDDP:   metrics.PID(pt.DPRun, base.DPRun),
+			PIDMP:   metrics.PID(pt.MPRun, base.MPRun),
+			PIDHP:   metrics.PID(pt.HPRun, base.HPRun),
+		})
+	}
+	return series, nil
+}
+
+// Fig9 sweeps the round-robin straggler scenario for both benchmarks.
+func Fig9(ctx *Context) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, m := range BenchModels() {
+		n := ctx.Cluster.N
+		series, err := stragglerSweep(ctx, m, "round-robin", RoundRobinDelays(m),
+			func(d float64) straggler.Scenario { return straggler.RoundRobin{D: d, N: n} })
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// renderStraggler is shared by Fig. 9 and Fig. 10.
+func renderStraggler(series []StragglerSeries, figure, paramName string) string {
+	out := ""
+	for _, s := range series {
+		t := metrics.Table{
+			Title: fmt.Sprintf("%s: %s straggler scenario (%s, batch %d)",
+				figure, s.Scenario, s.Model, StragglerBatch),
+			Headers: []string{paramName, "AT Fela", "AT DP", "AT MP", "AT HP",
+				"PID Fela", "PID DP", "PID MP", "PID HP"},
+		}
+		for _, p := range s.Points {
+			t.AddRow(fmt.Sprintf("%g", p.Param),
+				fmt.Sprintf("%.1f", p.ATs.Fela), fmt.Sprintf("%.1f", p.ATs.DP),
+				fmt.Sprintf("%.1f", p.ATs.MP), fmt.Sprintf("%.1f", p.ATs.HP),
+				fmt.Sprintf("%.2fs", p.PIDFela), fmt.Sprintf("%.2fs", p.PIDDP),
+				fmt.Sprintf("%.2fs", p.PIDMP), fmt.Sprintf("%.2fs", p.PIDHP))
+		}
+		out += t.String()
+		for _, sys := range []string{"DP", "MP", "HP"} {
+			min, max := s.ATRange(sys)
+			out += fmt.Sprintf("Fela AT vs %s: %.2fx - %.2fx\n", sys, min, max)
+		}
+		for _, sys := range []string{"DP", "HP"} {
+			min, max := s.PIDReductionRange(sys)
+			out += fmt.Sprintf("Fela PID reduction vs %s: %.1f%% - %.1f%%\n", sys, 100*min, 100*max)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Render prints the Figure 9 panels.
+func (r *Fig9Result) Render() string {
+	out := renderStraggler(r.Series, "Figure 9", "d (s)")
+	out += "paper (round-robin): VGG19 AT vs DP +28.6%-60.0%, vs MP 3.01x-4.87x, vs HP +41.61%-84.16%\n"
+	out += "paper (round-robin): PID reduction vs DP 30.35%-68.19%, vs HP 26.00%-64.86% (VGG19)\n"
+	return out
+}

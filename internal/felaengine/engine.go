@@ -1,0 +1,307 @@
+// Package felaengine drives a full Fela training run on the simulated
+// cluster: workers pull tokens from the Token Server, fetch dependency
+// activations (or raw samples) over the network, occupy their GPU for
+// the sub-model's forward+backward pass, report completions, and
+// synchronize each sub-model's parameters as soon as its last token of
+// the iteration finishes (§III-A), overlapping synchronization with the
+// remaining training. Iterations run under BSP: the next iteration
+// starts only when all tokens are trained and all sub-models synced.
+package felaengine
+
+import (
+	"fmt"
+
+	"fela/internal/cluster"
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/scheduler"
+	"fela/internal/straggler"
+	"fela/internal/token"
+	"fela/internal/trace"
+)
+
+// Config describes a Fela run.
+type Config struct {
+	// Model is the benchmark model (used for sample sizes and naming).
+	Model *model.Model
+	// Subs is the offline partition (internal/partition).
+	Subs []model.SubModel
+	// Weights is the parallelism-degree vector {w_1..w_M}; w_1 = 1.
+	Weights []int
+	// TotalBatch is the global per-iteration batch size.
+	TotalBatch int
+	// Iterations is the number of BSP iterations to run.
+	Iterations int
+	// Policy selects ADS/HF/CTD.
+	Policy scheduler.Policy
+	// Timing models Token Server costs; zero value uses DefaultTiming.
+	Timing scheduler.Timing
+	// Scenario injects straggler delays; nil means none.
+	Scenario straggler.Scenario
+	// Staleness enables the SSP extension sketched in §VI: iteration
+	// k+1's tokens may start while up to Staleness earlier iterations
+	// still have parameter synchronizations in flight (their tokens are
+	// always complete first — token generation enforces that). 0 is
+	// strict BSP, the paper's evaluation mode.
+	Staleness int
+	// Trace, when non-nil, records compute/fetch/sync/sleep events for
+	// timeline rendering (internal/trace).
+	Trace *trace.Trace
+}
+
+// Run executes the configured training on the cluster and returns the
+// measured result. The cluster's engine must be fresh (time zero).
+func Run(c *cluster.Cluster, cfg Config) (metrics.RunResult, error) {
+	res, _, err := Stats(c, cfg)
+	return res, err
+}
+
+// Stats runs like Run but also returns the Token Server counters
+// (used by the ablation experiments).
+func Stats(c *cluster.Cluster, cfg Config) (metrics.RunResult, scheduler.Stats, error) {
+	if cfg.Iterations <= 0 {
+		return metrics.RunResult{}, scheduler.Stats{}, fmt.Errorf("felaengine: iterations must be positive")
+	}
+	if cfg.Staleness < 0 {
+		return metrics.RunResult{}, scheduler.Stats{}, fmt.Errorf("felaengine: staleness must be non-negative")
+	}
+	levels, err := scheduler.Plan(cfg.Subs, cfg.Weights, cfg.TotalBatch, c.N())
+	if err != nil {
+		return metrics.RunResult{}, scheduler.Stats{}, err
+	}
+	tim := cfg.Timing
+	if tim == (scheduler.Timing{}) {
+		tim = scheduler.DefaultTiming()
+	}
+	scen := cfg.Scenario
+	if scen == nil {
+		scen = straggler.None{}
+	}
+	e := &engine{
+		c:         c,
+		cfg:       cfg,
+		scen:      scen,
+		srv:       scheduler.NewServer(c.Eng, c.N(), levels, cfg.Policy, tim),
+		syncsLeft: make(map[int]int),
+	}
+	e.srv.OnLevelComplete = e.syncLevel
+	e.run()
+	res := metrics.RunResult{
+		System:     "Fela",
+		Model:      cfg.Model.Name,
+		TotalBatch: cfg.TotalBatch,
+		Iterations: cfg.Iterations,
+		TotalTime:  e.totalTime,
+		IterTimes:  e.iterTimes,
+		BytesSent:  c.Net.BytesSent(),
+		Comm:       e.comm,
+	}
+	return res, e.srv.Stats(), nil
+}
+
+type engine struct {
+	c    *cluster.Cluster
+	cfg  Config
+	scen straggler.Scenario
+	srv  *scheduler.Server
+
+	iter          int
+	comm          metrics.CommBreakdown
+	syncsLeft     map[int]int // iteration -> outstanding sub-model syncs
+	tokensDone    bool        // current iteration's tokens all reported
+	finished      bool
+	iterStart     float64
+	iterTimes     []float64
+	totalTime     float64
+	workerStarted bool
+}
+
+func (e *engine) run() {
+	e.c.Eng.At(0, func() { e.startIteration(0) })
+	e.c.Eng.Run()
+}
+
+func (e *engine) startIteration(it int) {
+	e.iter = it
+	e.iterStart = e.c.Eng.Now()
+	e.tokensDone = false
+	for w := 0; w < e.c.N(); w++ {
+		if d := e.scen.Delay(it, w); d > 0 {
+			// The injected sleep stalls the worker's training thread: it
+			// neither requests tokens nor computes until it wakes
+			// (§V-C2). Its STB is drained by helpers in the meantime —
+			// Fela's reactive mitigation (§III-C).
+			w := w
+			e.srv.Suspend(w)
+			now := e.c.Eng.Now()
+			e.cfg.Trace.Add(trace.Idle, w, now, now+d, "sleep")
+			e.c.Eng.After(d, func() { e.srv.Resume(w) })
+		}
+	}
+	e.srv.StartIteration(it)
+	if !e.workerStarted {
+		e.workerStarted = true
+		for w := 0; w < e.c.N(); w++ {
+			e.workerLoop(w)
+		}
+	}
+}
+
+// workerLoop is the §III-A worker logic: request → fetch dependencies →
+// train → store → report → request again. The loop persists across
+// iterations; requests that find no token park at the server until the
+// next iteration seeds tokens.
+func (e *engine) workerLoop(w int) {
+	e.srv.Request(w, func(tok *token.Token) {
+		e.fetchDeps(w, tok, func() {
+			e.compute(w, tok, func() {
+				e.srv.Report(w, tok)
+				e.workerLoop(w)
+			})
+		})
+	})
+}
+
+// fetchDeps pulls what the token needs onto worker w: the sample shard
+// for level-0 tokens trained away from their owner, or the dependency
+// outputs held by other workers for higher levels. Transfers from
+// distinct holders proceed in parallel; done fires when all arrive.
+func (e *engine) fetchDeps(w int, tok *token.Token, done func()) {
+	type pull struct {
+		from  int
+		bytes int64
+	}
+	var pulls []pull
+	if tok.Level == 0 {
+		if tok.ShardOwner != w {
+			b := int64(tok.Batch) * e.cfg.Model.SampleBytes()
+			e.comm.SampleBytes += b
+			pulls = append(pulls, pull{tok.ShardOwner, b})
+		}
+	} else {
+		perSample := e.cfg.Subs[tok.Level].InBytes()
+		byHolder := make(map[int]int64)
+		var order []int
+		for _, dep := range tok.Deps {
+			holder, ok := e.srv.Mapping().Holder(dep)
+			if !ok {
+				panic(fmt.Sprintf("felaengine: dependency %d of %v has no holder", dep, tok))
+			}
+			if holder == w {
+				continue
+			}
+			if _, seen := byHolder[holder]; !seen {
+				order = append(order, holder)
+			}
+			byHolder[holder] += int64(e.srv.TokenByID(dep).Batch) * perSample
+		}
+		for _, h := range order {
+			e.comm.ActivationBytes += byHolder[h]
+			pulls = append(pulls, pull{h, byHolder[h]})
+		}
+	}
+	if len(pulls) == 0 {
+		done()
+		return
+	}
+	left := len(pulls)
+	start := e.c.Eng.Now()
+	for _, p := range pulls {
+		p := p
+		e.c.Net.Transfer(p.from, w, p.bytes, func() {
+			e.cfg.Trace.Add(trace.Fetch, w, start, e.c.Eng.Now(),
+				fmt.Sprintf("fetch %dB from w%d for %v", p.bytes, p.from, tok))
+			left--
+			if left == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// compute occupies the worker's GPU for the sub-model's forward+backward
+// time at the token's batch. Injected straggler sleeps occupy the GPU at
+// iteration start, so a straggler's first computation queues behind its
+// sleep.
+func (e *engine) compute(w int, tok *token.Token, done func()) {
+	start := e.c.Eng.Now()
+	e.c.Compute(w, e.c.DB.LayersTimeFit(e.cfg.Subs[tok.Level].Layers, tok.Batch), func() {
+		e.cfg.Trace.Add(trace.Compute, w, start, e.c.Eng.Now(), tok.String())
+		done()
+	})
+}
+
+// syncLevel starts the parameter synchronization of a sub-model as soon
+// as its last token of the iteration completes. Comm-intensive
+// sub-models under CTD synchronize only within the subset (§III-F);
+// everything else all-reduces across the cluster. Synchronization
+// overlaps with remaining training (it occupies NICs, not GPUs). The
+// highest level finishing last also marks the iteration's tokens done.
+func (e *engine) syncLevel(level int) {
+	it := e.iter
+	sm := e.cfg.Subs[level]
+	group := make([]int, 0, e.c.N())
+	if e.cfg.Policy.CTD && sm.CommIntensive() {
+		group = append(group, e.cfg.Policy.CTDSubset...)
+	} else {
+		for w := 0; w < e.c.N(); w++ {
+			group = append(group, w)
+		}
+	}
+	if k := len(group); k > 1 {
+		e.comm.SyncBytes += int64(2*(k-1)) * sm.ParamBytes()
+	}
+	e.syncsLeft[it]++
+	syncStart := e.c.Eng.Now()
+	e.c.Net.AllReduce(group, sm.ParamBytes(), func() {
+		for _, w := range group {
+			e.cfg.Trace.Add(trace.Sync, w, syncStart, e.c.Eng.Now(), sm.Name)
+		}
+		e.syncsLeft[it]--
+		if e.syncsLeft[it] == 0 {
+			delete(e.syncsLeft, it)
+		}
+		e.maybeAdvance()
+	})
+	if level == len(e.cfg.Subs)-1 {
+		// Token generation is level-ordered, so the highest level
+		// completing means every token of the iteration is reported.
+		e.tokensDone = true
+		e.maybeAdvance()
+	}
+}
+
+// maybeAdvance moves to the next iteration (or finishes the run) under
+// the staleness rule: the next iteration may start once the current
+// iteration's tokens are complete and at most Staleness iterations still
+// have synchronizations in flight. With Staleness 0 this is the strict
+// BSP barrier of the paper's evaluation.
+func (e *engine) maybeAdvance() {
+	if e.finished || !e.tokensDone {
+		return
+	}
+	if e.iter+1 < e.cfg.Iterations {
+		if len(e.syncsLeft) > e.cfg.Staleness {
+			return
+		}
+		e.iterTimes = append(e.iterTimes, e.c.Eng.Now()-e.iterStart)
+		e.startIteration(e.iter + 1)
+		return
+	}
+	if len(e.syncsLeft) > 0 {
+		return
+	}
+	e.iterTimes = append(e.iterTimes, e.c.Eng.Now()-e.iterStart)
+	e.totalTime = e.c.Eng.Now()
+	e.finished = true
+}
+
+// TokensPerIteration reports how many tokens one iteration schedules for
+// the given configuration (diagnostic helper).
+func TokensPerIteration(cfg Config, workers int) (int, error) {
+	levels, err := scheduler.Plan(cfg.Subs, cfg.Weights, cfg.TotalBatch, workers)
+	if err != nil {
+		return 0, err
+	}
+	return scheduler.TokensPerIteration(levels), nil
+}

@@ -1,0 +1,261 @@
+package felaengine
+
+import (
+	"strings"
+	"testing"
+
+	"fela/internal/cluster"
+	"fela/internal/gpu"
+	"fela/internal/metrics"
+	"fela/internal/model"
+	"fela/internal/partition"
+	"fela/internal/scheduler"
+	"fela/internal/straggler"
+	"fela/internal/trace"
+)
+
+func vggConfig(t *testing.T, batch, iters int, pol scheduler.Policy) Config {
+	t.Helper()
+	m := model.VGG19()
+	subs := partition.Partition(m, gpu.DefaultDB(gpu.TeslaK40c()), partition.DefaultBinSize)
+	return Config{
+		Model: m, Subs: subs, Weights: []int{1, 1, 4},
+		TotalBatch: batch, Iterations: iters, Policy: pol,
+	}
+}
+
+func run(t *testing.T, cfg Config) (metrics.RunResult, scheduler.Stats) {
+	t.Helper()
+	res, st, err := Stats(cluster.New(cluster.Testbed8()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
+func TestRunCompletes(t *testing.T) {
+	res, st := run(t, vggConfig(t, 128, 10, scheduler.FullFela([]int{0})))
+	if res.Iterations != 10 || len(res.IterTimes) != 10 {
+		t.Fatalf("iterations = %d, iter times = %d", res.Iterations, len(res.IterTimes))
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("zero total time")
+	}
+	// Every iteration schedules 8 T-1 + 8 T-2 + 2 T-3 = 18 tokens; all
+	// generated levels over 10 iterations: 10 x (8 + 2).
+	if st.Generated != 100 {
+		t.Errorf("generated = %d, want 100", st.Generated)
+	}
+	var sum float64
+	for _, it := range res.IterTimes {
+		if it <= 0 {
+			t.Fatal("non-positive iteration time")
+		}
+		sum += it
+	}
+	if diff := sum - res.TotalTime; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("iteration times sum %v != total %v", sum, res.TotalTime)
+	}
+	if res.AvgThroughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, _ := run(t, vggConfig(t, 128, 5, scheduler.FullFela([]int{0, 1})))
+	b, _ := run(t, vggConfig(t, 128, 5, scheduler.FullFela([]int{0, 1})))
+	if a.TotalTime != b.TotalTime || a.BytesSent != b.BytesSent {
+		t.Fatalf("runs differ: %v/%d vs %v/%d", a.TotalTime, a.BytesSent, b.TotalTime, b.BytesSent)
+	}
+}
+
+// TestCTDCutsCommunication: restricting the FC sub-model to a small
+// subset must sharply reduce bytes on the wire (§III-F's purpose).
+func TestCTDCutsCommunication(t *testing.T) {
+	full, _ := run(t, vggConfig(t, 128, 5, scheduler.Policy{ADS: true, HF: true}))
+	ctd, _ := run(t, vggConfig(t, 128, 5, scheduler.FullFela([]int{0})))
+	if ctd.BytesSent >= full.BytesSent/2 {
+		t.Errorf("CTD bytes %d not well below full-sync %d", ctd.BytesSent, full.BytesSent)
+	}
+}
+
+// TestStragglerMitigation: under a round-robin straggler, Fela's token
+// pull redistributes work, so its PID stays clearly below the injected
+// delay (§III-C).
+func TestStragglerMitigation(t *testing.T) {
+	base, _ := run(t, vggConfig(t, 256, 16, scheduler.FullFela([]int{0, 1})))
+	cfg := vggConfig(t, 256, 16, scheduler.FullFela([]int{0, 1}))
+	cfg.Scenario = straggler.RoundRobin{D: 2, N: 8}
+	strag, _ := run(t, cfg)
+	pid := metrics.PID(strag, base)
+	if pid <= 0 {
+		t.Fatalf("PID = %v, want positive", pid)
+	}
+	if pid >= 1.8 {
+		t.Errorf("PID = %.2fs, want well below the 2s injected delay", pid)
+	}
+	if strag.TotalTime <= base.TotalTime {
+		t.Error("straggler run should be slower than baseline")
+	}
+}
+
+// TestHelpersAbsorbStragglers: with HF, faster workers steal from the
+// straggler's STB; the Helped counter must rise under stragglers.
+func TestHelpersAbsorbStragglers(t *testing.T) {
+	cfg := vggConfig(t, 512, 8, scheduler.Policy{ADS: true, HF: true})
+	cfg.Scenario = straggler.RoundRobin{D: 4, N: 8}
+	_, st := run(t, cfg)
+	if st.Helped == 0 {
+		t.Error("no helper activity under stragglers")
+	}
+}
+
+func TestWeightsChangeTokenCounts(t *testing.T) {
+	cfg := vggConfig(t, 1024, 1, scheduler.Policy{ADS: true, HF: true})
+	n, err := TokensPerIteration(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights {1,1,4}: 64 + 64 + 16 = 144.
+	if n != 144 {
+		t.Errorf("tokens = %d, want 144", n)
+	}
+	cfg.Weights = []int{1, 8, 8}
+	n, err = TokensPerIteration(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights {1,8,8}: 64 + 8 + 8 = 80.
+	if n != 80 {
+		t.Errorf("tokens = %d, want 80", n)
+	}
+}
+
+func TestInvalidConfigErrors(t *testing.T) {
+	cfg := vggConfig(t, 128, 0, scheduler.Policy{})
+	if _, err := Run(cluster.New(cluster.Testbed8()), cfg); err == nil {
+		t.Error("expected error for zero iterations")
+	}
+	cfg = vggConfig(t, 128, 5, scheduler.Policy{})
+	cfg.Weights = []int{1, 4, 2}
+	if _, err := Run(cluster.New(cluster.Testbed8()), cfg); err == nil {
+		t.Error("expected error for decreasing weights")
+	}
+}
+
+// TestPolicyStackImproves: each policy layer should not hurt, and the
+// full stack must beat the all-off baseline (Table III's premise).
+func TestPolicyStackImproves(t *testing.T) {
+	at := func(pol scheduler.Policy) float64 {
+		res, _ := run(t, vggConfig(t, 256, 8, pol))
+		return res.AvgThroughput()
+	}
+	none := at(scheduler.Policy{})
+	full := at(scheduler.FullFela([]int{0}))
+	if full <= none {
+		t.Errorf("full policy stack %.1f not better than no policies %.1f", full, none)
+	}
+}
+
+// TestGoogLeNetRuns exercises the second benchmark end to end.
+func TestGoogLeNetRuns(t *testing.T) {
+	m := model.GoogLeNet()
+	subs := partition.Partition(m, gpu.DefaultDB(gpu.TeslaK40c()), partition.DefaultBinSize)
+	res, err := Run(cluster.New(cluster.Testbed8()), Config{
+		Model: m, Subs: subs, Weights: []int{1, 2, 8},
+		TotalBatch: 256, Iterations: 5, Policy: scheduler.FullFela([]int{0}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GoogLeNet is far faster than VGG19 at the same batch.
+	if res.AvgThroughput() < 500 {
+		t.Errorf("GoogLeNet AT = %.0f, suspiciously low", res.AvgThroughput())
+	}
+}
+
+// TestBatchScaling: throughput must grow with batch size (Fig. 8's
+// x-axis trend for Fela).
+func TestBatchScaling(t *testing.T) {
+	prev := 0.0
+	for _, batch := range []int{64, 256, 1024} {
+		res, _ := run(t, vggConfig(t, batch, 5, scheduler.FullFela([]int{0})))
+		at := res.AvgThroughput()
+		if at <= prev {
+			t.Errorf("AT at batch %d = %.1f did not grow (prev %.1f)", batch, at, prev)
+		}
+		prev = at
+	}
+}
+
+// TestSSPExtension validates the §VI extension: bounded staleness lets
+// the next iteration's tokens start while earlier synchronizations are
+// still in flight, improving throughput without changing work done.
+func TestSSPExtension(t *testing.T) {
+	at := func(staleness int) metrics.RunResult {
+		cfg := vggConfig(t, 256, 12, scheduler.Policy{ADS: true, HF: true})
+		cfg.Staleness = staleness
+		res, _ := run(t, cfg)
+		return res
+	}
+	bsp := at(0)
+	ssp := at(1)
+	if ssp.AvgThroughput() <= bsp.AvgThroughput() {
+		t.Errorf("SSP(1) throughput %.1f not above BSP %.1f",
+			ssp.AvgThroughput(), bsp.AvgThroughput())
+	}
+	if len(ssp.IterTimes) != len(bsp.IterTimes) {
+		t.Error("iteration counts differ")
+	}
+	// Deeper staleness cannot hurt.
+	if at(3).AvgThroughput() < ssp.AvgThroughput()*0.99 {
+		t.Error("staleness 3 notably slower than staleness 1")
+	}
+}
+
+func TestSSPValidation(t *testing.T) {
+	cfg := vggConfig(t, 128, 2, scheduler.Policy{})
+	cfg.Staleness = -1
+	if _, err := Run(cluster.New(cluster.Testbed8()), cfg); err == nil {
+		t.Error("expected error for negative staleness")
+	}
+}
+
+// TestTraceRecording: a traced run captures compute, sync and sleep
+// events and renders a timeline.
+func TestTraceRecording(t *testing.T) {
+	tr := &trace.Trace{}
+	cfg := vggConfig(t, 128, 2, scheduler.FullFela([]int{0}))
+	cfg.Scenario = straggler.RoundRobin{D: 1, N: 8}
+	cfg.Trace = tr
+	run(t, cfg)
+	if len(tr.ByKind(trace.Compute)) == 0 {
+		t.Fatal("no compute events recorded")
+	}
+	if len(tr.ByKind(trace.Sync)) == 0 {
+		t.Fatal("no sync events recorded")
+	}
+	if len(tr.ByKind(trace.Idle)) != 2 {
+		t.Fatalf("idle events = %d, want 2 (one straggler per iteration)", len(tr.ByKind(trace.Idle)))
+	}
+	out := tr.Timeline(60)
+	if !strings.Contains(out, "w0") || !strings.Contains(out, "C") {
+		t.Errorf("timeline malformed:\n%s", out)
+	}
+}
+
+// TestCommBreakdown: the engine's per-cause traffic accounting covers
+// the network's total, and CTD shrinks the sync share.
+func TestCommBreakdown(t *testing.T) {
+	full, _ := run(t, vggConfig(t, 256, 4, scheduler.Policy{ADS: true, HF: true}))
+	if got, want := full.Comm.Total(), full.BytesSent; got != want {
+		t.Fatalf("breakdown total %d != wire bytes %d", got, want)
+	}
+	if full.Comm.SyncBytes == 0 {
+		t.Fatal("no sync traffic recorded")
+	}
+	ctd, _ := run(t, vggConfig(t, 256, 4, scheduler.FullFela([]int{0})))
+	if ctd.Comm.SyncBytes >= full.Comm.SyncBytes/2 {
+		t.Errorf("CTD sync bytes %d not well below full %d", ctd.Comm.SyncBytes, full.Comm.SyncBytes)
+	}
+}

@@ -1,0 +1,287 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fela/internal/model"
+)
+
+func frontConv() model.Layer {
+	return model.NewConv(model.ConvSpec{Name: "c", InC: 64, OutC: 64, InH: 224, InW: 224, Kernel: 3, Pad: 1})
+}
+
+func backConv() model.Layer {
+	return model.NewConv(model.ConvSpec{Name: "c", InC: 512, OutC: 512, InH: 14, InW: 14, Kernel: 3, Pad: 1})
+}
+
+func bigFC() model.Layer { return model.NewFC("fc", 4096, 4096) }
+
+func TestDefaultDBThresholds(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	tests := []struct {
+		layer model.Layer
+		want  int
+	}{
+		{frontConv(), 16},
+		{backConv(), 64},
+		{bigFC(), 2048},
+	}
+	for _, tc := range tests {
+		if got := db.Threshold(tc.layer); got != tc.want {
+			t.Errorf("threshold(%s) = %d, want %d", tc.layer.Shape, got, tc.want)
+		}
+	}
+}
+
+// TestFigure1Shape verifies the rise-then-plateau curve of Figure 1: the
+// saturation batch recovered from a sweep must match the profiled
+// threshold for each of the paper's three panels.
+func TestFigure1Shape(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	batches := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	panels := []struct {
+		layer model.Layer
+		want  int
+	}{
+		{frontConv(), 16},
+		{backConv(), 64},
+		{bigFC(), 2048},
+	}
+	for _, p := range panels {
+		pts := db.Sweep(p.layer, batches)
+		// Monotone non-decreasing throughput.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Throughput < pts[i-1].Throughput {
+				t.Errorf("%s: throughput decreased from batch %d to %d", p.layer.Shape, pts[i-1].Batch, pts[i].Batch)
+			}
+		}
+		got := SaturationBatch(pts, 0.9)
+		if got != p.want {
+			t.Errorf("%s: 90%% saturation at batch %d, want %d", p.layer.Shape, got, p.want)
+		}
+		// Deep underutilization below threshold: batch 1 throughput is a
+		// small fraction of peak.
+		if pts[0].Throughput > 0.5*pts[len(pts)-1].Throughput {
+			t.Errorf("%s: batch-1 throughput too close to peak", p.layer.Shape)
+		}
+	}
+}
+
+func TestFrontSaturatesBeforeBack(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	// At batch 16 the front conv is ~90% saturated; the back conv is not.
+	front16 := db.Throughput(frontConv(), 16) / db.Throughput(frontConv(), 4096)
+	back16 := db.Throughput(backConv(), 16) / db.Throughput(backConv(), 4096)
+	if front16 < 0.85 {
+		t.Errorf("front conv at batch 16 only %.2f of peak", front16)
+	}
+	if back16 > 0.75 {
+		t.Errorf("back conv at batch 16 already %.2f of peak", back16)
+	}
+}
+
+func TestLayerTimeLinearAboveThreshold(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	l := frontConv()
+	// Doubling a saturated batch should roughly double time.
+	t1 := db.LayerTime(l, 512)
+	t2 := db.LayerTime(l, 1024)
+	ratio := t2 / t1
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("saturated time ratio = %.3f, want ~2", ratio)
+	}
+	// Below threshold, time is dominated by the fixed underutilization
+	// cost: batch 1 and batch 4 differ by much less than 4x.
+	s1 := db.LayerTime(bigFC(), 1)
+	s4 := db.LayerTime(bigFC(), 4)
+	if s4/s1 > 1.1 {
+		t.Errorf("unsaturated FC time ratio = %.3f, want ~1", s4/s1)
+	}
+}
+
+func TestLayerTimeProperties(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	layers := []model.Layer{frontConv(), backConv(), bigFC()}
+	f := func(batchRaw uint16, pick uint8) bool {
+		b := int(batchRaw%4096) + 1
+		l := layers[int(pick)%len(layers)]
+		tm := db.LayerTime(l, b)
+		fwd := db.LayerFwdTime(l, b)
+		// Positive, finite, and fwd < fwd+bwd.
+		return tm > 0 && fwd > 0 && fwd < tm && !math.IsInf(tm, 0) && !math.IsNaN(tm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerTimeMonotoneInBatch(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	f := func(a, b uint16) bool {
+		x, y := int(a%4096)+1, int(b%4096)+1
+		if x > y {
+			x, y = y, x
+		}
+		return db.LayerTime(frontConv(), x) <= db.LayerTime(frontConv(), y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroBatch(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	if db.LayerTime(frontConv(), 0) != 0 || db.Throughput(frontConv(), 0) != 0 {
+		t.Error("zero batch must cost zero time")
+	}
+}
+
+func TestAnalyticFallback(t *testing.T) {
+	db := NewProfileDB(TeslaK40c()) // empty repository
+	// Unknown FC -> 2048.
+	if got := db.Threshold(model.NewFC("x", 123, 77)); got != 2048 {
+		t.Errorf("fallback FC threshold = %d, want 2048", got)
+	}
+	// Unknown large conv saturates earlier than unknown small conv.
+	big := model.NewConv(model.ConvSpec{Name: "b", InC: 32, OutC: 64, InH: 224, InW: 224, Kernel: 3, Pad: 1})
+	small := model.NewConv(model.ConvSpec{Name: "s", InC: 512, OutC: 512, InH: 7, InW: 7, Kernel: 3, Pad: 1})
+	tb, ts := db.Threshold(big), db.Threshold(small)
+	if tb >= ts {
+		t.Errorf("fallback thresholds: big spatial %d should be < small spatial %d", tb, ts)
+	}
+	if tb < 16 || ts > 512 {
+		t.Errorf("fallback thresholds out of clamp range: %d, %d", tb, ts)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	db := NewProfileDB(TeslaK40c())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for threshold < 1")
+		}
+	}()
+	db.Put("x", 0)
+}
+
+func TestShapesSorted(t *testing.T) {
+	db := NewProfileDB(TeslaK40c())
+	db.Put("b", 2)
+	db.Put("a", 1)
+	db.Put("c", 3)
+	got := db.Shapes()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("Shapes() = %v, want sorted", got)
+	}
+}
+
+// TestVGG19MemoryLimit reproduces the paper's footnote 3: a complete
+// VGG19 cannot train with batch sizes much beyond 32 on a 12 GB K40c.
+func TestVGG19MemoryLimit(t *testing.T) {
+	dev := TeslaK40c()
+	m := model.VGG19()
+	max := dev.MaxBatch(m.Layers)
+	if max < 16 || max > 64 {
+		t.Errorf("VGG19 max batch on K40c = %d, want within [16,64] (paper: >32 OOMs)", max)
+	}
+	if MemoryUse(m.Layers, max+64) <= dev.MemBytes {
+		t.Error("memory use at max+64 should exceed device capacity")
+	}
+	// A single sub-model affords much larger batches.
+	sub := m.LayerRange(17, 19)
+	if subMax := dev.MaxBatch(sub); subMax < 1000 {
+		t.Errorf("FC sub-model max batch = %d, want large", subMax)
+	}
+}
+
+func TestLayersTimeAdds(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	ls := []model.Layer{frontConv(), backConv()}
+	sum := db.LayerTime(ls[0], 8) + db.LayerTime(ls[1], 8)
+	if got := db.LayersTime(ls, 8); math.Abs(got-sum) > 1e-12 {
+		t.Errorf("LayersTime = %v, want %v", got, sum)
+	}
+}
+
+func TestSaturationBatchEmpty(t *testing.T) {
+	if got := SaturationBatch(nil, 0.9); got != 0 {
+		t.Errorf("SaturationBatch(nil) = %d, want 0", got)
+	}
+}
+
+// TestVGG19IterationCost sanity-checks absolute scale: one forward+
+// backward pass of VGG19 at batch 16 on a K40c should take on the order
+// of a second (the real device trains VGG19 at ~20 samples/s).
+func TestVGG19IterationCost(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	m := model.VGG19()
+	tm := db.LayersTime(m.Layers, 16)
+	if tm < 0.3 || tm > 5 {
+		t.Errorf("VGG19 batch-16 fwd+bwd = %.3fs, want O(1s)", tm)
+	}
+	thr := 16 / tm
+	if thr < 5 || thr > 50 {
+		t.Errorf("VGG19 throughput = %.1f samples/s, want O(20)", thr)
+	}
+}
+
+// TestRepositoryRoundTrip: the profile repository persists to JSON and
+// loads back identically (§IV-A fn. 11: profiles are measured once and
+// stored "in repository" for reuse).
+func TestRepositoryRoundTrip(t *testing.T) {
+	db := DefaultDB(TeslaK40c())
+	path := t.TempDir() + "/profiles.json"
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRepository(path, TeslaK40c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(loaded) {
+		t.Fatal("repository round trip lost profiles")
+	}
+	// Loaded repository yields identical cost-model decisions.
+	l := frontConv()
+	if db.Threshold(l) != loaded.Threshold(l) || db.LayerTime(l, 16) != loaded.LayerTime(l, 16) {
+		t.Fatal("loaded repository behaves differently")
+	}
+}
+
+func TestRepositoryRejectsBadData(t *testing.T) {
+	db := NewProfileDB(TeslaK40c())
+	if err := db.UnmarshalInto([]byte("{")); err == nil {
+		t.Error("expected parse error")
+	}
+	if err := db.UnmarshalInto([]byte(`{"profiles":[{"shape":"x","threshold":0}]}`)); err == nil {
+		t.Error("expected validation error")
+	}
+	// A failed load must not partially mutate the repository.
+	if len(db.Shapes()) != 0 {
+		t.Error("failed load mutated repository")
+	}
+}
+
+func TestLoadRepositoryMissingFile(t *testing.T) {
+	if _, err := LoadRepository("/nonexistent/profiles.json", TeslaK40c()); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRepositoryEqual(t *testing.T) {
+	a, b := NewProfileDB(TeslaK40c()), NewProfileDB(TeslaK40c())
+	a.Put("x", 16)
+	if a.Equal(b) {
+		t.Error("different sizes equal")
+	}
+	b.Put("x", 32)
+	if a.Equal(b) {
+		t.Error("different thresholds equal")
+	}
+	b.Put("x", 16)
+	if !a.Equal(b) {
+		t.Error("identical repositories unequal")
+	}
+}

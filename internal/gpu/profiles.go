@@ -1,0 +1,103 @@
+package gpu
+
+import "fela/internal/model"
+
+// DefaultDB returns the profile repository for the paper's testbed GPU,
+// pre-populated with the measured threshold batch sizes for every shape
+// appearing in the zoo models. The values reproduce Figure 1 and
+// Figure 5:
+//
+//   - front VGG CONV shapes ((64,64,224,224) etc.) saturate at 16
+//     (Fig. 1a),
+//   - (256,256,56,56)-class shapes saturate within the same [16,32) bin
+//     (§IV-A fn. 12),
+//   - back VGG CONV shapes ((512,512,28,28), (512,512,14,14)) saturate
+//     at 64 (Fig. 1b),
+//   - FC shapes saturate at 2048 (Fig. 1c).
+//
+// With a bin width of 16 these thresholds partition VGG19 into exactly
+// the paper's three sub-models L1–8, L9–16, L17–19 and GoogLeNet into
+// L1–4, L5–9, L10–12.
+func DefaultDB(dev Device) *ProfileDB {
+	db := NewProfileDB(dev)
+	for shape, theta := range map[string]int{
+		// VGG19 CONV shapes, front to back.
+		"(3,64,224,224)":    16,
+		"(64,64,224,224)":   16,
+		"(64,128,112,112)":  16,
+		"(128,128,112,112)": 16,
+		"(128,256,56,56)":   24,
+		"(256,256,56,56)":   24,
+		"(256,512,28,28)":   64,
+		"(512,512,28,28)":   64,
+		"(512,512,14,14)":   64,
+		// VGG19 FC shapes.
+		"(25088,4096)": 2048,
+		"(4096,4096)":  2048,
+		"(4096,1000)":  2048,
+		// GoogLeNet stem and inception shapes (32x32 input).
+		"(3,64,32,32)":        32,
+		"(64,192,15,15)":      32,
+		"incep(192,256,7,7)":  32,
+		"incep(256,480,7,7)":  32,
+		"incep(480,512,3,3)":  96,
+		"incep(512,512,3,3)":  96,
+		"incep(512,528,3,3)":  96,
+		"incep(528,832,3,3)":  96,
+		"incep(832,832,1,1)":  1024,
+		"incep(832,1024,1,1)": 1024,
+		"(1024,1000)":         1024,
+		// AlexNet shapes.
+		"(3,96,224,224)":  16,
+		"(96,256,27,27)":  32,
+		"(256,384,13,13)": 64,
+		"(384,384,13,13)": 64,
+		"(384,256,13,13)": 64,
+		"(9216,4096)":     2048,
+		// LeNet-5 shapes (tiny; saturate only at large batches).
+		"(1,6,32,32)":  512,
+		"(6,16,14,14)": 512,
+		"(400,120)":    2048,
+		"(120,84)":     2048,
+		"(84,10)":      2048,
+	} {
+		db.Put(shape, theta)
+	}
+	return db
+}
+
+// SweepPoint is one measurement of the Figure 1 experiment: throughput
+// of a single layer trained alone at a given batch size.
+type SweepPoint struct {
+	Batch      int
+	Throughput float64 // samples per second
+}
+
+// Sweep trains the layer alone at each batch size and reports throughput,
+// regenerating one panel of Figure 1.
+func (db *ProfileDB) Sweep(l model.Layer, batches []int) []SweepPoint {
+	out := make([]SweepPoint, 0, len(batches))
+	for _, b := range batches {
+		out = append(out, SweepPoint{Batch: b, Throughput: db.Throughput(l, b)})
+	}
+	return out
+}
+
+// SaturationBatch finds the smallest batch in the sweep reaching the
+// given fraction of the maximum observed throughput. With frac = 0.9 it
+// recovers the profiled threshold from a Sweep, which is how the paper
+// reads Figure 1.
+func SaturationBatch(points []SweepPoint, frac float64) int {
+	var max float64
+	for _, p := range points {
+		if p.Throughput > max {
+			max = p.Throughput
+		}
+	}
+	for _, p := range points {
+		if p.Throughput >= frac*max {
+			return p.Batch
+		}
+	}
+	return 0
+}

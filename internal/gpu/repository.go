@@ -1,0 +1,92 @@
+package gpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The paper profiles threshold batch sizes "once and for all" and stores
+// them "in repository" for reuse across DML tasks (§IV-A fn. 11). This
+// file implements that repository as a JSON document so profiles survive
+// process restarts and can be shared between the simulator, the tuner
+// and external tooling.
+
+// repositoryFile is the serialized form.
+type repositoryFile struct {
+	Device   string             `json:"device"`
+	Profiles []repositoryRecord `json:"profiles"`
+}
+
+type repositoryRecord struct {
+	Shape     string `json:"shape"`
+	Threshold int    `json:"threshold"`
+}
+
+// MarshalJSON serializes the repository with sorted shapes so the output
+// is stable.
+func (db *ProfileDB) MarshalJSON() ([]byte, error) {
+	f := repositoryFile{Device: db.dev.Name}
+	for _, shape := range db.Shapes() {
+		f.Profiles = append(f.Profiles, repositoryRecord{Shape: shape, Threshold: db.byShape[shape]})
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// UnmarshalInto loads records from data into the repository, replacing
+// entries with matching shapes. The device name is informational only.
+func (db *ProfileDB) UnmarshalInto(data []byte) error {
+	var f repositoryFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("gpu: parse profile repository: %w", err)
+	}
+	for _, r := range f.Profiles {
+		if r.Threshold < 1 {
+			return fmt.Errorf("gpu: profile %q has threshold %d", r.Shape, r.Threshold)
+		}
+	}
+	for _, r := range f.Profiles {
+		db.Put(r.Shape, r.Threshold)
+	}
+	return nil
+}
+
+// Save writes the repository to path.
+func (db *ProfileDB) Save(path string) error {
+	data, err := db.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadRepository reads a profile repository from path into a fresh
+// ProfileDB for the device.
+func LoadRepository(path string, dev Device) (*ProfileDB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gpu: read profile repository: %w", err)
+	}
+	db := NewProfileDB(dev)
+	if err := db.UnmarshalInto(data); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Equal reports whether two repositories hold identical profiles.
+func (db *ProfileDB) Equal(other *ProfileDB) bool {
+	a, b := db.Shapes(), other.Shapes()
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] || db.byShape[a[i]] != other.byShape[b[i]] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+// Package metrics defines the evaluation quantities of §V — average
+// throughput (AT, Eq. 3) and per-iteration delay (PID, Eq. 4) — plus
+// small helpers for expressing improvements the way the paper reports
+// them ("49.65%", "3.23x") and for rendering text tables.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RunResult captures one training run of one system.
+type RunResult struct {
+	// System identifies the solution: "Fela", "DP", "MP", "HP".
+	System string
+	// Model is the benchmark name.
+	Model string
+	// TotalBatch is the per-iteration global batch size.
+	TotalBatch int
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// TotalTime is the simulated seconds to complete all iterations.
+	TotalTime float64
+	// IterTimes are the per-iteration durations.
+	IterTimes []float64
+	// BytesSent is the total network payload injected.
+	BytesSent int64
+	// Comm breaks BytesSent down by cause where the engine tracks it
+	// (currently the Fela engine): raw training samples pulled by
+	// helpers, dependency activations, and parameter synchronization.
+	Comm CommBreakdown
+}
+
+// CommBreakdown categorizes wire traffic.
+type CommBreakdown struct {
+	// SampleBytes is raw training-sample migration (helpers training
+	// another worker's shard — the FlexRR-style cost Fela keeps small).
+	SampleBytes int64
+	// ActivationBytes is dependency-output fetching between sub-models.
+	ActivationBytes int64
+	// SyncBytes is parameter synchronization (all-reduce wire bytes).
+	SyncBytes int64
+}
+
+// Total sums the categories.
+func (c CommBreakdown) Total() int64 {
+	return c.SampleBytes + c.ActivationBytes + c.SyncBytes
+}
+
+// AvgThroughput computes Eq. 3: totalBatch · iterN / totalTime, in
+// samples per second.
+func (r RunResult) AvgThroughput() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return float64(r.TotalBatch) * float64(r.Iterations) / r.TotalTime
+}
+
+// AvgIterTime is the mean per-iteration duration in seconds.
+func (r RunResult) AvgIterTime() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return r.TotalTime / float64(r.Iterations)
+}
+
+// PID computes Eq. 4 between a straggler-scenario run and its
+// non-straggler counterpart: (totalTime_s − totalTime_0) / iterN.
+func PID(stragglerRun, baseline RunResult) float64 {
+	if stragglerRun.Iterations == 0 {
+		return 0
+	}
+	return (stragglerRun.TotalTime - baseline.TotalTime) / float64(stragglerRun.Iterations)
+}
+
+// Speedup returns a/b as a throughput ratio (how many times faster a is
+// than b in AT).
+func Speedup(a, b RunResult) float64 {
+	bt := b.AvgThroughput()
+	if bt == 0 {
+		return 0
+	}
+	return a.AvgThroughput() / bt
+}
+
+// Improvement returns the relative throughput improvement of a over b
+// (0.15 = 15 % faster).
+func Improvement(a, b RunResult) float64 { return Speedup(a, b) - 1 }
+
+// FormatImprovement renders a relative improvement the way the paper
+// does: below +100 % as a percentage ("49.65%"), above as a factor
+// ("3.23x").
+func FormatImprovement(rel float64) string {
+	if rel < 1 {
+		return fmt.Sprintf("%.2f%%", rel*100)
+	}
+	return fmt.Sprintf("%.2fx", rel)
+}
+
+// Table is a simple text table for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MinMax returns the smallest and largest values of a series.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Normalize rescales a series to [0,1] the way Figure 6(a) does:
+// (x − min) / (max − min). A constant series maps to all zeros.
+func Normalize(xs []float64) []float64 {
+	min, max := MinMax(xs)
+	out := make([]float64, len(xs))
+	if max == min {
+		return out
+	}
+	// Halve before subtracting so the span cannot overflow for extreme
+	// inputs; the ratio is unchanged.
+	span := max/2 - min/2
+	for i, x := range xs {
+		out[i] = (x/2 - min/2) / span
+	}
+	return out
+}

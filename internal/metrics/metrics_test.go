@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvgThroughputEq3(t *testing.T) {
+	r := RunResult{TotalBatch: 128, Iterations: 100, TotalTime: 64}
+	// 128 * 100 / 64 = 200 samples/s.
+	if got := r.AvgThroughput(); got != 200 {
+		t.Errorf("AT = %v, want 200", got)
+	}
+	if got := (RunResult{}).AvgThroughput(); got != 0 {
+		t.Errorf("zero run AT = %v", got)
+	}
+}
+
+func TestAvgIterTime(t *testing.T) {
+	r := RunResult{Iterations: 50, TotalTime: 25}
+	if got := r.AvgIterTime(); got != 0.5 {
+		t.Errorf("avg iter = %v", got)
+	}
+	if got := (RunResult{}).AvgIterTime(); got != 0 {
+		t.Errorf("zero run avg iter = %v", got)
+	}
+}
+
+func TestPIDEq4(t *testing.T) {
+	base := RunResult{Iterations: 100, TotalTime: 100}
+	strag := RunResult{Iterations: 100, TotalTime: 150}
+	if got := PID(strag, base); got != 0.5 {
+		t.Errorf("PID = %v, want 0.5", got)
+	}
+	if got := PID(RunResult{}, base); got != 0 {
+		t.Errorf("degenerate PID = %v", got)
+	}
+}
+
+func TestSpeedupAndImprovement(t *testing.T) {
+	a := RunResult{TotalBatch: 100, Iterations: 1, TotalTime: 1}   // 100/s
+	b := RunResult{TotalBatch: 100, Iterations: 1, TotalTime: 2.5} // 40/s
+	if got := Speedup(a, b); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("speedup = %v, want 2.5", got)
+	}
+	if got := Improvement(a, b); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("improvement = %v, want 1.5", got)
+	}
+	if got := Speedup(a, RunResult{}); got != 0 {
+		t.Errorf("speedup vs zero = %v", got)
+	}
+}
+
+func TestFormatImprovement(t *testing.T) {
+	tests := []struct {
+		rel  float64
+		want string
+	}{
+		{0.4965, "49.65%"},
+		{0.0998, "9.98%"},
+		{2.23, "2.23x"},
+		{1.0, "1.00x"},
+	}
+	for _, tc := range tests {
+		if got := FormatImprovement(tc.rel); got != tc.want {
+			t.Errorf("FormatImprovement(%v) = %q, want %q", tc.rel, got, tc.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Demo", Headers: []string{"name", "v"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "alpha") {
+		t.Errorf("table output missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+	// Columns align: every non-title line has the same prefix width
+	// before the second column.
+	idx := strings.Index(lines[1], "v")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx {
+			t.Errorf("short line %q", ln)
+		}
+	}
+}
+
+func TestNormalizeFig6a(t *testing.T) {
+	xs := []float64{10, 20, 15}
+	got := Normalize(xs)
+	want := []float64{0, 1, 0.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Normalize = %v, want %v", got, want)
+		}
+	}
+	// Constant series normalizes to zeros, not NaN.
+	for _, v := range Normalize([]float64{3, 3, 3}) {
+		if v != 0 {
+			t.Error("constant series must normalize to 0")
+		}
+	}
+	if len(Normalize(nil)) != 0 {
+		t.Error("nil series")
+	}
+}
+
+func TestNormalizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		ys := Normalize(xs)
+		for _, y := range ys {
+			if y < 0 || y > 1 || math.IsNaN(y) {
+				return false
+			}
+		}
+		return len(ys) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{5, -2, 7, 0})
+	if min != -2 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("empty MinMax = %v,%v", min, max)
+	}
+}

@@ -1,0 +1,249 @@
+package minidnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fela/internal/tensor"
+)
+
+// Conv2D is a real 2-D convolution layer (NCHW, square kernels, stride
+// 1, symmetric zero padding) with direct-loop forward and backward
+// passes. It exists so the real-time engine can train genuine CNNs, not
+// just MLPs; sizes are expected to be small.
+type Conv2D struct {
+	InC, OutC, K, Pad int
+	InH, InW          int
+
+	W, B   *tensor.Tensor // W shape (OutC, InC*K*K), B shape (OutC)
+	gW, gB *tensor.Tensor
+	lastX  *tensor.Tensor
+}
+
+// NewConv2D builds a convolution layer with N(0, 1/(InC·K²))
+// initialization.
+func NewConv2D(rng *rand.Rand, inC, outC, k, pad, inH, inW int) *Conv2D {
+	if k <= 0 || inC <= 0 || outC <= 0 || inH < k-2*pad || inW < k-2*pad {
+		panic(fmt.Sprintf("minidnn: bad conv geometry (%d,%d,k=%d,pad=%d,%dx%d)", inC, outC, k, pad, inH, inW))
+	}
+	fanIn := float64(inC * k * k)
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Pad: pad, InH: inH, InW: inW,
+		W:  tensor.New(outC, inC*k*k).Randn(rng, 1/math.Sqrt(fanIn)),
+		B:  tensor.New(outC),
+		gW: tensor.New(outC, inC*k*k),
+		gB: tensor.New(outC),
+	}
+}
+
+// OutH and OutW are the output spatial dimensions.
+func (c *Conv2D) OutH() int { return c.InH + 2*c.Pad - c.K + 1 }
+func (c *Conv2D) OutW() int { return c.InW + 2*c.Pad - c.K + 1 }
+
+// at returns x[n][ch][i][j] honouring zero padding.
+func (c *Conv2D) at(x *tensor.Tensor, n, ch, i, j int) float32 {
+	if i < 0 || j < 0 || i >= c.InH || j >= c.InW {
+		return 0
+	}
+	return x.Data[((n*c.InC+ch)*c.InH+i)*c.InW+j]
+}
+
+// Forward implements Layer. The input is (batch, InC*InH*InW) flattened
+// row-major; the output is (batch, OutC*OutH*OutW).
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 2 || x.Shape[1] != c.InC*c.InH*c.InW {
+		panic(fmt.Sprintf("minidnn: conv input shape %v, want (*,%d)", x.Shape, c.InC*c.InH*c.InW))
+	}
+	c.lastX = x
+	batch := x.Shape[0]
+	oh, ow := c.OutH(), c.OutW()
+	out := tensor.New(batch, c.OutC*oh*ow)
+	for n := 0; n < batch; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					sum := c.B.Data[oc]
+					for ic := 0; ic < c.InC; ic++ {
+						for ki := 0; ki < c.K; ki++ {
+							for kj := 0; kj < c.K; kj++ {
+								w := c.W.Data[oc*c.InC*c.K*c.K+(ic*c.K+ki)*c.K+kj]
+								sum += w * c.at(x, n, ic, i-c.Pad+ki, j-c.Pad+kj)
+							}
+						}
+					}
+					out.Data[(n*c.OutC+oc)*oh*ow+i*ow+j] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastX == nil {
+		panic("minidnn: conv Backward before Forward")
+	}
+	batch := c.lastX.Shape[0]
+	oh, ow := c.OutH(), c.OutW()
+	dx := tensor.New(batch, c.InC*c.InH*c.InW)
+	for n := 0; n < batch; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					g := grad.Data[(n*c.OutC+oc)*oh*ow+i*ow+j]
+					if g == 0 {
+						continue
+					}
+					c.gB.Data[oc] += g
+					for ic := 0; ic < c.InC; ic++ {
+						for ki := 0; ki < c.K; ki++ {
+							for kj := 0; kj < c.K; kj++ {
+								ii, jj := i-c.Pad+ki, j-c.Pad+kj
+								wIdx := oc*c.InC*c.K*c.K + (ic*c.K+ki)*c.K + kj
+								c.gW.Data[wIdx] += g * c.at(c.lastX, n, ic, ii, jj)
+								if ii >= 0 && jj >= 0 && ii < c.InH && jj < c.InW {
+									dx.Data[((n*c.InC+ic)*c.InH+ii)*c.InW+jj] += g * c.W.Data[wIdx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gW, c.gB} }
+
+// ZeroGrads implements Layer.
+func (c *Conv2D) ZeroGrads() {
+	c.gW.Zero()
+	c.gB.Zero()
+}
+
+// MaxPool2D is a parameter-free max pooling layer (square window, stride
+// = window).
+type MaxPool2D struct {
+	C, InH, InW, K int
+
+	lastX   *tensor.Tensor
+	argmaxI []int // flat input index chosen per output element
+}
+
+// NewMaxPool2D builds the layer; the input spatial dims must divide by K.
+func NewMaxPool2D(c, inH, inW, k int) *MaxPool2D {
+	if inH%k != 0 || inW%k != 0 {
+		panic(fmt.Sprintf("minidnn: pool %dx%d not divisible by %d", inH, inW, k))
+	}
+	return &MaxPool2D{C: c, InH: inH, InW: inW, K: k}
+}
+
+// OutH and OutW are the output spatial dimensions.
+func (p *MaxPool2D) OutH() int { return p.InH / p.K }
+func (p *MaxPool2D) OutW() int { return p.InW / p.K }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 2 || x.Shape[1] != p.C*p.InH*p.InW {
+		panic(fmt.Sprintf("minidnn: pool input shape %v, want (*,%d)", x.Shape, p.C*p.InH*p.InW))
+	}
+	p.lastX = x
+	batch := x.Shape[0]
+	oh, ow := p.OutH(), p.OutW()
+	out := tensor.New(batch, p.C*oh*ow)
+	p.argmaxI = make([]int, out.Len())
+	for n := 0; n < batch; n++ {
+		for ch := 0; ch < p.C; ch++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ki := 0; ki < p.K; ki++ {
+						for kj := 0; kj < p.K; kj++ {
+							idx := ((n*p.C+ch)*p.InH+i*p.K+ki)*p.InW + j*p.K + kj
+							if v := x.Data[idx]; v > best {
+								best = v
+								bestIdx = idx
+							}
+						}
+					}
+					oIdx := (n*p.C+ch)*oh*ow + i*ow + j
+					out.Data[oIdx] = best
+					p.argmaxI[oIdx] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient routes to each window's argmax.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.lastX == nil {
+		panic("minidnn: pool Backward before Forward")
+	}
+	dx := tensor.New(p.lastX.Shape...)
+	for oIdx, inIdx := range p.argmaxI {
+		dx.Data[inIdx] += grad.Data[oIdx]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (p *MaxPool2D) ZeroGrads() {}
+
+// NewCNN builds a small LeNet-style CNN for (c, h, w) image inputs:
+// Conv(k=3,pad=1,filters) → ReLU → MaxPool(2) → Dense(hidden) → ReLU →
+// Dense(classes).
+func NewCNN(seed int64, c, h, w, filters, hidden, classes int) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	conv := NewConv2D(rng, c, filters, 3, 1, h, w)
+	pool := NewMaxPool2D(filters, conv.OutH(), conv.OutW(), 2)
+	flat := filters * pool.OutH() * pool.OutW()
+	return &Network{Layers: []Layer{
+		conv,
+		&ReLU{},
+		pool,
+		NewDense(rng, flat, hidden),
+		&ReLU{},
+		NewDense(rng, hidden, classes),
+	}}
+}
+
+// SyntheticImages generates a deterministic image-classification
+// dataset: k class templates of shape (c,h,w) plus noise, n samples,
+// flattened row-major for the Network input.
+func SyntheticImages(seed int64, n, c, h, w, k int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	dim := c * h * w
+	templates := make([][]float64, k)
+	for t := range templates {
+		templates[t] = make([]float64, dim)
+		for d := range templates[t] {
+			templates[t][d] = rng.NormFloat64() * 2
+		}
+	}
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % k
+		labels[i] = cls
+		for d := 0; d < dim; d++ {
+			x.Data[i*dim+d] = float32(templates[cls][d] + 0.5*rng.NormFloat64())
+		}
+	}
+	return &Dataset{X: x, Labels: labels}
+}

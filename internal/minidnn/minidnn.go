@@ -1,0 +1,296 @@
+// Package minidnn is a small, real neural-network training engine built
+// on internal/tensor. The real-time Fela engine (internal/rt) uses it to
+// prove the paper's reproducibility claim (Table II, last column):
+// token-scheduled BSP training computes bit-identical parameters to
+// sequential large-batch SGD, no matter how tokens are distributed or
+// how stragglers reshuffle the work.
+//
+// Everything is deterministic: initialization comes from a seed, and
+// gradient aggregation helpers preserve a canonical accumulation order.
+package minidnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fela/internal/tensor"
+)
+
+// Layer is a differentiable module. Forward consumes a (batch×in)
+// tensor; Backward consumes the gradient with respect to the output of
+// the most recent Forward and returns the gradient with respect to its
+// input, accumulating parameter gradients internally.
+type Layer interface {
+	// Forward computes the layer output for the batch.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward propagates the output gradient, accumulating parameter
+	// gradients.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's parameter tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns the accumulated parameter gradients, aligned with
+	// Params.
+	Grads() []*tensor.Tensor
+	// ZeroGrads clears the accumulated gradients.
+	ZeroGrads()
+}
+
+// Dense is a fully connected layer with bias: y = x·W + b.
+type Dense struct {
+	W, B   *tensor.Tensor
+	gW, gB *tensor.Tensor
+	lastX  *tensor.Tensor
+}
+
+// NewDense returns a Dense layer with Xavier-style N(0, 1/in)
+// initialization from the rng.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		W:  tensor.New(in, out).Randn(rng, 1/math.Sqrt(float64(in))),
+		B:  tensor.New(out),
+		gW: tensor.New(in, out),
+		gB: tensor.New(out),
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	d.lastX = x
+	out := tensor.MatMul(x, d.W)
+	cols := d.B.Len()
+	for i := 0; i < out.Shape[0]; i++ {
+		for j := 0; j < cols; j++ {
+			out.Data[i*cols+j] += d.B.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastX == nil {
+		panic("minidnn: Backward before Forward")
+	}
+	d.gW.Add(tensor.MatMulAT(d.lastX, grad))
+	cols := d.B.Len()
+	for i := 0; i < grad.Shape[0]; i++ {
+		for j := 0; j < cols; j++ {
+			d.gB.Data[j] += grad.Data[i*cols+j]
+		}
+	}
+	return tensor.MatMulBT(grad, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gW, d.gB} }
+
+// ZeroGrads implements Layer.
+func (d *Dense) ZeroGrads() {
+	d.gW.Zero()
+	d.gB.Zero()
+}
+
+// ReLU is a parameter-free rectifier layer.
+type ReLU struct {
+	lastX *tensor.Tensor
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	r.lastX = x
+	return tensor.ReLU(x)
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastX == nil {
+		panic("minidnn: Backward before Forward")
+	}
+	return tensor.ReLUGrad(r.lastX, grad)
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (r *ReLU) ZeroGrads() {}
+
+// Network is an ordered stack of layers trained with softmax
+// cross-entropy.
+type Network struct {
+	Layers []Layer
+}
+
+// NewMLP builds a multi-layer perceptron with the given layer widths
+// (input, hidden..., classes), ReLU between Dense layers.
+func NewMLP(seed int64, widths ...int) *Network {
+	if len(widths) < 2 {
+		panic("minidnn: MLP needs at least input and output widths")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{}
+	for i := 0; i < len(widths)-1; i++ {
+		n.Layers = append(n.Layers, NewDense(rng, widths[i], widths[i+1]))
+		if i < len(widths)-2 {
+			n.Layers = append(n.Layers, &ReLU{})
+		}
+	}
+	return n
+}
+
+// Forward runs the full stack.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Loss computes mean cross-entropy and backpropagates, accumulating
+// parameter gradients. It returns the loss.
+func (n *Network) Loss(x *tensor.Tensor, labels []int) float64 {
+	logits := n.Forward(x)
+	loss, grad := tensor.SoftmaxCrossEntropy(logits, labels)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return loss
+}
+
+// Params returns every parameter tensor in a canonical order.
+func (n *Network) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns every gradient tensor aligned with Params.
+func (n *Network) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range n.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// SGDStep applies params -= lr * grads and zeroes the gradients.
+func (n *Network) SGDStep(lr float32) {
+	params, grads := n.Params(), n.Grads()
+	for i := range params {
+		params[i].AddScaled(grads[i], -lr)
+	}
+	n.ZeroGrads()
+}
+
+// SetParams copies the given flat parameter tensors into the network
+// (aligned with Params order).
+func (n *Network) SetParams(ps []*tensor.Tensor) {
+	params := n.Params()
+	if len(ps) != len(params) {
+		panic(fmt.Sprintf("minidnn: SetParams got %d tensors, want %d", len(ps), len(params)))
+	}
+	for i, p := range params {
+		if p.Len() != ps[i].Len() {
+			panic("minidnn: SetParams size mismatch")
+		}
+		copy(p.Data, ps[i].Data)
+	}
+}
+
+// CloneParams returns deep copies of the parameters.
+func (n *Network) CloneParams() []*tensor.Tensor {
+	params := n.Params()
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// CloneGrads returns deep copies of the accumulated gradients.
+func (n *Network) CloneGrads() []*tensor.Tensor {
+	grads := n.Grads()
+	out := make([]*tensor.Tensor, len(grads))
+	for i, g := range grads {
+		out[i] = g.Clone()
+	}
+	return out
+}
+
+// ParamsEqual reports bitwise equality of two parameter sets.
+func ParamsEqual(a, b []*tensor.Tensor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accuracy computes classification accuracy on the dataset.
+func (n *Network) Accuracy(x *tensor.Tensor, labels []int) float64 {
+	pred := tensor.Argmax(n.Forward(x))
+	hits := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(labels))
+}
+
+// Dataset is a labelled set of feature rows.
+type Dataset struct {
+	X      *tensor.Tensor
+	Labels []int
+}
+
+// SyntheticBlobs generates a deterministic classification dataset: k
+// Gaussian blobs in dim dimensions, n samples.
+func SyntheticBlobs(seed int64, n, dim, k int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for d := range centers[c] {
+			centers[c][d] = rng.NormFloat64() * 3
+		}
+	}
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		labels[i] = c
+		for d := 0; d < dim; d++ {
+			x.Data[i*dim+d] = float32(centers[c][d] + rng.NormFloat64())
+		}
+	}
+	return &Dataset{X: x, Labels: labels}
+}
+
+// Batch returns rows [lo, hi) of the dataset.
+func (d *Dataset) Batch(lo, hi int) (*tensor.Tensor, []int) {
+	return d.X.Rows(lo, hi), d.Labels[lo:hi]
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Labels) }

@@ -1,0 +1,183 @@
+package minidnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fela/internal/tensor"
+)
+
+func TestMLPShapes(t *testing.T) {
+	n := NewMLP(1, 4, 8, 3)
+	// Dense(4,8), ReLU, Dense(8,3).
+	if len(n.Layers) != 3 {
+		t.Fatalf("layers = %d", len(n.Layers))
+	}
+	x := tensor.New(5, 4)
+	out := n.Forward(x)
+	if out.Shape[0] != 5 || out.Shape[1] != 3 {
+		t.Fatalf("output shape %v", out.Shape)
+	}
+	if len(n.Params()) != 4 { // W1,B1,W2,B2
+		t.Fatalf("params = %d", len(n.Params()))
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := NewMLP(42, 4, 8, 3)
+	b := NewMLP(42, 4, 8, 3)
+	if !ParamsEqual(a.Params(), b.Params()) {
+		t.Fatal("same seed must give identical parameters")
+	}
+	c := NewMLP(43, 4, 8, 3)
+	if ParamsEqual(a.Params(), c.Params()) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+// TestGradientNumeric validates the full backward pass against finite
+// differences for a small MLP.
+func TestGradientNumeric(t *testing.T) {
+	n := NewMLP(7, 3, 5, 2)
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.New(4, 3).Randn(rng, 1)
+	labels := []int{0, 1, 1, 0}
+
+	n.ZeroGrads()
+	n.Loss(x, labels)
+	grads := n.CloneGrads()
+	params := n.Params()
+
+	const eps = 1e-3
+	checked := 0
+	for pi, p := range params {
+		for _, idx := range []int{0, p.Len() / 2, p.Len() - 1} {
+			orig := p.Data[idx]
+			p.Data[idx] = orig + eps
+			lossP := lossOnly(n, x, labels)
+			p.Data[idx] = orig - eps
+			lossM := lossOnly(n, x, labels)
+			p.Data[idx] = orig
+			numeric := (lossP - lossM) / (2 * eps)
+			analytic := float64(grads[pi].Data[idx])
+			if math.Abs(numeric-analytic) > 1e-2*(1+math.Abs(numeric)) {
+				t.Errorf("param %d idx %d: analytic %v numeric %v", pi, idx, analytic, numeric)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no gradient entries checked")
+	}
+}
+
+func lossOnly(n *Network, x *tensor.Tensor, labels []int) float64 {
+	saved := n.CloneGrads()
+	loss := n.Loss(x, labels)
+	// Restore gradient accumulators (Loss accumulates).
+	grads := n.Grads()
+	for i := range grads {
+		copy(grads[i].Data, saved[i].Data)
+	}
+	return loss
+}
+
+// TestTrainingConverges: SGD on separable blobs must reach high accuracy.
+func TestTrainingConverges(t *testing.T) {
+	ds := SyntheticBlobs(11, 256, 8, 4)
+	n := NewMLP(3, 8, 32, 4)
+	first := 0.0
+	for epoch := 0; epoch < 60; epoch++ {
+		loss := n.Loss(ds.X, ds.Labels)
+		if epoch == 0 {
+			first = loss
+		}
+		n.SGDStep(0.1)
+	}
+	final := n.Loss(ds.X, ds.Labels)
+	n.ZeroGrads()
+	if final >= first/2 {
+		t.Fatalf("loss did not halve: %v -> %v", first, final)
+	}
+	if acc := n.Accuracy(ds.X, ds.Labels); acc < 0.9 {
+		t.Fatalf("accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+// TestGradientAccumulationLinearity: the gradient of a batch equals the
+// sum of per-shard gradients (the property BSP token training relies
+// on). Cross-entropy normalizes by batch size, so shards must be
+// weighted by their share.
+func TestGradientAccumulationLinearity(t *testing.T) {
+	ds := SyntheticBlobs(5, 32, 6, 3)
+	full := NewMLP(21, 6, 16, 3)
+	full.Loss(ds.X, ds.Labels)
+	want := full.CloneGrads()
+
+	sharded := NewMLP(21, 6, 16, 3)
+	acc := make([]*tensor.Tensor, len(want))
+	for i, g := range want {
+		acc[i] = tensor.New(g.Shape...)
+	}
+	for lo := 0; lo < 32; lo += 8 {
+		x, labels := ds.Batch(lo, lo+8)
+		sharded.ZeroGrads()
+		sharded.Loss(x, labels)
+		for i, g := range sharded.Grads() {
+			// Shard gradient is mean over 8; full is mean over 32.
+			acc[i].AddScaled(g, 8.0/32.0)
+		}
+	}
+	for i := range want {
+		if want[i].MaxAbsDiff(acc[i]) > 1e-4 {
+			t.Fatalf("grad %d differs by %v", i, want[i].MaxAbsDiff(acc[i]))
+		}
+	}
+}
+
+func TestSetParamsRoundTrip(t *testing.T) {
+	a := NewMLP(1, 4, 8, 2)
+	b := NewMLP(2, 4, 8, 2)
+	if ParamsEqual(a.Params(), b.Params()) {
+		t.Fatal("precondition: different nets")
+	}
+	b.SetParams(a.CloneParams())
+	if !ParamsEqual(a.Params(), b.Params()) {
+		t.Fatal("SetParams did not copy")
+	}
+	// Mutating the source afterwards must not affect b.
+	a.Params()[0].Data[0] += 1
+	if ParamsEqual(a.Params(), b.Params()) {
+		t.Fatal("SetParams aliases storage")
+	}
+}
+
+func TestSyntheticBlobsDeterministic(t *testing.T) {
+	a := SyntheticBlobs(4, 64, 5, 3)
+	b := SyntheticBlobs(4, 64, 5, 3)
+	if !a.X.Equal(b.X) {
+		t.Fatal("dataset not deterministic")
+	}
+	if a.Len() != 64 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	x, labels := a.Batch(8, 16)
+	if x.Shape[0] != 8 || len(labels) != 8 {
+		t.Fatal("batch shape wrong")
+	}
+	// Labels cycle through classes.
+	if a.Labels[0] != 0 || a.Labels[1] != 1 || a.Labels[3] != 0 {
+		t.Fatalf("labels = %v", a.Labels[:4])
+	}
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	d := NewDense(rand.New(rand.NewSource(1)), 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Backward(tensor.New(1, 2))
+}

@@ -1,0 +1,209 @@
+// Package model describes neural-network architectures at the granularity
+// Fela schedules them: ordered layers with parameter counts, per-sample
+// forward/backward FLOPs and activation sizes. It also ships the model
+// zoo used throughout the paper (VGG19, GoogLeNet) plus the historical
+// networks of Table I.
+//
+// Nothing in this package executes math; real execution lives in
+// internal/minidnn (micro real training) and internal/gpu (cost model).
+package model
+
+import "fmt"
+
+// Kind classifies a layer for scheduling purposes.
+type Kind int
+
+const (
+	// Conv is a 2-D convolution, the compute-intensive kind.
+	Conv Kind = iota
+	// FC is a fully connected layer, the communication-intensive kind.
+	FC
+	// Pool is a parameter-free spatial pooling layer.
+	Pool
+	// Inception is a composite GoogLeNet inception module.
+	Inception
+	// Composite is an opaque layer with explicitly provided costs.
+	Composite
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "CONV"
+	case FC:
+		return "FC"
+	case Pool:
+		return "POOL"
+	case Inception:
+		return "INCEPTION"
+	case Composite:
+		return "COMPOSITE"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// BytesPerElement is the size of one parameter or activation element;
+// the paper's prototypes train in float32.
+const BytesPerElement = 4
+
+// Layer is a flattened layer description. All per-sample quantities are
+// computed eagerly by the constructors so downstream packages treat a
+// Layer as plain data.
+type Layer struct {
+	// Name is unique within the model, e.g. "conv3_2".
+	Name string
+	// Kind classifies the layer.
+	Kind Kind
+	// Shape is the profile-repository key in the paper's
+	// (Cin,Cout,H,W) notation for CONV or (In,Out) for FC. Pooling and
+	// composite layers use a descriptive string.
+	Shape string
+	// Params is the number of trainable parameters.
+	Params int64
+	// FwdFLOPs is the forward floating-point cost for one sample.
+	FwdFLOPs int64
+	// InElems and OutElems are input/output activation element counts
+	// for one sample.
+	InElems  int64
+	OutElems int64
+	// CommIntensive marks layers whose synchronization cost dominates
+	// their compute (FC layers, per §III-F).
+	CommIntensive bool
+}
+
+// BwdFLOPs is the backward floating-point cost for one sample. Backward
+// computes both input and weight gradients, conventionally twice the
+// forward cost.
+func (l Layer) BwdFLOPs() int64 { return 2 * l.FwdFLOPs }
+
+// ParamBytes is the parameter footprint in bytes.
+func (l Layer) ParamBytes() int64 { return l.Params * BytesPerElement }
+
+// OutBytes is the activation output size in bytes for one sample.
+func (l Layer) OutBytes() int64 { return l.OutElems * BytesPerElement }
+
+// HasWeights reports whether the layer carries trainable parameters and
+// therefore counts in the paper's layer numbering.
+func (l Layer) HasWeights() bool { return l.Params > 0 }
+
+// ConvSpec describes a 2-D convolution to the constructor.
+type ConvSpec struct {
+	Name                string
+	InC, OutC           int
+	InH, InW            int
+	Kernel, Stride, Pad int
+}
+
+// NewConv builds a convolution layer. Output spatial size follows the
+// usual floor((in + 2*pad - kernel)/stride) + 1 rule.
+func NewConv(s ConvSpec) Layer {
+	if s.Stride == 0 {
+		s.Stride = 1
+	}
+	outH := (s.InH+2*s.Pad-s.Kernel)/s.Stride + 1
+	outW := (s.InW+2*s.Pad-s.Kernel)/s.Stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("model: conv %q has non-positive output %dx%d", s.Name, outH, outW))
+	}
+	params := int64(s.OutC)*int64(s.InC)*int64(s.Kernel)*int64(s.Kernel) + int64(s.OutC)
+	// 2 FLOPs (mul+add) per MAC.
+	fwd := 2 * int64(outH) * int64(outW) * int64(s.OutC) * int64(s.InC) * int64(s.Kernel) * int64(s.Kernel)
+	return Layer{
+		Name:     s.Name,
+		Kind:     Conv,
+		Shape:    fmt.Sprintf("(%d,%d,%d,%d)", s.InC, s.OutC, s.InH, s.InW),
+		Params:   params,
+		FwdFLOPs: fwd,
+		InElems:  int64(s.InC) * int64(s.InH) * int64(s.InW),
+		OutElems: int64(s.OutC) * int64(outH) * int64(outW),
+	}
+}
+
+// NewFC builds a fully connected layer mapping in features to out
+// features.
+func NewFC(name string, in, out int) Layer {
+	return Layer{
+		Name:          name,
+		Kind:          FC,
+		Shape:         fmt.Sprintf("(%d,%d)", in, out),
+		Params:        int64(in)*int64(out) + int64(out),
+		FwdFLOPs:      2 * int64(in) * int64(out),
+		InElems:       int64(in),
+		OutElems:      int64(out),
+		CommIntensive: true,
+	}
+}
+
+// NewPool builds a parameter-free pooling layer. FLOPs are one compare or
+// add per input element — negligible but nonzero so timelines stay sane.
+func NewPool(name string, c, inH, inW, kernel, stride int) Layer {
+	outH := (inH-kernel)/stride + 1
+	outW := (inW-kernel)/stride + 1
+	return Layer{
+		Name:     name,
+		Kind:     Pool,
+		Shape:    fmt.Sprintf("pool(%d,%d,%d)", c, inH, inW),
+		FwdFLOPs: int64(c) * int64(inH) * int64(inW),
+		InElems:  int64(c) * int64(inH) * int64(inW),
+		OutElems: int64(c) * int64(outH) * int64(outW),
+	}
+}
+
+// InceptionSpec describes a GoogLeNet inception module by its four branch
+// widths, using the notation of the original paper: #1x1, #3x3 reduce,
+// #3x3, #5x5 reduce, #5x5, pool proj.
+type InceptionSpec struct {
+	Name     string
+	InC      int
+	H, W     int
+	C1       int // 1x1 branch
+	C3r, C3  int // 3x3 reduce, 3x3
+	C5r, C5  int // 5x5 reduce, 5x5
+	PoolProj int // 1x1 after pooling
+}
+
+// OutC is the concatenated output channel count.
+func (s InceptionSpec) OutC() int { return s.C1 + s.C3 + s.C5 + s.PoolProj }
+
+// NewInception builds a composite inception layer whose costs are the sum
+// of its internal convolutions at the module's spatial size.
+func NewInception(s InceptionSpec) Layer {
+	convs := []Layer{
+		NewConv(ConvSpec{Name: s.Name + "/1x1", InC: s.InC, OutC: s.C1, InH: s.H, InW: s.W, Kernel: 1}),
+		NewConv(ConvSpec{Name: s.Name + "/3x3r", InC: s.InC, OutC: s.C3r, InH: s.H, InW: s.W, Kernel: 1}),
+		NewConv(ConvSpec{Name: s.Name + "/3x3", InC: s.C3r, OutC: s.C3, InH: s.H, InW: s.W, Kernel: 3, Pad: 1}),
+		NewConv(ConvSpec{Name: s.Name + "/5x5r", InC: s.InC, OutC: s.C5r, InH: s.H, InW: s.W, Kernel: 1}),
+		NewConv(ConvSpec{Name: s.Name + "/5x5", InC: s.C5r, OutC: s.C5, InH: s.H, InW: s.W, Kernel: 5, Pad: 2}),
+		NewConv(ConvSpec{Name: s.Name + "/pp", InC: s.InC, OutC: s.PoolProj, InH: s.H, InW: s.W, Kernel: 1}),
+	}
+	var params, fwd int64
+	for _, c := range convs {
+		params += c.Params
+		fwd += c.FwdFLOPs
+	}
+	return Layer{
+		Name:     s.Name,
+		Kind:     Inception,
+		Shape:    fmt.Sprintf("incep(%d,%d,%d,%d)", s.InC, s.OutC(), s.H, s.W),
+		Params:   params,
+		FwdFLOPs: fwd,
+		InElems:  int64(s.InC) * int64(s.H) * int64(s.W),
+		OutElems: int64(s.OutC()) * int64(s.H) * int64(s.W),
+	}
+}
+
+// NewComposite builds an opaque layer with explicit costs, used for
+// skeleton models in Table I.
+func NewComposite(name string, params, fwdFLOPs, inElems, outElems int64) Layer {
+	return Layer{
+		Name:     name,
+		Kind:     Composite,
+		Shape:    "composite(" + name + ")",
+		Params:   params,
+		FwdFLOPs: fwdFLOPs,
+		InElems:  inElems,
+		OutElems: outElems,
+	}
+}

@@ -1,0 +1,292 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVGG19Structure(t *testing.T) {
+	m := VGG19()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WeightLayerCount(); got != 19 {
+		t.Fatalf("VGG19 weight layers = %d, want 19", got)
+	}
+	wl := m.WeightLayers()
+	convs, fcs := 0, 0
+	for _, l := range wl {
+		switch l.Kind {
+		case Conv:
+			convs++
+		case FC:
+			fcs++
+		default:
+			t.Fatalf("unexpected weight layer kind %v", l.Kind)
+		}
+	}
+	if convs != 16 || fcs != 3 {
+		t.Fatalf("VGG19 has %d conv + %d fc weight layers, want 16+3", convs, fcs)
+	}
+	// VGG19 has ~143.7M parameters.
+	p := m.Params()
+	if p < 140e6 || p > 148e6 {
+		t.Fatalf("VGG19 params = %d, want ~143.7M", p)
+	}
+	// Forward cost ~19.6 GFLOPs/sample (2 FLOPs per MAC -> ~39.3G).
+	f := m.FwdFLOPs()
+	if f < 35e9 || f > 45e9 {
+		t.Fatalf("VGG19 fwd FLOPs = %d, want ~39G", f)
+	}
+}
+
+func TestVGG19FirstAndLastShapes(t *testing.T) {
+	m := VGG19()
+	wl := m.WeightLayers()
+	if wl[1].Shape != "(64,64,224,224)" {
+		t.Fatalf("conv1_2 shape = %s, want (64,64,224,224)", wl[1].Shape)
+	}
+	if wl[15].Shape != "(512,512,14,14)" {
+		t.Fatalf("conv5_4 shape = %s, want (512,512,14,14)", wl[15].Shape)
+	}
+	if wl[17].Shape != "(4096,4096)" {
+		t.Fatalf("fc7 shape = %s, want (4096,4096)", wl[17].Shape)
+	}
+	if !wl[18].CommIntensive || wl[0].CommIntensive {
+		t.Fatal("FC layers must be comm-intensive, conv must not")
+	}
+}
+
+func TestGoogLeNetStructure(t *testing.T) {
+	m := GoogLeNet()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper numbering: 12 weight layers (L1-4, L5-9, L10-12 partition).
+	if got := m.WeightLayerCount(); got != 12 {
+		t.Fatalf("GoogLeNet weight layers = %d, want 12", got)
+	}
+	// GoogLeNet is far smaller and cheaper than VGG19.
+	v := VGG19()
+	if m.Params() >= v.Params()/10 {
+		t.Fatalf("GoogLeNet params %d not << VGG19 %d", m.Params(), v.Params())
+	}
+	if m.FwdFLOPs() >= v.FwdFLOPs()/10 {
+		t.Fatalf("GoogLeNet flops %d not << VGG19 %d", m.FwdFLOPs(), v.FwdFLOPs())
+	}
+}
+
+func TestZooValidation(t *testing.T) {
+	for _, name := range []string{"VGG19", "GoogLeNet", "LeNet-5", "AlexNet"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestLeNet5AndAlexNetLayerCounts(t *testing.T) {
+	if got := LeNet5().WeightLayerCount(); got != 5 {
+		t.Errorf("LeNet-5 weight layers = %d, want 5", got)
+	}
+	if got := AlexNet().WeightLayerCount(); got != 8 {
+		t.Errorf("AlexNet weight layers = %d, want 8", got)
+	}
+	// AlexNet ~61M params.
+	p := AlexNet().Params()
+	if p < 55e6 || p > 65e6 {
+		t.Errorf("AlexNet params = %d, want ~61M", p)
+	}
+}
+
+func TestConvGeometry(t *testing.T) {
+	tests := []struct {
+		spec         ConvSpec
+		wantOut      int64
+		wantParams   int64
+		wantFwdFLOPs int64
+	}{
+		{
+			// 1x1 conv keeps spatial size.
+			ConvSpec{Name: "a", InC: 8, OutC: 4, InH: 10, InW: 10, Kernel: 1},
+			4 * 10 * 10,
+			8*4 + 4,
+			2 * 10 * 10 * 4 * 8,
+		},
+		{
+			// 3x3 pad 1 keeps spatial size.
+			ConvSpec{Name: "b", InC: 3, OutC: 2, InH: 5, InW: 5, Kernel: 3, Pad: 1},
+			2 * 5 * 5,
+			3*2*9 + 2,
+			2 * 5 * 5 * 2 * 3 * 9,
+		},
+		{
+			// stride 2 halves (odd input).
+			ConvSpec{Name: "c", InC: 1, OutC: 1, InH: 7, InW: 7, Kernel: 3, Stride: 2, Pad: 1},
+			4 * 4,
+			9 + 1,
+			2 * 4 * 4 * 9,
+		},
+	}
+	for _, tc := range tests {
+		l := NewConv(tc.spec)
+		if l.OutElems != tc.wantOut {
+			t.Errorf("%s: OutElems = %d, want %d", tc.spec.Name, l.OutElems, tc.wantOut)
+		}
+		if l.Params != tc.wantParams {
+			t.Errorf("%s: Params = %d, want %d", tc.spec.Name, l.Params, tc.wantParams)
+		}
+		if l.FwdFLOPs != tc.wantFwdFLOPs {
+			t.Errorf("%s: FwdFLOPs = %d, want %d", tc.spec.Name, l.FwdFLOPs, tc.wantFwdFLOPs)
+		}
+	}
+}
+
+func TestFCCosts(t *testing.T) {
+	l := NewFC("fc", 100, 10)
+	if l.Params != 100*10+10 {
+		t.Errorf("params = %d", l.Params)
+	}
+	if l.FwdFLOPs != 2*100*10 {
+		t.Errorf("flops = %d", l.FwdFLOPs)
+	}
+	if l.BwdFLOPs() != 2*l.FwdFLOPs {
+		t.Errorf("bwd = %d, want 2x fwd", l.BwdFLOPs())
+	}
+}
+
+func TestLayerRange(t *testing.T) {
+	m := VGG19()
+	// L1-8: convs of blocks 1-3, including interleaved pools, plus the
+	// trailing pool before block 4.
+	sub := m.LayerRange(1, 8)
+	weights := 0
+	for _, l := range sub {
+		if l.HasWeights() {
+			weights++
+		}
+	}
+	if weights != 8 {
+		t.Fatalf("L1-8 contains %d weight layers, want 8", weights)
+	}
+	if sub[0].Name != "conv1_1" {
+		t.Fatalf("first layer = %s, want conv1_1", sub[0].Name)
+	}
+	if last := sub[len(sub)-1]; last.Name != "pool3" {
+		t.Fatalf("last layer = %s, want trailing pool3", last.Name)
+	}
+	// L17-19 are exactly the FC layers.
+	fc := m.LayerRange(17, 19)
+	if len(fc) != 3 || fc[0].Name != "fc6" || fc[2].Name != "fc8" {
+		t.Fatalf("L17-19 = %v", names(fc))
+	}
+	// Chaining: L1-8 output elems == L9-16 input elems.
+	mid := m.LayerRange(9, 16)
+	if sub[len(sub)-1].OutElems != mid[0].InElems {
+		t.Fatal("L1-8 does not chain into L9-16")
+	}
+}
+
+func TestLayerRangePanics(t *testing.T) {
+	m := VGG19()
+	for _, rng := range [][2]int{{0, 3}, {5, 4}, {1, 99}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LayerRange(%d,%d) did not panic", rng[0], rng[1])
+				}
+			}()
+			m.LayerRange(rng[0], rng[1])
+		}()
+	}
+}
+
+func TestSubModelAccounting(t *testing.T) {
+	m := VGG19()
+	sm1 := SubModel{Index: 0, Name: "SM-1", Layers: m.LayerRange(1, 8), FromLayer: 1, ToLayer: 8}
+	sm2 := SubModel{Index: 1, Name: "SM-2", Layers: m.LayerRange(9, 16), FromLayer: 9, ToLayer: 16}
+	sm3 := SubModel{Index: 2, Name: "SM-3", Layers: m.LayerRange(17, 19), FromLayer: 17, ToLayer: 19}
+	if sm1.CommIntensive() || sm2.CommIntensive() {
+		t.Error("conv sub-models must not be comm-intensive")
+	}
+	if !sm3.CommIntensive() {
+		t.Error("FC sub-model must be comm-intensive")
+	}
+	total := sm1.Params() + sm2.Params() + sm3.Params()
+	if total != m.Params() {
+		t.Errorf("partition params %d != model params %d", total, m.Params())
+	}
+	// FC sub-model holds the overwhelming majority of parameters.
+	if sm3.Params() < 8*sm1.Params() {
+		t.Errorf("FC params %d should dwarf SM-1 %d", sm3.Params(), sm1.Params())
+	}
+	// SM-2 input is SM-1 output.
+	if sm2.InBytes() != sm1.OutBytes() {
+		t.Errorf("SM-2 in %d != SM-1 out %d", sm2.InBytes(), sm1.OutBytes())
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 9 {
+		t.Fatalf("Table I rows = %d, want 9", len(rows))
+	}
+	byName := map[string]int{}
+	for _, r := range rows {
+		byName[r.Model] = r.Layers
+	}
+	for name, layers := range map[string]int{
+		"LeNet-5": 5, "VGG19": 19, "ResNet-152": 152, "CUImage": 1207,
+	} {
+		if byName[name] != layers {
+			t.Errorf("%s layers = %d, want %d", name, byName[name], layers)
+		}
+	}
+	// Years are non-decreasing (the table shows growth over time).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Year < rows[i-1].Year {
+			t.Errorf("table not in chronological order at %s", rows[i].Model)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Conv.String() != "CONV" || FC.String() != "FC" || Pool.String() != "POOL" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should include numeric value")
+	}
+}
+
+func names(ls []Layer) []string {
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.Name
+	}
+	return out
+}
+
+func TestResNet152Structure(t *testing.T) {
+	m := ResNet152()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table I: 152 weight layers (1 stem + 50x3 bottleneck convs + 1 FC).
+	if got := m.WeightLayerCount(); got != 152 {
+		t.Fatalf("ResNet-152 weight layers = %d, want 152", got)
+	}
+	// ~60M parameters.
+	if p := m.Params(); p < 50e6 || p > 70e6 {
+		t.Errorf("ResNet-152 params = %d, want ~60M", p)
+	}
+	if _, err := ByName("ResNet-152"); err != nil {
+		t.Error(err)
+	}
+}

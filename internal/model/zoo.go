@@ -1,0 +1,243 @@
+package model
+
+import "fmt"
+
+// VGG19 returns the VGG19 architecture for (3,224,224) inputs: 16 CONV
+// layers and 3 FC layers (19 weight layers), with max-pool layers
+// interleaved as in the original network. This is the paper's primary
+// benchmark (§V-A, footnote 17).
+func VGG19() *Model {
+	cfg := []struct {
+		outC  int
+		pool  bool // pool after this conv block entry
+		count int
+	}{
+		{64, false, 2}, {0, true, 0},
+		{128, false, 2}, {0, true, 0},
+		{256, false, 4}, {0, true, 0},
+		{512, false, 4}, {0, true, 0},
+		{512, false, 4}, {0, true, 0},
+	}
+	m := &Model{Name: "VGG19", InputC: 3, InputH: 224, InputW: 224}
+	c, h, w := 3, 224, 224
+	block, convIdx := 1, 1
+	for _, e := range cfg {
+		if e.pool {
+			m.Layers = append(m.Layers, NewPool(fmt.Sprintf("pool%d", block), c, h, w, 2, 2))
+			h, w = h/2, w/2
+			block++
+			convIdx = 1
+			continue
+		}
+		for i := 0; i < e.count; i++ {
+			m.Layers = append(m.Layers, NewConv(ConvSpec{
+				Name: fmt.Sprintf("conv%d_%d", block, convIdx),
+				InC:  c, OutC: e.outC, InH: h, InW: w,
+				Kernel: 3, Stride: 1, Pad: 1,
+			}))
+			c = e.outC
+			convIdx++
+		}
+	}
+	m.Layers = append(m.Layers,
+		NewFC("fc6", c*h*w, 4096),
+		NewFC("fc7", 4096, 4096),
+		NewFC("fc8", 4096, 1000),
+	)
+	mustValidate(m)
+	return m
+}
+
+// GoogLeNet returns GoogLeNet for (3,32,32) inputs as used in the paper
+// (§V-A, footnote 17). To match the paper's 12-layer numbering (§IV-A:
+// partitions L1–4, L5–9, L10–12 where L12 carries the FC), the stem's
+// 1x1+3x3 convolution pair is a single composite weight layer:
+//
+//	L1 conv7x7, L2 stem(1x1,3x3), L3–L11 the nine inception modules,
+//	L12 the final FC — 12 weight layers.
+func GoogLeNet() *Model {
+	m := &Model{Name: "GoogLeNet", InputC: 3, InputH: 32, InputW: 32}
+	// Stem: 7x7 stride 1 (CIFAR-scale adaptation keeps spatial size).
+	m.Layers = append(m.Layers, NewConv(ConvSpec{
+		Name: "conv1", InC: 3, OutC: 64, InH: 32, InW: 32, Kernel: 7, Stride: 1, Pad: 3,
+	}))
+	m.Layers = append(m.Layers, NewPool("pool1", 64, 32, 32, 3, 2)) // -> 15x15
+	// Composite stem layer: conv 1x1 (64->64) then conv 3x3 (64->192).
+	r := NewConv(ConvSpec{Name: "stem/1x1", InC: 64, OutC: 64, InH: 15, InW: 15, Kernel: 1})
+	s := NewConv(ConvSpec{Name: "stem/3x3", InC: 64, OutC: 192, InH: 15, InW: 15, Kernel: 3, Pad: 1})
+	stem := NewComposite("conv2", r.Params+s.Params, r.FwdFLOPs+s.FwdFLOPs, r.InElems, s.OutElems)
+	stem.Kind = Conv
+	stem.Shape = "(64,192,15,15)"
+	m.Layers = append(m.Layers, stem)
+	m.Layers = append(m.Layers, NewPool("pool2", 192, 15, 15, 3, 2)) // -> 7x7
+
+	type incep struct {
+		name                         string
+		c1, c3r, c3, c5r, c5, pp, hw int
+	}
+	in := 192
+	h := 7
+	for _, e := range []incep{
+		{"incep3a", 64, 96, 128, 16, 32, 32, 7},
+		{"incep3b", 128, 128, 192, 32, 96, 64, 7},
+		{"pool", 0, 0, 0, 0, 0, 0, 0},
+		{"incep4a", 192, 96, 208, 16, 48, 64, 3},
+		{"incep4b", 160, 112, 224, 24, 64, 64, 3},
+		{"incep4c", 128, 128, 256, 24, 64, 64, 3},
+		{"incep4d", 112, 144, 288, 32, 64, 64, 3},
+		{"incep4e", 256, 160, 320, 32, 128, 128, 3},
+		{"pool", 0, 0, 0, 0, 0, 0, 0},
+		{"incep5a", 256, 160, 320, 32, 128, 128, 1},
+		{"incep5b", 384, 192, 384, 48, 128, 128, 1},
+	} {
+		if e.name == "pool" {
+			m.Layers = append(m.Layers, NewPool(fmt.Sprintf("pool%d", h), in, h, h, 3, 2))
+			h = (h-3)/2 + 1
+			continue
+		}
+		spec := InceptionSpec{
+			Name: e.name, InC: in, H: e.hw, W: e.hw,
+			C1: e.c1, C3r: e.c3r, C3: e.c3, C5r: e.c5r, C5: e.c5, PoolProj: e.pp,
+		}
+		m.Layers = append(m.Layers, NewInception(spec))
+		in = spec.OutC()
+	}
+	m.Layers = append(m.Layers, NewFC("fc", in*h*h, 1000))
+	mustValidate(m)
+	return m
+}
+
+// LeNet5 returns the classic LeNet-5 for (1,32,32) inputs: 5 weight
+// layers (Table I).
+func LeNet5() *Model {
+	m := &Model{Name: "LeNet-5", InputC: 1, InputH: 32, InputW: 32}
+	m.Layers = append(m.Layers,
+		NewConv(ConvSpec{Name: "conv1", InC: 1, OutC: 6, InH: 32, InW: 32, Kernel: 5}),
+		NewPool("pool1", 6, 28, 28, 2, 2),
+		NewConv(ConvSpec{Name: "conv2", InC: 6, OutC: 16, InH: 14, InW: 14, Kernel: 5}),
+		NewPool("pool2", 16, 10, 10, 2, 2),
+		NewFC("fc3", 400, 120),
+		NewFC("fc4", 120, 84),
+		NewFC("fc5", 84, 10),
+	)
+	mustValidate(m)
+	return m
+}
+
+// AlexNet returns AlexNet for (3,224,224) inputs: 8 weight layers
+// (Table I).
+func AlexNet() *Model {
+	m := &Model{Name: "AlexNet", InputC: 3, InputH: 224, InputW: 224}
+	m.Layers = append(m.Layers,
+		NewConv(ConvSpec{Name: "conv1", InC: 3, OutC: 96, InH: 224, InW: 224, Kernel: 11, Stride: 4, Pad: 2}),
+		NewPool("pool1", 96, 55, 55, 3, 2),
+		NewConv(ConvSpec{Name: "conv2", InC: 96, OutC: 256, InH: 27, InW: 27, Kernel: 5, Pad: 2}),
+		NewPool("pool2", 256, 27, 27, 3, 2),
+		NewConv(ConvSpec{Name: "conv3", InC: 256, OutC: 384, InH: 13, InW: 13, Kernel: 3, Pad: 1}),
+		NewConv(ConvSpec{Name: "conv4", InC: 384, OutC: 384, InH: 13, InW: 13, Kernel: 3, Pad: 1}),
+		NewConv(ConvSpec{Name: "conv5", InC: 384, OutC: 256, InH: 13, InW: 13, Kernel: 3, Pad: 1}),
+		NewPool("pool5", 256, 13, 13, 3, 2),
+		NewFC("fc6", 9216, 4096),
+		NewFC("fc7", 4096, 4096),
+		NewFC("fc8", 4096, 1000),
+	)
+	mustValidate(m)
+	return m
+}
+
+// ResNet152 returns a ResNet-152 skeleton for (3,224,224) inputs: the
+// standard stem plus bottleneck blocks (3, 8, 36, 3) modelled as
+// composite layers (each bottleneck = 1x1 reduce, 3x3, 1x1 expand), and
+// the final FC. Weight-layer count: 1 (stem) + 50 x 3 (bottleneck
+// convs) + 1 (fc) = 152, matching Table I. Residual additions are free
+// at this granularity.
+func ResNet152() *Model {
+	m := &Model{Name: "ResNet-152", InputC: 3, InputH: 224, InputW: 224}
+	m.Layers = append(m.Layers, NewConv(ConvSpec{
+		Name: "conv1", InC: 3, OutC: 64, InH: 224, InW: 224, Kernel: 7, Stride: 2, Pad: 3,
+	})) // -> 112
+	m.Layers = append(m.Layers, NewPool("pool1", 64, 112, 112, 2, 2)) // -> 56
+
+	type stage struct {
+		name           string
+		blocks         int
+		mid, out, h, w int
+	}
+	in := 64
+	for _, st := range []stage{
+		{"conv2", 3, 64, 256, 56, 56},
+		{"conv3", 8, 128, 512, 28, 28},
+		{"conv4", 36, 256, 1024, 14, 14},
+		{"conv5", 3, 512, 2048, 7, 7},
+	} {
+		for b := 0; b < st.blocks; b++ {
+			if b == 0 && in != 64 {
+				// Stride-2 downsample entering the stage: halve spatial
+				// size with a pooling placeholder (the projection
+				// shortcut's cost is folded into the first 1x1).
+				m.Layers = append(m.Layers,
+					NewPool(fmt.Sprintf("%s_down", st.name), in, st.h*2, st.w*2, 2, 2))
+			}
+			c1 := NewConv(ConvSpec{Name: fmt.Sprintf("%s_%d/1x1a", st.name, b+1),
+				InC: in, OutC: st.mid, InH: st.h, InW: st.w, Kernel: 1})
+			c2 := NewConv(ConvSpec{Name: fmt.Sprintf("%s_%d/3x3", st.name, b+1),
+				InC: st.mid, OutC: st.mid, InH: st.h, InW: st.w, Kernel: 3, Pad: 1})
+			c3 := NewConv(ConvSpec{Name: fmt.Sprintf("%s_%d/1x1b", st.name, b+1),
+				InC: st.mid, OutC: st.out, InH: st.h, InW: st.w, Kernel: 1})
+			m.Layers = append(m.Layers, c1, c2, c3)
+			in = st.out
+		}
+	}
+	m.Layers = append(m.Layers, NewPool("avgpool", in, 7, 7, 7, 7))
+	m.Layers = append(m.Layers, NewFC("fc", in, 1000))
+	mustValidate(m)
+	return m
+}
+
+// ByName returns a zoo model by its canonical name.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "VGG19", "vgg19":
+		return VGG19(), nil
+	case "GoogLeNet", "googlenet":
+		return GoogLeNet(), nil
+	case "LeNet-5", "lenet5":
+		return LeNet5(), nil
+	case "AlexNet", "alexnet":
+		return AlexNet(), nil
+	case "ResNet-152", "resnet152":
+		return ResNet152(), nil
+	default:
+		return nil, fmt.Errorf("model: unknown model %q", name)
+	}
+}
+
+func mustValidate(m *Model) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// TableIEntry is a row of the paper's Table I ("Growing Neural Network
+// Layer Numbers").
+type TableIEntry struct {
+	Model string
+	Year  int
+	// Layers is the layer number as reported by the paper.
+	Layers int
+}
+
+// TableI returns the paper's Table I verbatim.
+func TableI() []TableIEntry {
+	return []TableIEntry{
+		{"LeNet-5", 1998, 5},
+		{"AlexNet", 2012, 8},
+		{"ZF Net", 2013, 8},
+		{"VGG16", 2014, 16},
+		{"VGG19", 2014, 19},
+		{"GoogleNet", 2014, 22},
+		{"ResNet-152", 2015, 152},
+		{"CUImage", 2016, 1207},
+		{"SENet", 2017, 154},
+	}
+}

@@ -1,0 +1,212 @@
+// Package netsim models the cluster network of the paper's testbed: N
+// hosts on a non-blocking switch, each with a full-duplex NIC of fixed
+// per-direction bandwidth (10 Gbps in §V-A).
+//
+// Each NIC direction is a FIFO sim.Resource, so concurrent flows through
+// the same NIC serialize — this is what produces the centralized inbound
+// bottleneck of Stanza's FC worker and of PS architectures that the
+// paper argues against. The switch fabric (40GE) is assumed non-blocking
+// and is not modelled.
+//
+// Deadlock freedom: every operation acquires the NIC-direction resources
+// it needs in a single global rank order (tx0 < rx0 < tx1 < rx1 < ...),
+// so concurrent transfers and all-reduces can never wait on each other
+// cyclically.
+package netsim
+
+import (
+	"fmt"
+
+	"fela/internal/sim"
+)
+
+// Config describes link characteristics.
+type Config struct {
+	// BandwidthBytes is the per-direction NIC bandwidth in bytes/second.
+	BandwidthBytes float64
+	// Latency is the fixed per-message latency in seconds (propagation +
+	// protocol stack).
+	Latency float64
+	// AllReduceEff is the fraction of wire bandwidth a ring all-reduce
+	// achieves (collective libraries on TCP reach well below line rate;
+	// Gloo is typically ~0.7). Zero means 1.0 (ideal).
+	AllReduceEff float64
+}
+
+// arEff returns the effective all-reduce bandwidth fraction.
+func (c Config) arEff() float64 {
+	if c.AllReduceEff <= 0 || c.AllReduceEff > 1 {
+		return 1
+	}
+	return c.AllReduceEff
+}
+
+// TenGbE returns the paper's testbed network: 10 Gbps per direction per
+// host, 100 µs message latency (TCP over a ToR switch), and a 70 %
+// effective collective bandwidth (Gloo ring all-reduce over TCP).
+func TenGbE() Config {
+	return Config{BandwidthBytes: 10e9 / 8, Latency: 100e-6, AllReduceEff: 0.7}
+}
+
+// Network is a simulated cluster network.
+type Network struct {
+	eng *sim.Engine
+	cfg Config
+	tx  []*sim.Resource
+	rx  []*sim.Resource
+
+	// BytesSent accumulates the total payload bytes injected, for
+	// communication-cost accounting in experiments.
+	bytesSent int64
+}
+
+// New builds a network for n hosts on the engine.
+func New(eng *sim.Engine, n int, cfg Config) *Network {
+	if n <= 0 {
+		panic("netsim: need at least one host")
+	}
+	if cfg.BandwidthBytes <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	nw := &Network{eng: eng, cfg: cfg}
+	for i := 0; i < n; i++ {
+		nw.tx = append(nw.tx, sim.NewResource(eng, fmt.Sprintf("tx%d", i), 1))
+		nw.rx = append(nw.rx, sim.NewResource(eng, fmt.Sprintf("rx%d", i), 1))
+	}
+	return nw
+}
+
+// Hosts returns the number of hosts.
+func (nw *Network) Hosts() int { return len(nw.tx) }
+
+// Config returns the link configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// BytesSent reports total payload bytes injected so far.
+func (nw *Network) BytesSent() int64 { return nw.bytesSent }
+
+// TxBusy and RxBusy report accumulated busy seconds for a host's NIC
+// directions (utilization accounting).
+func (nw *Network) TxBusy(host int) float64 { return nw.tx[host].BusyTime() }
+func (nw *Network) RxBusy(host int) float64 { return nw.rx[host].BusyTime() }
+
+// rank orders NIC-direction resources globally for ordered acquisition.
+// tx of host i has rank 2i, rx has rank 2i+1.
+type ranked struct {
+	rank int
+	res  *sim.Resource
+}
+
+func (nw *Network) txRanked(i int) ranked { return ranked{2 * i, nw.tx[i]} }
+func (nw *Network) rxRanked(i int) ranked { return ranked{2*i + 1, nw.rx[i]} }
+
+// acquireAll acquires the resources in ascending rank order, then runs
+// fn. The caller must release every resource exactly once.
+func acquireAll(rs []ranked, fn func()) {
+	for i := 1; i < len(rs); i++ {
+		if rs[i].rank <= rs[i-1].rank {
+			panic("netsim: acquisition order violated")
+		}
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i == len(rs) {
+			fn()
+			return
+		}
+		rs[i].res.Acquire(func() { step(i + 1) })
+	}
+	step(0)
+}
+
+// TransferTime returns the wire time for a payload: latency + size/bw.
+func (nw *Network) TransferTime(bytes int64) float64 {
+	return nw.cfg.Latency + float64(bytes)/nw.cfg.BandwidthBytes
+}
+
+// Transfer moves bytes from src to dst and calls done at completion. A
+// local transfer (src == dst) completes immediately at the current time:
+// local storage reads are not modelled by the network. Both the sender's
+// TX and the receiver's RX are held for the duration, so transfers
+// sharing either side serialize.
+func (nw *Network) Transfer(src, dst int, bytes int64, done func()) {
+	if bytes < 0 {
+		panic("netsim: negative transfer size")
+	}
+	if src == dst {
+		nw.eng.Immediately(done)
+		return
+	}
+	nw.bytesSent += bytes
+	d := nw.TransferTime(bytes)
+	res := []ranked{nw.txRanked(src), nw.rxRanked(dst)}
+	if res[0].rank > res[1].rank {
+		res[0], res[1] = res[1], res[0]
+	}
+	acquireAll(res, func() {
+		nw.eng.After(d, func() {
+			nw.tx[src].Release()
+			nw.rx[dst].Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// AllReduceTime returns the per-participant duration of a ring
+// all-reduce of the payload among k hosts: 2(k-1) chunk exchanges of
+// size bytes/k, each paying one message latency.
+func (nw *Network) AllReduceTime(k int, bytes int64) float64 {
+	if k <= 1 {
+		return 0
+	}
+	steps := float64(2 * (k - 1))
+	chunk := float64(bytes) / float64(k)
+	return steps * (chunk/(nw.cfg.BandwidthBytes*nw.cfg.arEff()) + nw.cfg.Latency)
+}
+
+// AllReduce synchronizes bytes across the group with a ring all-reduce
+// and calls done at completion. Every participant's TX and RX are held
+// for the whole operation, modelling the bidirectional ring. A group of
+// size <= 1 completes immediately.
+func (nw *Network) AllReduce(group []int, bytes int64, done func()) {
+	if len(group) <= 1 {
+		nw.eng.Immediately(done)
+		return
+	}
+	seen := make(map[int]bool, len(group))
+	rs := make([]ranked, 0, 2*len(group))
+	for _, h := range group {
+		if seen[h] {
+			panic(fmt.Sprintf("netsim: duplicate host %d in all-reduce group", h))
+		}
+		seen[h] = true
+		rs = append(rs, nw.txRanked(h), nw.rxRanked(h))
+	}
+	sortRanked(rs)
+	// Each of the k hosts sends 2(k-1) chunks of bytes/k, so the total
+	// payload on the wire is 2(k-1)*bytes.
+	k := len(group)
+	nw.bytesSent += int64(2*(k-1)) * bytes
+	d := nw.AllReduceTime(k, bytes)
+	acquireAll(rs, func() {
+		nw.eng.After(d, func() {
+			for _, r := range rs {
+				r.res.Release()
+			}
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+func sortRanked(rs []ranked) {
+	// Insertion sort: groups are small (<= 16 hosts).
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].rank < rs[j-1].rank; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

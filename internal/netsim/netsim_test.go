@@ -1,0 +1,274 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fela/internal/sim"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 2, Config{BandwidthBytes: 1e9, Latency: 1e-3})
+	var done float64 = -1
+	nw.Transfer(0, 1, 1e9, func() { done = eng.Now() })
+	eng.Run()
+	approx(t, done, 1.001, 1e-9, "1GB over 1GB/s + 1ms latency")
+}
+
+func TestLocalTransferIsFree(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 2, TenGbE())
+	var done float64 = -1
+	nw.Transfer(1, 1, 1<<30, func() { done = eng.Now() })
+	eng.Run()
+	if done != 0 {
+		t.Errorf("local transfer completed at %v, want 0", done)
+	}
+	if nw.BytesSent() != 0 {
+		t.Errorf("local transfer counted %d wire bytes", nw.BytesSent())
+	}
+}
+
+func TestSharedSenderSerializes(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 3, Config{BandwidthBytes: 1e9, Latency: 0})
+	var times []float64
+	nw.Transfer(0, 1, 1e9, func() { times = append(times, eng.Now()) })
+	nw.Transfer(0, 2, 1e9, func() { times = append(times, eng.Now()) })
+	eng.Run()
+	approx(t, times[0], 1, 1e-9, "first transfer")
+	approx(t, times[1], 2, 1e-9, "second transfer must wait for TX")
+}
+
+// TestIncastBottleneck models the Stanza FC-worker pattern: 7 senders to
+// one receiver serialize on the receiver's RX and take 7 slots.
+func TestIncastBottleneck(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 8, Config{BandwidthBytes: 1e9, Latency: 0})
+	var last float64
+	for s := 1; s < 8; s++ {
+		nw.Transfer(s, 0, 1e9, func() {
+			if eng.Now() > last {
+				last = eng.Now()
+			}
+		})
+	}
+	eng.Run()
+	approx(t, last, 7, 1e-9, "7 incast transfers of 1s each")
+}
+
+func TestDisjointTransfersRunConcurrently(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 4, Config{BandwidthBytes: 1e9, Latency: 0})
+	var times []float64
+	nw.Transfer(0, 1, 1e9, func() { times = append(times, eng.Now()) })
+	nw.Transfer(2, 3, 1e9, func() { times = append(times, eng.Now()) })
+	eng.Run()
+	approx(t, times[0], 1, 1e-9, "first")
+	approx(t, times[1], 1, 1e-9, "second (parallel)")
+}
+
+func TestBidirectionalFullDuplex(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 2, Config{BandwidthBytes: 1e9, Latency: 0})
+	var times []float64
+	nw.Transfer(0, 1, 1e9, func() { times = append(times, eng.Now()) })
+	nw.Transfer(1, 0, 1e9, func() { times = append(times, eng.Now()) })
+	eng.Run()
+	// Opposite directions share no resource: both finish at t=1.
+	approx(t, times[0], 1, 1e-9, "a->b")
+	approx(t, times[1], 1, 1e-9, "b->a concurrent")
+}
+
+func TestAllReduceTimeFormula(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 8, Config{BandwidthBytes: 1.25e9, Latency: 1e-4})
+	// 575MB among 8: 14 steps of 71.9MB.
+	bytes := int64(575e6)
+	want := 14 * (575e6/8/1.25e9 + 1e-4)
+	approx(t, nw.AllReduceTime(8, bytes), want, 1e-9, "ring all-reduce time")
+	if nw.AllReduceTime(1, bytes) != 0 {
+		t.Error("single-host all-reduce must be free")
+	}
+}
+
+func TestAllReduceOccupiesNICs(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 4, Config{BandwidthBytes: 1e9, Latency: 0})
+	arTime := nw.AllReduceTime(4, 4e9) // 6 steps of 1s = 6s
+	var arDone, xferDone float64
+	nw.AllReduce([]int{0, 1, 2, 3}, 4e9, func() { arDone = eng.Now() })
+	// A transfer touching host 0 must wait until the all-reduce ends.
+	nw.Transfer(0, 1, 1e9, func() { xferDone = eng.Now() })
+	eng.Run()
+	approx(t, arDone, arTime, 1e-9, "all-reduce completion")
+	approx(t, xferDone, arTime+1, 1e-9, "transfer after all-reduce")
+}
+
+func TestAllReduceSubsetLeavesOthersFree(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 4, Config{BandwidthBytes: 1e9, Latency: 0})
+	var xferDone float64
+	nw.AllReduce([]int{0, 1}, 4e9, nil) // occupies hosts 0,1 for 4s
+	nw.Transfer(2, 3, 1e9, func() { xferDone = eng.Now() })
+	eng.Run()
+	approx(t, xferDone, 1, 1e-9, "transfer on free hosts")
+}
+
+func TestAllReduceDuplicateHostPanics(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 4, TenGbE())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate host")
+		}
+	}()
+	nw.AllReduce([]int{1, 1}, 100, nil)
+}
+
+// TestNoDeadlockUnderContention drives many overlapping transfers and
+// all-reduces in both directions; the ordered-acquisition discipline must
+// let every operation complete.
+func TestNoDeadlockUnderContention(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 8, Config{BandwidthBytes: 1e9, Latency: 1e-5})
+	want := 0
+	done := 0
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i == j {
+				continue
+			}
+			want++
+			nw.Transfer(i, j, 1e8, func() { done++ })
+		}
+	}
+	nw.AllReduce([]int{0, 1, 2, 3, 4, 5, 6, 7}, 1e9, func() { done++ })
+	want++
+	nw.AllReduce([]int{7, 3, 5, 1}, 1e9, func() { done++ })
+	want++
+	eng.Run()
+	if done != want {
+		t.Fatalf("completed %d/%d operations — deadlock or lost callback", done, want)
+	}
+}
+
+func TestBytesSentAccounting(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 4, Config{BandwidthBytes: 1e9, Latency: 0})
+	nw.Transfer(0, 1, 1000, nil)
+	nw.AllReduce([]int{0, 1, 2, 3}, 4000, nil)
+	eng.Run()
+	// Transfer 1000 + all-reduce 2*(4-1)*4000 = 24000.
+	if got := nw.BytesSent(); got != 25000 {
+		t.Errorf("BytesSent = %d, want 25000", got)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 2, Config{BandwidthBytes: 1e9, Latency: 0})
+	nw.Transfer(0, 1, 2e9, nil)
+	eng.Run()
+	approx(t, nw.TxBusy(0), 2, 1e-9, "tx busy")
+	approx(t, nw.RxBusy(1), 2, 1e-9, "rx busy")
+	approx(t, nw.TxBusy(1), 0, 1e-9, "idle tx")
+}
+
+// Property: transfer completion time always >= ideal wire time, and
+// total ordering of FIFO queues keeps causality (no transfer finishes
+// before it possibly could).
+func TestTransferLowerBoundProperty(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 40 {
+			sizes = sizes[:40]
+		}
+		eng := sim.New()
+		nw := New(eng, 4, Config{BandwidthBytes: 1e6, Latency: 1e-4})
+		ok := true
+		for i, sz := range sizes {
+			src := i % 4
+			dst := (i + 1 + i%3) % 4
+			if src == dst {
+				continue
+			}
+			bytes := int64(sz % 1000000)
+			ideal := nw.TransferTime(bytes)
+			start := eng.Now()
+			nw.Transfer(src, dst, bytes, func() {
+				if eng.Now()-start < ideal-1e-12 {
+					ok = false
+				}
+			})
+		}
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	eng := sim.New()
+	for _, fn := range []func(){
+		func() { New(eng, 0, TenGbE()) },
+		func() { New(eng, 2, Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected constructor panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNegativeTransferPanics(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 2, TenGbE())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative size")
+		}
+	}()
+	nw.Transfer(0, 1, -1, nil)
+}
+
+// Property: ring all-reduce time is monotone in payload and in group
+// size for a fixed payload-per-host.
+func TestAllReduceTimeMonotone(t *testing.T) {
+	eng := sim.New()
+	nw := New(eng, 16, TenGbE())
+	f := func(a, b uint32, k uint8) bool {
+		x, y := int64(a%1e9), int64(b%1e9)
+		if x > y {
+			x, y = y, x
+		}
+		g := int(k%15) + 2
+		return nw.AllReduceTime(g, x) <= nw.AllReduceTime(g, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Larger groups move less data per host for the same payload: the
+	// limit is 2 x payload / bandwidth.
+	limit := 2 * 575e6 / (nw.Config().BandwidthBytes * 0.7)
+	if got := nw.AllReduceTime(16, int64(575e6)); got > limit*1.2 {
+		t.Errorf("all-reduce time %v far above asymptotic limit %v", got, limit)
+	}
+}

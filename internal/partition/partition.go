@@ -1,0 +1,116 @@
+// Package partition implements the paper's offline bin-partitioned model
+// partition (§IV-A).
+//
+// Every weight layer has a profiled threshold batch size (the batch at
+// which it saturates the GPU, internal/gpu). Layers are assigned to bins
+// of a fixed width — [0,16), [16,32), [32,48), ... for the paper's bin
+// size of 16 — and maximal runs of consecutive weight layers falling in
+// the same bin become one sub-model. With the default profile repository
+// this reproduces the paper's partitions exactly: VGG19 → {L1–8, L9–16,
+// L17–19} and GoogLeNet → {L1–4, L5–9, L10–12}.
+package partition
+
+import (
+	"fmt"
+
+	"fela/internal/gpu"
+	"fela/internal/model"
+)
+
+// DefaultBinSize is the paper's bin width: every profiled layer needs at
+// least a batch of 16 to saturate the GPU (§IV-A fn. 14).
+const DefaultBinSize = 16
+
+// LayerThreshold is one point of Figure 5: a weight layer and its
+// profiled threshold batch size.
+type LayerThreshold struct {
+	// Index is the 1-based weight-layer number.
+	Index int
+	// Layer is the weight layer itself.
+	Layer model.Layer
+	// Threshold is the profiled saturation batch size.
+	Threshold int
+	// Bin is the bin index Threshold falls into.
+	Bin int
+}
+
+// Thresholds profiles every weight layer of the model, regenerating the
+// data series of Figure 5.
+func Thresholds(m *model.Model, db *gpu.ProfileDB, binSize int) []LayerThreshold {
+	if binSize <= 0 {
+		panic("partition: bin size must be positive")
+	}
+	wl := m.WeightLayers()
+	out := make([]LayerThreshold, 0, len(wl))
+	for i, l := range wl {
+		theta := db.Threshold(l)
+		out = append(out, LayerThreshold{
+			Index:     i + 1,
+			Layer:     l,
+			Threshold: theta,
+			Bin:       theta / binSize,
+		})
+	}
+	return out
+}
+
+// Partition splits the model into sub-models with the bin-partitioned
+// method. Consecutive weight layers in the same bin share a sub-model;
+// each sub-model's ThresholdBatch is its bin's lower bound (clamped up
+// to binSize, since every layer needs at least that much batch).
+func Partition(m *model.Model, db *gpu.ProfileDB, binSize int) []model.SubModel {
+	ths := Thresholds(m, db, binSize)
+	if len(ths) == 0 {
+		panic(fmt.Sprintf("partition: model %s has no weight layers", m.Name))
+	}
+	var subs []model.SubModel
+	start := 0
+	flush := func(end int) { // weight layers [start..end] inclusive, 0-based
+		from, to := ths[start].Index, ths[end].Index
+		threshold := ths[start].Bin * binSize
+		if threshold < binSize {
+			threshold = binSize
+		}
+		subs = append(subs, model.SubModel{
+			Index:          len(subs),
+			Name:           fmt.Sprintf("%s/SM-%d[L%d-%d]", m.Name, len(subs)+1, from, to),
+			Layers:         m.LayerRange(from, to),
+			FromLayer:      from,
+			ToLayer:        to,
+			ThresholdBatch: threshold,
+		})
+	}
+	for i := 1; i < len(ths); i++ {
+		if ths[i].Bin != ths[start].Bin {
+			flush(i - 1)
+			start = i
+		}
+	}
+	flush(len(ths) - 1)
+	return subs
+}
+
+// Validate checks that a partition covers the model contiguously and
+// that every sub-model has a positive threshold.
+func Validate(m *model.Model, subs []model.SubModel) error {
+	if len(subs) == 0 {
+		return fmt.Errorf("partition: empty partition of %s", m.Name)
+	}
+	next := 1
+	for _, sm := range subs {
+		if sm.FromLayer != next {
+			return fmt.Errorf("partition: %s starts at L%d, want L%d", sm.Name, sm.FromLayer, next)
+		}
+		if sm.ToLayer < sm.FromLayer {
+			return fmt.Errorf("partition: %s has inverted range", sm.Name)
+		}
+		if sm.ThresholdBatch <= 0 {
+			return fmt.Errorf("partition: %s has non-positive threshold", sm.Name)
+		}
+		next = sm.ToLayer + 1
+	}
+	if total := m.WeightLayerCount(); next != total+1 {
+		return fmt.Errorf("partition: covers L1-%d, model has %d weight layers", next-1, total)
+	}
+	return nil
+}

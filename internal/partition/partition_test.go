@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"testing"
+
+	"fela/internal/gpu"
+	"fela/internal/model"
+)
+
+func db() *gpu.ProfileDB { return gpu.DefaultDB(gpu.TeslaK40c()) }
+
+// TestVGG19Partition reproduces the paper's §IV-A result: with bin size
+// 16, VGG19 splits into exactly L1-8 (CONV), L9-16 (CONV), L17-19 (FC).
+func TestVGG19Partition(t *testing.T) {
+	m := model.VGG19()
+	subs := Partition(m, db(), DefaultBinSize)
+	if err := Validate(m, subs); err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("VGG19 partitioned into %d sub-models, want 3", len(subs))
+	}
+	want := []struct{ from, to, theta int }{
+		{1, 8, 16},
+		{9, 16, 64},
+		{17, 19, 2048},
+	}
+	for i, w := range want {
+		sm := subs[i]
+		if sm.FromLayer != w.from || sm.ToLayer != w.to {
+			t.Errorf("SM-%d = L%d-%d, want L%d-%d", i+1, sm.FromLayer, sm.ToLayer, w.from, w.to)
+		}
+		if sm.ThresholdBatch != w.theta {
+			t.Errorf("SM-%d threshold = %d, want %d", i+1, sm.ThresholdBatch, w.theta)
+		}
+	}
+	if subs[0].CommIntensive() || subs[1].CommIntensive() {
+		t.Error("CONV sub-models must not be comm-intensive")
+	}
+	if !subs[2].CommIntensive() {
+		t.Error("FC sub-model must be comm-intensive")
+	}
+}
+
+// TestGoogLeNetPartition reproduces the paper's GoogLeNet partition:
+// L1-4, L5-9, L10-12.
+func TestGoogLeNetPartition(t *testing.T) {
+	m := model.GoogLeNet()
+	subs := Partition(m, db(), DefaultBinSize)
+	if err := Validate(m, subs); err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("GoogLeNet partitioned into %d sub-models, want 3", len(subs))
+	}
+	want := []struct{ from, to int }{{1, 4}, {5, 9}, {10, 12}}
+	for i, w := range want {
+		if subs[i].FromLayer != w.from || subs[i].ToLayer != w.to {
+			t.Errorf("SM-%d = L%d-%d, want L%d-%d", i+1, subs[i].FromLayer, subs[i].ToLayer, w.from, w.to)
+		}
+	}
+	// The last sub-model carries the FC layer ("CONV+FC" in the paper).
+	if !subs[2].CommIntensive() {
+		t.Error("GoogLeNet SM-3 must contain the FC layer")
+	}
+}
+
+// TestFigure5Series checks the Fig. 5 staircase: thresholds are
+// non-decreasing along VGG19 depth and end at the FC plateau.
+func TestFigure5Series(t *testing.T) {
+	m := model.VGG19()
+	ths := Thresholds(m, db(), DefaultBinSize)
+	if len(ths) != 19 {
+		t.Fatalf("thresholds for %d layers, want 19", len(ths))
+	}
+	for i := 1; i < len(ths); i++ {
+		if ths[i].Threshold < ths[i-1].Threshold {
+			t.Errorf("threshold decreased at L%d: %d -> %d", ths[i].Index, ths[i-1].Threshold, ths[i].Threshold)
+		}
+	}
+	if ths[0].Threshold != 16 {
+		t.Errorf("L1 threshold = %d, want 16", ths[0].Threshold)
+	}
+	for _, lt := range ths[16:] {
+		if lt.Threshold != 2048 {
+			t.Errorf("FC layer L%d threshold = %d, want 2048", lt.Index, lt.Threshold)
+		}
+	}
+	// Indices are 1-based and sequential.
+	for i, lt := range ths {
+		if lt.Index != i+1 {
+			t.Fatalf("index %d at position %d", lt.Index, i)
+		}
+	}
+}
+
+func TestPartitionThresholdMonotone(t *testing.T) {
+	for _, mk := range []func() *model.Model{model.VGG19, model.GoogLeNet, model.AlexNet} {
+		m := mk()
+		subs := Partition(m, db(), DefaultBinSize)
+		for i := 1; i < len(subs); i++ {
+			if subs[i].ThresholdBatch < subs[i-1].ThresholdBatch {
+				t.Errorf("%s: sub-model thresholds not monotone", m.Name)
+			}
+		}
+	}
+}
+
+func TestPartitionParamsConserved(t *testing.T) {
+	m := model.VGG19()
+	subs := Partition(m, db(), DefaultBinSize)
+	var total int64
+	for _, sm := range subs {
+		total += sm.Params()
+	}
+	if total != m.Params() {
+		t.Errorf("partition params %d != model %d", total, m.Params())
+	}
+}
+
+func TestFineBinsGiveMoreSubModels(t *testing.T) {
+	m := model.VGG19()
+	coarse := Partition(m, db(), 64)
+	fine := Partition(m, db(), 8)
+	if len(fine) < len(coarse) {
+		t.Errorf("finer bins gave %d sub-models, coarser gave %d", len(fine), len(coarse))
+	}
+	if err := Validate(m, fine); err != nil {
+		t.Error(err)
+	}
+	if err := Validate(m, coarse); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsGaps(t *testing.T) {
+	m := model.VGG19()
+	subs := Partition(m, db(), DefaultBinSize)
+	broken := []model.SubModel{subs[0], subs[2]}
+	if err := Validate(m, broken); err == nil {
+		t.Error("expected error for non-contiguous partition")
+	}
+	if err := Validate(m, nil); err == nil {
+		t.Error("expected error for empty partition")
+	}
+}
+
+func TestBadBinSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bin size 0")
+		}
+	}()
+	Thresholds(model.VGG19(), db(), 0)
+}

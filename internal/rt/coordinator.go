@@ -1,0 +1,200 @@
+package rt
+
+import (
+	"fmt"
+
+	"fela/internal/minidnn"
+	"fela/internal/transport"
+)
+
+// Coordinator is the real-time Token Server plus the BSP parameter
+// synchronizer. It owns the master copy of the model, seeds one STB per
+// worker each iteration, serves pull requests (own shard first, then
+// stealing from the largest backlog), and applies the canonical-order
+// gradient aggregation that makes the run bit-equal to Sequential.
+type Coordinator struct {
+	net *minidnn.Network
+	cfg Config
+}
+
+// NewCoordinator wraps the master network.
+func NewCoordinator(net *minidnn.Network, cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{net: net, cfg: cfg}, nil
+}
+
+type event struct {
+	msg  *transport.Message
+	err  error
+	conn transport.Conn
+}
+
+// tokenState tracks one token within an iteration.
+type tokenState struct {
+	info     transport.TokenInfo
+	assigned bool
+	done     bool
+	grads    [][]float32
+	loss     float64
+}
+
+// Run drives a full session over the given worker connections. It
+// returns after broadcasting shutdown. Connections are not closed.
+func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
+	if len(conns) != co.cfg.Workers {
+		return nil, fmt.Errorf("rt: %d connections for %d workers", len(conns), co.cfg.Workers)
+	}
+	events := make(chan event, 4*len(conns))
+	for _, c := range conns {
+		c := c
+		go func() {
+			for {
+				m, err := c.Recv()
+				events <- event{m, err, c}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// Registration: every worker introduces itself with its WID, pairing
+	// the id with the connection it arrived on.
+	byWID := make(map[int]transport.Conn, len(conns))
+	for len(byWID) < len(conns) {
+		ev := <-events
+		if ev.err != nil {
+			return nil, fmt.Errorf("rt: worker lost during registration: %w", ev.err)
+		}
+		if ev.msg.Kind != transport.KindRegister {
+			return nil, fmt.Errorf("rt: expected register, got %v", ev.msg.Kind)
+		}
+		if ev.msg.WID < 0 || ev.msg.WID >= co.cfg.Workers {
+			return nil, fmt.Errorf("rt: worker id %d out of range", ev.msg.WID)
+		}
+		if _, dup := byWID[ev.msg.WID]; dup {
+			return nil, fmt.Errorf("rt: duplicate worker id %d", ev.msg.WID)
+		}
+		byWID[ev.msg.WID] = ev.conn
+	}
+
+	res := &Result{TokensByWorker: make([]int, co.cfg.Workers)}
+	nTok := co.cfg.tokensPerIter()
+	frac := float32(co.cfg.TokenBatch) / float32(co.cfg.TotalBatch)
+	vel := zerosLike(co.net.Params())
+
+	for it := 0; it < co.cfg.Iterations; it++ {
+		// Seed tokens: token seq's shard owner is seq mod workers, so
+		// every worker starts with its own STB (Eq. 2's floor).
+		tokens := make([]*tokenState, nTok)
+		for seq := 0; seq < nTok; seq++ {
+			tokens[seq] = &tokenState{info: transport.TokenInfo{
+				ID:    it*nTok + seq,
+				Seq:   seq,
+				Lo:    seq * co.cfg.TokenBatch,
+				Hi:    (seq + 1) * co.cfg.TokenBatch,
+				Owner: seq % co.cfg.Workers,
+			}}
+		}
+		params := flatten(co.net.Params())
+		start := &transport.Message{Kind: transport.KindIterStart, Iter: it, Params: params}
+		for wid := 0; wid < co.cfg.Workers; wid++ {
+			if err := byWID[wid].Send(start); err != nil {
+				return nil, fmt.Errorf("rt: iter-start to worker %d: %w", wid, err)
+			}
+		}
+
+		remaining := nTok
+		for remaining > 0 {
+			ev := <-events
+			if ev.err != nil {
+				return nil, fmt.Errorf("rt: worker connection failed: %w", ev.err)
+			}
+			m := ev.msg
+			switch m.Kind {
+			case transport.KindRequest:
+				tok := pick(tokens, m.WID)
+				if tok == nil {
+					// Nothing left this iteration; the worker waits for
+					// the next iter-start (requests are not carried
+					// over — a waking straggler re-requests itself).
+					continue
+				}
+				tok.assigned = true
+				if tok.info.Owner != m.WID {
+					res.Steals++
+				}
+				if err := byWID[m.WID].Send(&transport.Message{
+					Kind: transport.KindAssign, Iter: it, Token: tok.info,
+				}); err != nil {
+					return nil, fmt.Errorf("rt: assign to worker %d: %w", m.WID, err)
+				}
+			case transport.KindReport:
+				seq := m.Token.Seq
+				if seq < 0 || seq >= nTok || tokens[seq].done {
+					return nil, fmt.Errorf("rt: bogus report for token seq %d", seq)
+				}
+				tokens[seq].done = true
+				tokens[seq].grads = m.Grads
+				tokens[seq].loss = m.Loss
+				res.TokensByWorker[m.WID]++
+				remaining--
+			default:
+				return nil, fmt.Errorf("rt: unexpected message %v mid-iteration", m.Kind)
+			}
+		}
+
+		// Canonical-order aggregation: identical arithmetic to
+		// Sequential, so results match bitwise.
+		acc := zerosLike(co.net.Params())
+		var loss float64
+		for _, tok := range tokens {
+			loss += tok.loss / float64(nTok)
+			for i := range acc {
+				if len(tok.grads[i]) != acc[i].Len() {
+					return nil, fmt.Errorf("rt: gradient %d size mismatch", i)
+				}
+				for j, g := range tok.grads[i] {
+					acc[i].Data[j] += frac * g
+				}
+			}
+		}
+		applyUpdate(co.net, vel, acc, co.cfg)
+		res.Losses = append(res.Losses, loss)
+	}
+
+	for wid := 0; wid < co.cfg.Workers; wid++ {
+		if err := byWID[wid].Send(&transport.Message{Kind: transport.KindShutdown}); err != nil {
+			return nil, fmt.Errorf("rt: shutdown to worker %d: %w", wid, err)
+		}
+	}
+	res.Params = co.net.CloneParams()
+	return res, nil
+}
+
+// pick chooses a token for the worker: own shard first (HF own-STB), then
+// the unassigned token of the owner with the largest backlog (helper
+// prioritization); within an owner, lowest sequence first.
+func pick(tokens []*tokenState, wid int) *tokenState {
+	backlog := map[int][]*tokenState{}
+	for _, t := range tokens {
+		if !t.assigned {
+			backlog[t.info.Owner] = append(backlog[t.info.Owner], t)
+		}
+	}
+	if own := backlog[wid]; len(own) > 0 {
+		return own[0]
+	}
+	best := -1
+	for owner, ts := range backlog {
+		if best == -1 || len(ts) > len(backlog[best]) || (len(ts) == len(backlog[best]) && owner < best) {
+			best = owner
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return backlog[best][0]
+}

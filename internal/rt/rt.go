@@ -1,0 +1,153 @@
+// Package rt is Fela's real-time execution engine: a token-scheduled BSP
+// trainer running real gradient computation (internal/minidnn) across
+// goroutine or TCP workers (internal/transport).
+//
+// It implements the paper's worker-pull loop (§III-A) at the data-token
+// level: every token trains the full model on one shard of the global
+// batch, workers consume their own shard's tokens first and steal from
+// the most-backlogged peer once their own run dry (the HF policy's
+// own-STB-first + helper behaviour), and a straggling worker simply
+// requests fewer tokens — reactive mitigation with zero algorithmic
+// change.
+//
+// The headline property this engine demonstrates is the paper's
+// "algorithm reproducibility" column (Table II): the coordinator
+// accumulates token gradients in canonical token order, so training is
+// bit-identical to sequential large-batch SGD no matter how many workers
+// participate, how tokens get distributed, or which workers straggle —
+// see Sequential and the equivalence tests.
+//
+// Scope note: the simulator (internal/felaengine) models the full hybrid
+// scheme (multi-level sub-model tokens, CTD, decentralized all-reduce);
+// this real-execution engine centralizes parameter synchronization at
+// the coordinator for verifiability and runs level-0 (data) tokens. The
+// per-sub-model backward interleaving needs the paper's virtual-layer
+// hooks inside the training framework ([15]) and has no counterpart in a
+// from-scratch engine.
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"fela/internal/minidnn"
+	"fela/internal/tensor"
+)
+
+// Config describes a real-time training session.
+type Config struct {
+	// Workers is the number of workers expected to register.
+	Workers int
+	// TotalBatch is the global batch size per iteration; sample rows
+	// [0, TotalBatch) of the dataset are consumed each iteration.
+	TotalBatch int
+	// TokenBatch is the per-token batch size (the level-0 parallelism
+	// degree). Must divide TotalBatch.
+	TokenBatch int
+	// Iterations is the number of BSP iterations.
+	Iterations int
+	// LR is the SGD learning rate.
+	LR float32
+	// Momentum is the optional SGD momentum coefficient (0 = plain
+	// SGD). The coordinator owns the velocity state, so momentum does
+	// not affect the bitwise-reproducibility guarantee.
+	Momentum float32
+	// Delay optionally injects straggler sleeps: the worker sleeps
+	// Delay(iter, wid) at the start of each iteration before requesting
+	// tokens (the §V-C2 methodology, wall-clock here).
+	Delay func(iter, wid int) time.Duration
+}
+
+func (c Config) validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("rt: need at least one worker")
+	}
+	if c.TokenBatch <= 0 || c.TotalBatch <= 0 || c.TotalBatch%c.TokenBatch != 0 {
+		return fmt.Errorf("rt: token batch %d must divide total batch %d", c.TokenBatch, c.TotalBatch)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("rt: iterations must be positive")
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("rt: learning rate must be positive")
+	}
+	return nil
+}
+
+func (c Config) tokensPerIter() int { return c.TotalBatch / c.TokenBatch }
+
+// Result summarizes a session.
+type Result struct {
+	// Params are the final model parameters.
+	Params []*tensor.Tensor
+	// Losses is the mean training loss per iteration (token-weighted).
+	Losses []float64
+	// TokensByWorker counts how many tokens each worker trained.
+	TokensByWorker []int
+	// Steals counts tokens trained away from their shard owner.
+	Steals int
+}
+
+// Sequential runs the exact reference computation the coordinator
+// reproduces: for each iteration, token gradients are computed in token
+// order on one process and applied as one SGD step. Distributed training
+// through the coordinator yields bit-identical parameters.
+func Sequential(net *minidnn.Network, ds *minidnn.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{TokensByWorker: make([]int, cfg.Workers)}
+	nTok := cfg.tokensPerIter()
+	frac := float32(cfg.TokenBatch) / float32(cfg.TotalBatch)
+	vel := zerosLike(net.Params())
+	for it := 0; it < cfg.Iterations; it++ {
+		acc := zerosLike(net.Params())
+		var loss float64
+		for seq := 0; seq < nTok; seq++ {
+			lo := seq * cfg.TokenBatch
+			x, labels := ds.Batch(lo, lo+cfg.TokenBatch)
+			net.ZeroGrads()
+			loss += net.Loss(x, labels) / float64(nTok)
+			for i, g := range net.Grads() {
+				acc[i].AddScaled(g, frac)
+			}
+		}
+		net.ZeroGrads()
+		applyUpdate(net, vel, acc, cfg)
+		res.Losses = append(res.Losses, loss)
+	}
+	res.Params = net.CloneParams()
+	return res, nil
+}
+
+// applyUpdate performs the optimizer step shared by Sequential and the
+// coordinator: v = momentum*v + grad; params -= lr*v (plain SGD when
+// momentum is 0).
+func applyUpdate(net *minidnn.Network, vel, acc []*tensor.Tensor, cfg Config) {
+	params := net.Params()
+	for i := range params {
+		if cfg.Momentum != 0 {
+			vel[i].Scale(cfg.Momentum)
+			vel[i].Add(acc[i])
+			params[i].AddScaled(vel[i], -cfg.LR)
+		} else {
+			params[i].AddScaled(acc[i], -cfg.LR)
+		}
+	}
+}
+
+func zerosLike(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = tensor.New(t.Shape...)
+	}
+	return out
+}
+
+func flatten(ts []*tensor.Tensor) [][]float32 {
+	out := make([][]float32, len(ts))
+	for i, t := range ts {
+		out[i] = append([]float32(nil), t.Data...)
+	}
+	return out
+}

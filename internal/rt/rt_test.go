@@ -1,0 +1,308 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"fela/internal/minidnn"
+	"fela/internal/transport"
+)
+
+func mlp() *minidnn.Network { return minidnn.NewMLP(42, 8, 16, 4) }
+
+func blobs() *minidnn.Dataset { return minidnn.SyntheticBlobs(7, 128, 8, 4) }
+
+func baseCfg() Config {
+	return Config{Workers: 4, TotalBatch: 64, TokenBatch: 8, Iterations: 6, LR: 0.05}
+}
+
+// TestBitwiseEquivalence is the reproducibility claim (Table II): the
+// distributed token-scheduled run produces parameters bit-identical to
+// sequential SGD.
+func TestBitwiseEquivalence(t *testing.T) {
+	cfg := baseCfg()
+	seq, err := Sequential(mlp(), blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Train(mlp, blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minidnn.ParamsEqual(seq.Params, dist.Params) {
+		t.Fatal("distributed parameters differ from sequential")
+	}
+	if len(seq.Losses) != len(dist.Losses) {
+		t.Fatal("loss history length mismatch")
+	}
+	for i := range seq.Losses {
+		if seq.Losses[i] != dist.Losses[i] {
+			t.Fatalf("iteration %d loss %v != %v", i, dist.Losses[i], seq.Losses[i])
+		}
+	}
+}
+
+// TestEquivalenceUnderStragglers: injected sleeps reshuffle which worker
+// trains which token but cannot change the result.
+func TestEquivalenceUnderStragglers(t *testing.T) {
+	cfg := baseCfg()
+	seq, err := Sequential(mlp(), blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Delay = func(iter, wid int) time.Duration {
+		if iter%cfg.Workers == wid {
+			return 20 * time.Millisecond
+		}
+		return 0
+	}
+	dist, err := Train(mlp, blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minidnn.ParamsEqual(seq.Params, dist.Params) {
+		t.Fatal("straggler run changed the training result")
+	}
+	if dist.Steals == 0 {
+		t.Error("expected helpers to steal from the straggler's shard")
+	}
+}
+
+// TestEquivalenceAcrossWorkerCounts: 1, 2 and 8 workers all match the
+// sequential reference.
+func TestEquivalenceAcrossWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		cfg := baseCfg()
+		cfg.Workers = workers
+		seq, err := Sequential(mlp(), blobs(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := Train(mlp, blobs(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !minidnn.ParamsEqual(seq.Params, dist.Params) {
+			t.Fatalf("%d workers: parameters differ", workers)
+		}
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Iterations = 30
+	cfg.LR = 0.1
+	res, err := Train(mlp, blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Losses[0], res.Losses[len(res.Losses)-1]
+	if last >= first*0.7 {
+		t.Fatalf("loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	cfg := baseCfg()
+	res, err := Train(mlp, blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.TokensByWorker {
+		total += n
+	}
+	want := cfg.Iterations * cfg.TotalBatch / cfg.TokenBatch
+	if total != want {
+		t.Fatalf("tokens trained = %d, want %d", total, want)
+	}
+}
+
+// TestStragglerTrainsLess: a persistent straggler pulls fewer tokens —
+// the reactive mitigation of §III-C, observable in real time.
+func TestStragglerTrainsLess(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Iterations = 8
+	cfg.Delay = func(iter, wid int) time.Duration {
+		if wid == 0 {
+			return 30 * time.Millisecond
+		}
+		return 0
+	}
+	res, err := Train(mlp, blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastest := 0
+	for _, n := range res.TokensByWorker[1:] {
+		if n > fastest {
+			fastest = n
+		}
+	}
+	if res.TokensByWorker[0] >= fastest {
+		t.Errorf("straggler trained %d tokens, fastest other %d — no rebalancing",
+			res.TokensByWorker[0], fastest)
+	}
+}
+
+func TestTrainOverTCP(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Workers = 3
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for wid := 0; wid < cfg.Workers; wid++ {
+		wid := wid
+		go func() {
+			conn, err := transport.Dial(l.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			w := NewWorker(wid, mlp(), blobs(), cfg)
+			if err := w.Run(conn); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	conns := make([]transport.Conn, cfg.Workers)
+	for i := range conns {
+		c, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	co, err := NewCoordinator(mlp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run(conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Sequential(mlp(), blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minidnn.ParamsEqual(seq.Params, res.Params) {
+		t.Fatal("TCP run differs from sequential")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Workers: 0, TotalBatch: 64, TokenBatch: 8, Iterations: 1, LR: 0.1},
+		{Workers: 2, TotalBatch: 60, TokenBatch: 8, Iterations: 1, LR: 0.1},
+		{Workers: 2, TotalBatch: 64, TokenBatch: 8, Iterations: 0, LR: 0.1},
+		{Workers: 2, TotalBatch: 64, TokenBatch: 8, Iterations: 1, LR: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(mlp, blobs(), cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestCoordinatorConnCountMismatch(t *testing.T) {
+	co, err := NewCoordinator(mlp(), baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(nil); err == nil {
+		t.Error("expected error for missing connections")
+	}
+}
+
+// TestCNNEquivalence: the real CNN path (conv + pool) is also
+// bit-reproducible through the token scheduler.
+func TestCNNEquivalence(t *testing.T) {
+	mkCNN := func() *minidnn.Network { return minidnn.NewCNN(11, 1, 6, 6, 3, 12, 3) }
+	ds := minidnn.SyntheticImages(13, 96, 1, 6, 6, 3)
+	cfg := Config{Workers: 3, TotalBatch: 48, TokenBatch: 8, Iterations: 5, LR: 0.03}
+	seq, err := Sequential(mkCNN(), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Train(mkCNN, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minidnn.ParamsEqual(seq.Params, dist.Params) {
+		t.Fatal("CNN distributed training diverged from sequential")
+	}
+	if dist.Losses[len(dist.Losses)-1] >= dist.Losses[0] {
+		t.Error("CNN loss did not decrease")
+	}
+}
+
+// TestWorkerFailureSurfaces: a worker connection dying mid-session makes
+// the coordinator return an error instead of hanging.
+func TestWorkerFailureSurfaces(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Workers = 2
+	co, err := NewCoordinator(mlp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, c0 := transport.Pair()
+	s1, c1 := transport.Pair()
+	go NewWorker(0, mlp(), blobs(), cfg).Run(c0)
+	go func() {
+		// Worker 1 registers, then dies.
+		c1.Send(&transport.Message{Kind: transport.KindRegister, WID: 1})
+		m, _ := c1.Recv() // iter-start
+		_ = m
+		c1.Close()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := co.Run([]transport.Conn{s0, s1})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("coordinator succeeded despite dead worker")
+		}
+	case <-timeAfter(5):
+		t.Fatal("coordinator hung on dead worker")
+	}
+}
+
+func timeAfter(seconds int) <-chan time.Time {
+	return time.After(time.Duration(seconds) * time.Second)
+}
+
+// TestMomentumEquivalence: momentum SGD keeps the bitwise guarantee —
+// the velocity state lives at the coordinator.
+func TestMomentumEquivalence(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Momentum = 0.9
+	cfg.Iterations = 10
+	seq, err := Sequential(mlp(), blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Train(mlp, blobs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minidnn.ParamsEqual(seq.Params, dist.Params) {
+		t.Fatal("momentum run diverged from sequential")
+	}
+	// Momentum changes the trajectory vs plain SGD.
+	plain := baseCfg()
+	plain.Iterations = 10
+	seqPlain, err := Sequential(mlp(), blobs(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minidnn.ParamsEqual(seq.Params, seqPlain.Params) {
+		t.Fatal("momentum had no effect")
+	}
+}

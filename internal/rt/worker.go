@@ -1,0 +1,130 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"fela/internal/minidnn"
+	"fela/internal/tensor"
+	"fela/internal/transport"
+)
+
+// Worker is the real-time training worker (§III-A worker logic): it
+// registers, then loops — receive parameters at iteration start, sleep
+// any injected straggler delay, pull tokens, train them for real, report
+// gradients, and pull again.
+type Worker struct {
+	wid int
+	net *minidnn.Network
+	ds  *minidnn.Dataset
+	cfg Config
+}
+
+// NewWorker builds a worker around its own network replica and dataset.
+// The replica's initial parameters are irrelevant: the coordinator
+// broadcasts authoritative parameters every iteration.
+func NewWorker(wid int, net *minidnn.Network, ds *minidnn.Dataset, cfg Config) *Worker {
+	return &Worker{wid: wid, net: net, ds: ds, cfg: cfg}
+}
+
+// Run speaks the protocol over conn until shutdown.
+func (w *Worker) Run(conn transport.Conn) error {
+	if err := conn.Send(&transport.Message{Kind: transport.KindRegister, WID: w.wid}); err != nil {
+		return fmt.Errorf("rt: worker %d register: %w", w.wid, err)
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("rt: worker %d recv: %w", w.wid, err)
+		}
+		switch m.Kind {
+		case transport.KindIterStart:
+			w.setParams(m.Params)
+			if w.cfg.Delay != nil {
+				if d := w.cfg.Delay(m.Iter, w.wid); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			// Best-effort: if the session ended while this worker slept,
+			// the send fails but a shutdown message is already queued for
+			// the next Recv.
+			_ = conn.Send(&transport.Message{Kind: transport.KindRequest, WID: w.wid})
+		case transport.KindAssign:
+			report, err := w.train(m.Token)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(report); err != nil {
+				return err
+			}
+			// Report and request are combined (§III-D): ask for the next
+			// token in the same breath. Best-effort for the same reason
+			// as above.
+			_ = conn.Send(&transport.Message{Kind: transport.KindRequest, WID: w.wid})
+		case transport.KindShutdown:
+			return nil
+		default:
+			return fmt.Errorf("rt: worker %d unexpected message %v", w.wid, m.Kind)
+		}
+	}
+}
+
+func (w *Worker) setParams(flat [][]float32) {
+	params := w.net.Params()
+	if len(flat) != len(params) {
+		panic(fmt.Sprintf("rt: worker %d got %d parameter tensors, want %d", w.wid, len(flat), len(params)))
+	}
+	ts := make([]*tensor.Tensor, len(flat))
+	for i, data := range flat {
+		ts[i] = tensor.FromSlice(append([]float32(nil), data...), params[i].Shape...)
+	}
+	w.net.SetParams(ts)
+}
+
+func (w *Worker) train(tok transport.TokenInfo) (*transport.Message, error) {
+	if tok.Lo < 0 || tok.Hi > w.ds.Len() || tok.Lo >= tok.Hi {
+		return nil, fmt.Errorf("rt: worker %d token range [%d,%d)", w.wid, tok.Lo, tok.Hi)
+	}
+	x, labels := w.ds.Batch(tok.Lo, tok.Hi)
+	w.net.ZeroGrads()
+	loss := w.net.Loss(x, labels)
+	return &transport.Message{
+		Kind:  transport.KindReport,
+		WID:   w.wid,
+		Token: tok,
+		Grads: flatten(w.net.Grads()),
+		Loss:  loss,
+	}, nil
+}
+
+// Train runs a complete in-process session: a coordinator plus
+// cfg.Workers goroutine workers over in-memory transports, each holding
+// a replica of the seed network and the dataset. It returns the
+// coordinator's result.
+func Train(seedNet func() *minidnn.Network, ds *minidnn.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	co, err := NewCoordinator(seedNet(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	serverConns := make([]transport.Conn, cfg.Workers)
+	errs := make(chan error, cfg.Workers)
+	for wid := 0; wid < cfg.Workers; wid++ {
+		server, client := transport.Pair()
+		serverConns[wid] = server
+		w := NewWorker(wid, seedNet(), ds, cfg)
+		go func() { errs <- w.Run(client) }()
+	}
+	res, err := co.Run(serverConns)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		if werr := <-errs; werr != nil {
+			return nil, werr
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+// Package scheduler implements Fela's Token Server (§III): token
+// generation, the token bucket with per-worker STBs, and the three
+// distribution policies — Aggressive Depth-First Scheduling (ADS),
+// Hierarchical Fetching (HF) and Conditional Token Distribution (CTD).
+//
+// The Server runs on the discrete-event engine: worker requests and
+// completion reports arrive as messages that pay a configurable RTT, and
+// distribution decisions pay either a lock-free fast-path service time
+// (own-STB hits under HF) or a serialized slow-path service time under
+// the TS global lock — the locking cost §III-E sets out to avoid.
+package scheduler
+
+import (
+	"fmt"
+
+	"fela/internal/model"
+)
+
+// LevelSpec describes one token level (one sub-model) for an iteration.
+type LevelSpec struct {
+	// Batch is the per-token batch size b_i.
+	Batch int
+	// Count is the number of tokens per iteration n_i.
+	Count int
+	// Ratio is how many level-(i-1) completions produce one token of
+	// this level (w_i / w_{i-1}); 0 for level 0.
+	Ratio int
+	// Weight is the parallelism-degree weight w_i.
+	Weight int
+	// CommIntensive marks sub-models subject to CTD.
+	CommIntensive bool
+}
+
+// Plan turns a partition, a weight vector and a total batch size into
+// per-level token specs following §III-B and Eq. 2:
+//
+//	n_1 = max(totalBatch/θ_1, N)   b_1 = totalBatch / n_1
+//	b_i = b_1 · w_i                n_i = n_1 / w_i
+//
+// Weights must be positive, non-decreasing, and divide evenly so that
+// every level-i token consumes an integral group of level-(i-1) outputs.
+func Plan(subs []model.SubModel, weights []int, totalBatch, workers int) ([]LevelSpec, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("scheduler: empty partition")
+	}
+	if len(weights) != len(subs) {
+		return nil, fmt.Errorf("scheduler: %d weights for %d sub-models", len(weights), len(subs))
+	}
+	if weights[0] != 1 {
+		return nil, fmt.Errorf("scheduler: w_1 must be 1 (it is the base), got %d", weights[0])
+	}
+	if totalBatch <= 0 || workers <= 0 {
+		return nil, fmt.Errorf("scheduler: totalBatch and workers must be positive")
+	}
+	theta := subs[0].ThresholdBatch
+	if theta <= 0 {
+		return nil, fmt.Errorf("scheduler: sub-model 0 has no threshold batch")
+	}
+	n1 := totalBatch / theta
+	if n1 < workers {
+		n1 = workers
+	}
+	if totalBatch%n1 != 0 {
+		return nil, fmt.Errorf("scheduler: total batch %d not divisible into %d level-0 tokens", totalBatch, n1)
+	}
+	b1 := totalBatch / n1
+	levels := make([]LevelSpec, len(subs))
+	for i, sm := range subs {
+		w := weights[i]
+		if w <= 0 {
+			return nil, fmt.Errorf("scheduler: weight w_%d = %d must be positive", i+1, w)
+		}
+		if i > 0 && w < weights[i-1] {
+			return nil, fmt.Errorf("scheduler: weights must be non-decreasing (w_%d=%d < w_%d=%d)", i+1, w, i, weights[i-1])
+		}
+		if n1%w != 0 {
+			return nil, fmt.Errorf("scheduler: weight w_%d=%d does not divide n_1=%d", i+1, w, n1)
+		}
+		ratio := 0
+		if i > 0 {
+			if w%weights[i-1] != 0 {
+				return nil, fmt.Errorf("scheduler: w_%d=%d not a multiple of w_%d=%d", i+1, w, i, weights[i-1])
+			}
+			ratio = w / weights[i-1]
+		}
+		levels[i] = LevelSpec{
+			Batch:         b1 * w,
+			Count:         n1 / w,
+			Ratio:         ratio,
+			Weight:        w,
+			CommIntensive: sm.CommIntensive(),
+		}
+	}
+	return levels, nil
+}
+
+// TokensPerIteration sums Count over the levels.
+func TokensPerIteration(levels []LevelSpec) int {
+	n := 0
+	for _, l := range levels {
+		n += l.Count
+	}
+	return n
+}
+
+// CandidateWeights enumerates the Phase-1 search space of §IV-B for M
+// sub-models and N workers: non-decreasing vectors over {1, 2, 4, ...,
+// 2^floor(log2 N)} with w_1 = 1. For M = 3, N = 8 this yields the
+// paper's 10 cases.
+func CandidateWeights(m, workers int) [][]int {
+	var vals []int
+	for v := 1; v <= workers; v *= 2 {
+		vals = append(vals, v)
+	}
+	var out [][]int
+	var rec func(prefix []int)
+	rec = func(prefix []int) {
+		if len(prefix) == m {
+			cp := make([]int, m)
+			copy(cp, prefix)
+			out = append(out, cp)
+			return
+		}
+		lo := 1
+		if len(prefix) > 0 {
+			lo = prefix[len(prefix)-1]
+		}
+		if len(prefix) == 0 {
+			rec([]int{1}) // w_1 = 1 always
+			return
+		}
+		for _, v := range vals {
+			if v >= lo {
+				rec(append(prefix, v))
+			}
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// SubsetSizes enumerates the Phase-2 search space of §IV-B: halving the
+// conditional subset size from N down to 1.
+func SubsetSizes(workers int) []int {
+	var out []int
+	for s := workers; s >= 1; s /= 2 {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package scheduler
+
+import (
+	"testing"
+
+	"fela/internal/gpu"
+	"fela/internal/model"
+	"fela/internal/partition"
+)
+
+func vggSubs(t *testing.T) []model.SubModel {
+	t.Helper()
+	return partition.Partition(model.VGG19(), gpu.DefaultDB(gpu.TeslaK40c()), partition.DefaultBinSize)
+}
+
+// TestPlanFigure3 reproduces the running example of §III-B: a model in 3
+// sub-models with thresholds 16/32/64 and a total batch of 128 yields
+// 8 T-1, 4 T-2 and 2 T-3 tokens of batches 16/32/64.
+func TestPlanFigure3(t *testing.T) {
+	subs := []model.SubModel{
+		{Index: 0, ThresholdBatch: 16},
+		{Index: 1, ThresholdBatch: 32},
+		{Index: 2, ThresholdBatch: 64},
+	}
+	levels, err := Plan(subs, []int{1, 2, 4}, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []LevelSpec{
+		{Batch: 16, Count: 8, Ratio: 0, Weight: 1},
+		{Batch: 32, Count: 4, Ratio: 2, Weight: 2},
+		{Batch: 64, Count: 2, Ratio: 2, Weight: 4},
+	}
+	for i, w := range want {
+		got := levels[i]
+		if got.Batch != w.Batch || got.Count != w.Count || got.Ratio != w.Ratio {
+			t.Errorf("level %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if TokensPerIteration(levels) != 14 {
+		t.Errorf("tokens per iteration = %d, want 14", TokensPerIteration(levels))
+	}
+}
+
+// TestPlanEq2Floor checks Eq. 2's max(·, N): a small total batch still
+// produces at least one token per worker.
+func TestPlanEq2Floor(t *testing.T) {
+	subs := []model.SubModel{{Index: 0, ThresholdBatch: 16}}
+	levels, err := Plan(subs, []int{1}, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0].Count != 8 {
+		t.Errorf("n_1 = %d, want 8 (= N)", levels[0].Count)
+	}
+	if levels[0].Batch != 8 {
+		t.Errorf("b_1 = %d, want 8", levels[0].Batch)
+	}
+}
+
+func TestPlanSampleConservation(t *testing.T) {
+	subs := vggSubs(t)
+	for _, batch := range []int{64, 128, 256, 512, 1024} {
+		for _, w := range CandidateWeights(len(subs), 8) {
+			levels, err := Plan(subs, w, batch, 8)
+			if err != nil {
+				t.Fatalf("batch %d weights %v: %v", batch, w, err)
+			}
+			for i, l := range levels {
+				if l.Batch*l.Count != batch {
+					t.Errorf("batch %d weights %v level %d: %d x %d != total",
+						batch, w, i, l.Batch, l.Count)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	subs := vggSubs(t)
+	cases := []struct {
+		name    string
+		weights []int
+		batch   int
+		workers int
+	}{
+		{"empty weights", nil, 128, 8},
+		{"w1 not 1", []int{2, 2, 2}, 128, 8},
+		{"decreasing", []int{1, 4, 2}, 128, 8},
+		{"zero weight", []int{1, 0, 1}, 128, 8},
+		{"non-multiple", []int{1, 2, 3}, 128, 8},
+		{"weight exceeds n1", []int{1, 2, 16}, 128, 8},
+		{"zero batch", []int{1, 1, 1}, 0, 8},
+		{"zero workers", []int{1, 1, 1}, 128, 0},
+		{"indivisible batch", []int{1, 1, 1}, 100, 8},
+	}
+	for _, tc := range cases {
+		if _, err := Plan(subs, tc.weights, tc.batch, tc.workers); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestCandidateWeightsPaperCount verifies the §IV-B search-space count:
+// M = 3, N = 8 gives 4+3+2+1 = 10 cases.
+func TestCandidateWeightsPaperCount(t *testing.T) {
+	ws := CandidateWeights(3, 8)
+	if len(ws) != 10 {
+		t.Fatalf("candidate count = %d, want 10", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if w[0] != 1 {
+			t.Errorf("w_1 = %d, want 1 in %v", w[0], w)
+		}
+		for i := 1; i < len(w); i++ {
+			if w[i] < w[i-1] {
+				t.Errorf("weights not monotone: %v", w)
+			}
+		}
+		key := string(rune(w[1])) + string(rune(w[2]))
+		if seen[key] {
+			t.Errorf("duplicate case %v", w)
+		}
+		seen[key] = true
+	}
+	// The paper's two highlighted configurations must be present.
+	found114, found188 := false, false
+	for _, w := range ws {
+		if w[1] == 1 && w[2] == 4 {
+			found114 = true
+		}
+		if w[1] == 8 && w[2] == 8 {
+			found188 = true
+		}
+	}
+	if !found114 || !found188 {
+		t.Error("missing paper configurations {1,1,4} or {1,8,8}")
+	}
+}
+
+func TestCandidateWeightsTwoSubModels(t *testing.T) {
+	// M = 2, N = 8: w_2 in {1,2,4,8} -> 4 cases.
+	if got := len(CandidateWeights(2, 8)); got != 4 {
+		t.Errorf("M=2 candidates = %d, want 4", got)
+	}
+}
+
+func TestSubsetSizes(t *testing.T) {
+	got := SubsetSizes(8)
+	want := []int{8, 4, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("SubsetSizes(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SubsetSizes(8) = %v, want %v", got, want)
+		}
+	}
+}

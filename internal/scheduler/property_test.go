@@ -1,0 +1,217 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fela/internal/model"
+	"fela/internal/sim"
+	"fela/internal/token"
+)
+
+// propertyRun drives one iteration with randomized worker speeds and
+// policies and returns the assignment history keyed by token ID.
+func propertyRun(t *testing.T, seed int64, pol Policy, levels []LevelSpec, iters int) map[token.ID]int {
+	t.Helper()
+	eng := sim.New()
+	s := NewServer(eng, 8, levels, pol, DefaultTiming())
+	rng := rand.New(rand.NewSource(seed))
+	speed := make([]float64, 8)
+	for i := range speed {
+		speed[i] = 0.02 + rng.Float64()*0.3
+	}
+	trainedBy := make(map[token.ID]int)
+	remaining := iters
+	var loop func(w int)
+	loop = func(w int) {
+		s.Request(w, func(tok *token.Token) {
+			if prev, dup := trainedBy[tok.ID]; dup {
+				t.Fatalf("token %d assigned to both %d and %d", tok.ID, prev, w)
+			}
+			trainedBy[tok.ID] = w
+			eng.After(speed[w], func() {
+				s.Report(w, tok)
+				loop(w)
+			})
+		})
+	}
+	done := 0
+	s.OnLevelComplete = func(level int) {
+		if level == len(levels)-1 {
+			done++
+			if remaining > 1 {
+				remaining--
+				s.StartIteration(done)
+				return
+			}
+		}
+	}
+	s.StartIteration(0)
+	for w := 0; w < 8; w++ {
+		loop(w)
+	}
+	eng.RunUntil(1e6)
+	if !s.Done() {
+		t.Fatalf("iterations incomplete: %d tokens outstanding", s.Stats().Requests)
+	}
+	return trainedBy
+}
+
+func randomLevels(t *testing.T, rng *rand.Rand) []LevelSpec {
+	t.Helper()
+	subs := []model.SubModel{
+		{Index: 0, ThresholdBatch: 16},
+		{Index: 1, ThresholdBatch: 32},
+		{Index: 2, ThresholdBatch: 64, Layers: []model.Layer{model.NewFC("fc", 4, 4)}},
+	}
+	weights := [][]int{{1, 1, 1}, {1, 1, 2}, {1, 2, 4}, {1, 4, 8}, {1, 8, 8}}[rng.Intn(5)]
+	batch := []int{128, 256, 512}[rng.Intn(3)]
+	levels, err := Plan(subs, weights, batch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return levels
+}
+
+// TestPropertyEveryTokenTrainedOnce: across random speeds, policies and
+// plans, every generated token is assigned exactly once and the full
+// token count completes (work conservation).
+func TestPropertyEveryTokenTrainedOnce(t *testing.T) {
+	f := func(seed int64, adsRaw, hfRaw, ctdRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		levels := randomLevels(t, rng)
+		pol := Policy{ADS: adsRaw%2 == 0, HF: hfRaw%2 == 0}
+		if ctdRaw%2 == 0 {
+			pol.CTD = true
+			pol.CTDSubset = []int{0, 1}
+		}
+		iters := 2
+		trainedBy := propertyRun(t, seed, pol, levels, iters)
+		return len(trainedBy) == iters*TokensPerIteration(levels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCTDExclusionHolds: comm-intensive tokens never land
+// outside the subset, for any speeds and seeds.
+func TestPropertyCTDExclusionHolds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		levels := randomLevels(t, rng)
+		commLevel := -1
+		for i, l := range levels {
+			if l.CommIntensive {
+				commLevel = i
+			}
+		}
+		if commLevel == -1 {
+			return true
+		}
+		pol := Policy{ADS: true, HF: true, CTD: true, CTDSubset: []int{2, 5}}
+		eng := sim.New()
+		s := NewServer(eng, 8, levels, pol, DefaultTiming())
+		ok := true
+		var loop func(w int)
+		loop = func(w int) {
+			s.Request(w, func(tok *token.Token) {
+				if tok.Level == commLevel && w != 2 && w != 5 {
+					ok = false
+				}
+				eng.After(0.01+0.01*float64(w), func() {
+					s.Report(w, tok)
+					loop(w)
+				})
+			})
+		}
+		s.StartIteration(0)
+		for w := 0; w < 8; w++ {
+			loop(w)
+		}
+		eng.RunUntil(1e6)
+		return ok && s.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterministic: identical inputs produce identical
+// assignment histories.
+func TestPropertyDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		levels := randomLevels(t, rng)
+		pol := FullFela([]int{0, 1})
+		a := propertyRun(t, seed, pol, levels, 2)
+		b := propertyRun(t, seed, pol, levels, 2)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: history sizes differ", seed)
+		}
+		for id, w := range a {
+			if b[id] != w {
+				t.Fatalf("seed %d: token %d went to %d then %d", seed, id, w, b[id])
+			}
+		}
+	}
+}
+
+// TestPropertySampleConservation: per iteration, the samples covered by
+// each level's tokens sum exactly to the total batch.
+func TestPropertySampleConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		levels := randomLevels(t, rng)
+		total := levels[0].Batch * levels[0].Count
+		for _, l := range levels {
+			if l.Batch*l.Count != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDependenciesComplete: every generated token's dependencies
+// were completed before it was distributable — checked by walking the
+// final mapping.
+func TestPropertyDependenciesComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	levels := randomLevels(t, rng)
+	eng := sim.New()
+	s := NewServer(eng, 8, levels, Policy{ADS: true, HF: true}, DefaultTiming())
+	assignedAt := map[token.ID]float64{}
+	completedAt := map[token.ID]float64{}
+	var loop func(w int)
+	loop = func(w int) {
+		s.Request(w, func(tok *token.Token) {
+			assignedAt[tok.ID] = eng.Now()
+			for _, dep := range tok.Deps {
+				doneT, ok := completedAt[dep]
+				if !ok {
+					t.Errorf("token %d assigned before dep %d completed", tok.ID, dep)
+				} else if doneT > eng.Now() {
+					t.Errorf("token %d assigned at %v before dep %d done at %v", tok.ID, eng.Now(), dep, doneT)
+				}
+			}
+			eng.After(0.05*float64(w+1), func() {
+				completedAt[tok.ID] = eng.Now()
+				s.Report(w, tok)
+				loop(w)
+			})
+		})
+	}
+	s.StartIteration(0)
+	for w := 0; w < 8; w++ {
+		loop(w)
+	}
+	eng.RunUntil(1e6)
+	if !s.Done() {
+		t.Fatal("iteration incomplete")
+	}
+}

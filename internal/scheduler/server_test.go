@@ -1,0 +1,476 @@
+package scheduler
+
+import (
+	"testing"
+
+	"fela/internal/model"
+	"fela/internal/sim"
+	"fela/internal/token"
+)
+
+// fig3Levels is the §III-B running example: 8 T-1 (batch 16), 4 T-2
+// (batch 32), 2 T-3 (batch 64).
+func fig3Levels(t *testing.T, comm ...bool) []LevelSpec {
+	t.Helper()
+	subs := []model.SubModel{
+		{Index: 0, ThresholdBatch: 16},
+		{Index: 1, ThresholdBatch: 32},
+		{Index: 2, ThresholdBatch: 64},
+	}
+	if len(comm) > 0 && comm[0] {
+		// Mark SM-2 communication-intensive (the CTD example of §III-F).
+		subs[1].Layers = []model.Layer{model.NewFC("fc", 8, 8)}
+	}
+	levels, err := Plan(subs, []int{1, 2, 4}, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return levels
+}
+
+// runWorkers drives n simple workers against the server: each worker
+// requests, "computes" for the given per-level durations, reports, and
+// requests again, for one iteration. Returns completion order of token
+// IDs.
+func runWorkers(eng *sim.Engine, s *Server, n int, levelTime func(w int, tok *token.Token) float64) []token.ID {
+	var order []token.ID
+	var loop func(w int)
+	loop = func(w int) {
+		s.Request(w, func(tok *token.Token) {
+			eng.After(levelTime(w, tok), func() {
+				order = append(order, tok.ID)
+				s.Report(w, tok)
+				loop(w)
+			})
+		})
+	}
+	s.StartIteration(0)
+	for w := 0; w < n; w++ {
+		loop(w)
+	}
+	eng.Run()
+	return order
+}
+
+func constTime(d float64) func(int, *token.Token) float64 {
+	return func(int, *token.Token) float64 { return d }
+}
+
+func TestIterationCompletesAllTokens(t *testing.T) {
+	eng := sim.New()
+	s := NewServer(eng, 8, fig3Levels(t), FullFela([]int{0, 1}), DefaultTiming())
+	order := runWorkers(eng, s, 8, constTime(0.1))
+	if len(order) != 14 {
+		t.Fatalf("completed %d tokens, want 14", len(order))
+	}
+	if !s.Done() {
+		t.Fatal("server not Done after all reports")
+	}
+	st := s.Stats()
+	if st.Generated != 6 {
+		t.Errorf("generated = %d, want 6 (4 T-2 + 2 T-3)", st.Generated)
+	}
+}
+
+// TestFigure3Generation verifies the generation rule: one T-2 token per
+// two completed T-1 tokens, with deps equal to that completion-order
+// group (Token_8 <- {Token_0, Token_1} in Fig. 3).
+func TestFigure3Generation(t *testing.T) {
+	eng := sim.New()
+	s := NewServer(eng, 8, fig3Levels(t), Policy{ADS: true, HF: true}, DefaultTiming())
+
+	var t2s []*token.Token
+	order := runWorkers(eng, s, 8, func(w int, tok *token.Token) float64 {
+		if tok.Level == 1 {
+			t2s = append(t2s, tok)
+		}
+		return 0.1
+	})
+	if len(t2s) != 4 {
+		t.Fatalf("saw %d T-2 tokens, want 4", len(t2s))
+	}
+	// Completion order of T-1 tokens.
+	var t1Done []token.ID
+	for _, id := range order {
+		if s.TokenByID(id).Level == 0 {
+			t1Done = append(t1Done, id)
+		}
+	}
+	// Each T-2's deps must be a consecutive completion-order pair.
+	pos := map[token.ID]int{}
+	for i, id := range t1Done {
+		pos[id] = i
+	}
+	for _, tk := range t2s {
+		if len(tk.Deps) != 2 {
+			t.Fatalf("T-2 %v has %d deps, want 2", tk.ID, len(tk.Deps))
+		}
+		a, b := pos[tk.Deps[0]], pos[tk.Deps[1]]
+		if b != a+1 || a%2 != 0 {
+			t.Errorf("T-2 %v deps at completion positions (%d,%d), want consecutive even-aligned pair", tk.ID, a, b)
+		}
+	}
+}
+
+// TestADSPrinciple1 checks depth-first preference: with a T-1 and a T-2
+// token both available, ADS hands out the T-2 first; without ADS the T-1
+// goes first.
+func TestADSPrinciple1(t *testing.T) {
+	for _, ads := range []bool{true, false} {
+		eng := sim.New()
+		levels := []LevelSpec{
+			{Batch: 16, Count: 2, Weight: 1},
+			{Batch: 16, Count: 2, Ratio: 1, Weight: 1},
+		}
+		s := NewServer(eng, 1, levels, Policy{ADS: ads}, Timing{})
+		s.StartIteration(0)
+
+		var got []*token.Token
+		// Complete the first T-1 so one T-2 exists alongside one T-1.
+		s.Request(0, func(tok *token.Token) {
+			s.Report(0, tok) // completes a T-1, generating a T-2
+			s.Request(0, func(tok2 *token.Token) {
+				got = append(got, tok2)
+			})
+		})
+		eng.Run()
+		if len(got) != 1 {
+			t.Fatalf("ads=%v: got %d assignments", ads, len(got))
+		}
+		wantLevel := 1
+		if !ads {
+			wantLevel = 0
+		}
+		if got[0].Level != wantLevel {
+			t.Errorf("ads=%v: distributed level %d, want %d", ads, got[0].Level, wantLevel)
+		}
+	}
+}
+
+// TestADSPrinciple2 reproduces the §III-D locality example: among two
+// same-level tokens, the one with more dependencies held by the
+// requester wins; on a tie the smaller ID wins.
+func TestADSPrinciple2(t *testing.T) {
+	eng := sim.New()
+	levels := []LevelSpec{
+		{Batch: 16, Count: 4, Weight: 1},
+		{Batch: 32, Count: 2, Ratio: 2, Weight: 2},
+	}
+	// HF off so locality is the only discriminator (STB ownership would
+	// also steer the choice).
+	s := NewServer(eng, 2, levels, Policy{ADS: true}, Timing{})
+	s.StartIteration(0)
+
+	// Worker 0 completes tokens 0,1 -> T-2 (id 4, deps {0,1}).
+	// Worker 1 completes tokens 2,3 -> T-2 (id 5, deps {2,3}).
+	grab := func(w int, n int, done func(toks []*token.Token)) {
+		var toks []*token.Token
+		var step func()
+		step = func() {
+			if len(toks) == n {
+				done(toks)
+				return
+			}
+			s.Request(w, func(tok *token.Token) {
+				toks = append(toks, tok)
+				step()
+			})
+		}
+		step()
+	}
+	var w1Assigned *token.Token
+	grab(0, 2, func(toks []*token.Token) {
+		for _, tk := range toks {
+			s.Report(0, tk)
+		}
+	})
+	grab(1, 2, func(toks []*token.Token) {
+		for _, tk := range toks {
+			s.Report(1, tk)
+		}
+		// Both T-2 tokens now exist (after reports process). Worker 1
+		// must receive the one depending on its own completions.
+		s.Request(1, func(tok *token.Token) { w1Assigned = tok })
+	})
+	eng.Run()
+	if w1Assigned == nil {
+		t.Fatal("worker 1 got no token")
+	}
+	if w1Assigned.Level != 1 {
+		t.Fatalf("worker 1 got level %d", w1Assigned.Level)
+	}
+	if got := s.Mapping().LocalityScore(1, w1Assigned); got != 1 {
+		t.Errorf("assigned token locality for worker 1 = %v, want 1", got)
+	}
+}
+
+// TestHFOwnSTBFirst: with HF, a worker consumes its own STB before
+// anything else, entirely on the fast path.
+func TestHFOwnSTBFirst(t *testing.T) {
+	eng := sim.New()
+	levels := []LevelSpec{{Batch: 16, Count: 8, Weight: 1}}
+	s := NewServer(eng, 8, levels, Policy{HF: true}, DefaultTiming())
+	var got []*token.Token
+	s.StartIteration(0)
+	s.Request(3, func(tok *token.Token) { got = append(got, tok) })
+	eng.Run()
+	if len(got) != 1 {
+		t.Fatal("no assignment")
+	}
+	if got[0].ShardOwner != 3 {
+		t.Errorf("worker 3 got token owned by %d, want 3", got[0].ShardOwner)
+	}
+	st := s.Stats()
+	if st.FastPath != 1 || st.SlowPath != 0 {
+		t.Errorf("fast=%d slow=%d, want 1/0", st.FastPath, st.SlowPath)
+	}
+}
+
+// TestHFHelperSteals: a fast worker that drains its own STB helps the
+// worker with the largest backlog.
+func TestHFHelperSteals(t *testing.T) {
+	eng := sim.New()
+	levels := []LevelSpec{{Batch: 16, Count: 16, Weight: 1}}
+	s := NewServer(eng, 4, levels, Policy{HF: true}, DefaultTiming())
+	// Worker speeds: worker 0 fast, worker 3 very slow.
+	speed := []float64{0.05, 0.2, 0.2, 10}
+	done := map[int][]int{}
+	var loop func(w int)
+	var count int
+	loop = func(w int) {
+		s.Request(w, func(tok *token.Token) {
+			eng.After(speed[w], func() {
+				done[w] = append(done[w], int(tok.ID))
+				count++
+				s.Report(w, tok)
+				if count < 16 {
+					loop(w)
+				}
+			})
+		})
+	}
+	s.StartIteration(0)
+	for w := 0; w < 4; w++ {
+		loop(w)
+	}
+	eng.RunUntil(100)
+	st := s.Stats()
+	if st.Helped == 0 {
+		t.Error("fast workers never helped")
+	}
+	if len(done[0]) <= len(done[3]) {
+		t.Errorf("fast worker completed %d <= slow worker %d", len(done[0]), len(done[3]))
+	}
+	// Work conservation: every token trained exactly once.
+	total := 0
+	for _, ids := range done {
+		total += len(ids)
+	}
+	if total != 16 {
+		t.Errorf("completed %d tokens, want 16", total)
+	}
+}
+
+// TestCTDExclusion: non-subset workers never receive comm-intensive
+// tokens; subset members prioritize them (T-2 > T-3 > T-1, §III-F).
+func TestCTDExclusion(t *testing.T) {
+	eng := sim.New()
+	levels := fig3Levels(t, true) // SM-2 comm-intensive
+	pol := Policy{ADS: true, HF: true, CTD: true, CTDSubset: []int{0, 1}}
+	s := NewServer(eng, 8, levels, pol, DefaultTiming())
+	byWorker := map[int][]*token.Token{}
+	runDone := 0
+	var loop func(w int)
+	loop = func(w int) {
+		s.Request(w, func(tok *token.Token) {
+			eng.After(0.1, func() {
+				byWorker[w] = append(byWorker[w], tok)
+				runDone++
+				s.Report(w, tok)
+				loop(w)
+			})
+		})
+	}
+	s.StartIteration(0)
+	for w := 0; w < 8; w++ {
+		loop(w)
+	}
+	eng.Run()
+	if runDone != 14 {
+		t.Fatalf("completed %d tokens, want 14", runDone)
+	}
+	for w, toks := range byWorker {
+		for _, tok := range toks {
+			if tok.Level == 1 && w >= 2 {
+				t.Errorf("non-subset worker %d trained comm-intensive token %v", w, tok)
+			}
+		}
+	}
+}
+
+// TestLockingProblem: a request with an empty bucket parks and is served
+// when generation adds a token.
+func TestLockingProblem(t *testing.T) {
+	eng := sim.New()
+	levels := []LevelSpec{
+		{Batch: 16, Count: 1, Weight: 1},
+		{Batch: 16, Count: 1, Ratio: 1, Weight: 1},
+	}
+	s := NewServer(eng, 2, levels, Policy{ADS: true, HF: true}, DefaultTiming())
+	s.StartIteration(0)
+	var w1Token *token.Token
+	// Worker 1 requests first; the only T-1 lives in worker 0's STB...
+	// it can steal it. So park worker 1 by letting worker 0 grab it
+	// first, then request: bucket empty -> parked.
+	s.Request(0, func(tok *token.Token) {
+		s.Request(1, func(tok2 *token.Token) { w1Token = tok2 })
+		eng.After(0.5, func() { s.Report(0, tok) })
+	})
+	eng.Run()
+	if s.Stats().Locked != 1 {
+		t.Errorf("locked = %d, want 1", s.Stats().Locked)
+	}
+	if w1Token == nil {
+		t.Fatal("parked request never served")
+	}
+	if w1Token.Level != 1 {
+		t.Errorf("parked worker got level %d, want generated T-2", w1Token.Level)
+	}
+}
+
+// TestOnLevelComplete fires once per level, in dependency order.
+func TestOnLevelComplete(t *testing.T) {
+	eng := sim.New()
+	s := NewServer(eng, 8, fig3Levels(t), FullFela([]int{0}), DefaultTiming())
+	var completed []int
+	s.OnLevelComplete = func(level int) { completed = append(completed, level) }
+	runWorkers(eng, s, 8, constTime(0.1))
+	if len(completed) != 3 {
+		t.Fatalf("level completions = %v, want 3 entries", completed)
+	}
+	if completed[0] != 0 || completed[2] != 2 {
+		t.Errorf("completion order = %v, want [0 1 2]", completed)
+	}
+}
+
+// TestPendingCarriesAcrossIterations: a worker parked at the end of one
+// iteration is served by the next StartIteration.
+func TestPendingCarriesAcrossIterations(t *testing.T) {
+	eng := sim.New()
+	levels := []LevelSpec{{Batch: 16, Count: 1, Weight: 1}}
+	s := NewServer(eng, 1, levels, Policy{HF: true}, DefaultTiming())
+	s.StartIteration(0)
+	var second *token.Token
+	s.Request(0, func(tok *token.Token) {
+		s.Report(0, tok)
+		// Re-request: iteration 0 has no tokens left -> parked.
+		s.Request(0, func(tok2 *token.Token) { second = tok2 })
+		eng.After(1, func() { s.StartIteration(1) })
+	})
+	eng.Run()
+	if second == nil {
+		t.Fatal("carried-over request not served by next iteration")
+	}
+	if second.Iter != 1 {
+		t.Errorf("served token from iteration %d, want 1", second.Iter)
+	}
+}
+
+// TestConflictsWithoutHF: simultaneous requests on the global bucket
+// collide on the TS lock and are counted.
+func TestConflictsWithoutHF(t *testing.T) {
+	eng := sim.New()
+	levels := []LevelSpec{{Batch: 16, Count: 8, Weight: 1}}
+	s := NewServer(eng, 8, levels, Policy{}, DefaultTiming())
+	s.StartIteration(0)
+	for w := 0; w < 8; w++ {
+		s.Request(w, func(tok *token.Token) {})
+	}
+	eng.Run()
+	st := s.Stats()
+	if st.SlowPath != 8 || st.FastPath != 0 {
+		t.Errorf("slow=%d fast=%d, want 8/0", st.SlowPath, st.FastPath)
+	}
+	if st.Conflicts != 7 {
+		t.Errorf("conflicts = %d, want 7 (all but the first)", st.Conflicts)
+	}
+	// With HF, the same pattern is conflict-free (§III-E target 1).
+	eng2 := sim.New()
+	s2 := NewServer(eng2, 8, levels, Policy{HF: true}, DefaultTiming())
+	s2.StartIteration(0)
+	for w := 0; w < 8; w++ {
+		s2.Request(w, func(tok *token.Token) {})
+	}
+	eng2.Run()
+	if got := s2.Stats().Conflicts; got != 0 {
+		t.Errorf("HF conflicts = %d, want 0", got)
+	}
+}
+
+// TestHFFasterThanGlobal: serving 8 simultaneous requests is quicker
+// with STBs than through the serialized lock.
+func TestHFFasterThanGlobal(t *testing.T) {
+	run := func(hf bool) float64 {
+		eng := sim.New()
+		levels := []LevelSpec{{Batch: 16, Count: 8, Weight: 1}}
+		s := NewServer(eng, 8, levels, Policy{HF: hf}, DefaultTiming())
+		s.StartIteration(0)
+		var last float64
+		for w := 0; w < 8; w++ {
+			s.Request(w, func(tok *token.Token) {
+				if eng.Now() > last {
+					last = eng.Now()
+				}
+			})
+		}
+		eng.Run()
+		return last
+	}
+	hf, global := run(true), run(false)
+	if hf >= global {
+		t.Errorf("HF distribution latency %v >= global %v", hf, global)
+	}
+}
+
+func TestDeterministicScheduling(t *testing.T) {
+	run := func() []token.ID {
+		eng := sim.New()
+		s := NewServer(eng, 8, fig3Levels(t), FullFela([]int{0, 1}), DefaultTiming())
+		return runWorkers(eng, s, 8, func(w int, tok *token.Token) float64 {
+			return 0.05 * float64(w+1)
+		})
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	eng := sim.New()
+	levels := []LevelSpec{{Batch: 1, Count: 1, Weight: 1}}
+	for name, fn := range map[string]func(){
+		"zero workers": func() { NewServer(eng, 0, levels, Policy{}, Timing{}) },
+		"no levels":    func() { NewServer(eng, 1, nil, Policy{}, Timing{}) },
+		"ctd no subset": func() {
+			NewServer(eng, 1, levels, Policy{CTD: true}, Timing{})
+		},
+		"ctd bad member": func() {
+			NewServer(eng, 2, levels, Policy{CTD: true, CTDSubset: []int{5}}, Timing{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("final time = %v, want 3", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	e := New()
+	var times []float64
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 10 {
+		t.Fatalf("after Run: fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(1, func() { fired++; e.Stop() })
+	e.At(2, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (stopped)", fired)
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume, want 2", fired)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := New()
+	r := NewResource(e, "gpu", 1)
+	var starts []float64
+	for i := 0; i < 3; i++ {
+		r.Use(2, nil)
+		r.Acquire(func() {
+			starts = append(starts, e.Now())
+			e.After(0, r.Release)
+		})
+	}
+	_ = starts
+	e.Run()
+	// Three Use(2) occupations plus three zero-length acquires must
+	// serialize: total time 6.
+	if e.Now() != 6 {
+		t.Fatalf("final time = %v, want 6", e.Now())
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := New()
+	r := NewResource(e, "nic", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Acquire(func() {
+			order = append(order, i)
+			e.After(1, r.Release)
+		})
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceCapacity(t *testing.T) {
+	e := New()
+	r := NewResource(e, "dual", 2)
+	done := make([]float64, 0, 4)
+	for i := 0; i < 4; i++ {
+		r.Use(3, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	// Two run [0,3], two run [3,6].
+	want := []float64{3, 3, 6, 6}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion times = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := New()
+	r := NewResource(e, "x", 1)
+	if !r.TryAcquire() {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("second TryAcquire should fail")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release should succeed")
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	e := New()
+	r := NewResource(e, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on release of idle resource")
+		}
+	}()
+	r.Release()
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	e := New()
+	r := NewResource(e, "gpu", 1)
+	r.Use(4, nil)
+	e.Run()
+	if got := r.BusyTime(); got != 4 {
+		t.Fatalf("busy time = %v, want 4", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := New()
+		rng := rand.New(rand.NewSource(seed))
+		var out []float64
+		var rec func(depth int)
+		rec = func(depth int) {
+			if depth == 0 {
+				out = append(out, e.Now())
+				return
+			}
+			n := rng.Intn(3) + 1
+			for i := 0; i < n; i++ {
+				e.After(rng.Float64(), func() { rec(depth - 1) })
+			}
+		}
+		e.At(0, func() { rec(4) })
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if !sort.Float64sAreSorted(a) {
+		t.Fatal("event times not monotone")
+	}
+}

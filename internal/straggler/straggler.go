@@ -1,0 +1,88 @@
+// Package straggler implements the paper's straggler-injection
+// methodology (§V-C2, following LazyTable and FlexRR): a scenario
+// prescribes, per iteration and per worker, an artificial delay added to
+// the worker's computation.
+//
+// Scenarios are pure functions of (iteration, worker) so simulations
+// remain deterministic and two engines evaluating the same scenario see
+// identical delays.
+package straggler
+
+import "fmt"
+
+// Scenario decides the injected delay for each (iteration, worker).
+type Scenario interface {
+	// Name identifies the scenario for reports.
+	Name() string
+	// Delay returns the extra seconds worker w sleeps in iteration it.
+	Delay(it, w int) float64
+}
+
+// None is the non-straggler scenario.
+type None struct{}
+
+// Name implements Scenario.
+func (None) Name() string { return "none" }
+
+// Delay implements Scenario: never any delay.
+func (None) Delay(int, int) float64 { return 0 }
+
+// RoundRobin slows down worker (it mod N) by D seconds in iteration it:
+// the scenario of Figure 9, taken from LazyTable.
+type RoundRobin struct {
+	// D is the injected delay in seconds.
+	D float64
+	// N is the number of workers.
+	N int
+}
+
+// Name implements Scenario.
+func (s RoundRobin) Name() string { return fmt.Sprintf("round-robin(d=%gs)", s.D) }
+
+// Delay implements Scenario.
+func (s RoundRobin) Delay(it, w int) float64 {
+	if s.N <= 0 {
+		return 0
+	}
+	if it%s.N == w {
+		return s.D
+	}
+	return 0
+}
+
+// Probability makes every worker a straggler independently with
+// probability P in every iteration, slowed by D seconds: the scenario of
+// Figure 10.
+type Probability struct {
+	// P is the per-(iteration,worker) straggling probability in [0,1].
+	P float64
+	// D is the injected delay in seconds.
+	D float64
+	// Seed decorrelates scenario instances.
+	Seed uint64
+}
+
+// Name implements Scenario.
+func (s Probability) Name() string { return fmt.Sprintf("probability(p=%g,d=%gs)", s.P, s.D) }
+
+// Delay implements Scenario. The decision is a pure hash of
+// (seed, iteration, worker) so it is deterministic yet uncorrelated
+// across iterations and workers.
+func (s Probability) Delay(it, w int) float64 {
+	if uniform(s.Seed, uint64(it), uint64(w)) < s.P {
+		return s.D
+	}
+	return 0
+}
+
+// uniform hashes (seed, a, b) to a float64 in [0, 1) using the
+// SplitMix64 finalizer.
+func uniform(seed, a, b uint64) float64 {
+	x := seed ^ (a * 0x9E3779B97F4A7C15) ^ (b * 0xBF58476D1CE4E5B9)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,117 @@
+package straggler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNone(t *testing.T) {
+	var s None
+	for it := 0; it < 5; it++ {
+		for w := 0; w < 8; w++ {
+			if s.Delay(it, w) != 0 {
+				t.Fatal("None must never delay")
+			}
+		}
+	}
+}
+
+func TestRoundRobinExactlyOneStragglerPerIteration(t *testing.T) {
+	s := RoundRobin{D: 6, N: 8}
+	for it := 0; it < 32; it++ {
+		count := 0
+		for w := 0; w < 8; w++ {
+			d := s.Delay(it, w)
+			if d != 0 && d != 6 {
+				t.Fatalf("delay = %v, want 0 or 6", d)
+			}
+			if d == 6 {
+				count++
+				if w != it%8 {
+					t.Fatalf("iteration %d straggler = %d, want %d", it, w, it%8)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("iteration %d has %d stragglers, want 1", it, count)
+		}
+	}
+}
+
+func TestRoundRobinZeroWorkers(t *testing.T) {
+	s := RoundRobin{D: 6, N: 0}
+	if s.Delay(3, 1) != 0 {
+		t.Fatal("degenerate scenario must not delay")
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	a := Probability{P: 0.3, D: 3, Seed: 7}
+	b := Probability{P: 0.3, D: 3, Seed: 7}
+	for it := 0; it < 50; it++ {
+		for w := 0; w < 8; w++ {
+			if a.Delay(it, w) != b.Delay(it, w) {
+				t.Fatalf("probability scenario not deterministic at (%d,%d)", it, w)
+			}
+		}
+	}
+}
+
+func TestProbabilityRate(t *testing.T) {
+	for _, p := range []float64{0.1, 0.3, 0.5} {
+		s := Probability{P: p, D: 1, Seed: 42}
+		hits, total := 0, 0
+		for it := 0; it < 2000; it++ {
+			for w := 0; w < 8; w++ {
+				total++
+				if s.Delay(it, w) > 0 {
+					hits++
+				}
+			}
+		}
+		got := float64(hits) / float64(total)
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("p=%g: empirical rate %.3f", p, got)
+		}
+	}
+}
+
+func TestProbabilitySeedsDiffer(t *testing.T) {
+	a := Probability{P: 0.5, D: 1, Seed: 1}
+	b := Probability{P: 0.5, D: 1, Seed: 2}
+	same := 0
+	for it := 0; it < 100; it++ {
+		for w := 0; w < 8; w++ {
+			if (a.Delay(it, w) > 0) == (b.Delay(it, w) > 0) {
+				same++
+			}
+		}
+	}
+	if same == 800 {
+		t.Error("different seeds produced identical straggler patterns")
+	}
+}
+
+func TestProbabilityBounds(t *testing.T) {
+	f := func(seed uint64, it, w uint8) bool {
+		zero := Probability{P: 0, D: 5, Seed: seed}
+		one := Probability{P: 1, D: 5, Seed: seed}
+		return zero.Delay(int(it), int(w)) == 0 && one.Delay(int(it), int(w)) == 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (None{}).Name() != "none" {
+		t.Error("None name")
+	}
+	if (RoundRobin{D: 4, N: 8}).Name() != "round-robin(d=4s)" {
+		t.Errorf("RoundRobin name = %s", RoundRobin{D: 4, N: 8}.Name())
+	}
+	if (Probability{P: 0.2, D: 3}).Name() != "probability(p=0.2,d=3s)" {
+		t.Errorf("Probability name = %s", Probability{P: 0.2, D: 3}.Name())
+	}
+}

@@ -1,0 +1,306 @@
+// Package tensor provides the small float32 tensor math used by the
+// real-execution training engine (internal/minidnn, internal/rt). It is
+// deliberately minimal — dense row-major tensors with the handful of
+// kernels a classifier needs — and fully deterministic so that
+// distributed runs can be compared bitwise against sequential ones.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	// Shape holds the dimension sizes, outermost first.
+	Shape []int
+	// Data is the row-major backing array, len = product(Shape).
+	Data []float32
+}
+
+// New returns a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d", d))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is not
+// copied; it must have exactly the right length.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if len(data) != t.Len() {
+		panic(fmt.Sprintf("tensor: %d elements for shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// At returns the element at the given indices (2-D convenience).
+func (t *Tensor) At(i, j int) float32 {
+	if len(t.Shape) != 2 {
+		panic("tensor: At requires a 2-D tensor")
+	}
+	return t.Data[i*t.Shape[1]+j]
+}
+
+// Set assigns the element at the given indices (2-D convenience).
+func (t *Tensor) Set(i, j int, v float32) {
+	if len(t.Shape) != 2 {
+		panic("tensor: Set requires a 2-D tensor")
+	}
+	t.Data[i*t.Shape[1]+j] = v
+}
+
+// Randn fills the tensor with N(0, std²) values from the given rng.
+func (t *Tensor) Randn(rng *rand.Rand, std float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+	return t
+}
+
+// AddScaled adds a*x element-wise into t (t += a*x).
+func (t *Tensor) AddScaled(x *Tensor, a float32) {
+	if t.Len() != x.Len() {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i, v := range x.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Add adds x element-wise into t.
+func (t *Tensor) Add(x *Tensor) { t.AddScaled(x, 1) }
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float32) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// Equal reports exact element-wise equality (bitwise reproducibility
+// checks).
+func (t *Tensor) Equal(x *Tensor) bool {
+	if t.Len() != x.Len() {
+		return false
+	}
+	for i := range t.Data {
+		if t.Data[i] != x.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func (t *Tensor) MaxAbsDiff(x *Tensor) float64 {
+	if t.Len() != x.Len() {
+		panic("tensor: size mismatch")
+	}
+	var m float64
+	for i := range t.Data {
+		d := math.Abs(float64(t.Data[i] - x.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MatMul computes C = A·B for A (m×k) and B (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulAT computes C = Aᵀ·B for A (k×m) and B (k×n).
+func MatMulAT(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulAT shapes %v x %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulBT computes C = A·Bᵀ for A (m×k) and B (n×k).
+func MatMulBT(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulBT shapes %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for p := 0; p < k; p++ {
+				sum += arow[p] * brow[p]
+			}
+			crow[j] = sum
+		}
+	}
+	return c
+}
+
+// ReLU applies max(0, x) element-wise, returning a new tensor.
+func ReLU(x *Tensor) *Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// ReLUGrad masks the upstream gradient by the forward input's sign.
+func ReLUGrad(x, grad *Tensor) *Tensor {
+	if x.Len() != grad.Len() {
+		panic("tensor: ReLUGrad size mismatch")
+	}
+	out := grad.Clone()
+	for i := range out.Data {
+		if x.Data[i] <= 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (batch×classes) against integer labels, and the gradient with respect
+// to the logits (already divided by the batch size).
+func SoftmaxCrossEntropy(logits *Tensor, labels []int) (loss float64, grad *Tensor) {
+	if logits.Dims() != 2 || logits.Shape[0] != len(labels) {
+		panic("tensor: SoftmaxCrossEntropy shape mismatch")
+	}
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	grad = New(batch, classes)
+	for i := 0; i < batch; i++ {
+		row := logits.Data[i*classes : (i+1)*classes]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		exps := make([]float64, classes)
+		for j, v := range row {
+			exps[j] = math.Exp(float64(v - max))
+			sum += exps[j]
+		}
+		label := labels[i]
+		if label < 0 || label >= classes {
+			panic(fmt.Sprintf("tensor: label %d out of range", label))
+		}
+		loss += -math.Log(exps[label] / sum)
+		for j := 0; j < classes; j++ {
+			p := float32(exps[j] / sum)
+			if j == label {
+				p -= 1
+			}
+			grad.Data[i*classes+j] = p / float32(batch)
+		}
+	}
+	return loss / float64(batch), grad
+}
+
+// Argmax returns the index of the row maximum for each row of a 2-D
+// tensor.
+func Argmax(t *Tensor) []int {
+	if t.Dims() != 2 {
+		panic("tensor: Argmax requires 2-D")
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	out := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		best := 0
+		for j := 1; j < cols; j++ {
+			if t.Data[i*cols+j] > t.Data[i*cols+best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Rows returns a copy of rows [lo, hi) of a 2-D tensor.
+func (t *Tensor) Rows(lo, hi int) *Tensor {
+	if t.Dims() != 2 || lo < 0 || hi > t.Shape[0] || lo >= hi {
+		panic(fmt.Sprintf("tensor: Rows[%d:%d] of %v", lo, hi, t.Shape))
+	}
+	cols := t.Shape[1]
+	out := New(hi-lo, cols)
+	copy(out.Data, t.Data[lo*cols:hi*cols])
+	return out
+}

@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	x := New(3, 4)
+	if x.Len() != 12 || x.Dims() != 2 {
+		t.Fatalf("len=%d dims=%d", x.Len(), x.Dims())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestFromSlice(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if x.At(1, 2) != 6 || x.At(0, 1) != 2 {
+		t.Fatal("indexing wrong")
+	}
+	x.Set(0, 0, 9)
+	if x.At(0, 0) != 9 {
+		t.Fatal("Set failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong length")
+		}
+	}()
+	FromSlice([]float32{1}, 2, 3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 7
+	if x.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if !x.Equal(x.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3}, 3)
+	y := FromSlice([]float32{10, 20, 30}, 3)
+	x.AddScaled(y, 0.5)
+	want := []float32{6, 12, 18}
+	for i := range want {
+		if x.Data[i] != want[i] {
+			t.Fatalf("AddScaled = %v", x.Data)
+		}
+	}
+	x.Scale(2)
+	if x.Data[0] != 12 {
+		t.Fatalf("Scale = %v", x.Data)
+	}
+	x.Zero()
+	if x.Data[2] != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+// TestMatMulVariants checks Aᵀ·B and A·Bᵀ against explicit transposes.
+func TestMatMulVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 3).Randn(rng, 1)
+	b := New(4, 5).Randn(rng, 1)
+	at := New(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	got := MatMulAT(a, b)
+	want := MatMul(at, b)
+	if got.MaxAbsDiff(want) > 1e-5 {
+		t.Errorf("MatMulAT diff %v", got.MaxAbsDiff(want))
+	}
+	// A (2x3), B (4x3): A·Bᵀ == A·(Bᵀ explicit)
+	x := New(2, 3).Randn(rng, 1)
+	y := New(4, 3).Randn(rng, 1)
+	yt := New(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			yt.Set(j, i, y.At(i, j))
+		}
+	}
+	if MatMulBT(x, y).MaxAbsDiff(MatMul(x, yt)) > 1e-5 {
+		t.Error("MatMulBT mismatch")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a, b := New(2, 3), New(4, 2)
+	for _, fn := range []func(){
+		func() { MatMul(a, b) },
+		func() { MatMulAT(a, b) },
+		func() { MatMulBT(a, New(3, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected shape panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := FromSlice([]float32{-1, 0, 2}, 3)
+	y := ReLU(x)
+	if y.Data[0] != 0 || y.Data[1] != 0 || y.Data[2] != 2 {
+		t.Fatalf("ReLU = %v", y.Data)
+	}
+	g := ReLUGrad(x, FromSlice([]float32{5, 5, 5}, 3))
+	if g.Data[0] != 0 || g.Data[1] != 0 || g.Data[2] != 5 {
+		t.Fatalf("ReLUGrad = %v", g.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := New(2, 4)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{1, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	// Gradient rows sum to 0 and the label entry is negative.
+	for i := 0; i < 2; i++ {
+		var sum float32
+		for j := 0; j < 4; j++ {
+			sum += grad.At(i, j)
+		}
+		if math.Abs(float64(sum)) > 1e-6 {
+			t.Errorf("grad row %d sums to %v", i, sum)
+		}
+	}
+	if grad.At(0, 1) >= 0 || grad.At(1, 3) >= 0 {
+		t.Error("label gradient must be negative")
+	}
+}
+
+// TestSoftmaxGradientNumeric validates the analytic gradient against a
+// finite-difference estimate.
+func TestSoftmaxGradientNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logits := New(3, 5).Randn(rng, 1)
+	labels := []int{0, 2, 4}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	const eps = 1e-3
+	for _, idx := range []int{0, 4, 7, 14} {
+		orig := logits.Data[idx]
+		logits.Data[idx] = orig + eps
+		lossP, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[idx] = orig - eps
+		lossM, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[idx] = orig
+		numeric := (lossP - lossM) / (2 * eps)
+		if math.Abs(numeric-float64(grad.Data[idx])) > 1e-3 {
+			t.Errorf("grad[%d] = %v, numeric %v", idx, grad.Data[idx], numeric)
+		}
+	}
+}
+
+func TestArgmaxAndRows(t *testing.T) {
+	x := FromSlice([]float32{1, 3, 2, 9, 0, 4}, 2, 3)
+	am := Argmax(x)
+	if am[0] != 1 || am[1] != 0 {
+		t.Fatalf("Argmax = %v", am)
+	}
+	r := x.Rows(1, 2)
+	if r.Shape[0] != 1 || r.At(0, 0) != 9 {
+		t.Fatalf("Rows = %+v", r)
+	}
+	// Rows copies.
+	r.Set(0, 0, -1)
+	if x.At(1, 0) != 9 {
+		t.Fatal("Rows must copy")
+	}
+}
+
+// Property: MatMul distributes over addition: A(B+C) = AB + AC.
+func TestMatMulLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(3, 4).Randn(rng, 1)
+		b := New(4, 2).Randn(rng, 1)
+		c := New(4, 2).Randn(rng, 1)
+		bc := b.Clone()
+		bc.Add(c)
+		left := MatMul(a, bc)
+		right := MatMul(a, b)
+		right.Add(MatMul(a, c))
+		return left.MaxAbsDiff(right) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandnDeterministic(t *testing.T) {
+	a := New(10).Randn(rand.New(rand.NewSource(5)), 0.1)
+	b := New(10).Randn(rand.New(rand.NewSource(5)), 0.1)
+	if !a.Equal(b) {
+		t.Fatal("Randn not deterministic for equal seeds")
+	}
+}

@@ -1,0 +1,224 @@
+// Package token defines Fela's unit of scheduling: the token.
+//
+// One token represents training one sub-model with a certain batch size
+// (§III-A). Tokens of level 0 (T-1 in the paper's 1-based naming) carry
+// references to raw training samples sharded across workers; tokens of
+// level i > 0 depend on the outputs of a group of level i-1 tokens.
+//
+// The package also provides the Token Server's two bookkeeping
+// structures: the Token Bucket — optionally partitioned into per-worker
+// sub-Token-Buckets (STBs) for the HF policy (§III-E) — and the Info
+// Mapping, which records which worker completed (and therefore holds the
+// output parameters of) every token, and which worker each in-flight
+// token is assigned to (§III-A footnotes 5–6).
+package token
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a token uniquely within a run.
+type ID int
+
+// Token is one schedulable unit of training work.
+type Token struct {
+	// ID is unique across the whole run.
+	ID ID
+	// Level is the 0-based sub-model index this token trains (the
+	// paper's T-(Level+1)).
+	Level int
+	// Iter is the iteration the token belongs to.
+	Iter int
+	// Seq is the token's ordinal within (Iter, Level).
+	Seq int
+	// Batch is the number of samples this token trains.
+	Batch int
+	// Deps are the level-1 tokens whose outputs this token consumes;
+	// empty for level 0.
+	Deps []ID
+	// ShardOwner is, for level-0 tokens, the worker whose local storage
+	// holds the token's training samples; -1 otherwise.
+	ShardOwner int
+}
+
+func (t *Token) String() string {
+	return fmt.Sprintf("T-%d#%d(iter=%d,batch=%d)", t.Level+1, t.ID, t.Iter, t.Batch)
+}
+
+// Mapping is the Info Mapping: (worker, token) records for completed and
+// in-flight tokens.
+type Mapping struct {
+	assigned    map[ID]int
+	completedBy map[ID]int
+	byWorker    map[int]map[ID]struct{}
+}
+
+// NewMapping returns an empty Info Mapping.
+func NewMapping() *Mapping {
+	return &Mapping{
+		assigned:    make(map[ID]int),
+		completedBy: make(map[ID]int),
+		byWorker:    make(map[int]map[ID]struct{}),
+	}
+}
+
+// RecordAssigned registers that the worker is currently training the
+// token (§III-A footnote 6).
+func (m *Mapping) RecordAssigned(wid int, tid ID) { m.assigned[tid] = wid }
+
+// AssignedTo returns the worker currently training the token.
+func (m *Mapping) AssignedTo(tid ID) (int, bool) {
+	w, ok := m.assigned[tid]
+	return w, ok
+}
+
+// RecordCompleted registers that the worker completed the token and now
+// holds its output parameters (§III-A footnote 5).
+func (m *Mapping) RecordCompleted(wid int, tid ID) {
+	if prev, ok := m.completedBy[tid]; ok {
+		panic(fmt.Sprintf("token: %d completed twice (by %d then %d)", tid, prev, wid))
+	}
+	delete(m.assigned, tid)
+	m.completedBy[tid] = wid
+	set, ok := m.byWorker[wid]
+	if !ok {
+		set = make(map[ID]struct{})
+		m.byWorker[wid] = set
+	}
+	set[tid] = struct{}{}
+}
+
+// Holder returns the worker holding the completed token's output.
+func (m *Mapping) Holder(tid ID) (int, bool) {
+	w, ok := m.completedBy[tid]
+	return w, ok
+}
+
+// CompletedCount returns how many tokens the worker has completed.
+func (m *Mapping) CompletedCount(wid int) int { return len(m.byWorker[wid]) }
+
+// LocalityScore computes Equation 1: the fraction of the token's
+// dependencies whose outputs the worker holds. Tokens without
+// dependencies score 1 if the worker owns their sample shard, else 0.
+func (m *Mapping) LocalityScore(wid int, t *Token) float64 {
+	if len(t.Deps) == 0 {
+		if t.ShardOwner == wid {
+			return 1
+		}
+		return 0
+	}
+	held := 0
+	for _, dep := range t.Deps {
+		if w, ok := m.completedBy[dep]; ok && w == wid {
+			held++
+		}
+	}
+	return float64(held) / float64(len(t.Deps))
+}
+
+// MajorityHolder returns the worker holding the most of the token's
+// dependencies (ties broken toward the holder of the latest dependency,
+// matching the "just reported" argument of §III-D). ok is false when no
+// dependency has a recorded holder.
+func (m *Mapping) MajorityHolder(t *Token) (int, bool) {
+	counts := make(map[int]int)
+	last := -1
+	for _, dep := range t.Deps {
+		if w, ok := m.completedBy[dep]; ok {
+			counts[w]++
+			last = w
+		}
+	}
+	if len(counts) == 0 {
+		return 0, false
+	}
+	best, bestN := -1, -1
+	for w, n := range counts {
+		if n > bestN || (n == bestN && w == last) {
+			best, bestN = w, n
+		}
+	}
+	return best, true
+}
+
+// Bucket is the Token Bucket. With HF enabled it is partitioned into one
+// STB per worker; otherwise all tokens live in a single global pool
+// (represented as STB ownership being advisory only).
+type Bucket struct {
+	n    int
+	stbs []map[ID]*Token
+}
+
+// NewBucket returns a bucket partitioned for n workers.
+func NewBucket(n int) *Bucket {
+	if n <= 0 {
+		panic("token: bucket needs at least one STB")
+	}
+	b := &Bucket{n: n}
+	for i := 0; i < n; i++ {
+		b.stbs = append(b.stbs, make(map[ID]*Token))
+	}
+	return b
+}
+
+// Workers returns the number of STBs.
+func (b *Bucket) Workers() int { return b.n }
+
+// Add places the token into the given worker's STB.
+func (b *Bucket) Add(stb int, t *Token) {
+	if stb < 0 || stb >= b.n {
+		panic(fmt.Sprintf("token: STB %d out of range", stb))
+	}
+	b.stbs[stb][t.ID] = t
+}
+
+// Remove takes the token out of whichever STB holds it, reporting
+// whether it was present.
+func (b *Bucket) Remove(tid ID) bool {
+	for _, stb := range b.stbs {
+		if _, ok := stb[tid]; ok {
+			delete(stb, tid)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the total number of available tokens.
+func (b *Bucket) Len() int {
+	n := 0
+	for _, stb := range b.stbs {
+		n += len(stb)
+	}
+	return n
+}
+
+// STBLen returns the number of tokens in one worker's STB.
+func (b *Bucket) STBLen(stb int) int { return len(b.stbs[stb]) }
+
+// STBTokens returns the tokens of one STB sorted by ID (deterministic
+// iteration order for the distributor).
+func (b *Bucket) STBTokens(stb int) []*Token {
+	return sortTokens(b.stbs[stb])
+}
+
+// AllTokens returns every available token sorted by ID.
+func (b *Bucket) AllTokens() []*Token {
+	merged := make(map[ID]*Token)
+	for _, stb := range b.stbs {
+		for id, t := range stb {
+			merged[id] = t
+		}
+	}
+	return sortTokens(merged)
+}
+
+func sortTokens(m map[ID]*Token) []*Token {
+	out := make([]*Token, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,183 @@
+package token
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMappingAssignComplete(t *testing.T) {
+	m := NewMapping()
+	m.RecordAssigned(3, 7)
+	if w, ok := m.AssignedTo(7); !ok || w != 3 {
+		t.Fatalf("AssignedTo = %d,%v", w, ok)
+	}
+	if _, ok := m.Holder(7); ok {
+		t.Fatal("token should not have a holder before completion")
+	}
+	m.RecordCompleted(3, 7)
+	if _, ok := m.AssignedTo(7); ok {
+		t.Fatal("completion must clear assignment")
+	}
+	if w, ok := m.Holder(7); !ok || w != 3 {
+		t.Fatalf("Holder = %d,%v", w, ok)
+	}
+	if m.CompletedCount(3) != 1 || m.CompletedCount(0) != 0 {
+		t.Fatal("completed counts wrong")
+	}
+}
+
+func TestDoubleCompletionPanics(t *testing.T) {
+	m := NewMapping()
+	m.RecordCompleted(1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double completion")
+		}
+	}()
+	m.RecordCompleted(2, 5)
+}
+
+// TestLocalityScorePaperExample reproduces the worked example of §III-D:
+// Token9 depends on {2,3}, Token10 on {4,5}. A worker holding {2,3}
+// scores 1 on Token9 and 0 on Token10; holding {3,4} scores 0.5 on both.
+func TestLocalityScorePaperExample(t *testing.T) {
+	t9 := &Token{ID: 9, Level: 1, Deps: []ID{2, 3}}
+	t10 := &Token{ID: 10, Level: 1, Deps: []ID{4, 5}}
+
+	m := NewMapping()
+	m.RecordCompleted(0, 2)
+	m.RecordCompleted(0, 3)
+	m.RecordCompleted(1, 4)
+	m.RecordCompleted(1, 5)
+	if got := m.LocalityScore(0, t9); got != 1 {
+		t.Errorf("score(0, T9) = %v, want 1", got)
+	}
+	if got := m.LocalityScore(0, t10); got != 0 {
+		t.Errorf("score(0, T10) = %v, want 0", got)
+	}
+
+	m2 := NewMapping()
+	m2.RecordCompleted(0, 3)
+	m2.RecordCompleted(0, 4)
+	m2.RecordCompleted(1, 2)
+	m2.RecordCompleted(1, 5)
+	if got := m2.LocalityScore(0, t9); got != 0.5 {
+		t.Errorf("score(0, T9) = %v, want 0.5", got)
+	}
+	if got := m2.LocalityScore(0, t10); got != 0.5 {
+		t.Errorf("score(0, T10) = %v, want 0.5", got)
+	}
+}
+
+func TestLocalityScoreLevelZero(t *testing.T) {
+	m := NewMapping()
+	tok := &Token{ID: 1, Level: 0, ShardOwner: 4}
+	if m.LocalityScore(4, tok) != 1 {
+		t.Error("shard owner must score 1")
+	}
+	if m.LocalityScore(3, tok) != 0 {
+		t.Error("non-owner must score 0")
+	}
+}
+
+func TestLocalityScoreRange(t *testing.T) {
+	f := func(holders []uint8, wid uint8) bool {
+		m := NewMapping()
+		tok := &Token{ID: 1000, Level: 1}
+		for i, h := range holders {
+			id := ID(i)
+			tok.Deps = append(tok.Deps, id)
+			m.RecordCompleted(int(h%8), id)
+		}
+		if len(tok.Deps) == 0 {
+			return true
+		}
+		s := m.LocalityScore(int(wid%8), tok)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityHolder(t *testing.T) {
+	m := NewMapping()
+	m.RecordCompleted(2, 1)
+	m.RecordCompleted(2, 2)
+	m.RecordCompleted(5, 3)
+	tok := &Token{ID: 10, Deps: []ID{1, 2, 3}}
+	if w, ok := m.MajorityHolder(tok); !ok || w != 2 {
+		t.Errorf("MajorityHolder = %d,%v, want 2", w, ok)
+	}
+	// Tie: holder of the latest dep wins.
+	m2 := NewMapping()
+	m2.RecordCompleted(1, 1)
+	m2.RecordCompleted(7, 2)
+	tok2 := &Token{ID: 11, Deps: []ID{1, 2}}
+	if w, _ := m2.MajorityHolder(tok2); w != 7 {
+		t.Errorf("tie-break = %d, want 7 (latest dep)", w)
+	}
+	// No recorded deps.
+	if _, ok := m.MajorityHolder(&Token{ID: 12, Deps: []ID{99}}); ok {
+		t.Error("unknown deps must report !ok")
+	}
+}
+
+func TestBucketSTBs(t *testing.T) {
+	b := NewBucket(4)
+	if b.Workers() != 4 {
+		t.Fatal("workers")
+	}
+	t1 := &Token{ID: 1}
+	t2 := &Token{ID: 2}
+	t3 := &Token{ID: 3}
+	b.Add(0, t1)
+	b.Add(0, t2)
+	b.Add(2, t3)
+	if b.Len() != 3 || b.STBLen(0) != 2 || b.STBLen(2) != 1 || b.STBLen(1) != 0 {
+		t.Fatal("bucket lengths wrong")
+	}
+	got := b.STBTokens(0)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("STBTokens(0) = %v", got)
+	}
+	all := b.AllTokens()
+	if len(all) != 3 || all[0].ID != 1 || all[2].ID != 3 {
+		t.Fatalf("AllTokens = %v", all)
+	}
+	if !b.Remove(2) {
+		t.Fatal("Remove(2) failed")
+	}
+	if b.Remove(2) {
+		t.Fatal("Remove(2) twice should fail")
+	}
+	if b.Len() != 2 {
+		t.Fatal("length after remove")
+	}
+}
+
+func TestBucketAddOutOfRangePanics(t *testing.T) {
+	b := NewBucket(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad STB index")
+		}
+	}()
+	b.Add(2, &Token{ID: 1})
+}
+
+func TestNewBucketValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 workers")
+		}
+	}()
+	NewBucket(0)
+}
+
+func TestTokenString(t *testing.T) {
+	tok := &Token{ID: 8, Level: 1, Iter: 0, Batch: 32}
+	if got := tok.String(); got != "T-2#8(iter=0,batch=32)" {
+		t.Errorf("String = %q", got)
+	}
+}

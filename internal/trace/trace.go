@@ -1,0 +1,163 @@
+// Package trace records simulation events and renders per-worker ASCII
+// timelines — the debugging view that makes token schedules legible:
+// which worker computed which token when, what it fetched, and where
+// synchronizations landed.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind byte
+
+const (
+	// Compute is GPU work (token training, baseline passes).
+	Compute Kind = 'C'
+	// Fetch is a network pull of samples or dependency activations.
+	Fetch Kind = 'F'
+	// Sync is parameter synchronization.
+	Sync Kind = 'S'
+	// Idle marks injected straggler sleeps.
+	Idle Kind = 'Z'
+)
+
+// Event is one timed interval attributed to a worker.
+type Event struct {
+	Kind   Kind
+	Worker int
+	Start  float64
+	End    float64
+	Label  string
+}
+
+// Duration is the event length in seconds.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Trace accumulates events. The zero value is ready to use; a nil
+// *Trace ignores all additions, so callers can record unconditionally.
+type Trace struct {
+	Events []Event
+}
+
+// Add records an event. Safe on a nil receiver (no-op).
+func (t *Trace) Add(kind Kind, worker int, start, end float64, label string) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		panic(fmt.Sprintf("trace: event %q ends before it starts (%v < %v)", label, end, start))
+	}
+	t.Events = append(t.Events, Event{Kind: kind, Worker: worker, Start: start, End: end, Label: label})
+}
+
+// Span returns the earliest start and latest end across all events.
+func (t *Trace) Span() (start, end float64) {
+	if t == nil || len(t.Events) == 0 {
+		return 0, 0
+	}
+	start, end = math.Inf(1), math.Inf(-1)
+	for _, e := range t.Events {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return start, end
+}
+
+// ByKind returns the events of one kind, in recording order.
+func (t *Trace) ByKind(kind Kind) []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.Events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BusyTime sums the durations of a worker's events of the given kind.
+func (t *Trace) BusyTime(worker int, kind Kind) float64 {
+	if t == nil {
+		return 0
+	}
+	var sum float64
+	for _, e := range t.Events {
+		if e.Worker == worker && e.Kind == kind {
+			sum += e.Duration()
+		}
+	}
+	return sum
+}
+
+// Workers returns the distinct worker ids present, sorted.
+func (t *Trace) Workers() []int {
+	if t == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	for _, e := range t.Events {
+		seen[e.Worker] = true
+	}
+	out := make([]int, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Timeline renders an ASCII Gantt chart: one row per worker, width
+// character cells across the trace's span. Each cell shows the kind of
+// the event covering most of that cell's time ('.' when idle).
+func (t *Trace) Timeline(width int) string {
+	if t == nil || len(t.Events) == 0 || width <= 0 {
+		return "(empty trace)\n"
+	}
+	start, end := t.Span()
+	span := end - start
+	if span <= 0 {
+		return "(zero-length trace)\n"
+	}
+	cell := span / float64(width)
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %.3fs..%.3fs, %.4fs/cell (C=compute F=fetch S=sync Z=sleep)\n",
+		start, end, cell)
+	for _, w := range t.Workers() {
+		row := make([]byte, width)
+		cover := make([]float64, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range t.Events {
+			if e.Worker != w {
+				continue
+			}
+			lo := int((e.Start - start) / cell)
+			hi := int(math.Ceil((e.End - start) / cell))
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi; i++ {
+				cellStart := start + float64(i)*cell
+				cellEnd := cellStart + cell
+				ov := math.Min(e.End, cellEnd) - math.Max(e.Start, cellStart)
+				if ov > cover[i] {
+					cover[i] = ov
+					row[i] = byte(e.Kind)
+				}
+			}
+		}
+		fmt.Fprintf(&b, "w%-2d |%s|\n", w, row)
+	}
+	return b.String()
+}

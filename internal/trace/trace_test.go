@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	t := &Trace{}
+	t.Add(Compute, 0, 0, 2, "token-1")
+	t.Add(Fetch, 1, 0.5, 1, "fetch")
+	t.Add(Compute, 1, 1, 3, "token-2")
+	t.Add(Sync, 0, 2, 4, "sm-1")
+	t.Add(Idle, 2, 0, 1, "sleep")
+	return t
+}
+
+func TestSpan(t *testing.T) {
+	tr := sample()
+	start, end := tr.Span()
+	if start != 0 || end != 4 {
+		t.Fatalf("span = %v..%v", start, end)
+	}
+	var empty *Trace
+	if s, e := empty.Span(); s != 0 || e != 0 {
+		t.Fatal("nil trace span")
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Add(Compute, 0, 0, 1, "x") // must not panic
+	if tr.BusyTime(0, Compute) != 0 {
+		t.Fatal("nil busy time")
+	}
+	if tr.Workers() != nil {
+		t.Fatal("nil workers")
+	}
+	if !strings.Contains(tr.Timeline(10), "empty") {
+		t.Fatal("nil timeline")
+	}
+}
+
+func TestByKindAndBusyTime(t *testing.T) {
+	tr := sample()
+	if got := len(tr.ByKind(Compute)); got != 2 {
+		t.Fatalf("compute events = %d", got)
+	}
+	if got := tr.BusyTime(0, Compute); got != 2 {
+		t.Fatalf("w0 compute = %v", got)
+	}
+	if got := tr.BusyTime(0, Sync); got != 2 {
+		t.Fatalf("w0 sync = %v", got)
+	}
+	if got := tr.BusyTime(1, Compute); got != 2 {
+		t.Fatalf("w1 compute = %v", got)
+	}
+	if got := tr.BusyTime(9, Compute); got != 0 {
+		t.Fatalf("unknown worker busy = %v", got)
+	}
+}
+
+func TestWorkersSorted(t *testing.T) {
+	tr := sample()
+	ws := tr.Workers()
+	if len(ws) != 3 || ws[0] != 0 || ws[2] != 2 {
+		t.Fatalf("workers = %v", ws)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr := sample()
+	out := tr.Timeline(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 workers
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "C") {
+		t.Errorf("worker 0 row missing compute: %s", lines[1])
+	}
+	if !strings.Contains(lines[1], "S") {
+		t.Errorf("worker 0 row missing sync: %s", lines[1])
+	}
+	if !strings.Contains(lines[3], "Z") {
+		t.Errorf("worker 2 row missing sleep: %s", lines[3])
+	}
+	// Rows are equally wide.
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("rows not aligned")
+	}
+}
+
+func TestTimelineMajorityRule(t *testing.T) {
+	tr := &Trace{}
+	// A long compute and a tiny fetch inside one cell: compute wins.
+	tr.Add(Compute, 0, 0, 10, "c")
+	tr.Add(Fetch, 0, 1, 1.01, "f")
+	out := tr.Timeline(5)
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Contains(rows[len(rows)-1], "F") {
+		t.Errorf("tiny event should not dominate a cell:\n%s", out)
+	}
+}
+
+func TestBackwardsEventPanics(t *testing.T) {
+	tr := &Trace{}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.Add(Compute, 0, 2, 1, "bad")
+}
+
+func TestDegenerateTimelines(t *testing.T) {
+	tr := &Trace{}
+	if !strings.Contains(tr.Timeline(10), "empty") {
+		t.Error("empty trace timeline")
+	}
+	tr.Add(Compute, 0, 1, 1, "point")
+	if !strings.Contains(tr.Timeline(10), "zero-length") {
+		t.Error("zero span timeline")
+	}
+}

@@ -1,0 +1,201 @@
+// Package transport carries the Fela token protocol between the
+// coordinator (Token Server) and workers in the real-time engine
+// (internal/rt). Two transports are provided: an in-memory pair for
+// single-process training and tests, and TCP with a gob wire codec for
+// genuinely distributed runs (cmd/felaserver, cmd/felaworker).
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Kind enumerates protocol messages.
+type Kind int
+
+const (
+	// KindRegister introduces a worker (WID set).
+	KindRegister Kind = iota
+	// KindRequest asks the coordinator for a token (WID set).
+	KindRequest
+	// KindAssign hands a token to a worker (Token set).
+	KindAssign
+	// KindReport returns a completed token with its gradient
+	// contribution (WID, Token, Grads set).
+	KindReport
+	// KindIterStart opens an iteration: carries the iteration number
+	// and the current model parameters.
+	KindIterStart
+	// KindShutdown ends the session.
+	KindShutdown
+)
+
+// String names the message kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRegister:
+		return "register"
+	case KindRequest:
+		return "request"
+	case KindAssign:
+		return "assign"
+	case KindReport:
+		return "report"
+	case KindIterStart:
+		return "iter-start"
+	case KindShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// TokenInfo describes one unit of work: train on sample rows [Lo, Hi).
+type TokenInfo struct {
+	ID, Seq, Lo, Hi int
+	// Owner is the worker whose shard the samples belong to.
+	Owner int
+}
+
+// Message is the wire unit. Only the fields relevant to Kind are set.
+type Message struct {
+	Kind   Kind
+	WID    int
+	Iter   int
+	Token  TokenInfo
+	Grads  [][]float32
+	Params [][]float32
+	// Loss carries the token's training loss on reports.
+	Loss float64
+}
+
+// Conn is a bidirectional, ordered message pipe.
+type Conn interface {
+	// Send writes one message; it is safe for one concurrent sender.
+	Send(*Message) error
+	// Recv blocks for the next message; io errors or closure return an
+	// error.
+	Recv() (*Message, error)
+	// Close tears the connection down; pending Recv calls fail.
+	Close() error
+}
+
+// ErrClosed is returned for operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// memConn is one end of an in-memory pair.
+type memConn struct {
+	in, out chan *Message
+	once    sync.Once
+	done    chan struct{}
+}
+
+// Pair returns two connected in-memory endpoints. Messages sent on one
+// are received on the other, in order. Buffered so senders rarely block.
+func Pair() (Conn, Conn) {
+	ab := make(chan *Message, 64)
+	ba := make(chan *Message, 64)
+	done := make(chan struct{})
+	a := &memConn{in: ba, out: ab, done: done}
+	b := &memConn{in: ab, out: ba, done: done}
+	return a, b
+}
+
+func (c *memConn) Send(m *Message) error {
+	// Check closure first: with a buffered channel the select below
+	// could otherwise accept a message after Close.
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	case c.out <- m:
+		return nil
+	}
+}
+
+func (c *memConn) Recv() (*Message, error) {
+	select {
+	case <-c.done:
+		return nil, ErrClosed
+	case m := <-c.in:
+		return m, nil
+	}
+}
+
+func (c *memConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// tcpConn wraps a net.Conn with gob encoding.
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (c *tcpConn) Send(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(m)
+}
+
+func (c *tcpConn) Recv() (*Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (c *tcpConn) Close() error { return c.conn.Close() }
+
+// Listener accepts TCP protocol connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen binds a TCP listener, e.g. on "127.0.0.1:0".
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for one connection.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Dial connects to a coordinator at addr.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}

@@ -1,0 +1,254 @@
+package tuning
+
+import (
+	"testing"
+
+	"fela/internal/gpu"
+	"fela/internal/model"
+	"fela/internal/partition"
+)
+
+func tuneVGG(t *testing.T, batch int) *Result {
+	t.Helper()
+	m := model.VGG19()
+	subs := partition.Partition(m, gpu.DefaultDB(gpu.TeslaK40c()), partition.DefaultBinSize)
+	opts := DefaultOptions()
+	opts.WarmupIters = 3 // keep tests quick; the paper uses 5
+	opts.PaperStrict13 = true
+	r, err := Tune(m, subs, batch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestThirteenCases verifies the paper's search-space arithmetic: 10
+// Phase-1 cases plus 4 Phase-2 subset sizes minus the shared full-subset
+// case = 13.
+func TestThirteenCases(t *testing.T) {
+	r := tuneVGG(t, 128)
+	if len(r.Cases) != 13 {
+		t.Fatalf("cases = %d, want 13", len(r.Cases))
+	}
+	p1, p2 := 0, 0
+	for i, c := range r.Cases {
+		if c.Index != i {
+			t.Errorf("case %d has index %d", i, c.Index)
+		}
+		switch c.Phase {
+		case 1:
+			p1++
+			if c.SubsetSize != 8 {
+				t.Errorf("phase-1 case %d subset = %d, want 8", i, c.SubsetSize)
+			}
+		case 2:
+			p2++
+			if c.SubsetSize >= 8 {
+				t.Errorf("phase-2 case %d subset = %d, want < 8", i, c.SubsetSize)
+			}
+		default:
+			t.Errorf("case %d has phase %d", i, c.Phase)
+		}
+		if c.IterTime <= 0 {
+			t.Errorf("case %d has non-positive iteration time", i)
+		}
+	}
+	if p1 != 10 || p2 != 3 {
+		t.Errorf("phase sizes = %d/%d, want 10/3", p1, p2)
+	}
+	// Warm-up cost: 13 cases x 3 iterations.
+	if r.WarmupIterations != 39 {
+		t.Errorf("warm-up iterations = %d, want 39", r.WarmupIterations)
+	}
+}
+
+func TestBestConfigIsMeasuredMinimum(t *testing.T) {
+	r := tuneVGG(t, 128)
+	// The winning configuration's measured time must be the global
+	// minimum among cases matching it.
+	best := r.Cases[0].IterTime
+	for _, c := range r.Cases {
+		if c.IterTime < best {
+			best = c.IterTime
+		}
+	}
+	found := false
+	for _, c := range r.Cases {
+		if c.IterTime == best {
+			found = true
+			if c.Phase == 1 && r.BestSubset != 8 && !sameWeights(c.Weights, r.BestWeights) {
+				t.Errorf("global best is phase-1 %v but tuner chose %v/%d", c.Weights, r.BestWeights, r.BestSubset)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no case matches the global minimum")
+	}
+	// Weights non-decreasing with w1 = 1.
+	if r.BestWeights[0] != 1 {
+		t.Errorf("best w1 = %d", r.BestWeights[0])
+	}
+	for i := 1; i < len(r.BestWeights); i++ {
+		if r.BestWeights[i] < r.BestWeights[i-1] {
+			t.Errorf("best weights not monotone: %v", r.BestWeights)
+		}
+	}
+	if r.BestSubset < 1 || r.BestSubset > 8 {
+		t.Errorf("best subset = %d", r.BestSubset)
+	}
+}
+
+// TestGapsPositive mirrors Fig. 6(b): tuning must matter — the best case
+// beats the worst by a clear margin in both phases.
+func TestGapsPositive(t *testing.T) {
+	for _, batch := range []int{64, 1024} {
+		r := tuneVGG(t, batch)
+		if r.Phase1Gap <= 0.02 {
+			t.Errorf("batch %d: phase-1 gap = %.3f, want meaningful spread", batch, r.Phase1Gap)
+		}
+		if r.OverallGap < r.Phase1Gap || r.OverallGap < r.Phase2Gap {
+			t.Errorf("batch %d: overall gap %.3f smaller than a phase gap", batch, r.OverallGap)
+		}
+		if r.OverallGap >= 1 {
+			t.Errorf("batch %d: overall gap %.3f out of range", batch, r.OverallGap)
+		}
+	}
+}
+
+// TestDifferentBatchesPreferDifferentConfigs reproduces the qualitative
+// finding of Fig. 6(a): the optimum moves with the total batch size
+// (the paper observed {1,1,4}/subset-1 at batch 64 vs {1,8,8}/subset-8
+// at batch 1024); at minimum, small batches must prefer a small
+// conditional subset while huge batches tolerate larger FC parallelism.
+func TestDifferentBatchesPreferDifferentConfigs(t *testing.T) {
+	small := tuneVGG(t, 64)
+	large := tuneVGG(t, 1024)
+	if small.BestSubset > large.BestSubset && sameWeights(small.BestWeights, large.BestWeights) {
+		t.Errorf("batch 64 chose subset %d > batch 1024 subset %d with equal weights",
+			small.BestSubset, large.BestSubset)
+	}
+	// Weight sum should not shrink as batch grows (deeper sub-models
+	// can afford larger batches per token).
+	if sum(large.BestWeights) < sum(small.BestWeights) {
+		t.Logf("note: batch-1024 weights %v lighter than batch-64 %v", large.BestWeights, small.BestWeights)
+	}
+}
+
+func TestNormalizedTimes(t *testing.T) {
+	r := tuneVGG(t, 128)
+	norm := r.NormalizedTimes()
+	if len(norm) != 13 {
+		t.Fatalf("normalized series length %d", len(norm))
+	}
+	sawZero, sawOne := false, false
+	for _, v := range norm {
+		if v < 0 || v > 1 {
+			t.Errorf("normalized value %v out of [0,1]", v)
+		}
+		if v == 0 {
+			sawZero = true
+		}
+		if v == 1 {
+			sawOne = true
+		}
+	}
+	if !sawZero || !sawOne {
+		t.Error("normalization must hit both 0 and 1")
+	}
+}
+
+func TestPolicyFromResult(t *testing.T) {
+	r := &Result{BestSubset: 2}
+	p := r.Policy(8)
+	if !p.CTD || len(p.CTDSubset) != 2 {
+		t.Errorf("policy = %+v, want CTD subset of 2", p)
+	}
+	r = &Result{BestSubset: 8}
+	p = r.Policy(8)
+	if p.CTD {
+		t.Error("full subset must disable CTD")
+	}
+	if !p.ADS || !p.HF {
+		t.Error("ADS and HF must stay on")
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	m := model.VGG19()
+	subs := partition.Partition(m, gpu.DefaultDB(gpu.TeslaK40c()), partition.DefaultBinSize)
+	opts := DefaultOptions()
+	opts.WarmupIters = 0
+	if _, err := Tune(m, subs, 128, opts); err == nil {
+		t.Error("expected error for zero warm-up iterations")
+	}
+}
+
+// TestRefinementOnlyImproves: the default co-tuning refinement never
+// returns a configuration worse than the strict 13-case search.
+func TestRefinementOnlyImproves(t *testing.T) {
+	m := model.VGG19()
+	subs := partition.Partition(m, gpu.DefaultDB(gpu.TeslaK40c()), partition.DefaultBinSize)
+	for _, batch := range []int{64, 1024} {
+		strictOpts := DefaultOptions()
+		strictOpts.WarmupIters = 3
+		strictOpts.PaperStrict13 = true
+		strict, err := Tune(m, subs, batch, strictOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.WarmupIters = 3
+		refined, err := Tune(m, subs, batch, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refined.Cases) < len(strict.Cases) {
+			t.Fatalf("batch %d: refined search has fewer cases", batch)
+		}
+		if minTime(refined.Cases) > minTime(strict.Cases)+1e-12 {
+			t.Errorf("batch %d: refinement made the best case worse", batch)
+		}
+		for _, c := range refined.Cases[13:] {
+			if c.Phase != 3 {
+				t.Errorf("extra case %d has phase %d, want 3", c.Index, c.Phase)
+			}
+			if c.SubsetSize >= 8 {
+				t.Errorf("refinement case %d has full subset", c.Index)
+			}
+		}
+	}
+}
+
+func TestDeterministicTuning(t *testing.T) {
+	a := tuneVGG(t, 128)
+	b := tuneVGG(t, 128)
+	if !sameWeights(a.BestWeights, b.BestWeights) || a.BestSubset != b.BestSubset {
+		t.Fatalf("tuning not deterministic: %v/%d vs %v/%d",
+			a.BestWeights, a.BestSubset, b.BestWeights, b.BestSubset)
+	}
+	for i := range a.Cases {
+		if a.Cases[i].IterTime != b.Cases[i].IterTime {
+			t.Fatalf("case %d times differ", i)
+		}
+	}
+}
+
+func sameWeights(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
