@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test tier1 vet race fuzz chaos bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the contract every change must keep green.
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# chaos runs the fault-injection suite alone, repeated to shake out
+# scheduling-dependent behaviour.
+chaos:
+	$(GO) test ./internal/rt/ -run 'TestChaos' -count=3 -v
+
+# fuzz runs each wire-codec fuzz target for a short budget on top of the
+# committed corpus (which plain `go test` already replays).
+fuzz:
+	$(GO) test ./internal/transport/ -run xxx -fuzz FuzzWireDecode -fuzztime 10s
+	$(GO) test ./internal/transport/ -run xxx -fuzz FuzzWireRoundTrip -fuzztime 10s
+
+bench:
+	$(GO) test ./... -bench . -benchtime 100x -run xxx
+
+# ci is the full gate: tier-1, static analysis, race detector.
+ci: tier1 vet race

@@ -11,13 +11,22 @@
 // The server prints per-iteration loss, the token distribution across
 // workers, and verifies the result bit-for-bit against the sequential
 // reference.
+//
+// With -worker-timeout set, the session is fault tolerant: workers that
+// crash, hang or corrupt the wire are declared dead, their outstanding
+// tokens are retrained by the survivors, the run completes on whoever
+// is left, and a fault summary is printed at the end. The result stays
+// bit-identical to the sequential reference regardless of which workers
+// died.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"fela/internal/metrics"
 	"fela/internal/minidnn"
 	"fela/internal/rt"
 	"fela/internal/transport"
@@ -25,13 +34,14 @@ import (
 
 // sessionConfig derives the shared session parameters both server and
 // workers must agree on (see cmd/felaworker).
-func sessionConfig(workers, iters int) (rt.Config, func() *minidnn.Network, *minidnn.Dataset) {
+func sessionConfig(workers, iters int, workerTimeout time.Duration) (rt.Config, func() *minidnn.Network, *minidnn.Dataset) {
 	cfg := rt.Config{
-		Workers:    workers,
-		TotalBatch: 64,
-		TokenBatch: 8,
-		Iterations: iters,
-		LR:         0.05,
+		Workers:       workers,
+		TotalBatch:    64,
+		TokenBatch:    8,
+		Iterations:    iters,
+		LR:            0.05,
+		WorkerTimeout: workerTimeout,
 	}
 	mk := func() *minidnn.Network { return minidnn.NewMLP(42, 16, 32, 4) }
 	ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
@@ -42,16 +52,25 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "address to listen on")
 	workers := flag.Int("workers", 4, "number of workers to wait for")
 	iters := flag.Int("iters", 20, "iterations to train")
+	workerTimeout := flag.Duration("worker-timeout", 0,
+		"fault tolerance: declare a worker dead after this long without progress (0 = strict mode, any fault aborts)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *iters); err != nil {
+	if err := run(*addr, *workers, *iters, *workerTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "felaserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, iters int) error {
-	cfg, mk, ds := sessionConfig(workers, iters)
+func run(addr string, workers, iters int, workerTimeout time.Duration) error {
+	cfg, mk, ds := sessionConfig(workers, iters, workerTimeout)
+	// Build the coordinator before listening so a bad configuration
+	// (e.g. a negative -worker-timeout) fails immediately instead of
+	// after all workers have connected.
+	co, err := rt.NewCoordinator(mk(), cfg)
+	if err != nil {
+		return err
+	}
 	l, err := transport.Listen(addr)
 	if err != nil {
 		return err
@@ -68,10 +87,6 @@ func run(addr string, workers, iters int) error {
 		conns[i] = c
 		fmt.Printf("felaserver: worker connection %d/%d\n", i+1, workers)
 	}
-	co, err := rt.NewCoordinator(mk(), cfg)
-	if err != nil {
-		return err
-	}
 	res, err := co.Run(conns)
 	if err != nil {
 		return err
@@ -80,6 +95,14 @@ func run(addr string, workers, iters int) error {
 		fmt.Printf("iteration %3d: loss %.6f\n", i, loss)
 	}
 	fmt.Printf("tokens per worker: %v (steals: %d)\n", res.TokensByWorker, res.Steals)
+	if len(res.Faults) > 0 {
+		st := metrics.SummarizeFaults(res.Faults)
+		fmt.Printf("faults: %d (by class: %v), dead workers: %v, tokens reassigned: %d\n",
+			st.Total, st.ByClass, res.DeadWorkers, res.Reassigned)
+		for _, ev := range res.Faults {
+			fmt.Println("  " + ev.String())
+		}
+	}
 
 	ref, err := rt.Sequential(mk(), ds, cfg)
 	if err != nil {

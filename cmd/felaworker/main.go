@@ -7,6 +7,12 @@
 //
 // The -workers/-iters flags must match the server's so that the derived
 // session configuration is identical on both sides.
+//
+// The worker connects with retry-and-backoff (-retries), so it can be
+// started before the server. If the coordinator disappears mid-session
+// the worker reports the loss and exits cleanly rather than crashing:
+// a fault-tolerant coordinator deliberately closes the connections of
+// workers it has declared dead, and that is not a worker-side error.
 package main
 
 import (
@@ -26,15 +32,16 @@ func main() {
 	workers := flag.Int("workers", 4, "total workers in the session (must match server)")
 	iters := flag.Int("iters", 20, "iterations (must match server)")
 	sleepMS := flag.Int("straggle", 0, "artificial per-iteration sleep in ms (demo stragglers)")
+	retries := flag.Int("retries", 10, "connection attempts before giving up")
 	flag.Parse()
 
-	if err := run(*addr, *wid, *workers, *iters, *sleepMS); err != nil {
+	if err := run(*addr, *wid, *workers, *iters, *sleepMS, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "felaworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, wid, workers, iters, sleepMS int) error {
+func run(addr string, wid, workers, iters, sleepMS, retries int) error {
 	cfg := rt.Config{
 		Workers:    workers,
 		TotalBatch: 64,
@@ -48,13 +55,20 @@ func run(addr string, wid, workers, iters, sleepMS int) error {
 	net := minidnn.NewMLP(42, 16, 32, 4)
 	ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
 
-	conn, err := transport.Dial(addr)
+	conn, err := transport.DialRetry(addr, retries, 100*time.Millisecond)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	fmt.Printf("felaworker %d: connected to %s\n", wid, addr)
 	if err := rt.NewWorker(wid, net, ds, cfg).Run(conn); err != nil {
+		switch transport.Classify(err) {
+		case transport.ClassPeerGone, transport.ClassClosed:
+			// The coordinator is gone — either it shut down, or it
+			// declared this worker dead and closed the connection.
+			fmt.Printf("felaworker %d: coordinator lost (%v), exiting\n", wid, err)
+			return nil
+		}
 		return err
 	}
 	fmt.Printf("felaworker %d: session complete\n", wid)

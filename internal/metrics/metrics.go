@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -29,6 +30,67 @@ type RunResult struct {
 	// (currently the Fela engine): raw training samples pulled by
 	// helpers, dependency activations, and parameter synchronization.
 	Comm CommBreakdown
+	// Faults records worker faults detected during the run (empty for
+	// a clean run). Chaos experiments read these to confirm the engine
+	// absorbed the injected failures.
+	Faults []FaultEvent
+}
+
+// FaultEvent records one detected worker fault in a real-time or
+// simulated run: who failed, when, at which protocol phase, and how the
+// failure classified.
+type FaultEvent struct {
+	// Time is seconds since session start (wall clock for the
+	// real-time engine, virtual time for the simulator).
+	Time float64
+	// Worker is the failed worker id, or -1 when the fault struck
+	// before the peer identified itself.
+	Worker int
+	// Iter is the iteration during which the fault was detected.
+	Iter int
+	// Phase is the protocol phase: "register", "iteration" or
+	// "shutdown".
+	Phase string
+	// Class is the transport-level classification: "timeout",
+	// "peer-gone", "codec", "closed" or "missing" (never registered).
+	Class string
+	// Detail carries the underlying error text.
+	Detail string
+}
+
+// String renders the event for logs.
+func (e FaultEvent) String() string {
+	who := fmt.Sprintf("worker %d", e.Worker)
+	if e.Worker < 0 {
+		who = "unidentified worker"
+	}
+	return fmt.Sprintf("t=%.3fs iter=%d %s: %s during %s (%s)", e.Time, e.Iter, who, e.Class, e.Phase, e.Detail)
+}
+
+// FaultStats aggregates fault events for reporting.
+type FaultStats struct {
+	// Total is the number of fault events.
+	Total int
+	// ByClass counts events per classification.
+	ByClass map[string]int
+	// Workers lists the distinct failed worker ids, ascending
+	// (excluding -1).
+	Workers []int
+}
+
+// SummarizeFaults aggregates a fault log.
+func SummarizeFaults(events []FaultEvent) FaultStats {
+	st := FaultStats{Total: len(events), ByClass: map[string]int{}}
+	seen := map[int]bool{}
+	for _, e := range events {
+		st.ByClass[e.Class]++
+		if e.Worker >= 0 && !seen[e.Worker] {
+			seen[e.Worker] = true
+			st.Workers = append(st.Workers, e.Worker)
+		}
+	}
+	sort.Ints(st.Workers)
+	return st
 }
 
 // CommBreakdown categorizes wire traffic.

@@ -142,3 +142,40 @@ func TestMinMax(t *testing.T) {
 		t.Errorf("empty MinMax = %v,%v", min, max)
 	}
 }
+
+func TestFaultEventString(t *testing.T) {
+	e := FaultEvent{Time: 1.25, Worker: 3, Iter: 2, Phase: "iteration", Class: "timeout", Detail: "deadline expired"}
+	s := e.String()
+	for _, want := range []string{"worker 3", "timeout", "iteration", "iter=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FaultEvent.String() = %q, missing %q", s, want)
+		}
+	}
+	anon := FaultEvent{Worker: -1, Phase: "register", Class: "peer-gone"}
+	if !strings.Contains(anon.String(), "unidentified") {
+		t.Errorf("anonymous fault string = %q", anon.String())
+	}
+}
+
+func TestSummarizeFaults(t *testing.T) {
+	events := []FaultEvent{
+		{Worker: 2, Class: "timeout"},
+		{Worker: 2, Class: "peer-gone"},
+		{Worker: 0, Class: "timeout"},
+		{Worker: -1, Class: "missing"},
+	}
+	st := SummarizeFaults(events)
+	if st.Total != 4 {
+		t.Errorf("Total = %d", st.Total)
+	}
+	if st.ByClass["timeout"] != 2 || st.ByClass["peer-gone"] != 1 || st.ByClass["missing"] != 1 {
+		t.Errorf("ByClass = %v", st.ByClass)
+	}
+	if len(st.Workers) != 2 || st.Workers[0] != 0 || st.Workers[1] != 2 {
+		t.Errorf("Workers = %v (want [0 2])", st.Workers)
+	}
+	empty := SummarizeFaults(nil)
+	if empty.Total != 0 || len(empty.Workers) != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

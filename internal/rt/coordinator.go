@@ -1,9 +1,13 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
+	"fela/internal/metrics"
 	"fela/internal/minidnn"
+	"fela/internal/trace"
 	"fela/internal/transport"
 )
 
@@ -12,9 +16,29 @@ import (
 // worker each iteration, serves pull requests (own shard first, then
 // stealing from the largest backlog), and applies the canonical-order
 // gradient aggregation that makes the run bit-equal to Sequential.
+//
+// With Config.WorkerTimeout set, the coordinator is fault tolerant: a
+// worker whose connection errors, or that sits on an assigned token past
+// the deadline, is declared dead. Its unreported tokens return to the
+// pool, parked pull requests are re-served, and the iteration completes
+// on the survivors — the paper's reactive straggler mitigation (§III-A)
+// extended from slowness to outright crashes. Because aggregation stays
+// in canonical token order, the result remains bit-identical to
+// Sequential no matter which workers die or when.
 type Coordinator struct {
 	net *minidnn.Network
 	cfg Config
+
+	start   time.Time
+	events  chan event
+	workers []*workerState
+	byConn  map[transport.Conn]*workerState
+	res     *Result
+
+	// Per-iteration state.
+	it      int
+	tokens  []*tokenState
+	waiting []*workerState // parked pull requests, FIFO
 }
 
 // NewCoordinator wraps the master network.
@@ -40,19 +64,43 @@ type tokenState struct {
 	loss     float64
 }
 
+// workerState tracks one worker across the session.
+type workerState struct {
+	wid   int
+	conn  transport.Conn
+	alive bool
+	// outstanding maps assigned-but-unreported token seqs to their
+	// assignment time, the basis for hang detection.
+	outstanding map[int]time.Time
+}
+
+// errWorkerHung marks a deadline expiry on an assigned token.
+var errWorkerHung = errors.New("rt: worker deadline expired with token outstanding")
+
+// faultTolerant reports whether fault handling is enabled.
+func (co *Coordinator) faultTolerant() bool { return co.cfg.WorkerTimeout > 0 }
+
 // Run drives a full session over the given worker connections. It
-// returns after broadcasting shutdown. Connections are not closed.
+// returns after broadcasting shutdown. Connections are not closed unless
+// their worker is declared dead.
 func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 	if len(conns) != co.cfg.Workers {
 		return nil, fmt.Errorf("rt: %d connections for %d workers", len(conns), co.cfg.Workers)
 	}
-	events := make(chan event, 4*len(conns))
+	co.start = time.Now()
+	co.res = &Result{TokensByWorker: make([]int, co.cfg.Workers)}
+	co.events = make(chan event, 4*len(conns)+8)
+	co.byConn = make(map[transport.Conn]*workerState, len(conns))
+	co.workers = make([]*workerState, co.cfg.Workers)
+	for wid := range co.workers {
+		co.workers[wid] = &workerState{wid: wid, outstanding: map[int]time.Time{}}
+	}
 	for _, c := range conns {
 		c := c
 		go func() {
 			for {
 				m, err := c.Recv()
-				events <- event{m, err, c}
+				co.events <- event{m, err, c}
 				if err != nil {
 					return
 				}
@@ -60,97 +108,23 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 		}()
 	}
 
-	// Registration: every worker introduces itself with its WID, pairing
-	// the id with the connection it arrived on.
-	byWID := make(map[int]transport.Conn, len(conns))
-	for len(byWID) < len(conns) {
-		ev := <-events
-		if ev.err != nil {
-			return nil, fmt.Errorf("rt: worker lost during registration: %w", ev.err)
-		}
-		if ev.msg.Kind != transport.KindRegister {
-			return nil, fmt.Errorf("rt: expected register, got %v", ev.msg.Kind)
-		}
-		if ev.msg.WID < 0 || ev.msg.WID >= co.cfg.Workers {
-			return nil, fmt.Errorf("rt: worker id %d out of range", ev.msg.WID)
-		}
-		if _, dup := byWID[ev.msg.WID]; dup {
-			return nil, fmt.Errorf("rt: duplicate worker id %d", ev.msg.WID)
-		}
-		byWID[ev.msg.WID] = ev.conn
+	if err := co.register(conns); err != nil {
+		return nil, err
 	}
 
-	res := &Result{TokensByWorker: make([]int, co.cfg.Workers)}
 	nTok := co.cfg.tokensPerIter()
 	frac := float32(co.cfg.TokenBatch) / float32(co.cfg.TotalBatch)
 	vel := zerosLike(co.net.Params())
 
-	for it := 0; it < co.cfg.Iterations; it++ {
-		// Seed tokens: token seq's shard owner is seq mod workers, so
-		// every worker starts with its own STB (Eq. 2's floor).
-		tokens := make([]*tokenState, nTok)
-		for seq := 0; seq < nTok; seq++ {
-			tokens[seq] = &tokenState{info: transport.TokenInfo{
-				ID:    it*nTok + seq,
-				Seq:   seq,
-				Lo:    seq * co.cfg.TokenBatch,
-				Hi:    (seq + 1) * co.cfg.TokenBatch,
-				Owner: seq % co.cfg.Workers,
-			}}
+	for co.it = 0; co.it < co.cfg.Iterations; co.it++ {
+		if err := co.runIteration(nTok); err != nil {
+			return nil, err
 		}
-		params := flatten(co.net.Params())
-		start := &transport.Message{Kind: transport.KindIterStart, Iter: it, Params: params}
-		for wid := 0; wid < co.cfg.Workers; wid++ {
-			if err := byWID[wid].Send(start); err != nil {
-				return nil, fmt.Errorf("rt: iter-start to worker %d: %w", wid, err)
-			}
-		}
-
-		remaining := nTok
-		for remaining > 0 {
-			ev := <-events
-			if ev.err != nil {
-				return nil, fmt.Errorf("rt: worker connection failed: %w", ev.err)
-			}
-			m := ev.msg
-			switch m.Kind {
-			case transport.KindRequest:
-				tok := pick(tokens, m.WID)
-				if tok == nil {
-					// Nothing left this iteration; the worker waits for
-					// the next iter-start (requests are not carried
-					// over — a waking straggler re-requests itself).
-					continue
-				}
-				tok.assigned = true
-				if tok.info.Owner != m.WID {
-					res.Steals++
-				}
-				if err := byWID[m.WID].Send(&transport.Message{
-					Kind: transport.KindAssign, Iter: it, Token: tok.info,
-				}); err != nil {
-					return nil, fmt.Errorf("rt: assign to worker %d: %w", m.WID, err)
-				}
-			case transport.KindReport:
-				seq := m.Token.Seq
-				if seq < 0 || seq >= nTok || tokens[seq].done {
-					return nil, fmt.Errorf("rt: bogus report for token seq %d", seq)
-				}
-				tokens[seq].done = true
-				tokens[seq].grads = m.Grads
-				tokens[seq].loss = m.Loss
-				res.TokensByWorker[m.WID]++
-				remaining--
-			default:
-				return nil, fmt.Errorf("rt: unexpected message %v mid-iteration", m.Kind)
-			}
-		}
-
 		// Canonical-order aggregation: identical arithmetic to
 		// Sequential, so results match bitwise.
 		acc := zerosLike(co.net.Params())
 		var loss float64
-		for _, tok := range tokens {
+		for _, tok := range co.tokens {
 			loss += tok.loss / float64(nTok)
 			for i := range acc {
 				if len(tok.grads[i]) != acc[i].Len() {
@@ -162,16 +136,308 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 			}
 		}
 		applyUpdate(co.net, vel, acc, co.cfg)
-		res.Losses = append(res.Losses, loss)
+		co.res.Losses = append(co.res.Losses, loss)
 	}
 
-	for wid := 0; wid < co.cfg.Workers; wid++ {
-		if err := byWID[wid].Send(&transport.Message{Kind: transport.KindShutdown}); err != nil {
-			return nil, fmt.Errorf("rt: shutdown to worker %d: %w", wid, err)
+	for _, ws := range co.workers {
+		if !ws.alive {
+			continue
+		}
+		if err := ws.conn.Send(&transport.Message{Kind: transport.KindShutdown}); err != nil {
+			if !co.faultTolerant() {
+				return nil, fmt.Errorf("rt: shutdown to worker %d: %w", ws.wid, err)
+			}
+			co.markDead(ws, "shutdown", err)
 		}
 	}
-	res.Params = co.net.CloneParams()
-	return res, nil
+	for _, ws := range co.workers {
+		if !ws.alive {
+			co.res.DeadWorkers = append(co.res.DeadWorkers, ws.wid)
+		}
+	}
+	co.res.Params = co.net.CloneParams()
+	return co.res, nil
+}
+
+// register pairs worker ids with connections. In fault-tolerant mode a
+// connection that dies or stays silent past WorkerTimeout forfeits its
+// slot; the session proceeds if at least one worker registered.
+func (co *Coordinator) register(conns []transport.Conn) error {
+	resolved := 0
+	var deadline <-chan time.Time
+	if co.faultTolerant() {
+		tm := time.NewTimer(co.cfg.WorkerTimeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+wait:
+	for resolved < len(conns) {
+		select {
+		case ev := <-co.events:
+			if ev.err != nil {
+				if ws, known := co.byConn[ev.conn]; known {
+					// Registered, then died before the first iteration.
+					if !co.faultTolerant() {
+						return fmt.Errorf("rt: worker %d lost during registration: %w", ws.wid, ev.err)
+					}
+					co.markDead(ws, "register", ev.err)
+					continue
+				}
+				resolved++
+				if !co.faultTolerant() {
+					return fmt.Errorf("rt: worker lost during registration: %w", ev.err)
+				}
+				co.recordFault(-1, "register", transport.Classify(ev.err).String(), ev.err.Error())
+				continue
+			}
+			if ev.msg.Kind != transport.KindRegister {
+				return fmt.Errorf("rt: expected register, got %v", ev.msg.Kind)
+			}
+			wid := ev.msg.WID
+			if wid < 0 || wid >= co.cfg.Workers {
+				return fmt.Errorf("rt: worker id %d out of range", wid)
+			}
+			ws := co.workers[wid]
+			if ws.conn != nil {
+				return fmt.Errorf("rt: duplicate worker id %d", wid)
+			}
+			ws.conn = ev.conn
+			ws.alive = true
+			co.byConn[ev.conn] = ws
+			resolved++
+		case <-deadline:
+			// Whoever has not spoken by now forfeits registration.
+			break wait
+		}
+	}
+	live := 0
+	for _, ws := range co.workers {
+		if ws.alive {
+			live++
+		} else if ws.conn == nil {
+			co.recordFault(ws.wid, "register", "missing", "never registered")
+		}
+	}
+	if live == 0 {
+		return fmt.Errorf("rt: no workers registered")
+	}
+	return nil
+}
+
+// runIteration seeds this iteration's tokens, broadcasts parameters, and
+// collects every token's gradients, surviving worker deaths along the
+// way in fault-tolerant mode.
+func (co *Coordinator) runIteration(nTok int) error {
+	// Seed tokens: token seq's shard owner is seq mod workers, so
+	// every worker starts with its own STB (Eq. 2's floor).
+	co.tokens = make([]*tokenState, nTok)
+	for seq := 0; seq < nTok; seq++ {
+		co.tokens[seq] = &tokenState{info: transport.TokenInfo{
+			ID:    co.it*nTok + seq,
+			Seq:   seq,
+			Lo:    seq * co.cfg.TokenBatch,
+			Hi:    (seq + 1) * co.cfg.TokenBatch,
+			Owner: seq % co.cfg.Workers,
+		}}
+	}
+	co.waiting = co.waiting[:0]
+	params := flatten(co.net.Params())
+	start := &transport.Message{Kind: transport.KindIterStart, Iter: co.it, Params: params}
+	for _, ws := range co.workers {
+		if !ws.alive {
+			continue
+		}
+		if err := ws.conn.Send(start); err != nil {
+			if !co.faultTolerant() {
+				return fmt.Errorf("rt: iter-start to worker %d: %w", ws.wid, err)
+			}
+			co.markDead(ws, "iteration", err)
+		}
+	}
+	if co.liveCount() == 0 {
+		return fmt.Errorf("rt: all workers lost at iteration %d start", co.it)
+	}
+
+	var tick <-chan time.Time
+	if co.faultTolerant() {
+		period := co.cfg.WorkerTimeout / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	remaining := nTok
+	for remaining > 0 {
+		select {
+		case ev := <-co.events:
+			ws := co.byConn[ev.conn]
+			if ws == nil {
+				continue // connection that never completed registration
+			}
+			if ev.err != nil {
+				if !ws.alive {
+					continue // pump winding down after markDead closed it
+				}
+				if !co.faultTolerant() {
+					return fmt.Errorf("rt: worker connection failed: %w", ev.err)
+				}
+				co.markDead(ws, "iteration", ev.err)
+				if err := co.serveWaiting(); err != nil {
+					return err
+				}
+				continue
+			}
+			if !ws.alive {
+				continue // zombie: message raced with the death verdict
+			}
+			m := ev.msg
+			switch m.Kind {
+			case transport.KindRequest:
+				tok := pick(co.tokens, ws.wid)
+				if tok == nil {
+					// Nothing assignable now. Park the request so a
+					// token freed by a later death can be re-served;
+					// otherwise the worker waits for the next
+					// iter-start and re-requests itself.
+					co.waiting = append(co.waiting, ws)
+					continue
+				}
+				if err := co.sendAssign(ws, tok); err != nil {
+					if !co.faultTolerant() {
+						return fmt.Errorf("rt: assign to worker %d: %w", ws.wid, err)
+					}
+					co.markDead(ws, "iteration", err)
+					if err := co.serveWaiting(); err != nil {
+						return err
+					}
+				}
+			case transport.KindReport:
+				seq := m.Token.Seq
+				if seq < 0 || seq >= nTok || co.tokens[seq].done {
+					return fmt.Errorf("rt: bogus report for token seq %d", seq)
+				}
+				tok := co.tokens[seq]
+				tok.done = true
+				tok.grads = m.Grads
+				tok.loss = m.Loss
+				delete(ws.outstanding, seq)
+				co.res.TokensByWorker[ws.wid]++
+				if tok.info.Owner != ws.wid {
+					co.res.Steals++
+				}
+				remaining--
+			default:
+				return fmt.Errorf("rt: unexpected message %v mid-iteration", m.Kind)
+			}
+		case <-tick:
+			now := time.Now()
+			for _, ws := range co.workers {
+				if !ws.alive {
+					continue
+				}
+				for _, at := range ws.outstanding {
+					if now.Sub(at) > co.cfg.WorkerTimeout {
+						co.markDead(ws, "iteration", errWorkerHung)
+						break
+					}
+				}
+			}
+			if err := co.serveWaiting(); err != nil {
+				return err
+			}
+		}
+		if co.liveCount() == 0 {
+			return fmt.Errorf("rt: all workers lost at iteration %d with %d tokens unreported", co.it, remaining)
+		}
+	}
+	return nil
+}
+
+// sendAssign reserves the token for the worker and ships it.
+func (co *Coordinator) sendAssign(ws *workerState, tok *tokenState) error {
+	tok.assigned = true
+	ws.outstanding[tok.info.Seq] = time.Now()
+	return ws.conn.Send(&transport.Message{
+		Kind: transport.KindAssign, Iter: co.it, Token: tok.info,
+	})
+}
+
+// markDead declares the worker lost: its connection is closed, its
+// unreported tokens return to the pool, and the fault is recorded.
+func (co *Coordinator) markDead(ws *workerState, phase string, cause error) {
+	if !ws.alive {
+		return
+	}
+	ws.alive = false
+	ws.conn.Close()
+	for seq := range ws.outstanding {
+		if !co.tokens[seq].done {
+			co.tokens[seq].assigned = false
+			co.res.Reassigned++
+		}
+		delete(ws.outstanding, seq)
+	}
+	class := transport.Classify(cause)
+	name := class.String()
+	if errors.Is(cause, errWorkerHung) {
+		name = transport.ClassTimeout.String()
+	}
+	co.recordFault(ws.wid, phase, name, cause.Error())
+}
+
+// serveWaiting re-serves parked pull requests after tokens return to
+// the pool, in arrival order. A send failure kills that worker and may
+// free more tokens, so it loops until a full pass makes no progress.
+func (co *Coordinator) serveWaiting() error {
+	for {
+		progress := false
+		pend := co.waiting
+		co.waiting = nil
+		for _, ws := range pend {
+			if !ws.alive {
+				continue
+			}
+			tok := pick(co.tokens, ws.wid)
+			if tok == nil {
+				co.waiting = append(co.waiting, ws)
+				continue
+			}
+			if err := co.sendAssign(ws, tok); err != nil {
+				if !co.faultTolerant() {
+					return fmt.Errorf("rt: assign to worker %d: %w", ws.wid, err)
+				}
+				co.markDead(ws, "iteration", err)
+			}
+			progress = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// liveCount reports how many workers are still alive.
+func (co *Coordinator) liveCount() int {
+	n := 0
+	for _, ws := range co.workers {
+		if ws.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// recordFault appends a fault event to the result and the optional
+// trace.
+func (co *Coordinator) recordFault(wid int, phase, class, detail string) {
+	at := time.Since(co.start).Seconds()
+	co.res.Faults = append(co.res.Faults, metrics.FaultEvent{
+		Time: at, Worker: wid, Iter: co.it, Phase: phase, Class: class, Detail: detail,
+	})
+	co.cfg.Trace.AddPoint(trace.Fault, wid, at, class+" during "+phase)
 }
 
 // pick chooses a token for the worker: own shard first (HF own-STB), then
@@ -180,7 +446,7 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 func pick(tokens []*tokenState, wid int) *tokenState {
 	backlog := map[int][]*tokenState{}
 	for _, t := range tokens {
-		if !t.assigned {
+		if !t.assigned && !t.done {
 			backlog[t.info.Owner] = append(backlog[t.info.Owner], t)
 		}
 	}

@@ -30,8 +30,10 @@ import (
 	"fmt"
 	"time"
 
+	"fela/internal/metrics"
 	"fela/internal/minidnn"
 	"fela/internal/tensor"
+	"fela/internal/trace"
 )
 
 // Config describes a real-time training session.
@@ -56,6 +58,18 @@ type Config struct {
 	// Delay(iter, wid) at the start of each iteration before requesting
 	// tokens (the §V-C2 methodology, wall-clock here).
 	Delay func(iter, wid int) time.Duration
+	// WorkerTimeout, when positive, enables fault tolerance: a worker
+	// that has not registered, or has sat on an assigned token, for
+	// longer than this is declared dead; its tokens return to the pool
+	// and surviving workers finish the iteration. Zero keeps the
+	// strict mode where any worker fault aborts the session. The
+	// timeout must comfortably exceed the slowest single-token compute
+	// time (plus any injected Delay), or healthy stragglers will be
+	// shot.
+	WorkerTimeout time.Duration
+	// Trace, when set, receives a Fault point event per detected
+	// worker fault (wall-clock seconds since session start).
+	Trace *trace.Trace
 }
 
 func (c Config) validate() error {
@@ -70,6 +84,9 @@ func (c Config) validate() error {
 	}
 	if c.LR <= 0 {
 		return fmt.Errorf("rt: learning rate must be positive")
+	}
+	if c.WorkerTimeout < 0 {
+		return fmt.Errorf("rt: worker timeout must not be negative")
 	}
 	return nil
 }
@@ -86,6 +103,14 @@ type Result struct {
 	TokensByWorker []int
 	// Steals counts tokens trained away from their shard owner.
 	Steals int
+	// Faults records every worker fault the coordinator detected
+	// (empty in a clean run or in strict mode, which aborts instead).
+	Faults []metrics.FaultEvent
+	// DeadWorkers lists the workers lost during the session, ascending.
+	DeadWorkers []int
+	// Reassigned counts token assignments revoked from dead or hung
+	// workers and returned to the pool.
+	Reassigned int
 }
 
 // Sequential runs the exact reference computation the coordinator

@@ -122,7 +122,11 @@ func Train(seedNet func() *minidnn.Network, ds *minidnn.Dataset, cfg Config) (*R
 		return nil, err
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		if werr := <-errs; werr != nil {
+		werr := <-errs
+		// With fault tolerance on, a worker the coordinator declared
+		// dead exits with a connection error by design; the
+		// coordinator's result is authoritative.
+		if werr != nil && cfg.WorkerTimeout == 0 {
 			return nil, werr
 		}
 	}

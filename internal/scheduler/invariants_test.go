@@ -1,0 +1,208 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fela/internal/sim"
+	"fela/internal/token"
+)
+
+// invariantRun drives iters iterations like propertyRun but returns the
+// server too, so counter invariants can be checked after the run.
+func invariantRun(t *testing.T, seed int64, pol Policy, levels []LevelSpec, iters int) (*Server, map[token.ID]int) {
+	t.Helper()
+	eng := sim.New()
+	s := NewServer(eng, 8, levels, pol, DefaultTiming())
+	rng := rand.New(rand.NewSource(seed))
+	speed := make([]float64, 8)
+	for i := range speed {
+		speed[i] = 0.02 + rng.Float64()*0.3
+	}
+	trainedBy := make(map[token.ID]int)
+	remaining := iters
+	var loop func(w int)
+	loop = func(w int) {
+		s.Request(w, func(tok *token.Token) {
+			trainedBy[tok.ID] = w
+			eng.After(speed[w], func() {
+				s.Report(w, tok)
+				loop(w)
+			})
+		})
+	}
+	done := 0
+	s.OnLevelComplete = func(level int) {
+		if level == len(levels)-1 {
+			done++
+			if remaining > 1 {
+				remaining--
+				s.StartIteration(done)
+			}
+		}
+	}
+	s.StartIteration(0)
+	for w := 0; w < 8; w++ {
+		loop(w)
+	}
+	eng.RunUntil(1e6)
+	if !s.Done() {
+		t.Fatal("iterations incomplete")
+	}
+	return s, trainedBy
+}
+
+// TestPropertyTokenServerInvariants pins the Token Server's counter
+// algebra across random speeds, policies and plans:
+//
+//   - conservation: every generated token is trained exactly once;
+//   - accounting: every request either dispatched (fast or slow path)
+//     or is still parked — Requests = FastPath + SlowPath + parked;
+//   - a request increments Locked at most once (when first parked), so
+//     Locked ≥ parked; conflicts only happen on the slow path;
+//   - the fast path and helping exist only under HF;
+//   - token generation matches the plan exactly;
+//   - helper bookkeeping drains to zero once every token is reported.
+func TestPropertyTokenServerInvariants(t *testing.T) {
+	f := func(seed int64, adsRaw, hfRaw, ctdRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		levels := randomLevels(t, rng)
+		pol := Policy{ADS: adsRaw%2 == 0, HF: hfRaw%2 == 0}
+		if ctdRaw%2 == 0 {
+			pol.CTD = true
+			pol.CTDSubset = []int{0, 1}
+		}
+		const iters = 2
+		s, trainedBy := invariantRun(t, seed, pol, levels, iters)
+		st := s.Stats()
+		parked := len(s.PendingWorkers())
+		if len(trainedBy) != iters*TokensPerIteration(levels) {
+			t.Logf("seed %d: trained %d of %d tokens", seed, len(trainedBy), iters*TokensPerIteration(levels))
+			return false
+		}
+		if st.Requests != st.FastPath+st.SlowPath+parked {
+			t.Logf("seed %d: %d requests != %d fast + %d slow + %d parked",
+				seed, st.Requests, st.FastPath, st.SlowPath, parked)
+			return false
+		}
+		if st.Locked < parked {
+			t.Logf("seed %d: Locked %d < %d parked", seed, st.Locked, parked)
+			return false
+		}
+		if st.Conflicts > st.SlowPath {
+			t.Logf("seed %d: %d conflicts > %d slow-path", seed, st.Conflicts, st.SlowPath)
+			return false
+		}
+		if !pol.HF && (st.FastPath != 0 || st.Helped != 0) {
+			t.Logf("seed %d: fast path %d / helped %d without HF", seed, st.FastPath, st.Helped)
+			return false
+		}
+		wantGen := 0
+		for i, l := range levels {
+			if i > 0 {
+				wantGen += l.Count
+			}
+		}
+		if st.Generated != wantGen*iters {
+			t.Logf("seed %d: generated %d tokens, want %d", seed, st.Generated, wantGen*iters)
+			return false
+		}
+		if h := s.ActiveHelpers(); h != 0 {
+			t.Logf("seed %d: %d helpers still active after completion", seed, h)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestServePendingManyParkedFIFO parks every worker on an empty bucket,
+// then seeds tokens: the single compaction pass must serve all of them
+// in arrival order, exactly as the splice-and-rescan loop it replaced
+// did.
+func TestServePendingManyParkedFIFO(t *testing.T) {
+	const n = 64
+	eng := sim.New()
+	levels := []LevelSpec{{Batch: 1, Count: n, Weight: 1}}
+	s := NewServer(eng, n, levels, Policy{HF: true}, DefaultTiming())
+	var order []int
+	for w := 0; w < n; w++ {
+		w := w
+		s.Request(w, func(tok *token.Token) { order = append(order, w) })
+	}
+	eng.RunUntil(1) // drain the request RTTs: all n requests park
+	if got := len(s.PendingWorkers()); got != n {
+		t.Fatalf("%d workers parked, want %d", got, n)
+	}
+	if st := s.Stats(); st.Locked != n {
+		t.Fatalf("Locked = %d, want %d", st.Locked, n)
+	}
+	s.StartIteration(0)
+	eng.RunUntil(2)
+	if len(order) != n {
+		t.Fatalf("%d workers served, want %d", len(order), n)
+	}
+	for i, w := range order {
+		if i != w {
+			t.Fatalf("serve order not FIFO: position %d got worker %d", i, w)
+		}
+	}
+	if got := len(s.PendingWorkers()); got != 0 {
+		t.Fatalf("%d workers still parked after serving", got)
+	}
+}
+
+// TestServePendingKeepsSuspended: the compaction pass must skip
+// suspended workers but keep them parked, in order, until Resume.
+func TestServePendingKeepsSuspended(t *testing.T) {
+	const n = 8
+	eng := sim.New()
+	levels := []LevelSpec{{Batch: 1, Count: n, Weight: 1}}
+	s := NewServer(eng, n, levels, Policy{HF: true}, DefaultTiming())
+	served := map[int]bool{}
+	for w := 0; w < n; w++ {
+		w := w
+		if w%2 == 0 {
+			s.Suspend(w)
+		}
+		s.Request(w, func(tok *token.Token) { served[w] = true })
+	}
+	eng.RunUntil(1)
+	s.StartIteration(0)
+	eng.RunUntil(2)
+	for w := 0; w < n; w++ {
+		if want := w%2 == 1; served[w] != want {
+			t.Fatalf("after seeding, worker %d served=%v, want %v", w, served[w], want)
+		}
+	}
+	for w := 0; w < n; w += 2 {
+		s.Resume(w)
+	}
+	eng.RunUntil(3)
+	for w := 0; w < n; w++ {
+		if !served[w] {
+			t.Fatalf("worker %d never served after resume", w)
+		}
+	}
+}
+
+// BenchmarkServePendingParked measures the parked-request sweep that
+// StartIteration triggers with many workers waiting — the path the
+// single-pass compaction keeps linear in the queue length.
+func BenchmarkServePendingParked(b *testing.B) {
+	const n = 512
+	levels := []LevelSpec{{Batch: 1, Count: n, Weight: 1}}
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		s := NewServer(eng, n, levels, Policy{HF: true}, DefaultTiming())
+		for w := 0; w < n; w++ {
+			s.Request(w, func(tok *token.Token) {})
+		}
+		eng.RunUntil(1)
+		s.StartIteration(0)
+		eng.RunUntil(2)
+	}
+}

@@ -363,29 +363,31 @@ func (s *Server) Resume(wid int) {
 	s.servePending()
 }
 
-// servePending retries parked requests (FIFO) until no more can be
-// satisfied.
+// servePending retries parked requests in FIFO order. A single forward
+// pass suffices: serving a request only removes tokens from the bucket
+// (dispatch side effects are deferred through the engine), so a request
+// skipped earlier in the pass cannot become servable later in the same
+// pass. Unserved requests are compacted in place, keeping their arrival
+// order, in O(n) instead of the splice-and-rescan O(n²).
 func (s *Server) servePending() {
-	for {
-		served := false
-		for i := 0; i < len(s.pending); i++ {
-			p := s.pending[i]
-			if s.suspended[p.wid] {
-				continue
-			}
-			tok, fromOwn, target := s.selectFor(p.wid)
-			if tok == nil {
-				continue
-			}
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			s.dispatch(p.wid, tok, fromOwn, target, p.cb)
-			served = true
-			break
+	kept := s.pending[:0]
+	for _, p := range s.pending {
+		if s.suspended[p.wid] {
+			kept = append(kept, p)
+			continue
 		}
-		if !served {
-			return
+		tok, fromOwn, target := s.selectFor(p.wid)
+		if tok == nil {
+			kept = append(kept, p)
+			continue
 		}
+		s.dispatch(p.wid, tok, fromOwn, target, p.cb)
 	}
+	// Clear the tail so served callbacks do not pin memory.
+	for i := len(kept); i < len(s.pending); i++ {
+		s.pending[i] = pendingReq{}
+	}
+	s.pending = kept
 }
 
 // eligible reports whether the worker may receive the token under CTD.
@@ -482,6 +484,18 @@ func less(a, b [3]float64) bool {
 		}
 	}
 	return false
+}
+
+// ActiveHelpers returns how many stolen tokens are currently in flight —
+// workers training a token taken from another worker's STB. It returns
+// to zero once every stolen token is reported (diagnostics, and the
+// invariant the property tests pin down).
+func (s *Server) ActiveHelpers() int {
+	n := 0
+	for _, c := range s.helpers {
+		n += c
+	}
+	return n
 }
 
 // PendingWorkers returns the ids of workers parked waiting for tokens

@@ -23,6 +23,9 @@ const (
 	Sync Kind = 'S'
 	// Idle marks injected straggler sleeps.
 	Idle Kind = 'Z'
+	// Fault marks a detected worker fault (death, hang, codec error).
+	// Fault events are instantaneous (Start == End).
+	Fault Kind = 'X'
 )
 
 // Event is one timed interval attributed to a worker.
@@ -52,6 +55,12 @@ func (t *Trace) Add(kind Kind, worker int, start, end float64, label string) {
 		panic(fmt.Sprintf("trace: event %q ends before it starts (%v < %v)", label, end, start))
 	}
 	t.Events = append(t.Events, Event{Kind: kind, Worker: worker, Start: start, End: end, Label: label})
+}
+
+// AddPoint records an instantaneous event at time at. Safe on a nil
+// receiver (no-op).
+func (t *Trace) AddPoint(kind Kind, worker int, at float64, label string) {
+	t.Add(kind, worker, at, at, label)
 }
 
 // Span returns the earliest start and latest end across all events.
@@ -130,7 +139,7 @@ func (t *Trace) Timeline(width int) string {
 	}
 	cell := span / float64(width)
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline %.3fs..%.3fs, %.4fs/cell (C=compute F=fetch S=sync Z=sleep)\n",
+	fmt.Fprintf(&b, "timeline %.3fs..%.3fs, %.4fs/cell (C=compute F=fetch S=sync Z=sleep X=fault)\n",
 		start, end, cell)
 	for _, w := range t.Workers() {
 		row := make([]byte, width)
@@ -156,6 +165,18 @@ func (t *Trace) Timeline(width int) string {
 					row[i] = byte(e.Kind)
 				}
 			}
+		}
+		// Point events (Start == End) cover no time; paint them on top
+		// so faults stay visible no matter what else fills the cell.
+		for _, e := range t.Events {
+			if e.Worker != w || e.Duration() != 0 {
+				continue
+			}
+			i := int((e.Start - start) / cell)
+			if i >= width {
+				i = width - 1
+			}
+			row[i] = byte(e.Kind)
 		}
 		fmt.Fprintf(&b, "w%-2d |%s|\n", w, row)
 	}

@@ -122,3 +122,27 @@ func TestDegenerateTimelines(t *testing.T) {
 		t.Error("zero span timeline")
 	}
 }
+
+func TestFaultPointRendering(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Compute, 0, 0, 10, "long compute")
+	tr.AddPoint(Fault, 0, 5, "worker died")
+	tr.AddPoint(Fault, 1, 9.99, "late fault near the right edge")
+	out := tr.Timeline(20)
+	if !strings.Contains(out, "X") {
+		t.Fatalf("fault point not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "X=fault") {
+		t.Errorf("legend missing fault kind:\n%s", out)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	w0 := rows[1]
+	if !strings.Contains(w0, "X") || !strings.Contains(w0, "C") {
+		t.Errorf("fault should overlay, not erase, the compute row: %q", w0)
+	}
+}
+
+func TestAddPointNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddPoint(Fault, 0, 1, "ignored") // must not panic
+}

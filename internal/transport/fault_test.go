@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestMemConnRecvTimeout(t *testing.T) {
+	a, _ := Pair()
+	defer a.Close()
+	SetTimeouts(a, 0, 20*time.Millisecond)
+	start := time.Now()
+	_, err := a.Recv()
+	if Classify(err) != ClassTimeout {
+		t.Fatalf("recv err = %v (class %v), want timeout", err, Classify(err))
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout fired far too late")
+	}
+}
+
+func TestMemConnSendTimeout(t *testing.T) {
+	a, _ := Pair()
+	defer a.Close()
+	SetTimeouts(a, 20*time.Millisecond, 0)
+	// Fill the buffer; with no receiver the overflow send must time out.
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = a.Send(&Message{Iter: i}); err != nil {
+			break
+		}
+	}
+	if Classify(err) != ClassTimeout {
+		t.Fatalf("send err = %v (class %v), want timeout", err, Classify(err))
+	}
+}
+
+func TestTCPConnRecvTimeout(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Hold the connection open without sending.
+		time.Sleep(500 * time.Millisecond)
+		c.Close()
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	SetTimeouts(c, 0, 30*time.Millisecond)
+	if _, err := c.Recv(); Classify(err) != ClassTimeout {
+		t.Fatalf("recv err = %v (class %v), want timeout", err, Classify(err))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassUnknown},
+		{ErrClosed, ClassClosed},
+		{ErrTimeout, ClassTimeout},
+		{io.EOF, ClassPeerGone},
+		{io.ErrUnexpectedEOF, ClassPeerGone},
+		{net.ErrClosed, ClassPeerGone},
+		{&CodecError{errors.New("bad frame")}, ClassCodec},
+		{errors.New("mystery"), ClassUnknown},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	for _, c := range []Class{ClassUnknown, ClassTimeout, ClassPeerGone, ClassCodec, ClassClosed} {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+}
+
+func TestFaultConnDropSends(t *testing.T) {
+	a, b := Pair()
+	f := NewFaultConn(a, 1).DropSendsAfter(2)
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		if err := f.Send(&Message{Iter: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	SetTimeouts(b, 0, 50*time.Millisecond)
+	got := 0
+	for {
+		if _, err := b.Recv(); err != nil {
+			break
+		}
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("peer received %d messages, want 2 (rest dropped)", got)
+	}
+	if f.Sends() != 5 {
+		t.Fatalf("Sends() = %d, want 5", f.Sends())
+	}
+}
+
+func TestFaultConnCloseAfterSends(t *testing.T) {
+	a, b := Pair()
+	f := NewFaultConn(a, 1).CloseAfterSends(1)
+	if err := f.Send(&Message{Iter: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(&Message{Iter: 1}); Classify(err) != ClassClosed {
+		t.Fatalf("second send err = %v, want closed", err)
+	}
+	// The peer drains the delivered message, then sees closure.
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); Classify(err) != ClassClosed {
+		t.Fatalf("peer recv err = %v, want closed", err)
+	}
+}
+
+func TestFaultConnGarble(t *testing.T) {
+	a, b := Pair()
+	defer b.Close()
+	f := NewFaultConn(a, 1).GarbleRecvsAfter(1)
+	defer f.Close()
+	if err := b.Send(&Message{Iter: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(&Message{Iter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(); Classify(err) != ClassCodec {
+		t.Fatalf("garbled recv err = %v, want codec", err)
+	}
+}
+
+func TestFaultConnHangReleasedByClose(t *testing.T) {
+	a, _ := Pair()
+	f := NewFaultConn(a, 1).HangRecvsAfter(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Recv()
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("hung recv returned before close")
+	case <-time.After(30 * time.Millisecond):
+	}
+	f.Close()
+	select {
+	case err := <-done:
+		if Classify(err) != ClassClosed {
+			t.Fatalf("released recv err = %v, want closed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv not released by close")
+	}
+}
+
+func TestFaultConnDelayDeterministic(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		f := NewFaultConn(nil, seed).DelayBy(time.Millisecond)
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			f.mu.Lock()
+			out = append(out, f.delayLocked())
+			f.mu.Unlock()
+		}
+		return out
+	}
+	a, b := delays(7), delays(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs across runs with the same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDialRetryEventuallyConnects(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	l.Close() // free the port; rebind after a delay
+	accepted := make(chan struct{})
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		l2, err := Listen(addr)
+		if err != nil {
+			return
+		}
+		defer l2.Close()
+		if c, err := l2.Accept(); err == nil {
+			close(accepted)
+			c.Close()
+		}
+	}()
+	c, err := DialRetry(addr, 20, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("DialRetry failed: %v", err)
+	}
+	c.Close()
+	select {
+	case <-accepted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("listener never accepted")
+	}
+}
+
+func TestDialRetryGivesUp(t *testing.T) {
+	if _, err := DialRetry("127.0.0.1:1", 2, time.Millisecond); err == nil {
+		t.Fatal("expected failure dialing a dead port")
+	}
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sampleMessages returns one representative message per protocol kind.
+func sampleMessages() []*Message {
+	return []*Message{
+		{Kind: KindRegister, WID: 3},
+		{Kind: KindRequest, WID: 1, Iter: 4},
+		{Kind: KindAssign, Iter: 2, Token: TokenInfo{ID: 17, Seq: 3, Lo: 24, Hi: 32, Owner: 1}},
+		{Kind: KindReport, WID: 2, Iter: 5, Token: TokenInfo{ID: 9, Seq: 1, Lo: 8, Hi: 16, Owner: 0},
+			Grads: [][]float32{{1.5, -2.25}, {0.125}}, Loss: 0.75},
+		{Kind: KindIterStart, Iter: 7, Params: [][]float32{{3, 1, 4}, {1, 5}}},
+		{Kind: KindShutdown},
+	}
+}
+
+// TestWireRoundTripAllKinds encodes and decodes one message of every
+// kind and checks the fields survive.
+func TestWireRoundTripAllKinds(t *testing.T) {
+	if len(sampleMessages()) != len(Kinds()) {
+		t.Fatalf("sampleMessages covers %d kinds, protocol has %d", len(sampleMessages()), len(Kinds()))
+	}
+	for _, m := range sampleMessages() {
+		data, err := EncodeFrame(m)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", m.Kind, err)
+		}
+		got, err := DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Kind, err)
+		}
+		if got.Kind != m.Kind || got.WID != m.WID || got.Iter != m.Iter ||
+			got.Token != m.Token || got.Loss != m.Loss ||
+			len(got.Grads) != len(m.Grads) || len(got.Params) != len(m.Params) {
+			t.Fatalf("%v: round trip mangled: %+v -> %+v", m.Kind, m, got)
+		}
+	}
+}
+
+// TestWireTruncationErrors: every strict prefix of a valid frame must
+// decode to an error, never a panic and never a silent success.
+func TestWireTruncationErrors(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data, err := EncodeFrame(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := DecodeFrame(data[:cut]); err == nil {
+				t.Fatalf("%v: truncation at %d/%d decoded without error", m.Kind, cut, len(data))
+			}
+		}
+	}
+}
+
+// TestWireGarbleErrors: flipping bytes of a valid frame either still
+// decodes to a structurally valid message or errors — it never panics.
+func TestWireGarbleErrors(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data, err := EncodeFrame(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			mut := bytes.Clone(data)
+			mut[i] ^= 0xff
+			_, _ = DecodeFrame(mut) // must not panic
+		}
+	}
+}
+
+// FuzzWireDecode feeds arbitrary bytes to the wire decoder. The decoder
+// must never panic; successfully decoded messages must re-encode.
+func FuzzWireDecode(f *testing.F) {
+	for _, m := range sampleMessages() {
+		data, err := EncodeFrame(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeFrame(m); err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzWireRoundTrip builds a message from fuzzed fields, encodes it, and
+// checks that the full frame round-trips and that every truncation
+// errors.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(int(KindReport), 2, 5, int64(9), 1.5, []byte{8, 4}, uint16(10))
+	f.Add(int(KindIterStart), 0, 0, int64(0), 0.0, []byte{}, uint16(0))
+	f.Fuzz(func(t *testing.T, kind, wid, iter int, tokID int64, loss float64, gradBytes []byte, cut uint16) {
+		m := &Message{
+			Kind:  Kind(kind),
+			WID:   wid,
+			Iter:  iter,
+			Token: TokenInfo{ID: int(tokID), Seq: iter, Lo: wid, Hi: wid + 8, Owner: wid},
+			Loss:  loss,
+		}
+		grads := make([]float32, len(gradBytes))
+		for i, b := range gradBytes {
+			grads[i] = float32(b) / 3
+		}
+		if len(grads) > 0 {
+			m.Grads = [][]float32{grads}
+		}
+		data, err := EncodeFrame(m)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("decode of valid frame: %v", err)
+		}
+		if got.Kind != m.Kind || got.WID != m.WID || got.Token != m.Token || got.Loss != m.Loss {
+			t.Fatalf("round trip mangled: %+v -> %+v", m, got)
+		}
+		if n := int(cut) % (len(data) + 1); n < len(data) {
+			if _, err := DecodeFrame(data[:n]); err == nil {
+				t.Fatalf("truncation at %d/%d decoded without error", n, len(data))
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+// Command gencorpus regenerates the committed fuzz corpus for the
+// transport wire codec under internal/transport/testdata/fuzz: one valid
+// frame per protocol kind, plus truncated and bit-flipped variants of
+// each. Run from the repo root:
+//
+//	go run ./internal/transport/gencorpus
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"fela/internal/transport"
+)
+
+func main() {
+	dir := filepath.Join("internal", "transport", "testdata", "fuzz", "FuzzWireDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	msgs := []*transport.Message{
+		{Kind: transport.KindRegister, WID: 3},
+		{Kind: transport.KindRequest, WID: 1, Iter: 4},
+		{Kind: transport.KindAssign, Iter: 2, Token: transport.TokenInfo{ID: 17, Seq: 3, Lo: 24, Hi: 32, Owner: 1}},
+		{Kind: transport.KindReport, WID: 2, Iter: 5, Token: transport.TokenInfo{ID: 9, Seq: 1, Lo: 8, Hi: 16},
+			Grads: [][]float32{{1.5, -2.25}, {0.125}}, Loss: 0.75},
+		{Kind: transport.KindIterStart, Iter: 7, Params: [][]float32{{3, 1, 4}, {1, 5}}},
+		{Kind: transport.KindShutdown},
+	}
+	n := 0
+	emit := func(name string, data []byte) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+		n++
+	}
+	for _, m := range msgs {
+		data, err := transport.EncodeFrame(m)
+		if err != nil {
+			fatal(err)
+		}
+		kind := m.Kind.String()
+		emit("valid-"+kind, data)
+		emit("truncated-"+kind, data[:len(data)/2])
+		garbled := append([]byte(nil), data...)
+		garbled[len(garbled)/3] ^= 0xff
+		emit("garbled-"+kind, garbled)
+	}
+	emit("empty", nil)
+	emit("noise", []byte{0xff, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x7f})
+	fmt.Printf("gencorpus: wrote %d corpus entries to %s\n", n, dir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gencorpus:", err)
+	os.Exit(1)
+}

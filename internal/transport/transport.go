@@ -3,14 +3,25 @@
 // (internal/rt). Two transports are provided: an in-memory pair for
 // single-process training and tests, and TCP with a gob wire codec for
 // genuinely distributed runs (cmd/felaserver, cmd/felaworker).
+//
+// Fault model: connections can time out (per-message send/receive
+// deadlines via SetTimeouts), lose their peer (process crash, network
+// partition) or deliver garbage (truncated or corrupted frames). Every
+// failure surfaces as an error whose cause is recoverable through
+// Classify, so the engine can tell a slow worker from a dead one from a
+// byzantine one. FaultConn (fault.go) injects each of these failures
+// deterministically for chaos testing.
 package transport
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Kind enumerates protocol messages.
@@ -32,6 +43,11 @@ const (
 	// KindShutdown ends the session.
 	KindShutdown
 )
+
+// Kinds lists every protocol message kind (test enumeration).
+func Kinds() []Kind {
+	return []Kind{KindRegister, KindRequest, KindAssign, KindReport, KindIterStart, KindShutdown}
+}
 
 // String names the message kind.
 func (k Kind) String() string {
@@ -83,14 +99,114 @@ type Conn interface {
 	Close() error
 }
 
+// TimeoutConn is implemented by transports that support per-message
+// send/receive deadlines.
+type TimeoutConn interface {
+	Conn
+	// SetTimeouts bounds each subsequent Send and Recv. Zero disables
+	// the corresponding deadline.
+	SetTimeouts(send, recv time.Duration)
+}
+
+// SetTimeouts applies per-message deadlines when the connection supports
+// them and reports whether it did.
+func SetTimeouts(c Conn, send, recv time.Duration) bool {
+	tc, ok := c.(TimeoutConn)
+	if ok {
+		tc.SetTimeouts(send, recv)
+	}
+	return ok
+}
+
 // ErrClosed is returned for operations on a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
 
-// memConn is one end of an in-memory pair.
+// ErrTimeout is returned when a per-message deadline expires.
+var ErrTimeout = errors.New("transport: deadline exceeded")
+
+// CodecError wraps a wire-format failure: a frame that could not be
+// decoded (truncated, corrupted, or type-mismatched).
+type CodecError struct{ Err error }
+
+func (e *CodecError) Error() string { return "transport: codec: " + e.Err.Error() }
+
+// Unwrap exposes the underlying decode error.
+func (e *CodecError) Unwrap() error { return e.Err }
+
+// Class buckets connection errors by their operational meaning.
+type Class int
+
+const (
+	// ClassUnknown is an unclassified error.
+	ClassUnknown Class = iota
+	// ClassTimeout is a per-message deadline expiry: the peer may be
+	// slow, hung, or partitioned, but the connection is intact.
+	ClassTimeout
+	// ClassPeerGone means the remote end disappeared (EOF, reset,
+	// refused): the peer process is dead or unreachable.
+	ClassPeerGone
+	// ClassCodec means the stream delivered bytes that do not decode:
+	// the connection is unusable even though the peer may live.
+	ClassCodec
+	// ClassClosed means this end was closed locally.
+	ClassClosed
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassTimeout:
+		return "timeout"
+	case ClassPeerGone:
+		return "peer-gone"
+	case ClassCodec:
+		return "codec"
+	case ClassClosed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify buckets a connection error. nil maps to ClassUnknown.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassUnknown
+	}
+	if errors.Is(err, ErrClosed) {
+		return ClassClosed
+	}
+	if errors.Is(err, ErrTimeout) {
+		return ClassTimeout
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ClassTimeout
+	}
+	var ce *CodecError
+	if errors.As(err, &ce) {
+		return ClassCodec
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return ClassPeerGone
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return ClassPeerGone
+	}
+	return ClassUnknown
+}
+
+// memConn is one end of an in-memory pair. The once guarding the shared
+// done channel is shared too: closing either end (or both) is safe.
 type memConn struct {
 	in, out chan *Message
-	once    sync.Once
+	once    *sync.Once
 	done    chan struct{}
+
+	mu          sync.Mutex
+	sendTimeout time.Duration
+	recvTimeout time.Duration
 }
 
 // Pair returns two connected in-memory endpoints. Messages sent on one
@@ -99,9 +215,23 @@ func Pair() (Conn, Conn) {
 	ab := make(chan *Message, 64)
 	ba := make(chan *Message, 64)
 	done := make(chan struct{})
-	a := &memConn{in: ba, out: ab, done: done}
-	b := &memConn{in: ab, out: ba, done: done}
+	once := new(sync.Once)
+	a := &memConn{in: ba, out: ab, done: done, once: once}
+	b := &memConn{in: ab, out: ba, done: done, once: once}
 	return a, b
+}
+
+// SetTimeouts bounds each subsequent Send and Recv.
+func (c *memConn) SetTimeouts(send, recv time.Duration) {
+	c.mu.Lock()
+	c.sendTimeout, c.recvTimeout = send, recv
+	c.mu.Unlock()
+}
+
+func (c *memConn) timeouts() (send, recv time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sendTimeout, c.recvTimeout
 }
 
 func (c *memConn) Send(m *Message) error {
@@ -112,20 +242,54 @@ func (c *memConn) Send(m *Message) error {
 		return ErrClosed
 	default:
 	}
+	send, _ := c.timeouts()
+	if send <= 0 {
+		select {
+		case <-c.done:
+			return ErrClosed
+		case c.out <- m:
+			return nil
+		}
+	}
+	tm := time.NewTimer(send)
+	defer tm.Stop()
 	select {
 	case <-c.done:
 		return ErrClosed
 	case c.out <- m:
 		return nil
+	case <-tm.C:
+		return fmt.Errorf("transport: send: %w", ErrTimeout)
 	}
 }
 
 func (c *memConn) Recv() (*Message, error) {
+	// Like TCP, deliver data buffered before closure: drain the inbox
+	// first so a queued message is never lost to the done/in select
+	// race after Close.
+	select {
+	case m := <-c.in:
+		return m, nil
+	default:
+	}
+	_, recv := c.timeouts()
+	if recv <= 0 {
+		select {
+		case <-c.done:
+			return nil, ErrClosed
+		case m := <-c.in:
+			return m, nil
+		}
+	}
+	tm := time.NewTimer(recv)
+	defer tm.Stop()
 	select {
 	case <-c.done:
 		return nil, ErrClosed
 	case m := <-c.in:
 		return m, nil
+	case <-tm.C:
+		return nil, fmt.Errorf("transport: recv: %w", ErrTimeout)
 	}
 }
 
@@ -139,28 +303,88 @@ type tcpConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
-	mu   sync.Mutex
+	mu   sync.Mutex // serializes Send
+
+	tmu         sync.Mutex
+	sendTimeout time.Duration
+	recvTimeout time.Duration
 }
 
 func newTCPConn(c net.Conn) *tcpConn {
 	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 }
 
+// SetTimeouts bounds each subsequent Send and Recv via socket deadlines.
+func (c *tcpConn) SetTimeouts(send, recv time.Duration) {
+	c.tmu.Lock()
+	c.sendTimeout, c.recvTimeout = send, recv
+	c.tmu.Unlock()
+}
+
+func (c *tcpConn) timeouts() (send, recv time.Duration) {
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	return c.sendTimeout, c.recvTimeout
+}
+
 func (c *tcpConn) Send(m *Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if send, _ := c.timeouts(); send > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(send)); err != nil {
+			return err
+		}
+	}
 	return c.enc.Encode(m)
 }
 
 func (c *tcpConn) Recv() (*Message, error) {
-	var m Message
-	if err := c.dec.Decode(&m); err != nil {
-		return nil, err
+	if _, recv := c.timeouts(); recv > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(recv)); err != nil {
+			return nil, err
+		}
 	}
-	return &m, nil
+	return decodeFrom(c.dec)
 }
 
 func (c *tcpConn) Close() error { return c.conn.Close() }
+
+// decodeFrom decodes one message, converting codec failures (including
+// any decoder panic on hostile input) into *CodecError while passing
+// io/net errors through for classification.
+func decodeFrom(dec *gob.Decoder) (m *Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, &CodecError{fmt.Errorf("decode panic: %v", r)}
+		}
+	}()
+	var msg Message
+	if err := dec.Decode(&msg); err != nil {
+		if Classify(err) == ClassUnknown {
+			// Not an io/net condition: the bytes themselves are bad.
+			return nil, &CodecError{err}
+		}
+		return nil, err
+	}
+	return &msg, nil
+}
+
+// EncodeFrame renders one message in the wire format (fuzzing, corpus
+// generation, diagnostics).
+func EncodeFrame(m *Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame decodes one message from raw wire bytes. Truncated or
+// garbled input returns an error (never panics) — the property the
+// transport fuzz target locks in.
+func DecodeFrame(data []byte) (*Message, error) {
+	return decodeFrom(gob.NewDecoder(bytes.NewReader(data)))
+}
 
 // Listener accepts TCP protocol connections.
 type Listener struct {
@@ -198,4 +422,29 @@ func Dial(addr string) (Conn, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	return newTCPConn(c), nil
+}
+
+// DialRetry dials addr, retrying with exponential backoff (doubling from
+// backoff, capped at 2s) until a connection succeeds or attempts run
+// out. It is how workers ride out a coordinator that has not bound its
+// port yet.
+func DialRetry(addr string, attempts int, backoff time.Duration) (Conn, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	const maxBackoff = 2 * time.Second
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		var c Conn
+		if c, err = Dial(addr); err == nil {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("transport: giving up after %d attempts: %w", attempts, err)
 }
