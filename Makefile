@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race fuzz chaos bench ci
+.PHONY: build test tier1 vet race fuzz chaos elastic-chaos bench ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ race:
 # scheduling-dependent behaviour.
 chaos:
 	$(GO) test ./internal/rt/ -run 'TestChaos' -count=3 -v
+
+# elastic-chaos runs the live-membership suite (scripted joins, drains,
+# evictions, drain-racing-death) under the race detector, repeated to
+# shake out scheduling-dependent behaviour.
+elastic-chaos:
+	$(GO) test ./internal/rt/ ./internal/elastic/ -run 'TestElastic|TestRetuner|TestController' -race -count=3 -v
 
 # fuzz runs each wire-codec fuzz target for a short budget on top of the
 # committed corpus (which plain `go test` already replays).

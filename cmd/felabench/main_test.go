@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,14 +12,14 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	ctx := experiments.Quick()
 	for _, which := range []string{"table1", "table2", "fig1", "fig5"} {
-		if err := run(ctx, which, ""); err != nil {
+		if err := run(ctx, which, "", "", true); err != nil {
 			t.Errorf("%s: %v", which, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(experiments.Quick(), "fig99", ""); err == nil {
+	if err := run(experiments.Quick(), "fig99", "", "", true); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
@@ -26,7 +27,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	ctx := experiments.Quick()
-	if err := run(ctx, "fig8", dir); err != nil {
+	if err := run(ctx, "fig8", dir, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
@@ -38,5 +39,46 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if string(data[:5]) != "model" {
 		t.Errorf("CSV header wrong: %q", data[:20])
+	}
+}
+
+func TestRTBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_rt.json")
+	if err := run(experiments.Quick(), "rt", "", path, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report rtBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_rt.json does not parse: %v", err)
+	}
+	if report.Name != "rt-engine" || !report.Quick {
+		t.Errorf("report header = %+v", report)
+	}
+	want := map[string]bool{
+		"sequential": false, "rt-1": false, "rt-2": false,
+		"rt-4": false, "rt-4-straggler": false, "rt-4-elastic": false,
+	}
+	for _, e := range report.Entries {
+		if _, ok := want[e.Policy]; !ok {
+			t.Errorf("unexpected policy %q", e.Policy)
+			continue
+		}
+		want[e.Policy] = true
+		if e.ItersPerSec <= 0 || e.TokensPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput: %+v", e.Policy, e)
+		}
+		if !e.BitIdentical {
+			t.Errorf("%s: result not bit-identical to the sequential reference", e.Policy)
+		}
+	}
+	for policy, seen := range want {
+		if !seen {
+			t.Errorf("policy %q missing from report", policy)
+		}
 	}
 }

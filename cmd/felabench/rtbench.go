@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"fela/internal/elastic"
+	"fela/internal/minidnn"
+	"fela/internal/rt"
+)
+
+// rtBenchEntry is one policy's throughput measurement on the real
+// training engine.
+type rtBenchEntry struct {
+	Policy       string  `json:"policy"`
+	Workers      int     `json:"workers"`
+	Iterations   int     `json:"iterations"`
+	Seconds      float64 `json:"seconds"`
+	ItersPerSec  float64 `json:"iters_per_sec"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	Steals       int     `json:"steals"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// rtBenchReport is the machine-readable BENCH_rt.json payload.
+type rtBenchReport struct {
+	Name      string         `json:"name"`
+	Quick     bool           `json:"quick"`
+	TimeStamp string         `json:"timestamp"`
+	Entries   []rtBenchEntry `json:"entries"`
+}
+
+// rtBenchConfig builds the shared workload: a real MLP on a synthetic
+// blob dataset, sized so a full run takes seconds, not minutes.
+func rtBenchConfig(quick bool) rt.Config {
+	iters := 120
+	if quick {
+		iters = 24
+	}
+	return rt.Config{
+		Workers:    4,
+		TotalBatch: 64,
+		TokenBatch: 8,
+		Iterations: iters,
+		LR:         0.05,
+	}
+}
+
+func rtBenchNet() *minidnn.Network    { return minidnn.NewMLP(42, 16, 32, 4) }
+func rtBenchData() *minidnn.Dataset   { return minidnn.SyntheticBlobs(7, 256, 16, 4) }
+func rtTokens(cfg rt.Config) int      { return cfg.TotalBatch / cfg.TokenBatch }
+func rtSecondsSince(t time.Time) float64 { return time.Since(t).Seconds() }
+
+// runRTBench measures the real-time engine's throughput per policy and
+// writes the report as JSON to path.
+func runRTBench(quick bool, path string, out func(string)) error {
+	cfg := rtBenchConfig(quick)
+	ref, err := rt.Sequential(rtBenchNet(), rtBenchData(), cfg)
+	if err != nil {
+		return fmt.Errorf("rt bench: sequential reference: %w", err)
+	}
+
+	report := rtBenchReport{
+		Name:      "rt-engine",
+		Quick:     quick,
+		TimeStamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	// Sequential throughput (the single-machine reference).
+	{
+		c := cfg
+		start := time.Now()
+		res, err := rt.Sequential(rtBenchNet(), rtBenchData(), c)
+		if err != nil {
+			return err
+		}
+		report.Entries = append(report.Entries, rtBenchEntry{
+			Policy: "sequential", Workers: 1, Iterations: c.Iterations,
+			Seconds:      rtSecondsSince(start),
+			BitIdentical: minidnn.ParamsEqual(ref.Params, res.Params),
+		})
+	}
+
+	type variant struct {
+		name  string
+		build func() rt.Config
+	}
+	variants := []variant{
+		{"rt-1", func() rt.Config { c := cfg; c.Workers = 1; return c }},
+		{"rt-2", func() rt.Config { c := cfg; c.Workers = 2; return c }},
+		{"rt-4", func() rt.Config { return cfg }},
+		{"rt-4-straggler", func() rt.Config {
+			c := cfg
+			c.Delay = func(iter, wid int) time.Duration {
+				if wid == 0 && iter%4 == 0 {
+					return 2 * time.Millisecond
+				}
+				return 0
+			}
+			return c
+		}},
+		{"rt-4-elastic", func() rt.Config {
+			c := cfg
+			c.WorkerTimeout = 2 * time.Second
+			ctrl, err := elastic.NewController(elastic.Config{MinWorkers: 1})
+			if err != nil {
+				panic(err) // static config; cannot fail
+			}
+			c.Elastic = ctrl
+			return c
+		}},
+	}
+	for _, v := range variants {
+		c := v.build()
+		start := time.Now()
+		res, err := rt.Train(rtBenchNet, rtBenchData(), c)
+		if err != nil {
+			return fmt.Errorf("rt bench: %s: %w", v.name, err)
+		}
+		secs := rtSecondsSince(start)
+		entry := rtBenchEntry{
+			Policy: v.name, Workers: c.Workers, Iterations: c.Iterations,
+			Seconds:      secs,
+			Steals:       res.Steals,
+			BitIdentical: minidnn.ParamsEqual(ref.Params, res.Params),
+		}
+		if secs > 0 {
+			entry.ItersPerSec = float64(c.Iterations) / secs
+			entry.TokensPerSec = float64(c.Iterations*rtTokens(c)) / secs
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+	// The sequential entry's rates, filled late so the loop above stays
+	// uniform.
+	if e := &report.Entries[0]; e.Seconds > 0 {
+		e.ItersPerSec = float64(e.Iterations) / e.Seconds
+		e.TokensPerSec = float64(e.Iterations*rtTokens(cfg)) / e.Seconds
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("rt bench: %w", err)
+	}
+	out(renderRTBench(report, path))
+	return nil
+}
+
+// renderRTBench formats the report for the terminal.
+func renderRTBench(r rtBenchReport, path string) string {
+	s := fmt.Sprintf("RT engine throughput (real training; wrote %s)\n", path)
+	s += fmt.Sprintf("%-16s %8s %10s %12s %8s %s\n", "policy", "workers", "iters/s", "tokens/s", "steals", "bit-identical")
+	for _, e := range r.Entries {
+		s += fmt.Sprintf("%-16s %8d %10.1f %12.1f %8d %v\n",
+			e.Policy, e.Workers, e.ItersPerSec, e.TokensPerSec, e.Steals, e.BitIdentical)
+	}
+	return s
+}

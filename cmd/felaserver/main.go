@@ -18,6 +18,15 @@
 // is left, and a fault summary is printed at the end. The result stays
 // bit-identical to the sequential reference regardless of which workers
 // died.
+//
+// With -elastic, membership is live: the server keeps accepting
+// connections for the whole session, so additional `felaworker -join`
+// processes become workers at the next iteration barrier, workers may
+// drain out gracefully (`felaworker -drain-after N`), and the online
+// re-tuner reshapes the token distribution from live per-iteration
+// timings after every scale event. -min-workers bounds eviction,
+// -max-workers bounds admission. Elastic mode implies fault tolerance
+// (a default -worker-timeout is applied if none is set).
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"fela/internal/elastic"
 	"fela/internal/metrics"
 	"fela/internal/minidnn"
 	"fela/internal/rt"
@@ -48,22 +58,53 @@ func sessionConfig(workers, iters int, workerTimeout time.Duration) (rt.Config, 
 	return cfg, mk, ds
 }
 
+// elasticOpts bundles the live-membership flags.
+type elasticOpts struct {
+	enabled    bool
+	minWorkers int
+	maxWorkers int
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "address to listen on")
 	workers := flag.Int("workers", 4, "number of workers to wait for")
 	iters := flag.Int("iters", 20, "iterations to train")
 	workerTimeout := flag.Duration("worker-timeout", 0,
 		"fault tolerance: declare a worker dead after this long without progress (0 = strict mode, any fault aborts)")
+	elasticMode := flag.Bool("elastic", false,
+		"live membership: accept felaworker -join connections for the whole session and re-tune on scale events")
+	minWorkers := flag.Int("min-workers", 1, "elastic: never evict below this many live workers")
+	maxWorkers := flag.Int("max-workers", 0, "elastic: admission cap for joiners (0 = unbounded)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *iters, *workerTimeout); err != nil {
+	opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
+	if err := run(*addr, *workers, *iters, *workerTimeout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "felaserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, iters int, workerTimeout time.Duration) error {
+func run(addr string, workers, iters int, workerTimeout time.Duration, opts elasticOpts) error {
+	if opts.enabled && workerTimeout == 0 {
+		// Elastic membership rides on the fault-tolerant machinery (a
+		// drain is a planned death); give it a generous default deadline.
+		workerTimeout = 10 * time.Second
+	}
 	cfg, mk, ds := sessionConfig(workers, iters, workerTimeout)
+
+	var ctrl *elastic.Controller
+	if opts.enabled {
+		var err error
+		ctrl, err = elastic.NewController(elastic.Config{
+			MinWorkers: opts.minWorkers,
+			MaxWorkers: opts.maxWorkers,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Elastic = ctrl
+	}
+
 	// Build the coordinator before listening so a bad configuration
 	// (e.g. a negative -worker-timeout) fails immediately instead of
 	// after all workers have connected.
@@ -87,6 +128,24 @@ func run(addr string, workers, iters int, workerTimeout time.Duration) error {
 		conns[i] = c
 		fmt.Printf("felaserver: worker connection %d/%d\n", i+1, workers)
 	}
+	if opts.enabled {
+		// Keep admitting joiners for the rest of the session; the accept
+		// loop ends when the deferred l.Close() unblocks Accept.
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				if err := co.Admit(c); err != nil {
+					c.Close()
+					return
+				}
+				fmt.Println("felaserver: admitted a join candidate (effective at the next barrier)")
+			}
+		}()
+	}
+
 	res, err := co.Run(conns)
 	if err != nil {
 		return err
@@ -95,6 +154,15 @@ func run(addr string, workers, iters int, workerTimeout time.Duration) error {
 		fmt.Printf("iteration %3d: loss %.6f\n", i, loss)
 	}
 	fmt.Printf("tokens per worker: %v (steals: %d)\n", res.TokensByWorker, res.Steals)
+	if len(res.Scales) > 0 {
+		fmt.Printf("scale events: %v\n", metrics.ScaleSequence(res.Scales))
+		for _, ev := range res.Scales {
+			fmt.Println("  " + ev.String())
+		}
+	}
+	if ctrl != nil && ctrl.Retuner().Retunes() > 0 {
+		fmt.Printf("re-tunes: %d; final shares: %v\n", ctrl.Retuner().Retunes(), ctrl.Retuner().Shares())
+	}
 	if len(res.Faults) > 0 {
 		st := metrics.SummarizeFaults(res.Faults)
 		fmt.Printf("faults: %d (by class: %v), dead workers: %v, tokens reassigned: %d\n",

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fela/internal/minidnn"
+	"fela/internal/rt"
+	"fela/internal/transport"
+)
+
+// freeAddr reserves an ephemeral TCP port and returns it.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startWorker launches a registered worker over TCP with the session
+// config felaworker would derive.
+func startWorker(t *testing.T, addr string, wid, workers, iters int, cfg rt.Config, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := transport.DialRetry(addr, 50, 20*time.Millisecond)
+		if err != nil {
+			t.Errorf("worker %d dial: %v", wid, err)
+			return
+		}
+		defer conn.Close()
+		net := minidnn.NewMLP(42, 16, 32, 4)
+		ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
+		if err := rt.NewWorker(wid, net, ds, cfg).Run(conn); err != nil {
+			switch transport.Classify(err) {
+			case transport.ClassPeerGone, transport.ClassClosed:
+			default:
+				t.Errorf("worker %d: %v", wid, err)
+			}
+		}
+	}()
+}
+
+// TestServerStrictSession: the pre-elastic path still works end to end
+// over TCP.
+func TestServerStrictSession(t *testing.T) {
+	addr := freeAddr(t)
+	const workers, iters = 2, 4
+	cfg, _, _ := sessionConfig(workers, iters, 0)
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		startWorker(t, addr, wid, workers, iters, cfg, &wg)
+	}
+	if err := run(addr, workers, iters, 0, elasticOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestServerElasticSession drives the full CLI path over real TCP: two
+// registered workers, one late joiner (the felaworker -join path), and a
+// mid-session drain (-drain-after). The run must verify bit-identity
+// against the sequential reference, which the server checks itself.
+func TestServerElasticSession(t *testing.T) {
+	addr := freeAddr(t)
+	const workers, iters = 2, 12
+	cfg, _, _ := sessionConfig(workers, iters, 2*time.Second)
+	// Throttle registered workers so the session lasts long enough for
+	// the joiner to dial in, and so the joiner reliably gets to train
+	// once admitted.
+	slow := cfg
+	slow.Delay = func(int, int) time.Duration { return 15 * time.Millisecond }
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		startWorker(t, addr, wid, workers, iters, slow, &wg)
+	}
+
+	// The joiner dials in once the session is already running and drains
+	// out again near the end — exercising join, re-tune, and drain in
+	// one process lifetime (felaworker -join -drain-after 10).
+	joined := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		conn, err := transport.DialRetry(addr, 5, 10*time.Millisecond)
+		if err != nil {
+			t.Errorf("joiner dial: %v", err)
+			joined <- -1
+			return
+		}
+		defer conn.Close()
+		jcfg := cfg
+		jcfg.Drain = func(iter, _ int) bool { return iter >= 10 }
+		net := minidnn.NewMLP(42, 16, 32, 4)
+		ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
+		assigned, err := rt.Join(conn, net, ds, jcfg)
+		if err != nil {
+			switch transport.Classify(err) {
+			case transport.ClassPeerGone, transport.ClassClosed:
+			default:
+				t.Errorf("joiner: %v", err)
+			}
+		}
+		joined <- assigned
+	}()
+
+	if err := run(addr, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if assigned := <-joined; assigned != 2 {
+		t.Errorf("joiner assigned wid %d, want 2", assigned)
+	}
+}
+
+// TestServerElasticValidation: nonsensical elastic bounds fail fast.
+func TestServerElasticValidation(t *testing.T) {
+	err := run(freeAddr(t), 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2})
+	if err == nil {
+		t.Fatal("min-workers > max-workers accepted")
+	}
+	if want := "min workers"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}

@@ -13,6 +13,16 @@
 // the worker reports the loss and exits cleanly rather than crashing:
 // a fault-tolerant coordinator deliberately closes the connections of
 // workers it has declared dead, and that is not a worker-side error.
+//
+// Against a `felaserver -elastic` session two more modes exist:
+//
+//	felaworker -addr ... -join            dial into an in-progress session;
+//	                                      the coordinator assigns the worker
+//	                                      id at the next iteration barrier
+//	felaworker -addr ... -wid 1 -drain-after 10
+//	                                      announce a graceful leave at
+//	                                      iteration 10 and depart at that
+//	                                      barrier
 package main
 
 import (
@@ -28,20 +38,22 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "coordinator address")
-	wid := flag.Int("wid", 0, "this worker's id (0-based, unique per worker)")
+	wid := flag.Int("wid", 0, "this worker's id (0-based, unique per worker; ignored with -join)")
 	workers := flag.Int("workers", 4, "total workers in the session (must match server)")
 	iters := flag.Int("iters", 20, "iterations (must match server)")
 	sleepMS := flag.Int("straggle", 0, "artificial per-iteration sleep in ms (demo stragglers)")
 	retries := flag.Int("retries", 10, "connection attempts before giving up")
+	join := flag.Bool("join", false, "join an in-progress elastic session instead of registering a fixed wid")
+	drainAfter := flag.Int("drain-after", -1, "announce a graceful leave at this iteration (elastic sessions; -1 = never)")
 	flag.Parse()
 
-	if err := run(*addr, *wid, *workers, *iters, *sleepMS, *retries); err != nil {
+	if err := run(*addr, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter); err != nil {
 		fmt.Fprintln(os.Stderr, "felaworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, wid, workers, iters, sleepMS, retries int) error {
+func run(addr string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int) error {
 	cfg := rt.Config{
 		Workers:    workers,
 		TotalBatch: 64,
@@ -52,6 +64,9 @@ func run(addr string, wid, workers, iters, sleepMS, retries int) error {
 	if sleepMS > 0 {
 		cfg.Delay = func(int, int) time.Duration { return time.Duration(sleepMS) * time.Millisecond }
 	}
+	if drainAfter >= 0 {
+		cfg.Drain = func(iter, _ int) bool { return iter >= drainAfter }
+	}
 	net := minidnn.NewMLP(42, 16, 32, 4)
 	ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
 
@@ -60,17 +75,36 @@ func run(addr string, wid, workers, iters, sleepMS, retries int) error {
 		return err
 	}
 	defer conn.Close()
-	fmt.Printf("felaworker %d: connected to %s\n", wid, addr)
-	if err := rt.NewWorker(wid, net, ds, cfg).Run(conn); err != nil {
-		switch transport.Classify(err) {
-		case transport.ClassPeerGone, transport.ClassClosed:
-			// The coordinator is gone — either it shut down, or it
-			// declared this worker dead and closed the connection.
-			fmt.Printf("felaworker %d: coordinator lost (%v), exiting\n", wid, err)
+	fmt.Printf("felaworker: connected to %s\n", addr)
+
+	if join {
+		assigned, err := rt.Join(conn, net, ds, cfg)
+		if err != nil {
+			return workerExit(-1, err)
+		}
+		if assigned < 0 {
+			fmt.Println("felaworker: session ended before this joiner was admitted")
 			return nil
 		}
-		return err
+		fmt.Printf("felaworker: admitted as worker %d; session complete\n", assigned)
+		return nil
+	}
+
+	if err := rt.NewWorker(wid, net, ds, cfg).Run(conn); err != nil {
+		return workerExit(wid, err)
 	}
 	fmt.Printf("felaworker %d: session complete\n", wid)
 	return nil
+}
+
+// workerExit folds coordinator-side disconnects into a clean exit: a
+// fault-tolerant coordinator deliberately closes the connections of
+// workers it has declared dead.
+func workerExit(wid int, err error) error {
+	switch transport.Classify(err) {
+	case transport.ClassPeerGone, transport.ClassClosed:
+		fmt.Printf("felaworker %d: coordinator lost (%v), exiting\n", wid, err)
+		return nil
+	}
+	return err
 }

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestElasticExample smoke-tests the demo end to end: joins, drains,
+// re-tuning, and the bit-identity verification all inside run().
+func TestElasticExample(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

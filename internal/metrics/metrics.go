@@ -52,7 +52,9 @@ type FaultEvent struct {
 	// "shutdown".
 	Phase string
 	// Class is the transport-level classification: "timeout",
-	// "peer-gone", "codec", "closed" or "missing" (never registered).
+	// "peer-gone", "codec", "closed", "missing" (never registered) or
+	// "protocol" (a well-formed message that violates the protocol
+	// state machine).
 	Class string
 	// Detail carries the underlying error text.
 	Detail string
@@ -65,6 +67,47 @@ func (e FaultEvent) String() string {
 		who = "unidentified worker"
 	}
 	return fmt.Sprintf("t=%.3fs iter=%d %s: %s during %s (%s)", e.Time, e.Iter, who, e.Class, e.Phase, e.Detail)
+}
+
+// Scale-event kinds: how a worker's membership changed.
+const (
+	// ScaleJoin is a worker admitted into a running session.
+	ScaleJoin = "join"
+	// ScaleLeave is a graceful drain completed at an iteration barrier.
+	ScaleLeave = "leave"
+	// ScaleEvict is a coordinator-initiated removal (e.g. the elastic
+	// controller scaling the session down).
+	ScaleEvict = "evict"
+)
+
+// ScaleEvent records one elastic-membership change: a worker joining,
+// draining out, or being evicted. Changes are applied at iteration
+// barriers, so Iter is the first iteration the new membership is in
+// effect (a joiner's first pull, the first iteration without a leaver).
+type ScaleEvent struct {
+	// Time is seconds since session start.
+	Time float64
+	// Iter is the first iteration run under the changed membership.
+	Iter int
+	// Worker is the joining or departing worker id.
+	Worker int
+	// Kind is ScaleJoin, ScaleLeave or ScaleEvict.
+	Kind string
+}
+
+// String renders the event for logs.
+func (e ScaleEvent) String() string {
+	return fmt.Sprintf("t=%.3fs iter=%d worker %d: %s", e.Time, e.Iter, e.Worker, e.Kind)
+}
+
+// ScaleSequence compresses events to the (Kind, Worker) order they
+// occurred in, the form elasticity tests assert against.
+func ScaleSequence(events []ScaleEvent) []string {
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = fmt.Sprintf("%s:%d", e.Kind, e.Worker)
+	}
+	return out
 }
 
 // FaultStats aggregates fault events for reporting.

@@ -179,3 +179,34 @@ func TestSummarizeFaults(t *testing.T) {
 		t.Errorf("empty summary = %+v", empty)
 	}
 }
+
+func TestScaleEventString(t *testing.T) {
+	ev := ScaleEvent{Time: 1.25, Iter: 4, Worker: 2, Kind: ScaleJoin}
+	s := ev.String()
+	for _, want := range []string{"join", "worker 2", "iter=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ScaleEvent string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestScaleSequence(t *testing.T) {
+	events := []ScaleEvent{
+		{Iter: 2, Worker: 3, Kind: ScaleJoin},
+		{Iter: 5, Worker: 0, Kind: ScaleLeave},
+		{Iter: 6, Worker: 1, Kind: ScaleEvict},
+	}
+	got := ScaleSequence(events)
+	want := []string{"join:3", "leave:0", "evict:1"}
+	if len(got) != len(want) {
+		t.Fatalf("ScaleSequence = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScaleSequence = %v, want %v", got, want)
+		}
+	}
+	if out := ScaleSequence(nil); len(out) != 0 {
+		t.Errorf("ScaleSequence(nil) = %v", out)
+	}
+}

@@ -3,6 +3,8 @@ package rt
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"fela/internal/metrics"
@@ -25,6 +27,14 @@ import (
 // extended from slowness to outright crashes. Because aggregation stays
 // in canonical token order, the result remains bit-identical to
 // Sequential no matter which workers die or when.
+//
+// With Config.Elastic set, membership is live: connections handed to
+// Admit may join mid-session, workers may drain out gracefully, and the
+// policy may evict workers — all applied at iteration barriers, so every
+// iteration runs under one fixed membership. A graceful leave is a
+// planned death: the drainer's outstanding tokens flow back through the
+// same return path as a crashed worker's, which is why elasticity adds
+// no new failure semantics.
 type Coordinator struct {
 	net *minidnn.Network
 	cfg Config
@@ -35,10 +45,29 @@ type Coordinator struct {
 	byConn  map[transport.Conn]*workerState
 	res     *Result
 
+	// initial marks the connections handed to Run (vs admitted later);
+	// rejected marks connections shut for protocol violations, so their
+	// pump's closing error is not double-counted.
+	initial  map[transport.Conn]bool
+	rejected map[transport.Conn]bool
+
+	// admMu guards admitted, the connections handed to Admit by
+	// listener goroutines; everything else is coordinator-goroutine
+	// state.
+	admMu    sync.Mutex
+	admitted []transport.Conn
+
+	// pendingJoins are admitted connections that asked to join, FIFO;
+	// pendingLeaves are workers that announced a drain. Both wait for an
+	// iteration barrier.
+	pendingJoins  []transport.Conn
+	pendingLeaves []*workerState
+
 	// Per-iteration state.
-	it      int
-	tokens  []*tokenState
-	waiting []*workerState // parked pull requests, FIFO
+	it         int
+	tokens     []*tokenState
+	waiting    []*workerState // parked pull requests, FIFO
+	iterTokens map[int]int    // tokens reported per worker this iteration
 }
 
 // NewCoordinator wraps the master network.
@@ -46,7 +75,14 @@ func NewCoordinator(net *minidnn.Network, cfg Config) (*Coordinator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Coordinator{net: net, cfg: cfg}, nil
+	return &Coordinator{
+		net:      net,
+		cfg:      cfg,
+		events:   make(chan event, 16*cfg.Workers+64),
+		byConn:   map[transport.Conn]*workerState{},
+		initial:  map[transport.Conn]bool{},
+		rejected: map[transport.Conn]bool{},
+	}, nil
 }
 
 type event struct {
@@ -69,6 +105,12 @@ type workerState struct {
 	wid   int
 	conn  transport.Conn
 	alive bool
+	// draining marks a worker that announced a graceful leave: it no
+	// longer receives tokens and departs at the next barrier.
+	draining bool
+	// departed marks a planned removal (drain or eviction) as opposed
+	// to a death; departed workers never appear in DeadWorkers.
+	departed bool
 	// outstanding maps assigned-but-unreported token seqs to their
 	// assignment time, the basis for hang detection.
 	outstanding map[int]time.Time
@@ -77,35 +119,62 @@ type workerState struct {
 // errWorkerHung marks a deadline expiry on an assigned token.
 var errWorkerHung = errors.New("rt: worker deadline expired with token outstanding")
 
+// errProtocol marks a well-formed message that violates the protocol
+// state machine (e.g. a token request before registration).
+var errProtocol = errors.New("rt: protocol violation")
+
 // faultTolerant reports whether fault handling is enabled.
 func (co *Coordinator) faultTolerant() bool { return co.cfg.WorkerTimeout > 0 }
 
+// elastic reports whether live membership is enabled.
+func (co *Coordinator) elastic() bool { return co.cfg.Elastic != nil }
+
+// pump forwards a connection's messages into the event loop until the
+// connection errors.
+func (co *Coordinator) pump(c transport.Conn) {
+	go func() {
+		for {
+			m, err := c.Recv()
+			co.events <- event{m, err, c}
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Admit hands a freshly accepted connection to an elastic session. The
+// peer must introduce itself with a join message; it becomes a worker at
+// an iteration barrier, subject to the membership policy. Admit is safe
+// to call from listener goroutines concurrently with Run, before or
+// during the session.
+func (co *Coordinator) Admit(c transport.Conn) error {
+	if !co.elastic() {
+		return fmt.Errorf("rt: Admit requires an elastic session (Config.Elastic)")
+	}
+	co.admMu.Lock()
+	co.admitted = append(co.admitted, c)
+	co.admMu.Unlock()
+	co.pump(c)
+	return nil
+}
+
 // Run drives a full session over the given worker connections. It
 // returns after broadcasting shutdown. Connections are not closed unless
-// their worker is declared dead.
+// their worker is declared dead or departs.
 func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 	if len(conns) != co.cfg.Workers {
 		return nil, fmt.Errorf("rt: %d connections for %d workers", len(conns), co.cfg.Workers)
 	}
 	co.start = time.Now()
 	co.res = &Result{TokensByWorker: make([]int, co.cfg.Workers)}
-	co.events = make(chan event, 4*len(conns)+8)
-	co.byConn = make(map[transport.Conn]*workerState, len(conns))
 	co.workers = make([]*workerState, co.cfg.Workers)
 	for wid := range co.workers {
 		co.workers[wid] = &workerState{wid: wid, outstanding: map[int]time.Time{}}
 	}
 	for _, c := range conns {
-		c := c
-		go func() {
-			for {
-				m, err := c.Recv()
-				co.events <- event{m, err, c}
-				if err != nil {
-					return
-				}
-			}
-		}()
+		co.initial[c] = true
+		co.pump(c)
 	}
 
 	if err := co.register(conns); err != nil {
@@ -117,6 +186,7 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 	vel := zerosLike(co.net.Params())
 
 	for co.it = 0; co.it < co.cfg.Iterations; co.it++ {
+		iterStart := time.Now()
 		if err := co.runIteration(nTok); err != nil {
 			return nil, err
 		}
@@ -137,6 +207,7 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 		}
 		applyUpdate(co.net, vel, acc, co.cfg)
 		co.res.Losses = append(co.res.Losses, loss)
+		co.applyMembership(time.Since(iterStart))
 	}
 
 	for _, ws := range co.workers {
@@ -150,8 +221,9 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 			co.markDead(ws, "shutdown", err)
 		}
 	}
+	co.closeLeftoverAdmitted()
 	for _, ws := range co.workers {
-		if !ws.alive {
+		if !ws.alive && !ws.departed {
 			co.res.DeadWorkers = append(co.res.DeadWorkers, ws.wid)
 		}
 	}
@@ -159,9 +231,26 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 	return co.res, nil
 }
 
+// closeLeftoverAdmitted shuts down admitted connections that never
+// became workers (still waiting for admission, or never sent a join).
+func (co *Coordinator) closeLeftoverAdmitted() {
+	co.admMu.Lock()
+	admitted := co.admitted
+	co.admMu.Unlock()
+	for _, c := range admitted {
+		if _, became := co.byConn[c]; became {
+			continue
+		}
+		_ = c.Send(&transport.Message{Kind: transport.KindShutdown})
+		c.Close()
+	}
+	co.pendingJoins = nil
+}
+
 // register pairs worker ids with connections. In fault-tolerant mode a
-// connection that dies or stays silent past WorkerTimeout forfeits its
-// slot; the session proceeds if at least one worker registered.
+// connection that dies, stays silent past WorkerTimeout, or violates the
+// protocol forfeits its slot without taking the session down; the
+// session proceeds if at least one worker registered.
 func (co *Coordinator) register(conns []transport.Conn) error {
 	resolved := 0
 	var deadline <-chan time.Time
@@ -175,12 +264,19 @@ wait:
 		select {
 		case ev := <-co.events:
 			if ev.err != nil {
+				if co.rejected[ev.conn] {
+					continue // already accounted when it was rejected
+				}
 				if ws, known := co.byConn[ev.conn]; known {
 					// Registered, then died before the first iteration.
 					if !co.faultTolerant() {
 						return fmt.Errorf("rt: worker %d lost during registration: %w", ws.wid, ev.err)
 					}
 					co.markDead(ws, "register", ev.err)
+					continue
+				}
+				if !co.initial[ev.conn] {
+					co.dropPendingJoin(ev.conn, "register", ev.err)
 					continue
 				}
 				resolved++
@@ -190,16 +286,69 @@ wait:
 				co.recordFault(-1, "register", transport.Classify(ev.err).String(), ev.err.Error())
 				continue
 			}
+			if ws, known := co.byConn[ev.conn]; known {
+				// A registered worker must stay quiet until iter-start.
+				detail := fmt.Errorf("%w: worker %d sent %v during registration", errProtocol, ws.wid, ev.msg.Kind)
+				if !co.faultTolerant() {
+					return detail
+				}
+				co.markDead(ws, "register", detail)
+				continue
+			}
+			if co.elastic() && ev.msg.Kind == transport.KindJoin {
+				// An early joiner: park it for the first barrier. If it
+				// arrived on one of the initial connections it consumed a
+				// registration slot, which fault tolerance absorbs.
+				co.pendingJoins = append(co.pendingJoins, ev.conn)
+				if co.initial[ev.conn] {
+					resolved++
+				}
+				continue
+			}
 			if ev.msg.Kind != transport.KindRegister {
-				return fmt.Errorf("rt: expected register, got %v", ev.msg.Kind)
+				// Identify the offending connection by its slot index so
+				// the operator knows which peer misbehaved; in
+				// fault-tolerant mode only that connection is shot.
+				idx := co.connIndex(conns, ev.conn)
+				detail := fmt.Sprintf("conn %d: expected register, got %v (wid field %d)", idx, ev.msg.Kind, ev.msg.WID)
+				if !co.faultTolerant() {
+					return fmt.Errorf("rt: %s", detail)
+				}
+				co.rejected[ev.conn] = true
+				ev.conn.Close()
+				co.recordFault(-1, "register", "protocol", detail)
+				if co.initial[ev.conn] {
+					resolved++
+				}
+				continue
 			}
 			wid := ev.msg.WID
 			if wid < 0 || wid >= co.cfg.Workers {
-				return fmt.Errorf("rt: worker id %d out of range", wid)
+				detail := fmt.Sprintf("conn %d: worker id %d out of range [0,%d)", co.connIndex(conns, ev.conn), wid, co.cfg.Workers)
+				if !co.faultTolerant() {
+					return fmt.Errorf("rt: %s", detail)
+				}
+				co.rejected[ev.conn] = true
+				ev.conn.Close()
+				co.recordFault(-1, "register", "protocol", detail)
+				if co.initial[ev.conn] {
+					resolved++
+				}
+				continue
 			}
 			ws := co.workers[wid]
 			if ws.conn != nil {
-				return fmt.Errorf("rt: duplicate worker id %d", wid)
+				detail := fmt.Sprintf("conn %d: duplicate worker id %d", co.connIndex(conns, ev.conn), wid)
+				if !co.faultTolerant() {
+					return fmt.Errorf("rt: %s", detail)
+				}
+				co.rejected[ev.conn] = true
+				ev.conn.Close()
+				co.recordFault(wid, "register", "protocol", detail)
+				if co.initial[ev.conn] {
+					resolved++
+				}
+				continue
 			}
 			ws.conn = ev.conn
 			ws.alive = true
@@ -224,12 +373,31 @@ wait:
 	return nil
 }
 
+// connIndex locates a connection among the initial slots (-1 for
+// admitted connections).
+func (co *Coordinator) connIndex(conns []transport.Conn, c transport.Conn) int {
+	for i, cc := range conns {
+		if cc == c {
+			return i
+		}
+	}
+	return -1
+}
+
 // runIteration seeds this iteration's tokens, broadcasts parameters, and
 // collects every token's gradients, surviving worker deaths along the
 // way in fault-tolerant mode.
 func (co *Coordinator) runIteration(nTok int) error {
-	// Seed tokens: token seq's shard owner is seq mod workers, so
-	// every worker starts with its own STB (Eq. 2's floor).
+	// Seed tokens. Without elasticity a token seq's shard owner is seq
+	// mod workers, so every worker starts with its own STB (Eq. 2's
+	// floor); with elasticity the membership policy's re-tuner chooses
+	// the distribution over the live set. Ownership only steers who
+	// trains first — aggregation order is fixed by seq — so any
+	// distribution preserves bitwise reproducibility.
+	owners := co.ownership(nTok)
+	if owners == nil {
+		return fmt.Errorf("rt: no trainable workers at iteration %d start", co.it)
+	}
 	co.tokens = make([]*tokenState, nTok)
 	for seq := 0; seq < nTok; seq++ {
 		co.tokens[seq] = &tokenState{info: transport.TokenInfo{
@@ -237,14 +405,15 @@ func (co *Coordinator) runIteration(nTok int) error {
 			Seq:   seq,
 			Lo:    seq * co.cfg.TokenBatch,
 			Hi:    (seq + 1) * co.cfg.TokenBatch,
-			Owner: seq % co.cfg.Workers,
+			Owner: owners[seq],
 		}}
 	}
 	co.waiting = co.waiting[:0]
+	co.iterTokens = map[int]int{}
 	params := flatten(co.net.Params())
 	start := &transport.Message{Kind: transport.KindIterStart, Iter: co.it, Params: params}
 	for _, ws := range co.workers {
-		if !ws.alive {
+		if !ws.alive || ws.draining {
 			continue
 		}
 		if err := ws.conn.Send(start); err != nil {
@@ -254,7 +423,7 @@ func (co *Coordinator) runIteration(nTok int) error {
 			co.markDead(ws, "iteration", err)
 		}
 	}
-	if co.liveCount() == 0 {
+	if co.trainableCount() == 0 {
 		return fmt.Errorf("rt: all workers lost at iteration %d start", co.it)
 	}
 
@@ -275,11 +444,24 @@ func (co *Coordinator) runIteration(nTok int) error {
 		case ev := <-co.events:
 			ws := co.byConn[ev.conn]
 			if ws == nil {
-				continue // connection that never completed registration
+				if err := co.strayEvent(ev); err != nil {
+					return err
+				}
+				continue
 			}
 			if ev.err != nil {
 				if !ws.alive {
 					continue // pump winding down after markDead closed it
+				}
+				if ws.draining {
+					// A drain racing a real death: the departure was
+					// already planned and its tokens already returned, so
+					// finalize quietly; the leave completes (and is
+					// recorded) at the barrier as scheduled.
+					ws.alive = false
+					ws.departed = true
+					ws.conn.Close()
+					continue
 				}
 				if !co.faultTolerant() {
 					return fmt.Errorf("rt: worker connection failed: %w", ev.err)
@@ -296,6 +478,9 @@ func (co *Coordinator) runIteration(nTok int) error {
 			m := ev.msg
 			switch m.Kind {
 			case transport.KindRequest:
+				if ws.draining {
+					continue // request in flight raced the leave announcement
+				}
 				tok := pick(co.tokens, ws.wid)
 				if tok == nil {
 					// Nothing assignable now. Park the request so a
@@ -309,7 +494,15 @@ func (co *Coordinator) runIteration(nTok int) error {
 					if !co.faultTolerant() {
 						return fmt.Errorf("rt: assign to worker %d: %w", ws.wid, err)
 					}
-					co.markDead(ws, "iteration", err)
+					if co.elastic() {
+						// The conn may have closed because a leave is in
+						// flight; revert the token and let the recv pump
+						// deliver the real verdict (leave or death) in
+						// message order instead of ruling death here.
+						co.unassign(ws, tok)
+					} else {
+						co.markDead(ws, "iteration", err)
+					}
 					if err := co.serveWaiting(); err != nil {
 						return err
 					}
@@ -325,17 +518,41 @@ func (co *Coordinator) runIteration(nTok int) error {
 				tok.loss = m.Loss
 				delete(ws.outstanding, seq)
 				co.res.TokensByWorker[ws.wid]++
+				co.iterTokens[ws.wid]++
 				if tok.info.Owner != ws.wid {
 					co.res.Steals++
 				}
 				remaining--
+			case transport.KindLeave:
+				if !co.elastic() {
+					detail := fmt.Errorf("%w: worker %d sent leave without elastic mode", errProtocol, ws.wid)
+					if !co.faultTolerant() {
+						return detail
+					}
+					co.markDead(ws, "iteration", detail)
+					if err := co.serveWaiting(); err != nil {
+						return err
+					}
+					continue
+				}
+				co.announceDrain(ws)
+				if err := co.serveWaiting(); err != nil {
+					return err
+				}
 			default:
-				return fmt.Errorf("rt: unexpected message %v mid-iteration", m.Kind)
+				detail := fmt.Errorf("%w: worker %d sent unexpected %v mid-iteration", errProtocol, ws.wid, m.Kind)
+				if !co.faultTolerant() {
+					return detail
+				}
+				co.markDead(ws, "iteration", detail)
+				if err := co.serveWaiting(); err != nil {
+					return err
+				}
 			}
 		case <-tick:
 			now := time.Now()
 			for _, ws := range co.workers {
-				if !ws.alive {
+				if !ws.alive || ws.draining {
 					continue
 				}
 				for _, at := range ws.outstanding {
@@ -349,11 +566,194 @@ func (co *Coordinator) runIteration(nTok int) error {
 				return err
 			}
 		}
-		if co.liveCount() == 0 {
+		if co.trainableCount() == 0 {
 			return fmt.Errorf("rt: all workers lost at iteration %d with %d tokens unreported", co.it, remaining)
 		}
 	}
 	return nil
+}
+
+// strayEvent handles traffic from connections that are not (yet)
+// workers: join requests and the deaths of would-be joiners.
+func (co *Coordinator) strayEvent(ev event) error {
+	if ev.err != nil {
+		if !co.rejected[ev.conn] {
+			co.dropPendingJoin(ev.conn, "join", ev.err)
+		}
+		return nil
+	}
+	if co.elastic() && ev.msg.Kind == transport.KindJoin {
+		for _, c := range co.pendingJoins {
+			if c == ev.conn {
+				return nil // duplicate join request
+			}
+		}
+		co.pendingJoins = append(co.pendingJoins, ev.conn)
+		return nil
+	}
+	// Anything else from a non-worker connection is a protocol
+	// violation: shoot just that connection.
+	if !co.rejected[ev.conn] {
+		co.rejected[ev.conn] = true
+		ev.conn.Close()
+		co.recordFault(-1, "join", "protocol", fmt.Sprintf("non-worker connection sent %v", ev.msg.Kind))
+	}
+	return nil
+}
+
+// dropPendingJoin forgets a would-be joiner whose connection died before
+// admission.
+func (co *Coordinator) dropPendingJoin(c transport.Conn, phase string, cause error) {
+	for i, pc := range co.pendingJoins {
+		if pc == c {
+			co.pendingJoins = append(co.pendingJoins[:i], co.pendingJoins[i+1:]...)
+			co.recordFault(-1, phase, transport.Classify(cause).String(), cause.Error())
+			return
+		}
+	}
+}
+
+// announceDrain starts a graceful leave: the worker stops receiving
+// tokens immediately and its outstanding tokens flow back through the
+// same return path as a dead worker's; the departure itself completes at
+// the next iteration barrier.
+func (co *Coordinator) announceDrain(ws *workerState) {
+	if ws.draining {
+		return
+	}
+	ws.draining = true
+	co.reclaimTokens(ws)
+	co.pendingLeaves = append(co.pendingLeaves, ws)
+}
+
+// applyMembership runs the iteration-barrier membership protocol: the
+// policy sees the completed iteration's live timing signal and decides
+// which pending joins, drains and evictions to apply. Joins are applied
+// before leaves and evictions, so a join+leave in one barrier window
+// never dips the live count below its resting value.
+func (co *Coordinator) applyMembership(iterTime time.Duration) {
+	if !co.elastic() {
+		return
+	}
+	pendingLeaves := make([]int, 0, len(co.pendingLeaves))
+	for _, ws := range co.pendingLeaves {
+		pendingLeaves = append(pendingLeaves, ws.wid)
+	}
+	sort.Ints(pendingLeaves)
+	dec := co.cfg.Elastic.AtBarrier(BarrierInfo{
+		Iter:           co.it,
+		Live:           co.trainableIDs(),
+		PendingJoins:   len(co.pendingJoins),
+		PendingLeaves:  pendingLeaves,
+		IterTime:       iterTime,
+		TokensByWorker: co.iterTokens,
+	})
+	effect := co.it + 1
+
+	admit := dec.AdmitJoins
+	if admit > len(co.pendingJoins) {
+		admit = len(co.pendingJoins)
+	}
+	for i := 0; i < admit; i++ {
+		conn := co.pendingJoins[0]
+		co.pendingJoins = co.pendingJoins[1:]
+		wid := len(co.workers)
+		ws := &workerState{wid: wid, conn: conn, alive: true, outstanding: map[int]time.Time{}}
+		co.workers = append(co.workers, ws)
+		co.byConn[conn] = ws
+		co.res.TokensByWorker = append(co.res.TokensByWorker, 0)
+		// The admission ack carries the assigned wid; the next iter-start
+		// broadcast delivers the current model snapshot before the
+		// joiner's first pull.
+		if err := conn.Send(&transport.Message{Kind: transport.KindJoin, WID: wid, Iter: effect}); err != nil {
+			co.markDead(ws, "join", err)
+			continue
+		}
+		co.recordScale(metrics.ScaleJoin, wid, effect)
+	}
+
+	for _, wid := range dec.CompleteLeaves {
+		ws := co.takePendingLeave(wid)
+		if ws == nil {
+			continue
+		}
+		if ws.alive {
+			_ = ws.conn.Send(&transport.Message{Kind: transport.KindDrainAck, WID: wid, Iter: effect})
+			ws.alive = false
+			ws.departed = true
+			ws.conn.Close()
+		}
+		co.recordScale(metrics.ScaleLeave, wid, effect)
+	}
+
+	for _, wid := range dec.Evict {
+		if wid < 0 || wid >= len(co.workers) {
+			continue
+		}
+		ws := co.workers[wid]
+		if !ws.alive || ws.draining {
+			continue
+		}
+		_ = ws.conn.Send(&transport.Message{Kind: transport.KindShutdown})
+		ws.alive = false
+		ws.departed = true
+		ws.conn.Close()
+		co.recordScale(metrics.ScaleEvict, wid, effect)
+	}
+}
+
+// takePendingLeave removes and returns the pending drain for wid, nil if
+// there is none.
+func (co *Coordinator) takePendingLeave(wid int) *workerState {
+	for i, ws := range co.pendingLeaves {
+		if ws.wid == wid {
+			co.pendingLeaves = append(co.pendingLeaves[:i], co.pendingLeaves[i+1:]...)
+			return ws
+		}
+	}
+	return nil
+}
+
+// ownership chooses each token's owner for the coming iteration, nil if
+// no worker can train.
+func (co *Coordinator) ownership(nTok int) []int {
+	if !co.elastic() {
+		out := make([]int, nTok)
+		for seq := range out {
+			out[seq] = seq % co.cfg.Workers
+		}
+		return out
+	}
+	live := co.trainableIDs()
+	if len(live) == 0 {
+		return nil
+	}
+	if d := co.cfg.Elastic.Distribution(nTok, live); validDistribution(d, nTok, live) {
+		return d
+	}
+	out := make([]int, nTok)
+	for seq := range out {
+		out[seq] = live[seq%len(live)]
+	}
+	return out
+}
+
+// validDistribution checks a policy-provided ownership vector: right
+// length, every owner live.
+func validDistribution(d []int, nTok int, live []int) bool {
+	if len(d) != nTok {
+		return false
+	}
+	ok := map[int]bool{}
+	for _, wid := range live {
+		ok[wid] = true
+	}
+	for _, o := range d {
+		if !ok[o] {
+			return false
+		}
+	}
+	return true
 }
 
 // sendAssign reserves the token for the worker and ships it.
@@ -365,6 +765,26 @@ func (co *Coordinator) sendAssign(ws *workerState, tok *tokenState) error {
 	})
 }
 
+// unassign reverts an assignment whose send never reached the worker:
+// the token returns to the pool as if never handed out (no Reassigned
+// count — nothing was lost in flight).
+func (co *Coordinator) unassign(ws *workerState, tok *tokenState) {
+	tok.assigned = false
+	delete(ws.outstanding, tok.info.Seq)
+}
+
+// reclaimTokens returns a worker's unreported tokens to the pool — the
+// shared return path for deaths, hangs and graceful drains.
+func (co *Coordinator) reclaimTokens(ws *workerState) {
+	for seq := range ws.outstanding {
+		if co.tokens != nil && !co.tokens[seq].done {
+			co.tokens[seq].assigned = false
+			co.res.Reassigned++
+		}
+		delete(ws.outstanding, seq)
+	}
+}
+
 // markDead declares the worker lost: its connection is closed, its
 // unreported tokens return to the pool, and the fault is recorded.
 func (co *Coordinator) markDead(ws *workerState, phase string, cause error) {
@@ -373,17 +793,14 @@ func (co *Coordinator) markDead(ws *workerState, phase string, cause error) {
 	}
 	ws.alive = false
 	ws.conn.Close()
-	for seq := range ws.outstanding {
-		if !co.tokens[seq].done {
-			co.tokens[seq].assigned = false
-			co.res.Reassigned++
-		}
-		delete(ws.outstanding, seq)
-	}
+	co.reclaimTokens(ws)
 	class := transport.Classify(cause)
 	name := class.String()
 	if errors.Is(cause, errWorkerHung) {
 		name = transport.ClassTimeout.String()
+	}
+	if errors.Is(cause, errProtocol) {
+		name = "protocol"
 	}
 	co.recordFault(ws.wid, phase, name, cause.Error())
 }
@@ -397,7 +814,7 @@ func (co *Coordinator) serveWaiting() error {
 		pend := co.waiting
 		co.waiting = nil
 		for _, ws := range pend {
-			if !ws.alive {
+			if !ws.alive || ws.draining {
 				continue
 			}
 			tok := pick(co.tokens, ws.wid)
@@ -409,7 +826,11 @@ func (co *Coordinator) serveWaiting() error {
 				if !co.faultTolerant() {
 					return fmt.Errorf("rt: assign to worker %d: %w", ws.wid, err)
 				}
-				co.markDead(ws, "iteration", err)
+				if co.elastic() {
+					co.unassign(ws, tok) // same deferral as the direct path
+				} else {
+					co.markDead(ws, "iteration", err)
+				}
 			}
 			progress = true
 		}
@@ -419,15 +840,27 @@ func (co *Coordinator) serveWaiting() error {
 	}
 }
 
-// liveCount reports how many workers are still alive.
-func (co *Coordinator) liveCount() int {
+// trainableCount reports how many workers can still train tokens (alive
+// and not draining).
+func (co *Coordinator) trainableCount() int {
 	n := 0
 	for _, ws := range co.workers {
-		if ws.alive {
+		if ws.alive && !ws.draining {
 			n++
 		}
 	}
 	return n
+}
+
+// trainableIDs lists the trainable worker ids, ascending.
+func (co *Coordinator) trainableIDs() []int {
+	var out []int
+	for _, ws := range co.workers {
+		if ws.alive && !ws.draining {
+			out = append(out, ws.wid)
+		}
+	}
+	return out
 }
 
 // recordFault appends a fault event to the result and the optional
@@ -438,6 +871,21 @@ func (co *Coordinator) recordFault(wid int, phase, class, detail string) {
 		Time: at, Worker: wid, Iter: co.it, Phase: phase, Class: class, Detail: detail,
 	})
 	co.cfg.Trace.AddPoint(trace.Fault, wid, at, class+" during "+phase)
+}
+
+// recordScale appends a membership change to the result and the
+// optional trace. effectIter is the first iteration run under the new
+// membership.
+func (co *Coordinator) recordScale(kind string, wid, effectIter int) {
+	at := time.Since(co.start).Seconds()
+	co.res.Scales = append(co.res.Scales, metrics.ScaleEvent{
+		Time: at, Iter: effectIter, Worker: wid, Kind: kind,
+	})
+	tk := trace.Join
+	if kind != metrics.ScaleJoin {
+		tk = trace.Leave
+	}
+	co.cfg.Trace.AddPoint(tk, wid, at, kind)
 }
 
 // pick chooses a token for the worker: own shard first (HF own-STB), then

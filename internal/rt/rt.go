@@ -58,6 +58,20 @@ type Config struct {
 	// Delay(iter, wid) at the start of each iteration before requesting
 	// tokens (the §V-C2 methodology, wall-clock here).
 	Delay func(iter, wid int) time.Duration
+	// Drain optionally scripts graceful leaves: at the start of each
+	// iteration, a worker for which Drain(iter, wid) is true announces a
+	// leave instead of pulling tokens and waits for the coordinator's
+	// drain ack (granted at the next iteration barrier) before exiting.
+	// Like Delay, Sequential ignores it, so draining cannot change the
+	// training result.
+	Drain func(iter, wid int) bool
+	// Elastic, when non-nil, turns on live membership: new workers may
+	// join mid-session (Coordinator.Admit), workers may leave gracefully
+	// via the drain protocol, and the policy may evict workers. All
+	// membership changes are applied at iteration barriers and recorded
+	// as Result.Scales; the policy's Distribution hook re-tunes token
+	// ownership for the live worker set.
+	Elastic MembershipPolicy
 	// WorkerTimeout, when positive, enables fault tolerance: a worker
 	// that has not registered, or has sat on an assigned token, for
 	// longer than this is declared dead; its tokens return to the pool
@@ -93,6 +107,58 @@ func (c Config) validate() error {
 
 func (c Config) tokensPerIter() int { return c.TotalBatch / c.TokenBatch }
 
+// BarrierInfo is what a MembershipPolicy sees at each iteration barrier:
+// the live stats of the iteration that just completed plus the
+// membership changes waiting to be applied.
+type BarrierInfo struct {
+	// Iter is the just-completed iteration.
+	Iter int
+	// Live lists the live, non-draining worker ids, ascending.
+	Live []int
+	// PendingJoins is the number of connections waiting for admission.
+	PendingJoins int
+	// PendingLeaves lists workers whose drain announcement is waiting
+	// for completion, ascending.
+	PendingLeaves []int
+	// IterTime is the wall-clock duration of the completed iteration.
+	IterTime time.Duration
+	// TokensByWorker maps live worker id to tokens trained in the
+	// completed iteration (the live per-iteration timing signal the
+	// online re-tuner consumes).
+	TokensByWorker map[int]int
+}
+
+// Decision is a MembershipPolicy's verdict at one barrier. Joins are
+// applied before leaves and evictions, so a simultaneous join+leave in
+// one barrier window never dips the live count below its resting value.
+type Decision struct {
+	// AdmitJoins is how many pending joiners to admit now (clamped to
+	// BarrierInfo.PendingJoins; admission is FIFO).
+	AdmitJoins int
+	// CompleteLeaves lists pending drains to complete now. Drains not
+	// listed stay pending and are offered again at the next barrier.
+	CompleteLeaves []int
+	// Evict lists live workers to remove now (coordinator-initiated
+	// down-scaling). Evicted workers receive a shutdown, not a fault.
+	Evict []int
+}
+
+// MembershipPolicy guides elastic membership. The coordinator calls it
+// from its own goroutine only, once per iteration barrier, and applies
+// the returned decision atomically before seeding the next iteration.
+type MembershipPolicy interface {
+	// AtBarrier observes the completed iteration and decides which
+	// pending membership changes to apply.
+	AtBarrier(info BarrierInfo) Decision
+	// Distribution maps the next iteration's nTok tokens onto the live
+	// worker ids (ascending): the returned slice, of length nTok, gives
+	// each token seq's owner. Returning nil falls back to round-robin
+	// over the live set. Ownership only steers scheduling — who trains
+	// first and who steals — never the arithmetic, so any distribution
+	// preserves the bit-identical-to-Sequential guarantee.
+	Distribution(nTok int, live []int) []int
+}
+
 // Result summarizes a session.
 type Result struct {
 	// Params are the final model parameters.
@@ -107,7 +173,12 @@ type Result struct {
 	// (empty in a clean run or in strict mode, which aborts instead).
 	Faults []metrics.FaultEvent
 	// DeadWorkers lists the workers lost during the session, ascending.
+	// Planned departures (drains, evictions) are not deaths and appear
+	// in Scales instead.
 	DeadWorkers []int
+	// Scales records every applied membership change in application
+	// order (empty unless Config.Elastic is set).
+	Scales []metrics.ScaleEvent
 	// Reassigned counts token assignments revoked from dead or hung
 	// workers and returned to the pool.
 	Reassigned int

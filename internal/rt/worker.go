@@ -32,6 +32,40 @@ func (w *Worker) Run(conn transport.Conn) error {
 	if err := conn.Send(&transport.Message{Kind: transport.KindRegister, WID: w.wid}); err != nil {
 		return fmt.Errorf("rt: worker %d register: %w", w.wid, err)
 	}
+	return w.loop(conn)
+}
+
+// Join enters an in-progress elastic session: it sends a join request,
+// blocks until the coordinator admits it at an iteration barrier (the
+// ack carries the assigned worker id), then runs the normal protocol
+// loop. The first iter-start after admission delivers the current model
+// snapshot, so a joiner never pulls a token against stale parameters.
+// It returns the assigned worker id, or -1 if the session ended before
+// a barrier admitted this worker (not an error).
+func Join(conn transport.Conn, net *minidnn.Network, ds *minidnn.Dataset, cfg Config) (int, error) {
+	if err := conn.Send(&transport.Message{Kind: transport.KindJoin}); err != nil {
+		return -1, fmt.Errorf("rt: join request: %w", err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return -1, fmt.Errorf("rt: awaiting admission: %w", err)
+	}
+	switch m.Kind {
+	case transport.KindJoin:
+		// Admitted; m.WID is ours, m.Iter is our first iteration.
+	case transport.KindShutdown:
+		return -1, nil
+	default:
+		return -1, fmt.Errorf("rt: expected join ack, got %v", m.Kind)
+	}
+	w := NewWorker(m.WID, net, ds, cfg)
+	return m.WID, w.loop(conn)
+}
+
+// loop is the post-registration protocol loop shared by registered and
+// joined workers.
+func (w *Worker) loop(conn transport.Conn) error {
+	draining := false
 	for {
 		m, err := conn.Recv()
 		if err != nil {
@@ -39,7 +73,19 @@ func (w *Worker) Run(conn transport.Conn) error {
 		}
 		switch m.Kind {
 		case transport.KindIterStart:
+			if draining {
+				continue // parameters are irrelevant while awaiting the ack
+			}
 			w.setParams(m.Params)
+			if w.cfg.Drain != nil && w.cfg.Drain(m.Iter, w.wid) {
+				// Announce a graceful leave instead of pulling tokens,
+				// then wait for the barrier's drain ack (or shutdown).
+				if err := conn.Send(&transport.Message{Kind: transport.KindLeave, WID: w.wid}); err != nil {
+					return fmt.Errorf("rt: worker %d leave: %w", w.wid, err)
+				}
+				draining = true
+				continue
+			}
 			if w.cfg.Delay != nil {
 				if d := w.cfg.Delay(m.Iter, w.wid); d > 0 {
 					time.Sleep(d)
@@ -50,6 +96,9 @@ func (w *Worker) Run(conn transport.Conn) error {
 			// the next Recv.
 			_ = conn.Send(&transport.Message{Kind: transport.KindRequest, WID: w.wid})
 		case transport.KindAssign:
+			if draining {
+				continue // an assign that raced the leave; it was reclaimed
+			}
 			report, err := w.train(m.Token)
 			if err != nil {
 				return err
@@ -61,6 +110,8 @@ func (w *Worker) Run(conn transport.Conn) error {
 			// token in the same breath. Best-effort for the same reason
 			// as above.
 			_ = conn.Send(&transport.Message{Kind: transport.KindRequest, WID: w.wid})
+		case transport.KindDrainAck:
+			return nil
 		case transport.KindShutdown:
 			return nil
 		default:

@@ -26,6 +26,12 @@ const (
 	// Fault marks a detected worker fault (death, hang, codec error).
 	// Fault events are instantaneous (Start == End).
 	Fault Kind = 'X'
+	// Join marks a worker admitted into a running elastic session.
+	// Like faults, membership marks are instantaneous.
+	Join Kind = 'J'
+	// Leave marks a worker draining out of (or being evicted from) a
+	// running elastic session.
+	Leave Kind = 'L'
 )
 
 // Event is one timed interval attributed to a worker.
@@ -139,7 +145,7 @@ func (t *Trace) Timeline(width int) string {
 	}
 	cell := span / float64(width)
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline %.3fs..%.3fs, %.4fs/cell (C=compute F=fetch S=sync Z=sleep X=fault)\n",
+	fmt.Fprintf(&b, "timeline %.3fs..%.3fs, %.4fs/cell (C=compute F=fetch S=sync Z=sleep X=fault J=join L=leave)\n",
 		start, end, cell)
 	for _, w := range t.Workers() {
 		row := make([]byte, width)

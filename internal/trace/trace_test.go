@@ -146,3 +146,23 @@ func TestAddPointNilSafe(t *testing.T) {
 	var tr *Trace
 	tr.AddPoint(Fault, 0, 1, "ignored") // must not panic
 }
+
+func TestScalePointRendering(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Compute, 0, 0, 10, "compute")
+	tr.Add(Compute, 2, 4, 10, "joiner compute")
+	tr.AddPoint(Join, 2, 4, "join")
+	tr.AddPoint(Leave, 0, 8, "leave")
+	out := tr.Timeline(20)
+	for _, want := range []string{"J", "L", "J=join", "L=leave"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if joins := tr.ByKind(Join); len(joins) != 1 || joins[0].Worker != 2 {
+		t.Errorf("ByKind(Join) = %v", joins)
+	}
+	if leaves := tr.ByKind(Leave); len(leaves) != 1 || leaves[0].Worker != 0 {
+		t.Errorf("ByKind(Leave) = %v", leaves)
+	}
+}

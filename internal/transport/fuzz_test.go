@@ -15,6 +15,9 @@ func sampleMessages() []*Message {
 			Grads: [][]float32{{1.5, -2.25}, {0.125}}, Loss: 0.75},
 		{Kind: KindIterStart, Iter: 7, Params: [][]float32{{3, 1, 4}, {1, 5}}},
 		{Kind: KindShutdown},
+		{Kind: KindJoin, WID: 5, Iter: 3},
+		{Kind: KindLeave, WID: 2},
+		{Kind: KindDrainAck, WID: 2, Iter: 6},
 	}
 }
 

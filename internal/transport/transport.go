@@ -42,11 +42,24 @@ const (
 	KindIterStart
 	// KindShutdown ends the session.
 	KindShutdown
+	// KindJoin asks to be admitted into an in-progress elastic session
+	// (worker -> coordinator, no WID yet). The coordinator replies with
+	// the same kind once the join is applied at an iteration barrier,
+	// carrying the assigned WID and the first iteration the new worker
+	// participates in.
+	KindJoin
+	// KindLeave announces a graceful drain (WID set): the worker stops
+	// pulling tokens and any tokens it still holds return to the pool.
+	KindLeave
+	// KindDrainAck confirms a drain at the iteration barrier
+	// (coordinator -> worker); the worker may disconnect.
+	KindDrainAck
 )
 
 // Kinds lists every protocol message kind (test enumeration).
 func Kinds() []Kind {
-	return []Kind{KindRegister, KindRequest, KindAssign, KindReport, KindIterStart, KindShutdown}
+	return []Kind{KindRegister, KindRequest, KindAssign, KindReport, KindIterStart, KindShutdown,
+		KindJoin, KindLeave, KindDrainAck}
 }
 
 // String names the message kind.
@@ -64,6 +77,12 @@ func (k Kind) String() string {
 		return "iter-start"
 	case KindShutdown:
 		return "shutdown"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindDrainAck:
+		return "drain-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -276,7 +295,7 @@ func (c *memConn) Recv() (*Message, error) {
 	if recv <= 0 {
 		select {
 		case <-c.done:
-			return nil, ErrClosed
+			return c.drainOnClose()
 		case m := <-c.in:
 			return m, nil
 		}
@@ -285,11 +304,23 @@ func (c *memConn) Recv() (*Message, error) {
 	defer tm.Stop()
 	select {
 	case <-c.done:
-		return nil, ErrClosed
+		return c.drainOnClose()
 	case m := <-c.in:
 		return m, nil
 	case <-tm.C:
 		return nil, fmt.Errorf("transport: recv: %w", ErrTimeout)
+	}
+}
+
+// drainOnClose resolves the race where closure and a buffered message
+// become ready in the same select: like TCP delivering data sent before
+// the FIN, a message already in the inbox wins over the closed verdict.
+func (c *memConn) drainOnClose() (*Message, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	default:
+		return nil, ErrClosed
 	}
 }
 

@@ -159,6 +159,12 @@ func TestKindString(t *testing.T) {
 		KindReport:    "report",
 		KindIterStart: "iter-start",
 		KindShutdown:  "shutdown",
+		KindJoin:      "join",
+		KindLeave:     "leave",
+		KindDrainAck:  "drain-ack",
+	}
+	if len(names) != len(Kinds()) {
+		t.Errorf("test names %d kinds, Kinds() lists %d", len(names), len(Kinds()))
 	}
 	for k, want := range names {
 		if k.String() != want {

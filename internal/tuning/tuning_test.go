@@ -252,3 +252,121 @@ func sum(xs []int) int {
 	}
 	return s
 }
+
+// tuneVGGRefined runs the search with the refinement enabled (the
+// DefaultOptions behavior, PaperStrict13 = false).
+func tuneVGGRefined(t *testing.T, batch int) *Result {
+	t.Helper()
+	m := model.VGG19()
+	subs := partition.Partition(m, gpu.DefaultDB(gpu.TeslaK40c()), partition.DefaultBinSize)
+	opts := DefaultOptions()
+	opts.WarmupIters = 3
+	r, err := Tune(m, subs, batch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRefinementCaseStructure pins the shape of the Phase-3 refinement:
+// it fires only when the strict winner's FC weight is below the maximum,
+// adds exactly one case per strict conditional subset size, and every
+// extra case carries the maximal FC weight with a still-valid
+// (non-decreasing) weight vector.
+func TestRefinementCaseStructure(t *testing.T) {
+	r := tuneVGGRefined(t, 128)
+	var extra []Case
+	for _, c := range r.Cases {
+		if c.Phase == 3 {
+			extra = append(extra, c)
+		}
+	}
+	strictBest := r.Cases[0]
+	for _, c := range r.Cases[:13] {
+		if c.Phase == 1 && c.IterTime < strictBest.IterTime {
+			strictBest = c
+		}
+	}
+	maxW := 8 // testbed has N=8 workers
+	if strictBest.Weights[len(strictBest.Weights)-1] == maxW {
+		if len(extra) != 0 {
+			t.Fatalf("refinement ran although the FC weight is already maximal: %v", extra)
+		}
+		t.Skip("strict winner already maximal; refinement correctly skipped")
+	}
+	// One refinement case per strict conditional subset (sizes 4, 2, 1).
+	if len(extra) != 3 {
+		t.Fatalf("refinement cases = %d, want 3", len(extra))
+	}
+	seen := map[int]bool{}
+	for _, c := range extra {
+		w := c.Weights
+		if w[len(w)-1] != maxW {
+			t.Errorf("refinement case %d FC weight = %d, want %d", c.Index, w[len(w)-1], maxW)
+		}
+		for i := 1; i < len(w); i++ {
+			if w[i] < w[i-1] {
+				t.Errorf("refinement case %d weights %v not non-decreasing", c.Index, w)
+			}
+		}
+		for i := 0; i < len(w)-1; i++ {
+			if w[i] != strictBest.Weights[i] {
+				t.Errorf("refinement case %d changed a non-FC weight: %v vs winner %v", c.Index, w, strictBest.Weights)
+			}
+		}
+		if seen[c.SubsetSize] {
+			t.Errorf("duplicate refinement subset size %d", c.SubsetSize)
+		}
+		seen[c.SubsetSize] = true
+	}
+}
+
+// TestRefinedBestIsMeasured: after refinement, the chosen configuration
+// must be one of the measured cases and must achieve the minimal
+// measured time.
+func TestRefinedBestIsMeasured(t *testing.T) {
+	for _, batch := range []int{64, 128, 1024} {
+		r := tuneVGGRefined(t, batch)
+		best := minTime(r.Cases)
+		found := false
+		for _, c := range r.Cases {
+			if sameWeights(c.Weights, r.BestWeights) && c.SubsetSize == r.BestSubset {
+				found = true
+				if c.IterTime != best {
+					t.Errorf("batch %d: chosen case time %v != measured minimum %v", batch, c.IterTime, best)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("batch %d: best config %v/%d was never measured", batch, r.BestWeights, r.BestSubset)
+		}
+		if r.WarmupIterations != len(r.Cases)*3 {
+			t.Errorf("batch %d: warm-up accounting %d != %d cases x 3 iters", batch, r.WarmupIterations, len(r.Cases))
+		}
+	}
+}
+
+// TestRefinementLeavesPaperStatsAlone: the Fig. 6(b) gap statistics are
+// defined over the paper's 13 cases, so enabling the refinement must not
+// change them.
+func TestRefinementLeavesPaperStatsAlone(t *testing.T) {
+	strict := tuneVGG(t, 128)
+	refined := tuneVGGRefined(t, 128)
+	if strict.Phase1Gap != refined.Phase1Gap || strict.Phase2Gap != refined.Phase2Gap {
+		t.Errorf("refinement changed phase gaps: %v/%v vs %v/%v",
+			strict.Phase1Gap, strict.Phase2Gap, refined.Phase1Gap, refined.Phase2Gap)
+	}
+	for i := 0; i < 13; i++ {
+		if strict.Cases[i].IterTime != refined.Cases[i].IterTime {
+			t.Fatalf("refinement perturbed strict case %d", i)
+		}
+	}
+}
+
+// TestDefaultOptionsEnableRefinement: the refinement is the default; the
+// paper-strict mode is the opt-in.
+func TestDefaultOptionsEnableRefinement(t *testing.T) {
+	if DefaultOptions().PaperStrict13 {
+		t.Fatal("DefaultOptions is paper-strict; the refinement should be on by default")
+	}
+}
