@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race fuzz chaos elastic-chaos bench ci
+.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs bench ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ chaos:
 # shake out scheduling-dependent behaviour.
 elastic-chaos:
 	$(GO) test ./internal/rt/ ./internal/elastic/ -run 'TestElastic|TestRetuner|TestController' -race -count=3 -v
+
+# obs runs the telemetry suite under the race detector: the registry
+# hammer, the exposition golden file, span propagation, the HTTP
+# endpoints, the rt status feed, and the TCP e2e scrape test.
+obs:
+	$(GO) test ./internal/obs/ -race -count=1 -v
+	$(GO) test ./internal/rt/ -race -run 'TestStatus|TestSessionTelemetry|TestTelemetryOff' -v
+	$(GO) test ./cmd/felaserver/ -race -run TestServerObservabilityE2E -v
 
 # fuzz runs each wire-codec fuzz target for a short budget on top of the
 # committed corpus (which plain `go test` already replays).

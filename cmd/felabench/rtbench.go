@@ -8,7 +8,9 @@ import (
 
 	"fela/internal/elastic"
 	"fela/internal/minidnn"
+	"fela/internal/obs"
 	"fela/internal/rt"
+	"fela/internal/transport"
 )
 
 // rtBenchEntry is one policy's throughput measurement on the real
@@ -22,6 +24,47 @@ type rtBenchEntry struct {
 	TokensPerSec float64 `json:"tokens_per_sec"`
 	Steals       int     `json:"steals"`
 	BitIdentical bool    `json:"bit_identical"`
+	// Obs is the session's final telemetry snapshot: latency quantiles
+	// and the per-kind transport traffic breakdown (internal/obs).
+	Obs *rtObsSummary `json:"obs,omitempty"`
+}
+
+// histQuantiles condenses one latency histogram for the report.
+type histQuantiles struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// rtObsSummary is the telemetry slice embedded per bench entry.
+type rtObsSummary struct {
+	TokenLatency   histQuantiles    `json:"token_latency_seconds"`
+	IterTime       histQuantiles    `json:"iter_time_seconds"`
+	BarrierTime    histQuantiles    `json:"barrier_time_seconds"`
+	MessagesByKind map[string]int64 `json:"messages_by_kind,omitempty"`
+	BytesByKind    map[string]int64 `json:"bytes_by_kind,omitempty"`
+}
+
+func quantiles(s obs.HistSnapshot) histQuantiles {
+	q := histQuantiles{Count: s.Count, P50: s.Quantile(0.5), P90: s.Quantile(0.9), P99: s.Quantile(0.99)}
+	if s.Count > 0 {
+		q.Mean = s.Sum / float64(s.Count)
+	}
+	return q
+}
+
+// summarizeObs condenses the registry a bench run recorded into. The
+// traffic maps are keyed by the rendered label set (dir/kind).
+func summarizeObs(reg *obs.Registry) *rtObsSummary {
+	return &rtObsSummary{
+		TokenLatency:   quantiles(reg.Histogram(rt.MetricTokenSeconds, nil).Snapshot()),
+		IterTime:       quantiles(reg.Histogram(rt.MetricIterSeconds, nil).Snapshot()),
+		BarrierTime:    quantiles(reg.Histogram(rt.MetricBarrierSeconds, nil).Snapshot()),
+		MessagesByKind: reg.CounterValues(transport.MetricMessages),
+		BytesByKind:    reg.CounterValues(transport.MetricBytes),
+	}
 }
 
 // rtBenchReport is the machine-readable BENCH_rt.json payload.
@@ -114,6 +157,7 @@ func runRTBench(quick bool, path string, out func(string)) error {
 	}
 	for _, v := range variants {
 		c := v.build()
+		c.Metrics = obs.NewRegistry()
 		start := time.Now()
 		res, err := rt.Train(rtBenchNet, rtBenchData(), c)
 		if err != nil {
@@ -125,6 +169,7 @@ func runRTBench(quick bool, path string, out func(string)) error {
 			Seconds:      secs,
 			Steals:       res.Steals,
 			BitIdentical: minidnn.ParamsEqual(ref.Params, res.Params),
+			Obs:          summarizeObs(c.Metrics),
 		}
 		if secs > 0 {
 			entry.ItersPerSec = float64(c.Iterations) / secs
@@ -153,10 +198,16 @@ func runRTBench(quick bool, path string, out func(string)) error {
 // renderRTBench formats the report for the terminal.
 func renderRTBench(r rtBenchReport, path string) string {
 	s := fmt.Sprintf("RT engine throughput (real training; wrote %s)\n", path)
-	s += fmt.Sprintf("%-16s %8s %10s %12s %8s %s\n", "policy", "workers", "iters/s", "tokens/s", "steals", "bit-identical")
+	s += fmt.Sprintf("%-16s %8s %10s %12s %8s %10s %10s %s\n",
+		"policy", "workers", "iters/s", "tokens/s", "steals", "tok-p50", "tok-p99", "bit-identical")
 	for _, e := range r.Entries {
-		s += fmt.Sprintf("%-16s %8d %10.1f %12.1f %8d %v\n",
-			e.Policy, e.Workers, e.ItersPerSec, e.TokensPerSec, e.Steals, e.BitIdentical)
+		p50, p99 := "-", "-"
+		if e.Obs != nil && e.Obs.TokenLatency.Count > 0 {
+			p50 = fmt.Sprintf("%.1fms", e.Obs.TokenLatency.P50*1e3)
+			p99 = fmt.Sprintf("%.1fms", e.Obs.TokenLatency.P99*1e3)
+		}
+		s += fmt.Sprintf("%-16s %8d %10.1f %12.1f %8d %10s %10s %v\n",
+			e.Policy, e.Workers, e.ItersPerSec, e.TokensPerSec, e.Steals, p50, p99, e.BitIdentical)
 	}
 	return s
 }

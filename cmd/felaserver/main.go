@@ -38,6 +38,7 @@ import (
 	"fela/internal/elastic"
 	"fela/internal/metrics"
 	"fela/internal/minidnn"
+	"fela/internal/obs"
 	"fela/internal/rt"
 	"fela/internal/transport"
 )
@@ -65,6 +66,19 @@ type elasticOpts struct {
 	maxWorkers int
 }
 
+// obsOpts bundles the telemetry flags. Both default to off, keeping the
+// uninstrumented fast path.
+type obsOpts struct {
+	// statusAddr, when set, serves /metrics, /statusz, /trace and
+	// /debug/pprof on that address for the whole session.
+	statusAddr string
+	// traceJSON, when set, writes the session's distributed spans as
+	// Chrome trace_event JSON to that file when the session ends.
+	traceJSON string
+}
+
+func (o obsOpts) enabled() bool { return o.statusAddr != "" || o.traceJSON != "" }
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "address to listen on")
 	workers := flag.Int("workers", 4, "number of workers to wait for")
@@ -75,22 +89,32 @@ func main() {
 		"live membership: accept felaworker -join connections for the whole session and re-tune on scale events")
 	minWorkers := flag.Int("min-workers", 1, "elastic: never evict below this many live workers")
 	maxWorkers := flag.Int("max-workers", 0, "elastic: admission cap for joiners (0 = unbounded)")
+	statusAddr := flag.String("status-addr", "",
+		"serve live telemetry (/metrics, /statusz, /trace, /debug/pprof) on this address (empty = off)")
+	traceJSON := flag.String("trace-json", "",
+		"write the session's spans as Chrome trace_event JSON to this file on exit (empty = off)")
 	flag.Parse()
 
 	opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
-	if err := run(*addr, *workers, *iters, *workerTimeout, opts); err != nil {
+	oo := obsOpts{statusAddr: *statusAddr, traceJSON: *traceJSON}
+	if err := run(*addr, *workers, *iters, *workerTimeout, opts, oo); err != nil {
 		fmt.Fprintln(os.Stderr, "felaserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, iters int, workerTimeout time.Duration, opts elasticOpts) error {
+func run(addr string, workers, iters int, workerTimeout time.Duration, opts elasticOpts, oo obsOpts) error {
 	if opts.enabled && workerTimeout == 0 {
 		// Elastic membership rides on the fault-tolerant machinery (a
 		// drain is a planned death); give it a generous default deadline.
 		workerTimeout = 10 * time.Second
 	}
 	cfg, mk, ds := sessionConfig(workers, iters, workerTimeout)
+
+	if oo.enabled() {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Spans = obs.NewTracer("felaserver")
+	}
 
 	var ctrl *elastic.Controller
 	if opts.enabled {
@@ -102,6 +126,7 @@ func run(addr string, workers, iters int, workerTimeout time.Duration, opts elas
 		if err != nil {
 			return err
 		}
+		ctrl.SetObs(cfg.Metrics)
 		cfg.Elastic = ctrl
 	}
 
@@ -111,6 +136,14 @@ func run(addr string, workers, iters int, workerTimeout time.Duration, opts elas
 	co, err := rt.NewCoordinator(mk(), cfg)
 	if err != nil {
 		return err
+	}
+	if oo.statusAddr != "" {
+		bound, stop, err := obs.Serve(oo.statusAddr, obs.Handler(cfg.Metrics, co.StatusAny, cfg.Spans))
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("felaserver: telemetry on http://%s (/metrics /statusz /trace /debug/pprof)\n", bound)
 	}
 	l, err := transport.Listen(addr)
 	if err != nil {
@@ -170,6 +203,21 @@ func run(addr string, workers, iters int, workerTimeout time.Duration, opts elas
 		for _, ev := range res.Faults {
 			fmt.Println("  " + ev.String())
 		}
+	}
+
+	if oo.traceJSON != "" {
+		f, err := os.Create(oo.traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, cfg.Spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("felaserver: wrote span trace to %s (load in Perfetto / chrome://tracing)\n", oo.traceJSON)
 	}
 
 	ref, err := rt.Sequential(mk(), ds, cfg)

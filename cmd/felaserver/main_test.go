@@ -1,13 +1,21 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"fela/internal/minidnn"
+	"fela/internal/obs"
 	"fela/internal/rt"
 	"fela/internal/transport"
 )
@@ -60,7 +68,7 @@ func TestServerStrictSession(t *testing.T) {
 	for wid := 0; wid < workers; wid++ {
 		startWorker(t, addr, wid, workers, iters, cfg, &wg)
 	}
-	if err := run(addr, workers, iters, 0, elasticOpts{}); err != nil {
+	if err := run(addr, workers, iters, 0, elasticOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -115,7 +123,7 @@ func TestServerElasticSession(t *testing.T) {
 		joined <- assigned
 	}()
 
-	if err := run(addr, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}); err != nil {
+	if err := run(addr, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -126,11 +134,220 @@ func TestServerElasticSession(t *testing.T) {
 
 // TestServerElasticValidation: nonsensical elastic bounds fail fast.
 func TestServerElasticValidation(t *testing.T) {
-	err := run(freeAddr(t), 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2})
+	err := run(freeAddr(t), 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{})
 	if err == nil {
 		t.Fatal("min-workers > max-workers accepted")
 	}
 	if want := "min workers"; !strings.Contains(err.Error(), want) {
 		t.Errorf("error %q does not mention %q", err, want)
 	}
+}
+
+// TestServerObservabilityE2E is the acceptance run for the telemetry
+// layer: a real TCP elastic session with telemetry enabled and an
+// injected straggler, scraped over HTTP while training is in flight.
+// It asserts that /metrics parses and carries non-zero token-latency
+// buckets plus per-kind transport byte counters, that /statusz tracks
+// the live worker count across a join, and that the server's Chrome
+// trace export shares trace ids with the workers' — one distributed
+// trace per token round-trip.
+func TestServerObservabilityE2E(t *testing.T) {
+	addr := freeAddr(t)
+	statusAddr := freeAddr(t)
+	traceJSON := filepath.Join(t.TempDir(), "trace.json")
+	const workers, iters = 2, 12
+	cfg, _, _ := sessionConfig(workers, iters, 2*time.Second)
+
+	// Workers share one registry and tracer, standing in for felaworker
+	// -status-addr processes. Worker 0 is the injected straggler; the
+	// delays also stretch the session so the joiner and the HTTP polls
+	// land mid-training.
+	wcfg := cfg
+	wcfg.Metrics = obs.NewRegistry()
+	wcfg.Spans = obs.NewTracer("felaworker")
+	wcfg.Delay = func(_, wid int) time.Duration {
+		if wid == 0 {
+			return 25 * time.Millisecond
+		}
+		return 10 * time.Millisecond
+	}
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		startWorker(t, addr, wid, workers, iters, wcfg, &wg)
+	}
+
+	// A joiner dials in mid-session (felaworker -join) so /statusz has a
+	// membership change to report.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		conn, err := transport.DialRetry(addr, 5, 10*time.Millisecond)
+		if err != nil {
+			t.Errorf("joiner dial: %v", err)
+			return
+		}
+		defer conn.Close()
+		jcfg := wcfg
+		net := minidnn.NewMLP(42, 16, 32, 4)
+		ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
+		if _, err := rt.Join(conn, net, ds, jcfg); err != nil {
+			switch transport.Classify(err) {
+			case transport.ClassPeerGone, transport.ClassClosed:
+			default:
+				t.Errorf("joiner: %v", err)
+			}
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, workers, iters, 2*time.Second,
+			elasticOpts{enabled: true, minWorkers: 1},
+			obsOpts{statusAddr: statusAddr, traceJSON: traceJSON})
+	}()
+
+	// Scrape while the session runs. The obs server dies with run(), so
+	// the last successful bodies are the session's final live state.
+	var lastMetrics string
+	liveSeen := map[int]bool{}
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.After(30 * time.Second)
+	var runErr error
+poll:
+	for {
+		select {
+		case runErr = <-done:
+			break poll
+		case <-deadline:
+			t.Fatal("session did not finish within 30s")
+		case <-time.After(5 * time.Millisecond):
+		}
+		if resp, err := client.Get("http://" + statusAddr + "/statusz"); err == nil {
+			var st rt.Status
+			err := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil {
+				liveSeen[len(st.LiveWorkers)] = true
+			}
+		}
+		if resp, err := client.Get("http://" + statusAddr + "/metrics"); err == nil {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && len(body) > 0 {
+				lastMetrics = string(body)
+			}
+		}
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	wg.Wait()
+
+	// /statusz tracked membership across the join: 2 registered workers,
+	// then 3 after the barrier admitted the joiner.
+	if !liveSeen[2] || !liveSeen[3] {
+		t.Errorf("statusz live-worker counts seen = %v, want both 2 and 3", liveSeen)
+	}
+
+	// /metrics parses as Prometheus text: every sample line is
+	// "name{labels} value" with a float value.
+	if lastMetrics == "" {
+		t.Fatal("never scraped /metrics successfully")
+	}
+	tokenCount := 0.0
+	tokenBuckets := 0
+	byteKinds := map[string]bool{}
+	for _, line := range strings.Split(lastMetrics, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: bad value: %v", line, err)
+		}
+		name := fields[0]
+		switch {
+		case name == rt.MetricTokenSeconds+"_count":
+			tokenCount = val
+		case strings.HasPrefix(name, rt.MetricTokenSeconds+"_bucket"):
+			if val > 0 {
+				tokenBuckets++
+			}
+		case strings.HasPrefix(name, transport.MetricBytes+"{"):
+			if val > 0 {
+				byteKinds[name] = true
+			}
+		}
+	}
+	if tokenCount == 0 {
+		t.Errorf("%s_count is zero in the final scrape", rt.MetricTokenSeconds)
+	}
+	if tokenBuckets == 0 {
+		t.Errorf("no non-zero %s buckets", rt.MetricTokenSeconds)
+	}
+	if len(byteKinds) < 2 {
+		t.Errorf("per-kind transport byte counters = %v, want at least 2 kinds", byteKinds)
+	}
+
+	// The server's trace export and the workers' share trace ids: the
+	// iteration/token spans the coordinator opened are the parents of the
+	// compute spans the workers recorded.
+	serverIDs := traceIDs(t, readFileT(t, traceJSON))
+	var wbuf bytes.Buffer
+	if err := obs.WriteChromeTrace(&wbuf, wcfg.Spans); err != nil {
+		t.Fatal(err)
+	}
+	workerIDs := traceIDs(t, wbuf.Bytes())
+	if len(serverIDs) == 0 || len(workerIDs) == 0 {
+		t.Fatalf("empty trace exports: server %d ids, workers %d ids", len(serverIDs), len(workerIDs))
+	}
+	shared := 0
+	for id := range workerIDs {
+		if serverIDs[id] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no trace id appears in both the server and worker exports")
+	}
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// traceIDs extracts the trace_id of every span in a Chrome trace_event
+// export, failing the test if the JSON is malformed.
+func traceIDs(t *testing.T, data []byte) map[string]bool {
+	t.Helper()
+	var out struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	ids := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if id, _ := ev.Args["trace_id"].(string); id != "" {
+			ids[id] = true
+		}
+	}
+	return ids
 }

@@ -18,6 +18,7 @@ import (
 	"fela"
 	"fela/internal/baseline"
 	"fela/internal/cluster"
+	"fela/internal/obs"
 )
 
 func main() {
@@ -31,15 +32,17 @@ func main() {
 	d := flag.Float64("d", 6, "straggler delay in seconds")
 	p := flag.Float64("p", 0.3, "straggler probability (prob scenario)")
 	staleness := flag.Int("staleness", 0, "SSP staleness bound for fela (0 = BSP)")
+	metricsOut := flag.String("metrics-out", "",
+		"fela only: write the Token Server's final telemetry in Prometheus text format to this file (- = stdout)")
 	flag.Parse()
 
-	if err := run(*modelName, *system, *weightsFlag, *stragKind, *batch, *iters, *subset, *staleness, *d, *p); err != nil {
+	if err := run(*modelName, *system, *weightsFlag, *stragKind, *metricsOut, *batch, *iters, *subset, *staleness, *d, *p); err != nil {
 		fmt.Fprintln(os.Stderr, "felasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, system, weightsFlag, stragKind string, batch, iters, subset, staleness int, d, p float64) error {
+func run(modelName, system, weightsFlag, stragKind, metricsOut string, batch, iters, subset, staleness int, d, p float64) error {
 	m, err := fela.ModelByName(modelName)
 	if err != nil {
 		return err
@@ -57,6 +60,7 @@ func run(modelName, system, weightsFlag, stragKind string, batch, iters, subset,
 	}
 
 	var res fela.RunResult
+	var reg *fela.Registry
 	switch system {
 	case "fela":
 		var weights []int
@@ -69,10 +73,13 @@ func run(modelName, system, weightsFlag, stragKind string, batch, iters, subset,
 				weights = append(weights, w)
 			}
 		}
+		if metricsOut != "" {
+			reg = obs.NewRegistry()
+		}
 		res, err = fela.Simulate(fela.SimConfig{
 			Model: m, TotalBatch: batch, Iterations: iters,
 			Weights: weights, SubsetSize: subset, Scenario: scen,
-			Staleness: staleness,
+			Staleness: staleness, Metrics: reg,
 		})
 	case "dp", "mp", "hp":
 		cfg := baseline.Config{Model: m, TotalBatch: batch, Iterations: iters, Scenario: scen}
@@ -96,5 +103,20 @@ func run(modelName, system, weightsFlag, stragKind string, batch, iters, subset,
 	fmt.Printf("avg iteration:     %.4f s\n", res.AvgIterTime())
 	fmt.Printf("avg throughput:    %.1f samples/s (Eq. 3)\n", res.AvgThroughput())
 	fmt.Printf("network payload:   %.1f MB/iteration\n", float64(res.BytesSent)/float64(res.Iterations)/1e6)
+	if reg != nil {
+		w := os.Stdout
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+			fmt.Printf("token server metrics: %s\n", metricsOut)
+		}
+		if err := reg.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -4,23 +4,23 @@ import "testing"
 
 func TestRunSystems(t *testing.T) {
 	for _, sys := range []string{"fela", "dp", "mp", "hp"} {
-		if err := run("GoogLeNet", sys, "1,1,4", "none", 128, 2, 1, 0, 6, 0.3); err != nil {
+		if err := run("GoogLeNet", sys, "1,1,4", "none", "", 128, 2, 1, 0, 6, 0.3); err != nil {
 			t.Errorf("%s: %v", sys, err)
 		}
 	}
 }
 
 func TestRunStragglers(t *testing.T) {
-	if err := run("GoogLeNet", "dp", "", "rr", 128, 2, 0, 0, 1, 0.3); err != nil {
+	if err := run("GoogLeNet", "dp", "", "rr", "", 128, 2, 0, 0, 1, 0.3); err != nil {
 		t.Error(err)
 	}
-	if err := run("GoogLeNet", "dp", "", "prob", 128, 2, 0, 0, 1, 0.2); err != nil {
+	if err := run("GoogLeNet", "dp", "", "prob", "", 128, 2, 0, 0, 1, 0.2); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunSSP(t *testing.T) {
-	if err := run("GoogLeNet", "fela", "1,1,4", "none", 128, 2, 2, 1, 6, 0.3); err != nil {
+	if err := run("GoogLeNet", "fela", "1,1,4", "none", "", 128, 2, 2, 1, 6, 0.3); err != nil {
 		t.Error(err)
 	}
 }
@@ -30,11 +30,11 @@ func TestRunErrors(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"bad model", func() error { return run("nope", "fela", "", "none", 128, 2, 0, 0, 6, 0.3) }},
-		{"bad system", func() error { return run("VGG19", "xp", "", "none", 128, 2, 0, 0, 6, 0.3) }},
-		{"bad straggler", func() error { return run("VGG19", "dp", "", "zz", 128, 2, 0, 0, 6, 0.3) }},
-		{"bad weights", func() error { return run("VGG19", "fela", "1,x", "none", 128, 2, 0, 0, 6, 0.3) }},
-		{"invalid weights", func() error { return run("VGG19", "fela", "2,2,2", "none", 128, 2, 0, 0, 6, 0.3) }},
+		{"bad model", func() error { return run("nope", "fela", "", "none", "", 128, 2, 0, 0, 6, 0.3) }},
+		{"bad system", func() error { return run("VGG19", "xp", "", "none", "", 128, 2, 0, 0, 6, 0.3) }},
+		{"bad straggler", func() error { return run("VGG19", "dp", "", "zz", "", 128, 2, 0, 0, 6, 0.3) }},
+		{"bad weights", func() error { return run("VGG19", "fela", "1,x", "none", "", 128, 2, 0, 0, 6, 0.3) }},
+		{"invalid weights", func() error { return run("VGG19", "fela", "2,2,2", "none", "", 128, 2, 0, 0, 6, 0.3) }},
 	}
 	for _, tc := range cases {
 		if err := tc.fn(); err == nil {

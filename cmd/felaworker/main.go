@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"fela/internal/minidnn"
+	"fela/internal/obs"
 	"fela/internal/rt"
 	"fela/internal/transport"
 )
@@ -45,21 +46,27 @@ func main() {
 	retries := flag.Int("retries", 10, "connection attempts before giving up")
 	join := flag.Bool("join", false, "join an in-progress elastic session instead of registering a fixed wid")
 	drainAfter := flag.Int("drain-after", -1, "announce a graceful leave at this iteration (elastic sessions; -1 = never)")
+	statusAddr := flag.String("status-addr", "",
+		"serve worker-side telemetry (/metrics, /statusz, /trace, /debug/pprof) on this address (empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter); err != nil {
+	if err := run(*addr, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *statusAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "felaworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int) error {
+func run(addr string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int, statusAddr string) error {
 	cfg := rt.Config{
 		Workers:    workers,
 		TotalBatch: 64,
 		TokenBatch: 8,
 		Iterations: iters,
 		LR:         0.05,
+	}
+	if statusAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Spans = obs.NewTracer("felaworker")
 	}
 	if sleepMS > 0 {
 		cfg.Delay = func(int, int) time.Duration { return time.Duration(sleepMS) * time.Millisecond }
@@ -78,6 +85,16 @@ func run(addr string, wid, workers, iters, sleepMS, retries int, join bool, drai
 	fmt.Printf("felaworker: connected to %s\n", addr)
 
 	if join {
+		// A joiner's worker id is assigned mid-protocol, so its /statusz
+		// stays 503; /metrics, /trace and pprof work from the start.
+		if statusAddr != "" {
+			bound, stop, err := obs.Serve(statusAddr, obs.Handler(cfg.Metrics, nil, cfg.Spans))
+			if err != nil {
+				return err
+			}
+			defer stop()
+			fmt.Printf("felaworker: telemetry on http://%s\n", bound)
+		}
 		assigned, err := rt.Join(conn, net, ds, cfg)
 		if err != nil {
 			return workerExit(-1, err)
@@ -90,7 +107,16 @@ func run(addr string, wid, workers, iters, sleepMS, retries int, join bool, drai
 		return nil
 	}
 
-	if err := rt.NewWorker(wid, net, ds, cfg).Run(conn); err != nil {
+	w := rt.NewWorker(wid, net, ds, cfg)
+	if statusAddr != "" {
+		bound, stop, err := obs.Serve(statusAddr, obs.Handler(cfg.Metrics, w.StatusAny, cfg.Spans))
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("felaworker %d: telemetry on http://%s (/metrics /statusz /trace /debug/pprof)\n", wid, bound)
+	}
+	if err := w.Run(conn); err != nil {
 		return workerExit(wid, err)
 	}
 	fmt.Printf("felaworker %d: session complete\n", wid)

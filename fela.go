@@ -31,6 +31,7 @@ import (
 	"fela/internal/metrics"
 	"fela/internal/minidnn"
 	"fela/internal/model"
+	"fela/internal/obs"
 	"fela/internal/partition"
 	"fela/internal/rt"
 	"fela/internal/scheduler"
@@ -70,6 +71,10 @@ type (
 	RTResult = rt.Result
 	// Trace records simulation events for timeline rendering.
 	Trace = trace.Trace
+	// Registry is the live-telemetry metric registry (internal/obs).
+	Registry = obs.Registry
+	// Tracer records distributed spans (internal/obs).
+	Tracer = obs.Tracer
 )
 
 // VGG19 returns the paper's primary benchmark model.
@@ -142,6 +147,9 @@ type SimConfig struct {
 	// earlier iterations may still be synchronizing when the next
 	// iteration's tokens start. 0 is strict BSP.
 	Staleness int
+	// Metrics, when non-nil, receives the Token Server's live telemetry
+	// (scheduling-path counters, bucket depth gauges — internal/obs).
+	Metrics *Registry
 }
 
 // Simulate runs Fela on a fresh 8-node testbed and returns the measured
@@ -176,6 +184,7 @@ func Simulate(cfg SimConfig) (RunResult, error) {
 		Policy:     FullPolicy(subset, ccfg.N),
 		Scenario:   cfg.Scenario,
 		Staleness:  cfg.Staleness,
+		Metrics:    cfg.Metrics,
 	})
 }
 
@@ -212,6 +221,7 @@ func SimulateTraced(cfg SimConfig) (RunResult, *Trace, error) {
 		Scenario:   cfg.Scenario,
 		Staleness:  cfg.Staleness,
 		Trace:      tr,
+		Metrics:    cfg.Metrics,
 	})
 	return res, tr, err
 }

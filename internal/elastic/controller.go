@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fela/internal/obs"
 	"fela/internal/rt"
 )
 
@@ -62,6 +63,7 @@ type Controller struct {
 	mu       sync.Mutex
 	evictQ   []int
 	barriers int
+	reg      *obs.Registry
 }
 
 // NewController builds a membership controller.
@@ -136,6 +138,12 @@ func (c *Controller) AtBarrier(info rt.BarrierInfo) rt.Decision {
 		live--
 	}
 	c.evictQ = keep
+	c.observeDecision(rtDecisionCounts{
+		admits: dec.AdmitJoins,
+		leaves: len(dec.CompleteLeaves),
+		evicts: len(dec.Evict),
+		defers: (info.PendingJoins - dec.AdmitJoins) + len(keep),
+	})
 	c.mu.Unlock()
 	return dec
 }

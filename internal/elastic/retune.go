@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"fela/internal/obs"
 )
 
 // RetuneOptions bounds the incremental search.
@@ -75,6 +77,7 @@ type Retuner struct {
 	// rate estimates of new workers.
 	dirty   bool
 	retunes int
+	reg     *obs.Registry
 }
 
 // NewRetuner builds an online re-tuner.
@@ -194,6 +197,7 @@ func (r *Retuner) search() {
 	r.cases = cands
 	r.dist = cands[best].Shares
 	r.retunes++
+	r.observeSearch()
 	if len(known) == len(r.live) {
 		r.dirty = false
 	}

@@ -1,0 +1,77 @@
+package elastic
+
+import (
+	"strconv"
+
+	"fela/internal/obs"
+)
+
+// Metric names exported by an observed Controller. Together with the rt
+// engine's fela_rt_scale_total they make every elastic decision
+// scrapeable: how often barriers fired, how often the online search
+// re-ran, what it decided, and the resulting per-worker ownership.
+const (
+	// MetricBarriers counts iteration barriers the controller observed.
+	MetricBarriers = "fela_elastic_barriers_total"
+	// MetricRetunes counts completed online re-tune searches.
+	MetricRetunes = "fela_elastic_retunes_total"
+	// MetricDecisions counts membership verdicts by kind: "admit",
+	// "leave", "evict", and "defer" for joins/evictions held back by the
+	// worker bounds.
+	MetricDecisions = "fela_elastic_decisions_total"
+	// MetricShare gauges the re-tuner's current token ownership per
+	// worker (the Phase 1/2 search output, live).
+	MetricShare = "fela_elastic_share"
+	// MetricRate gauges the re-tuner's EWMA tokens/sec estimate per
+	// worker (the Eq. 3 input signal).
+	MetricRate = "fela_elastic_rate"
+)
+
+// SetObs attaches a telemetry registry to the controller (and its
+// re-tuner). Call before the session starts; nil keeps the no-op path.
+func (c *Controller) SetObs(reg *obs.Registry) {
+	if reg != nil {
+		reg.Help(MetricBarriers, "Iteration barriers observed by the elastic controller.")
+		reg.Help(MetricRetunes, "Completed online re-tune searches.")
+		reg.Help(MetricDecisions, "Elastic membership verdicts by kind (admit/leave/evict/defer).")
+		reg.Help(MetricShare, "Current re-tuned token ownership per worker.")
+		reg.Help(MetricRate, "Re-tuner EWMA token rate estimate per worker (tokens/s).")
+	}
+	c.mu.Lock()
+	c.reg = reg
+	c.mu.Unlock()
+	c.retuner.mu.Lock()
+	c.retuner.reg = reg
+	c.retuner.mu.Unlock()
+}
+
+// observeDecision records one barrier's verdict. Called with c.mu held.
+func (c *Controller) observeDecision(dec rtDecisionCounts) {
+	if c.reg == nil {
+		return
+	}
+	c.reg.Counter(MetricBarriers).Inc()
+	c.reg.Counter(MetricDecisions, "kind", "admit").Add(int64(dec.admits))
+	c.reg.Counter(MetricDecisions, "kind", "leave").Add(int64(dec.leaves))
+	c.reg.Counter(MetricDecisions, "kind", "evict").Add(int64(dec.evicts))
+	c.reg.Counter(MetricDecisions, "kind", "defer").Add(int64(dec.defers))
+}
+
+// rtDecisionCounts summarizes one AtBarrier verdict for telemetry.
+type rtDecisionCounts struct {
+	admits, leaves, evicts, defers int
+}
+
+// observeSearch publishes the search output. Called with r.mu held.
+func (r *Retuner) observeSearch() {
+	if r.reg == nil {
+		return
+	}
+	r.reg.Counter(MetricRetunes).Inc()
+	for wid, n := range r.dist {
+		r.reg.Gauge(MetricShare, "worker", strconv.Itoa(wid)).Set(float64(n))
+	}
+	for _, wid := range r.live {
+		r.reg.Gauge(MetricRate, "worker", strconv.Itoa(wid)).Set(r.speed[wid])
+	}
+}

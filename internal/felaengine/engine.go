@@ -14,6 +14,7 @@ import (
 	"fela/internal/cluster"
 	"fela/internal/metrics"
 	"fela/internal/model"
+	"fela/internal/obs"
 	"fela/internal/scheduler"
 	"fela/internal/straggler"
 	"fela/internal/token"
@@ -47,6 +48,10 @@ type Config struct {
 	// Trace, when non-nil, records compute/fetch/sync/sleep events for
 	// timeline rendering (internal/trace).
 	Trace *trace.Trace
+	// Metrics, when non-nil, receives the Token Server's live telemetry
+	// (internal/obs): scheduling-path counters mirroring scheduler.Stats
+	// plus bucket/STB depth gauges. Nil keeps the no-op path.
+	Metrics *obs.Registry
 }
 
 // Run executes the configured training on the cluster and returns the
@@ -85,6 +90,7 @@ func Stats(c *cluster.Cluster, cfg Config) (metrics.RunResult, scheduler.Stats, 
 		syncsLeft: make(map[int]int),
 	}
 	e.srv.OnLevelComplete = e.syncLevel
+	e.srv.SetObs(cfg.Metrics)
 	e.run()
 	res := metrics.RunResult{
 		System:     "Fela",

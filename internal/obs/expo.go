@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): # HELP / # TYPE headers, one
+// sample per line, histograms expanded into cumulative _bucket series
+// plus _sum and _count. Output is fully sorted (metric name, then label
+// string) so it is stable for golden-file tests and diffing two scrapes.
+// Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type sample struct {
+		labels string
+		value  string
+	}
+	families := map[string][]sample{}
+	for key, c := range r.counts {
+		families[key.name] = append(families[key.name], sample{key.labels, strconv.FormatInt(c.Value(), 10)})
+	}
+	for key, g := range r.gauges {
+		families[key.name] = append(families[key.name], sample{key.labels, formatFloat(g.Value())})
+	}
+	type histEntry struct {
+		labels string
+		snap   HistSnapshot
+	}
+	histFams := map[string][]histEntry{}
+	for key, h := range r.hists {
+		histFams[key.name] = append(histFams[key.name], histEntry{key.labels, h.Snapshot()})
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	kind := make(map[string]string, len(r.kind))
+	for k, v := range r.kind {
+		kind[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(families)+len(histFams))
+	for name := range families {
+		names = append(names, name)
+	}
+	for name := range histFams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		if h := help[name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind[name])
+		if samples, ok := families[name]; ok {
+			sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+			for _, s := range samples {
+				writeSample(&b, name, s.labels, s.value)
+			}
+			continue
+		}
+		entries := histFams[name]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].labels < entries[j].labels })
+		for _, e := range entries {
+			var cum int64
+			for i, ub := range e.snap.Uppers {
+				cum += e.snap.Counts[i]
+				writeSample(&b, name+"_bucket", joinLabels(e.labels, fmt.Sprintf("le=%q", formatFloat(ub))), strconv.FormatInt(cum, 10))
+			}
+			writeSample(&b, name+"_bucket", joinLabels(e.labels, `le="+Inf"`), strconv.FormatInt(e.snap.Count, 10))
+			writeSample(&b, name+"_sum", e.labels, formatFloat(e.snap.Sum))
+			writeSample(&b, name+"_count", e.labels, strconv.FormatInt(e.snap.Count, 10))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSample(b *strings.Builder, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(b, "%s %s\n", name, value)
+		return
+	}
+	fmt.Fprintf(b, "%s{%s} %s\n", name, labels, value)
+}
+
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, integers without an exponent.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

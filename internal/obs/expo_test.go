@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one instrument of each kind —
+// deterministic content, so WritePrometheus output is byte-stable.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Help("fela_test_total", "Tokens processed during the test.")
+	r.Counter("fela_test_total", "kind", "assign").Add(3)
+	r.Counter("fela_test_total", "kind", "report").Add(2)
+	r.Counter("fela_test_total").Inc()
+	r.Help("fela_test_ratio", "A gauge with a fractional value.")
+	r.Gauge("fela_test_ratio").Set(0.25)
+	r.Gauge("fela_test_ratio", "worker", "10").Set(-1.5)
+	r.Help("fela_test_seconds", "Latency histogram with tiny buckets.")
+	h := r.Histogram("fela_test_seconds", []float64{0.001, 0.01, 0.1}, "op", "rt")
+	for _, v := range []float64{0.0005, 0.002, 0.02, 5} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "expo.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusStable: two renders of the same registry must be
+// identical — the sorted output contract golden files and scrape diffing
+// rely on.
+func TestWritePrometheusStable(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestWritePrometheusHistogramShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative buckets: 1 ≤ 1ms, 2 ≤ 10ms, 3 ≤ 100ms, 4 ≤ +Inf.
+	for _, line := range []string{
+		`fela_test_seconds_bucket{op="rt",le="0.001"} 1`,
+		`fela_test_seconds_bucket{op="rt",le="0.01"} 2`,
+		`fela_test_seconds_bucket{op="rt",le="0.1"} 3`,
+		`fela_test_seconds_bucket{op="rt",le="+Inf"} 4`,
+		`fela_test_seconds_count{op="rt"} 4`,
+		`# TYPE fela_test_seconds histogram`,
+		`# HELP fela_test_total Tokens processed during the test.`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {1, "1"}, {0.25, "0.25"}, {-1.5, "-1.5"},
+		{1e-6, "1e-06"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the telemetry endpoint mux:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/statusz      JSON snapshot from statusFn (503 until it returns non-nil)
+//	/trace        Chrome trace_event JSON of the given tracers (Perfetto)
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// statusFn may be nil (statusz then always 503); reg and tracers may be
+// nil. The handler is safe to serve while training is in flight — every
+// read goes through the registry's and tracers' own synchronization.
+func Handler(reg *Registry, statusFn func() any, tracers ...*Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		var snap any
+		if statusFn != nil {
+			snap = statusFn()
+		}
+		if snap == nil {
+			http.Error(w, "status not available yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, tracers...)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks an ephemeral port) and serves the handler
+// in a background goroutine. It returns the bound address and a stop
+// function that closes the listener and the server.
+func Serve(addr string, h http.Handler) (bound string, stop func(), err error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), func() { _ = srv.Close() }, nil
+}

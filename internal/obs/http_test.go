@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fela_up_total").Add(7)
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content-type = %q", ct)
+	}
+	if !strings.Contains(body, "fela_up_total 7\n") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerStatusz(t *testing.T) {
+	// No status function → 503 until one exists.
+	srv := httptest.NewServer(Handler(nil, nil))
+	resp, _ := get(t, srv, "/statusz")
+	srv.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("statusz without statusFn = %d, want 503", resp.StatusCode)
+	}
+
+	type snap struct {
+		Role    string `json:"role"`
+		Workers int    `json:"live_workers"`
+	}
+	srv = httptest.NewServer(Handler(nil, func() any { return snap{Role: "coordinator", Workers: 3} }))
+	defer srv.Close()
+	resp, body := get(t, srv, "/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var got snap
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("statusz is not JSON: %v\n%s", err, body)
+	}
+	if got.Role != "coordinator" || got.Workers != 3 {
+		t.Errorf("statusz = %+v", got)
+	}
+}
+
+func TestHandlerTrace(t *testing.T) {
+	tr := NewTracer("p")
+	tr.StartRoot("op", 0).End()
+	srv := httptest.NewServer(Handler(nil, nil, tr))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	if _, ok := out["traceEvents"].([]any); !ok {
+		t.Fatalf("trace missing traceEvents array: %v", out)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	resp, _ := get(t, srv, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fela_serve_total").Inc()
+	bound, stop, err := Serve("127.0.0.1:0", Handler(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "fela_serve_total 1") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+}

@@ -1,0 +1,371 @@
+// Package obs is Fela's live telemetry layer: a lock-cheap registry of
+// counters, gauges and fixed-bucket histograms, plus a span tracer whose
+// trace/span contexts travel on the wire (transport.Message) so
+// coordinator↔worker token round-trips become real distributed traces.
+//
+// The paper's runtime tuner and the HF/CTD policies hinge on quantities
+// Fela measures *while* training — per-token compute/fetch times,
+// token-bucket depth, straggler lag (§IV-B, Eq. 3–4). This package turns
+// those from post-hoc RunResult fields into a feed that can be scraped
+// mid-session: /metrics in the Prometheus text exposition format,
+// /statusz as a JSON snapshot, and a Chrome trace_event export that
+// opens in Perfetto.
+//
+// Everything is stdlib-only (no Prometheus client dependency) and
+// nil-safe: a nil *Registry hands out nil instruments whose methods are
+// no-ops costing a couple of nanoseconds, so instrumented code never
+// branches on "is telemetry on" — see BenchmarkNopCounter.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and safe on a nil receiver (no-op).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. Stored as float64 bits so
+// rates and scores fit. Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta via CAS.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed, cumulative-style buckets
+// (Prometheus semantics: bucket i counts observations ≤ Buckets[i], the
+// implicit +Inf bucket catches the rest). Observation is lock-free: a
+// linear scan to the right bucket plus three atomic adds.
+type Histogram struct {
+	uppers  []float64 // ascending upper bounds, exclusive of +Inf
+	buckets []atomic.Int64
+	inf     atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum via CAS
+}
+
+// Observe records one sample. Nil-safe (no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	placed := false
+	for i, ub := range h.uppers {
+		if v <= ub {
+			h.buckets[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Snapshot captures a consistent-enough view for rendering: per-bucket
+// non-cumulative counts aligned with Uppers, plus the +Inf tail.
+type HistSnapshot struct {
+	Uppers []float64
+	Counts []int64
+	Inf    int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram state (zero value on nil).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Uppers: append([]float64(nil), h.uppers...),
+		Counts: make([]int64, len(h.buckets)),
+		Inf:    h.inf.Load(),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the winning bucket — the standard Prometheus histogram_quantile
+// estimate. Returns 0 with no observations; the highest finite upper
+// bound when the quantile lands in the +Inf bucket.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 || q >= 1 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	lower := 0.0
+	for i, n := range s.Counts {
+		if float64(cum+n) >= rank {
+			if n == 0 {
+				return s.Uppers[i]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + frac*(s.Uppers[i]-lower)
+		}
+		cum += n
+		lower = s.Uppers[i]
+	}
+	if len(s.Uppers) > 0 {
+		return s.Uppers[len(s.Uppers)-1]
+	}
+	return 0
+}
+
+// DefBuckets are default latency buckets in seconds, spanning 50µs to
+// ~100s — wide enough for both a token round-trip and a whole iteration.
+var DefBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// metricKey identifies one instrument: name plus rendered label pairs.
+type metricKey struct {
+	name   string
+	labels string // rendered `k="v",k2="v2"` form, sorted by key
+}
+
+// Registry is the instrument store. Get-or-create takes a short mutex;
+// the returned instruments are lock-free thereafter, so hot paths hold
+// on to them. The zero value is NOT usable — use NewRegistry — but a nil
+// *Registry is: every method returns a nil (no-op) instrument.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[metricKey]*Counter
+	gauges map[metricKey]*Gauge
+	hists  map[metricKey]*Histogram
+	help   map[string]string // metric name -> HELP line
+	kind   map[string]string // metric name -> TYPE (counter/gauge/histogram)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[metricKey]*Counter{},
+		gauges: map[metricKey]*Gauge{},
+		hists:  map[metricKey]*Histogram{},
+		help:   map[string]string{},
+		kind:   map[string]string{},
+	}
+}
+
+// labelString renders label pairs (k1, v1, k2, v2, …) sorted by key.
+// Odd trailing values are dropped.
+func labelString(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	n := len(kv) / 2
+	type pair struct{ k, v string }
+	ps := make([]pair, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		ps = append(ps, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	var b strings.Builder
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+// CounterValues returns the current value of every counter registered
+// under name, keyed by its rendered label string (`k="v",…`; "" for the
+// unlabeled instrument). Nil registry returns nil. Useful for embedding
+// a final snapshot into reports (see cmd/felabench).
+func (r *Registry) CounterValues(name string) map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out map[string]int64
+	for key, c := range r.counts {
+		if key.name == name {
+			if out == nil {
+				out = map[string]int64{}
+			}
+			out[key.labels] = c.Value()
+		}
+	}
+	return out
+}
+
+// GaugeValues is CounterValues for gauges.
+func (r *Registry) GaugeValues(name string) map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out map[string]float64
+	for key, g := range r.gauges {
+		if key.name == name {
+			if out == nil {
+				out = map[string]float64{}
+			}
+			out[key.labels] = g.Value()
+		}
+	}
+	return out
+}
+
+// Help records the HELP string for a metric name (used by exposition).
+// Nil-safe.
+func (r *Registry) Help(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Counter returns the counter for name and label pairs (k1, v1, k2, v2,
+// …), creating it on first use. Nil registry returns a nil (no-op)
+// counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := metricKey{name, labelString(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[key]
+	if !ok {
+		c = &Counter{}
+		r.counts[key] = c
+		r.kind[name] = "counter"
+	}
+	return c
+}
+
+// Gauge returns the gauge for name and label pairs, creating it on first
+// use. Nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := metricKey{name, labelString(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+		r.kind[name] = "gauge"
+	}
+	return g
+}
+
+// Histogram returns the histogram for name and label pairs, creating it
+// with the given bucket upper bounds (ascending; nil means DefBuckets)
+// on first use. Buckets are fixed at creation; later calls ignore the
+// argument. Nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, uppers []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey{name, labelString(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		if uppers == nil {
+			uppers = DefBuckets
+		}
+		h = &Histogram{uppers: append([]float64(nil), uppers...), buckets: make([]atomic.Int64, len(uppers))}
+		r.hists[key] = h
+		r.kind[name] = "histogram"
+	}
+	return h
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("same key must return the same instrument")
+	}
+	if r.Counter("c_total", "k", "v") == c {
+		t.Fatal("different labels must return a different instrument")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", []float64{1, 10})
+	for _, v := range []float64{0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Inf != 1 {
+		t.Fatalf("snapshot count=%d inf=%d, want 4/1", s.Count, s.Inf)
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 1 {
+		t.Fatalf("bucket counts = %v", s.Counts)
+	}
+	if math.Abs(s.Sum-106.2) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{1, 2, 4})
+	// 10 samples uniformly in (0,1], 10 in (1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 != 1 {
+		t.Errorf("p50 = %v, want 1 (upper edge of first bucket)", p50)
+	}
+	if p75 := s.Quantile(0.75); p75 != 1.5 {
+		t.Errorf("p75 = %v, want 1.5 (midway through second bucket)", p75)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %v", got)
+	}
+}
+
+// TestNilSafety: a nil registry hands out nil instruments whose methods
+// are all no-ops — the contract that keeps uninstrumented code free of
+// telemetry branches.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Help("x", "ignored")
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	h := r.Histogram("x", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot must be zero")
+	}
+	if r.CounterValues("x") != nil || r.GaugeValues("x") != nil {
+		t.Fatal("nil registry values must be nil")
+	}
+	if err := r.WritePrometheus(discard{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestCounterAndGaugeValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "kind", "a").Add(3)
+	r.Counter("m_total", "kind", "b").Add(5)
+	r.Counter("other_total").Inc()
+	vals := r.CounterValues("m_total")
+	if len(vals) != 2 || vals[`kind="a"`] != 3 || vals[`kind="b"`] != 5 {
+		t.Fatalf("CounterValues = %v", vals)
+	}
+	r.Gauge("g", "w", "0").Set(1.5)
+	gvals := r.GaugeValues("g")
+	if len(gvals) != 1 || gvals[`w="0"`] != 1.5 {
+		t.Fatalf("GaugeValues = %v", gvals)
+	}
+}
+
+// TestRegistryRace hammers one registry from many goroutines — lookups,
+// writes and concurrent exposition — to give the race detector something
+// to chew on (make race / CI).
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const ops = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := strconv.Itoa(g % 3)
+			for i := 0; i < ops; i++ {
+				r.Counter("race_total", "g", label).Inc()
+				r.Gauge("race_gauge", "g", label).Set(float64(i))
+				r.Histogram("race_seconds", nil, "g", label).Observe(float64(i) * 1e-4)
+				if i%100 == 0 {
+					if err := r.WritePrometheus(discard{}); err != nil {
+						t.Error(err)
+						return
+					}
+					r.CounterValues("race_total")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum int64
+	for _, v := range r.CounterValues("race_total") {
+		sum += v
+	}
+	if sum != goroutines*ops {
+		t.Fatalf("lost increments: %d, want %d", sum, goroutines*ops)
+	}
+}
+
+// The no-op path must stay effectively free (< 50 ns/op): instrumented
+// hot paths run it once per protocol message when telemetry is off.
+func BenchmarkNopCounter(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNopHistogram(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("x", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.0)
+	}
+}
+
+func BenchmarkNopSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartRoot("x", 0)
+		s.End()
+	}
+}
+
+func BenchmarkLiveCounter(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkLiveHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("x", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(2.5e-3)
+	}
+}

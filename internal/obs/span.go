@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies a span on the wire: the trace it belongs to and
+// the span itself. It is embedded in transport.Message, so a token's
+// assign→compute→report round-trip carries one trace id across the
+// coordinator/worker process boundary. The zero value means "no trace".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
+
+// SpanEvent is one finished span as recorded by a Tracer.
+type SpanEvent struct {
+	// Name is the operation ("assign", "compute", "iteration", …).
+	Name string
+	// Proc is the recording process ("coordinator", "worker-2").
+	Proc string
+	// TID is the lane within the process (worker id; 0 for the
+	// coordinator's own work).
+	TID int
+	// Ctx is this span's identity; Parent is the parent span id within
+	// the same trace (0 for roots).
+	Ctx    SpanContext
+	Parent uint64
+	// Start and Dur place the span in wall-clock time.
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Tracer records spans into a bounded in-memory buffer. All methods are
+// safe for concurrent use and safe on a nil receiver, so instrumented
+// code can record unconditionally.
+type Tracer struct {
+	proc string
+	seed uint64
+	next atomic.Uint64
+
+	mu      sync.Mutex
+	events  []SpanEvent
+	max     int
+	dropped int64
+}
+
+// maxSpansDefault bounds the span buffer: a long session keeps the most
+// recent window rather than growing without bound.
+const maxSpansDefault = 1 << 15
+
+// NewTracer builds a tracer for one process. The proc name labels every
+// span and becomes the Perfetto process row.
+func NewTracer(proc string) *Tracer {
+	h := fnv.New64a()
+	io.WriteString(h, proc)
+	seed := h.Sum64() ^ uint64(time.Now().UnixNano())
+	return &Tracer{proc: proc, seed: seed, max: maxSpansDefault}
+}
+
+// newID returns a process-unique, well-mixed 64-bit id (splitmix64 over
+// a seeded counter); never 0.
+func (t *Tracer) newID() uint64 {
+	z := t.seed + t.next.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Span is an in-flight operation. End records it. Nil-safe.
+type Span struct {
+	t      *Tracer
+	name   string
+	tid    int
+	ctx    SpanContext
+	parent uint64
+	start  time.Time
+}
+
+// StartRoot opens a span that begins a fresh trace.
+func (t *Tracer) StartRoot(name string, tid int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: tid, start: time.Now(),
+		ctx: SpanContext{TraceID: t.newID(), SpanID: t.newID()}}
+}
+
+// StartChild opens a span under parent — typically a context that
+// arrived on the wire. An invalid parent starts a fresh trace instead.
+func (t *Tracer) StartChild(name string, tid int, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.StartRoot(name, tid)
+	}
+	return &Span{t: t, name: name, tid: tid, start: time.Now(),
+		ctx: SpanContext{TraceID: parent.TraceID, SpanID: t.newID()}, parent: parent.SpanID}
+}
+
+// Context returns the span's wire context (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// End finishes the span and records it into the tracer's buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	ev := SpanEvent{
+		Name: s.name, Proc: s.t.proc, TID: s.tid,
+		Ctx: s.ctx, Parent: s.parent,
+		Start: s.start, Dur: time.Since(s.start),
+	}
+	t := s.t
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Events copies the recorded spans (nil on a nil tracer).
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanEvent(nil), t.events...)
+}
+
+// Dropped counts spans lost to the buffer bound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" =
+// complete event, "M" = metadata). Timestamps are absolute microseconds
+// so traces from multiple processes align on one Perfetto timeline.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  uint32         `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event JSON object.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// procPID derives a stable Perfetto pid from the process name.
+func procPID(proc string) uint32 {
+	h := fnv.New32a()
+	io.WriteString(h, proc)
+	pid := h.Sum32()
+	if pid == 0 {
+		pid = 1
+	}
+	return pid
+}
+
+// WriteChromeTrace renders the spans of one or more tracers as Chrome
+// trace_event JSON (open in Perfetto or chrome://tracing). Each tracer
+// becomes one process row; span/trace ids ride in args so cross-process
+// round-trips can be matched up. Nil tracers are skipped.
+func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}}
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		pid := procPID(t.proc)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": t.proc},
+		})
+		for _, ev := range t.Events() {
+			ce := chromeEvent{
+				Name: ev.Name, Cat: "fela", Ph: "X",
+				TS:  ev.Start.UnixMicro(),
+				Dur: ev.Dur.Microseconds(),
+				PID: pid, TID: ev.TID,
+				Args: map[string]any{
+					"trace_id": fmt.Sprintf("%016x", ev.Ctx.TraceID),
+					"span_id":  fmt.Sprintf("%016x", ev.Ctx.SpanID),
+				},
+			}
+			if ev.Parent != 0 {
+				ce.Args["parent_id"] = fmt.Sprintf("%016x", ev.Parent)
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestSpanPropagation(t *testing.T) {
+	co := NewTracer("coordinator")
+	wk := NewTracer("worker-1")
+
+	root := co.StartRoot("iteration", 0)
+	rctx := root.Context()
+	if !rctx.Valid() {
+		t.Fatal("root context must be valid")
+	}
+
+	// The context crosses the wire; the worker starts a child from it.
+	child := wk.StartChild("compute", 1, rctx)
+	cctx := child.Context()
+	if cctx.TraceID != rctx.TraceID {
+		t.Errorf("child trace id %016x != root %016x", cctx.TraceID, rctx.TraceID)
+	}
+	if cctx.SpanID == rctx.SpanID {
+		t.Error("child must get its own span id")
+	}
+	child.End()
+	root.End()
+
+	evs := wk.Events()
+	if len(evs) != 1 {
+		t.Fatalf("worker events = %d, want 1", len(evs))
+	}
+	if evs[0].Parent != rctx.SpanID {
+		t.Errorf("child parent = %016x, want root span %016x", evs[0].Parent, rctx.SpanID)
+	}
+	if evs[0].Proc != "worker-1" || evs[0].TID != 1 || evs[0].Name != "compute" {
+		t.Errorf("event = %+v", evs[0])
+	}
+}
+
+func TestInvalidParentStartsFreshRoot(t *testing.T) {
+	tr := NewTracer("p")
+	s := tr.StartChild("op", 0, SpanContext{})
+	if !s.Context().Valid() {
+		t.Fatal("child of invalid parent must become a fresh root")
+	}
+	s.End()
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Parent != 0 {
+		t.Fatalf("events = %+v, want one parentless span", evs)
+	}
+}
+
+func TestNilTracerSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartRoot("x", 0)
+	if s.Context().Valid() {
+		t.Error("nil tracer span must carry the zero context")
+	}
+	s.End()
+	tr.StartChild("y", 1, SpanContext{TraceID: 1, SpanID: 2}).End()
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer must record nothing")
+	}
+}
+
+func TestSpanBufferBound(t *testing.T) {
+	tr := NewTracer("p")
+	tr.max = 3
+	for i := 0; i < 5; i++ {
+		tr.StartRoot(fmt.Sprintf("s%d", i), 0).End()
+	}
+	if got := len(tr.Events()); got != 3 {
+		t.Errorf("buffered events = %d, want 3", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	tr := NewTracer("p")
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := tr.newID()
+		if id == 0 || seen[id] {
+			t.Fatalf("id %016x repeated or zero at i=%d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+// TestChromeTraceCrossProcess renders two tracers and checks the export
+// is valid trace_event JSON whose coordinator and worker spans share a
+// trace id — the property Perfetto uses to line up a token round-trip.
+func TestChromeTraceCrossProcess(t *testing.T) {
+	co := NewTracer("coordinator")
+	wk := NewTracer("worker-0")
+	root := co.StartRoot("token-roundtrip", 0)
+	child := wk.StartChild("compute", 0, root.Context())
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, co, wk, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  uint32         `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	procs := map[string]bool{}
+	traceIDs := map[string][]string{} // trace_id -> proc names seen
+	pidName := map[uint32]string{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			pidName[ev.PID], _ = ev.Args["name"].(string)
+		}
+	}
+	var parentSeen bool
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		proc := pidName[ev.PID]
+		procs[proc] = true
+		tid, _ := ev.Args["trace_id"].(string)
+		if len(tid) != 16 {
+			t.Errorf("span %q trace_id = %q, want 16 hex chars", ev.Name, tid)
+		}
+		traceIDs[tid] = append(traceIDs[tid], proc)
+		if _, ok := ev.Args["parent_id"]; ok {
+			parentSeen = true
+		}
+	}
+	if !procs["coordinator"] || !procs["worker-0"] {
+		t.Fatalf("process rows = %v, want coordinator and worker-0", procs)
+	}
+	var shared bool
+	for _, ps := range traceIDs {
+		seen := map[string]bool{}
+		for _, p := range ps {
+			seen[p] = true
+		}
+		if seen["coordinator"] && seen["worker-0"] {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Errorf("no trace id shared across processes: %v", traceIDs)
+	}
+	if !parentSeen {
+		t.Error("child span lost its parent_id in the export")
+	}
+}

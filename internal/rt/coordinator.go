@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fela/internal/metrics"
 	"fela/internal/minidnn"
+	"fela/internal/obs"
 	"fela/internal/trace"
 	"fela/internal/transport"
 )
@@ -68,6 +71,16 @@ type Coordinator struct {
 	tokens     []*tokenState
 	waiting    []*workerState // parked pull requests, FIFO
 	iterTokens map[int]int    // tokens reported per worker this iteration
+
+	// Telemetry (internal/obs). tele instruments are nil-safe no-ops
+	// when Config.Metrics is nil; status is the atomically published
+	// /statusz snapshot; rates holds the per-worker EWMA token rates;
+	// iterSpan is the current iteration's root span, whose context the
+	// iter-start broadcast carries to workers.
+	tele     coTelemetry
+	status   atomic.Pointer[Status]
+	rates    map[int]float64
+	iterSpan *obs.Span
 }
 
 // NewCoordinator wraps the master network.
@@ -75,14 +88,23 @@ func NewCoordinator(net *minidnn.Network, cfg Config) (*Coordinator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Coordinator{
+	co := &Coordinator{
 		net:      net,
 		cfg:      cfg,
 		events:   make(chan event, 16*cfg.Workers+64),
 		byConn:   map[transport.Conn]*workerState{},
 		initial:  map[transport.Conn]bool{},
 		rejected: map[transport.Conn]bool{},
-	}, nil
+		tele:     newCoTelemetry(cfg.Metrics),
+		rates:    map[int]float64{},
+		start:    time.Now(),
+		res:      &Result{TokensByWorker: make([]int, cfg.Workers)},
+		it:       -1,
+	}
+	// Publish an initial snapshot so /statusz answers from the moment
+	// the coordinator exists, not only after registration completes.
+	co.publishStatus()
+	return co, nil
 }
 
 type event struct {
@@ -98,6 +120,10 @@ type tokenState struct {
 	done     bool
 	grads    [][]float32
 	loss     float64
+	// span is the coordinator-side round-trip span of the current
+	// assignment (nil when tracing is off); its context rode to the
+	// worker inside the assign message.
+	span *obs.Span
 }
 
 // workerState tracks one worker across the session.
@@ -152,6 +178,7 @@ func (co *Coordinator) Admit(c transport.Conn) error {
 	if !co.elastic() {
 		return fmt.Errorf("rt: Admit requires an elastic session (Config.Elastic)")
 	}
+	c = transport.Instrument(c, co.cfg.Metrics)
 	co.admMu.Lock()
 	co.admitted = append(co.admitted, c)
 	co.admMu.Unlock()
@@ -172,6 +199,13 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 	for wid := range co.workers {
 		co.workers[wid] = &workerState{wid: wid, outstanding: map[int]time.Time{}}
 	}
+	// Wrap every connection with telemetry (a no-op pass-through when
+	// Config.Metrics is nil); the wrapped handle is the identity used in
+	// byConn/initial from here on.
+	conns = append([]transport.Conn(nil), conns...)
+	for i, c := range conns {
+		conns[i] = transport.Instrument(c, co.cfg.Metrics)
+	}
 	for _, c := range conns {
 		co.initial[c] = true
 		co.pump(c)
@@ -180,6 +214,9 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 	if err := co.register(conns); err != nil {
 		return nil, err
 	}
+	co.it = -1 // no iteration completed yet; the loop below resets it
+	co.publishStatus()
+	co.tele.live.Set(float64(co.trainableCount()))
 
 	nTok := co.cfg.tokensPerIter()
 	frac := float32(co.cfg.TokenBatch) / float32(co.cfg.TotalBatch)
@@ -192,6 +229,7 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 		}
 		// Canonical-order aggregation: identical arithmetic to
 		// Sequential, so results match bitwise.
+		barrierStart := time.Now()
 		acc := zerosLike(co.net.Params())
 		var loss float64
 		for _, tok := range co.tokens {
@@ -207,7 +245,13 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 		}
 		applyUpdate(co.net, vel, acc, co.cfg)
 		co.res.Losses = append(co.res.Losses, loss)
-		co.applyMembership(time.Since(iterStart))
+		iterTime := time.Since(iterStart)
+		co.observeIteration(iterTime)
+		co.applyMembership(iterTime)
+		co.tele.barrier.Observe(time.Since(barrierStart).Seconds())
+		co.iterSpan.End()
+		co.iterSpan = nil
+		co.publishStatus()
 	}
 
 	for _, ws := range co.workers {
@@ -228,6 +272,7 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 		}
 	}
 	co.res.Params = co.net.CloneParams()
+	co.publishStatus()
 	return co.res, nil
 }
 
@@ -410,8 +455,11 @@ func (co *Coordinator) runIteration(nTok int) error {
 	}
 	co.waiting = co.waiting[:0]
 	co.iterTokens = map[int]int{}
+	// One root span per iteration; its context rides in the iter-start
+	// broadcast so worker-side fetch/compute spans join the same trace.
+	co.iterSpan = co.cfg.Spans.StartRoot("iteration", 0)
 	params := flatten(co.net.Params())
-	start := &transport.Message{Kind: transport.KindIterStart, Iter: co.it, Params: params}
+	start := &transport.Message{Kind: transport.KindIterStart, Iter: co.it, Params: params, Span: co.iterSpan.Context()}
 	for _, ws := range co.workers {
 		if !ws.alive || ws.draining {
 			continue
@@ -516,11 +564,18 @@ func (co *Coordinator) runIteration(nTok int) error {
 				tok.done = true
 				tok.grads = m.Grads
 				tok.loss = m.Loss
+				if assignedAt, ok := ws.outstanding[seq]; ok {
+					co.tele.tokenLat.Observe(time.Since(assignedAt).Seconds())
+				}
+				tok.span.End()
+				tok.span = nil
 				delete(ws.outstanding, seq)
 				co.res.TokensByWorker[ws.wid]++
 				co.iterTokens[ws.wid]++
+				co.cfg.Metrics.Counter(MetricTokensTotal, "worker", strconv.Itoa(ws.wid)).Inc()
 				if tok.info.Owner != ws.wid {
 					co.res.Steals++
+					co.tele.steals.Inc()
 				}
 				remaining--
 			case transport.KindLeave:
@@ -756,12 +811,15 @@ func validDistribution(d []int, nTok int, live []int) bool {
 	return true
 }
 
-// sendAssign reserves the token for the worker and ships it.
+// sendAssign reserves the token for the worker and ships it. The assign
+// carries a fresh child span of the iteration span; the worker's compute
+// span continues the same trace on the other side of the wire.
 func (co *Coordinator) sendAssign(ws *workerState, tok *tokenState) error {
 	tok.assigned = true
+	tok.span = co.cfg.Spans.StartChild("token-roundtrip", ws.wid, co.iterSpan.Context())
 	ws.outstanding[tok.info.Seq] = time.Now()
 	return ws.conn.Send(&transport.Message{
-		Kind: transport.KindAssign, Iter: co.it, Token: tok.info,
+		Kind: transport.KindAssign, Iter: co.it, Token: tok.info, Span: tok.span.Context(),
 	})
 }
 
@@ -770,6 +828,7 @@ func (co *Coordinator) sendAssign(ws *workerState, tok *tokenState) error {
 // count — nothing was lost in flight).
 func (co *Coordinator) unassign(ws *workerState, tok *tokenState) {
 	tok.assigned = false
+	tok.span = nil // never recorded: the assignment never happened
 	delete(ws.outstanding, tok.info.Seq)
 }
 
@@ -779,7 +838,9 @@ func (co *Coordinator) reclaimTokens(ws *workerState) {
 	for seq := range ws.outstanding {
 		if co.tokens != nil && !co.tokens[seq].done {
 			co.tokens[seq].assigned = false
+			co.tokens[seq].span = nil // round trip never completed
 			co.res.Reassigned++
+			co.tele.reassigned.Inc()
 		}
 		delete(ws.outstanding, seq)
 	}
@@ -870,6 +931,7 @@ func (co *Coordinator) recordFault(wid int, phase, class, detail string) {
 	co.res.Faults = append(co.res.Faults, metrics.FaultEvent{
 		Time: at, Worker: wid, Iter: co.it, Phase: phase, Class: class, Detail: detail,
 	})
+	co.cfg.Metrics.Counter(MetricFaultsTotal, "class", class).Inc()
 	co.cfg.Trace.AddPoint(trace.Fault, wid, at, class+" during "+phase)
 }
 
@@ -881,6 +943,7 @@ func (co *Coordinator) recordScale(kind string, wid, effectIter int) {
 	co.res.Scales = append(co.res.Scales, metrics.ScaleEvent{
 		Time: at, Iter: effectIter, Worker: wid, Kind: kind,
 	})
+	co.cfg.Metrics.Counter(MetricScaleTotal, "kind", kind).Inc()
 	tk := trace.Join
 	if kind != metrics.ScaleJoin {
 		tk = trace.Leave

@@ -32,6 +32,7 @@ import (
 
 	"fela/internal/metrics"
 	"fela/internal/minidnn"
+	"fela/internal/obs"
 	"fela/internal/tensor"
 	"fela/internal/trace"
 )
@@ -84,6 +85,16 @@ type Config struct {
 	// Trace, when set, receives a Fault point event per detected
 	// worker fault (wall-clock seconds since session start).
 	Trace *trace.Trace
+	// Metrics, when set, receives live telemetry from this side of the
+	// session (internal/obs): token latency histograms, per-worker rate
+	// EWMAs and straggler scores on the coordinator; compute/fetch
+	// timings on workers; per-kind transport traffic on both. Nil keeps
+	// the no-op fast path.
+	Metrics *obs.Registry
+	// Spans, when set, records distributed spans (internal/obs). Trace
+	// contexts propagate inside protocol messages, so coordinator and
+	// worker spans of one token round-trip share a trace id.
+	Spans *obs.Tracer
 }
 
 func (c Config) validate() error {

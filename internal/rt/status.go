@@ -1,0 +1,79 @@
+package rt
+
+import (
+	"fela/internal/metrics"
+)
+
+// statusHistory bounds the fault/scale event tails kept in a Status
+// snapshot — /statusz is a glance, not an archive.
+const statusHistory = 16
+
+// Status is the coordinator's live /statusz snapshot: current
+// membership, progress, per-worker token rates and the recent
+// fault/scale tail. It is published atomically once per iteration
+// barrier (plus registration and shutdown), so HTTP scrapes never
+// touch coordinator-goroutine state.
+type Status struct {
+	// Role distinguishes coordinator and worker snapshots sharing one
+	// endpoint shape.
+	Role string `json:"role"`
+	// Iter is the iteration most recently completed (-1 before the
+	// first); Iterations is the session length.
+	Iter       int `json:"iteration"`
+	Iterations int `json:"iterations"`
+	// LiveWorkers lists trainable worker ids, ascending; Draining lists
+	// workers mid-drain; PendingJoins counts connections waiting for a
+	// barrier.
+	LiveWorkers  []int `json:"live_workers"`
+	Draining     []int `json:"draining,omitempty"`
+	PendingJoins int   `json:"pending_joins"`
+	// TokensByWorker is the session-total token count per worker id;
+	// TokenRate is the per-worker EWMA tokens/sec from live iteration
+	// timings (the re-tuner's Eq. 3 signal); StragglerScore is each
+	// worker's relative lag: 1 − rate/max(rate), 0 for the fastest.
+	TokensByWorker map[int]int     `json:"tokens_by_worker"`
+	TokenRate      map[int]float64 `json:"token_rate,omitempty"`
+	StragglerScore map[int]float64 `json:"straggler_score,omitempty"`
+	// Steals and Reassigned mirror the Result counters, live.
+	Steals     int `json:"steals"`
+	Reassigned int `json:"reassigned"`
+	// RecentFaults and RecentScales are the most recent statusHistory
+	// events of each kind.
+	RecentFaults []metrics.FaultEvent `json:"recent_faults,omitempty"`
+	RecentScales []metrics.ScaleEvent `json:"recent_scales,omitempty"`
+	// UptimeSeconds is wall-clock time since the session started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// WorkerStatus is the worker-side /statusz snapshot, served by
+// felaworker -status-addr so a straggler can be inspected from the
+// lagging end.
+type WorkerStatus struct {
+	Role string `json:"role"`
+	WID  int    `json:"wid"`
+	// Iter is the most recent iteration this worker saw an iter-start
+	// for (-1 before the first).
+	Iter int `json:"iteration"`
+	// TokensTrained counts tokens this worker computed and reported.
+	TokensTrained int `json:"tokens_trained"`
+	// LastComputeSeconds is the duration of the most recent token's
+	// forward+backward pass; LastFetchSeconds of the most recent
+	// parameter install.
+	LastComputeSeconds float64 `json:"last_compute_seconds"`
+	LastFetchSeconds   float64 `json:"last_fetch_seconds"`
+	// Draining marks a worker that has announced a graceful leave.
+	Draining      bool    `json:"draining"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// tail copies the last n elements of a slice (copied, not aliased — the
+// snapshot outlives the coordinator's ongoing appends).
+func tail[T any](s []T, n int) []T {
+	if len(s) > n {
+		s = s[len(s)-n:]
+	}
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]T(nil), s...)
+}

@@ -2,11 +2,26 @@ package rt
 
 import (
 	"fmt"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"fela/internal/minidnn"
+	"fela/internal/obs"
 	"fela/internal/tensor"
 	"fela/internal/transport"
+)
+
+// Worker-side metric names (coordinator-side names live in telemetry.go).
+const (
+	// MetricWorkerComputeSeconds is one token's forward+backward time —
+	// the paper's t_comp measured at the worker.
+	MetricWorkerComputeSeconds = "fela_worker_compute_seconds"
+	// MetricWorkerFetchSeconds is the parameter-install time at iteration
+	// start — the worker-side slice of t_comm.
+	MetricWorkerFetchSeconds = "fela_worker_fetch_seconds"
+	// MetricWorkerTokensTotal counts tokens computed and reported.
+	MetricWorkerTokensTotal = "fela_worker_tokens_total"
 )
 
 // Worker is the real-time training worker (§III-A worker logic): it
@@ -18,20 +33,70 @@ type Worker struct {
 	net *minidnn.Network
 	ds  *minidnn.Dataset
 	cfg Config
+
+	// Hot-path instruments, nil (no-op) when cfg.Metrics is nil.
+	compute *obs.Histogram
+	fetch   *obs.Histogram
+	tokens  *obs.Counter
+
+	// Live snapshot state, owned by the protocol-loop goroutine and
+	// published atomically for the /statusz handler.
+	start       time.Time
+	iter        int
+	trained     int
+	lastCompute float64
+	lastFetch   float64
+	status      atomic.Pointer[WorkerStatus]
 }
 
 // NewWorker builds a worker around its own network replica and dataset.
 // The replica's initial parameters are irrelevant: the coordinator
 // broadcasts authoritative parameters every iteration.
 func NewWorker(wid int, net *minidnn.Network, ds *minidnn.Dataset, cfg Config) *Worker {
-	return &Worker{wid: wid, net: net, ds: ds, cfg: cfg}
+	w := &Worker{wid: wid, net: net, ds: ds, cfg: cfg, start: time.Now(), iter: -1}
+	reg := cfg.Metrics
+	reg.Help(MetricWorkerComputeSeconds, "Forward+backward time per token in seconds.")
+	reg.Help(MetricWorkerFetchSeconds, "Parameter install time per iteration in seconds.")
+	reg.Help(MetricWorkerTokensTotal, "Tokens computed and reported by this worker.")
+	wl := strconv.Itoa(wid)
+	w.compute = reg.Histogram(MetricWorkerComputeSeconds, nil, "worker", wl)
+	w.fetch = reg.Histogram(MetricWorkerFetchSeconds, nil, "worker", wl)
+	w.tokens = reg.Counter(MetricWorkerTokensTotal, "worker", wl)
+	return w
+}
+
+// Status returns the most recently published worker snapshot, nil before
+// the first protocol event. Safe to call from any goroutine (the
+// felaworker /statusz feed).
+func (w *Worker) Status() *WorkerStatus { return w.status.Load() }
+
+// StatusAny adapts Status to the obs.Handler statusFn signature without
+// handing out a typed nil.
+func (w *Worker) StatusAny() any {
+	if st := w.Status(); st != nil {
+		return st
+	}
+	return nil
+}
+
+func (w *Worker) publishStatus(draining bool) {
+	w.status.Store(&WorkerStatus{
+		Role: "worker", WID: w.wid, Iter: w.iter,
+		TokensTrained:      w.trained,
+		LastComputeSeconds: w.lastCompute,
+		LastFetchSeconds:   w.lastFetch,
+		Draining:           draining,
+		UptimeSeconds:      time.Since(w.start).Seconds(),
+	})
 }
 
 // Run speaks the protocol over conn until shutdown.
 func (w *Worker) Run(conn transport.Conn) error {
+	conn = transport.Instrument(conn, w.cfg.Metrics)
 	if err := conn.Send(&transport.Message{Kind: transport.KindRegister, WID: w.wid}); err != nil {
 		return fmt.Errorf("rt: worker %d register: %w", w.wid, err)
 	}
+	w.publishStatus(false)
 	return w.loop(conn)
 }
 
@@ -43,6 +108,7 @@ func (w *Worker) Run(conn transport.Conn) error {
 // It returns the assigned worker id, or -1 if the session ended before
 // a barrier admitted this worker (not an error).
 func Join(conn transport.Conn, net *minidnn.Network, ds *minidnn.Dataset, cfg Config) (int, error) {
+	conn = transport.Instrument(conn, cfg.Metrics)
 	if err := conn.Send(&transport.Message{Kind: transport.KindJoin}); err != nil {
 		return -1, fmt.Errorf("rt: join request: %w", err)
 	}
@@ -59,6 +125,7 @@ func Join(conn transport.Conn, net *minidnn.Network, ds *minidnn.Dataset, cfg Co
 		return -1, fmt.Errorf("rt: expected join ack, got %v", m.Kind)
 	}
 	w := NewWorker(m.WID, net, ds, cfg)
+	w.publishStatus(false)
 	return m.WID, w.loop(conn)
 }
 
@@ -76,7 +143,13 @@ func (w *Worker) loop(conn transport.Conn) error {
 			if draining {
 				continue // parameters are irrelevant while awaiting the ack
 			}
+			w.iter = m.Iter
+			sp := w.cfg.Spans.StartChild("install-params", w.wid, m.Span)
+			fetchStart := time.Now()
 			w.setParams(m.Params)
+			w.lastFetch = time.Since(fetchStart).Seconds()
+			sp.End()
+			w.fetch.Observe(w.lastFetch)
 			if w.cfg.Drain != nil && w.cfg.Drain(m.Iter, w.wid) {
 				// Announce a graceful leave instead of pulling tokens,
 				// then wait for the barrier's drain ack (or shutdown).
@@ -84,8 +157,10 @@ func (w *Worker) loop(conn transport.Conn) error {
 					return fmt.Errorf("rt: worker %d leave: %w", w.wid, err)
 				}
 				draining = true
+				w.publishStatus(true)
 				continue
 			}
+			w.publishStatus(false)
 			if w.cfg.Delay != nil {
 				if d := w.cfg.Delay(m.Iter, w.wid); d > 0 {
 					time.Sleep(d)
@@ -99,13 +174,24 @@ func (w *Worker) loop(conn transport.Conn) error {
 			if draining {
 				continue // an assign that raced the leave; it was reclaimed
 			}
+			// Continue the coordinator's token-roundtrip trace: the compute
+			// span is a child of the span context that rode in the assign.
+			sp := w.cfg.Spans.StartChild("compute", w.wid, m.Span)
+			computeStart := time.Now()
 			report, err := w.train(m.Token)
+			w.lastCompute = time.Since(computeStart).Seconds()
+			sp.End()
 			if err != nil {
 				return err
 			}
+			w.compute.Observe(w.lastCompute)
+			report.Span = m.Span // tie the report to the same trace
 			if err := conn.Send(report); err != nil {
 				return err
 			}
+			w.trained++
+			w.tokens.Inc()
+			w.publishStatus(false)
 			// Report and request are combined (§III-D): ask for the next
 			// token in the same breath. Best-effort for the same reason
 			// as above.

@@ -122,6 +122,7 @@ type Server struct {
 	OnLevelComplete func(level int)
 
 	stats Stats
+	tele  schedTelemetry
 }
 
 type pendingReq struct {
@@ -217,6 +218,7 @@ func (s *Server) StartIteration(it int) {
 		s.bucket.Add(owner, t)
 	}
 	s.genCount[0] = s.levels[0].Count
+	s.observeDepth()
 	// Requests parked at the end of the previous iteration carry over:
 	// those workers are still waiting and are served from the fresh
 	// tokens immediately.
@@ -229,6 +231,7 @@ func (s *Server) StartIteration(it int) {
 // an empty-bucket wait the worker is parked (the "locking problem").
 func (s *Server) Request(wid int, cb func(*token.Token)) {
 	s.stats.Requests++
+	s.tele.requests.Inc()
 	s.eng.After(s.tim.RTT/2, func() { s.serve(wid, cb) })
 }
 
@@ -240,10 +243,13 @@ func (s *Server) serve(wid int, cb func(*token.Token)) {
 	tok, fromOwn, target := s.selectFor(wid)
 	if tok == nil {
 		s.stats.Locked++
+		s.tele.locked.Inc()
 		s.pending = append(s.pending, pendingReq{wid, cb})
+		s.observeDepth()
 		return
 	}
 	s.dispatch(wid, tok, fromOwn, target, cb)
+	s.observeDepth()
 }
 
 // dispatch models the distribution delay and then hands the (already
@@ -251,6 +257,7 @@ func (s *Server) serve(wid int, cb func(*token.Token)) {
 func (s *Server) dispatch(wid int, tok *token.Token, fromOwn bool, target int, cb func(*token.Token)) {
 	if !fromOwn && target >= 0 {
 		s.stats.Helped++
+		s.tele.helped.Inc()
 		s.helpTarget[tok.ID] = target
 		s.helpers[target]++
 	}
@@ -260,15 +267,18 @@ func (s *Server) dispatch(wid int, tok *token.Token, fromOwn bool, target int, c
 	}
 	if s.pol.HF && fromOwn {
 		s.stats.FastPath++
+		s.tele.fastPath.Inc()
 		s.eng.After(s.tim.FastService, finish)
 		return
 	}
 	s.stats.SlowPath++
+	s.tele.slowPath.Inc()
 	penalty := 0.0
 	if s.lock.InUse() > 0 {
 		// Another distribution is in flight: this request collides,
 		// fails its fetch and is re-distributed (§III-E).
 		s.stats.Conflicts++
+		s.tele.conflicts.Inc()
 		penalty = s.tim.ConflictPenalty
 	}
 	s.lock.Acquire(func() {
@@ -296,6 +306,7 @@ func (s *Server) Report(wid int, tok *token.Token) {
 		}
 		s.generateFrom(tok)
 		s.servePending()
+		s.observeDepth()
 	})
 }
 
@@ -325,6 +336,7 @@ func (s *Server) generateFrom(tok *token.Token) {
 		s.all[t.ID] = t
 		s.genCount[next]++
 		s.stats.Generated++
+		s.tele.generated.Inc()
 		s.bucket.Add(s.stbFor(t), t)
 	}
 }
@@ -388,6 +400,7 @@ func (s *Server) servePending() {
 		s.pending[i] = pendingReq{}
 	}
 	s.pending = kept
+	s.observeDepth()
 }
 
 // eligible reports whether the worker may receive the token under CTD.

@@ -1,0 +1,94 @@
+package scheduler
+
+import (
+	"strconv"
+
+	"fela/internal/obs"
+)
+
+// Metric names exported by an observed Token Server. The counters mirror
+// Stats one-to-one so the ablation study's numbers and the live /metrics
+// view can be cross-checked; the gauges expose the bucket state the HF
+// policy reasons about.
+const (
+	MetricRequests  = "fela_sched_requests_total"
+	MetricFastPath  = "fela_sched_fastpath_total"
+	MetricSlowPath  = "fela_sched_slowpath_total"
+	MetricConflicts = "fela_sched_conflicts_total"
+	MetricLocked    = "fela_sched_locked_total"
+	MetricHelped    = "fela_sched_helped_total"
+	MetricGenerated = "fela_sched_generated_total"
+	// MetricBucketDepth gauges the undistributed tokens across all STBs;
+	// MetricSTBDepth the per-worker sub-bucket depth (the §III-E signal);
+	// MetricPending the workers parked on an empty bucket (§III-D's
+	// locking problem, live).
+	MetricBucketDepth = "fela_sched_bucket_depth"
+	MetricSTBDepth    = "fela_sched_stb_depth"
+	MetricPending     = "fela_sched_pending_workers"
+)
+
+// schedTelemetry bundles the Token Server's instruments. All fields are
+// nil (no-op) until SetObs installs a registry.
+type schedTelemetry struct {
+	reg       *obs.Registry
+	requests  *obs.Counter
+	fastPath  *obs.Counter
+	slowPath  *obs.Counter
+	conflicts *obs.Counter
+	locked    *obs.Counter
+	helped    *obs.Counter
+	generated *obs.Counter
+	depth     *obs.Gauge
+	pending   *obs.Gauge
+	stbDepth  []*obs.Gauge
+}
+
+// SetObs attaches a telemetry registry to the server. Call before the
+// simulation starts; a nil registry (or never calling) keeps the no-op
+// fast path.
+func (s *Server) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.tele = schedTelemetry{}
+		return
+	}
+	reg.Help(MetricRequests, "Token requests received.")
+	reg.Help(MetricFastPath, "Lock-free own-STB distributions (HF fast path).")
+	reg.Help(MetricSlowPath, "Distributions serialized under the TS lock.")
+	reg.Help(MetricConflicts, "Slow-path requests that collided and were re-distributed.")
+	reg.Help(MetricLocked, "Requests parked on an empty bucket (the locking problem).")
+	reg.Help(MetricHelped, "Tokens taken from another worker's STB.")
+	reg.Help(MetricGenerated, "Dynamically generated (level > 0) tokens.")
+	reg.Help(MetricBucketDepth, "Undistributed tokens across all sub-buckets.")
+	reg.Help(MetricSTBDepth, "Undistributed tokens per worker sub-bucket.")
+	reg.Help(MetricPending, "Workers parked waiting for a token.")
+	t := schedTelemetry{
+		reg:       reg,
+		requests:  reg.Counter(MetricRequests),
+		fastPath:  reg.Counter(MetricFastPath),
+		slowPath:  reg.Counter(MetricSlowPath),
+		conflicts: reg.Counter(MetricConflicts),
+		locked:    reg.Counter(MetricLocked),
+		helped:    reg.Counter(MetricHelped),
+		generated: reg.Counter(MetricGenerated),
+		depth:     reg.Gauge(MetricBucketDepth),
+		pending:   reg.Gauge(MetricPending),
+		stbDepth:  make([]*obs.Gauge, s.n),
+	}
+	for w := 0; w < s.n; w++ {
+		t.stbDepth[w] = reg.Gauge(MetricSTBDepth, "worker", strconv.Itoa(w))
+	}
+	s.tele = t
+}
+
+// observeDepth refreshes the bucket gauges. Cheap enough to call after
+// every event that moves tokens; a no-op without a registry.
+func (s *Server) observeDepth() {
+	if s.tele.reg == nil {
+		return
+	}
+	s.tele.depth.Set(float64(s.bucket.Len()))
+	s.tele.pending.Set(float64(len(s.pending)))
+	for w := 0; w < s.n; w++ {
+		s.tele.stbDepth[w].Set(float64(s.bucket.STBLen(w)))
+	}
+}

@@ -131,6 +131,28 @@ func (t *Trace) Workers() []int {
 	return out
 }
 
+// fmtTime renders a time value with a unit scaled to its magnitude, so
+// the axis labels stay a handful of characters whether the trace spans
+// microseconds or hours. The old fixed %.3f rendering grew without bound
+// past 1000s, drifting the header columns on long simulated runs.
+func fmtTime(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av == 0:
+		return "0s"
+	case av < 1e-3:
+		return fmt.Sprintf("%.3gµs", v*1e6)
+	case av < 1:
+		return fmt.Sprintf("%.3gms", v*1e3)
+	case av < 1000:
+		return fmt.Sprintf("%.4gs", v)
+	case av < 100*60:
+		return fmt.Sprintf("%.4gmin", v/60)
+	default:
+		return fmt.Sprintf("%.4gh", v/3600)
+	}
+}
+
 // Timeline renders an ASCII Gantt chart: one row per worker, width
 // character cells across the trace's span. Each cell shows the kind of
 // the event covering most of that cell's time ('.' when idle).
@@ -145,8 +167,15 @@ func (t *Trace) Timeline(width int) string {
 	}
 	cell := span / float64(width)
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline %.3fs..%.3fs, %.4fs/cell (C=compute F=fetch S=sync Z=sleep X=fault J=join L=leave)\n",
-		start, end, cell)
+	fmt.Fprintf(&b, "timeline %s..%s, %s/cell (C=compute F=fetch S=sync Z=sleep X=fault J=join L=leave)\n",
+		fmtTime(start), fmtTime(end), fmtTime(cell))
+	// Pad worker ids to the widest so rows stay aligned past wid 99.
+	widWidth := 2
+	for _, w := range t.Workers() {
+		if n := len(fmt.Sprint(w)); n > widWidth {
+			widWidth = n
+		}
+	}
 	for _, w := range t.Workers() {
 		row := make([]byte, width)
 		cover := make([]float64, width)
@@ -184,7 +213,7 @@ func (t *Trace) Timeline(width int) string {
 			}
 			row[i] = byte(e.Kind)
 		}
-		fmt.Fprintf(&b, "w%-2d |%s|\n", w, row)
+		fmt.Fprintf(&b, "w%-*d |%s|\n", widWidth, w, row)
 	}
 	return b.String()
 }

@@ -166,3 +166,51 @@ func TestScalePointRendering(t *testing.T) {
 		t.Errorf("ByKind(Leave) = %v", leaves)
 	}
 }
+
+func TestTimelineLongSpanAlignment(t *testing.T) {
+	// Past 1000s the old fixed %.3f axis labels grew without bound and
+	// three-digit worker ids broke the w%-2d row prefix. Both must stay
+	// aligned now: scaled time units in the header, padded ids per row.
+	tr := &Trace{}
+	tr.Add(Compute, 0, 0, 1800, "half an hour")
+	tr.Add(Compute, 7, 900, 5400, "ninety minutes")
+	tr.Add(Compute, 123, 3000, 5400, "triple-digit wid")
+	out := tr.Timeline(30)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "min") {
+		t.Errorf("header should scale to minutes past 1000s: %s", lines[0])
+	}
+	if strings.Contains(lines[0], "5400") {
+		t.Errorf("header still shows raw seconds: %s", lines[0])
+	}
+	for i := 2; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[1]) {
+			t.Errorf("row %d width %d != row 1 width %d:\n%s", i, len(lines[i]), len(lines[1]), out)
+		}
+	}
+	if !strings.Contains(lines[3], "w123") {
+		t.Errorf("worker 123 row mislabeled: %s", lines[3])
+	}
+}
+
+func TestFmtTimeUnits(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0s"},
+		{42e-6, "42µs"},
+		{2.5e-3, "2.5ms"},
+		{12.25, "12.25s"},
+		{1800, "30min"},
+		{7 * 3600, "7h"},
+	}
+	for _, tc := range cases {
+		if got := fmtTime(tc.v); got != tc.want {
+			t.Errorf("fmtTime(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"fela/internal/obs"
 )
 
 // Kind enumerates protocol messages.
@@ -105,6 +107,29 @@ type Message struct {
 	Params [][]float32
 	// Loss carries the token's training loss on reports.
 	Loss float64
+	// Span propagates the sender's trace context (internal/obs): an
+	// assign carries the coordinator's span, the worker's compute span
+	// becomes its child, and the report echoes the context back — one
+	// distributed trace per token round-trip. Zero when tracing is off.
+	Span obs.SpanContext
+}
+
+// WireSize estimates the message's encoded size in bytes: the float
+// payloads dominate (4 bytes each), everything else is a small fixed
+// overhead. The in-memory transport has no real frames, so byte-level
+// telemetry uses this estimate uniformly for both transports.
+func (m *Message) WireSize() int {
+	if m == nil {
+		return 0
+	}
+	n := 64 // kind, ids, token info, span context, gob framing
+	for _, g := range m.Grads {
+		n += 4 * len(g)
+	}
+	for _, p := range m.Params {
+		n += 4 * len(p)
+	}
+	return n
 }
 
 // Conn is a bidirectional, ordered message pipe.
