@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs bench ci
+.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,14 @@ obs:
 	$(GO) test ./internal/rt/ -race -run 'TestStatus|TestSessionTelemetry|TestTelemetryOff' -v
 	$(GO) test ./cmd/felaserver/ -race -run TestServerObservabilityE2E -v
 
+# jobs runs the multi-tenant suite under the race detector: the manager
+# unit/integration tests (including the migration chaos tests), the
+# felaserver -jobs TCP e2e path, and the multijob example.
+jobs:
+	$(GO) test ./internal/jobs/ -race -count=1 -v
+	$(GO) test ./cmd/felaserver/ -race -run TestServerJobsMode -v
+	$(GO) test ./examples/multijob/ -race -count=1
+
 # fuzz runs each wire-codec fuzz target for a short budget on top of the
 # committed corpus (which plain `go test` already replays).
 fuzz:
@@ -45,5 +53,6 @@ fuzz:
 bench:
 	$(GO) test ./... -bench . -benchtime 100x -run xxx
 
-# ci is the full gate: tier-1, static analysis, race detector.
-ci: tier1 vet race
+# ci is the full gate: tier-1, static analysis, race detector, and the
+# multi-tenant suite.
+ci: tier1 vet race jobs

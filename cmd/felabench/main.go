@@ -21,22 +21,23 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run with reduced iteration counts")
-	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10, extensions, rt)")
+	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10, extensions, rt, jobs)")
 	csvDir := flag.String("csvdir", "", "also write each figure's data series as CSV files into this directory")
 	rtJSON := flag.String("rtjson", "BENCH_rt.json", "path for the rt experiment's machine-readable report")
+	jobsJSON := flag.String("jobsjson", "BENCH_jobs.json", "path for the jobs experiment's machine-readable report")
 	flag.Parse()
 
 	ctx := experiments.Default()
 	if *quick {
 		ctx = experiments.Quick()
 	}
-	if err := run(ctx, *which, *csvDir, *rtJSON, *quick); err != nil {
+	if err := run(ctx, *which, *csvDir, *rtJSON, *jobsJSON, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "felabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx *experiments.Context, which, csvDir, rtJSON string, quick bool) error {
+func run(ctx *experiments.Context, which, csvDir, rtJSON, jobsJSON string, quick bool) error {
 	all := which == "all"
 	out := func(s string) { fmt.Println(s) }
 	writeCSV := func(name, data string) error {
@@ -153,8 +154,13 @@ func run(ctx *experiments.Context, which, csvDir, rtJSON string, quick bool) err
 			return err
 		}
 	}
+	if all || which == "jobs" {
+		if err := runJobsBench(quick, jobsJSON, out); err != nil {
+			return err
+		}
+	}
 	switch which {
-	case "all", "table1", "fig1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "extensions", "rt":
+	case "all", "table1", "fig1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "extensions", "rt", "jobs":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", which)

@@ -12,14 +12,14 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	ctx := experiments.Quick()
 	for _, which := range []string{"table1", "table2", "fig1", "fig5"} {
-		if err := run(ctx, which, "", "", true); err != nil {
+		if err := run(ctx, which, "", "", "", true); err != nil {
 			t.Errorf("%s: %v", which, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(experiments.Quick(), "fig99", "", "", true); err == nil {
+	if err := run(experiments.Quick(), "fig99", "", "", "", true); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
@@ -27,7 +27,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	ctx := experiments.Quick()
-	if err := run(ctx, "fig8", dir, "", true); err != nil {
+	if err := run(ctx, "fig8", dir, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
@@ -45,7 +45,7 @@ func TestCSVOutput(t *testing.T) {
 func TestRTBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_rt.json")
-	if err := run(experiments.Quick(), "rt", "", path, true); err != nil {
+	if err := run(experiments.Quick(), "rt", "", path, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -74,6 +74,58 @@ func TestRTBenchJSON(t *testing.T) {
 		}
 		if !e.BitIdentical {
 			t.Errorf("%s: result not bit-identical to the sequential reference", e.Policy)
+		}
+	}
+	for policy, seen := range want {
+		if !seen {
+			t.Errorf("policy %q missing from report", policy)
+		}
+	}
+}
+
+func TestJobsBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_jobs.json")
+	if err := run(experiments.Quick(), "jobs", "", "", path, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jobsBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_jobs.json does not parse: %v", err)
+	}
+	if report.Name != "jobs-manager" || !report.Quick {
+		t.Errorf("report header = %+v", report)
+	}
+	want := map[string]bool{
+		"sequential": false, "fair-share": false,
+		"priority": false, "throughput-max": false,
+	}
+	for _, e := range report.Entries {
+		if _, ok := want[e.Policy]; !ok {
+			t.Errorf("unexpected policy %q", e.Policy)
+			continue
+		}
+		want[e.Policy] = true
+		if e.MakespanSeconds <= 0 || e.AggTokensPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput: %+v", e.Policy, e)
+		}
+		if e.Fairness <= 0 || e.Fairness > 1.0001 {
+			t.Errorf("%s: fairness index %v out of (0,1]", e.Policy, e.Fairness)
+		}
+		if len(e.Jobs) != 2 {
+			t.Errorf("%s: %d jobs in entry, want 2", e.Policy, len(e.Jobs))
+		}
+		for _, j := range e.Jobs {
+			if !j.BitIdentical {
+				t.Errorf("%s: job %s not bit-identical to solo training", e.Policy, j.Name)
+			}
+			if j.WorkerIters <= 0 {
+				t.Errorf("%s: job %s consumed no worker-iterations", e.Policy, j.Name)
+			}
 		}
 	}
 	for policy, seen := range want {

@@ -27,6 +27,15 @@
 // timings after every scale event. -min-workers bounds eviction,
 // -max-workers bounds admission. Elastic mode implies fault tolerance
 // (a default -worker-timeout is applied if none is set).
+//
+// With -jobs, the server becomes a multi-tenant job manager instead of
+// a single session: `felaworker -pool` processes register once into a
+// shared elastic pool, clients submit training jobs over the same port,
+// and the -alloc policy (fair-share, priority, throughput-max) decides
+// how the pool is divided, migrating workers between jobs through their
+// normal elastic drain/join machinery. Every completed job is verified
+// bit-identical to the same job trained alone. -max-jobs makes the
+// server exit after that many completions (demo/CI mode).
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"time"
 
 	"fela/internal/elastic"
+	"fela/internal/jobs"
 	"fela/internal/metrics"
 	"fela/internal/minidnn"
 	"fela/internal/obs"
@@ -93,14 +103,118 @@ func main() {
 		"serve live telemetry (/metrics, /statusz, /trace, /debug/pprof) on this address (empty = off)")
 	traceJSON := flag.String("trace-json", "",
 		"write the session's spans as Chrome trace_event JSON to this file on exit (empty = off)")
+	jobsMode := flag.Bool("jobs", false,
+		"multi-tenant mode: run a job manager over a shared pool of felaworker -pool processes")
+	alloc := flag.String("alloc", "fair-share",
+		"jobs: worker allocation policy (fair-share, priority, throughput-max)")
+	maxJobs := flag.Int("max-jobs", 0,
+		"jobs: shut down after this many jobs complete (0 = run until interrupted)")
 	flag.Parse()
 
-	opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
 	oo := obsOpts{statusAddr: *statusAddr, traceJSON: *traceJSON}
-	if err := run(*addr, *workers, *iters, *workerTimeout, opts, oo); err != nil {
+	var err error
+	if *jobsMode {
+		err = runJobs(*addr, *alloc, *maxJobs, *workerTimeout, oo)
+	} else {
+		opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
+		err = run(*addr, *workers, *iters, *workerTimeout, opts, oo)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "felaserver:", err)
 		os.Exit(1)
 	}
+}
+
+// runJobs serves the multi-tenant job manager: one TCP port accepts
+// both pool workers and job submissions (the manager classifies each
+// connection by its first message). With maxJobs > 0 the server drains
+// and exits after that many completions.
+func runJobs(addr, alloc string, maxJobs int, workerTimeout time.Duration, oo obsOpts) error {
+	pol, ok := jobs.PolicyByName(alloc)
+	if !ok {
+		return fmt.Errorf("unknown allocation policy %q (want fair-share, priority or throughput-max)", alloc)
+	}
+	cfg := jobs.Config{Policy: pol, WorkerTimeout: workerTimeout}
+	if oo.enabled() {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Spans = obs.NewTracer("felaserver")
+	}
+
+	var mgr *jobs.Manager
+	completedJobs := 0
+	cfg.OnJobDone = func(r jobs.JobResult) {
+		// Runs on the manager's event loop: serialized, and Stop is safe.
+		if r.Err != nil {
+			fmt.Printf("felaserver: job %d (%s) failed after %.2fs: %v\n",
+				r.ID, r.Spec.Name, r.Runtime.Seconds(), r.Err)
+		} else {
+			verified := "DIVERGED from solo training"
+			if ref, err := jobs.Reference(r.Spec); err == nil && minidnn.ParamsEqual(ref.Params, r.Result.Params) {
+				verified = "bit-identical to solo training"
+			}
+			fmt.Printf("felaserver: job %d (%s) done: %d iters, final loss %.6f, queued %.2fs, ran %.2fs, %s\n",
+				r.ID, r.Spec.Name, r.Spec.Iterations, r.Result.Losses[len(r.Result.Losses)-1],
+				r.QueueWait.Seconds(), r.Runtime.Seconds(), verified)
+		}
+		completedJobs++
+		if maxJobs > 0 && completedJobs >= maxJobs {
+			fmt.Printf("felaserver: %d jobs complete, draining\n", completedJobs)
+			mgr.Stop()
+		}
+	}
+	mgr = jobs.NewManager(cfg)
+
+	if oo.statusAddr != "" {
+		bound, stop, err := obs.Serve(oo.statusAddr, obs.Handler(cfg.Metrics, mgr.StatusAny, cfg.Spans))
+		if err != nil {
+			mgr.Stop()
+			<-mgr.Done()
+			return err
+		}
+		defer stop()
+		fmt.Printf("felaserver: telemetry on http://%s (/metrics /statusz /trace /debug/pprof)\n", bound)
+	}
+
+	l, err := transport.Listen(addr)
+	if err != nil {
+		mgr.Stop()
+		<-mgr.Done()
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("felaserver: job manager (policy %s) listening on %s\n", pol.Name(), l.Addr())
+
+	// Unblock Accept once the manager drains so the server can exit.
+	go func() {
+		<-mgr.Done()
+		l.Close()
+	}()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			break
+		}
+		mgr.Admit(c)
+	}
+	mgr.Stop()
+	<-mgr.Done()
+
+	if oo.traceJSON != "" {
+		f, err := os.Create(oo.traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, cfg.Spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("felaserver: wrote span trace to %s\n", oo.traceJSON)
+	}
+	fmt.Printf("felaserver: job manager drained (%d jobs served)\n", completedJobs)
+	return nil
 }
 
 func run(addr string, workers, iters int, workerTimeout time.Duration, opts elasticOpts, oo obsOpts) error {

@@ -14,6 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"fmt"
+
+	"fela/internal/jobs"
 	"fela/internal/minidnn"
 	"fela/internal/obs"
 	"fela/internal/rt"
@@ -316,6 +319,97 @@ poll:
 	if shared == 0 {
 		t.Error("no trace id appears in both the server and worker exports")
 	}
+}
+
+// TestServerJobsMode drives the multi-tenant path end to end over real
+// TCP: `felaserver -jobs -alloc throughput-max -max-jobs 2` serving
+// three `felaworker -pool` processes and two concurrent wire
+// submissions on the same port. The server exits on its own after the
+// second completion, both submitters get final parameters bit-identical
+// to solo training, and every pool worker exits cleanly.
+func TestServerJobsMode(t *testing.T) {
+	addr := freeAddr(t)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- runJobs(addr, "throughput-max", 2, 2*time.Second, obsOpts{})
+	}()
+
+	const poolWorkers = 3
+	workersDone := make(chan error, poolWorkers)
+	dial := func() (transport.Conn, error) {
+		return transport.DialRetry(addr, 50, 20*time.Millisecond)
+	}
+	for i := 0; i < poolWorkers; i++ {
+		go func() {
+			_, err := jobs.RunPoolWorker(dial, jobs.PoolWorkerOptions{})
+			workersDone <- err
+		}()
+	}
+
+	specs := []transport.JobSpec{
+		{Name: "tcp-a", Iterations: 12, TotalBatch: 64, TokenBatch: 8, Seed: 0},
+		{Name: "tcp-b", Iterations: 16, TotalBatch: 32, TokenBatch: 8, Seed: 5},
+	}
+	results := make(chan error, len(specs))
+	for _, spec := range specs {
+		go func(spec transport.JobSpec) {
+			m, err := jobs.SubmitAndWait(addr, spec, 50)
+			if err != nil {
+				results <- err
+				return
+			}
+			ref, err := jobs.Reference(spec)
+			if err != nil {
+				results <- err
+				return
+			}
+			flat := make([][]float32, len(ref.Params))
+			for i, p := range ref.Params {
+				flat[i] = p.Data
+			}
+			if !flatEqual(flat, m.Params) {
+				results <- fmt.Errorf("job %s: wire result diverged from solo training", spec.Name)
+				return
+			}
+			results <- nil
+		}(spec)
+	}
+	for range specs {
+		if err := <-results; err != nil {
+			t.Error(err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runJobs: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after -max-jobs completions")
+	}
+	for i := 0; i < poolWorkers; i++ {
+		if err := <-workersDone; err != nil {
+			t.Errorf("pool worker: %v", err)
+		}
+	}
+}
+
+func flatEqual(a, b [][]float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func readFileT(t *testing.T, path string) []byte {

@@ -23,6 +23,14 @@
 //	                                      announce a graceful leave at
 //	                                      iteration 10 and depart at that
 //	                                      barrier
+//
+// Against a `felaserver -jobs` pool the worker runs in pool mode:
+//
+//	felaworker -addr ... -pool            register with the job manager,
+//	                                      serve whatever jobs it assigns
+//	                                      (reconnecting between jobs and
+//	                                      across migrations) until the
+//	                                      pool shuts down
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"os"
 	"time"
 
+	"fela/internal/jobs"
 	"fela/internal/minidnn"
 	"fela/internal/obs"
 	"fela/internal/rt"
@@ -46,14 +55,57 @@ func main() {
 	retries := flag.Int("retries", 10, "connection attempts before giving up")
 	join := flag.Bool("join", false, "join an in-progress elastic session instead of registering a fixed wid")
 	drainAfter := flag.Int("drain-after", -1, "announce a graceful leave at this iteration (elastic sessions; -1 = never)")
+	pool := flag.Bool("pool", false, "register with a felaserver -jobs pool and serve assigned jobs until shutdown")
 	statusAddr := flag.String("status-addr", "",
 		"serve worker-side telemetry (/metrics, /statusz, /trace, /debug/pprof) on this address (empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *statusAddr); err != nil {
+	var err error
+	if *pool {
+		err = runPool(*addr, *sleepMS, *retries, *statusAddr)
+	} else {
+		err = run(*addr, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *statusAddr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "felaworker:", err)
 		os.Exit(1)
 	}
+}
+
+// runPool registers with a felaserver -jobs pool and serves assigned
+// jobs until the pool shuts down, reconnecting between jobs and after
+// migrations. The session parameters come from each assignment's
+// JobSpec, so no -workers/-iters agreement is needed.
+func runPool(addr string, sleepMS, retries int, statusAddr string) error {
+	opts := jobs.PoolWorkerOptions{
+		Log: func(format string, args ...any) {
+			fmt.Printf("felaworker: "+format+"\n", args...)
+		},
+	}
+	if sleepMS > 0 {
+		opts.Delay = func(int, int) time.Duration { return time.Duration(sleepMS) * time.Millisecond }
+	}
+	if statusAddr != "" {
+		opts.Metrics = obs.NewRegistry()
+		opts.Spans = obs.NewTracer("felaworker")
+		// Pool workers serve many short sessions, so there is no single
+		// /statusz document; /metrics and /trace aggregate across jobs.
+		bound, stop, err := obs.Serve(statusAddr, obs.Handler(opts.Metrics, nil, opts.Spans))
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("felaworker: telemetry on http://%s\n", bound)
+	}
+	dial := func() (transport.Conn, error) {
+		return transport.DialRetry(addr, retries, 100*time.Millisecond)
+	}
+	served, err := jobs.RunPoolWorker(dial, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("felaworker: pool shut down after %d job assignments\n", served)
+	return nil
 }
 
 func run(addr string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int, statusAddr string) error {

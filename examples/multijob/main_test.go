@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestMultijobExample smoke-tests the demo end to end: two concurrent
+// jobs on one pool, a mid-flight migration, and both bit-identity
+// verifications all inside run().
+func TestMultijobExample(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

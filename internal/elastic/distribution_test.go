@@ -1,0 +1,99 @@
+package elastic
+
+import (
+	"testing"
+	"time"
+
+	"fela/internal/rt"
+)
+
+// feedBarrier pushes one synthetic iteration through the controller so
+// its retuner gains a rate estimate for every listed worker.
+func feedBarrier(t *testing.T, c *Controller, iter int, live []int, tokensEach int) {
+	t.Helper()
+	counts := make(map[int]int, len(live))
+	for _, wid := range live {
+		counts[wid] = tokensEach
+	}
+	c.AtBarrier(rt.BarrierInfo{
+		Iter:           iter,
+		Live:           live,
+		IterTime:       10 * time.Millisecond,
+		TokensByWorker: counts,
+	})
+}
+
+// TestControllerDistributionNoSignal: before any timing signal the
+// controller must defer to the engine's round-robin.
+func TestControllerDistributionNoSignal(t *testing.T) {
+	c, err := NewController(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Distribution(8, []int{0, 1, 2}); d != nil {
+		t.Fatalf("distribution before signal = %v, want nil", d)
+	}
+}
+
+// TestControllerDistributionFewerTokensThanWorkers: with nTok < live
+// workers the distribution must still cover each token exactly once
+// (some workers own nothing and start the iteration as pure helpers).
+func TestControllerDistributionFewerTokensThanWorkers(t *testing.T) {
+	c, err := NewController(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []int{0, 1, 2, 3}
+	feedBarrier(t, c, 0, live, 2)
+	d := c.Distribution(2, live)
+	if d == nil {
+		t.Fatal("no distribution after timing signal")
+	}
+	if len(d) != 2 {
+		t.Fatalf("distribution covers %d tokens, want 2", len(d))
+	}
+	liveSet := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	for seq, wid := range d {
+		if !liveSet[wid] {
+			t.Fatalf("token %d owned by %d, not in live set", seq, wid)
+		}
+	}
+}
+
+// TestControllerDistributionSingleSurvivor: one live worker owns every
+// token, whatever the token count.
+func TestControllerDistributionSingleSurvivor(t *testing.T) {
+	c, err := NewController(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates were learned with four workers; then the session shrank to
+	// one survivor.
+	feedBarrier(t, c, 0, []int{0, 1, 2, 3}, 2)
+	d := c.Distribution(8, []int{3})
+	if len(d) != 8 {
+		t.Fatalf("distribution covers %d tokens, want 8", len(d))
+	}
+	for seq, wid := range d {
+		if wid != 3 {
+			t.Fatalf("token %d owned by %d, want survivor 3", seq, wid)
+		}
+	}
+}
+
+// TestControllerDistributionEmptyLive: an empty live set cannot own
+// anything; the controller must fall back to nil rather than fabricate
+// owners.
+func TestControllerDistributionEmptyLive(t *testing.T) {
+	c, err := NewController(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedBarrier(t, c, 0, []int{0, 1}, 4)
+	if d := c.Distribution(8, []int{0, 1}); len(d) != 8 {
+		t.Fatalf("distribution with live workers covers %d tokens, want 8", len(d))
+	}
+	if d := c.Distribution(8, nil); d != nil {
+		t.Fatalf("distribution over empty live set = %v, want nil", d)
+	}
+}

@@ -1,0 +1,39 @@
+package jobs
+
+import (
+	"fmt"
+	"time"
+
+	"fela/internal/transport"
+)
+
+// SubmitAndWait dials a pool manager, submits one job spec over the
+// wire and blocks until the job's terminal KindJobDone arrives — the
+// client side of the submission protocol, used by examples and tests.
+// The returned message carries the final loss and parameters on
+// success.
+func SubmitAndWait(addr string, spec transport.JobSpec, attempts int) (*transport.Message, error) {
+	spec, err := NormalizeSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := transport.DialRetry(addr, attempts, 100*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.Send(&transport.Message{Kind: transport.KindSubmitJob, Job: spec}); err != nil {
+		return nil, fmt.Errorf("jobs: submit: %w", err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("jobs: awaiting result: %w", err)
+	}
+	if m.Kind != transport.KindJobDone {
+		return nil, fmt.Errorf("jobs: expected job-done, got %v", m.Kind)
+	}
+	if m.Err != "" {
+		return nil, fmt.Errorf("jobs: job failed: %s", m.Err)
+	}
+	return m, nil
+}

@@ -1,0 +1,136 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fela/internal/transport"
+)
+
+// queuedConn hands a connection to a job's coordinator with a few
+// messages replayed in front of the live stream. The manager performs
+// the pool-side handshake itself (it already read the worker's join and
+// sent the assignment), then lets the coordinator consume the handshake
+// it expects — a KindRegister for an initial lease entering Run, a
+// KindJoin for an elastic lease entering Admit — without the worker
+// resending anything.
+type queuedConn struct {
+	mu     sync.Mutex
+	replay []*transport.Message
+	transport.Conn
+}
+
+func newQueuedConn(c transport.Conn, replay ...*transport.Message) *queuedConn {
+	return &queuedConn{replay: replay, Conn: c}
+}
+
+// Recv drains the replay queue before delegating to the wrapped conn.
+func (q *queuedConn) Recv() (*transport.Message, error) {
+	q.mu.Lock()
+	if len(q.replay) > 0 {
+		m := q.replay[0]
+		q.replay = q.replay[1:]
+		q.mu.Unlock()
+		return m, nil
+	}
+	q.mu.Unlock()
+	return q.Conn.Recv()
+}
+
+// SetTimeouts forwards deadline configuration to the wrapped conn so
+// transport.SetTimeouts works through the wrapper.
+func (q *queuedConn) SetTimeouts(send, recv time.Duration) {
+	transport.SetTimeouts(q.Conn, send, recv)
+}
+
+// asyncSendBuffer bounds the per-connection coordinator→worker send
+// queue. The iteration barrier keeps the genuine in-flight volume to a
+// few dozen messages, so a backlog this deep means the worker has
+// stopped consuming entirely and is treated as a connection failure.
+const asyncSendBuffer = 4096
+
+// asyncConn decouples a coordinator's sends from the worker's
+// consumption. Transport buffers are bounded and Send blocks when they
+// fill, so a coordinator that sends inline from its event loop can
+// deadlock under load: it blocks broadcasting to a worker whose receive
+// buffer is full, stops draining its own event channel, which stalls
+// the worker's inbound pump, which leaves the worker blocked in Send —
+// never reaching the Recv that would free the coordinator. Queueing
+// sends through a dedicated forwarding goroutine keeps the coordinator
+// loop always able to return to its event channel, which breaks the
+// only load-bearing edge of that cycle.
+//
+// Message order is preserved (one queue, one forwarder per conn). A
+// forwarding failure is sticky and surfaces on the next Send, where the
+// coordinator's usual fault path takes over. Close stops the forwarder
+// and closes the inner conn immediately; an undelivered final shutdown
+// is indistinguishable from a conn close to the worker, and pool
+// workers treat both as "session over, rejoin".
+type asyncConn struct {
+	inner transport.Conn
+	queue chan *transport.Message
+	stop  chan struct{}
+	once  sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+func newAsyncConn(c transport.Conn) *asyncConn {
+	a := &asyncConn{
+		inner: c,
+		queue: make(chan *transport.Message, asyncSendBuffer),
+		stop:  make(chan struct{}),
+	}
+	go a.forward()
+	return a
+}
+
+func (a *asyncConn) forward() {
+	for {
+		select {
+		case <-a.stop:
+			return
+		case m := <-a.queue:
+			if err := a.inner.Send(m); err != nil {
+				a.mu.Lock()
+				a.err = err
+				a.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+func (a *asyncConn) Send(m *transport.Message) error {
+	a.mu.Lock()
+	err := a.err
+	a.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case a.queue <- m:
+		return nil
+	case <-a.stop:
+		return transport.ErrClosed
+	default:
+		return fmt.Errorf("jobs: worker send backlog exceeded %d messages", asyncSendBuffer)
+	}
+}
+
+func (a *asyncConn) Recv() (*transport.Message, error) {
+	return a.inner.Recv()
+}
+
+func (a *asyncConn) Close() error {
+	a.once.Do(func() { close(a.stop) })
+	return a.inner.Close()
+}
+
+// SetTimeouts forwards deadline configuration to the inner conn; the
+// forwarding goroutine then inherits per-send deadlines.
+func (a *asyncConn) SetTimeouts(send, recv time.Duration) {
+	transport.SetTimeouts(a.inner, send, recv)
+}

@@ -1,0 +1,709 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fela/internal/elastic"
+	"fela/internal/obs"
+	"fela/internal/rt"
+	"fela/internal/transport"
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Policy decides worker allocation (nil = FairShare).
+	Policy AllocPolicy
+	// WorkerTimeout is each job coordinator's fault-tolerance deadline
+	// (default 10s). Multi-tenant sessions always run fault-tolerant:
+	// a worker dying mid-migration must not sink the donor job.
+	WorkerTimeout time.Duration
+	// Tick is the periodic rebalance interval (default 1s).
+	Tick time.Duration
+	// Metrics, when set, receives fela_jobs_* manager telemetry and is
+	// shared with every job coordinator it starts.
+	Metrics *obs.Registry
+	// Spans, when set, records a span per rebalance pass and is shared
+	// with job coordinators so token round-trips stay traceable.
+	Spans *obs.Tracer
+	// OnJobDone, when set, is called from the manager goroutine after
+	// each job finishes (keep it quick; it blocks scheduling).
+	OnJobDone func(JobResult)
+}
+
+// JobResult is the terminal outcome of one job.
+type JobResult struct {
+	// ID is the manager-assigned job id (1-based).
+	ID int
+	// Spec is the normalized spec the job ran under.
+	Spec transport.JobSpec
+	// Result is the coordinator's session result, nil when Err is set.
+	Result *rt.Result
+	// Err is the terminal error, nil on success.
+	Err error
+	// QueueWait is submission-to-start latency.
+	QueueWait time.Duration
+	// Runtime is start-to-completion latency.
+	Runtime time.Duration
+	// WorkerIters sums live workers over the job's barriers — the
+	// worker-iterations the job consumed, the fairness currency the
+	// bench's Jain index is computed over.
+	WorkerIters int
+}
+
+// Manager events. All mutable state is owned by the loop goroutine;
+// everything else communicates through these.
+type (
+	// evConn is a classified pool connection: the first message a new
+	// connection sent (a worker's join or a client's submission).
+	evConn struct {
+		conn transport.Conn
+		msg  *transport.Message
+		err  error
+	}
+	// evSubmit is an in-process submission (already normalized).
+	evSubmit struct {
+		spec transport.JobSpec
+		done chan JobResult
+	}
+	// evBarrier streams one job barrier's stats from its jobPolicy.
+	evBarrier struct {
+		jobID        int
+		iter         int
+		live         int
+		pendingJoins int
+		pending      int // pending releases (requested + draining)
+		iterTime     time.Duration
+		tokens       int
+	}
+	// evJobDone reports a coordinator's exit.
+	evJobDone struct {
+		jobID int
+		res   *rt.Result
+		err   error
+	}
+)
+
+type jobState string
+
+const (
+	stateQueued  jobState = "queued"
+	stateRunning jobState = "running"
+	stateDone    jobState = "done"
+)
+
+// job is the manager's ledger entry for one job (loop-owned).
+type job struct {
+	id        int
+	spec      transport.JobSpec
+	state     jobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// Exactly one of reply (wire submitter awaiting KindJobDone) and
+	// done (in-process submitter) is set.
+	reply transport.Conn
+	done  chan JobResult
+
+	pol *jobPolicy
+	co  *rt.Coordinator
+
+	// held is live workers + pending joins at the last barrier (seeded
+	// with the initial lease count); inFlight counts leases since that
+	// barrier. Effective allocation = held + inFlight − pending
+	// releases; the barrier stream folds leases and completed releases
+	// back into held, so the ledger self-heals across worker deaths.
+	held        int
+	inFlight    int
+	iter        int
+	rate        float64
+	workerIters int
+
+	// conns is every connection ever handed to this job's coordinator.
+	// All are closed when the job finishes: the coordinator does not
+	// close connections itself, and a pool worker whose send direction
+	// backed up mid-session (its tokens stolen by faster peers) can be
+	// blocked in Send where only a Close will free it to rejoin.
+	conns []transport.Conn
+
+	res *rt.Result
+	err error
+}
+
+// Manager runs the multi-tenant pool: it owns idle worker connections,
+// starts a coordinator per job, and continuously re-targets the
+// allocation through its AllocPolicy, migrating workers between jobs
+// with reassign-drain-rejoin cycles. All state lives on one event-loop
+// goroutine, coordinator-style.
+type Manager struct {
+	cfg    Config
+	events chan any
+	quit   chan struct{}
+	done   chan struct{}
+	stop   sync.Once
+
+	// Loop-owned state.
+	start    time.Time
+	jobs     map[int]*job
+	order    []*job // queued + running, arrival order
+	doneTail []*job // most recent completions, bounded
+	idle     []transport.Conn
+	nextID   int
+	closing  bool
+	finished int
+
+	tele   mgrTelemetry
+	status atomic.Pointer[PoolStatus]
+}
+
+// NewManager starts a manager and its event loop.
+func NewManager(cfg Config) *Manager {
+	if cfg.Policy == nil {
+		cfg.Policy = FairShare{}
+	}
+	if cfg.WorkerTimeout <= 0 {
+		cfg.WorkerTimeout = 10 * time.Second
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Second
+	}
+	m := &Manager{
+		cfg:    cfg,
+		events: make(chan any, 64),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		start:  time.Now(),
+		jobs:   map[int]*job{},
+		nextID: 1,
+		tele:   newMgrTelemetry(cfg.Metrics),
+	}
+	m.publish()
+	go m.loop()
+	return m
+}
+
+// Admit hands the manager a fresh connection — a worker joining the
+// pool or a client submitting a job; the first message tells them
+// apart. Safe from any goroutine.
+func (m *Manager) Admit(c transport.Conn) {
+	go func() {
+		msg, err := c.Recv()
+		m.push(evConn{conn: c, msg: msg, err: err})
+	}()
+}
+
+// Submit enqueues a job from within the process and returns a channel
+// that delivers its terminal result.
+func (m *Manager) Submit(spec transport.JobSpec) (<-chan JobResult, error) {
+	spec, err := NormalizeSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-m.done:
+		return nil, fmt.Errorf("jobs: manager stopped")
+	default:
+	}
+	ch := make(chan JobResult, 1)
+	select {
+	case m.events <- evSubmit{spec: spec, done: ch}:
+		return ch, nil
+	case <-m.done:
+		return nil, fmt.Errorf("jobs: manager stopped")
+	}
+}
+
+// Stop begins a graceful shutdown: no new submissions are accepted,
+// queued and running jobs finish, idle workers are then shut down and
+// Done closes.
+func (m *Manager) Stop() { m.stop.Do(func() { close(m.quit) }) }
+
+// Done closes once the manager has fully drained after Stop.
+func (m *Manager) Done() <-chan struct{} { return m.done }
+
+// Status returns the latest pool snapshot.
+func (m *Manager) Status() *PoolStatus { return m.status.Load() }
+
+// StatusAny adapts Status to the obs.Handler statusFn signature without
+// handing out a typed nil.
+func (m *Manager) StatusAny() any {
+	if st := m.Status(); st != nil {
+		return st
+	}
+	return nil
+}
+
+// push delivers an event to the loop, or cleans up after a loop that
+// already exited (a worker re-registering during teardown gets a
+// shutdown instead of a lease).
+func (m *Manager) push(ev any) {
+	select {
+	case m.events <- ev:
+	case <-m.done:
+		discard(ev)
+	}
+}
+
+// discard settles an event that arrived after the manager drained: a
+// worker gets a shutdown, a submitter gets a terminal error.
+func discard(ev any) {
+	switch e := ev.(type) {
+	case evConn:
+		if e.conn != nil {
+			_ = e.conn.Send(&transport.Message{Kind: transport.KindShutdown})
+			e.conn.Close()
+		}
+	case evSubmit:
+		e.done <- JobResult{Err: fmt.Errorf("jobs: manager stopped")}
+	}
+}
+
+func (m *Manager) loop() {
+	tick := time.NewTicker(m.cfg.Tick)
+	defer tick.Stop()
+	quit := m.quit
+	for {
+		select {
+		case ev := <-m.events:
+			m.handle(ev)
+		case <-tick.C:
+			m.rebalance("tick")
+		case <-quit:
+			quit = nil
+			m.closing = true
+		}
+		if m.closing && len(m.order) == 0 {
+			for _, c := range m.idle {
+				_ = c.Send(&transport.Message{Kind: transport.KindShutdown})
+				c.Close()
+			}
+			m.idle = nil
+			m.publish()
+			// A push can race the shutdown and land in the events
+			// buffer just as done closes; without a consumer its conn
+			// would hang forever. Leave a discarding reaper behind (one
+			// cheap goroutine per manager lifetime).
+			go func() {
+				for ev := range m.events {
+					discard(ev)
+				}
+			}()
+			close(m.done)
+			return
+		}
+		m.publish()
+	}
+}
+
+func (m *Manager) handle(ev any) {
+	switch e := ev.(type) {
+	case evConn:
+		m.classify(e)
+	case evSubmit:
+		m.enqueue(e.spec, nil, e.done)
+	case evBarrier:
+		m.atBarrier(e)
+	case evJobDone:
+		m.finishJob(e)
+	}
+}
+
+// classify routes a new connection by its first message.
+func (m *Manager) classify(e evConn) {
+	if e.err != nil {
+		if e.conn != nil {
+			e.conn.Close()
+		}
+		return
+	}
+	switch e.msg.Kind {
+	case transport.KindJoin:
+		// A worker entering the pool; JobID > 0 marks a return from
+		// that job (a completed migration or a post-job rejoin).
+		if e.msg.JobID > 0 {
+			m.tele.returns.Inc()
+		}
+		m.idle = append(m.idle, e.conn)
+		m.rebalance("worker")
+	case transport.KindSubmitJob:
+		if m.closing {
+			m.reject(e.conn, fmt.Errorf("jobs: pool is shutting down"))
+			return
+		}
+		spec, err := NormalizeSpec(e.msg.Job)
+		if err != nil {
+			m.reject(e.conn, err)
+			return
+		}
+		m.enqueue(spec, e.conn, nil)
+	default:
+		e.conn.Close()
+	}
+}
+
+func (m *Manager) reject(c transport.Conn, err error) {
+	m.tele.rejected.Inc()
+	_ = c.Send(&transport.Message{Kind: transport.KindJobDone, Err: err.Error()})
+	c.Close()
+}
+
+func (m *Manager) enqueue(spec transport.JobSpec, reply transport.Conn, done chan JobResult) {
+	j := &job{
+		id:        m.nextID,
+		spec:      spec,
+		state:     stateQueued,
+		submitted: time.Now(),
+		reply:     reply,
+		done:      done,
+		iter:      -1,
+	}
+	m.nextID++
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.tele.submitted.Inc()
+	m.rebalance("arrival")
+}
+
+// atBarrier folds one barrier report into the job's ledger: held
+// becomes the coordinator's authoritative live+joining count, in-flight
+// leases are absorbed, and the rate EWMA advances.
+func (m *Manager) atBarrier(e evBarrier) {
+	j := m.jobs[e.jobID]
+	if j == nil || j.state != stateRunning {
+		return
+	}
+	j.held = e.live + e.pendingJoins
+	j.inFlight = 0
+	j.iter = e.iter
+	j.workerIters += e.live
+	if e.iterTime > 0 {
+		r := float64(e.tokens) / e.iterTime.Seconds()
+		if j.rate == 0 {
+			j.rate = r
+		} else {
+			j.rate = 0.5*j.rate + 0.5*r
+		}
+	}
+}
+
+// eff is the job's effective allocation the policies reason over.
+func (m *Manager) eff(j *job) int {
+	if j.state != stateRunning {
+		return 0
+	}
+	e := j.held + j.inFlight - j.pol.pendingReleases()
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// rebalance recomputes targets and acts on the difference: releases
+// from over-target jobs, starts for queued jobs, leases to under-target
+// jobs. Every pass is traced and counted.
+func (m *Manager) rebalance(trigger string) {
+	if len(m.order) == 0 {
+		return
+	}
+	sp := m.cfg.Spans.StartRoot("rebalance", 0)
+	defer sp.End()
+	m.tele.rebalanced(trigger)
+
+	total := len(m.idle)
+	infos := make([]JobInfo, 0, len(m.order))
+	for seq, j := range m.order {
+		eff := m.eff(j)
+		total += eff
+		infos = append(infos, JobInfo{
+			ID: j.id, Seq: seq, Priority: j.spec.Priority,
+			Started: j.state == stateRunning,
+			Min:     j.spec.MinWorkers, Max: j.spec.MaxWorkers,
+			Workers: eff, Rate: j.rate,
+		})
+	}
+	targets := m.cfg.Policy.Allocate(total, infos)
+
+	// Releases first: they put workers back in flight toward the pool.
+	for _, j := range m.order {
+		if j.state != stateRunning {
+			continue
+		}
+		want := targets[j.id]
+		if want < j.spec.MinWorkers {
+			want = j.spec.MinWorkers
+		}
+		if eff := m.eff(j); want < eff {
+			j.pol.requestRelease(eff - want)
+			m.tele.releases.Add(int64(eff - want))
+		}
+	}
+	// Starts: queued jobs in arrival order, only at or above their
+	// floor — a partial start below MinWorkers would violate the spec.
+	for _, j := range m.order {
+		if j.state != stateQueued || len(m.idle) == 0 {
+			continue
+		}
+		want := targets[j.id]
+		if n := len(m.idle); want > n {
+			want = n
+		}
+		if want < j.spec.MinWorkers || want == 0 {
+			continue
+		}
+		m.startJob(j, want)
+	}
+	// Leases: top up running jobs through the elastic join path.
+	for _, j := range m.order {
+		if j.state != stateRunning {
+			continue
+		}
+		want := targets[j.id]
+		for m.eff(j) < want && len(m.idle) > 0 {
+			if !m.lease(j) {
+				break
+			}
+		}
+	}
+}
+
+// takeIdle pops the oldest idle connection.
+func (m *Manager) takeIdle() transport.Conn {
+	if len(m.idle) == 0 {
+		return nil
+	}
+	c := m.idle[0]
+	m.idle = m.idle[1:]
+	return c
+}
+
+// assign sends a worker its job assignment. For initial leases the
+// manager acks the join itself (wid is the slot); elastic leases pass
+// wid < 0 and the ack comes from the coordinator at a barrier.
+func (m *Manager) assign(c transport.Conn, j *job, wid int) error {
+	if err := c.Send(&transport.Message{Kind: transport.KindSubmitJob, JobID: j.id, Job: j.spec}); err != nil {
+		return err
+	}
+	if wid >= 0 {
+		return c.Send(&transport.Message{Kind: transport.KindJoin, WID: wid, Iter: 0})
+	}
+	return nil
+}
+
+// startJob leases up to n idle workers and boots the job's coordinator.
+// Idle connections that turn out dead are dropped on the floor (the
+// worker's side is gone); if every candidate was dead the job stays
+// queued.
+func (m *Manager) startJob(j *job, n int) {
+	var conns []transport.Conn
+	for len(conns) < n && len(m.idle) > 0 {
+		c := m.takeIdle()
+		if err := m.assign(c, j, len(conns)); err != nil {
+			c.Close()
+			continue
+		}
+		conns = append(conns, c)
+	}
+	if len(conns) == 0 {
+		return
+	}
+
+	mk, _, err := BuildSession(j.spec)
+	if err == nil {
+		var ctrl *elastic.Controller
+		ctrl, err = elastic.NewController(elastic.Config{
+			MinWorkers: j.spec.MinWorkers,
+			MaxWorkers: j.spec.MaxWorkers,
+		})
+		if err == nil {
+			j.pol = newJobPolicy(j.id, j.spec.MinWorkers, ctrl, m)
+			cfg := RTConfig(j.spec, len(conns))
+			cfg.Elastic = j.pol
+			cfg.WorkerTimeout = m.cfg.WorkerTimeout
+			cfg.Metrics = m.cfg.Metrics
+			cfg.Spans = m.cfg.Spans
+			j.co, err = rt.NewCoordinator(mk(), cfg)
+		}
+	}
+	if err != nil {
+		// Spec was validated at submission; reaching this means a bad
+		// preset/config interaction. Fail the job and recycle workers.
+		for _, c := range conns {
+			_ = c.Send(&transport.Message{Kind: transport.KindShutdown})
+			c.Close()
+		}
+		m.finishJob(evJobDone{jobID: j.id, err: err})
+		return
+	}
+
+	j.state = stateRunning
+	j.started = time.Now()
+	j.held = len(conns)
+	m.tele.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
+	m.tele.leased("initial", len(conns))
+
+	// Coordinator sends go through an async queue (deadlock avoidance,
+	// see asyncConn); the job tracks the wrappers so finishJob's Close
+	// also stops the forwarders.
+	wrapped := make([]transport.Conn, len(conns))
+	for i, c := range conns {
+		ac := newAsyncConn(c)
+		j.conns = append(j.conns, ac)
+		wrapped[i] = newQueuedConn(ac, &transport.Message{Kind: transport.KindRegister, WID: i})
+	}
+	co := j.co
+	id := j.id
+	go func() {
+		res, err := co.Run(wrapped)
+		m.push(evJobDone{jobID: id, res: res, err: err})
+	}()
+}
+
+// lease hands one idle worker to a running job through the elastic
+// join path. Returns false when no live idle worker could be attached.
+func (m *Manager) lease(j *job) bool {
+	c := m.takeIdle()
+	if c == nil {
+		return false
+	}
+	if err := m.assign(c, j, -1); err != nil {
+		c.Close()
+		return false
+	}
+	ac := newAsyncConn(c)
+	qc := newQueuedConn(ac, &transport.Message{Kind: transport.KindJoin})
+	if err := j.co.Admit(qc); err != nil {
+		ac.Close()
+		return false
+	}
+	j.inFlight++
+	j.conns = append(j.conns, ac)
+	m.tele.leased("join", 1)
+	return true
+}
+
+// finishJob settles a terminal job: replies to its submitter, records
+// telemetry, drops it from the schedule and rebalances the freed
+// capacity.
+func (m *Manager) finishJob(e evJobDone) {
+	j := m.jobs[e.jobID]
+	if j == nil || j.state == stateDone {
+		return
+	}
+	j.state = stateDone
+	j.finished = time.Now()
+	j.res, j.err = e.res, e.err
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	delete(m.jobs, j.id)
+	for i, o := range m.order {
+		if o == j {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.doneTail = append(m.doneTail, j)
+	if len(m.doneTail) > 16 {
+		m.doneTail = m.doneTail[len(m.doneTail)-16:]
+	}
+	m.finished++
+	m.tele.completed(j.err == nil)
+	// The session is over (Run returned); closing every conn the job
+	// ever held frees any worker the coordinator left behind — stranded
+	// mid-send, or live on a session that died — to rejoin the pool.
+	// Workers that departed cleanly re-dialed long ago, so closing their
+	// old conns is a no-op.
+	for _, c := range j.conns {
+		c.Close()
+	}
+	j.conns = nil
+
+	out := JobResult{
+		ID: j.id, Spec: j.spec, Result: j.res, Err: j.err,
+		QueueWait:   j.started.Sub(j.submitted),
+		Runtime:     j.finished.Sub(j.started),
+		WorkerIters: j.workerIters,
+	}
+	if j.reply != nil {
+		msg := &transport.Message{Kind: transport.KindJobDone, JobID: j.id}
+		if j.err != nil {
+			msg.Err = j.err.Error()
+		} else {
+			if n := len(j.res.Losses); n > 0 {
+				msg.Loss = j.res.Losses[n-1]
+			}
+			msg.Params = make([][]float32, len(j.res.Params))
+			for i, t := range j.res.Params {
+				msg.Params[i] = append([]float32(nil), t.Data...)
+			}
+		}
+		_ = j.reply.Send(msg)
+		j.reply.Close()
+	}
+	if j.done != nil {
+		j.done <- out
+	}
+	if m.cfg.OnJobDone != nil {
+		m.cfg.OnJobDone(out)
+	}
+	m.rebalance("completion")
+}
+
+// publish refreshes the /statusz snapshot.
+func (m *Manager) publish() {
+	st := &PoolStatus{
+		Role:          "jobmanager",
+		Policy:        m.cfg.Policy.Name(),
+		Idle:          len(m.idle),
+		UptimeSeconds: time.Since(m.start).Seconds(),
+	}
+	held := 0
+	for _, j := range m.order {
+		eff := m.eff(j)
+		held += eff
+		switch j.state {
+		case stateRunning:
+			st.Running++
+		case stateQueued:
+			st.Queued++
+		}
+		st.Jobs = append(st.Jobs, m.jobStatus(j, eff))
+	}
+	for _, j := range m.doneTail {
+		st.Jobs = append(st.Jobs, m.jobStatus(j, 0))
+	}
+	st.Completed = m.finished
+	st.Workers = len(m.idle) + held
+	m.tele.running.Set(float64(st.Running))
+	m.tele.queued.Set(float64(st.Queued))
+	m.tele.poolIdle.Set(float64(st.Idle))
+	m.tele.poolTotal.Set(float64(st.Workers))
+	m.status.Store(st)
+}
+
+func (m *Manager) jobStatus(j *job, eff int) JobStatus {
+	js := JobStatus{
+		ID: j.id, Name: j.spec.Name, Model: j.spec.Model,
+		State: string(j.state), Priority: j.spec.Priority,
+		MinWorkers: j.spec.MinWorkers, MaxWorkers: j.spec.MaxWorkers,
+		Workers: eff, Iter: j.iter, Iterations: j.spec.Iterations,
+		TokenRate: j.rate,
+	}
+	switch j.state {
+	case stateQueued:
+		js.QueueWaitSeconds = time.Since(j.submitted).Seconds()
+	case stateRunning:
+		js.QueueWaitSeconds = j.started.Sub(j.submitted).Seconds()
+		js.RuntimeSeconds = time.Since(j.started).Seconds()
+	case stateDone:
+		js.QueueWaitSeconds = j.started.Sub(j.submitted).Seconds()
+		js.RuntimeSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	if j.err != nil {
+		js.Error = j.err.Error()
+	}
+	return js
+}

@@ -1,0 +1,353 @@
+package jobs
+
+import "sort"
+
+// JobInfo is an AllocPolicy's view of one job at rebalance time.
+type JobInfo struct {
+	// ID identifies the job (stable across rebalances).
+	ID int
+	// Seq is the arrival rank among the jobs passed to Allocate,
+	// 0-based: lower arrived earlier. Policies break ties by Seq so
+	// allocation is deterministic.
+	Seq int
+	// Priority is the spec's tier; higher is more important.
+	Priority int
+	// Started reports whether the job is running (false = still queued).
+	Started bool
+	// Min and Max bound the job's worker count. Min ≥ 1; Max 0 means
+	// unbounded.
+	Min, Max int
+	// Workers is the job's current effective worker count (held plus
+	// in-flight leases minus pending releases); 0 for queued jobs.
+	Workers int
+	// Rate is the job's EWMA aggregate token rate in tokens/sec as
+	// observed at its barriers, 0 before any signal.
+	Rate float64
+}
+
+// AllocPolicy decides how many workers each job should hold.
+// Implementations must be deterministic in their inputs: the manager
+// calls Allocate on every arrival, completion, worker return and
+// periodic tick, and acts on the difference between targets and the
+// current allocation.
+type AllocPolicy interface {
+	// Name labels the policy in status pages and benchmark reports.
+	Name() string
+	// Allocate maps total pool workers (idle plus all currently held)
+	// onto per-job targets. A queued job whose target is below its Min
+	// must be given 0 — jobs never start under their floor. Targets sum
+	// to at most total.
+	Allocate(total int, jobs []JobInfo) map[int]int
+}
+
+func bySeq(jobs []JobInfo) []JobInfo {
+	out := append([]JobInfo(nil), jobs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+func capOf(j JobInfo) int {
+	if j.Max <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return j.Max
+}
+
+// floors grants every job its minimum in arrival order: a started job
+// takes whatever remains (it must keep running even under shortage), a
+// queued job gets its full floor or nothing. Returns the targets and
+// the workers left over.
+func floors(total int, jobs []JobInfo) (map[int]int, int) {
+	targets := make(map[int]int, len(jobs))
+	rem := total
+	for _, j := range bySeq(jobs) {
+		targets[j.ID] = 0
+		need := j.Min
+		if need > capOf(j) {
+			need = capOf(j)
+		}
+		if need <= rem {
+			targets[j.ID] = need
+			rem -= need
+			continue
+		}
+		if j.Started && rem > 0 {
+			targets[j.ID] = rem
+			rem = 0
+		}
+	}
+	return targets, rem
+}
+
+// spread hands out rem workers one at a time in arrival order across
+// eligible jobs (started, or queued jobs that secured their floor),
+// respecting caps. This is the fair-share remainder rule: earlier
+// arrivals receive the odd worker.
+func spread(targets map[int]int, rem int, jobs []JobInfo) int {
+	for rem > 0 {
+		progress := false
+		for _, j := range jobs {
+			if rem == 0 {
+				break
+			}
+			if !j.Started && targets[j.ID] == 0 {
+				continue // queued and below floor: cannot start
+			}
+			if targets[j.ID] >= capOf(j) {
+				continue
+			}
+			targets[j.ID]++
+			rem--
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return rem
+}
+
+// FairShare splits the pool equally across jobs, remainder to earlier
+// arrivals, respecting per-job floors and caps.
+type FairShare struct{}
+
+// Name implements AllocPolicy.
+func (FairShare) Name() string { return "fair-share" }
+
+// Allocate implements AllocPolicy.
+func (FairShare) Allocate(total int, jobs []JobInfo) map[int]int {
+	targets, rem := floors(total, jobs)
+	spread(targets, rem, bySeq(jobs))
+	return targets
+}
+
+// Priority serves strict priority tiers: every job keeps its floor, and
+// all excess capacity goes to the highest tier first (fair-share within
+// the tier) — a lower tier sees spare workers only once every job above
+// it is capped.
+type Priority struct{}
+
+// Name implements AllocPolicy.
+func (Priority) Name() string { return "priority" }
+
+// Allocate implements AllocPolicy.
+func (Priority) Allocate(total int, jobs []JobInfo) map[int]int {
+	targets, rem := floors(total, jobs)
+	tiers := map[int][]JobInfo{}
+	var levels []int
+	for _, j := range bySeq(jobs) {
+		if _, ok := tiers[j.Priority]; !ok {
+			levels = append(levels, j.Priority)
+		}
+		tiers[j.Priority] = append(tiers[j.Priority], j)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	for _, p := range levels {
+		if rem == 0 {
+			break
+		}
+		rem = spread(targets, rem, tiers[p])
+	}
+	return targets
+}
+
+// ThroughputMax is the OASiS-flavored policy: after floors, it places
+// each spare worker where the marginal tokens/sec gain is highest,
+// estimating a job's marginal as its observed aggregate rate averaged
+// over a prospective worker count (so gains diminish as a job grows and
+// barrier-dominated jobs score low). Workers already held by a running
+// job only migrate when the recipient's marginal clears the donor's by
+// the hysteresis Band, which keeps noisy rate estimates from thrashing
+// allocations.
+type ThroughputMax struct {
+	// Band is the relative hysteresis margin a migration's gain must
+	// clear (0 picks DefaultBand).
+	Band float64
+}
+
+// DefaultBand is the hysteresis margin used when ThroughputMax.Band is
+// zero.
+const DefaultBand = 0.15
+
+// Name implements AllocPolicy.
+func (*ThroughputMax) Name() string { return "throughput-max" }
+
+// Allocate implements AllocPolicy.
+func (p *ThroughputMax) Allocate(total int, jobs []JobInfo) map[int]int {
+	band := p.Band
+	if band <= 0 {
+		band = DefaultBand
+	}
+	ordered := bySeq(jobs)
+
+	// Rate estimates: a job with no signal yet borrows the mean of the
+	// known rates (optimistic seeding: new jobs are worth exploring), or
+	// 1 if nothing has reported.
+	known, sum := 0, 0.0
+	for _, j := range ordered {
+		if j.Rate > 0 {
+			known++
+			sum += j.Rate
+		}
+	}
+	def := 1.0
+	if known > 0 {
+		def = sum / float64(known)
+	}
+	rate := func(j JobInfo) float64 {
+		if j.Rate > 0 {
+			return j.Rate
+		}
+		return def
+	}
+	// score is the estimated per-worker rate if j held n workers: the
+	// marginal value of the n-th worker under a diminishing-returns
+	// model anchored at the observed aggregate rate.
+	score := func(j JobInfo, n int) float64 {
+		if n <= 0 {
+			n = 1
+		}
+		return rate(j) / float64(n)
+	}
+
+	// Start from the current allocation so hysteresis can compare
+	// against what each running job actually holds, then grant floors
+	// (starting a queued job is never hysteresis-limited).
+	targets := make(map[int]int, len(ordered))
+	used := 0
+	for _, j := range ordered {
+		if j.Started {
+			targets[j.ID] = j.Workers
+			used += j.Workers
+		} else {
+			targets[j.ID] = 0
+		}
+	}
+	free := total - used
+	if free < 0 {
+		free = 0
+	}
+	// takeFromWeakest reclaims one held worker from the running job
+	// with the lowest marginal value, never dipping a donor below its
+	// own floor. Floors are must-haves, so no hysteresis applies here.
+	takeFromWeakest := func(exclude int) bool {
+		var donor JobInfo
+		found := false
+		for _, d := range ordered {
+			if d.ID == exclude || !d.Started || targets[d.ID] <= d.Min || targets[d.ID] <= 1 {
+				continue
+			}
+			if !found || score(d, targets[d.ID]) < score(donor, targets[donor.ID]) {
+				donor, found = d, true
+			}
+		}
+		if found {
+			targets[donor.ID]--
+		}
+		return found
+	}
+	donorSpare := func() int {
+		s := 0
+		for _, d := range ordered {
+			if !d.Started {
+				continue
+			}
+			if sp := targets[d.ID] - d.Min; sp > 0 && targets[d.ID] > 1 {
+				s += sp
+			}
+		}
+		return s
+	}
+	for _, j := range ordered {
+		need := j.Min - targets[j.ID]
+		if need <= 0 {
+			continue
+		}
+		if !j.Started && need > free+donorSpare() {
+			continue // all-or-nothing: don't start below the floor
+		}
+		for need > 0 && free > 0 {
+			targets[j.ID]++
+			free--
+			need--
+		}
+		for need > 0 && takeFromWeakest(j.ID) {
+			targets[j.ID]++
+			need--
+		}
+	}
+
+	eligible := func(j JobInfo) bool {
+		return (j.Started || targets[j.ID] > 0) && targets[j.ID] < capOf(j)
+	}
+	best := func(exclude int) (JobInfo, bool) {
+		var pick JobInfo
+		found := false
+		for _, j := range ordered {
+			if j.ID == exclude || !eligible(j) {
+				continue
+			}
+			if !found || score(j, targets[j.ID]+1) > score(pick, targets[pick.ID]+1) {
+				pick, found = j, true
+			}
+		}
+		return pick, found
+	}
+
+	// Free workers are placed greedily with no hysteresis: an idle
+	// worker has zero opportunity cost.
+	for free > 0 {
+		j, ok := best(-1)
+		if !ok {
+			break
+		}
+		targets[j.ID]++
+		free--
+	}
+
+	// Migration: move a held worker from the weakest donor to the
+	// strongest recipient only while the gain clears the band. Each move
+	// raises the donor's marginal and lowers the recipient's, so the
+	// loop converges; the cap is a safety net.
+	for moves := 0; moves < total; moves++ {
+		var donor JobInfo
+		haveDonor := false
+		for _, j := range ordered {
+			if !j.Started || targets[j.ID] <= j.Min || targets[j.ID] <= 1 {
+				continue
+			}
+			if !haveDonor || score(j, targets[j.ID]) < score(donor, targets[donor.ID]) {
+				donor, haveDonor = j, true
+			}
+		}
+		if !haveDonor {
+			break
+		}
+		recip, ok := best(donor.ID)
+		if !ok {
+			break
+		}
+		gain := score(recip, targets[recip.ID]+1)
+		loss := score(donor, targets[donor.ID])
+		if gain <= loss*(1+band) {
+			break
+		}
+		targets[donor.ID]--
+		targets[recip.ID]++
+	}
+	return targets
+}
+
+// PolicyByName resolves the policy names accepted by felaserver -alloc
+// and felabench jobs.
+func PolicyByName(name string) (AllocPolicy, bool) {
+	switch name {
+	case "fair-share", "fair":
+		return FairShare{}, true
+	case "priority":
+		return Priority{}, true
+	case "throughput-max", "tmax":
+		return &ThroughputMax{}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,136 @@
+package jobs
+
+import (
+	"fmt"
+	"time"
+
+	"fela/internal/obs"
+	"fela/internal/rt"
+	"fela/internal/transport"
+)
+
+// PoolWorkerOptions tunes RunPoolWorker.
+type PoolWorkerOptions struct {
+	// Metrics and Spans attach worker-side telemetry to every served
+	// job.
+	Metrics *obs.Registry
+	Spans   *obs.Tracer
+	// Delay injects straggler sleeps into every served job (tests and
+	// demos).
+	Delay func(iter, wid int) time.Duration
+	// TokenDelay injects a per-token compute cost into every served job
+	// (the simulated-testbed methodology; see rt.Config.TokenDelay).
+	TokenDelay func(iter, wid int) time.Duration
+	// Log, when set, receives one line per lifecycle event.
+	Log func(format string, args ...any)
+}
+
+func (o PoolWorkerOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// RunPoolWorker joins a job pool and serves jobs until the pool closes:
+// dial, register idle, wait for an assignment, train the job (possibly
+// getting migrated out of it mid-run), then re-register and repeat.
+// dial is called for every (re)connection — pass transport.DialRetry
+// for real pools or a Pair-and-Admit closure for in-process ones. It
+// returns the number of job sessions served. A dial or protocol failure
+// after at least one session is treated as the pool going away, not an
+// error, so workers shut down cleanly when the manager does.
+func RunPoolWorker(dial func() (transport.Conn, error), opts PoolWorkerOptions) (int, error) {
+	served := 0
+	sessions := 0 // assignments entered, even ones that ended with a torn conn
+	lastJob := 0
+	for {
+		conn, err := dial()
+		if err != nil {
+			// A dial failure after the worker has been in the pool means
+			// the pool went away, not that it was never reachable.
+			if served > 0 || sessions > 0 {
+				return served, nil
+			}
+			return served, fmt.Errorf("jobs: pool dial: %w", err)
+		}
+		jobID, spec, stop, err := awaitAssignment(conn, lastJob)
+		if stop || err != nil {
+			conn.Close()
+			if err != nil && served == 0 && sessions == 0 {
+				return served, err
+			}
+			return served, nil
+		}
+		sessions++
+		mk, ds, err := BuildSession(spec)
+		if err != nil {
+			// The manager validated the spec before assigning it; a
+			// build failure means the two sides disagree on presets.
+			conn.Close()
+			return served, err
+		}
+		// Await admission: an initial lease is acked by the manager
+		// immediately, an elastic lease by the job's coordinator at its
+		// next barrier. A shutdown here means the job ended first — go
+		// idle again; a broken conn means the pool or job vanished.
+		ack, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			lastJob = jobID
+			continue
+		}
+		if ack.Kind == transport.KindShutdown {
+			conn.Close()
+			lastJob = jobID
+			continue
+		}
+		if ack.Kind != transport.KindJoin {
+			conn.Close()
+			return served, fmt.Errorf("jobs: expected admission ack, got %v", ack.Kind)
+		}
+
+		cfg := RTConfig(spec, 1)
+		cfg.Metrics = opts.Metrics
+		cfg.Spans = opts.Spans
+		cfg.Delay = opts.Delay
+		cfg.TokenDelay = opts.TokenDelay
+		w := rt.NewWorker(ack.WID, mk(), ds, cfg)
+		opts.logf("serving job %d (%s) as worker %d from iter %d", jobID, spec.Name, ack.WID, ack.Iter)
+		err = w.Serve(conn)
+		conn.Close()
+		lastJob = jobID
+		if err != nil {
+			// The coordinator declared this worker dead or tore down
+			// mid-session: rejoin the pool fresh rather than abort.
+			switch transport.Classify(err) {
+			case transport.ClassPeerGone, transport.ClassClosed:
+				opts.logf("job %d connection lost (%v); re-registering", jobID, err)
+				continue
+			}
+			return served, err
+		}
+		served++
+		opts.logf("job %d done (drained or complete); re-registering", jobID)
+	}
+}
+
+// awaitAssignment registers the worker as idle and blocks for its next
+// job. stop is true when the pool shut down (or went away after a clean
+// registration) — a normal exit.
+func awaitAssignment(conn transport.Conn, lastJob int) (jobID int, spec transport.JobSpec, stop bool, err error) {
+	if err := conn.Send(&transport.Message{Kind: transport.KindJoin, JobID: lastJob}); err != nil {
+		return 0, spec, true, nil
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return 0, spec, true, nil
+	}
+	switch m.Kind {
+	case transport.KindSubmitJob:
+		return m.JobID, m.Job, false, nil
+	case transport.KindShutdown:
+		return 0, spec, true, nil
+	default:
+		return 0, spec, true, fmt.Errorf("jobs: expected assignment, got %v", m.Kind)
+	}
+}

@@ -1,0 +1,46 @@
+package jobs
+
+// JobStatus is the /statusz view of one job.
+type JobStatus struct {
+	ID         int    `json:"id"`
+	Name       string `json:"name"`
+	Model      string `json:"model"`
+	State      string `json:"state"` // "queued", "running" or "done"
+	Priority   int    `json:"priority"`
+	MinWorkers int    `json:"min_workers"`
+	MaxWorkers int    `json:"max_workers,omitempty"` // 0 = unbounded
+	// Workers is the job's effective allocation: live workers plus
+	// in-flight leases minus pending releases.
+	Workers int `json:"workers"`
+	// Iter is the last completed iteration, -1 before the first barrier.
+	Iter       int `json:"iteration"`
+	Iterations int `json:"iterations"`
+	// TokenRate is the EWMA aggregate training rate in tokens/sec.
+	TokenRate float64 `json:"token_rate"`
+	// QueueWaitSeconds is the time spent queued before the first lease
+	// (still growing for queued jobs).
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	// RuntimeSeconds is the time since the job started (final for done
+	// jobs).
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// PoolStatus is the manager's /statusz snapshot.
+type PoolStatus struct {
+	Role   string `json:"role"` // always "jobmanager"
+	Policy string `json:"policy"`
+	// Workers is every worker the pool knows about: idle plus held by
+	// jobs (workers mid-migration between two jobs count at neither and
+	// reappear when they re-register).
+	Workers int `json:"workers"`
+	Idle    int `json:"idle"`
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+	// Completed counts jobs finished since the manager started.
+	Completed int `json:"completed"`
+	// Jobs lists queued and running jobs in arrival order, followed by
+	// the most recently completed jobs (up to a small tail).
+	Jobs          []JobStatus `json:"jobs"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+}

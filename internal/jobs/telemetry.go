@@ -1,0 +1,92 @@
+package jobs
+
+import "fela/internal/obs"
+
+// Manager-side metric names, all prefixed fela_jobs_.
+const (
+	// MetricSubmitted counts accepted job submissions.
+	MetricSubmitted = "fela_jobs_submitted_total"
+	// MetricRejected counts submissions that failed validation or
+	// arrived while the pool was shutting down.
+	MetricRejected = "fela_jobs_rejected_total"
+	// MetricCompleted counts finished jobs, labeled status=ok|error.
+	MetricCompleted = "fela_jobs_completed_total"
+	// MetricRebalances counts allocation passes, labeled by trigger
+	// (arrival, completion, worker, tick).
+	MetricRebalances = "fela_jobs_rebalance_total"
+	// MetricLeases counts workers handed to jobs, labeled kind=initial
+	// (job start) or kind=join (elastic top-up into a running job).
+	MetricLeases = "fela_jobs_leases_total"
+	// MetricReleases counts workers the manager asked jobs to give up
+	// (migration requests; each completed one comes back as a return).
+	MetricReleases = "fela_jobs_release_requests_total"
+	// MetricReturns counts workers re-registering after serving a job —
+	// completed migrations and post-job returns.
+	MetricReturns = "fela_jobs_worker_returns_total"
+	// MetricRunning / MetricQueued gauge the current job mix.
+	MetricRunning = "fela_jobs_running"
+	MetricQueued  = "fela_jobs_queued"
+	// MetricPoolIdle / MetricPoolWorkers gauge the worker pool.
+	MetricPoolIdle    = "fela_jobs_pool_idle"
+	MetricPoolWorkers = "fela_jobs_pool_workers"
+	// MetricQueueWait is the queued-to-started latency histogram.
+	MetricQueueWait = "fela_jobs_queue_wait_seconds"
+)
+
+// mgrTelemetry bundles the manager's instruments. All methods are
+// no-ops on a nil registry (obs instruments tolerate nil receivers).
+type mgrTelemetry struct {
+	reg       *obs.Registry
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	releases  *obs.Counter
+	returns   *obs.Counter
+	running   *obs.Gauge
+	queued    *obs.Gauge
+	poolIdle  *obs.Gauge
+	poolTotal *obs.Gauge
+	queueWait *obs.Histogram
+}
+
+func newMgrTelemetry(reg *obs.Registry) mgrTelemetry {
+	reg.Help(MetricSubmitted, "Job submissions accepted.")
+	reg.Help(MetricRejected, "Job submissions rejected (validation or shutdown).")
+	reg.Help(MetricCompleted, "Jobs finished, by status.")
+	reg.Help(MetricRebalances, "Allocation passes, by trigger.")
+	reg.Help(MetricLeases, "Workers leased to jobs, by kind.")
+	reg.Help(MetricReleases, "Workers jobs were asked to release (migration requests).")
+	reg.Help(MetricReturns, "Workers re-registering with the pool after serving a job.")
+	reg.Help(MetricRunning, "Jobs currently running.")
+	reg.Help(MetricQueued, "Jobs currently queued.")
+	reg.Help(MetricPoolIdle, "Pool workers currently idle.")
+	reg.Help(MetricPoolWorkers, "Pool workers known (idle + held by jobs).")
+	reg.Help(MetricQueueWait, "Seconds from submission to first lease.")
+	return mgrTelemetry{
+		reg:       reg,
+		submitted: reg.Counter(MetricSubmitted),
+		rejected:  reg.Counter(MetricRejected),
+		releases:  reg.Counter(MetricReleases),
+		returns:   reg.Counter(MetricReturns),
+		running:   reg.Gauge(MetricRunning),
+		queued:    reg.Gauge(MetricQueued),
+		poolIdle:  reg.Gauge(MetricPoolIdle),
+		poolTotal: reg.Gauge(MetricPoolWorkers),
+		queueWait: reg.Histogram(MetricQueueWait, nil),
+	}
+}
+
+func (t *mgrTelemetry) completed(ok bool) {
+	status := "ok"
+	if !ok {
+		status = "error"
+	}
+	t.reg.Counter(MetricCompleted, "status", status).Inc()
+}
+
+func (t *mgrTelemetry) rebalanced(trigger string) {
+	t.reg.Counter(MetricRebalances, "trigger", trigger).Inc()
+}
+
+func (t *mgrTelemetry) leased(kind string, n int) {
+	t.reg.Counter(MetricLeases, "kind", kind).Add(int64(n))
+}

@@ -78,6 +78,11 @@ const (
 	// ScaleEvict is a coordinator-initiated removal (e.g. the elastic
 	// controller scaling the session down).
 	ScaleEvict = "evict"
+	// ScaleReassign is a migration request sent to a worker: asked to
+	// move to another job, it answers with a drain, so a reassign event
+	// is always followed by a leave for the same worker once the drain
+	// completes.
+	ScaleReassign = "reassign"
 )
 
 // ScaleEvent records one elastic-membership change: a worker joining,
@@ -91,7 +96,7 @@ type ScaleEvent struct {
 	Iter int
 	// Worker is the joining or departing worker id.
 	Worker int
-	// Kind is ScaleJoin, ScaleLeave or ScaleEvict.
+	// Kind is ScaleJoin, ScaleLeave, ScaleEvict or ScaleReassign.
 	Kind string
 }
 

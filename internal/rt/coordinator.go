@@ -755,6 +755,24 @@ func (co *Coordinator) applyMembership(iterTime time.Duration) {
 		ws.conn.Close()
 		co.recordScale(metrics.ScaleEvict, wid, effect)
 	}
+
+	// Migration requests: the worker answers with a leave, so the
+	// actual departure arrives through the drain path and completes at
+	// a later barrier. A send failure here is an ordinary death.
+	for _, wid := range dec.Reassign {
+		if wid < 0 || wid >= len(co.workers) {
+			continue
+		}
+		ws := co.workers[wid]
+		if !ws.alive || ws.draining {
+			continue
+		}
+		if err := ws.conn.Send(&transport.Message{Kind: transport.KindReassign, WID: wid, Iter: effect}); err != nil {
+			co.markDead(ws, "reassign", err)
+			continue
+		}
+		co.recordScale(metrics.ScaleReassign, wid, effect)
+	}
 }
 
 // takePendingLeave removes and returns the pending drain for wid, nil if

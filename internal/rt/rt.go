@@ -59,6 +59,13 @@ type Config struct {
 	// Delay(iter, wid) at the start of each iteration before requesting
 	// tokens (the §V-C2 methodology, wall-clock here).
 	Delay func(iter, wid int) time.Duration
+	// TokenDelay optionally injects a per-token compute cost: the worker
+	// sleeps TokenDelay(iter, wid) before training each assigned token.
+	// Sleeps overlap across workers, so it models a heavier model whose
+	// compute parallelizes with the worker count even on small machines
+	// (the simulated-testbed methodology). Sequential ignores it; like
+	// Delay it cannot change the training result.
+	TokenDelay func(iter, wid int) time.Duration
 	// Drain optionally scripts graceful leaves: at the start of each
 	// iteration, a worker for which Drain(iter, wid) is true announces a
 	// leave instead of pulling tokens and waits for the coordinator's
@@ -152,6 +159,12 @@ type Decision struct {
 	// Evict lists live workers to remove now (coordinator-initiated
 	// down-scaling). Evicted workers receive a shutdown, not a fault.
 	Evict []int
+	// Reassign lists live workers to ask to migrate elsewhere (the
+	// multi-tenant pool's donor-side release, internal/jobs). Each
+	// receives a reassign request and answers with a normal drain: no
+	// new worker-side states, the departure completes through the
+	// leave/drain-ack path at a later barrier.
+	Reassign []int
 }
 
 // MembershipPolicy guides elastic membership. The coordinator calls it

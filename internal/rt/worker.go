@@ -100,6 +100,18 @@ func (w *Worker) Run(conn transport.Conn) error {
 	return w.loop(conn)
 }
 
+// Serve runs the protocol loop for a worker whose admission was already
+// negotiated out of band: a multi-tenant pool (internal/jobs) leases
+// the connection to a job and delivers the registration or join
+// handshake itself, then hands the worker a conn that starts at the
+// first iter-start. It returns nil on a clean departure (drain ack or
+// shutdown), like Run.
+func (w *Worker) Serve(conn transport.Conn) error {
+	conn = transport.Instrument(conn, w.cfg.Metrics)
+	w.publishStatus(false)
+	return w.loop(conn)
+}
+
 // Join enters an in-progress elastic session: it sends a join request,
 // blocks until the coordinator admits it at an iteration barrier (the
 // ack carries the assigned worker id), then runs the normal protocol
@@ -178,6 +190,11 @@ func (w *Worker) loop(conn transport.Conn) error {
 			// span is a child of the span context that rode in the assign.
 			sp := w.cfg.Spans.StartChild("compute", w.wid, m.Span)
 			computeStart := time.Now()
+			if w.cfg.TokenDelay != nil {
+				if d := w.cfg.TokenDelay(m.Iter, w.wid); d > 0 {
+					time.Sleep(d)
+				}
+			}
 			report, err := w.train(m.Token)
 			w.lastCompute = time.Since(computeStart).Seconds()
 			sp.End()
@@ -196,6 +213,19 @@ func (w *Worker) loop(conn transport.Conn) error {
 			// token in the same breath. Best-effort for the same reason
 			// as above.
 			_ = conn.Send(&transport.Message{Kind: transport.KindRequest, WID: w.wid})
+		case transport.KindReassign:
+			// Asked to migrate to another job: answer with a normal
+			// leave and drain out — the same path as a scripted drain,
+			// so migration adds no new worker-side states. Duplicate
+			// requests while already draining are idempotent.
+			if draining {
+				continue
+			}
+			if err := conn.Send(&transport.Message{Kind: transport.KindLeave, WID: w.wid}); err != nil {
+				return fmt.Errorf("rt: worker %d leave: %w", w.wid, err)
+			}
+			draining = true
+			w.publishStatus(true)
 		case transport.KindDrainAck:
 			return nil
 		case transport.KindShutdown:

@@ -18,6 +18,13 @@ func sampleMessages() []*Message {
 		{Kind: KindJoin, WID: 5, Iter: 3},
 		{Kind: KindLeave, WID: 2},
 		{Kind: KindDrainAck, WID: 2, Iter: 6},
+		{Kind: KindSubmitJob, JobID: 2, Job: JobSpec{
+			Name: "big", Model: "mlp-small", Seed: 11, Iterations: 30,
+			TotalBatch: 128, TokenBatch: 8, LR: 0.05, Momentum: 0.5,
+			MinWorkers: 1, MaxWorkers: 4, Priority: 2,
+		}},
+		{Kind: KindJobDone, JobID: 2, Loss: 0.375, Params: [][]float32{{1, 2}, {3}}, Err: "spec rejected"},
+		{Kind: KindReassign, WID: 3, Iter: 9},
 	}
 }
 
@@ -38,6 +45,7 @@ func TestWireRoundTripAllKinds(t *testing.T) {
 		}
 		if got.Kind != m.Kind || got.WID != m.WID || got.Iter != m.Iter ||
 			got.Token != m.Token || got.Loss != m.Loss ||
+			got.Job != m.Job || got.JobID != m.JobID || got.Err != m.Err ||
 			len(got.Grads) != len(m.Grads) || len(got.Params) != len(m.Params) {
 			t.Fatalf("%v: round trip mangled: %+v -> %+v", m.Kind, m, got)
 		}

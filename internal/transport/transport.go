@@ -56,38 +56,84 @@ const (
 	// KindDrainAck confirms a drain at the iteration barrier
 	// (coordinator -> worker); the worker may disconnect.
 	KindDrainAck
+	// KindSubmitJob submits a training job to a multi-tenant pool
+	// (client -> manager, Job set), or assigns a pooled worker to a job
+	// (manager -> worker, JobID and Job set) so the worker can rebuild
+	// the job's model and dataset before joining its session.
+	KindSubmitJob
+	// KindJobDone reports a completed job back to its submitter (JobID,
+	// Loss and Params set; Err set when the job was rejected or failed).
+	KindJobDone
+	// KindReassign asks a live worker to migrate to another job
+	// (manager's coordinator -> worker): the worker answers with a
+	// normal KindLeave, drains out of the donor job at the next
+	// iteration barrier, and re-registers with the pool.
+	KindReassign
 )
+
+// kindNames orders every protocol kind next to its wire name. Kinds and
+// Kind.String both derive from this table, so a new kind added here is
+// enumerated and named everywhere at once (locked in by the transport
+// kind-table test).
+var kindNames = [...]string{
+	KindRegister:  "register",
+	KindRequest:   "request",
+	KindAssign:    "assign",
+	KindReport:    "report",
+	KindIterStart: "iter-start",
+	KindShutdown:  "shutdown",
+	KindJoin:      "join",
+	KindLeave:     "leave",
+	KindDrainAck:  "drain-ack",
+	KindSubmitJob: "submit-job",
+	KindJobDone:   "job-done",
+	KindReassign:  "reassign",
+}
 
 // Kinds lists every protocol message kind (test enumeration).
 func Kinds() []Kind {
-	return []Kind{KindRegister, KindRequest, KindAssign, KindReport, KindIterStart, KindShutdown,
-		KindJoin, KindLeave, KindDrainAck}
+	out := make([]Kind, len(kindNames))
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
 }
 
 // String names the message kind.
 func (k Kind) String() string {
-	switch k {
-	case KindRegister:
-		return "register"
-	case KindRequest:
-		return "request"
-	case KindAssign:
-		return "assign"
-	case KindReport:
-		return "report"
-	case KindIterStart:
-		return "iter-start"
-	case KindShutdown:
-		return "shutdown"
-	case KindJoin:
-		return "join"
-	case KindLeave:
-		return "leave"
-	case KindDrainAck:
-		return "drain-ack"
-	default:
-		return fmt.Sprintf("kind(%d)", int(k))
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
 	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// JobSpec describes one training job submitted to a multi-tenant pool
+// (internal/jobs). It carries everything a pooled worker needs to
+// rebuild the job's model replica and dataset deterministically: the
+// preset name plus the seeds and hyperparameters, never weights. The
+// struct is comparable so the zero value means "no job attached".
+type JobSpec struct {
+	// Name labels the job in logs, /statusz and reports.
+	Name string
+	// Model names a deterministic model/dataset preset (internal/jobs
+	// BuildSession); empty selects the default preset.
+	Model string
+	// Seed derives the model-init and dataset seeds (0 = defaults).
+	Seed int64
+	// Iterations, TotalBatch, TokenBatch, LR and Momentum mirror
+	// rt.Config for the job's session.
+	Iterations int
+	TotalBatch int
+	TokenBatch int
+	LR         float32
+	Momentum   float32
+	// MinWorkers floors the job's allocation once started (0 = 1);
+	// MaxWorkers caps it (0 = unbounded).
+	MinWorkers int
+	MaxWorkers int
+	// Priority orders jobs under the priority allocation policy; higher
+	// is more important.
+	Priority int
 }
 
 // TokenInfo describes one unit of work: train on sample rows [Lo, Hi).
@@ -105,8 +151,18 @@ type Message struct {
 	Token  TokenInfo
 	Grads  [][]float32
 	Params [][]float32
-	// Loss carries the token's training loss on reports.
+	// Loss carries the token's training loss on reports, and the final
+	// mean loss on job-done messages.
 	Loss float64
+	// Job and JobID attach a job to pool-protocol messages
+	// (internal/jobs): a submission carries the spec, a worker
+	// assignment carries both, and a worker re-registering with the
+	// pool echoes the JobID it just served (0 = fresh worker).
+	Job   JobSpec
+	JobID int
+	// Err carries a failure description on job-done messages (a
+	// rejected spec, a session error); empty means success.
+	Err string
 	// Span propagates the sender's trace context (internal/obs): an
 	// assign carries the coordinator's span, the worker's compute span
 	// becomes its child, and the report echoes the context back — one
@@ -123,6 +179,10 @@ func (m *Message) WireSize() int {
 		return 0
 	}
 	n := 64 // kind, ids, token info, span context, gob framing
+	n += len(m.Err)
+	if m.Job != (JobSpec{}) {
+		n += 48 + len(m.Job.Name) + len(m.Job.Model)
+	}
 	for _, g := range m.Grads {
 		n += 4 * len(g)
 	}

@@ -151,24 +151,52 @@ func TestDialFailure(t *testing.T) {
 	}
 }
 
-func TestKindString(t *testing.T) {
-	names := map[Kind]string{
-		KindRegister:  "register",
-		KindRequest:   "request",
-		KindAssign:    "assign",
-		KindReport:    "report",
-		KindIterStart: "iter-start",
-		KindShutdown:  "shutdown",
-		KindJoin:      "join",
-		KindLeave:     "leave",
-		KindDrainAck:  "drain-ack",
+// TestKindTable is the single source of truth for protocol-kind
+// coverage: one row per kind, checked against Kinds(), Kind.String and
+// the fuzz corpus' sampleMessages — a future kind added to the enum but
+// forgotten anywhere else fails here.
+func TestKindTable(t *testing.T) {
+	table := []struct {
+		kind Kind
+		name string
+	}{
+		{KindRegister, "register"},
+		{KindRequest, "request"},
+		{KindAssign, "assign"},
+		{KindReport, "report"},
+		{KindIterStart, "iter-start"},
+		{KindShutdown, "shutdown"},
+		{KindJoin, "join"},
+		{KindLeave, "leave"},
+		{KindDrainAck, "drain-ack"},
+		{KindSubmitJob, "submit-job"},
+		{KindJobDone, "job-done"},
+		{KindReassign, "reassign"},
 	}
-	if len(names) != len(Kinds()) {
-		t.Errorf("test names %d kinds, Kinds() lists %d", len(names), len(Kinds()))
+	if len(table) != len(Kinds()) {
+		t.Fatalf("test table has %d kinds, Kinds() lists %d", len(table), len(Kinds()))
 	}
-	for k, want := range names {
-		if k.String() != want {
-			t.Errorf("%d.String() = %s", k, k.String())
+	if len(sampleMessages()) != len(table) {
+		t.Errorf("sampleMessages covers %d kinds, protocol has %d", len(sampleMessages()), len(table))
+	}
+	sampled := map[Kind]bool{}
+	for _, m := range sampleMessages() {
+		sampled[m.Kind] = true
+	}
+	seen := map[string]bool{}
+	for i, row := range table {
+		if Kinds()[i] != row.kind {
+			t.Errorf("Kinds()[%d] = %v, want %v", i, Kinds()[i], row.kind)
+		}
+		if got := row.kind.String(); got != row.name {
+			t.Errorf("%d.String() = %q, want %q", int(row.kind), got, row.name)
+		}
+		if seen[row.name] {
+			t.Errorf("duplicate kind name %q", row.name)
+		}
+		seen[row.name] = true
+		if !sampled[row.kind] {
+			t.Errorf("sampleMessages has no %v message", row.kind)
 		}
 	}
 	if !strings.Contains(Kind(99).String(), "99") {
