@@ -49,10 +49,16 @@ jobs:
 fuzz:
 	$(GO) test ./internal/transport/ -run xxx -fuzz FuzzWireDecode -fuzztime 10s
 	$(GO) test ./internal/transport/ -run xxx -fuzz FuzzWireRoundTrip -fuzztime 10s
+	$(GO) test ./internal/transport/ -run xxx -fuzz FuzzBinaryDecode -fuzztime 10s
+	$(GO) test ./internal/transport/ -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 10s
 
+# bench smoke-runs the hot-path benchmarks (wire codecs, matmul
+# kernels) at -benchtime 100x: enough to catch a broken benchmark or a
+# pathological regression without turning CI into a perf lab.
 bench:
-	$(GO) test ./... -bench . -benchtime 100x -run xxx
+	$(GO) test ./internal/transport/ -run xxx -bench 'BenchmarkCodec' -benchtime 100x
+	$(GO) test ./internal/tensor/ -run xxx -bench 'BenchmarkMatMul' -benchtime 100x
 
-# ci is the full gate: tier-1, static analysis, race detector, and the
-# multi-tenant suite.
-ci: tier1 vet race jobs
+# ci is the full gate: tier-1, static analysis, race detector, the
+# multi-tenant suite, and the benchmark smoke pass.
+ci: tier1 vet race jobs bench

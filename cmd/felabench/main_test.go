@@ -12,14 +12,14 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	ctx := experiments.Quick()
 	for _, which := range []string{"table1", "table2", "fig1", "fig5"} {
-		if err := run(ctx, which, "", "", "", true); err != nil {
+		if err := run(ctx, which, "", "", "", "", true); err != nil {
 			t.Errorf("%s: %v", which, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(experiments.Quick(), "fig99", "", "", "", true); err == nil {
+	if err := run(experiments.Quick(), "fig99", "", "", "", "", true); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
@@ -27,7 +27,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	ctx := experiments.Quick()
-	if err := run(ctx, "fig8", dir, "", "", true); err != nil {
+	if err := run(ctx, "fig8", dir, "", "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
@@ -45,7 +45,7 @@ func TestCSVOutput(t *testing.T) {
 func TestRTBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_rt.json")
-	if err := run(experiments.Quick(), "rt", "", path, "", true); err != nil {
+	if err := run(experiments.Quick(), "rt", "", path, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -86,7 +86,7 @@ func TestRTBenchJSON(t *testing.T) {
 func TestJobsBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_jobs.json")
-	if err := run(experiments.Quick(), "jobs", "", "", path, true); err != nil {
+	if err := run(experiments.Quick(), "jobs", "", "", path, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -91,9 +91,9 @@ func rtBenchConfig(quick bool) rt.Config {
 	}
 }
 
-func rtBenchNet() *minidnn.Network    { return minidnn.NewMLP(42, 16, 32, 4) }
-func rtBenchData() *minidnn.Dataset   { return minidnn.SyntheticBlobs(7, 256, 16, 4) }
-func rtTokens(cfg rt.Config) int      { return cfg.TotalBatch / cfg.TokenBatch }
+func rtBenchNet() *minidnn.Network       { return minidnn.NewMLP(42, 16, 32, 4) }
+func rtBenchData() *minidnn.Dataset      { return minidnn.SyntheticBlobs(7, 256, 16, 4) }
+func rtTokens(cfg rt.Config) int         { return cfg.TotalBatch / cfg.TokenBatch }
 func rtSecondsSince(t time.Time) float64 { return time.Since(t).Seconds() }
 
 // runRTBench measures the real-time engine's throughput per policy and

@@ -1,0 +1,334 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fela/internal/minidnn"
+	"fela/internal/rt"
+	"fela/internal/transport"
+)
+
+// The wire benchmark measures the fast path the binary codec was built
+// for: serializing VGG-scale parameter broadcasts. VGG-16 carries about
+// 138M float32 parameters; the full run uses 1/8 of that (a 69 MB
+// frame) so a gob baseline still finishes in seconds, quick mode 1/64.
+const vggParams = 138_000_000
+
+// wireCodecEntry is one (codec, kind) microbenchmark: ns and heap bytes
+// per encode and per decode of a representative frame.
+type wireCodecEntry struct {
+	Codec      string  `json:"codec"`
+	Kind       string  `json:"kind"`
+	Floats     int     `json:"floats"`
+	FrameBytes int     `json:"frame_bytes"`
+	EncodeNsOp float64 `json:"encode_ns_per_op"`
+	EncodeBOp  float64 `json:"encode_bytes_per_op"`
+	DecodeNsOp float64 `json:"decode_ns_per_op"`
+	DecodeBOp  float64 `json:"decode_bytes_per_op"`
+}
+
+// wireSessionEntry is one end-to-end 4-worker TCP training session.
+type wireSessionEntry struct {
+	Codec        string  `json:"codec"`
+	Workers      int     `json:"workers"`
+	Iterations   int     `json:"iterations"`
+	Seconds      float64 `json:"seconds"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// wireSummary states the acceptance ratios on the iter-start frame.
+type wireSummary struct {
+	Kind             string  `json:"kind"`
+	EncodeSpeedup    float64 `json:"encode_speedup"`
+	DecodeSpeedup    float64 `json:"decode_speedup"`
+	EncodeAllocRatio float64 `json:"encode_alloc_ratio"`
+	DecodeAllocRatio float64 `json:"decode_alloc_ratio"`
+}
+
+// wireBenchReport is the machine-readable BENCH_wire.json payload.
+type wireBenchReport struct {
+	Name      string             `json:"name"`
+	Quick     bool               `json:"quick"`
+	TimeStamp string             `json:"timestamp"`
+	Codec     []wireCodecEntry   `json:"codec_micro"`
+	Sessions  []wireSessionEntry `json:"sessions"`
+	Summary   wireSummary        `json:"summary"`
+}
+
+// wireIterStart builds the hot broadcast frame: n float32 parameters
+// split into layer-sized tensors like a flattened deep CNN.
+func wireIterStart(n int) *transport.Message {
+	var chunks [][]float32
+	for rem := n; rem > 0; {
+		c := rem
+		if c > 1<<20 {
+			c = 1 << 20
+		}
+		s := make([]float32, c)
+		for i := range s {
+			s[i] = float32(i%113) * 0.25
+		}
+		chunks = append(chunks, s)
+		rem -= c
+	}
+	return &transport.Message{Kind: transport.KindIterStart, Iter: 5, Params: chunks}
+}
+
+// wireMessages are the frames measured per codec: the bulk broadcast,
+// a gradient report (1/100 of the broadcast: one token's slice), and
+// the two tiny control frames.
+func wireMessages(scale int) []*transport.Message {
+	grads := wireIterStart(vggParams / scale / 100).Params
+	return []*transport.Message{
+		wireIterStart(vggParams / scale),
+		{Kind: transport.KindReport, WID: 2, Iter: 5,
+			Token: transport.TokenInfo{ID: 9, Seq: 1, Lo: 8, Hi: 16},
+			Grads: grads, Loss: 0.75},
+		{Kind: transport.KindAssign, Iter: 2,
+			Token: transport.TokenInfo{ID: 17, Seq: 3, Lo: 24, Hi: 32, Owner: 1}},
+		{Kind: transport.KindRequest, WID: 1, Iter: 4},
+	}
+}
+
+// measure times fn over iters runs (after one warm-up call) and returns
+// wall ns/op and heap bytes/op from the runtime's TotalAlloc delta.
+func measure(iters int, fn func() error) (nsOp, bOp float64, err error) {
+	if err := fn(); err != nil { // warm up pools and gob type state
+		return 0, 0, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return float64(elapsed.Nanoseconds()) / float64(iters),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters), nil
+}
+
+// benchCodecKind measures encode and decode of m under one codec.
+func benchCodecKind(codec string, m *transport.Message, iters int) (wireCodecEntry, error) {
+	e := wireCodecEntry{Codec: codec, Kind: m.Kind.String()}
+	for _, p := range m.Params {
+		e.Floats += len(p)
+	}
+	for _, g := range m.Grads {
+		e.Floats += len(g)
+	}
+
+	var frame []byte
+	var encode, decode func() error
+	switch codec {
+	case transport.CodecBinary:
+		// The pooled path tcpConn.Send really runs.
+		encode = func() error {
+			buf, err := transport.EncodeBinaryPooled(m)
+			if err != nil {
+				return err
+			}
+			transport.ReleaseFrame(buf)
+			return nil
+		}
+		var err error
+		frame, err = transport.EncodeBinary(m)
+		if err != nil {
+			return e, err
+		}
+		decode = func() error {
+			got, err := transport.DecodeBinary(frame)
+			if err != nil {
+				return err
+			}
+			got.Release()
+			return nil
+		}
+	case transport.CodecGob:
+		encode = func() error {
+			_, err := transport.EncodeFrame(m)
+			return err
+		}
+		var err error
+		frame, err = transport.EncodeFrame(m)
+		if err != nil {
+			return e, err
+		}
+		decode = func() error {
+			_, err := transport.DecodeFrame(frame)
+			return err
+		}
+	default:
+		return e, fmt.Errorf("wire bench: unknown codec %q", codec)
+	}
+	e.FrameBytes = len(frame)
+
+	var err error
+	if e.EncodeNsOp, e.EncodeBOp, err = measure(iters, encode); err != nil {
+		return e, fmt.Errorf("wire bench: %s encode %s: %w", codec, e.Kind, err)
+	}
+	if e.DecodeNsOp, e.DecodeBOp, err = measure(iters, decode); err != nil {
+		return e, fmt.Errorf("wire bench: %s decode %s: %w", codec, e.Kind, err)
+	}
+	return e, nil
+}
+
+// runWireSession trains the shared rt bench workload end to end over
+// real TCP under the named codec and reports tokens/sec.
+func runWireSession(codec string, quick bool, ref *rt.Result) (wireSessionEntry, error) {
+	cfg := rtBenchConfig(quick)
+	e := wireSessionEntry{Codec: codec, Workers: cfg.Workers, Iterations: cfg.Iterations}
+
+	l, err := transport.ListenCodec("127.0.0.1:0", codec)
+	if err != nil {
+		return e, err
+	}
+	defer l.Close()
+
+	conns := make([]transport.Conn, cfg.Workers)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := range conns {
+			c, err := l.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			conns[i] = c
+		}
+		acceptErr <- nil
+	}()
+	workerErrs := make(chan error, cfg.Workers)
+	for wid := 0; wid < cfg.Workers; wid++ {
+		wid := wid
+		go func() {
+			c, err := transport.DialCodec(l.Addr(), codec)
+			if err != nil {
+				workerErrs <- err
+				return
+			}
+			defer c.Close()
+			workerErrs <- rt.NewWorker(wid, rtBenchNet(), rtBenchData(), cfg).Run(c)
+		}()
+	}
+	if err := <-acceptErr; err != nil {
+		return e, err
+	}
+
+	co, err := rt.NewCoordinator(rtBenchNet(), cfg)
+	if err != nil {
+		return e, err
+	}
+	start := time.Now()
+	res, err := co.Run(conns)
+	if err != nil {
+		return e, err
+	}
+	e.Seconds = time.Since(start).Seconds()
+	for i := 0; i < cfg.Workers; i++ {
+		if err := <-workerErrs; err != nil {
+			return e, err
+		}
+	}
+	if e.Seconds > 0 {
+		e.TokensPerSec = float64(cfg.Iterations*rtTokens(cfg)) / e.Seconds
+	}
+	e.BitIdentical = minidnn.ParamsEqual(ref.Params, res.Params)
+	return e, nil
+}
+
+// runWireBench measures the wire fast path (codec microbenchmarks plus
+// end-to-end sessions) and writes the report as JSON to path.
+func runWireBench(quick bool, path string, out func(string)) error {
+	scale, bulkIters := 8, 5
+	if quick {
+		scale, bulkIters = 64, 10
+	}
+
+	report := wireBenchReport{
+		Name:      "wire-path",
+		Quick:     quick,
+		TimeStamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	msgs := wireMessages(scale)
+	for _, codec := range []string{transport.CodecBinary, transport.CodecGob} {
+		for _, m := range msgs {
+			iters := bulkIters
+			if m.Kind == transport.KindAssign || m.Kind == transport.KindRequest {
+				iters = 10_000 // control frames are sub-microsecond
+			}
+			e, err := benchCodecKind(codec, m, iters)
+			if err != nil {
+				return err
+			}
+			report.Codec = append(report.Codec, e)
+		}
+	}
+
+	// Acceptance ratios on the iter-start frame (entry 0 per codec).
+	bin, gob := report.Codec[0], report.Codec[len(msgs)]
+	report.Summary = wireSummary{
+		Kind:             bin.Kind,
+		EncodeSpeedup:    ratio(gob.EncodeNsOp, bin.EncodeNsOp),
+		DecodeSpeedup:    ratio(gob.DecodeNsOp, bin.DecodeNsOp),
+		EncodeAllocRatio: ratio(gob.EncodeBOp, bin.EncodeBOp),
+		DecodeAllocRatio: ratio(gob.DecodeBOp, bin.DecodeBOp),
+	}
+
+	ref, err := rt.Sequential(rtBenchNet(), rtBenchData(), rtBenchConfig(quick))
+	if err != nil {
+		return fmt.Errorf("wire bench: sequential reference: %w", err)
+	}
+	for _, codec := range []string{transport.CodecBinary, transport.CodecGob} {
+		e, err := runWireSession(codec, quick, ref)
+		if err != nil {
+			return fmt.Errorf("wire bench: %s session: %w", codec, err)
+		}
+		report.Sessions = append(report.Sessions, e)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("wire bench: %w", err)
+	}
+	out(renderWireBench(report, path))
+	return nil
+}
+
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// renderWireBench formats the report for the terminal.
+func renderWireBench(r wireBenchReport, path string) string {
+	s := fmt.Sprintf("Wire codec fast path (wrote %s)\n", path)
+	s += fmt.Sprintf("%-8s %-12s %12s %14s %14s %14s %14s\n",
+		"codec", "kind", "frame-bytes", "enc-ns/op", "enc-B/op", "dec-ns/op", "dec-B/op")
+	for _, e := range r.Codec {
+		s += fmt.Sprintf("%-8s %-12s %12d %14.0f %14.0f %14.0f %14.0f\n",
+			e.Codec, e.Kind, e.FrameBytes, e.EncodeNsOp, e.EncodeBOp, e.DecodeNsOp, e.DecodeBOp)
+	}
+	s += fmt.Sprintf("iter-start binary vs gob: encode %.1fx faster / %.0fx fewer bytes allocated, decode %.1fx faster / %.0fx fewer\n",
+		r.Summary.EncodeSpeedup, r.Summary.EncodeAllocRatio, r.Summary.DecodeSpeedup, r.Summary.DecodeAllocRatio)
+	s += fmt.Sprintf("%-8s %8s %8s %12s %s\n", "codec", "workers", "iters", "tokens/s", "bit-identical")
+	for _, e := range r.Sessions {
+		s += fmt.Sprintf("%-8s %8d %8d %12.1f %v\n",
+			e.Codec, e.Workers, e.Iterations, e.TokensPerSec, e.BitIdentical)
+	}
+	return s
+}

@@ -109,15 +109,19 @@ func main() {
 		"jobs: worker allocation policy (fair-share, priority, throughput-max)")
 	maxJobs := flag.Int("max-jobs", 0,
 		"jobs: shut down after this many jobs complete (0 = run until interrupted)")
+	codec := flag.String("codec", transport.DefaultCodec,
+		"wire codec (binary or gob); every felaworker must use the same value")
 	flag.Parse()
 
 	oo := obsOpts{statusAddr: *statusAddr, traceJSON: *traceJSON}
 	var err error
-	if *jobsMode {
-		err = runJobs(*addr, *alloc, *maxJobs, *workerTimeout, oo)
+	if !transport.ValidCodec(*codec) {
+		err = fmt.Errorf("unknown codec %q (want %s or %s)", *codec, transport.CodecBinary, transport.CodecGob)
+	} else if *jobsMode {
+		err = runJobs(*addr, *codec, *alloc, *maxJobs, *workerTimeout, oo)
 	} else {
 		opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
-		err = run(*addr, *workers, *iters, *workerTimeout, opts, oo)
+		err = run(*addr, *codec, *workers, *iters, *workerTimeout, opts, oo)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felaserver:", err)
@@ -129,7 +133,7 @@ func main() {
 // both pool workers and job submissions (the manager classifies each
 // connection by its first message). With maxJobs > 0 the server drains
 // and exits after that many completions.
-func runJobs(addr, alloc string, maxJobs int, workerTimeout time.Duration, oo obsOpts) error {
+func runJobs(addr, codec, alloc string, maxJobs int, workerTimeout time.Duration, oo obsOpts) error {
 	pol, ok := jobs.PolicyByName(alloc)
 	if !ok {
 		return fmt.Errorf("unknown allocation policy %q (want fair-share, priority or throughput-max)", alloc)
@@ -175,7 +179,7 @@ func runJobs(addr, alloc string, maxJobs int, workerTimeout time.Duration, oo ob
 		fmt.Printf("felaserver: telemetry on http://%s (/metrics /statusz /trace /debug/pprof)\n", bound)
 	}
 
-	l, err := transport.Listen(addr)
+	l, err := transport.ListenCodec(addr, codec)
 	if err != nil {
 		mgr.Stop()
 		<-mgr.Done()
@@ -217,7 +221,7 @@ func runJobs(addr, alloc string, maxJobs int, workerTimeout time.Duration, oo ob
 	return nil
 }
 
-func run(addr string, workers, iters int, workerTimeout time.Duration, opts elasticOpts, oo obsOpts) error {
+func run(addr, codec string, workers, iters int, workerTimeout time.Duration, opts elasticOpts, oo obsOpts) error {
 	if opts.enabled && workerTimeout == 0 {
 		// Elastic membership rides on the fault-tolerant machinery (a
 		// drain is a planned death); give it a generous default deadline.
@@ -259,12 +263,12 @@ func run(addr string, workers, iters int, workerTimeout time.Duration, opts elas
 		defer stop()
 		fmt.Printf("felaserver: telemetry on http://%s (/metrics /statusz /trace /debug/pprof)\n", bound)
 	}
-	l, err := transport.Listen(addr)
+	l, err := transport.ListenCodec(addr, codec)
 	if err != nil {
 		return err
 	}
 	defer l.Close()
-	fmt.Printf("felaserver: listening on %s, waiting for %d workers\n", l.Addr(), workers)
+	fmt.Printf("felaserver: listening on %s (%s codec), waiting for %d workers\n", l.Addr(), codec, workers)
 
 	conns := make([]transport.Conn, workers)
 	for i := range conns {

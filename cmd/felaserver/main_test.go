@@ -71,7 +71,7 @@ func TestServerStrictSession(t *testing.T) {
 	for wid := 0; wid < workers; wid++ {
 		startWorker(t, addr, wid, workers, iters, cfg, &wg)
 	}
-	if err := run(addr, workers, iters, 0, elasticOpts{}, obsOpts{}); err != nil {
+	if err := run(addr, transport.DefaultCodec, workers, iters, 0, elasticOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -126,7 +126,7 @@ func TestServerElasticSession(t *testing.T) {
 		joined <- assigned
 	}()
 
-	if err := run(addr, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}); err != nil {
+	if err := run(addr, transport.DefaultCodec, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -137,7 +137,7 @@ func TestServerElasticSession(t *testing.T) {
 
 // TestServerElasticValidation: nonsensical elastic bounds fail fast.
 func TestServerElasticValidation(t *testing.T) {
-	err := run(freeAddr(t), 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{})
+	err := run(freeAddr(t), transport.DefaultCodec, 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{})
 	if err == nil {
 		t.Fatal("min-workers > max-workers accepted")
 	}
@@ -206,7 +206,7 @@ func TestServerObservabilityE2E(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run(addr, workers, iters, 2*time.Second,
+		done <- run(addr, transport.DefaultCodec, workers, iters, 2*time.Second,
 			elasticOpts{enabled: true, minWorkers: 1},
 			obsOpts{statusAddr: statusAddr, traceJSON: traceJSON})
 	}()
@@ -332,7 +332,7 @@ func TestServerJobsMode(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- runJobs(addr, "throughput-max", 2, 2*time.Second, obsOpts{})
+		done <- runJobs(addr, transport.DefaultCodec, "throughput-max", 2, 2*time.Second, obsOpts{})
 	}()
 
 	const poolWorkers = 3

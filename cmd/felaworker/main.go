@@ -58,13 +58,17 @@ func main() {
 	pool := flag.Bool("pool", false, "register with a felaserver -jobs pool and serve assigned jobs until shutdown")
 	statusAddr := flag.String("status-addr", "",
 		"serve worker-side telemetry (/metrics, /statusz, /trace, /debug/pprof) on this address (empty = off)")
+	codec := flag.String("codec", transport.DefaultCodec,
+		"wire codec (binary or gob); must match the felaserver's -codec")
 	flag.Parse()
 
 	var err error
-	if *pool {
-		err = runPool(*addr, *sleepMS, *retries, *statusAddr)
+	if !transport.ValidCodec(*codec) {
+		err = fmt.Errorf("unknown codec %q (want %s or %s)", *codec, transport.CodecBinary, transport.CodecGob)
+	} else if *pool {
+		err = runPool(*addr, *codec, *sleepMS, *retries, *statusAddr)
 	} else {
-		err = run(*addr, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *statusAddr)
+		err = run(*addr, *codec, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *statusAddr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felaworker:", err)
@@ -76,7 +80,7 @@ func main() {
 // jobs until the pool shuts down, reconnecting between jobs and after
 // migrations. The session parameters come from each assignment's
 // JobSpec, so no -workers/-iters agreement is needed.
-func runPool(addr string, sleepMS, retries int, statusAddr string) error {
+func runPool(addr, codec string, sleepMS, retries int, statusAddr string) error {
 	opts := jobs.PoolWorkerOptions{
 		Log: func(format string, args ...any) {
 			fmt.Printf("felaworker: "+format+"\n", args...)
@@ -98,7 +102,7 @@ func runPool(addr string, sleepMS, retries int, statusAddr string) error {
 		fmt.Printf("felaworker: telemetry on http://%s\n", bound)
 	}
 	dial := func() (transport.Conn, error) {
-		return transport.DialRetry(addr, retries, 100*time.Millisecond)
+		return transport.DialRetryCodec(addr, retries, 100*time.Millisecond, codec)
 	}
 	served, err := jobs.RunPoolWorker(dial, opts)
 	if err != nil {
@@ -108,7 +112,7 @@ func runPool(addr string, sleepMS, retries int, statusAddr string) error {
 	return nil
 }
 
-func run(addr string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int, statusAddr string) error {
+func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int, statusAddr string) error {
 	cfg := rt.Config{
 		Workers:    workers,
 		TotalBatch: 64,
@@ -129,7 +133,7 @@ func run(addr string, wid, workers, iters, sleepMS, retries int, join bool, drai
 	net := minidnn.NewMLP(42, 16, 32, 4)
 	ds := minidnn.SyntheticBlobs(7, 256, 16, 4)
 
-	conn, err := transport.DialRetry(addr, retries, 100*time.Millisecond)
+	conn, err := transport.DialRetryCodec(addr, retries, 100*time.Millisecond, codec)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"fela/internal/obs"
 	"fela/internal/transport"
 )
 
@@ -44,6 +45,18 @@ func (q *queuedConn) SetTimeouts(send, recv time.Duration) {
 	transport.SetTimeouts(q.Conn, send, recv)
 }
 
+// SendBroadcast forwards the encode-once fast path to the wrapped conn
+// so the coordinator's parameter fan-out stays cached through the
+// wrapper.
+func (q *queuedConn) SendBroadcast(b *transport.Broadcast) error {
+	return transport.SendBroadcast(q.Conn, b)
+}
+
+// SetMetrics forwards codec telemetry attachment to the wrapped conn.
+func (q *queuedConn) SetMetrics(reg *obs.Registry) {
+	transport.SetConnMetrics(q.Conn, reg)
+}
+
 // asyncSendBuffer bounds the per-connection coordinator→worker send
 // queue. The iteration barrier keeps the genuine in-flight volume to a
 // few dozen messages, so a backlog this deep means the worker has
@@ -69,7 +82,7 @@ const asyncSendBuffer = 4096
 // workers treat both as "session over, rejoin".
 type asyncConn struct {
 	inner transport.Conn
-	queue chan *transport.Message
+	queue chan sendItem
 	stop  chan struct{}
 	once  sync.Once
 
@@ -77,10 +90,18 @@ type asyncConn struct {
 	err error
 }
 
+// sendItem is one queued outbound unit: an ordinary message, or a shared
+// broadcast whose cached frame the forwarder fans out via the transport's
+// encode-once path.
+type sendItem struct {
+	m *transport.Message
+	b *transport.Broadcast
+}
+
 func newAsyncConn(c transport.Conn) *asyncConn {
 	a := &asyncConn{
 		inner: c,
-		queue: make(chan *transport.Message, asyncSendBuffer),
+		queue: make(chan sendItem, asyncSendBuffer),
 		stop:  make(chan struct{}),
 	}
 	go a.forward()
@@ -92,8 +113,14 @@ func (a *asyncConn) forward() {
 		select {
 		case <-a.stop:
 			return
-		case m := <-a.queue:
-			if err := a.inner.Send(m); err != nil {
+		case it := <-a.queue:
+			var err error
+			if it.b != nil {
+				err = transport.SendBroadcast(a.inner, it.b)
+			} else {
+				err = a.inner.Send(it.m)
+			}
+			if err != nil {
 				a.mu.Lock()
 				a.err = err
 				a.mu.Unlock()
@@ -104,6 +131,17 @@ func (a *asyncConn) forward() {
 }
 
 func (a *asyncConn) Send(m *transport.Message) error {
+	return a.enqueue(sendItem{m: m})
+}
+
+// SendBroadcast queues the shared broadcast; the cached frame survives
+// the queue, so the encode-once property holds even though delivery is
+// deferred to the forwarding goroutine.
+func (a *asyncConn) SendBroadcast(b *transport.Broadcast) error {
+	return a.enqueue(sendItem{b: b})
+}
+
+func (a *asyncConn) enqueue(it sendItem) error {
 	a.mu.Lock()
 	err := a.err
 	a.mu.Unlock()
@@ -111,7 +149,7 @@ func (a *asyncConn) Send(m *transport.Message) error {
 		return err
 	}
 	select {
-	case a.queue <- m:
+	case a.queue <- it:
 		return nil
 	case <-a.stop:
 		return transport.ErrClosed
@@ -133,4 +171,9 @@ func (a *asyncConn) Close() error {
 // forwarding goroutine then inherits per-send deadlines.
 func (a *asyncConn) SetTimeouts(send, recv time.Duration) {
 	transport.SetTimeouts(a.inner, send, recv)
+}
+
+// SetMetrics forwards codec telemetry attachment to the inner conn.
+func (a *asyncConn) SetMetrics(reg *obs.Registry) {
+	transport.SetConnMetrics(a.inner, reg)
 }

@@ -72,6 +72,13 @@ type Coordinator struct {
 	waiting    []*workerState // parked pull requests, FIFO
 	iterTokens map[int]int    // tokens reported per worker this iteration
 
+	// gradViews[seq] are the per-tensor views every report's gradients
+	// are copied into, all carved from one session-long arena. Copying
+	// at report time (instead of keeping m.Grads until the barrier) is
+	// what lets pooled transport messages be released immediately, and
+	// it hoists the per-report slice allocations out of the hot loop.
+	gradViews [][][]float32
+
 	// Telemetry (internal/obs). tele instruments are nil-safe no-ops
 	// when Config.Metrics is nil; status is the atomically published
 	// /statusz snapshot; rates holds the per-worker EWMA token rates;
@@ -221,6 +228,8 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 	nTok := co.cfg.tokensPerIter()
 	frac := float32(co.cfg.TokenBatch) / float32(co.cfg.TotalBatch)
 	vel := zerosLike(co.net.Params())
+	acc := zerosLike(co.net.Params())
+	co.initGradArena(nTok)
 
 	for co.it = 0; co.it < co.cfg.Iterations; co.it++ {
 		iterStart := time.Now()
@@ -228,16 +237,15 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 			return nil, err
 		}
 		// Canonical-order aggregation: identical arithmetic to
-		// Sequential, so results match bitwise.
+		// Sequential, so results match bitwise. Gradient sizes were
+		// validated when each report arrived (see the KindReport case),
+		// so every view here matches its accumulator.
 		barrierStart := time.Now()
-		acc := zerosLike(co.net.Params())
+		zeroAll(acc)
 		var loss float64
 		for _, tok := range co.tokens {
 			loss += tok.loss / float64(nTok)
 			for i := range acc {
-				if len(tok.grads[i]) != acc[i].Len() {
-					return nil, fmt.Errorf("rt: gradient %d size mismatch", i)
-				}
 				for j, g := range tok.grads[i] {
 					acc[i].Data[j] += frac * g
 				}
@@ -418,6 +426,32 @@ wait:
 	return nil
 }
 
+// initGradArena carves nTok sets of per-tensor gradient views out of one
+// flat float32 arena sized to the whole iteration's gradient volume. The
+// arena lives for the session and is overwritten every iteration —
+// reports are copied into their token's views as they arrive, replacing
+// the old pattern of retaining every report's freshly allocated slices
+// until the barrier.
+func (co *Coordinator) initGradArena(nTok int) {
+	params := co.net.Params()
+	per := 0
+	for _, t := range params {
+		per += t.Len()
+	}
+	arena := make([]float32, nTok*per)
+	co.gradViews = make([][][]float32, nTok)
+	off := 0
+	for seq := range co.gradViews {
+		views := make([][]float32, len(params))
+		for i, t := range params {
+			n := t.Len()
+			views[i] = arena[off : off+n : off+n]
+			off += n
+		}
+		co.gradViews[seq] = views
+	}
+}
+
 // connIndex locates a connection among the initial slots (-1 for
 // admitted connections).
 func (co *Coordinator) connIndex(conns []transport.Conn, c transport.Conn) int {
@@ -460,11 +494,17 @@ func (co *Coordinator) runIteration(nTok int) error {
 	co.iterSpan = co.cfg.Spans.StartRoot("iteration", 0)
 	params := flatten(co.net.Params())
 	start := &transport.Message{Kind: transport.KindIterStart, Iter: co.it, Params: params, Span: co.iterSpan.Context()}
+	// Encode-once fan-out: over the binary codec the parameter payload
+	// is serialized exactly once per iteration and every worker —
+	// including joiners admitted at this barrier — receives the same
+	// cached frame. Transports without shareable frames fall back to a
+	// plain send of the same message.
+	bc := transport.NewBroadcast(start)
 	for _, ws := range co.workers {
 		if !ws.alive || ws.draining {
 			continue
 		}
-		if err := ws.conn.Send(start); err != nil {
+		if err := transport.SendBroadcast(ws.conn, bc); err != nil {
 			if !co.faultTolerant() {
 				return fmt.Errorf("rt: iter-start to worker %d: %w", ws.wid, err)
 			}
@@ -560,9 +600,22 @@ func (co *Coordinator) runIteration(nTok int) error {
 				if seq < 0 || seq >= nTok || co.tokens[seq].done {
 					return fmt.Errorf("rt: bogus report for token seq %d", seq)
 				}
+				// Validate and copy the gradients into the token's arena
+				// views now, so the (possibly pooled) message can be
+				// released instead of retained until the barrier.
+				views := co.gradViews[seq]
+				if len(m.Grads) != len(views) {
+					return fmt.Errorf("rt: report for token %d carries %d gradient tensors, want %d", seq, len(m.Grads), len(views))
+				}
+				for i, g := range m.Grads {
+					if len(g) != len(views[i]) {
+						return fmt.Errorf("rt: gradient %d size mismatch", i)
+					}
+					copy(views[i], g)
+				}
 				tok := co.tokens[seq]
 				tok.done = true
-				tok.grads = m.Grads
+				tok.grads = views
 				tok.loss = m.Loss
 				if assignedAt, ok := ws.outstanding[seq]; ok {
 					co.tele.tokenLat.Observe(time.Since(assignedAt).Seconds())
@@ -578,6 +631,7 @@ func (co *Coordinator) runIteration(nTok int) error {
 					co.tele.steals.Inc()
 				}
 				remaining--
+				m.Release() // gradients are copied out; recycle the codec arena
 			case transport.KindLeave:
 				if !co.elastic() {
 					detail := fmt.Errorf("%w: worker %d sent leave without elastic mode", errProtocol, ws.wid)

@@ -220,8 +220,9 @@ func Sequential(net *minidnn.Network, ds *minidnn.Dataset, cfg Config) (*Result,
 	nTok := cfg.tokensPerIter()
 	frac := float32(cfg.TokenBatch) / float32(cfg.TotalBatch)
 	vel := zerosLike(net.Params())
+	acc := zerosLike(net.Params())
 	for it := 0; it < cfg.Iterations; it++ {
-		acc := zerosLike(net.Params())
+		zeroAll(acc)
 		var loss float64
 		for seq := 0; seq < nTok; seq++ {
 			lo := seq * cfg.TokenBatch
@@ -264,10 +265,34 @@ func zerosLike(ts []*tensor.Tensor) []*tensor.Tensor {
 	return out
 }
 
+// zeroAll clears a reused accumulation buffer between iterations —
+// hoisting the per-iteration zerosLike allocation out of the hot loop.
+func zeroAll(ts []*tensor.Tensor) {
+	for _, t := range ts {
+		t.Zero()
+	}
+}
+
+// flatten copies the tensors' data into per-tensor slices carved from
+// one flat backing array: a single allocation for the whole model
+// instead of one per tensor. The copy is deliberate — the result must
+// not alias live network state, because the in-memory transport delivers
+// it by reference and a zombie worker may still read it after the
+// coordinator has moved on to the next barrier.
 func flatten(ts []*tensor.Tensor) [][]float32 {
+	total := 0
+	for _, t := range ts {
+		total += t.Len()
+	}
+	backing := make([]float32, total)
 	out := make([][]float32, len(ts))
+	off := 0
 	for i, t := range ts {
-		out[i] = append([]float32(nil), t.Data...)
+		n := t.Len()
+		dst := backing[off : off+n : off+n]
+		copy(dst, t.Data)
+		out[i] = dst
+		off += n
 	}
 	return out
 }

@@ -205,4 +205,3 @@ func (co *Coordinator) StatusAny() any {
 	}
 	return nil
 }
-

@@ -8,7 +8,6 @@ import (
 
 	"fela/internal/minidnn"
 	"fela/internal/obs"
-	"fela/internal/tensor"
 	"fela/internal/transport"
 )
 
@@ -153,12 +152,14 @@ func (w *Worker) loop(conn transport.Conn) error {
 		switch m.Kind {
 		case transport.KindIterStart:
 			if draining {
+				m.Release()
 				continue // parameters are irrelevant while awaiting the ack
 			}
 			w.iter = m.Iter
 			sp := w.cfg.Spans.StartChild("install-params", w.wid, m.Span)
 			fetchStart := time.Now()
 			w.setParams(m.Params)
+			m.Release() // parameters are installed; recycle the codec arena
 			w.lastFetch = time.Since(fetchStart).Seconds()
 			sp.End()
 			w.fetch.Observe(w.lastFetch)
@@ -236,16 +237,21 @@ func (w *Worker) loop(conn transport.Conn) error {
 	}
 }
 
+// setParams installs a parameter broadcast by copying straight into the
+// network's live tensors — one copy, no intermediate clone. The payload
+// may be a pooled codec arena or a message shared with other in-process
+// workers, so it is read-only here and unreferenced after the copy.
 func (w *Worker) setParams(flat [][]float32) {
 	params := w.net.Params()
 	if len(flat) != len(params) {
 		panic(fmt.Sprintf("rt: worker %d got %d parameter tensors, want %d", w.wid, len(flat), len(params)))
 	}
-	ts := make([]*tensor.Tensor, len(flat))
 	for i, data := range flat {
-		ts[i] = tensor.FromSlice(append([]float32(nil), data...), params[i].Shape...)
+		if len(data) != params[i].Len() {
+			panic(fmt.Sprintf("rt: worker %d parameter %d has %d elements, want %d", w.wid, i, len(data), params[i].Len()))
+		}
+		copy(params[i].Data, data)
 	}
-	w.net.SetParams(ts)
 }
 
 func (w *Worker) train(tok transport.TokenInfo) (*transport.Message, error) {

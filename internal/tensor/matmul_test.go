@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randTensor fills a tensor with values drawn from rng, with a sprinkle
+// of exact zeros so the kernels' zero-skip paths are exercised.
+func randTensor(rng *rand.Rand, rows, cols int) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		if rng.Intn(8) == 0 {
+			continue // exact zero
+		}
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// TestBlockedMatMulBitIdentical compares every blocked kernel against
+// its naive reference across shapes chosen to hit partial tiles, single
+// tiles and multi-tile paths. Equality is bitwise (Tensor.Equal), not
+// approximate: blocking may only reorder traversal, never arithmetic,
+// or the engine's bit-identical-to-Sequential guarantee breaks.
+func TestBlockedMatMulBitIdentical(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{matmulBlock, matmulBlock, matmulBlock},
+		{matmulBlock + 1, matmulBlock + 1, matmulBlock + 1},
+		{17, 2*matmulBlock + 9, 31},
+		{5, 200, 150},
+		{130, 70, 129},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range shapes {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(t *testing.T) {
+			a := randTensor(rng, s.m, s.k)
+			b := randTensor(rng, s.k, s.n)
+			if got, want := MatMul(a, b), matMulNaive(a, b); !got.Equal(want) {
+				t.Errorf("MatMul diverges from naive kernel (max |Δ| %g)", got.MaxAbsDiff(want))
+			}
+			at := randTensor(rng, s.k, s.m)
+			if got, want := MatMulAT(at, b), matMulATNaive(at, b); !got.Equal(want) {
+				t.Errorf("MatMulAT diverges from naive kernel (max |Δ| %g)", got.MaxAbsDiff(want))
+			}
+			bt := randTensor(rng, s.n, s.k)
+			if got, want := MatMulBT(a, bt), matMulBTNaive(a, bt); !got.Equal(want) {
+				t.Errorf("MatMulBT diverges from naive kernel (max |Δ| %g)", got.MaxAbsDiff(want))
+			}
+		})
+	}
+}
+
+// benchDim is large enough that the working set (three ~1 MiB
+// matrices) spills L2, where tiling pays.
+const benchDim = 512
+
+func benchPair(rows, cols int) (*Tensor, *Tensor) {
+	rng := rand.New(rand.NewSource(11))
+	return randTensor(rng, rows, cols), randTensor(rng, cols, rows)
+}
+
+func BenchmarkMatMulBlocked(b *testing.B) {
+	x, y := benchPair(benchDim, benchDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulNaive(b *testing.B) {
+	x, y := benchPair(benchDim, benchDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		matMulNaive(x, y)
+	}
+}
+
+func BenchmarkMatMulATBlocked(b *testing.B) {
+	x, y := benchPair(benchDim, benchDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulAT(x, y)
+	}
+}
+
+func BenchmarkMatMulATNaive(b *testing.B) {
+	x, y := benchPair(benchDim, benchDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		matMulATNaive(x, y)
+	}
+}
+
+func BenchmarkMatMulBTBlocked(b *testing.B) {
+	x, y := benchPair(benchDim, benchDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulBT(x, y)
+	}
+}
+
+func BenchmarkMatMulBTNaive(b *testing.B) {
+	x, y := benchPair(benchDim, benchDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		matMulBTNaive(x, y)
+	}
+}

@@ -140,11 +140,53 @@ func (t *Tensor) MaxAbsDiff(x *Tensor) float64 {
 	return m
 }
 
+// matmulBlock is the cache-tile edge for the blocked matmul kernels: a
+// 64×64 float32 tile is 16 KiB, two of which sit comfortably in a
+// typical 32 KiB L1d.
+const matmulBlock = 64
+
+// The blocked kernels below reorder only the *traversal*, never the
+// per-element arithmetic: for every output element (i,j) the additions
+// still happen in ascending p order, accumulating into a single running
+// value, so results are bitwise identical to the naive kernels (the
+// repo-wide bit-reproducibility guarantee). The naive kernels are kept
+// as unexported references that the correctness tests compare against.
+
 // MatMul computes C = A·B for A (m×k) and B (k×n).
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v", a.Shape, b.Shape))
 	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	if k <= matmulBlock {
+		return matMulNaive(a, b) // a single tile; skip the tiling overhead
+	}
+	c := New(m, n)
+	// Block the p dimension: a band of matmulBlock rows of B stays
+	// cache-resident while every row of A sweeps it, so B is pulled
+	// from memory once instead of once per row of A. p ascends across
+	// and within bands, so each (i,j) sees the naive addition order.
+	for pb := 0; pb < k; pb += matmulBlock {
+		pe := min(pb+matmulBlock, k)
+		for i := 0; i < m; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for p := pb; p < pe; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+	return c
+}
+
+func matMulNaive(a, b *Tensor) *Tensor {
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	c := New(m, n)
 	for i := 0; i < m; i++ {
@@ -170,6 +212,36 @@ func MatMulAT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulAT shapes %v x %v", a.Shape, b.Shape))
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	if m <= matmulBlock {
+		return matMulATNaive(a, b)
+	}
+	c := New(m, n)
+	// Block the i dimension: a band of matmulBlock rows of C stays
+	// cache-resident for the entire p sweep instead of the naive
+	// kernel's full C re-walk per p. Within a band p remains the outer
+	// loop, so each (i,j) still accumulates in ascending p order.
+	for ib := 0; ib < m; ib += matmulBlock {
+		ie := min(ib+matmulBlock, m)
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := ib; i < ie; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+	return c
+}
+
+func matMulATNaive(a, b *Tensor) *Tensor {
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	c := New(m, n)
 	for p := 0; p < k; p++ {
 		arow := a.Data[p*m : (p+1)*m]
@@ -193,6 +265,35 @@ func MatMulBT(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulBT shapes %v x %v", a.Shape, b.Shape))
 	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	if n <= matmulBlock {
+		return matMulBTNaive(a, b)
+	}
+	c := New(m, n)
+	// Block the j dimension: a band of matmulBlock rows of B stays
+	// cache-resident while every row of A dots against it, so B is
+	// pulled from memory once instead of once per row of A. Each dot
+	// product is still one left-to-right pass over p — the naive
+	// addition sequence exactly.
+	for jb := 0; jb < n; jb += matmulBlock {
+		je := min(jb+matmulBlock, n)
+		for i := 0; i < m; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for j := jb; j < je; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var sum float32
+				for p, av := range arow {
+					sum += av * brow[p]
+				}
+				crow[j] = sum
+			}
+		}
+	}
+	return c
+}
+
+func matMulBTNaive(a, b *Tensor) *Tensor {
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	c := New(m, n)
 	for i := 0; i < m; i++ {

@@ -1,7 +1,9 @@
-// Command gencorpus regenerates the committed fuzz corpus for the
-// transport wire codec under internal/transport/testdata/fuzz: one valid
-// frame per protocol kind, plus truncated and bit-flipped variants of
-// each. Run from the repo root:
+// Command gencorpus regenerates the committed fuzz corpora for the
+// transport wire codecs under internal/transport/testdata/fuzz: one
+// valid frame per protocol kind, plus truncated and bit-flipped
+// variants of each — for the gob decoder (FuzzWireDecode) and the
+// binary decoder (FuzzBinaryDecode, which also gets oversized-length
+// seeds). Run from the repo root:
 //
 //	go run ./internal/transport/gencorpus
 package main
@@ -16,10 +18,6 @@ import (
 )
 
 func main() {
-	dir := filepath.Join("internal", "transport", "testdata", "fuzz", "FuzzWireDecode")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatal(err)
-	}
 	msgs := []*transport.Message{
 		{Kind: transport.KindRegister, WID: 3},
 		{Kind: transport.KindRequest, WID: 1, Iter: 4},
@@ -29,29 +27,50 @@ func main() {
 		{Kind: transport.KindIterStart, Iter: 7, Params: [][]float32{{3, 1, 4}, {1, 5}}},
 		{Kind: transport.KindShutdown},
 	}
-	n := 0
-	emit := func(name string, data []byte) {
-		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+	total := 0
+	writeCorpus := func(target string, encode func(*transport.Message) ([]byte, error), extra map[string][]byte) {
+		dir := filepath.Join("internal", "transport", "testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fatal(err)
 		}
-		n++
-	}
-	for _, m := range msgs {
-		data, err := transport.EncodeFrame(m)
-		if err != nil {
-			fatal(err)
+		n := 0
+		emit := func(name string, data []byte) {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				fatal(err)
+			}
+			n++
 		}
-		kind := m.Kind.String()
-		emit("valid-"+kind, data)
-		emit("truncated-"+kind, data[:len(data)/2])
-		garbled := append([]byte(nil), data...)
-		garbled[len(garbled)/3] ^= 0xff
-		emit("garbled-"+kind, garbled)
+		for _, m := range msgs {
+			data, err := encode(m)
+			if err != nil {
+				fatal(err)
+			}
+			kind := m.Kind.String()
+			emit("valid-"+kind, data)
+			emit("truncated-"+kind, data[:len(data)/2])
+			garbled := append([]byte(nil), data...)
+			garbled[len(garbled)/3] ^= 0xff
+			emit("garbled-"+kind, garbled)
+		}
+		emit("empty", nil)
+		emit("noise", []byte{0xff, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x7f})
+		for name, data := range extra {
+			emit(name, data)
+		}
+		fmt.Printf("gencorpus: wrote %d corpus entries to %s\n", n, dir)
+		total += n
 	}
-	emit("empty", nil)
-	emit("noise", []byte{0xff, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x7f})
-	fmt.Printf("gencorpus: wrote %d corpus entries to %s\n", n, dir)
+	writeCorpus("FuzzWireDecode", transport.EncodeFrame, nil)
+	writeCorpus("FuzzBinaryDecode", transport.EncodeBinary, map[string][]byte{
+		// A header whose declared payload length is far beyond the bytes
+		// present: must be rejected before any allocation.
+		"oversized-length": {0xFE, 0x7A, 1, 3, 0xff, 0xff, 0xff, 0x0f},
+		// Wrong magic and an unsupported version.
+		"bad-magic":   {0x00, 0x7A, 1, 0, 0, 0, 0, 0},
+		"bad-version": {0xFE, 0x7A, 9, 0, 0, 0, 0, 0},
+	})
+	_ = total
 }
 
 func fatal(err error) {

@@ -40,6 +40,9 @@ func Instrument(c Conn, reg *obs.Registry) Conn {
 	reg.Help(MetricRecvWait, "Recv blocking time in seconds (includes waiting for the peer).")
 	reg.Help(MetricDeadlines, "Per-message deadline expiries by operation.")
 	reg.Help(MetricErrors, "Connection errors by operation and classification (excluding deadline expiries).")
+	// Conns with a wire codec also get codec-level telemetry (encode/
+	// decode ops, real wire bytes, latency) in the same registry.
+	SetConnMetrics(c, reg)
 	return &instrumentedConn{inner: c, reg: reg}
 }
 
@@ -72,6 +75,23 @@ func (ic *instrumentedConn) Recv() (*Message, error) {
 	ic.reg.Histogram(MetricRecvWait, nil).Observe(time.Since(start).Seconds())
 	ic.record("recv", m, err)
 	return m, err
+}
+
+// SendBroadcast forwards the encode-once fast path to the wrapped
+// connection (falling back to a plain Send), recording the same traffic
+// telemetry as Send.
+func (ic *instrumentedConn) SendBroadcast(b *Broadcast) error {
+	start := time.Now()
+	err := SendBroadcast(ic.inner, b)
+	ic.reg.Histogram(MetricSendSecs, nil).Observe(time.Since(start).Seconds())
+	ic.record("send", b.Msg, err)
+	return err
+}
+
+// SetMetrics forwards codec telemetry attachment to the wrapped
+// connection when it has a codec.
+func (ic *instrumentedConn) SetMetrics(reg *obs.Registry) {
+	SetConnMetrics(ic.inner, reg)
 }
 
 func (ic *instrumentedConn) Close() error { return ic.inner.Close() }

@@ -1,8 +1,11 @@
 // Package transport carries the Fela token protocol between the
 // coordinator (Token Server) and workers in the real-time engine
 // (internal/rt). Two transports are provided: an in-memory pair for
-// single-process training and tests, and TCP with a gob wire codec for
-// genuinely distributed runs (cmd/felaserver, cmd/felaworker).
+// single-process training and tests, and TCP for genuinely distributed
+// runs (cmd/felaserver, cmd/felaworker). TCP connections speak one of
+// two wire codecs: the length-prefixed binary frame format (codec.go,
+// the default) or the original reflection-driven gob stream, kept as a
+// fallback for old corpora and cross-version runs.
 //
 // Fault model: connections can time out (per-message send/receive
 // deadlines via SetTimeouts), lose their peer (process crash, network
@@ -14,13 +17,16 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fela/internal/obs"
@@ -168,6 +174,11 @@ type Message struct {
 	// becomes its child, and the report echoes the context back — one
 	// distributed trace per token round-trip. Zero when tracing is off.
 	Span obs.SpanContext
+
+	// pooled, when non-nil, is the codec arena the Grads/Params slices
+	// were carved from; Release returns it. Unexported so gob ignores
+	// it and hand-built messages are never mistaken for pooled ones.
+	pooled *[]float32
 }
 
 // WireSize estimates the message's encoded size in bytes: the float
@@ -414,20 +425,74 @@ func (c *memConn) Close() error {
 	return nil
 }
 
-// tcpConn wraps a net.Conn with gob encoding.
+// countingWriter and countingReader give the gob path real wire byte
+// counts for the codec telemetry (the binary path knows its frame sizes
+// exactly).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// tcpConn wraps a net.Conn with a wire codec: the binary frame format
+// (codec.go, the default) or the original gob stream.
 type tcpConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	mu   sync.Mutex // serializes Send
+	conn  net.Conn
+	codec string
+
+	// gob path: stream encoders with byte accounting.
+	enc *gob.Encoder
+	dec *gob.Decoder
+	cw  *countingWriter
+	cr  *countingReader
+
+	// binary path: buffered header reads; writes go straight to the
+	// socket from a pooled frame buffer.
+	br *bufio.Reader
+
+	mu sync.Mutex // serializes Send
 
 	tmu         sync.Mutex
 	sendTimeout time.Duration
 	recvTimeout time.Duration
+
+	stats atomic.Pointer[codecStats]
 }
 
-func newTCPConn(c net.Conn) *tcpConn {
-	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+func newTCPConn(c net.Conn, codec string) *tcpConn {
+	tc := &tcpConn{conn: c, codec: codec}
+	switch codec {
+	case CodecGob:
+		tc.cw = &countingWriter{w: c}
+		tc.cr = &countingReader{r: c}
+		tc.enc = gob.NewEncoder(tc.cw)
+		tc.dec = gob.NewDecoder(tc.cr)
+	default:
+		tc.br = bufio.NewReaderSize(c, 1<<16)
+	}
+	return tc
+}
+
+// SetMetrics attaches a registry the conn's codec work is recorded into
+// (per-kind encode/decode ops, wire bytes, latency).
+func (c *tcpConn) SetMetrics(reg *obs.Registry) {
+	c.stats.Store(newCodecStats(reg, c.codec))
 }
 
 // SetTimeouts bounds each subsequent Send and Recv via socket deadlines.
@@ -451,7 +516,52 @@ func (c *tcpConn) Send(m *Message) error {
 			return err
 		}
 	}
-	return c.enc.Encode(m)
+	if c.enc != nil {
+		st := c.stats.Load()
+		start := time.Now()
+		before := c.cw.n
+		if err := c.enc.Encode(m); err != nil {
+			return err
+		}
+		st.encoded(m.Kind, int(c.cw.n-before), start)
+		return nil
+	}
+	st := c.stats.Load()
+	start := time.Now()
+	bp := framePool.Get().(*[]byte)
+	buf, err := AppendFrame((*bp)[:0], m)
+	if err != nil {
+		framePool.Put(bp)
+		return err
+	}
+	st.encoded(m.Kind, len(buf), start)
+	_, werr := c.conn.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
+	return werr
+}
+
+// SendBroadcast writes the broadcast's shared frame. On the binary
+// codec the frame is encoded once (by whichever conn sends first) and
+// the cached bytes are written verbatim; gob streams carry per-stream
+// type state and cannot share frames, so they re-encode via Send.
+func (c *tcpConn) SendBroadcast(b *Broadcast) error {
+	if c.enc != nil {
+		return c.Send(b.Msg)
+	}
+	frame, err := b.binaryFrame(c.stats.Load())
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if send, _ := c.timeouts(); send > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(send)); err != nil {
+			return err
+		}
+	}
+	_, err = c.conn.Write(frame)
+	return err
 }
 
 func (c *tcpConn) Recv() (*Message, error) {
@@ -460,7 +570,53 @@ func (c *tcpConn) Recv() (*Message, error) {
 			return nil, err
 		}
 	}
-	return decodeFrom(c.dec)
+	if c.dec != nil {
+		st := c.stats.Load()
+		start := time.Now()
+		before := c.cr.n
+		m, err := decodeFrom(c.dec)
+		if err != nil {
+			return nil, err
+		}
+		st.decoded(m.Kind, int(c.cr.n-before), start)
+		return m, nil
+	}
+	return c.recvBinary()
+}
+
+// recvBinary reads and decodes one binary frame. The header is
+// validated — magic, version, length bound — before the payload is
+// read, so a garbled stream fails as ClassCodec without a huge
+// allocation, and a stream torn mid-frame fails as ClassPeerGone via
+// io.ErrUnexpectedEOF.
+func (c *tcpConn) recvBinary() (*Message, error) {
+	st := c.stats.Load()
+	start := time.Now()
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return nil, &CodecError{fmt.Errorf("bad magic %#02x %#02x", hdr[0], hdr[1])}
+	}
+	if hdr[2] != frameVersion {
+		return nil, &CodecError{fmt.Errorf("unsupported frame version %d", hdr[2])}
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > MaxFrameBytes {
+		return nil, &CodecError{fmt.Errorf("payload length %d exceeds MaxFrameBytes %d", n, MaxFrameBytes)}
+	}
+	bp := getFrameBuf(int(n))
+	defer putFrameBuf(bp)
+	if _, err := io.ReadFull(c.br, *bp); err != nil {
+		return nil, err
+	}
+	m, err := decodePayload(Kind(hdr[3]), *bp)
+	if err != nil {
+		return nil, err
+	}
+	st.decoded(m.Kind, frameHeader+int(n), start)
+	return m, nil
 }
 
 func (c *tcpConn) Close() error { return c.conn.Close() }
@@ -502,18 +658,30 @@ func DecodeFrame(data []byte) (*Message, error) {
 	return decodeFrom(gob.NewDecoder(bytes.NewReader(data)))
 }
 
-// Listener accepts TCP protocol connections.
+// Listener accepts TCP protocol connections, all speaking one codec.
 type Listener struct {
-	l net.Listener
+	l     net.Listener
+	codec string
 }
 
-// Listen binds a TCP listener, e.g. on "127.0.0.1:0".
+// Listen binds a TCP listener, e.g. on "127.0.0.1:0", speaking
+// DefaultCodec.
 func Listen(addr string) (*Listener, error) {
+	return ListenCodec(addr, DefaultCodec)
+}
+
+// ListenCodec binds a TCP listener whose accepted connections speak the
+// named wire codec (CodecBinary or CodecGob). Both ends of a connection
+// must agree on the codec.
+func ListenCodec(addr, codec string) (*Listener, error) {
+	if !ValidCodec(codec) {
+		return nil, fmt.Errorf("transport: unknown codec %q", codec)
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &Listener{l: l}, nil
+	return &Listener{l: l, codec: codec}, nil
 }
 
 // Addr returns the bound address.
@@ -525,26 +693,40 @@ func (l *Listener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, l.codec), nil
 }
 
 // Close stops the listener.
 func (l *Listener) Close() error { return l.l.Close() }
 
-// Dial connects to a coordinator at addr.
+// Dial connects to a coordinator at addr speaking DefaultCodec.
 func Dial(addr string) (Conn, error) {
+	return DialCodec(addr, DefaultCodec)
+}
+
+// DialCodec connects to a coordinator at addr speaking the named wire
+// codec; it must match the listener's.
+func DialCodec(addr, codec string) (Conn, error) {
+	if !ValidCodec(codec) {
+		return nil, fmt.Errorf("transport: unknown codec %q", codec)
+	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, codec), nil
 }
 
-// DialRetry dials addr, retrying with exponential backoff (doubling from
-// backoff, capped at 2s) until a connection succeeds or attempts run
-// out. It is how workers ride out a coordinator that has not bound its
-// port yet.
+// DialRetry dials addr with DefaultCodec, retrying with exponential
+// backoff (doubling from backoff, capped at 2s) until a connection
+// succeeds or attempts run out. It is how workers ride out a
+// coordinator that has not bound its port yet.
 func DialRetry(addr string, attempts int, backoff time.Duration) (Conn, error) {
+	return DialRetryCodec(addr, attempts, backoff, DefaultCodec)
+}
+
+// DialRetryCodec is DialRetry with an explicit wire codec.
+func DialRetryCodec(addr string, attempts int, backoff time.Duration, codec string) (Conn, error) {
 	if attempts <= 0 {
 		attempts = 1
 	}
@@ -558,7 +740,7 @@ func DialRetry(addr string, attempts int, backoff time.Duration) (Conn, error) {
 			}
 		}
 		var c Conn
-		if c, err = Dial(addr); err == nil {
+		if c, err = DialCodec(addr, codec); err == nil {
 			return c, nil
 		}
 	}
