@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench ci
+.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,14 @@ bench:
 	$(GO) test ./internal/transport/ -run xxx -bench 'BenchmarkCodec' -benchtime 100x
 	$(GO) test ./internal/tensor/ -run xxx -bench 'BenchmarkMatMul' -benchtime 100x
 
+# cluster smoke-runs the cluster-mode experiment (100-job Poisson trace
+# against a TokenDelay pool, one pass per scheduling configuration) and
+# writes BENCH_cluster.json. The full 1000-job run is `go run
+# ./cmd/felabench -experiment cluster` without -quick.
+cluster:
+	$(GO) run ./cmd/felabench -quick -experiment cluster
+
 # ci is the full gate: tier-1, static analysis, race detector, the
-# multi-tenant suite, and the benchmark smoke pass.
-ci: tier1 vet race jobs bench
+# multi-tenant suite, the benchmark smoke pass, and the cluster-mode
+# smoke run.
+ci: tier1 vet race jobs bench cluster

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"fela/internal/jobs"
+	"fela/internal/minidnn"
+	"fela/internal/obs"
+	"fela/internal/transport"
+	"fela/internal/workload"
+)
+
+// Cluster-mode experiment: a synthesized open-loop arrival trace (the
+// full run replays 1000 Poisson arrivals, quick 100) against a
+// TokenDelay-simulated worker pool, once per scheduling configuration.
+// The admission-controlled OASiS entry is the paper's point: under
+// overload it keeps admitted jobs inside their SLOs while the
+// admit-everything policies drag the whole population late.
+const (
+	// clusterTokenDelay is the simulated per-token compute cost every
+	// pool worker injects (see jobsTokenDelay for the methodology). It
+	// is set high enough that token compute dominates per-iteration
+	// overhead AND the trace's offered load lands ~1.3× over pool
+	// capacity — the overload regime where the scheduling
+	// configurations actually diverge. SLOs are derived from the same
+	// cost (slack × the job's ideal single-worker runtime).
+	clusterTokenDelay = 25 * time.Millisecond
+	// clusterSampleSize bounds the per-entry bit-identity verification:
+	// that many completed jobs are re-trained sequentially and compared
+	// parameter-for-parameter.
+	clusterSampleSize = 5
+)
+
+// clusterCase is one scheduling configuration of the sweep.
+type clusterCase struct {
+	policy    jobs.AllocPolicy
+	admission jobs.AdmissionPolicy // nil = admit everything
+}
+
+func clusterCases() []clusterCase {
+	return []clusterCase{
+		{policy: jobs.FairShare{}},
+		{policy: jobs.Priority{}},
+		{policy: &jobs.ThroughputMax{}},
+		{policy: jobs.NewOASiS(), admission: jobs.NewOASiS()},
+	}
+}
+
+// clusterBenchEntry is one configuration's aggregate outcome.
+type clusterBenchEntry struct {
+	Policy      string `json:"policy"`
+	Admission   string `json:"admission,omitempty"`
+	PoolWorkers int    `json:"pool_workers"`
+
+	Submitted int `json:"submitted"`
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	// QueueWaitP50/P99Seconds summarize admitted jobs' submission-to-
+	// start latency.
+	QueueWaitP50Seconds float64 `json:"queue_wait_p50_seconds"`
+	QueueWaitP99Seconds float64 `json:"queue_wait_p99_seconds"`
+	// SLOAttainment is jobs finishing inside their SLO over ALL
+	// submissions — a rejected job counts as a miss, so admission
+	// control cannot win by rejecting everything.
+	SLOAttainment    float64 `json:"slo_attainment"`
+	AdmittedFraction float64 `json:"admitted_fraction"`
+	// Fairness is the Jain index over completed jobs' worker-iterations.
+	Fairness        float64 `json:"fairness_index"`
+	AggTokensPerSec float64 `json:"agg_tokens_per_sec"`
+
+	// SampleBitIdentical reports the determinism spot-check: sampled
+	// completed jobs re-trained sequentially and compared bitwise.
+	SampleBitIdentical bool `json:"sample_bit_identical"`
+	SampleSize         int  `json:"sample_size"`
+
+	PoolMetrics map[string]map[string]int64 `json:"pool_metrics,omitempty"`
+}
+
+// clusterBenchReport is the machine-readable BENCH_cluster.json payload.
+type clusterBenchReport struct {
+	Name        string              `json:"name"`
+	Quick       bool                `json:"quick"`
+	TimeStamp   string              `json:"timestamp"`
+	TraceJobs   int                 `json:"trace_jobs"`
+	Generator   string              `json:"generator"`
+	Seed        int64               `json:"seed"`
+	PoolWorkers int                 `json:"pool_workers"`
+	Entries     []clusterBenchEntry `json:"entries"`
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runClusterPool replays the trace against a fresh pool under one
+// scheduling configuration.
+func runClusterPool(cs clusterCase, nWorkers int, tr workload.Trace) (clusterBenchEntry, error) {
+	reg := obs.NewRegistry()
+	mgr := jobs.NewManager(jobs.Config{
+		Policy:    cs.policy,
+		Admission: cs.admission,
+		Tick:      20 * time.Millisecond,
+		Metrics:   reg,
+	})
+	dial := func() (transport.Conn, error) {
+		select {
+		case <-mgr.Done():
+			return nil, fmt.Errorf("pool stopped")
+		default:
+		}
+		a, b := transport.Pair()
+		mgr.Admit(b)
+		return a, nil
+	}
+	workersDone := make(chan error, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		go func() {
+			_, err := jobs.RunPoolWorker(dial, jobs.PoolWorkerOptions{
+				Metrics:    reg,
+				TokenDelay: func(int, int) time.Duration { return clusterTokenDelay },
+			})
+			workersDone <- err
+		}()
+	}
+
+	entry := clusterBenchEntry{
+		Policy:      cs.policy.Name(),
+		PoolWorkers: nWorkers,
+	}
+	if cs.admission != nil {
+		entry.Admission = cs.admission.Name()
+	}
+
+	// Open-loop replay: submissions fire on the trace's own clock
+	// regardless of how far behind the pool falls.
+	results := make(chan jobs.JobResult, len(tr.Events))
+	start := time.Now()
+	submitted := workload.Replay(tr, 1, nil, func(e workload.Event) {
+		_, ch, err := mgr.SubmitJob(e.Spec, jobs.SubmitOptions{SLO: e.SLO})
+		if err != nil {
+			results <- jobs.JobResult{Spec: e.Spec, SLO: e.SLO, Err: err}
+			return
+		}
+		go func() { results <- <-ch }()
+	})
+
+	var all []jobs.JobResult
+	for i := 0; i < submitted; i++ {
+		all = append(all, <-results)
+	}
+	entry.MakespanSeconds = time.Since(start).Seconds()
+
+	mgr.Stop()
+	<-mgr.Done()
+	for i := 0; i < nWorkers; i++ {
+		if err := <-workersDone; err != nil {
+			return clusterBenchEntry{}, fmt.Errorf("pool worker: %w", err)
+		}
+	}
+
+	entry.Submitted = submitted
+	var waits []float64
+	var iters []int
+	var done []jobs.JobResult
+	totalTokens := 0
+	met := 0
+	for _, r := range all {
+		switch {
+		case errors.Is(r.Err, jobs.ErrRejected):
+			entry.Rejected++
+			continue
+		case r.Err != nil:
+			entry.Failed++
+		default:
+			entry.Completed++
+			done = append(done, r)
+			iters = append(iters, r.WorkerIters)
+			totalTokens += r.Spec.Iterations * (r.Spec.TotalBatch / r.Spec.TokenBatch)
+			if r.SLO > 0 && r.QueueWait+r.Runtime <= r.SLO {
+				met++
+			}
+		}
+		waits = append(waits, r.QueueWait.Seconds())
+	}
+	entry.Admitted = entry.Completed + entry.Failed
+	sort.Float64s(waits)
+	entry.QueueWaitP50Seconds = quantile(waits, 0.50)
+	entry.QueueWaitP99Seconds = quantile(waits, 0.99)
+	if submitted > 0 {
+		entry.SLOAttainment = float64(met) / float64(submitted)
+		entry.AdmittedFraction = float64(entry.Admitted) / float64(submitted)
+	}
+	entry.Fairness = jainIndex(iters)
+	if entry.MakespanSeconds > 0 {
+		entry.AggTokensPerSec = float64(totalTokens) / entry.MakespanSeconds
+	}
+
+	// Determinism spot-check: an evenly spaced sample of completed jobs
+	// must match their solo sequential references bitwise. The trace's
+	// bounded seed spread keeps the reference cost trivial.
+	entry.SampleBitIdentical = true
+	if len(done) > 0 {
+		step := len(done) / clusterSampleSize
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(done) && entry.SampleSize < clusterSampleSize; i += step {
+			r := done[i]
+			ref, err := jobs.Reference(r.Spec)
+			if err != nil {
+				return clusterBenchEntry{}, err
+			}
+			entry.SampleSize++
+			if !minidnn.ParamsEqual(ref.Params, r.Result.Params) {
+				entry.SampleBitIdentical = false
+			}
+		}
+	}
+
+	entry.PoolMetrics = map[string]map[string]int64{}
+	for _, name := range []string{
+		jobs.MetricCompleted, jobs.MetricLeases, jobs.MetricReleases,
+		jobs.MetricReturns, jobs.MetricRebalances, jobs.MetricAdmission,
+	} {
+		if vals := reg.CounterValues(name); len(vals) > 0 {
+			entry.PoolMetrics[name] = vals
+		}
+	}
+	return entry, nil
+}
+
+// runClusterBench synthesizes the arrival trace, sweeps the scheduling
+// configurations and writes BENCH_cluster.json.
+func runClusterBench(quick bool, path string, out func(string)) error {
+	// Arrival rates put the offered load at roughly twice the pool's
+	// token capacity — deep enough overload that an admit-everything
+	// policy drags the whole population past its SLOs.
+	nJobs, nWorkers, rate := 1000, 16, 64.0
+	if quick {
+		nJobs, nWorkers, rate = 100, 8, 35.0
+	}
+	const seed = 4242
+	tr, err := workload.Synthesize(
+		workload.Poisson{Rate: rate}, workload.DefaultMix(clusterTokenDelay), nJobs, seed)
+	if err != nil {
+		return fmt.Errorf("cluster bench: %w", err)
+	}
+	tr.Name = "cluster-poisson"
+
+	report := clusterBenchReport{
+		Name:        "cluster",
+		Quick:       quick,
+		TimeStamp:   time.Now().UTC().Format(time.RFC3339),
+		TraceJobs:   nJobs,
+		Generator:   tr.Generator,
+		Seed:        seed,
+		PoolWorkers: nWorkers,
+	}
+	for _, cs := range clusterCases() {
+		entry, err := runClusterPool(cs, nWorkers, tr)
+		if err != nil {
+			return fmt.Errorf("cluster bench: %s: %w", cs.policy.Name(), err)
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cluster bench: %w", err)
+	}
+	out(renderClusterBench(report, path))
+	return nil
+}
+
+// renderClusterBench formats the report for the terminal.
+func renderClusterBench(r clusterBenchReport, path string) string {
+	s := fmt.Sprintf("Cluster mode: %d-job %s trace on %d workers (wrote %s)\n",
+		r.TraceJobs, r.Generator, r.PoolWorkers, path)
+	s += fmt.Sprintf("%-16s %-10s %9s %9s %10s %9s %9s %9s %s\n",
+		"policy", "admission", "makespan", "slo-att", "admitted", "p50 wait", "p99 wait", "fairness", "sample-ok")
+	for _, e := range r.Entries {
+		adm := e.Admission
+		if adm == "" {
+			adm = "-"
+		}
+		s += fmt.Sprintf("%-16s %-10s %8.2fs %9.3f %6d/%-3d %8.2fs %8.2fs %9.3f %v\n",
+			e.Policy, adm, e.MakespanSeconds, e.SLOAttainment,
+			e.Admitted, e.Submitted, e.QueueWaitP50Seconds, e.QueueWaitP99Seconds,
+			e.Fairness, e.SampleBitIdentical)
+	}
+	return s
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	felabench [-quick] [-experiment all|table1|...|extensions|rt|jobs|wire]
+//	felabench [-quick] [-experiment all|table1|...|extensions|rt|jobs|wire|cluster]
 //	felabench -csvdir out/    # also write plotting-ready CSV series
 package main
 
@@ -21,24 +21,25 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run with reduced iteration counts")
-	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10, extensions, rt, jobs, wire)")
+	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10, extensions, rt, jobs, wire, cluster)")
 	csvDir := flag.String("csvdir", "", "also write each figure's data series as CSV files into this directory")
 	rtJSON := flag.String("rtjson", "BENCH_rt.json", "path for the rt experiment's machine-readable report")
 	jobsJSON := flag.String("jobsjson", "BENCH_jobs.json", "path for the jobs experiment's machine-readable report")
 	wireJSON := flag.String("wirejson", "BENCH_wire.json", "path for the wire experiment's machine-readable report")
+	clusterJSON := flag.String("clusterjson", "BENCH_cluster.json", "path for the cluster experiment's machine-readable report")
 	flag.Parse()
 
 	ctx := experiments.Default()
 	if *quick {
 		ctx = experiments.Quick()
 	}
-	if err := run(ctx, *which, *csvDir, *rtJSON, *jobsJSON, *wireJSON, *quick); err != nil {
+	if err := run(ctx, *which, *csvDir, *rtJSON, *jobsJSON, *wireJSON, *clusterJSON, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "felabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx *experiments.Context, which, csvDir, rtJSON, jobsJSON, wireJSON string, quick bool) error {
+func run(ctx *experiments.Context, which, csvDir, rtJSON, jobsJSON, wireJSON, clusterJSON string, quick bool) error {
 	all := which == "all"
 	out := func(s string) { fmt.Println(s) }
 	writeCSV := func(name, data string) error {
@@ -165,8 +166,13 @@ func run(ctx *experiments.Context, which, csvDir, rtJSON, jobsJSON, wireJSON str
 			return err
 		}
 	}
+	if all || which == "cluster" {
+		if err := runClusterBench(quick, clusterJSON, out); err != nil {
+			return err
+		}
+	}
 	switch which {
-	case "all", "table1", "fig1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "extensions", "rt", "jobs", "wire":
+	case "all", "table1", "fig1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "extensions", "rt", "jobs", "wire", "cluster":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", which)

@@ -12,14 +12,14 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	ctx := experiments.Quick()
 	for _, which := range []string{"table1", "table2", "fig1", "fig5"} {
-		if err := run(ctx, which, "", "", "", "", true); err != nil {
+		if err := run(ctx, which, "", "", "", "", "", true); err != nil {
 			t.Errorf("%s: %v", which, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(experiments.Quick(), "fig99", "", "", "", "", true); err == nil {
+	if err := run(experiments.Quick(), "fig99", "", "", "", "", "", true); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
@@ -27,7 +27,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	ctx := experiments.Quick()
-	if err := run(ctx, "fig8", dir, "", "", "", true); err != nil {
+	if err := run(ctx, "fig8", dir, "", "", "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
@@ -45,7 +45,7 @@ func TestCSVOutput(t *testing.T) {
 func TestRTBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_rt.json")
-	if err := run(experiments.Quick(), "rt", "", path, "", "", true); err != nil {
+	if err := run(experiments.Quick(), "rt", "", path, "", "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -83,10 +83,68 @@ func TestRTBenchJSON(t *testing.T) {
 	}
 }
 
+func TestClusterBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench replays a 100-job trace; skipped in -short")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_cluster.json")
+	if err := run(experiments.Quick(), "cluster", "", "", "", "", path, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report clusterBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_cluster.json does not parse: %v", err)
+	}
+	if report.Name != "cluster" || !report.Quick {
+		t.Errorf("report header = %+v", report)
+	}
+	want := map[string]bool{
+		"fair-share": false, "priority": false,
+		"throughput-max": false, "oasis": false,
+	}
+	for _, e := range report.Entries {
+		if _, ok := want[e.Policy]; !ok {
+			t.Errorf("unexpected policy %q", e.Policy)
+			continue
+		}
+		want[e.Policy] = true
+		if e.Submitted != report.TraceJobs {
+			t.Errorf("%s: %d submitted, want the whole %d-job trace", e.Policy, e.Submitted, report.TraceJobs)
+		}
+		if e.Admitted != e.Completed+e.Failed || e.Admitted+e.Rejected != e.Submitted {
+			t.Errorf("%s: inconsistent counts: %+v", e.Policy, e)
+		}
+		if e.Policy == "oasis" {
+			if e.Admission != "oasis" {
+				t.Errorf("oasis entry missing its admission gate: %+v", e)
+			}
+		} else if e.Rejected != 0 {
+			t.Errorf("%s: rejected %d jobs with no admission gate", e.Policy, e.Rejected)
+		}
+		if e.MakespanSeconds <= 0 || e.Completed == 0 {
+			t.Errorf("%s: degenerate run: %+v", e.Policy, e)
+		}
+		if e.SampleSize == 0 || !e.SampleBitIdentical {
+			t.Errorf("%s: bit-identity spot-check failed: size=%d ok=%v",
+				e.Policy, e.SampleSize, e.SampleBitIdentical)
+		}
+	}
+	for policy, seen := range want {
+		if !seen {
+			t.Errorf("policy %q missing from report", policy)
+		}
+	}
+}
+
 func TestJobsBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_jobs.json")
-	if err := run(experiments.Quick(), "jobs", "", "", path, "", true); err != nil {
+	if err := run(experiments.Quick(), "jobs", "", "", path, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

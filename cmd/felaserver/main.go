@@ -31,14 +31,23 @@
 // With -jobs, the server becomes a multi-tenant job manager instead of
 // a single session: `felaworker -pool` processes register once into a
 // shared elastic pool, clients submit training jobs over the same port,
-// and the -alloc policy (fair-share, priority, throughput-max) decides
-// how the pool is divided, migrating workers between jobs through their
-// normal elastic drain/join machinery. Every completed job is verified
-// bit-identical to the same job trained alone. -max-jobs makes the
-// server exit after that many completions (demo/CI mode).
+// and the -alloc policy (fair-share, priority, throughput-max, oasis)
+// decides how the pool is divided, migrating workers between jobs
+// through their normal elastic drain/join machinery. Every completed
+// job is verified bit-identical to the same job trained alone.
+// -max-jobs makes the server exit after that many completions (demo/CI
+// mode). -admission gates arrivals with an online admission policy
+// (oasis rejects work the pool could only serve past its SLO).
+//
+// With -cluster-trace, the server replays a recorded JSONL arrival
+// trace (see internal/workload) against its own pool on the trace's
+// open-loop clock — -trace-scale speeds the clock up — prints a
+// cluster summary (admitted/rejected, SLO attainment) when every
+// submission has settled, then drains and exits.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +60,7 @@ import (
 	"fela/internal/obs"
 	"fela/internal/rt"
 	"fela/internal/transport"
+	"fela/internal/workload"
 )
 
 // sessionConfig derives the shared session parameters both server and
@@ -106,9 +116,15 @@ func main() {
 	jobsMode := flag.Bool("jobs", false,
 		"multi-tenant mode: run a job manager over a shared pool of felaworker -pool processes")
 	alloc := flag.String("alloc", "fair-share",
-		"jobs: worker allocation policy (fair-share, priority, throughput-max)")
+		"jobs: worker allocation policy (fair-share, priority, throughput-max, oasis)")
+	admission := flag.String("admission", "",
+		"jobs: online admission policy gating arrivals (none, oasis; empty = admit everything)")
 	maxJobs := flag.Int("max-jobs", 0,
 		"jobs: shut down after this many jobs complete (0 = run until interrupted)")
+	clusterTrace := flag.String("cluster-trace", "",
+		"jobs: replay this JSONL arrival trace against the pool, print a cluster summary, then drain")
+	traceScale := flag.Float64("trace-scale", 1,
+		"jobs: speed multiplier for -cluster-trace replay (2 = twice as fast)")
 	codec := flag.String("codec", transport.DefaultCodec,
 		"wire codec (binary or gob); every felaworker must use the same value")
 	flag.Parse()
@@ -118,7 +134,14 @@ func main() {
 	if !transport.ValidCodec(*codec) {
 		err = fmt.Errorf("unknown codec %q (want %s or %s)", *codec, transport.CodecBinary, transport.CodecGob)
 	} else if *jobsMode {
-		err = runJobs(*addr, *codec, *alloc, *maxJobs, *workerTimeout, oo)
+		jo := jobsOpts{
+			alloc:      *alloc,
+			admission:  *admission,
+			maxJobs:    *maxJobs,
+			trace:      *clusterTrace,
+			traceScale: *traceScale,
+		}
+		err = runJobs(*addr, *codec, jo, *workerTimeout, oo)
 	} else {
 		opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
 		err = run(*addr, *codec, *workers, *iters, *workerTimeout, opts, oo)
@@ -129,16 +152,40 @@ func main() {
 	}
 }
 
+// jobsOpts bundles the multi-tenant mode flags.
+type jobsOpts struct {
+	alloc      string
+	admission  string
+	maxJobs    int
+	trace      string
+	traceScale float64
+}
+
 // runJobs serves the multi-tenant job manager: one TCP port accepts
 // both pool workers and job submissions (the manager classifies each
 // connection by its first message). With maxJobs > 0 the server drains
-// and exits after that many completions.
-func runJobs(addr, codec, alloc string, maxJobs int, workerTimeout time.Duration, oo obsOpts) error {
-	pol, ok := jobs.PolicyByName(alloc)
+// and exits after that many completions; with a trace it drains once
+// every replayed submission has settled.
+func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo obsOpts) error {
+	pol, ok := jobs.PolicyByName(jo.alloc)
 	if !ok {
-		return fmt.Errorf("unknown allocation policy %q (want fair-share, priority or throughput-max)", alloc)
+		return fmt.Errorf("unknown allocation policy %q (want fair-share, priority, throughput-max or oasis)", jo.alloc)
 	}
 	cfg := jobs.Config{Policy: pol, WorkerTimeout: workerTimeout}
+	if jo.admission != "" {
+		adm, ok := jobs.AdmissionByName(jo.admission)
+		if !ok {
+			return fmt.Errorf("unknown admission policy %q (want none or oasis)", jo.admission)
+		}
+		cfg.Admission = adm
+	}
+	var tr workload.Trace
+	if jo.trace != "" {
+		var err error
+		if tr, err = workload.Load(jo.trace); err != nil {
+			return err
+		}
+	}
 	if oo.enabled() {
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Spans = obs.NewTracer("felaserver")
@@ -161,7 +208,7 @@ func runJobs(addr, codec, alloc string, maxJobs int, workerTimeout time.Duration
 				r.QueueWait.Seconds(), r.Runtime.Seconds(), verified)
 		}
 		completedJobs++
-		if maxJobs > 0 && completedJobs >= maxJobs {
+		if jo.maxJobs > 0 && completedJobs >= jo.maxJobs {
 			fmt.Printf("felaserver: %d jobs complete, draining\n", completedJobs)
 			mgr.Stop()
 		}
@@ -186,7 +233,47 @@ func runJobs(addr, codec, alloc string, maxJobs int, workerTimeout time.Duration
 		return err
 	}
 	defer l.Close()
-	fmt.Printf("felaserver: job manager (policy %s) listening on %s\n", pol.Name(), l.Addr())
+	gate := "admit-all"
+	if cfg.Admission != nil {
+		gate = cfg.Admission.Name()
+	}
+	fmt.Printf("felaserver: job manager (policy %s, admission %s) listening on %s\n",
+		pol.Name(), gate, l.Addr())
+
+	if jo.trace != "" {
+		// Replay the trace on its own open-loop clock, wait for every
+		// submission to settle, print the cluster summary, then drain.
+		go func() {
+			results := make(chan jobs.JobResult, len(tr.Events))
+			start := time.Now()
+			submitted := workload.Replay(tr, jo.traceScale, mgr.Done(), func(e workload.Event) {
+				_, ch, err := mgr.SubmitJob(e.Spec, jobs.SubmitOptions{SLO: e.SLO})
+				if err != nil {
+					results <- jobs.JobResult{Spec: e.Spec, SLO: e.SLO, Err: err}
+					return
+				}
+				go func() { results <- <-ch }()
+			})
+			var rejected, failed, completed, met int
+			for i := 0; i < submitted; i++ {
+				switch r := <-results; {
+				case errors.Is(r.Err, jobs.ErrRejected):
+					rejected++
+				case r.Err != nil:
+					failed++
+				default:
+					completed++
+					if r.SLO > 0 && r.QueueWait+r.Runtime <= r.SLO {
+						met++
+					}
+				}
+			}
+			fmt.Printf("felaserver: trace %q replayed in %.2fs: %d submitted, %d rejected, %d completed, %d failed, SLO attainment %.3f\n",
+				tr.Name, time.Since(start).Seconds(), submitted, rejected, completed, failed,
+				float64(met)/float64(max(submitted, 1)))
+			mgr.Stop()
+		}()
+	}
 
 	// Unblock Accept once the manager drains so the server can exit.
 	go func() {

@@ -21,6 +21,7 @@ import (
 	"fela/internal/obs"
 	"fela/internal/rt"
 	"fela/internal/transport"
+	"fela/internal/workload"
 )
 
 // freeAddr reserves an ephemeral TCP port and returns it.
@@ -332,7 +333,8 @@ func TestServerJobsMode(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- runJobs(addr, transport.DefaultCodec, "throughput-max", 2, 2*time.Second, obsOpts{})
+		done <- runJobs(addr, transport.DefaultCodec,
+			jobsOpts{alloc: "throughput-max", maxJobs: 2}, 2*time.Second, obsOpts{})
 	}()
 
 	const poolWorkers = 3
@@ -387,6 +389,58 @@ func TestServerJobsMode(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("server did not drain after -max-jobs completions")
+	}
+	for i := 0; i < poolWorkers; i++ {
+		if err := <-workersDone; err != nil {
+			t.Errorf("pool worker: %v", err)
+		}
+	}
+}
+
+// TestServerClusterTrace drives `felaserver -jobs -cluster-trace` end
+// to end: a synthesized 4-job trace on disk is replayed (sped up)
+// against two TCP pool workers under OASiS admission, and the server
+// prints its cluster summary and drains itself once every submission
+// settles.
+func TestServerClusterTrace(t *testing.T) {
+	tr, err := workload.Synthesize(
+		workload.Poisson{Rate: 4}, workload.DefaultMix(time.Millisecond), 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Name = "e2e"
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeAddr(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- runJobs(addr, transport.DefaultCodec, jobsOpts{
+			alloc: "oasis", admission: "oasis", trace: path, traceScale: 4,
+		}, 2*time.Second, obsOpts{})
+	}()
+
+	const poolWorkers = 2
+	workersDone := make(chan error, poolWorkers)
+	dial := func() (transport.Conn, error) {
+		return transport.DialRetry(addr, 50, 20*time.Millisecond)
+	}
+	for i := 0; i < poolWorkers; i++ {
+		go func() {
+			_, err := jobs.RunPoolWorker(dial, jobs.PoolWorkerOptions{})
+			workersDone <- err
+		}()
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runJobs: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain after the trace replay settled")
 	}
 	for i := 0; i < poolWorkers; i++ {
 		if err := <-workersDone; err != nil {

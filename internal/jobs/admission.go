@@ -1,0 +1,71 @@
+package jobs
+
+import (
+	"errors"
+	"time"
+
+	"fela/internal/transport"
+)
+
+// ErrRejected marks a submission the admission policy refused: the job
+// never entered the queue. Wire submitters see the same text in their
+// KindJobDone error.
+var ErrRejected = errors.New("jobs: rejected by admission policy")
+
+// ErrCanceled marks a job canceled by its submitter.
+var ErrCanceled = errors.New("jobs: canceled")
+
+// ArrivalInfo is an AdmissionPolicy's view of one submission against
+// the pool it is asking to enter. Every field is computed on the
+// manager loop at arrival time, so a decision is a pure function of
+// this struct — the property the golden replay tests pin.
+type ArrivalInfo struct {
+	// Spec is the normalized job spec.
+	Spec transport.JobSpec
+	// SLO is the submitter's target completion latency (0 = none).
+	SLO time.Duration
+	// PoolWorkers is every worker the pool knows about: idle plus held.
+	PoolWorkers int
+	// Idle is the currently unleased worker count.
+	Idle int
+	// Running and Queued count the current job mix.
+	Running, Queued int
+	// BacklogTokens is the estimated unfinished work already accepted:
+	// the token counts of queued plus running jobs, net of tokens
+	// already trained.
+	BacklogTokens int
+	// RatePerWorker is the cluster-wide EWMA training rate in
+	// tokens/sec per worker, 0 before any job has reported a barrier.
+	RatePerWorker float64
+}
+
+// AdmissionPolicy gates submissions before they enter the queue.
+// Implementations must be deterministic in their ArrivalInfo — the
+// manager consults the policy exactly once per submission.
+type AdmissionPolicy interface {
+	// Name labels the policy in status pages and benchmark reports.
+	Name() string
+	// Admit decides the submission; reason explains a rejection.
+	Admit(ArrivalInfo) (ok bool, reason string)
+}
+
+// AdmitAll is the open-door default: every valid submission queues.
+type AdmitAll struct{}
+
+// Name implements AdmissionPolicy.
+func (AdmitAll) Name() string { return "admit-all" }
+
+// Admit implements AdmissionPolicy.
+func (AdmitAll) Admit(ArrivalInfo) (bool, string) { return true, "" }
+
+// AdmissionByName resolves the admission policy names accepted by
+// felaserver -admission and felabench cluster.
+func AdmissionByName(name string) (AdmissionPolicy, bool) {
+	switch name {
+	case "", "none", "admit-all":
+		return AdmitAll{}, true
+	case "oasis":
+		return NewOASiS(), true
+	}
+	return nil, false
+}

@@ -1,0 +1,156 @@
+package jobs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fela/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden replay logs (and synthesize the trace fixture if missing)")
+
+// The committed fixture: 200 Poisson arrivals over the default job mix,
+// sized so the replay pool (8 workers × 4 tokens/sec) sees roughly 2×
+// its capacity in offered load — the overload regime where admission
+// control and allocation policy actually diverge.
+const (
+	goldenTracePath   = "testdata/trace200.jsonl"
+	goldenTraceJobs   = 200
+	goldenTraceSeed   = 1
+	goldenArrivalRate = 3.0 // jobs/sec
+	replayWorkers     = 8
+	replayRate        = 4.0 // tokens/sec per worker
+)
+
+// replayTokenCost is the per-token cost the trace's SLOs are derived
+// from — the reciprocal of the replay pool's per-worker rate, so "2×
+// slack" in the mix means twice the ideal single-worker runtime on this
+// exact pool.
+const replayTokenCost = 250 * time.Millisecond
+
+type replayCase struct {
+	name string
+	cfg  ReplayConfig
+}
+
+func replayCases() []replayCase {
+	return []replayCase{
+		{"fair-share", ReplayConfig{Workers: replayWorkers, RatePerWorker: replayRate, Policy: FairShare{}}},
+		{"priority", ReplayConfig{Workers: replayWorkers, RatePerWorker: replayRate, Policy: Priority{}}},
+		{"throughput-max", ReplayConfig{Workers: replayWorkers, RatePerWorker: replayRate, Policy: &ThroughputMax{}}},
+		{"oasis", ReplayConfig{Workers: replayWorkers, RatePerWorker: replayRate, Policy: NewOASiS(), Admission: NewOASiS()}},
+	}
+}
+
+func loadGoldenTrace(t *testing.T) workload.Trace {
+	t.Helper()
+	if *update {
+		if _, err := os.Stat(goldenTracePath); os.IsNotExist(err) {
+			tr, err := workload.Synthesize(
+				workload.Poisson{Rate: goldenArrivalRate},
+				workload.DefaultMix(replayTokenCost),
+				goldenTraceJobs, goldenTraceSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Name = "trace200"
+			if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Save(goldenTracePath); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tr, err := workload.Load(goldenTracePath)
+	if err != nil {
+		t.Fatalf("load trace fixture (run with -update to synthesize it): %v", err)
+	}
+	if len(tr.Events) != goldenTraceJobs {
+		t.Fatalf("fixture has %d events, want %d", len(tr.Events), goldenTraceJobs)
+	}
+	return tr
+}
+
+// TestReplayGolden replays the committed 200-job trace through every
+// allocation policy and diffs the full decision log — every admit,
+// reject, start, allocation change and completion — against the
+// committed golden, byte for byte. Two back-to-back runs must also
+// match each other exactly: scheduling decisions are a pure function of
+// (trace, policy), with no hidden clock or map-order dependence.
+func TestReplayGolden(t *testing.T) {
+	tr := loadGoldenTrace(t)
+	summaries := map[string]ReplaySummary{}
+	for _, tc := range replayCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var first, second bytes.Buffer
+			sum, err := ReplayTrace(tr, tc.cfg, &first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReplayTrace(tr, tc.cfg, &second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatal("two replays of the same trace produced different decision logs")
+			}
+
+			if sum.Submitted != goldenTraceJobs {
+				t.Fatalf("replay saw %d submissions, want %d", sum.Submitted, goldenTraceJobs)
+			}
+			if sum.Admitted+sum.Rejected != sum.Submitted {
+				t.Fatalf("admitted %d + rejected %d != submitted %d", sum.Admitted, sum.Rejected, sum.Submitted)
+			}
+			if sum.Completed+sum.Stalled != sum.Admitted {
+				t.Fatalf("completed %d + stalled %d != admitted %d", sum.Completed, sum.Stalled, sum.Admitted)
+			}
+			if sum.Stalled != 0 {
+				t.Fatalf("%d jobs stalled; the fixture's floors all fit the pool", sum.Stalled)
+			}
+			summaries[tc.name] = sum
+
+			golden := filepath.Join("testdata", "replay_"+tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, first.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create it): %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), want) {
+				t.Fatalf("decision log diverged from %s (%d vs %d bytes); rerun with -update if the change is intended",
+					golden, first.Len(), len(want))
+			}
+			t.Logf("%s: %+v", tc.name, sum)
+		})
+	}
+
+	// The paper's point, pinned on the fixture: under ~2× overload the
+	// admission-controlled run keeps more jobs inside their SLOs than
+	// admit-everything fair-share, even counting every rejection as a
+	// miss.
+	oasis, fair := summaries["oasis"], summaries["fair-share"]
+	if oasis.Submitted > 0 && fair.Submitted > 0 {
+		if oasis.SLOMet <= fair.SLOMet {
+			t.Errorf("oasis met %d/%d SLOs vs fair-share %d/%d — admission control should win under overload",
+				oasis.SLOMet, oasis.Submitted, fair.SLOMet, fair.Submitted)
+		}
+	}
+}
+
+// TestReplayRejectsBadConfig: guard the config validation.
+func TestReplayRejectsBadConfig(t *testing.T) {
+	tr := workload.Trace{Events: []workload.Event{{}}}
+	if _, err := ReplayTrace(tr, ReplayConfig{Workers: 0, RatePerWorker: 1}, os.Stderr); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := ReplayTrace(tr, ReplayConfig{Workers: 1, RatePerWorker: 0}, os.Stderr); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

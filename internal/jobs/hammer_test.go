@@ -1,0 +1,165 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fela/internal/obs"
+	"fela/internal/transport"
+)
+
+// flakyConn wraps a pool worker's client conn and injects a death
+// after a fixed number of receives — while idle in the pool or in the
+// middle of serving a job, whichever comes first.
+type flakyConn struct {
+	transport.Conn
+	budget atomic.Int32
+}
+
+func (c *flakyConn) Recv() (*transport.Message, error) {
+	if c.budget.Add(-1) < 0 {
+		c.Conn.Close()
+		return nil, fmt.Errorf("injected worker death")
+	}
+	return c.Conn.Recv()
+}
+
+// TestHammerConcurrentSubmitCancel is the race-detector soak: 64
+// client goroutines submit, await and cancel jobs against one manager
+// while a band of deliberately flaky workers churns through the pool
+// (dying mid-idle and mid-job and re-registering). The assertions are
+// liveness and exactly-once settlement — every submission gets exactly
+// one terminal result, cancellation is always terminal, and the
+// manager still drains cleanly afterwards. `make jobs` runs this under
+// -race, which is the half of the test the counters can't see.
+func TestHammerConcurrentSubmitCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer soak skipped in short mode")
+	}
+	m := NewManager(Config{
+		Policy:        FairShare{},
+		Tick:          10 * time.Millisecond,
+		WorkerTimeout: 3 * time.Second,
+		Metrics:       obs.NewRegistry(),
+	})
+
+	// A stable core keeps jobs finishing no matter what the churn does.
+	wait := startPool(t, m, 8, PoolWorkerOptions{})
+	waitIdle(t, m, 8)
+
+	// Churn workers: each lives through a handful of injected deaths,
+	// re-registering after every one, then leaves for good. Their exit
+	// errors are expected — only the stable pool must drain clean.
+	var churn sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		churn.Add(1)
+		go func(seed int64) {
+			defer churn.Done()
+			r := rand.New(rand.NewSource(seed))
+			dials := 0
+			dial := func() (transport.Conn, error) {
+				if dials >= 6 {
+					return nil, fmt.Errorf("churn worker retiring")
+				}
+				dials++
+				select {
+				case <-m.Done():
+					return nil, fmt.Errorf("pool closed")
+				default:
+				}
+				server, client := transport.Pair()
+				m.Admit(server)
+				fc := &flakyConn{Conn: client}
+				fc.budget.Store(int32(2 + r.Intn(40)))
+				return fc, nil
+			}
+			_, _ = RunPoolWorker(dial, PoolWorkerOptions{})
+		}(int64(i) * 7919)
+	}
+
+	const (
+		goroutines = 64
+		jobsEach   = 2
+	)
+	var (
+		settled  atomic.Int64
+		okCount  atomic.Int64
+		canceled atomic.Int64
+		failed   atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for k := 0; k < jobsEach; k++ {
+				spec := transport.JobSpec{
+					Name:       fmt.Sprintf("hammer-%d-%d", g, k),
+					Seed:       int64(1 + r.Intn(4)),
+					Iterations: 1 + r.Intn(2),
+					TotalBatch: 16,
+					TokenBatch: 8,
+					MinWorkers: 1,
+					MaxWorkers: 2,
+				}
+				id, ch, err := m.SubmitJob(spec, SubmitOptions{SLO: time.Minute})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if r.Intn(3) == 0 {
+					time.Sleep(time.Duration(r.Intn(3)) * time.Millisecond)
+					m.Cancel(id)
+					// Cancel must be idempotent, including against unknown ids.
+					m.Cancel(id)
+					m.Cancel(999999)
+				}
+				select {
+				case res := <-ch:
+					settled.Add(1)
+					switch {
+					case res.Err == nil:
+						okCount.Add(1)
+					case errors.Is(res.Err, ErrCanceled):
+						canceled.Add(1)
+					default:
+						failed.Add(1)
+					}
+					// The channel is buffered with capacity 1 and settled
+					// exactly once: a second send would have been observable
+					// here as a stray buffered value.
+					select {
+					case extra := <-ch:
+						t.Errorf("job %d settled twice: %+v", id, extra)
+					default:
+					}
+				case <-time.After(60 * time.Second):
+					t.Errorf("job %d never settled", id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := int64(goroutines * jobsEach)
+	if settled.Load() != total {
+		t.Fatalf("settled %d of %d submissions", settled.Load(), total)
+	}
+	if okCount.Load()+canceled.Load()+failed.Load() != total {
+		t.Fatalf("outcome counts diverge: ok %d + canceled %d + failed %d != %d",
+			okCount.Load(), canceled.Load(), failed.Load(), total)
+	}
+	if okCount.Load() == 0 {
+		t.Fatal("no job succeeded; the pool never made progress")
+	}
+	t.Logf("ok=%d canceled=%d failed=%d", okCount.Load(), canceled.Load(), failed.Load())
+
+	stopAndWait(t, m, wait)
+	churn.Wait()
+}

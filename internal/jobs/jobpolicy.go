@@ -51,26 +51,11 @@ func (p *jobPolicy) AtBarrier(info rt.BarrierInfo) rt.Decision {
 			delete(p.asked, wid)
 		}
 	}
-	// Convert release budget into migration requests: highest wids
-	// first (joiners, who arrived last, leave first), never dipping the
-	// prospective survivor count below the job's floor.
-	avail := len(info.Live) - len(p.asked)
-	for i := len(info.Live) - 1; i >= 0 && p.release > 0 && avail > p.min; i-- {
-		wid := info.Live[i]
-		if p.asked[wid] {
-			continue
-		}
-		dec.Reassign = append(dec.Reassign, wid)
-		p.asked[wid] = true
-		p.release--
-		avail--
-	}
-	if p.release > 0 && avail <= p.min {
-		// Cannot honor the rest without violating the floor (workers
-		// died since the request). Drop it; the manager recomputes
-		// targets on every rebalance.
-		p.release = 0
-	}
+	// Convert release budget into migration requests (the pure planning
+	// lives in planReleases, where the property tests replay it).
+	picks, remaining := planReleases(info.Live, p.asked, p.release, p.min)
+	dec.Reassign = append(dec.Reassign, picks...)
+	p.release = remaining
 	pending := p.release + len(p.asked)
 	p.mu.Unlock()
 

@@ -1,0 +1,144 @@
+package jobs
+
+// ledger is the manager's indexed worker accounting: one entry per
+// live job, each tracking the three counters whose combination is the
+// job's effective allocation,
+//
+//	eff = held + inFlight − pending   (clamped at 0)
+//
+// where held is the coordinator-confirmed worker count at the last
+// barrier (live + pending joins), inFlight counts leases handed out
+// since that barrier, and pending counts workers already spoken for by
+// release requests (requested but not yet asked, plus asked and still
+// draining).
+//
+// The ledger is loop-owned and lock-free: barrier reports carry the
+// authoritative pending count from the job's own policy, so the
+// manager never takes a cross-goroutine mutex during a rebalance pass
+// — the indexed entries plus the maintained eff sum are what let a
+// 1000-job pass run without touching anything but the policy's own
+// arithmetic.
+//
+// The invariant the property tests replay against randomized
+// arrival/lease/barrier/death interleavings: at every barrier fold,
+// eff equals the pool truth — the workers the job will actually retain
+// (live + joining − spoken-for) — and the ledger self-heals across
+// worker deaths because held is re-seeded from the coordinator's
+// authoritative count each fold.
+type ledger struct {
+	byID   map[int]*ledgerEntry
+	effSum int
+}
+
+// ledgerEntry is one job's counters.
+type ledgerEntry struct {
+	held, inFlight, pending int
+}
+
+func (e *ledgerEntry) eff() int {
+	v := e.held + e.inFlight - e.pending
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+func newLedger() *ledger {
+	return &ledger{byID: map[int]*ledgerEntry{}}
+}
+
+// add opens a zeroed entry for a newly queued job.
+func (l *ledger) add(id int) {
+	l.byID[id] = &ledgerEntry{}
+}
+
+// start seeds a job's entry with its initial lease count.
+func (l *ledger) start(id, n int) {
+	l.mutate(id, func(e *ledgerEntry) { e.held = n })
+}
+
+// lease records one worker handed to the job since its last barrier.
+func (l *ledger) lease(id int) {
+	l.mutate(id, func(e *ledgerEntry) { e.inFlight++ })
+}
+
+// requestRelease records n more of the job's workers as spoken for.
+func (l *ledger) requestRelease(id, n int) {
+	l.mutate(id, func(e *ledgerEntry) { e.pending += n })
+}
+
+// fold absorbs one barrier report: held becomes the coordinator's
+// authoritative live+joining count, in-flight leases are absorbed, and
+// pending is replaced by the job policy's authoritative count (the
+// requested-plus-draining figure it computed at that barrier). Returns
+// true when the job's effective allocation changed.
+func (l *ledger) fold(id, held, pending int) bool {
+	e := l.byID[id]
+	if e == nil {
+		return false
+	}
+	before := e.eff()
+	e.held, e.inFlight, e.pending = held, 0, pending
+	l.effSum += e.eff() - before
+	return e.eff() != before
+}
+
+// drop removes a finished job's entry.
+func (l *ledger) drop(id int) {
+	e := l.byID[id]
+	if e == nil {
+		return
+	}
+	l.effSum -= e.eff()
+	delete(l.byID, id)
+}
+
+// eff is the job's effective allocation, 0 for unknown jobs.
+func (l *ledger) eff(id int) int {
+	e := l.byID[id]
+	if e == nil {
+		return 0
+	}
+	return e.eff()
+}
+
+// sum is the total effective allocation across all jobs, maintained
+// incrementally so a rebalance pass never scans the ledger.
+func (l *ledger) sum() int { return l.effSum }
+
+func (l *ledger) mutate(id int, f func(*ledgerEntry)) {
+	e := l.byID[id]
+	if e == nil {
+		return
+	}
+	before := e.eff()
+	f(e)
+	l.effSum += e.eff() - before
+}
+
+// planReleases converts a job's outstanding release budget into
+// reassign picks at a barrier. live is the coordinator's live wid list
+// (ascending); asked holds wids already sent a reassign request and is
+// extended in place with the new picks. Picks run from the highest wid
+// down (joiners, who arrived last, leave first) and never let the
+// prospective survivor count dip below min. The returned budget is
+// what remains unasked — zeroed when the floor made the rest
+// unhonorable (workers died since the request), because the manager
+// recomputes targets on every rebalance anyway.
+func planReleases(live []int, asked map[int]bool, release, min int) (picks []int, remaining int) {
+	avail := len(live) - len(asked)
+	for i := len(live) - 1; i >= 0 && release > 0 && avail > min; i-- {
+		wid := live[i]
+		if asked[wid] {
+			continue
+		}
+		picks = append(picks, wid)
+		asked[wid] = true
+		release--
+		avail--
+	}
+	if release > 0 && avail <= min {
+		release = 0
+	}
+	return picks, release
+}

@@ -1,0 +1,267 @@
+package jobs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The ledger property suite replays randomized manager histories —
+// arrivals, starts, leases, release requests, barrier folds, worker
+// deaths, completions — against a reference model that tracks every
+// worker by wid, and checks after each step that
+//
+//   - each entry's eff equals the pool truth (held + in-flight −
+//     spoken-for, clamped at 0),
+//   - the incrementally maintained eff sum equals the sum over entries,
+//   - planReleases never picks a dead/duplicate/already-asked wid,
+//     never dips a job's survivors below its floor, and never leaves an
+//     unhonorable remainder behind.
+//
+// Failures shrink to a minimal operation sequence by greedy removal.
+
+// ledOp is one step of a randomized history.
+type ledOp struct {
+	Kind string // add | start | lease | release | barrier | death | drop
+	Job  int    // logical job slot
+	N    int    // operand (count / pick selector)
+}
+
+// modelJob is the reference model: the authoritative per-wid view the
+// coordinator side would hold.
+type modelJob struct {
+	started bool
+	min     int
+	live    []int // ascending wids
+	joining int   // leases not yet materialized at a barrier
+	asked   map[int]bool
+	budget  int // release requests not yet converted to picks
+	nextWID int
+}
+
+func sortedWids(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func removeWid(live []int, wid int) []int {
+	out := live[:0]
+	for _, w := range live {
+		if w != wid {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// applyLedgerOps replays ops against a fresh ledger and model,
+// returning the first invariant violation. Inapplicable ops are
+// skipped, so any subsequence of a failing sequence is still a valid
+// history — the property shrinking relies on this.
+func applyLedgerOps(ops []ledOp) error {
+	const slots = 4
+	led := newLedger()
+	model := make([]*modelJob, slots)
+
+	checkSum := func(step int, op ledOp) error {
+		sum := 0
+		for s, mj := range model {
+			if mj == nil {
+				continue
+			}
+			sum += led.eff(s + 1)
+		}
+		if led.sum() != sum {
+			return fmt.Errorf("step %d %+v: ledger sum %d, entries sum to %d", step, op, led.sum(), sum)
+		}
+		return nil
+	}
+
+	for step, op := range ops {
+		slot := op.Job % slots
+		id := slot + 1
+		mj := model[slot]
+		switch op.Kind {
+		case "add":
+			if mj != nil {
+				break
+			}
+			model[slot] = &modelJob{min: 1 + op.N%2, asked: map[int]bool{}}
+			led.add(id)
+			if led.eff(id) != 0 {
+				return fmt.Errorf("step %d %+v: fresh entry eff %d, want 0", step, op, led.eff(id))
+			}
+		case "start":
+			if mj == nil || mj.started {
+				break
+			}
+			n := mj.min + op.N%4
+			led.start(id, n)
+			for i := 0; i < n; i++ {
+				mj.live = append(mj.live, mj.nextWID)
+				mj.nextWID++
+			}
+			mj.started = true
+			if led.eff(id) != n {
+				return fmt.Errorf("step %d %+v: eff %d after start(%d)", step, op, led.eff(id), n)
+			}
+		case "lease":
+			if mj == nil || !mj.started {
+				break
+			}
+			led.lease(id)
+			mj.joining++
+		case "release":
+			if mj == nil || !mj.started {
+				break
+			}
+			n := 1 + op.N%3
+			led.requestRelease(id, n)
+			mj.budget += n
+		case "death":
+			if mj == nil || !mj.started || len(mj.live) == 0 {
+				break
+			}
+			wid := mj.live[op.N%len(mj.live)]
+			mj.live = removeWid(mj.live, wid)
+			delete(mj.asked, wid)
+			// No ledger call: the manager only learns at the next fold.
+		case "barrier":
+			if mj == nil || !mj.started {
+				break
+			}
+			// Some previously asked workers finish draining and leave.
+			if len(mj.asked) > 0 {
+				gone := sortedWids(mj.asked)[:op.N%(len(mj.asked)+1)]
+				for _, wid := range gone {
+					delete(mj.asked, wid)
+					mj.live = removeWid(mj.live, wid)
+				}
+			}
+			// Plan this barrier's reassigns exactly as jobPolicy does.
+			liveBefore := append([]int(nil), mj.live...)
+			askedBefore := len(mj.asked)
+			picks, remaining := planReleases(mj.live, mj.asked, mj.budget, mj.min)
+			seen := map[int]bool{}
+			for _, wid := range picks {
+				isLive := false
+				for _, w := range liveBefore {
+					isLive = isLive || w == wid
+				}
+				if !isLive {
+					return fmt.Errorf("step %d %+v: planReleases picked dead wid %d", step, op, wid)
+				}
+				if seen[wid] {
+					return fmt.Errorf("step %d %+v: planReleases picked wid %d twice", step, op, wid)
+				}
+				seen[wid] = true
+			}
+			if len(mj.asked) != askedBefore+len(picks) {
+				return fmt.Errorf("step %d %+v: asked grew by %d for %d picks", step, op, len(mj.asked)-askedBefore, len(picks))
+			}
+			if len(picks) > 0 && len(mj.live)-len(mj.asked) < mj.min {
+				return fmt.Errorf("step %d %+v: picks dipped survivors to %d under floor %d",
+					step, op, len(mj.live)-len(mj.asked), mj.min)
+			}
+			if remaining != 0 {
+				return fmt.Errorf("step %d %+v: planReleases left remainder %d (must honor or zero)", step, op, remaining)
+			}
+			mj.budget = remaining
+			pending := mj.budget + len(mj.asked)
+			held := len(mj.live) + mj.joining
+			led.fold(id, held, pending)
+			// Joiners are live from the next barrier on.
+			for i := 0; i < mj.joining; i++ {
+				mj.live = append(mj.live, mj.nextWID)
+				mj.nextWID++
+			}
+			mj.joining = 0
+			want := held - pending
+			if want < 0 {
+				want = 0
+			}
+			if led.eff(id) != want {
+				return fmt.Errorf("step %d %+v: eff %d after fold, pool truth %d (held %d pending %d)",
+					step, op, led.eff(id), want, held, pending)
+			}
+		case "drop":
+			if mj == nil {
+				break
+			}
+			led.drop(id)
+			model[slot] = nil
+			if led.eff(id) != 0 {
+				return fmt.Errorf("step %d %+v: dropped entry still reports eff %d", step, op, led.eff(id))
+			}
+		}
+		if err := checkSum(step, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func genLedgerOps(r *rand.Rand, n int) []ledOp {
+	kinds := []string{"add", "start", "lease", "release", "barrier", "barrier", "death", "drop"}
+	ops := make([]ledOp, n)
+	for i := range ops {
+		ops[i] = ledOp{Kind: kinds[r.Intn(len(kinds))], Job: r.Intn(4), N: r.Intn(16)}
+	}
+	return ops
+}
+
+// shrinkLedgerOps greedily removes operations while the sequence still
+// fails, yielding a minimal counterexample.
+func shrinkLedgerOps(ops []ledOp) []ledOp {
+	out := append([]ledOp(nil), ops...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(out); i++ {
+			cand := append(append([]ledOp(nil), out[:i]...), out[i+1:]...)
+			if applyLedgerOps(cand) != nil {
+				out = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return out
+}
+
+// TestLedgerProperty: randomized interleavings, seeded and shrunk.
+func TestLedgerProperty(t *testing.T) {
+	seeds := 400
+	if testing.Short() {
+		seeds = 50
+	}
+	for seed := 0; seed < seeds; seed++ {
+		ops := genLedgerOps(rand.New(rand.NewSource(int64(seed))), 80)
+		if err := applyLedgerOps(ops); err != nil {
+			min := shrinkLedgerOps(ops)
+			t.Fatalf("seed %d: %v\nminimal reproduction (%d ops):\n%+v", seed, err, len(min), min)
+		}
+	}
+}
+
+// TestPlanReleasesOrder pins the deterministic pick order: highest wid
+// first, skipping already-asked wids, stopping at the floor.
+func TestPlanReleasesOrder(t *testing.T) {
+	asked := map[int]bool{4: true}
+	picks, remaining := planReleases([]int{1, 2, 3, 4, 5}, asked, 2, 2)
+	if len(picks) != 2 || picks[0] != 5 || picks[1] != 3 {
+		t.Fatalf("picks %v, want [5 3] (highest first, 4 already asked)", picks)
+	}
+	if remaining != 0 {
+		t.Fatalf("remaining %d, want 0", remaining)
+	}
+	// Floor 2 with 3 already spoken for: nothing more to give, budget zeroed.
+	picks, remaining = planReleases([]int{1, 2, 3, 4, 5}, asked, 5, 2)
+	if len(picks) != 0 || remaining != 0 {
+		t.Fatalf("over-floor plan gave picks %v remaining %d, want none and a zeroed budget", picks, remaining)
+	}
+}

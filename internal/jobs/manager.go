@@ -16,11 +16,17 @@ import (
 type Config struct {
 	// Policy decides worker allocation (nil = FairShare).
 	Policy AllocPolicy
+	// Admission, when set, gates every submission before it enters the
+	// queue (nil = admit everything). Rejected submissions settle
+	// immediately with an error wrapping ErrRejected.
+	Admission AdmissionPolicy
 	// WorkerTimeout is each job coordinator's fault-tolerance deadline
 	// (default 10s). Multi-tenant sessions always run fault-tolerant:
 	// a worker dying mid-migration must not sink the donor job.
 	WorkerTimeout time.Duration
-	// Tick is the periodic rebalance interval (default 1s).
+	// Tick is the periodic rebalance interval (default 1s). Clean ticks
+	// — no allocation-relevant state change since the last pass — skip
+	// the policy entirely (the dirty-set fast path).
 	Tick time.Duration
 	// Metrics, when set, receives fela_jobs_* manager telemetry and is
 	// shared with every job coordinator it starts.
@@ -33,15 +39,27 @@ type Config struct {
 	OnJobDone func(JobResult)
 }
 
+// SubmitOptions carries per-submission extras.
+type SubmitOptions struct {
+	// SLO is the submitter's target completion latency (queue wait plus
+	// runtime) that admission policies and the cluster benchmark reason
+	// over; 0 means no SLO.
+	SLO time.Duration
+}
+
 // JobResult is the terminal outcome of one job.
 type JobResult struct {
 	// ID is the manager-assigned job id (1-based).
 	ID int
 	// Spec is the normalized spec the job ran under.
 	Spec transport.JobSpec
+	// SLO echoes the submission's target completion latency (0 = none).
+	SLO time.Duration
 	// Result is the coordinator's session result, nil when Err is set.
 	Result *rt.Result
-	// Err is the terminal error, nil on success.
+	// Err is the terminal error, nil on success. errors.Is against
+	// ErrRejected / ErrCanceled distinguishes admission rejections and
+	// cancellations from training failures.
 	Err error
 	// QueueWait is submission-to-start latency.
 	QueueWait time.Duration
@@ -63,10 +81,17 @@ type (
 		msg  *transport.Message
 		err  error
 	}
-	// evSubmit is an in-process submission (already normalized).
+	// evSubmit is an in-process submission (already normalized, id
+	// already assigned).
 	evSubmit struct {
+		id   int
 		spec transport.JobSpec
+		slo  time.Duration
 		done chan JobResult
+	}
+	// evCancel asks for a job's termination.
+	evCancel struct {
+		jobID int
 	}
 	// evBarrier streams one job barrier's stats from its jobPolicy.
 	evBarrier struct {
@@ -94,10 +119,12 @@ const (
 	stateDone    jobState = "done"
 )
 
-// job is the manager's ledger entry for one job (loop-owned).
+// job is the manager's ledger entry for one job (loop-owned). Worker
+// accounting lives in the manager's indexed ledger, not here.
 type job struct {
 	id        int
 	spec      transport.JobSpec
+	slo       time.Duration
 	state     jobState
 	submitted time.Time
 	started   time.Time
@@ -111,16 +138,15 @@ type job struct {
 	pol *jobPolicy
 	co  *rt.Coordinator
 
-	// held is live workers + pending joins at the last barrier (seeded
-	// with the initial lease count); inFlight counts leases since that
-	// barrier. Effective allocation = held + inFlight − pending
-	// releases; the barrier stream folds leases and completed releases
-	// back into held, so the ledger self-heals across worker deaths.
-	held        int
-	inFlight    int
 	iter        int
 	rate        float64
 	workerIters int
+	tokensDone  int
+	// polRate is the rate the policy last evaluated; barriers mark the
+	// job dirty only when the EWMA has drifted materially past it, so
+	// steady-state training does not force a policy pass per barrier.
+	polRate  float64
+	canceled bool
 
 	// conns is every connection ever handed to this job's coordinator.
 	// All are closed when the job finishes: the coordinator does not
@@ -138,12 +164,20 @@ type job struct {
 // allocation through its AllocPolicy, migrating workers between jobs
 // with reassign-drain-rejoin cycles. All state lives on one event-loop
 // goroutine, coordinator-style.
+//
+// The scheduling data structures are sized for thousands of jobs: an
+// indexed lease ledger with a maintained allocation sum, a cached
+// arrival-ordered JobInfo slice refreshed in place, and a dirty-job
+// set so a pass only runs when an allocation-relevant input actually
+// changed. Bursts of events coalesce into one pass instead of one pass
+// per event.
 type Manager struct {
 	cfg    Config
 	events chan any
 	quit   chan struct{}
 	done   chan struct{}
 	stop   sync.Once
+	nextID atomic.Int64
 
 	// Loop-owned state.
 	start    time.Time
@@ -151,9 +185,33 @@ type Manager struct {
 	order    []*job // queued + running, arrival order
 	doneTail []*job // most recent completions, bounded
 	idle     []transport.Conn
-	nextID   int
 	closing  bool
 	finished int
+	rejected int
+	canceled int
+	nRunning int
+	nQueued  int
+
+	led *ledger
+	// infos is the cached policy view, parallel to order (Seq = index);
+	// idx maps job id to its position in both.
+	infos []JobInfo
+	idx   map[int]int
+	// dirtyJobs and poolDirty gate the rebalance pass; trigger labels
+	// the pass for telemetry with the event class that dirtied it.
+	dirtyJobs map[int]struct{}
+	poolDirty bool
+	trigger   string
+	passBuf   []*job
+
+	// ratePerWorker is the cluster-wide EWMA training rate in
+	// tokens/sec per worker; backlog estimates unfinished accepted
+	// tokens. Both feed admission decisions.
+	ratePerWorker float64
+	backlog       int
+
+	changed     bool
+	lastPublish time.Time
 
 	tele   mgrTelemetry
 	status atomic.Pointer[PoolStatus]
@@ -171,14 +229,16 @@ func NewManager(cfg Config) *Manager {
 		cfg.Tick = time.Second
 	}
 	m := &Manager{
-		cfg:    cfg,
-		events: make(chan any, 64),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
-		start:  time.Now(),
-		jobs:   map[int]*job{},
-		nextID: 1,
-		tele:   newMgrTelemetry(cfg.Metrics),
+		cfg:       cfg,
+		events:    make(chan any, 1024),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		start:     time.Now(),
+		jobs:      map[int]*job{},
+		led:       newLedger(),
+		idx:       map[int]int{},
+		dirtyJobs: map[int]struct{}{},
+		tele:      newMgrTelemetry(cfg.Metrics),
 	}
 	m.publish()
 	go m.loop()
@@ -198,23 +258,38 @@ func (m *Manager) Admit(c transport.Conn) {
 // Submit enqueues a job from within the process and returns a channel
 // that delivers its terminal result.
 func (m *Manager) Submit(spec transport.JobSpec) (<-chan JobResult, error) {
+	_, ch, err := m.SubmitJob(spec, SubmitOptions{})
+	return ch, err
+}
+
+// SubmitJob enqueues a job with options and returns its id — usable
+// with Cancel before the result arrives — plus the result channel.
+func (m *Manager) SubmitJob(spec transport.JobSpec, opts SubmitOptions) (int, <-chan JobResult, error) {
 	spec, err := NormalizeSpec(spec)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	select {
 	case <-m.done:
-		return nil, fmt.Errorf("jobs: manager stopped")
+		return 0, nil, fmt.Errorf("jobs: manager stopped")
 	default:
 	}
+	id := int(m.nextID.Add(1))
 	ch := make(chan JobResult, 1)
 	select {
-	case m.events <- evSubmit{spec: spec, done: ch}:
-		return ch, nil
+	case m.events <- evSubmit{id: id, spec: spec, slo: opts.SLO, done: ch}:
+		return id, ch, nil
 	case <-m.done:
-		return nil, fmt.Errorf("jobs: manager stopped")
+		return 0, nil, fmt.Errorf("jobs: manager stopped")
 	}
 }
+
+// Cancel asks for a job's termination: a queued job settles
+// immediately with ErrCanceled, a running job is torn down (its
+// workers return to the pool and re-register) and settles with
+// ErrCanceled when its coordinator exits. Unknown or finished ids are
+// ignored. Safe from any goroutine.
+func (m *Manager) Cancel(id int) { m.push(evCancel{jobID: id}) }
 
 // Stop begins a graceful shutdown: no new submissions are accepted,
 // queued and running jobs finish, idle workers are then shut down and
@@ -257,7 +332,7 @@ func discard(ev any) {
 			e.conn.Close()
 		}
 	case evSubmit:
-		e.done <- JobResult{Err: fmt.Errorf("jobs: manager stopped")}
+		e.done <- JobResult{ID: e.id, Spec: e.spec, Err: fmt.Errorf("jobs: manager stopped")}
 	}
 }
 
@@ -269,11 +344,29 @@ func (m *Manager) loop() {
 		select {
 		case ev := <-m.events:
 			m.handle(ev)
+			// Coalesce: drain whatever else is already queued before
+			// acting, so a 1000-job arrival burst costs a handful of
+			// policy passes instead of one per event.
+			for drained := 0; drained < 1024; drained++ {
+				var next any
+				select {
+				case next = <-m.events:
+				default:
+				}
+				if next == nil {
+					break
+				}
+				m.handle(next)
+			}
+			m.maybeRebalance()
 		case <-tick.C:
-			m.rebalance("tick")
+			m.maybeRebalance()
+			m.changed = true
+			m.lastPublish = time.Time{} // ticks always refresh /statusz
 		case <-quit:
 			quit = nil
 			m.closing = true
+			m.changed = true
 		}
 		if m.closing && len(m.order) == 0 {
 			for _, c := range m.idle {
@@ -294,7 +387,7 @@ func (m *Manager) loop() {
 			close(m.done)
 			return
 		}
-		m.publish()
+		m.publishIfDue()
 	}
 }
 
@@ -303,12 +396,28 @@ func (m *Manager) handle(ev any) {
 	case evConn:
 		m.classify(e)
 	case evSubmit:
-		m.enqueue(e.spec, nil, e.done)
+		m.enqueue(e.id, e.spec, e.slo, nil, e.done)
+	case evCancel:
+		m.cancel(e.jobID)
 	case evBarrier:
 		m.atBarrier(e)
 	case evJobDone:
 		m.finishJob(e)
 	}
+	m.changed = true
+}
+
+// markJob flags one job's allocation inputs as changed; markPool flags
+// a pool-wide change (idle count, membership, structure). Either makes
+// the next maybeRebalance run a pass.
+func (m *Manager) markJob(id int, trigger string) {
+	m.dirtyJobs[id] = struct{}{}
+	m.trigger = trigger
+}
+
+func (m *Manager) markPool(trigger string) {
+	m.poolDirty = true
+	m.trigger = trigger
 }
 
 // classify routes a new connection by its first message.
@@ -327,7 +436,7 @@ func (m *Manager) classify(e evConn) {
 			m.tele.returns.Inc()
 		}
 		m.idle = append(m.idle, e.conn)
-		m.rebalance("worker")
+		m.markPool("worker")
 	case transport.KindSubmitJob:
 		if m.closing {
 			m.reject(e.conn, fmt.Errorf("jobs: pool is shutting down"))
@@ -338,7 +447,7 @@ func (m *Manager) classify(e evConn) {
 			m.reject(e.conn, err)
 			return
 		}
-		m.enqueue(spec, e.conn, nil)
+		m.enqueue(int(m.nextID.Add(1)), spec, 0, e.conn, nil)
 	default:
 		e.conn.Close()
 	}
@@ -350,84 +459,192 @@ func (m *Manager) reject(c transport.Conn, err error) {
 	c.Close()
 }
 
-func (m *Manager) enqueue(spec transport.JobSpec, reply transport.Conn, done chan JobResult) {
+// arrivalInfo snapshots the pool for an admission decision.
+func (m *Manager) arrivalInfo(spec transport.JobSpec, slo time.Duration) ArrivalInfo {
+	return ArrivalInfo{
+		Spec:          spec,
+		SLO:           slo,
+		PoolWorkers:   len(m.idle) + m.led.sum(),
+		Idle:          len(m.idle),
+		Running:       m.nRunning,
+		Queued:        m.nQueued,
+		BacklogTokens: m.backlog,
+		RatePerWorker: m.ratePerWorker,
+	}
+}
+
+func (m *Manager) enqueue(id int, spec transport.JobSpec, slo time.Duration, reply transport.Conn, done chan JobResult) {
+	if m.cfg.Admission != nil {
+		if ok, reason := m.cfg.Admission.Admit(m.arrivalInfo(spec, slo)); !ok {
+			m.rejected++
+			m.tele.admission(false)
+			err := fmt.Errorf("%w: %s", ErrRejected, reason)
+			if reply != nil {
+				m.reject(reply, err)
+			}
+			if done != nil {
+				done <- JobResult{ID: id, Spec: spec, SLO: slo, Err: err}
+			}
+			return
+		}
+		m.tele.admission(true)
+	}
 	j := &job{
-		id:        m.nextID,
+		id:        id,
 		spec:      spec,
+		slo:       slo,
 		state:     stateQueued,
 		submitted: time.Now(),
 		reply:     reply,
 		done:      done,
 		iter:      -1,
 	}
-	m.nextID++
 	m.jobs[j.id] = j
+	m.led.add(j.id)
+	m.idx[j.id] = len(m.order)
 	m.order = append(m.order, j)
+	m.infos = append(m.infos, JobInfo{
+		ID: j.id, Seq: len(m.order) - 1, Priority: spec.Priority,
+		Min: spec.MinWorkers, Max: spec.MaxWorkers,
+	})
+	m.nQueued++
+	m.backlog += specTokens(spec)
 	m.tele.submitted.Inc()
-	m.rebalance("arrival")
+	m.markJob(j.id, "arrival")
 }
 
-// atBarrier folds one barrier report into the job's ledger: held
+// cancel terminates a job on the submitter's request.
+func (m *Manager) cancel(id int) {
+	j := m.jobs[id]
+	if j == nil || j.state == stateDone || j.canceled {
+		return
+	}
+	m.canceled++
+	m.tele.canceled.Inc()
+	switch j.state {
+	case stateQueued:
+		j.canceled = true
+		m.finishJob(evJobDone{jobID: id, err: ErrCanceled})
+	case stateRunning:
+		// Closing every conn the coordinator holds makes it lose all
+		// workers and exit; the workers see peer-gone and re-register
+		// with the pool. finishJob then settles with ErrCanceled.
+		j.canceled = true
+		for _, c := range j.conns {
+			c.Close()
+		}
+	}
+}
+
+// atBarrier folds one barrier report into the job's ledger entry: held
 // becomes the coordinator's authoritative live+joining count, in-flight
-// leases are absorbed, and the rate EWMA advances.
+// leases are absorbed, pending is replaced by the job policy's count,
+// and the rate EWMAs advance. The job is marked dirty only when its
+// effective allocation changed or its rate drifted materially — a
+// steady-state barrier stream leaves the pass gate closed.
 func (m *Manager) atBarrier(e evBarrier) {
 	j := m.jobs[e.jobID]
 	if j == nil || j.state != stateRunning {
 		return
 	}
-	j.held = e.live + e.pendingJoins
-	j.inFlight = 0
+	effChanged := m.led.fold(j.id, e.live+e.pendingJoins, e.pending)
 	j.iter = e.iter
 	j.workerIters += e.live
-	if e.iterTime > 0 {
+	j.tokensDone += e.tokens
+	m.backlog -= e.tokens
+	if m.backlog < 0 {
+		m.backlog = 0
+	}
+	if e.iterTime > 0 && e.tokens > 0 {
 		r := float64(e.tokens) / e.iterTime.Seconds()
 		if j.rate == 0 {
 			j.rate = r
 		} else {
 			j.rate = 0.5*j.rate + 0.5*r
 		}
+		if e.live > 0 {
+			perW := r / float64(e.live)
+			if m.ratePerWorker == 0 {
+				m.ratePerWorker = perW
+			} else {
+				m.ratePerWorker = 0.7*m.ratePerWorker + 0.3*perW
+			}
+		}
+	}
+	if i, ok := m.idx[j.id]; ok {
+		m.infos[i].Workers = m.led.eff(j.id)
+		m.infos[i].Rate = j.rate
+	}
+	drift := j.rate-j.polRate >= 0.1*j.polRate || j.polRate-j.rate >= 0.1*j.polRate
+	if effChanged || drift {
+		m.markJob(j.id, "barrier")
 	}
 }
 
-// eff is the job's effective allocation the policies reason over.
-func (m *Manager) eff(j *job) int {
-	if j.state != stateRunning {
-		return 0
-	}
-	e := j.held + j.inFlight - j.pol.pendingReleases()
-	if e < 0 {
-		e = 0
-	}
-	return e
-}
-
-// rebalance recomputes targets and acts on the difference: releases
-// from over-target jobs, starts for queued jobs, leases to under-target
-// jobs. Every pass is traced and counted.
-func (m *Manager) rebalance(trigger string) {
-	if len(m.order) == 0 {
+// refreshInfo re-derives one job's cached policy view after a
+// loop-side mutation (lease, release request, start).
+func (m *Manager) refreshInfo(j *job) {
+	i, ok := m.idx[j.id]
+	if !ok {
 		return
+	}
+	m.infos[i].Started = j.state == stateRunning
+	m.infos[i].Workers = m.led.eff(j.id)
+	m.infos[i].Rate = j.rate
+}
+
+// maybeRebalance runs allocation passes until the dirty gate is clear
+// — the fast path for clean ticks is a few map/flag reads and no
+// policy call. The pass cap bounds reentrant dirtying (a start failure
+// finishing a job mid-pass).
+func (m *Manager) maybeRebalance() {
+	for passes := 0; passes < 8; passes++ {
+		if len(m.order) == 0 {
+			m.resetDirty()
+			return
+		}
+		if len(m.dirtyJobs) == 0 && !m.poolDirty {
+			return
+		}
+		m.pass()
+	}
+}
+
+func (m *Manager) resetDirty() {
+	clear(m.dirtyJobs)
+	m.poolDirty = false
+	m.trigger = ""
+}
+
+// pass recomputes targets over the cached infos and acts on the
+// difference: releases from over-target jobs, starts for queued jobs,
+// leases to under-target jobs. Every pass is traced and counted.
+func (m *Manager) pass() {
+	trigger := m.trigger
+	if trigger == "" {
+		trigger = "tick"
 	}
 	sp := m.cfg.Spans.StartRoot("rebalance", 0)
 	defer sp.End()
 	m.tele.rebalanced(trigger)
+	m.tele.dirty.Set(float64(len(m.dirtyJobs)))
+	m.resetDirty()
 
-	total := len(m.idle)
-	infos := make([]JobInfo, 0, len(m.order))
-	for seq, j := range m.order {
-		eff := m.eff(j)
-		total += eff
-		infos = append(infos, JobInfo{
-			ID: j.id, Seq: seq, Priority: j.spec.Priority,
-			Started: j.state == stateRunning,
-			Min:     j.spec.MinWorkers, Max: j.spec.MaxWorkers,
-			Workers: eff, Rate: j.rate,
-		})
+	total := len(m.idle) + m.led.sum()
+	targets := m.cfg.Policy.Allocate(total, m.infos)
+	for _, j := range m.order {
+		if j.state == stateRunning {
+			j.polRate = j.rate
+		}
 	}
-	targets := m.cfg.Policy.Allocate(total, infos)
+
+	// Act over a snapshot: a start failure can finish a job mid-pass,
+	// splicing order under our feet.
+	snap := append(m.passBuf[:0], m.order...)
+	m.passBuf = snap
 
 	// Releases first: they put workers back in flight toward the pool.
-	for _, j := range m.order {
+	for _, j := range snap {
 		if j.state != stateRunning {
 			continue
 		}
@@ -435,14 +652,16 @@ func (m *Manager) rebalance(trigger string) {
 		if want < j.spec.MinWorkers {
 			want = j.spec.MinWorkers
 		}
-		if eff := m.eff(j); want < eff {
+		if eff := m.led.eff(j.id); want < eff {
 			j.pol.requestRelease(eff - want)
+			m.led.requestRelease(j.id, eff-want)
+			m.refreshInfo(j)
 			m.tele.releases.Add(int64(eff - want))
 		}
 	}
 	// Starts: queued jobs in arrival order, only at or above their
 	// floor — a partial start below MinWorkers would violate the spec.
-	for _, j := range m.order {
+	for _, j := range snap {
 		if j.state != stateQueued || len(m.idle) == 0 {
 			continue
 		}
@@ -456,12 +675,12 @@ func (m *Manager) rebalance(trigger string) {
 		m.startJob(j, want)
 	}
 	// Leases: top up running jobs through the elastic join path.
-	for _, j := range m.order {
+	for _, j := range snap {
 		if j.state != stateRunning {
 			continue
 		}
 		want := targets[j.id]
-		for m.eff(j) < want && len(m.idle) > 0 {
+		for m.led.eff(j.id) < want && len(m.idle) > 0 {
 			if !m.lease(j) {
 				break
 			}
@@ -540,7 +759,10 @@ func (m *Manager) startJob(j *job, n int) {
 
 	j.state = stateRunning
 	j.started = time.Now()
-	j.held = len(conns)
+	m.led.start(j.id, len(conns))
+	m.nQueued--
+	m.nRunning++
+	m.refreshInfo(j)
 	m.tele.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 	m.tele.leased("initial", len(conns))
 
@@ -578,8 +800,9 @@ func (m *Manager) lease(j *job) bool {
 		ac.Close()
 		return false
 	}
-	j.inFlight++
+	m.led.lease(j.id)
 	j.conns = append(j.conns, ac)
+	m.refreshInfo(j)
 	m.tele.leased("join", 1)
 	return true
 }
@@ -592,17 +815,36 @@ func (m *Manager) finishJob(e evJobDone) {
 	if j == nil || j.state == stateDone {
 		return
 	}
+	wasRunning := j.state == stateRunning
 	j.state = stateDone
 	j.finished = time.Now()
 	j.res, j.err = e.res, e.err
+	if j.canceled {
+		j.res, j.err = nil, ErrCanceled
+	}
 	if j.started.IsZero() {
 		j.started = j.finished
 	}
+	if wasRunning {
+		m.nRunning--
+	} else {
+		m.nQueued--
+	}
+	if work := specTokens(j.spec) - j.tokensDone; work > 0 {
+		m.backlog -= work
+		if m.backlog < 0 {
+			m.backlog = 0
+		}
+	}
 	delete(m.jobs, j.id)
-	for i, o := range m.order {
-		if o == j {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
+	m.led.drop(j.id)
+	if i, ok := m.idx[j.id]; ok {
+		m.order = append(m.order[:i], m.order[i+1:]...)
+		m.infos = append(m.infos[:i], m.infos[i+1:]...)
+		delete(m.idx, j.id)
+		for k := i; k < len(m.order); k++ {
+			m.idx[m.order[k].id] = k
+			m.infos[k].Seq = k
 		}
 	}
 	m.doneTail = append(m.doneTail, j)
@@ -622,7 +864,7 @@ func (m *Manager) finishJob(e evJobDone) {
 	j.conns = nil
 
 	out := JobResult{
-		ID: j.id, Spec: j.spec, Result: j.res, Err: j.err,
+		ID: j.id, Spec: j.spec, SLO: j.slo, Result: j.res, Err: j.err,
 		QueueWait:   j.started.Sub(j.submitted),
 		Runtime:     j.finished.Sub(j.started),
 		WorkerIters: j.workerIters,
@@ -649,20 +891,42 @@ func (m *Manager) finishJob(e evJobDone) {
 	if m.cfg.OnJobDone != nil {
 		m.cfg.OnJobDone(out)
 	}
-	m.rebalance("completion")
+	m.markPool("completion")
+}
+
+// publishIfDue refreshes /statusz when state changed, throttled so a
+// barrage of barrier events does not turn the snapshot into the hot
+// path at 1000-job scale.
+func (m *Manager) publishIfDue() {
+	if !m.changed {
+		return
+	}
+	if time.Since(m.lastPublish) < 20*time.Millisecond && !m.lastPublish.IsZero() {
+		return
+	}
+	m.publish()
 }
 
 // publish refreshes the /statusz snapshot.
 func (m *Manager) publish() {
+	m.changed = false
+	m.lastPublish = time.Now()
 	st := &PoolStatus{
 		Role:          "jobmanager",
 		Policy:        m.cfg.Policy.Name(),
 		Idle:          len(m.idle),
+		Rejected:      m.rejected,
+		Canceled:      m.canceled,
+		BacklogTokens: m.backlog,
+		RatePerWorker: m.ratePerWorker,
 		UptimeSeconds: time.Since(m.start).Seconds(),
+	}
+	if m.cfg.Admission != nil {
+		st.Admission = m.cfg.Admission.Name()
 	}
 	held := 0
 	for _, j := range m.order {
-		eff := m.eff(j)
+		eff := m.led.eff(j.id)
 		held += eff
 		switch j.state {
 		case stateRunning:
@@ -681,6 +945,7 @@ func (m *Manager) publish() {
 	m.tele.queued.Set(float64(st.Queued))
 	m.tele.poolIdle.Set(float64(st.Idle))
 	m.tele.poolTotal.Set(float64(st.Workers))
+	m.tele.backlog.Set(float64(m.backlog))
 	m.status.Store(st)
 }
 
@@ -690,7 +955,8 @@ func (m *Manager) jobStatus(j *job, eff int) JobStatus {
 		State: string(j.state), Priority: j.spec.Priority,
 		MinWorkers: j.spec.MinWorkers, MaxWorkers: j.spec.MaxWorkers,
 		Workers: eff, Iter: j.iter, Iterations: j.spec.Iterations,
-		TokenRate: j.rate,
+		TokenRate:  j.rate,
+		SLOSeconds: j.slo.Seconds(),
 	}
 	switch j.state {
 	case stateQueued:

@@ -1,0 +1,163 @@
+package jobs
+
+import (
+	"fmt"
+	"math"
+)
+
+// OASiS is the primal-dual online scheduler from "Online Job
+// Scheduling in Distributed Machine Learning Clusters" (OASiS, Bao et
+// al., PAPERS.md), mapped onto Fela's one-resource pool:
+//
+//   - The dual variable is a marginal price on pool capacity,
+//     exponential in utilization: p(u) = L·(U/L)^u — the classic
+//     online primal-dual posted-price function. Utilization here is
+//     not the instantaneous busy fraction (a healthy pool is busy all
+//     the time) but the committed-capacity fraction over the arriving
+//     job's own deadline horizon: how much of the time-until-SLO the
+//     accepted backlog already eats. An empty queue prices workers
+//     near the floor L (admit almost anything), a backlog that will
+//     consume the whole SLO window prices near the ceiling U (admit
+//     only high-value work).
+//   - A job's utility is its work (tokens) scaled by priority and by a
+//     completion-time decay u_n(t): value is full inside the SLO and
+//     falls off hyperbolically past it, estimated at arrival from the
+//     accepted backlog and the cluster's observed per-worker rate.
+//   - The primal step admits a job iff its utility density clears the
+//     posted price — payoff = utility − price·demand > 0 — and, for
+//     admitted jobs, allocates workers greedily by priority-weighted
+//     marginal throughput (the allocation subproblem under a single
+//     resource type reduces to the same diminishing-returns greedy
+//     throughput-max runs, with utility weights).
+//
+// Under overload this rejects exactly the work the pool could only
+// have served late, so admitted jobs keep meeting their SLOs while an
+// admit-everything policy drags every job past its deadline.
+type OASiS struct {
+	// PriceFloor (L) and PriceCeil (U) bound the posted price. The
+	// admission test is dimensionless — admit iff
+	// (1+Priority)·decay > price — so L and U are calibrated against
+	// utility densities, which start at 1 for a priority-0 job inside
+	// its SLO. Zero values pick the defaults.
+	PriceFloor, PriceCeil float64
+	// Band is the allocation hysteresis handed to the underlying
+	// greedy (0 picks DefaultBand).
+	Band float64
+}
+
+// Default OASiS price bounds: an idle pool admits any job (price < 1),
+// a saturated pool only admits work whose utility density clears 4 —
+// a priority-2 job still inside its SLO, or better.
+const (
+	DefaultPriceFloor = 0.25
+	DefaultPriceCeil  = 4.0
+)
+
+// NewOASiS returns the policy with default pricing.
+func NewOASiS() *OASiS { return &OASiS{} }
+
+// Name implements AllocPolicy and AdmissionPolicy.
+func (*OASiS) Name() string { return "oasis" }
+
+func (o *OASiS) bounds() (l, u float64) {
+	l, u = o.PriceFloor, o.PriceCeil
+	if l <= 0 {
+		l = DefaultPriceFloor
+	}
+	if u <= l {
+		u = DefaultPriceCeil
+		if u <= l {
+			u = 2 * l
+		}
+	}
+	return l, u
+}
+
+// Price is the posted marginal price at busy fraction util ∈ [0, 1].
+func (o *OASiS) Price(util float64) float64 {
+	l, u := o.bounds()
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return l * math.Pow(u/l, util)
+}
+
+// Admit implements AdmissionPolicy: the primal-dual payoff test.
+func (o *OASiS) Admit(a ArrivalInfo) (bool, string) {
+	if a.PoolWorkers <= 0 {
+		return false, "empty pool: no capacity to price"
+	}
+	price := o.Price(1 - float64(a.Idle)/float64(a.PoolWorkers))
+	if a.RatePerWorker <= 0 {
+		// No barrier has reported yet: the pool has no observed rate to
+		// estimate completion times from. Bootstrap optimistically — the
+		// price alone still gates a saturated pool.
+		if float64(1+a.Spec.Priority) > price {
+			return true, ""
+		}
+		return false, fmt.Sprintf("bootstrap price %.3f exceeds utility density %d", price, 1+a.Spec.Priority)
+	}
+
+	work := float64(specTokens(a.Spec))
+	// Expected parallelism: under load the pool is split across the
+	// active jobs plus this one, clamped to the job's own bounds —
+	// pricing against the floor alone would over-reject work the
+	// elastic allocator will actually parallelize.
+	w := a.PoolWorkers / (a.Running + a.Queued + 1)
+	if w < a.Spec.MinWorkers {
+		w = a.Spec.MinWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	if a.Spec.MaxWorkers > 0 && w > a.Spec.MaxWorkers {
+		w = a.Spec.MaxWorkers
+	}
+	// Estimated completion: drain the accepted backlog with the whole
+	// pool, then run this job at its expected parallelism.
+	wait := float64(a.BacklogTokens) / (float64(a.PoolWorkers) * a.RatePerWorker)
+	service := work / (float64(w) * a.RatePerWorker)
+	est := wait + service
+
+	// Utilization for pricing: the fraction of this job's deadline
+	// horizon the existing backlog consumes. SLO-less jobs price
+	// against a default horizon of 4× their ideal single-worker
+	// runtime — the same slack convention trace SLOs use (slack ×
+	// ideal runtime), and the middle of the workload mix's slack range.
+	horizon := a.SLO.Seconds()
+	if horizon <= 0 {
+		horizon = 4 * work / a.RatePerWorker
+	}
+	if horizon > 0 {
+		price = o.Price(wait / horizon)
+	}
+
+	decay := 1.0
+	if slo := a.SLO.Seconds(); slo > 0 && est > slo {
+		decay = slo / est
+	}
+	density := (1 + float64(a.Spec.Priority)) * decay
+	if density > price {
+		return true, ""
+	}
+	return false, fmt.Sprintf(
+		"utility density %.3f under price %.3f (est completion %.3fs, decay %.3f)",
+		density, price, est, decay)
+}
+
+// Allocate implements AllocPolicy: priority-weighted marginal-gain
+// greedy. Each job's observed rate is scaled by its utility weight
+// (1+Priority) before the throughput-max greedy runs, so a spare
+// worker lands where it buys the most utility per second rather than
+// the most raw tokens.
+func (o *OASiS) Allocate(total int, jobs []JobInfo) map[int]int {
+	weighted := append([]JobInfo(nil), jobs...)
+	for i := range weighted {
+		weighted[i].Rate *= 1 + float64(weighted[i].Priority)
+	}
+	tm := ThroughputMax{Band: o.Band}
+	return tm.Allocate(total, weighted)
+}

@@ -1,0 +1,130 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fela/internal/transport"
+)
+
+func arrival(prio, minW int, slo time.Duration) ArrivalInfo {
+	return ArrivalInfo{
+		Spec: transport.JobSpec{
+			Iterations: 10, TotalBatch: 64, TokenBatch: 8,
+			Priority: prio, MinWorkers: minW,
+		},
+		SLO: slo,
+	}
+}
+
+// TestOASiSPriceCurve: the posted price must run from the floor at an
+// idle pool to the ceiling at saturation, monotonically.
+func TestOASiSPriceCurve(t *testing.T) {
+	o := NewOASiS()
+	if got := o.Price(0); got != DefaultPriceFloor {
+		t.Fatalf("price at idle = %.3f, want floor %.3f", got, DefaultPriceFloor)
+	}
+	if got := o.Price(1); got != DefaultPriceCeil {
+		t.Fatalf("price at saturation = %.3f, want ceiling %.3f", got, DefaultPriceCeil)
+	}
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.05 {
+		p := o.Price(u)
+		if p <= prev {
+			t.Fatalf("price not increasing at util %.2f: %.4f after %.4f", u, p, prev)
+		}
+		prev = p
+	}
+	// Out-of-range utilizations clamp instead of extrapolating.
+	if o.Price(-1) != o.Price(0) || o.Price(2) != o.Price(1) {
+		t.Fatal("price must clamp utilization to [0, 1]")
+	}
+}
+
+// TestOASiSAdmit covers the decision regions: empty pools reject,
+// idle pools admit, and under saturation only work whose utility
+// density clears the posted price gets in.
+func TestOASiSAdmit(t *testing.T) {
+	o := NewOASiS()
+
+	a := arrival(0, 1, time.Second)
+	if ok, reason := o.Admit(a); ok || !strings.Contains(reason, "empty pool") {
+		t.Fatalf("empty pool admitted: ok=%v reason=%q", ok, reason)
+	}
+
+	// Bootstrap (no observed rate): an idle pool admits anything...
+	a.PoolWorkers, a.Idle = 8, 8
+	if ok, _ := o.Admit(a); !ok {
+		t.Fatal("idle pool rejected a job with no rate signal")
+	}
+	// ...a saturated pool only admits priority that clears the ceiling.
+	a.Idle = 0
+	if ok, reason := o.Admit(a); ok {
+		t.Fatalf("saturated pool admitted a priority-0 job at bootstrap (%q)", reason)
+	}
+	hi := arrival(3, 1, time.Second) // density 4 is not > ceiling 4
+	hi.PoolWorkers, hi.Idle = 8, 0
+	if ok, _ := o.Admit(hi); ok {
+		t.Fatal("density at exactly the ceiling must not clear it")
+	}
+
+	// With a rate signal: inside-SLO work admits on a lightly busy pool.
+	a = arrival(0, 1, time.Minute)
+	a.PoolWorkers, a.Idle, a.RatePerWorker = 8, 5, 1000
+	if ok, reason := o.Admit(a); !ok {
+		t.Fatalf("in-SLO job rejected on lightly busy pool: %q", reason)
+	}
+	// A deep backlog pushes the completion estimate far past the SLO
+	// and the decayed density under the price.
+	a.Idle = 0
+	a.BacklogTokens = 10_000_000
+	if ok, _ := o.Admit(a); ok {
+		t.Fatal("hopelessly late job admitted on a saturated pool")
+	}
+	// Priority buys admission where the same shape was rejected (the
+	// saturated price is the ceiling 4, so density must strictly clear
+	// it: priority 3 ties and stays out, priority 4 gets in).
+	a.Spec.Priority = 4
+	a.BacklogTokens = 80_000 // est ~10s vs 60s SLO: inside, decay = 1
+	if ok, reason := o.Admit(a); !ok {
+		t.Fatalf("priority-4 in-SLO job rejected: %q", reason)
+	}
+	// No SLO means no decay and a default pricing horizon: a modest
+	// backlog stays under the price, a deep one does not.
+	free := arrival(1, 1, 0)
+	free.PoolWorkers, free.Idle, free.RatePerWorker = 8, 4, 1000
+	free.BacklogTokens = 500
+	if ok, reason := o.Admit(free); !ok {
+		t.Fatalf("SLO-less job rejected below the price: %q", reason)
+	}
+	free.BacklogTokens = 10_000_000
+	if ok, _ := o.Admit(free); ok {
+		t.Fatal("SLO-less job admitted against a bottomless backlog")
+	}
+}
+
+// TestOASiSAllocateWeighted: with equal observed rates, the
+// priority-weighted greedy must hand the spare capacity to the
+// higher-priority job.
+func TestOASiSAllocateWeighted(t *testing.T) {
+	o := NewOASiS()
+	jobs := []JobInfo{
+		{ID: 1, Seq: 0, Priority: 0, Started: true, Min: 1, Workers: 1, Rate: 100},
+		{ID: 2, Seq: 1, Priority: 3, Started: true, Min: 1, Workers: 1, Rate: 100},
+	}
+	got := o.Allocate(8, jobs)
+	if got[2] <= got[1] {
+		t.Fatalf("priority-3 job got %d workers vs %d for priority-0, want more", got[2], got[1])
+	}
+	if got[1] < 1 {
+		t.Fatalf("low-priority job starved below its floor: %d", got[1])
+	}
+	if got[1]+got[2] > 8 {
+		t.Fatalf("allocated %d workers from a pool of 8", got[1]+got[2])
+	}
+	// The weighting must not mutate the caller's slice.
+	if jobs[1].Rate != 100 {
+		t.Fatalf("Allocate mutated caller's JobInfo rate: %v", jobs[1].Rate)
+	}
+}

@@ -41,6 +41,19 @@ type AllocPolicy interface {
 }
 
 func bySeq(jobs []JobInfo) []JobInfo {
+	// The manager maintains its cached info slice in arrival order, so
+	// at 1000-job scale the common case is already sorted — skip the
+	// copy and the sort.
+	sorted := true
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Seq < jobs[i-1].Seq {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return jobs
+	}
 	out := append([]JobInfo(nil), jobs...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
@@ -348,6 +361,8 @@ func PolicyByName(name string) (AllocPolicy, bool) {
 		return Priority{}, true
 	case "throughput-max", "tmax":
 		return &ThroughputMax{}, true
+	case "oasis":
+		return NewOASiS(), true
 	}
 	return nil, false
 }

@@ -1,0 +1,285 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fela/internal/transport"
+	"fela/internal/workload"
+)
+
+// ReplayConfig parameterizes a deterministic trace replay.
+type ReplayConfig struct {
+	// Workers is the simulated pool size.
+	Workers int
+	// RatePerWorker is the simulated training rate in tokens/sec per
+	// worker — every worker is homogeneous, so a job's throughput is
+	// exactly allocation × rate.
+	RatePerWorker float64
+	// Policy allocates the pool (nil = FairShare).
+	Policy AllocPolicy
+	// Admission gates arrivals (nil = admit everything).
+	Admission AdmissionPolicy
+}
+
+// ReplaySummary aggregates one replay's outcomes.
+type ReplaySummary struct {
+	Submitted int     `json:"submitted"`
+	Admitted  int     `json:"admitted"`
+	Rejected  int     `json:"rejected"`
+	Completed int     `json:"completed"`
+	Stalled   int     `json:"stalled"`
+	SLOMet    int     `json:"slo_met"`
+	Makespan  float64 `json:"makespan_seconds"`
+}
+
+// simJob is one job's state inside the replay.
+type simJob struct {
+	id        int
+	spec      transport.JobSpec
+	slo       float64 // seconds, 0 = none
+	arrive    float64
+	start     float64
+	remaining float64 // tokens
+	alloc     int
+	running   bool
+	done      bool
+}
+
+// ReplayTrace runs a workload trace through an allocation policy (and
+// optional admission policy) in a pure discrete-event simulation:
+// virtual clock, instantaneous migration, homogeneous workers draining
+// tokens at a fixed rate. Every decision — admit, reject, start,
+// allocation change, completion — is appended to w as one log line, and
+// the whole run is a deterministic function of (trace, config): the
+// golden tests replay the committed trace and diff these bytes.
+//
+// The simulator intentionally shares the live manager's decision
+// surfaces — AllocPolicy.Allocate over arrival-ordered JobInfos, and
+// AdmissionPolicy.Admit over ArrivalInfo — so a policy change that
+// would alter cluster behavior also changes the golden logs.
+func ReplayTrace(tr workload.Trace, cfg ReplayConfig, w io.Writer) (ReplaySummary, error) {
+	if cfg.Workers <= 0 {
+		return ReplaySummary{}, fmt.Errorf("jobs: replay needs a positive worker count")
+	}
+	if cfg.RatePerWorker <= 0 {
+		return ReplaySummary{}, fmt.Errorf("jobs: replay needs a positive per-worker rate")
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = FairShare{}
+	}
+	var sum ReplaySummary
+	var jobs []*simJob // admitted, arrival order
+	now := 0.0
+	next := 0 // next trace event index
+
+	outErr := error(nil)
+	logf := func(format string, args ...any) {
+		if outErr == nil {
+			_, outErr = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	busy := func() int {
+		n := 0
+		for _, j := range jobs {
+			if !j.done {
+				n += j.alloc
+			}
+		}
+		return n
+	}
+	backlog := func() int {
+		t := 0.0
+		for _, j := range jobs {
+			if !j.done {
+				t += j.remaining
+			}
+		}
+		return int(math.Ceil(t))
+	}
+	counts := func() (running, queued int) {
+		for _, j := range jobs {
+			if j.done {
+				continue
+			}
+			if j.running {
+				running++
+			} else {
+				queued++
+			}
+		}
+		return
+	}
+
+	// advance drains work to time t and completes every job that hits
+	// zero (simultaneous finishes settle in arrival order).
+	advance := func(t float64) {
+		dt := t - now
+		now = t
+		if dt <= 0 {
+			return
+		}
+		for _, j := range jobs {
+			if j.done || j.alloc == 0 {
+				continue
+			}
+			j.remaining -= float64(j.alloc) * cfg.RatePerWorker * dt
+			if j.remaining < 1e-9 {
+				j.remaining = 0
+			}
+		}
+	}
+	settle := func() {
+		for _, j := range jobs {
+			if j.done || !j.running || j.remaining > 0 {
+				continue
+			}
+			j.done = true
+			j.alloc = 0
+			sum.Completed++
+			run := now - j.start
+			wait := j.start - j.arrive
+			slo := "none"
+			if j.slo > 0 {
+				if now-j.arrive <= j.slo {
+					slo = "ok"
+					sum.SLOMet++
+				} else {
+					slo = "miss"
+				}
+			}
+			sum.Makespan = now
+			logf("t=%.6f done job=%d wait=%.6f run=%.6f slo=%s\n", now, j.id, wait, run, slo)
+		}
+	}
+
+	// reallocate recomputes targets over the live jobs, starts queued
+	// jobs whose target reached their floor, and logs every change.
+	reallocate := func() {
+		var infos []JobInfo
+		for _, j := range jobs {
+			if j.done {
+				continue
+			}
+			rate := 0.0
+			if j.alloc > 0 {
+				rate = float64(j.alloc) * cfg.RatePerWorker
+			}
+			infos = append(infos, JobInfo{
+				ID: j.id, Seq: len(infos), Priority: j.spec.Priority,
+				Started: j.running, Min: j.spec.MinWorkers, Max: j.spec.MaxWorkers,
+				Workers: j.alloc, Rate: rate,
+			})
+		}
+		if len(infos) == 0 {
+			return
+		}
+		targets := pol.Allocate(cfg.Workers, infos)
+		for _, j := range jobs {
+			if j.done {
+				continue
+			}
+			want := targets[j.id]
+			if !j.running {
+				floor := j.spec.MinWorkers
+				if floor < 1 {
+					floor = 1
+				}
+				if want < floor {
+					continue // stays queued
+				}
+				j.running = true
+				j.start = now
+				j.alloc = want
+				logf("t=%.6f start job=%d n=%d wait=%.6f\n", now, j.id, want, now-j.arrive)
+				continue
+			}
+			if want != j.alloc {
+				logf("t=%.6f alloc job=%d n=%d->%d\n", now, j.id, j.alloc, want)
+				j.alloc = want
+			}
+		}
+	}
+
+	for {
+		// Next completion under the current allocation.
+		nextDone := math.Inf(1)
+		for _, j := range jobs {
+			if j.done || j.alloc == 0 {
+				continue
+			}
+			if t := now + j.remaining/(float64(j.alloc)*cfg.RatePerWorker); t < nextDone {
+				nextDone = t
+			}
+		}
+		nextArr := math.Inf(1)
+		if next < len(tr.Events) {
+			nextArr = tr.Events[next].At.Seconds()
+		}
+		if math.IsInf(nextArr, 1) && math.IsInf(nextDone, 1) {
+			break
+		}
+
+		if nextArr <= nextDone {
+			advance(nextArr)
+			settle()
+			ev := tr.Events[next]
+			next++
+			sum.Submitted++
+			id := sum.Submitted
+			spec, err := NormalizeSpec(ev.Spec)
+			if err != nil {
+				return sum, fmt.Errorf("jobs: trace event %d: %w", next-1, err)
+			}
+			tokens := specTokens(spec)
+			logf("t=%.6f arrive job=%d class=%s tokens=%d slo=%.6f prio=%d min=%d max=%d\n",
+				now, id, spec.Name, tokens, ev.SLO.Seconds(), spec.Priority, spec.MinWorkers, spec.MaxWorkers)
+			if cfg.Admission != nil {
+				running, queued := counts()
+				ok, reason := cfg.Admission.Admit(ArrivalInfo{
+					Spec:          spec,
+					SLO:           ev.SLO,
+					PoolWorkers:   cfg.Workers,
+					Idle:          cfg.Workers - busy(),
+					Running:       running,
+					Queued:        queued,
+					BacklogTokens: backlog(),
+					RatePerWorker: cfg.RatePerWorker,
+				})
+				if !ok {
+					sum.Rejected++
+					logf("t=%.6f reject job=%d reason=%q\n", now, id, reason)
+					continue
+				}
+				logf("t=%.6f admit job=%d\n", now, id)
+			}
+			sum.Admitted++
+			jobs = append(jobs, &simJob{
+				id: id, spec: spec, slo: ev.SLO.Seconds(),
+				arrive: now, remaining: float64(tokens),
+			})
+			reallocate()
+			continue
+		}
+
+		advance(nextDone)
+		settle()
+		reallocate()
+	}
+
+	// Anything left is stuck for good: a queued job whose floor the pool
+	// can never free up, or a started job the policy zeroed with nothing
+	// left to reassign.
+	for _, j := range jobs {
+		if !j.done {
+			sum.Stalled++
+			logf("t=%.6f stall job=%d min=%d\n", now, j.id, j.spec.MinWorkers)
+		}
+	}
+	logf("end t=%.6f submitted=%d admitted=%d rejected=%d completed=%d stalled=%d slo_met=%d\n",
+		now, sum.Submitted, sum.Admitted, sum.Rejected, sum.Completed, sum.Stalled, sum.SLOMet)
+	return sum, outErr
+}

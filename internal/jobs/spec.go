@@ -112,6 +112,16 @@ func NormalizeSpec(spec transport.JobSpec) (transport.JobSpec, error) {
 	return spec, nil
 }
 
+// specTokens is the total token-gradient count a spec represents —
+// iterations × tokens per iteration — the work unit admission control
+// and the cluster benchmark budget in.
+func specTokens(spec transport.JobSpec) int {
+	if spec.TokenBatch <= 0 {
+		return 0
+	}
+	return spec.Iterations * (spec.TotalBatch / spec.TokenBatch)
+}
+
 // RTConfig derives the rt session configuration for a normalized spec
 // with the given worker count. Telemetry fields are left unset; callers
 // attach their own registry/tracer.

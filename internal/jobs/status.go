@@ -17,6 +17,8 @@ type JobStatus struct {
 	Iterations int `json:"iterations"`
 	// TokenRate is the EWMA aggregate training rate in tokens/sec.
 	TokenRate float64 `json:"token_rate"`
+	// SLOSeconds is the submitter's completion-latency target (0 = none).
+	SLOSeconds float64 `json:"slo_seconds,omitempty"`
 	// QueueWaitSeconds is the time spent queued before the first lease
 	// (still growing for queued jobs).
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
@@ -30,6 +32,9 @@ type JobStatus struct {
 type PoolStatus struct {
 	Role   string `json:"role"` // always "jobmanager"
 	Policy string `json:"policy"`
+	// Admission names the admission policy, empty when every submission
+	// is accepted unconditionally.
+	Admission string `json:"admission,omitempty"`
 	// Workers is every worker the pool knows about: idle plus held by
 	// jobs (workers mid-migration between two jobs count at neither and
 	// reappear when they re-register).
@@ -39,6 +44,14 @@ type PoolStatus struct {
 	Queued  int `json:"queued"`
 	// Completed counts jobs finished since the manager started.
 	Completed int `json:"completed"`
+	// Rejected counts submissions the admission policy refused.
+	Rejected int `json:"rejected,omitempty"`
+	// Canceled counts jobs canceled by their submitters.
+	Canceled int `json:"canceled,omitempty"`
+	// BacklogTokens estimates accepted-but-unfinished work.
+	BacklogTokens int `json:"backlog_tokens,omitempty"`
+	// RatePerWorker is the cluster-wide EWMA tokens/sec per worker.
+	RatePerWorker float64 `json:"rate_per_worker,omitempty"`
 	// Jobs lists queued and running jobs in arrival order, followed by
 	// the most recently completed jobs (up to a small tail).
 	Jobs          []JobStatus `json:"jobs"`

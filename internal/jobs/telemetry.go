@@ -31,6 +31,16 @@ const (
 	MetricPoolWorkers = "fela_jobs_pool_workers"
 	// MetricQueueWait is the queued-to-started latency histogram.
 	MetricQueueWait = "fela_jobs_queue_wait_seconds"
+	// MetricAdmission counts admission-policy decisions, labeled
+	// decision=admit|reject.
+	MetricAdmission = "fela_jobs_admission_total"
+	// MetricCanceled counts jobs canceled by their submitter.
+	MetricCanceled = "fela_jobs_canceled_total"
+	// MetricDirty gauges the dirty-job set size at the last rebalance
+	// pass — how many jobs' inputs changed since the pass before it.
+	MetricDirty = "fela_jobs_rebalance_dirty"
+	// MetricBacklog gauges the accepted-but-unfinished token estimate.
+	MetricBacklog = "fela_jobs_backlog_tokens"
 )
 
 // mgrTelemetry bundles the manager's instruments. All methods are
@@ -41,10 +51,13 @@ type mgrTelemetry struct {
 	rejected  *obs.Counter
 	releases  *obs.Counter
 	returns   *obs.Counter
+	canceled  *obs.Counter
 	running   *obs.Gauge
 	queued    *obs.Gauge
 	poolIdle  *obs.Gauge
 	poolTotal *obs.Gauge
+	dirty     *obs.Gauge
+	backlog   *obs.Gauge
 	queueWait *obs.Histogram
 }
 
@@ -61,18 +74,33 @@ func newMgrTelemetry(reg *obs.Registry) mgrTelemetry {
 	reg.Help(MetricPoolIdle, "Pool workers currently idle.")
 	reg.Help(MetricPoolWorkers, "Pool workers known (idle + held by jobs).")
 	reg.Help(MetricQueueWait, "Seconds from submission to first lease.")
+	reg.Help(MetricAdmission, "Admission-policy decisions, by decision.")
+	reg.Help(MetricCanceled, "Jobs canceled by their submitter.")
+	reg.Help(MetricDirty, "Dirty-job set size at the last rebalance pass.")
+	reg.Help(MetricBacklog, "Accepted-but-unfinished token estimate.")
 	return mgrTelemetry{
 		reg:       reg,
 		submitted: reg.Counter(MetricSubmitted),
 		rejected:  reg.Counter(MetricRejected),
 		releases:  reg.Counter(MetricReleases),
 		returns:   reg.Counter(MetricReturns),
+		canceled:  reg.Counter(MetricCanceled),
 		running:   reg.Gauge(MetricRunning),
 		queued:    reg.Gauge(MetricQueued),
 		poolIdle:  reg.Gauge(MetricPoolIdle),
 		poolTotal: reg.Gauge(MetricPoolWorkers),
+		dirty:     reg.Gauge(MetricDirty),
+		backlog:   reg.Gauge(MetricBacklog),
 		queueWait: reg.Histogram(MetricQueueWait, nil),
 	}
+}
+
+func (t *mgrTelemetry) admission(admit bool) {
+	decision := "admit"
+	if !admit {
+		decision = "reject"
+	}
+	t.reg.Counter(MetricAdmission, "decision", decision).Inc()
 }
 
 func (t *mgrTelemetry) completed(ok bool) {

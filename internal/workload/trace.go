@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"fela/internal/transport"
+)
+
+// The JSONL trace format: an optional first line carrying the trace
+// metadata under a "meta" key, then one Event object per line in
+// non-decreasing at_ns order. Lines are self-describing, so a trace
+// can be built with a text editor, grepped, truncated with head, or
+// concatenated — and a recorded trace (no meta line) replays the same
+// as a synthesized one.
+
+// metaLine is the optional header line.
+type metaLine struct {
+	Meta *traceMeta `json:"meta"`
+}
+
+type traceMeta struct {
+	Name      string `json:"name,omitempty"`
+	Generator string `json:"generator,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Jobs      int    `json:"jobs"`
+}
+
+// Encode writes the trace as JSONL.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	head, err := json.Marshal(metaLine{Meta: &traceMeta{
+		Name: t.Name, Generator: t.Generator, Seed: t.Seed, Jobs: len(t.Events),
+	}})
+	if err != nil {
+		return err
+	}
+	bw.Write(head)
+	bw.WriteByte('\n')
+	for i := range t.Events {
+		line, err := json.Marshal(&t.Events[i])
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Decode parses a JSONL trace, accepting streams with or without the
+// meta header. Events must be in non-decreasing offset order.
+func Decode(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if lineNo == 1 && bytes.Contains(line, []byte(`"meta"`)) {
+			var m metaLine
+			if err := json.Unmarshal(line, &m); err != nil {
+				return tr, fmt.Errorf("workload: trace line 1: %w", err)
+			}
+			if m.Meta != nil {
+				tr.Name, tr.Generator, tr.Seed = m.Meta.Name, m.Meta.Generator, m.Meta.Seed
+				continue
+			}
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return tr, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+		}
+		if n := len(tr.Events); n > 0 && e.At < tr.Events[n-1].At {
+			return tr, fmt.Errorf("workload: trace line %d: offset %v before previous %v", lineNo, e.At, tr.Events[n-1].At)
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return tr, err
+	}
+	if len(tr.Events) == 0 {
+		return tr, fmt.Errorf("workload: trace has no events")
+	}
+	return tr, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a JSONL trace file.
+func Load(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	defer f.Close()
+	tr, err := Decode(f)
+	if err != nil {
+		return tr, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// Recorder captures a live arrival stream as a replayable trace: each
+// Record call appends one JSONL event stamped with its offset from the
+// first call. Safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	now   func() time.Time
+	start time.Time
+	n     int
+}
+
+// NewRecorder wraps w. The caller owns w's lifetime; call Flush before
+// closing it.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriter(w), now: time.Now}
+}
+
+// Record appends one arrival. The first call defines offset zero.
+func (r *Recorder) Record(spec transport.JobSpec, slo time.Duration) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.now()
+	if r.n == 0 {
+		r.start = t
+	}
+	r.n++
+	line, err := json.Marshal(&Event{At: t.Sub(r.start), SLO: slo, Spec: spec})
+	if err != nil {
+		return err
+	}
+	if _, err := r.w.Write(line); err != nil {
+		return err
+	}
+	return r.w.WriteByte('\n')
+}
+
+// Flush drains the recorder's buffer to the underlying writer.
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w.Flush()
+}
