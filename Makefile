@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster ci
+.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster gate ci
 
 build:
 	$(GO) build ./...
@@ -66,7 +66,16 @@ bench:
 cluster:
 	$(GO) run ./cmd/felabench -quick -experiment cluster
 
+# gate runs the serving-gateway suite under the race detector (unit
+# tests, the 64-tenant hammer, the felagate binary's serve/drain e2e
+# tests) and then smoke-runs the million-request edge benchmark,
+# writing BENCH_gate.json.
+gate:
+	$(GO) test ./internal/gate/ -race -count=1 -v
+	$(GO) test ./cmd/felagate/ -race -count=1 -v
+	$(GO) run ./cmd/felabench -quick -experiment gate
+
 # ci is the full gate: tier-1, static analysis, race detector, the
-# multi-tenant suite, the benchmark smoke pass, and the cluster-mode
-# smoke run.
-ci: tier1 vet race jobs bench cluster
+# multi-tenant suite, the benchmark smoke pass, the cluster-mode smoke
+# run, and the serving-gateway suite.
+ci: tier1 vet race jobs bench cluster gate

@@ -1,0 +1,510 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fela/internal/gate"
+	"fela/internal/jobs"
+	"fela/internal/obs"
+	"fela/internal/transport"
+)
+
+// Gate experiment: the serving-edge benchmark. A gateway over two
+// Manager shards (each a TokenDelay-simulated pool) takes a combined
+// closed+open-loop load:
+//
+//   - open loop: every tenant submits real jobs over real TCP HTTP at
+//     gateOverload× its token-bucket rate, so by construction roughly
+//     (1 - 1/gateOverload) of offered submissions must shed with 429 —
+//     the edge-backpressure regime the gateway exists for;
+//   - closed loop: pollers hammer the status/gate/healthz routes
+//     through the gateway's handler directly until the total request
+//     count crosses gateTargetRequests, the "millions of users
+//     refreshing a dashboard" side of the workload;
+//   - a few tenants watch their jobs over live SSE streams.
+//
+// The report cares about four things: sustained RPS, tail latency
+// (p50/p99/p999) for admitted submits and for status reads under that
+// RPS, the shed rate at 2× overload, and per-tenant fairness (Jain
+// index over admitted submissions — every tenant offers the same load,
+// so admission should split evenly).
+const (
+	// gateTargetRequests is the total-request floor for one run; the
+	// acceptance bar is one million requests through the serving path.
+	gateTargetRequests = 1_000_000
+	// gateOverload is the offered-to-admitted submit ratio per tenant.
+	gateOverload = 2.0
+	// gateTokenDelay is the simulated per-token compute cost in the
+	// shards' pool workers (see jobsTokenDelay for the methodology).
+	gateTokenDelay = 200 * time.Microsecond
+	gateShards     = 2
+)
+
+// gateBenchTenant is one tenant's view of the edge ledger.
+type gateBenchTenant struct {
+	Tenant   string `json:"tenant"`
+	Offered  int64  `json:"offered"`
+	Admitted int64  `json:"admitted"`
+	Shed     int64  `json:"shed"`
+}
+
+// gateLatencies summarizes one route class's latency distribution.
+type gateLatencies struct {
+	Requests int64   `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+}
+
+// gateBenchReport is the machine-readable BENCH_gate.json payload.
+type gateBenchReport struct {
+	Name      string `json:"name"`
+	Quick     bool   `json:"quick"`
+	TimeStamp string `json:"timestamp"`
+
+	Shards           int     `json:"shards"`
+	WorkersPerShard  int     `json:"workers_per_shard"`
+	Tenants          int     `json:"tenants"`
+	OverloadFactor   float64 `json:"overload_factor"`
+	TenantRatePerSec float64 `json:"tenant_rate_per_sec"`
+
+	TotalRequests  int64   `json:"total_requests"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	SustainedRPS   float64 `json:"sustained_rps"`
+
+	// Submit is the open-loop side: offered over real TCP, admitted
+	// latencies only (a shed 429 is not a served submission).
+	SubmitOffered  int64         `json:"submit_offered"`
+	SubmitAdmitted int64         `json:"submit_admitted"`
+	SubmitShed     int64         `json:"submit_shed"`
+	ShedRate       float64       `json:"shed_rate"`
+	Submit         gateLatencies `json:"submit_latency"`
+	// Status is the closed-loop side, through the handler directly.
+	Status  gateLatencies `json:"status_latency"`
+	Streams int           `json:"streams"`
+
+	// JobsOK / SchedulerRejected / Unsettled audit the serving ledger:
+	// Unsettled must be zero — every admitted submit got exactly one
+	// terminal answer.
+	JobsOK            int64 `json:"jobs_ok"`
+	JobsFailed        int64 `json:"jobs_failed"`
+	JobsCanceled      int64 `json:"jobs_canceled"`
+	SchedulerRejected int64 `json:"scheduler_rejected"`
+	Unsettled         int64 `json:"unsettled"`
+
+	// Fairness is the Jain index over per-tenant admitted counts.
+	Fairness  float64           `json:"fairness_index"`
+	PerTenant []gateBenchTenant `json:"per_tenant"`
+	// ShardCompleted is each shard's completed-job count — both must be
+	// non-zero for the routing claim to hold.
+	ShardCompleted []int `json:"shard_completed"`
+
+	GateMetrics map[string]map[string]int64 `json:"gate_metrics,omitempty"`
+}
+
+func msQuantiles(lat []float64) gateLatencies {
+	sort.Float64s(lat)
+	return gateLatencies{
+		Requests: int64(len(lat)),
+		P50Ms:    quantile(lat, 0.50) * 1000,
+		P99Ms:    quantile(lat, 0.99) * 1000,
+		P999Ms:   quantile(lat, 0.999) * 1000,
+	}
+}
+
+func jainIndex64(xs []int64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += float64(x)
+		sq += float64(x) * float64(x)
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+func runGateBench(quick bool, path string, out func(string)) error {
+	nTenants := 8
+	workersPerShard := 4
+	tenantRate := 40.0 // admitted submits/sec/tenant
+	window := 6 * time.Second
+	if quick {
+		tenantRate = 30
+		window = 3 * time.Second
+	}
+
+	reg := obs.NewRegistry()
+	var mgrs []*jobs.Manager
+	var backends []gate.Shard
+	for s := 0; s < gateShards; s++ {
+		mgr := jobs.NewManager(jobs.Config{Tick: 50 * time.Millisecond, Metrics: reg})
+		dial := func() (transport.Conn, error) {
+			select {
+			case <-mgr.Done():
+				return nil, fmt.Errorf("pool stopped")
+			default:
+			}
+			a, b := transport.Pair()
+			mgr.Admit(b)
+			return a, nil
+		}
+		for w := 0; w < workersPerShard; w++ {
+			go func() {
+				_, _ = jobs.RunPoolWorker(dial, jobs.PoolWorkerOptions{
+					TokenDelay: func(int, int) time.Duration { return gateTokenDelay },
+				})
+			}()
+		}
+		mgrs = append(mgrs, mgr)
+		backends = append(backends, mgr)
+	}
+	defer func() {
+		for _, m := range mgrs {
+			m.Stop()
+		}
+		for _, m := range mgrs {
+			<-m.Done()
+		}
+	}()
+
+	gw, err := gate.New(gate.Config{
+		Shards:     backends,
+		TenantRate: tenantRate,
+		// A small burst keeps the bucket honest at 2× overload; a large
+		// one would admit the whole window in one gulp.
+		TenantBurst: 8,
+		TenantQuota: 64,
+		QueueBound:  1024,
+		AdmitWait:   time.Millisecond,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	// jobsLedger shares submitted job ids with the closed-loop pollers.
+	type jobRef struct{ id, tenant string }
+	var (
+		ledgerMu sync.RWMutex
+		ledger   []jobRef
+
+		total      atomic.Int64 // every request of any kind
+		offered    atomic.Int64
+		admitted   atomic.Int64
+		shedCount  atomic.Int64
+		benchFail  atomic.Int64
+		streamsRun atomic.Int64
+	)
+	count := func(n int64) { total.Add(n) }
+
+	// pollOnce drives one read through the gateway's handler directly
+	// (no TCP: the closed-loop side measures the serving path, not the
+	// bench's socket stack) and returns its latency in seconds.
+	pollOnce := func(rng *rand.Rand, i int) float64 {
+		ledgerMu.RLock()
+		n := len(ledger)
+		var ref jobRef
+		if n > 0 {
+			ref = ledger[rng.Intn(n)]
+		}
+		ledgerMu.RUnlock()
+		route, tenant := "/healthz", ""
+		switch {
+		case n > 0 && i%64 != 0:
+			route, tenant = "/v1/jobs/"+ref.id, ref.tenant
+		case i%128 == 0:
+			route = "/v1/gate"
+		}
+		req := httptest.NewRequest("GET", route, nil)
+		if tenant != "" {
+			req.Header.Set("X-Fela-Tenant", tenant)
+		}
+		w := httptest.NewRecorder()
+		t0 := time.Now()
+		gw.ServeHTTP(w, req)
+		lat := time.Since(t0).Seconds()
+		count(1)
+		if w.Code != http.StatusOK {
+			benchFail.Add(1)
+		}
+		return lat
+	}
+
+	start := time.Now()
+
+	// --- phase 1, open loop: every tenant offers submissions at
+	// gateOverload× its token-bucket budget for the whole window. Each
+	// POST runs on its own goroutine (per-tenant concurrency cap 64) so
+	// the offered schedule holds even when response latency grows —
+	// tying the next submit to the previous response would throttle the
+	// offered load to whatever the gateway admits and overload shedding
+	// would never appear.
+	var (
+		tickerWG  sync.WaitGroup
+		submitWG  sync.WaitGroup
+		subMu     sync.Mutex
+		allSubmit []float64
+	)
+	body := `{"name": "gatebench", "iterations": 1, "total_batch": 8, "token_batch": 8, "max_workers": 1}`
+	for tn := 0; tn < nTenants; tn++ {
+		tickerWG.Add(1)
+		go func(tn int) {
+			defer tickerWG.Done()
+			tenant := fmt.Sprintf("tenant-%02d", tn)
+			interval := time.Duration(float64(time.Second) / (tenantRate * gateOverload))
+			sem := make(chan struct{}, 64)
+			end := time.Now().Add(window)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for time.Now().Before(end) {
+				<-tick.C
+				sem <- struct{}{}
+				offered.Add(1)
+				count(1)
+				submitWG.Add(1)
+				go func() {
+					defer func() { <-sem; submitWG.Done() }()
+					t0 := time.Now()
+					req, _ := http.NewRequest("POST", srv.URL+"/v1/jobs", strings.NewReader(body))
+					req.Header.Set("X-Fela-Tenant", tenant)
+					resp, err := srv.Client().Do(req)
+					if err != nil {
+						benchFail.Add(1)
+						return
+					}
+					lat := time.Since(t0).Seconds()
+					var ack struct {
+						Job string `json:"job"`
+						ID  string `json:"id"`
+					}
+					json.NewDecoder(resp.Body).Decode(&ack)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusAccepted, http.StatusOK:
+						admitted.Add(1)
+						subMu.Lock()
+						allSubmit = append(allSubmit, lat)
+						subMu.Unlock()
+						id := ack.Job
+						if id == "" {
+							id = ack.ID
+						}
+						ledgerMu.Lock()
+						ledger = append(ledger, jobRef{id, tenant})
+						ledgerMu.Unlock()
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+						shedCount.Add(1)
+					case http.StatusUnprocessableEntity:
+						admitted.Add(1) // reached a shard; settled as rejected
+					default:
+						benchFail.Add(1)
+					}
+				}()
+			}
+		}(tn)
+	}
+
+	// --- SSE watchers alongside phase 1: one live stream per tenant
+	// over real TCP, re-opened on a fresh job as each stream ends.
+	var streamWG sync.WaitGroup
+	for tn := 0; tn < nTenants; tn++ {
+		streamWG.Add(1)
+		go func(tn int) {
+			defer streamWG.Done()
+			tenant := fmt.Sprintf("tenant-%02d", tn)
+			deadline := time.Now().Add(window)
+			ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(2*time.Second))
+			defer cancel()
+			for time.Now().Before(deadline) {
+				ledgerMu.RLock()
+				var ref jobRef
+				for _, r := range ledger {
+					if r.tenant == tenant {
+						ref = r
+					}
+				}
+				ledgerMu.RUnlock()
+				if ref.id == "" {
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				count(1)
+				req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/jobs/"+ref.id+"/stream", nil)
+				req.Header.Set("X-Fela-Tenant", tenant)
+				resp, err := srv.Client().Do(req)
+				if err != nil {
+					if ctx.Err() == nil {
+						benchFail.Add(1)
+					}
+					return
+				}
+				// Reads until the done event closes the stream (or the
+				// context deadline cuts a stream on a deeply queued job).
+				if _, err := io.Copy(io.Discard, resp.Body); err == nil {
+					streamsRun.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(tn)
+	}
+
+	// Paced pollers alongside phase 1: a light closed-loop read load so
+	// submit latency is measured with reads in flight, without the
+	// full-speed sprint starving the submit path of CPU.
+	phase1Done := make(chan struct{})
+	warmPolls := make([][]float64, 2)
+	var warmWG sync.WaitGroup
+	for p := range warmPolls {
+		warmWG.Add(1)
+		go func(p int) {
+			defer warmWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + p)))
+			for i := 0; ; i++ {
+				select {
+				case <-phase1Done:
+					return
+				default:
+				}
+				warmPolls[p] = append(warmPolls[p], pollOnce(rng, i))
+				time.Sleep(time.Millisecond)
+			}
+		}(p)
+	}
+
+	tickerWG.Wait()
+	submitWG.Wait()
+	streamWG.Wait()
+	close(phase1Done)
+	warmWG.Wait()
+
+	// Zero-unsettled before the read sprint: every admitted submission
+	// must get its terminal answer (the queued tail drains at pool
+	// speed).
+	drainDeadline := time.Now().Add(120 * time.Second)
+	for gw.Inflight() > 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// --- phase 2, closed loop: sprint the status plane until the run
+	// crosses the million-request floor.
+	nPollers := 8
+	pollLats := make([][]float64, nPollers)
+	var pollWG sync.WaitGroup
+	for p := 0; p < nPollers; p++ {
+		pollWG.Add(1)
+		go func(p int) {
+			defer pollWG.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			lats := make([]float64, 0, gateTargetRequests/nPollers+1024)
+			for i := 0; total.Load() < gateTargetRequests; i++ {
+				lats = append(lats, pollOnce(rng, i))
+			}
+			pollLats[p] = lats
+		}(p)
+	}
+	pollWG.Wait()
+	elapsed := time.Since(start)
+	st := gw.Status()
+
+	if benchFail.Load() > 0 {
+		return fmt.Errorf("gate bench: %d requests failed outside the protocol", benchFail.Load())
+	}
+	var perTenant []gateBenchTenant
+	var admittedByTenant []int64
+	for _, ts := range st.Tenants {
+		perTenant = append(perTenant, gateBenchTenant{
+			Tenant: ts.Tenant, Offered: ts.Admitted + ts.Shed,
+			Admitted: ts.Admitted, Shed: ts.Shed,
+		})
+		admittedByTenant = append(admittedByTenant, ts.Admitted)
+	}
+	var allPoll []float64
+	for _, l := range warmPolls {
+		allPoll = append(allPoll, l...)
+	}
+	for _, l := range pollLats {
+		allPoll = append(allPoll, l...)
+	}
+	shardCompleted := make([]int, gateShards)
+	for i, m := range mgrs {
+		if ps := m.Status(); ps != nil {
+			shardCompleted[i] = ps.Completed
+		}
+	}
+
+	report := gateBenchReport{
+		Name:              "gate",
+		Quick:             quick,
+		TimeStamp:         time.Now().UTC().Format(time.RFC3339),
+		Shards:            gateShards,
+		WorkersPerShard:   workersPerShard,
+		Tenants:           nTenants,
+		OverloadFactor:    gateOverload,
+		TenantRatePerSec:  tenantRate,
+		TotalRequests:     total.Load(),
+		ElapsedSeconds:    elapsed.Seconds(),
+		SustainedRPS:      float64(total.Load()) / elapsed.Seconds(),
+		SubmitOffered:     offered.Load(),
+		SubmitAdmitted:    admitted.Load(),
+		SubmitShed:        shedCount.Load(),
+		ShedRate:          float64(shedCount.Load()) / float64(max(offered.Load(), 1)),
+		Submit:            msQuantiles(allSubmit),
+		Status:            msQuantiles(allPoll),
+		Streams:           int(streamsRun.Load()),
+		JobsOK:            st.JobsOK,
+		JobsFailed:        st.JobsFailed,
+		JobsCanceled:      st.JobsCanceled,
+		SchedulerRejected: st.SchedulerRejected,
+		Unsettled:         gw.Inflight(),
+		Fairness:          jainIndex64(admittedByTenant),
+		PerTenant:         perTenant,
+		ShardCompleted:    shardCompleted,
+		GateMetrics: map[string]map[string]int64{
+			gate.MetricRequests: reg.CounterValues(gate.MetricRequests),
+			gate.MetricShed:     reg.CounterValues(gate.MetricShed),
+			gate.MetricSettled:  reg.CounterValues(gate.MetricSettled),
+		},
+	}
+
+	out("")
+	out(fmt.Sprintf("=== Serving gateway: closed+open loop at %.0fx overload (%d shards x %d workers)",
+		gateOverload, gateShards, workersPerShard))
+	out(fmt.Sprintf("  %d requests in %.2fs  ->  %.0f req/s sustained",
+		report.TotalRequests, report.ElapsedSeconds, report.SustainedRPS))
+	out(fmt.Sprintf("  submits: %d offered, %d admitted, %d shed (shed rate %.3f at %.1fx overload)",
+		report.SubmitOffered, report.SubmitAdmitted, report.SubmitShed, report.ShedRate, gateOverload))
+	out(fmt.Sprintf("  submit latency  p50 %.2fms  p99 %.2fms  p999 %.2fms (admitted only)",
+		report.Submit.P50Ms, report.Submit.P99Ms, report.Submit.P999Ms))
+	out(fmt.Sprintf("  status latency  p50 %.3fms  p99 %.3fms  p999 %.3fms over %d polls",
+		report.Status.P50Ms, report.Status.P99Ms, report.Status.P999Ms, report.Status.Requests))
+	out(fmt.Sprintf("  jobs: %d ok, %d failed, %d canceled, %d scheduler-rejected, %d unsettled",
+		report.JobsOK, report.JobsFailed, report.JobsCanceled, report.SchedulerRejected, report.Unsettled))
+	out(fmt.Sprintf("  fairness (Jain over admitted): %.4f across %d tenants; shard completions %v",
+		report.Fairness, nTenants, shardCompleted))
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	out(fmt.Sprintf("  wrote %s", path))
+	return nil
+}

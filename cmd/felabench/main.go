@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	felabench [-quick] [-experiment all|table1|...|extensions|rt|jobs|wire|cluster]
+//	felabench [-quick] [-experiment all|table1|...|extensions|rt|jobs|wire|cluster|gate]
 //	felabench -csvdir out/    # also write plotting-ready CSV series
 package main
 
@@ -15,41 +15,74 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"fela/internal/experiments"
 )
 
+// experimentNames lists every value -experiment accepts, in the order
+// they run under "all".
+var experimentNames = []string{
+	"all", "table1", "fig1", "table2", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "extensions", "rt", "jobs", "wire", "cluster", "gate",
+}
+
+func validExperiment(which string) bool {
+	for _, n := range experimentNames {
+		if which == n {
+			return true
+		}
+	}
+	return false
+}
+
+// benchPaths collects every output location the suite can write to.
+type benchPaths struct {
+	csvDir  string
+	rt      string
+	jobs    string
+	wire    string
+	cluster string
+	gate    string
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run with reduced iteration counts")
-	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10, extensions, rt, jobs, wire, cluster)")
-	csvDir := flag.String("csvdir", "", "also write each figure's data series as CSV files into this directory")
-	rtJSON := flag.String("rtjson", "BENCH_rt.json", "path for the rt experiment's machine-readable report")
-	jobsJSON := flag.String("jobsjson", "BENCH_jobs.json", "path for the jobs experiment's machine-readable report")
-	wireJSON := flag.String("wirejson", "BENCH_wire.json", "path for the wire experiment's machine-readable report")
-	clusterJSON := flag.String("clusterjson", "BENCH_cluster.json", "path for the cluster experiment's machine-readable report")
+	which := flag.String("experiment", "all",
+		"experiment to run ("+strings.Join(experimentNames, ", ")+")")
+	var p benchPaths
+	flag.StringVar(&p.csvDir, "csvdir", "", "also write each figure's data series as CSV files into this directory")
+	flag.StringVar(&p.rt, "rtjson", "BENCH_rt.json", "path for the rt experiment's machine-readable report")
+	flag.StringVar(&p.jobs, "jobsjson", "BENCH_jobs.json", "path for the jobs experiment's machine-readable report")
+	flag.StringVar(&p.wire, "wirejson", "BENCH_wire.json", "path for the wire experiment's machine-readable report")
+	flag.StringVar(&p.cluster, "clusterjson", "BENCH_cluster.json", "path for the cluster experiment's machine-readable report")
+	flag.StringVar(&p.gate, "gatejson", "BENCH_gate.json", "path for the gate experiment's machine-readable report")
 	flag.Parse()
 
 	ctx := experiments.Default()
 	if *quick {
 		ctx = experiments.Quick()
 	}
-	if err := run(ctx, *which, *csvDir, *rtJSON, *jobsJSON, *wireJSON, *clusterJSON, *quick); err != nil {
+	if err := run(ctx, *which, p, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "felabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx *experiments.Context, which, csvDir, rtJSON, jobsJSON, wireJSON, clusterJSON string, quick bool) error {
+func run(ctx *experiments.Context, which string, p benchPaths, quick bool) error {
+	if !validExperiment(which) {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", which, strings.Join(experimentNames, ", "))
+	}
 	all := which == "all"
 	out := func(s string) { fmt.Println(s) }
 	writeCSV := func(name, data string) error {
-		if csvDir == "" {
+		if p.csvDir == "" {
 			return nil
 		}
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		if err := os.MkdirAll(p.csvDir, 0o755); err != nil {
 			return err
 		}
-		return os.WriteFile(filepath.Join(csvDir, name), []byte(data), 0o644)
+		return os.WriteFile(filepath.Join(p.csvDir, name), []byte(data), 0o644)
 	}
 
 	if all || which == "table1" {
@@ -152,29 +185,29 @@ func run(ctx *experiments.Context, which, csvDir, rtJSON, jobsJSON, wireJSON, cl
 		out(cb.Render())
 	}
 	if all || which == "rt" {
-		if err := runRTBench(quick, rtJSON, out); err != nil {
+		if err := runRTBench(quick, p.rt, out); err != nil {
 			return err
 		}
 	}
 	if all || which == "jobs" {
-		if err := runJobsBench(quick, jobsJSON, out); err != nil {
+		if err := runJobsBench(quick, p.jobs, out); err != nil {
 			return err
 		}
 	}
 	if all || which == "wire" {
-		if err := runWireBench(quick, wireJSON, out); err != nil {
+		if err := runWireBench(quick, p.wire, out); err != nil {
 			return err
 		}
 	}
 	if all || which == "cluster" {
-		if err := runClusterBench(quick, clusterJSON, out); err != nil {
+		if err := runClusterBench(quick, p.cluster, out); err != nil {
 			return err
 		}
 	}
-	switch which {
-	case "all", "table1", "fig1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "extensions", "rt", "jobs", "wire", "cluster":
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", which)
+	if all || which == "gate" {
+		if err := runGateBench(quick, p.gate, out); err != nil {
+			return err
+		}
 	}
+	return nil
 }

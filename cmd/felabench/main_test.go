@@ -12,14 +12,14 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	ctx := experiments.Quick()
 	for _, which := range []string{"table1", "table2", "fig1", "fig5"} {
-		if err := run(ctx, which, "", "", "", "", "", true); err != nil {
+		if err := run(ctx, which, benchPaths{}, true); err != nil {
 			t.Errorf("%s: %v", which, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(experiments.Quick(), "fig99", "", "", "", "", "", true); err == nil {
+	if err := run(experiments.Quick(), "fig99", benchPaths{}, true); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
@@ -27,7 +27,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	ctx := experiments.Quick()
-	if err := run(ctx, "fig8", dir, "", "", "", "", true); err != nil {
+	if err := run(ctx, "fig8", benchPaths{csvDir: dir}, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
@@ -45,7 +45,7 @@ func TestCSVOutput(t *testing.T) {
 func TestRTBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_rt.json")
-	if err := run(experiments.Quick(), "rt", "", path, "", "", "", true); err != nil {
+	if err := run(experiments.Quick(), "rt", benchPaths{rt: path}, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -89,7 +89,7 @@ func TestClusterBenchJSON(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_cluster.json")
-	if err := run(experiments.Quick(), "cluster", "", "", "", "", path, true); err != nil {
+	if err := run(experiments.Quick(), "cluster", benchPaths{cluster: path}, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -144,7 +144,7 @@ func TestClusterBenchJSON(t *testing.T) {
 func TestJobsBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_jobs.json")
-	if err := run(experiments.Quick(), "jobs", "", "", path, "", "", true); err != nil {
+	if err := run(experiments.Quick(), "jobs", benchPaths{jobs: path}, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -190,5 +190,61 @@ func TestJobsBenchJSON(t *testing.T) {
 		if !seen {
 			t.Errorf("policy %q missing from report", policy)
 		}
+	}
+}
+
+// TestGateBenchJSON runs the serving-gateway benchmark end to end (it
+// is the slowest test here: a million requests through the gateway) and
+// checks the acceptance invariants on the machine-readable report.
+func TestGateBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate bench pushes 1e6 requests; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("gate bench asserts latency bounds; meaningless under the race detector (the gateway's race coverage is TestGateHammer)")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_gate.json")
+	if err := run(experiments.Quick(), "gate", benchPaths{gate: path}, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report gateBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_gate.json does not parse: %v", err)
+	}
+	if report.Name != "gate" || !report.Quick {
+		t.Errorf("report header = %+v", report)
+	}
+	if report.TotalRequests < gateTargetRequests {
+		t.Errorf("total requests %d below the %d floor", report.TotalRequests, int64(gateTargetRequests))
+	}
+	if report.Shards < 2 || len(report.ShardCompleted) != report.Shards {
+		t.Errorf("want >=2 shards with completions, got %+v", report.ShardCompleted)
+	}
+	for i, c := range report.ShardCompleted {
+		if c <= 0 {
+			t.Errorf("shard %d completed no jobs", i)
+		}
+	}
+	// At 2x overload the edge must shed a substantial share of offered
+	// submissions while keeping admitted-submit latency bounded.
+	if report.ShedRate < 0.25 {
+		t.Errorf("shed rate %.3f at %.1fx overload; the edge is not shedding", report.ShedRate, report.OverloadFactor)
+	}
+	if report.Submit.P99Ms <= 0 || report.Submit.P99Ms > 1000 {
+		t.Errorf("admitted submit p99 %.2fms not bounded", report.Submit.P99Ms)
+	}
+	if report.Unsettled != 0 {
+		t.Errorf("%d admitted submissions never settled", report.Unsettled)
+	}
+	if report.SubmitAdmitted+report.SubmitShed != report.SubmitOffered {
+		t.Errorf("edge ledger does not sum: %+v", report)
+	}
+	if report.Fairness < 0.9 {
+		t.Errorf("Jain fairness %.4f under uniform offered load", report.Fairness)
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// benchmarks skip their latency assertions under its ~10x slowdown.
+const raceEnabled = true

@@ -51,6 +51,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fela/internal/elastic"
@@ -127,6 +129,8 @@ func main() {
 		"jobs: speed multiplier for -cluster-trace replay (2 = twice as fast)")
 	codec := flag.String("codec", transport.DefaultCodec,
 		"wire codec (binary or gob); every felaworker must use the same value")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"on SIGINT/SIGTERM, how long to wait for in-flight work before exiting anyway")
 	flag.Parse()
 
 	oo := obsOpts{statusAddr: *statusAddr, traceJSON: *traceJSON}
@@ -141,10 +145,10 @@ func main() {
 			trace:      *clusterTrace,
 			traceScale: *traceScale,
 		}
-		err = runJobs(*addr, *codec, jo, *workerTimeout, oo)
+		err = runJobs(*addr, *codec, jo, *workerTimeout, oo, nil, *drainTimeout)
 	} else {
 		opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
-		err = run(*addr, *codec, *workers, *iters, *workerTimeout, opts, oo)
+		err = run(*addr, *codec, *workers, *iters, *workerTimeout, opts, oo, nil, *drainTimeout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felaserver:", err)
@@ -161,12 +165,29 @@ type jobsOpts struct {
 	traceScale float64
 }
 
+// signalChan returns sig as-is when tests inject their own channel,
+// otherwise installs the real SIGINT/SIGTERM handler. The returned stop
+// func must run before the process exits.
+func signalChan(sig <-chan os.Signal) (<-chan os.Signal, func()) {
+	if sig != nil {
+		return sig, func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	return ch, func() { signal.Stop(ch) }
+}
+
 // runJobs serves the multi-tenant job manager: one TCP port accepts
 // both pool workers and job submissions (the manager classifies each
 // connection by its first message). With maxJobs > 0 the server drains
 // and exits after that many completions; with a trace it drains once
-// every replayed submission has settled.
-func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo obsOpts) error {
+// every replayed submission has settled. A signal on sig (nil = real
+// SIGINT/SIGTERM) drains the manager, bounded by drainTimeout, and
+// returns nil for a clean exit.
+func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo obsOpts, sig <-chan os.Signal, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
 	pol, ok := jobs.PolicyByName(jo.alloc)
 	if !ok {
 		return fmt.Errorf("unknown allocation policy %q (want fair-share, priority, throughput-max or oasis)", jo.alloc)
@@ -275,6 +296,26 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 		}()
 	}
 
+	// A signal starts the drain: the manager stops, which closes the
+	// listener below and unblocks Accept. The deadline closes the
+	// listener even if the pool never finishes draining.
+	sigCh, stopSig := signalChan(sig)
+	defer stopSig()
+	go func() {
+		select {
+		case s := <-sigCh:
+			fmt.Printf("felaserver: %v received, draining job manager (timeout %s)\n", s, drainTimeout)
+			mgr.Stop()
+			select {
+			case <-mgr.Done():
+			case <-time.After(drainTimeout):
+				fmt.Println("felaserver: drain deadline passed, closing listener")
+				l.Close()
+			}
+		case <-mgr.Done():
+		}
+	}()
+
 	// Unblock Accept once the manager drains so the server can exit.
 	go func() {
 		<-mgr.Done()
@@ -288,7 +329,12 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 		mgr.Admit(c)
 	}
 	mgr.Stop()
-	<-mgr.Done()
+	select {
+	case <-mgr.Done():
+	case <-time.After(drainTimeout):
+		fmt.Println("felaserver: drain deadline passed with the pool still busy, exiting")
+		return nil
+	}
 
 	if oo.traceJSON != "" {
 		f, err := os.Create(oo.traceJSON)
@@ -308,7 +354,13 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 	return nil
 }
 
-func run(addr, codec string, workers, iters int, workerTimeout time.Duration, opts elasticOpts, oo obsOpts) error {
+// run serves one synchronous training session. A signal on sig (nil =
+// real SIGINT/SIGTERM) stops accepting joiners and waits up to
+// drainTimeout for the in-flight session to finish before exiting 0.
+func run(addr, codec string, workers, iters int, workerTimeout time.Duration, opts elasticOpts, oo obsOpts, sig <-chan os.Signal, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
 	if opts.enabled && workerTimeout == 0 {
 		// Elastic membership rides on the fault-tolerant machinery (a
 		// drain is a planned death); give it a generous default deadline.
@@ -357,24 +409,44 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 	defer l.Close()
 	fmt.Printf("felaserver: listening on %s (%s codec), waiting for %d workers\n", l.Addr(), codec, workers)
 
-	conns := make([]transport.Conn, workers)
-	for i := range conns {
-		c, err := l.Accept()
-		if err != nil {
-			return err
+	sigCh, stopSig := signalChan(sig)
+	defer stopSig()
+
+	// Accept on a channel so a signal during the wait-for-workers phase
+	// still exits cleanly instead of blocking in Accept forever.
+	connCh := make(chan transport.Conn)
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			connCh <- c
 		}
-		conns[i] = c
-		fmt.Printf("felaserver: worker connection %d/%d\n", i+1, workers)
+	}()
+	conns := make([]transport.Conn, 0, workers)
+	for len(conns) < workers {
+		select {
+		case c := <-connCh:
+			conns = append(conns, c)
+			fmt.Printf("felaserver: worker connection %d/%d\n", len(conns), workers)
+		case <-acceptDone:
+			return fmt.Errorf("listener closed with %d/%d workers connected", len(conns), workers)
+		case s := <-sigCh:
+			fmt.Printf("felaserver: %v received with %d/%d workers connected, exiting\n", s, len(conns), workers)
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil
+		}
 	}
 	if opts.enabled {
-		// Keep admitting joiners for the rest of the session; the accept
-		// loop ends when the deferred l.Close() unblocks Accept.
+		// Keep admitting joiners for the rest of the session; the loop
+		// ends when the deferred l.Close() unblocks Accept.
 		go func() {
-			for {
-				c, err := l.Accept()
-				if err != nil {
-					return
-				}
+			for c := range connCh {
 				if err := co.Admit(c); err != nil {
 					c.Close()
 					return
@@ -384,9 +456,38 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 		}()
 	}
 
-	res, err := co.Run(conns)
-	if err != nil {
-		return err
+	// Run the session racing the signal: on SIGINT/SIGTERM stop
+	// accepting joiners and give the in-flight session drainTimeout to
+	// reach its natural barrier-aligned end before exiting anyway.
+	type runOutcome struct {
+		res *rt.Result
+		err error
+	}
+	runCh := make(chan runOutcome, 1)
+	go func() {
+		res, err := co.Run(conns)
+		runCh <- runOutcome{res, err}
+	}()
+	var res *rt.Result
+	select {
+	case o := <-runCh:
+		if o.err != nil {
+			return o.err
+		}
+		res = o.res
+	case s := <-sigCh:
+		fmt.Printf("felaserver: %v received, draining session (timeout %s)\n", s, drainTimeout)
+		l.Close() // no more joiners
+		select {
+		case o := <-runCh:
+			if o.err != nil {
+				return o.err
+			}
+			res = o.res
+		case <-time.After(drainTimeout):
+			fmt.Println("felaserver: drain deadline passed with the session still running, exiting")
+			return nil
+		}
 	}
 	for i, loss := range res.Losses {
 		fmt.Printf("iteration %3d: loss %.6f\n", i, loss)

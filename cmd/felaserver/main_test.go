@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -72,7 +73,7 @@ func TestServerStrictSession(t *testing.T) {
 	for wid := 0; wid < workers; wid++ {
 		startWorker(t, addr, wid, workers, iters, cfg, &wg)
 	}
-	if err := run(addr, transport.DefaultCodec, workers, iters, 0, elasticOpts{}, obsOpts{}); err != nil {
+	if err := run(addr, transport.DefaultCodec, workers, iters, 0, elasticOpts{}, obsOpts{}, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -127,7 +128,7 @@ func TestServerElasticSession(t *testing.T) {
 		joined <- assigned
 	}()
 
-	if err := run(addr, transport.DefaultCodec, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}); err != nil {
+	if err := run(addr, transport.DefaultCodec, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -138,7 +139,7 @@ func TestServerElasticSession(t *testing.T) {
 
 // TestServerElasticValidation: nonsensical elastic bounds fail fast.
 func TestServerElasticValidation(t *testing.T) {
-	err := run(freeAddr(t), transport.DefaultCodec, 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{})
+	err := run(freeAddr(t), transport.DefaultCodec, 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{}, nil, 0)
 	if err == nil {
 		t.Fatal("min-workers > max-workers accepted")
 	}
@@ -209,7 +210,7 @@ func TestServerObservabilityE2E(t *testing.T) {
 	go func() {
 		done <- run(addr, transport.DefaultCodec, workers, iters, 2*time.Second,
 			elasticOpts{enabled: true, minWorkers: 1},
-			obsOpts{statusAddr: statusAddr, traceJSON: traceJSON})
+			obsOpts{statusAddr: statusAddr, traceJSON: traceJSON}, nil, 0)
 	}()
 
 	// Scrape while the session runs. The obs server dies with run(), so
@@ -334,7 +335,7 @@ func TestServerJobsMode(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- runJobs(addr, transport.DefaultCodec,
-			jobsOpts{alloc: "throughput-max", maxJobs: 2}, 2*time.Second, obsOpts{})
+			jobsOpts{alloc: "throughput-max", maxJobs: 2}, 2*time.Second, obsOpts{}, nil, 0)
 	}()
 
 	const poolWorkers = 3
@@ -419,7 +420,7 @@ func TestServerClusterTrace(t *testing.T) {
 	go func() {
 		done <- runJobs(addr, transport.DefaultCodec, jobsOpts{
 			alloc: "oasis", admission: "oasis", trace: path, traceScale: 4,
-		}, 2*time.Second, obsOpts{})
+		}, 2*time.Second, obsOpts{}, nil, 0)
 	}()
 
 	const poolWorkers = 2
@@ -498,4 +499,75 @@ func traceIDs(t *testing.T, data []byte) map[string]bool {
 		}
 	}
 	return ids
+}
+
+// TestJobsModeGracefulShutdown sends a SIGTERM to an idle job manager
+// (with a live pool worker attached) and requires a clean nil exit.
+func TestJobsModeGracefulShutdown(t *testing.T) {
+	addr := freeAddr(t)
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runJobs(addr, transport.DefaultCodec, jobsOpts{alloc: "fair-share"},
+			2*time.Second, obsOpts{}, sig, 10*time.Second)
+	}()
+
+	workerDone := make(chan error, 1)
+	go func() {
+		dial := func() (transport.Conn, error) {
+			return transport.DialRetry(addr, 50, 20*time.Millisecond)
+		}
+		_, err := jobs.RunPoolWorker(dial, jobs.PoolWorkerOptions{})
+		workerDone <- err
+	}()
+
+	// Give the worker time to register, then pull the plug.
+	time.Sleep(200 * time.Millisecond)
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runJobs returned %v, want clean exit", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("runJobs did not exit after SIGTERM")
+	}
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool worker did not exit after the manager drained")
+	}
+}
+
+// TestSessionModeSignalBeforeWorkers interrupts a server still waiting
+// for its initial workers; it must exit 0 instead of hanging in Accept.
+func TestSessionModeSignalBeforeWorkers(t *testing.T) {
+	addr := freeAddr(t)
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, transport.DefaultCodec, 4, 4, 0, elasticOpts{}, obsOpts{}, sig, time.Second)
+	}()
+	// Wait until the listener is up so the signal lands mid-wait.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sig <- syscall.SIGINT
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean exit", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
 }

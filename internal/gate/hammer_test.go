@@ -1,0 +1,238 @@
+package gate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fela/internal/jobs"
+	"fela/internal/obs"
+	"fela/internal/rt"
+	"fela/internal/transport"
+)
+
+// autoShard settles every submission on its own goroutine after a
+// short random delay, with a mix of outcomes; Cancel settles the job
+// early with ErrCanceled if it has not settled yet. Exactly-once is
+// enforced by the settled map.
+type autoShard struct {
+	mu      sync.Mutex
+	next    int
+	chans   map[int]chan jobs.JobResult
+	settled map[int]bool
+	rng     *rand.Rand
+	status  atomic.Pointer[jobs.PoolStatus]
+}
+
+func newAutoShard(seed int64) *autoShard {
+	return &autoShard{
+		chans:   map[int]chan jobs.JobResult{},
+		settled: map[int]bool{},
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (a *autoShard) SubmitJob(spec transport.JobSpec, opts jobs.SubmitOptions) (int, <-chan jobs.JobResult, error) {
+	a.mu.Lock()
+	a.next++
+	id := a.next
+	ch := make(chan jobs.JobResult, 1)
+	a.chans[id] = ch
+	delay := time.Duration(a.rng.Intn(3)) * time.Millisecond
+	var err error
+	switch a.rng.Intn(10) {
+	case 0:
+		err = jobs.ErrRejected
+		delay = 0
+	case 1:
+		err = fmt.Errorf("training blew up")
+	}
+	a.mu.Unlock()
+	go func() {
+		time.Sleep(delay)
+		res := jobs.JobResult{Spec: spec, Err: err}
+		if err == nil {
+			res.Result = &rt.Result{Losses: []float64{0.1}}
+		}
+		a.deliver(id, res)
+	}()
+	return id, ch, nil
+}
+
+func (a *autoShard) deliver(id int, res jobs.JobResult) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.settled[id] {
+		return
+	}
+	a.settled[id] = true
+	res.ID = id
+	a.chans[id] <- res
+}
+
+func (a *autoShard) Cancel(id int) { go a.deliver(id, jobs.JobResult{Err: jobs.ErrCanceled}) }
+
+func (a *autoShard) Status() *jobs.PoolStatus { return a.status.Load() }
+
+// TestGateHammer floods one gateway from 64 concurrent tenants that
+// submit, poll, cancel and stream all at once, then checks the books:
+// every admitted submission settled exactly once, nothing leaked, and
+// no request died with a 5xx the API does not define.
+func TestGateHammer(t *testing.T) {
+	const (
+		nTenants  = 64
+		perTenant = 24
+	)
+	reg := obs.NewRegistry()
+	shards := []Shard{newAutoShard(1), newAutoShard(2), newAutoShard(3)}
+	g, err := New(Config{
+		Shards:         shards,
+		TenantRate:     500, // high enough to admit most, low enough to exercise shedding
+		TenantQuota:    8,
+		QueueBound:     256,
+		AdmitWait:      time.Millisecond,
+		StreamInterval: time.Millisecond,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	var (
+		wg        sync.WaitGroup
+		admitted  atomic.Int64
+		shed      atomic.Int64
+		rejected  atomic.Int64
+		badCodes  atomic.Int64
+		streamErr atomic.Int64
+	)
+	for tn := 0; tn < nTenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%02d", tn)
+			rng := rand.New(rand.NewSource(int64(tn)))
+			for i := 0; i < perTenant; i++ {
+				body := fmt.Sprintf(`{"name": "h-%d-%d", "iterations": 2}`, tn, i)
+				req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+				req.Header.Set("X-Fela-Tenant", tenant)
+				w := httptest.NewRecorder()
+				g.ServeHTTP(w, req)
+				switch w.Code {
+				case http.StatusAccepted, http.StatusOK:
+					admitted.Add(1)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					shed.Add(1)
+					continue
+				case http.StatusUnprocessableEntity:
+					rejected.Add(1)
+					continue
+				default:
+					badCodes.Add(1)
+					continue
+				}
+				var ack struct {
+					Job string `json:"job"`
+					ID  string `json:"id"`
+				}
+				json.Unmarshal(w.Body.Bytes(), &ack)
+				id := ack.Job
+				if id == "" {
+					id = ack.ID
+				}
+				switch rng.Intn(4) {
+				case 0: // cancel it, possibly after it already settled
+					req := httptest.NewRequest("DELETE", "/v1/jobs/"+id, nil)
+					req.Header.Set("X-Fela-Tenant", tenant)
+					cw := httptest.NewRecorder()
+					g.ServeHTTP(cw, req)
+					if cw.Code != http.StatusAccepted && cw.Code != http.StatusOK {
+						badCodes.Add(1)
+					}
+				case 1: // watch it over a real connection until terminal
+					sreq, _ := http.NewRequest("GET", srv.URL+"/v1/jobs/"+id+"/stream", nil)
+					sreq.Header.Set("X-Fela-Tenant", tenant)
+					resp, err := srv.Client().Do(sreq)
+					if err != nil {
+						streamErr.Add(1)
+						continue
+					}
+					sc := bufio.NewScanner(resp.Body)
+					terminal := false
+					for sc.Scan() {
+						if strings.HasPrefix(sc.Text(), "event: done") {
+							terminal = true
+						}
+					}
+					resp.Body.Close()
+					if !terminal {
+						streamErr.Add(1)
+					}
+				default: // poll status a few times
+					for p := 0; p < 3; p++ {
+						req := httptest.NewRequest("GET", "/v1/jobs/"+id, nil)
+						req.Header.Set("X-Fela-Tenant", tenant)
+						pw := httptest.NewRecorder()
+						g.ServeHTTP(pw, req)
+						if pw.Code != http.StatusOK {
+							badCodes.Add(1)
+						}
+					}
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+
+	// Every admitted submission must settle exactly once.
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d jobs stuck unsettled", g.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := g.Status()
+	if badCodes.Load() != 0 || streamErr.Load() != 0 {
+		t.Fatalf("unexpected responses: bad=%d streamErr=%d", badCodes.Load(), streamErr.Load())
+	}
+	// 200/422 synchronous answers and 202s all count as admitted at the
+	// gateway; cross-check against its own ledger.
+	if got := admitted.Load() + rejected.Load(); st.Submitted != got {
+		t.Fatalf("gateway admitted %d, clients saw %d", st.Submitted, got)
+	}
+	if st.Settled != st.Submitted {
+		t.Fatalf("settled %d != submitted %d", st.Settled, st.Submitted)
+	}
+	if st.JobsOK+st.JobsFailed+st.JobsCanceled+st.SchedulerRejected != st.Settled {
+		t.Fatalf("outcomes do not sum: %+v", st)
+	}
+	// No tenant may hold quota slots after the dust settles.
+	for _, ts := range st.Tenants {
+		if ts.Inflight != 0 {
+			t.Fatalf("tenant %s leaked %d quota slots", ts.Tenant, ts.Inflight)
+		}
+	}
+	// The metrics ledger must agree with the status ledger.
+	var settledTotal int64
+	for _, v := range reg.CounterValues(MetricSettled) {
+		settledTotal += v
+	}
+	if settledTotal != st.Settled {
+		t.Fatalf("metric settled %d != status settled %d", settledTotal, st.Settled)
+	}
+	if shed.Load() > 0 && st.ShedRateLimited+st.ShedQuotaExceeded+st.ShedQueueFull+st.ShedDraining != shed.Load() {
+		t.Fatalf("shed accounting: clients saw %d, status %+v", shed.Load(), st)
+	}
+}

@@ -1,0 +1,97 @@
+package gate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+)
+
+// router places tenants on shards. A consistent-hash ring gives every
+// tenant a home shard, so one tenant's jobs co-locate (its manager-side
+// state stays on one scheduler and its status snapshots stay hot in one
+// cache); a least-loaded spill keeps a hot tenant from drowning its
+// home shard while others sit idle. Load is the gateway's in-flight job
+// count per shard — incremented when a submission is accepted,
+// decremented when it settles.
+type router struct {
+	ring []vnode // sorted by hash
+	load []atomic.Int64
+}
+
+type vnode struct {
+	hash  uint64
+	shard int
+}
+
+// vnodesPerShard smooths the ring: with 64 virtual nodes per shard the
+// tenant mass splits within a few percent of even.
+const vnodesPerShard = 64
+
+func newRouter(n int) *router {
+	r := &router{load: make([]atomic.Int64, n)}
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			r.ring = append(r.ring, vnode{hash: hash64(fmt.Sprintf("shard-%d-%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	return r
+}
+
+// hash64 is fnv64a with a murmur-style finalizer: raw FNV of short,
+// nearly identical strings ("tenant-0", "tenant-1") clusters in the
+// high bits, which is exactly what ring position sorts by.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// affinity is the tenant's home shard: the first ring node at or after
+// its hash, wrapping.
+func (r *router) affinity(tenant string) int {
+	h := hash64(tenant)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].shard
+}
+
+// pick chooses the shard for one more job. The home shard wins while it
+// has room and is not pathologically hotter than the coolest shard;
+// otherwise the job spills to the least-loaded one. ok is false when
+// every candidate is at the bound (bound <= 0 means unbounded) — the
+// queue-full backpressure tier. pick does not reserve: the caller incs
+// on acceptance, so two racing submits can briefly overshoot the bound
+// by one — the bound is a shed threshold, not a hard invariant.
+func (r *router) pick(tenant string, bound int) (shard int, ok bool) {
+	home := r.affinity(tenant)
+	hl := r.load[home].Load()
+	least, ll := home, hl
+	for i := range r.load {
+		if l := r.load[i].Load(); l < ll {
+			least, ll = i, l
+		}
+	}
+	shard = home
+	if (bound > 0 && hl >= int64(bound)) || hl > 2*ll+8 {
+		shard = least
+	}
+	if bound > 0 && r.load[shard].Load() >= int64(bound) {
+		return shard, false
+	}
+	return shard, true
+}
+
+func (r *router) inc(shard int) { r.load[shard].Add(1) }
+func (r *router) dec(shard int) { r.load[shard].Add(-1) }
+
+func (r *router) loadOf(shard int) int64 { return r.load[shard].Load() }

@@ -1,0 +1,123 @@
+package gate
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"fela/internal/obs"
+)
+
+// Gateway metric names, all prefixed fela_gate_.
+const (
+	// MetricRequests counts HTTP requests, labeled route and code.
+	MetricRequests = "fela_gate_requests_total"
+	// MetricLatency is the per-route request latency histogram.
+	MetricLatency = "fela_gate_request_seconds"
+	// MetricShed counts submissions refused at the edge, labeled reason
+	// (rate_limited, quota_exceeded, queue_full, draining).
+	MetricShed = "fela_gate_shed_total"
+	// MetricSubmitted counts jobs the gateway admitted into a shard.
+	MetricSubmitted = "fela_gate_jobs_submitted_total"
+	// MetricSettled counts admitted jobs that reached a terminal state,
+	// labeled outcome (ok, failed, canceled, rejected). "rejected" is
+	// the scheduler-level (OASiS) verdict, distinct from edge shedding.
+	MetricSettled = "fela_gate_jobs_settled_total"
+	// MetricInflight gauges admitted-but-unsettled jobs.
+	MetricInflight = "fela_gate_jobs_inflight"
+	// MetricShardInflight gauges in-flight jobs per shard.
+	MetricShardInflight = "fela_gate_shard_inflight"
+	// MetricTenantAdmitted / MetricTenantShed count per-tenant edge
+	// decisions — the fairness currency of the gate benchmark.
+	MetricTenantAdmitted = "fela_gate_tenant_admitted_total"
+	MetricTenantShed     = "fela_gate_tenant_shed_total"
+	// MetricStreams gauges live SSE progress streams.
+	MetricStreams = "fela_gate_streams"
+)
+
+// telemetry bundles the gateway's instruments. The per-(route,code)
+// request counters sit behind a lock-free cache so the hot status path
+// never takes the registry mutex after warm-up. Nil registries degrade
+// to no-op instruments throughout.
+type telemetry struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+	streams  *obs.Gauge
+
+	mu       sync.Mutex
+	requests map[routeCode]*obs.Counter
+	reqCache atomic.Pointer[map[routeCode]*obs.Counter]
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+func newTelemetry(reg *obs.Registry) *telemetry {
+	reg.Help(MetricRequests, "Gateway HTTP requests, by route and status code.")
+	reg.Help(MetricLatency, "Gateway HTTP request latency in seconds, by route.")
+	reg.Help(MetricShed, "Submissions shed at the edge, by reason.")
+	reg.Help(MetricSubmitted, "Jobs admitted into a shard.")
+	reg.Help(MetricSettled, "Admitted jobs reaching a terminal state, by outcome.")
+	reg.Help(MetricInflight, "Admitted jobs not yet settled.")
+	reg.Help(MetricShardInflight, "In-flight jobs per shard.")
+	reg.Help(MetricTenantAdmitted, "Per-tenant submissions admitted at the edge.")
+	reg.Help(MetricTenantShed, "Per-tenant submissions shed at the edge.")
+	reg.Help(MetricStreams, "Live SSE progress streams.")
+	t := &telemetry{
+		reg:      reg,
+		inflight: reg.Gauge(MetricInflight),
+		streams:  reg.Gauge(MetricStreams),
+		requests: map[routeCode]*obs.Counter{},
+	}
+	empty := map[routeCode]*obs.Counter{}
+	t.reqCache.Store(&empty)
+	return t
+}
+
+// request counts one finished request. The fast path is one pointer
+// load and a map read; a miss copies the cache under the mutex
+// (copy-on-write, bounded by routes × status codes actually seen).
+func (t *telemetry) request(route string, code int) {
+	key := routeCode{route, code}
+	if c, ok := (*t.reqCache.Load())[key]; ok {
+		c.Inc()
+		return
+	}
+	t.mu.Lock()
+	c, ok := t.requests[key]
+	if !ok {
+		c = t.reg.Counter(MetricRequests, "route", route, "code", strconv.Itoa(code))
+		t.requests[key] = c
+		next := make(map[routeCode]*obs.Counter, len(t.requests))
+		for k, v := range t.requests {
+			next[k] = v
+		}
+		t.reqCache.Store(&next)
+	}
+	t.mu.Unlock()
+	c.Inc()
+}
+
+func (t *telemetry) latency(route string) *obs.Histogram {
+	return t.reg.Histogram(MetricLatency, nil, "route", route)
+}
+
+func (t *telemetry) shed(reason, tenant string) {
+	t.reg.Counter(MetricShed, "reason", reason).Inc()
+	t.reg.Counter(MetricTenantShed, "tenant", tenant).Inc()
+}
+
+func (t *telemetry) admitted(tenant string, shard int) {
+	t.reg.Counter(MetricSubmitted).Inc()
+	t.reg.Counter(MetricTenantAdmitted, "tenant", tenant).Inc()
+	t.inflight.Add(1)
+	t.reg.Gauge(MetricShardInflight, "shard", strconv.Itoa(shard)).Add(1)
+}
+
+func (t *telemetry) settled(outcome string, shard int) {
+	t.reg.Counter(MetricSettled, "outcome", outcome).Inc()
+	t.inflight.Add(-1)
+	t.reg.Gauge(MetricShardInflight, "shard", strconv.Itoa(shard)).Add(-1)
+}

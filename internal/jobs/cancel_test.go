@@ -1,0 +1,151 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fela/internal/transport"
+)
+
+// rejectAll is a test admission policy that refuses every submission,
+// pinning the rejected-then-canceled interaction without needing to
+// drive a real OASiS policy into refusal.
+type rejectAll struct{}
+
+func (rejectAll) Name() string                     { return "reject-all" }
+func (rejectAll) Admit(ArrivalInfo) (bool, string) { return false, "test policy refuses everything" }
+
+// assertNoSecondResult fails if a settled job's result channel ever
+// produces a second value: settlement must be exactly-once no matter
+// how many times the job is canceled afterwards.
+func assertNoSecondResult(t *testing.T, ch <-chan JobResult, name string) {
+	t.Helper()
+	select {
+	case res, ok := <-ch:
+		if ok {
+			t.Fatalf("job %s settled twice: second result %+v", name, res)
+		}
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestCancelAfterCompleted: canceling a job that already ran to
+// completion is a no-op — no second settlement, no canceled tally, the
+// completed count untouched.
+func TestCancelAfterCompleted(t *testing.T) {
+	m := NewManager(testConfig(FairShare{}))
+	wait := startPool(t, m, 2, PoolWorkerOptions{})
+	waitIdle(t, m, 2)
+
+	id, ch, err := m.SubmitJob(transport.JobSpec{Name: "done-then-cancel", Iterations: 4}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := awaitResult(t, ch, "done-then-cancel")
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+
+	m.Cancel(id)
+	m.Cancel(id)     // double-cancel on a finished job
+	m.Cancel(999999) // unknown id
+	assertNoSecondResult(t, ch, "done-then-cancel")
+
+	// The status ledger must read one completion and zero cancellations;
+	// the snapshot is published asynchronously, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := m.Status()
+		if st != nil && st.Completed == 1 {
+			if st.Canceled != 0 {
+				t.Fatalf("canceling a completed job bumped Canceled to %d", st.Canceled)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status never showed the completion: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stopAndWait(t, m, wait)
+}
+
+// TestCancelAfterRejected: a submission refused by the admission policy
+// settles exactly once with ErrRejected; canceling it afterwards must
+// not re-settle it or count a cancellation.
+func TestCancelAfterRejected(t *testing.T) {
+	cfg := testConfig(FairShare{})
+	cfg.Admission = rejectAll{}
+	m := NewManager(cfg)
+	defer func() {
+		m.Stop()
+		<-m.Done()
+	}()
+
+	id, ch, err := m.SubmitJob(transport.JobSpec{Name: "rejected", Iterations: 4}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := awaitResult(t, ch, "rejected")
+	if !errors.Is(res.Err, ErrRejected) {
+		t.Fatalf("result err = %v, want ErrRejected", res.Err)
+	}
+
+	m.Cancel(id)
+	m.Cancel(id)
+	assertNoSecondResult(t, ch, "rejected")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := m.Status()
+		if st != nil && st.Rejected == 1 {
+			if st.Canceled != 0 {
+				t.Fatalf("canceling a rejected job bumped Canceled to %d", st.Canceled)
+			}
+			if st.Completed != 0 {
+				t.Fatalf("rejected job counted as completed: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status never showed the rejection: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDoubleCancelQueued: with no workers the job can never start;
+// cancel settles it with ErrCanceled exactly once, the second cancel is
+// absorbed, and the canceled tally reads one, not two.
+func TestDoubleCancelQueued(t *testing.T) {
+	m := NewManager(testConfig(FairShare{}))
+	defer func() {
+		m.Stop()
+		<-m.Done()
+	}()
+
+	id, ch, err := m.SubmitJob(transport.JobSpec{Name: "queued-cancel", Iterations: 4}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Cancel(id)
+	res := awaitResult(t, ch, "queued-cancel")
+	if !errors.Is(res.Err, ErrCanceled) {
+		t.Fatalf("result err = %v, want ErrCanceled", res.Err)
+	}
+	m.Cancel(id)
+	assertNoSecondResult(t, ch, "queued-cancel")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := m.Status()
+		if st != nil && st.Canceled == 1 && st.Queued == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status never showed exactly one cancellation: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
