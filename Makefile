@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster gate ci
+.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster gate stat lint-metrics ci
 
 build:
 	$(GO) build ./...
@@ -75,7 +75,22 @@ gate:
 	$(GO) test ./cmd/felagate/ -race -count=1 -v
 	$(GO) run ./cmd/felabench -quick -experiment gate
 
+# stat runs the cluster observability aggregator suite under the race
+# detector: felastat -json against a live two-shard gateway (tenant
+# burn rates, shard admission ledgers, the worker straggler heatmap).
+stat:
+	$(GO) test ./cmd/felastat/ -race -count=1 -v
+
+# lint-metrics is the exposition-conformance gate: every e2e test that
+# scrapes /metrics (felaserver observability, felastat live cluster)
+# runs the body through obs.LintExposition, so a malformed sample or
+# exemplar line fails here.
+lint-metrics:
+	$(GO) test ./internal/obs/ -run 'TestLint|TestParse|TestExemplar' -count=1 -v
+	$(GO) test ./cmd/felaserver/ -run TestServerObservabilityE2E -count=1
+	$(GO) test ./cmd/felastat/ -run TestFelastatLiveTwoShardCluster -count=1
+
 # ci is the full gate: tier-1, static analysis, race detector, the
 # multi-tenant suite, the benchmark smoke pass, the cluster-mode smoke
-# run, and the serving-gateway suite.
-ci: tier1 vet race jobs bench cluster gate
+# run, the serving-gateway suite, and the observability aggregator.
+ci: tier1 vet race jobs bench cluster gate stat

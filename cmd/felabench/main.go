@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"fela/internal/experiments"
+	"fela/internal/obs"
 )
 
 // experimentNames lists every value -experiment accepts, in the order
@@ -58,6 +59,8 @@ func main() {
 	flag.StringVar(&p.cluster, "clusterjson", "BENCH_cluster.json", "path for the cluster experiment's machine-readable report")
 	flag.StringVar(&p.gate, "gatejson", "BENCH_gate.json", "path for the gate experiment's machine-readable report")
 	flag.Parse()
+
+	obs.FlightDumpOnSIGQUIT("felabench")
 
 	ctx := experiments.Default()
 	if *quick {

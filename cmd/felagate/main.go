@@ -78,6 +78,10 @@ func main() {
 		"on SIGINT/SIGTERM, how long to wait for in-flight jobs before exiting anyway")
 	flag.Parse()
 
+	// SIGQUIT dumps the flight-recorder ring as JSONL to stderr and
+	// keeps running — the field-debugging hook every binary carries.
+	obs.FlightDumpOnSIGQUIT("felagate")
+
 	if err := run(o, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "felagate:", err)
 		os.Exit(1)
@@ -168,7 +172,17 @@ func run(o gateOpts, sig <-chan os.Signal) error {
 	}
 
 	if o.statusAddr != "" {
-		bound, stop, err := obs.Serve(o.statusAddr, obs.Handler(reg, gw.StatusAny, spans))
+		bound, stop, err := obs.Serve(o.statusAddr, obs.NewHandler(obs.HandlerOptions{
+			Registry: reg,
+			Status:   gw.StatusAny,
+			Health: func() error {
+				if gw.Status().Draining {
+					return fmt.Errorf("gateway is draining")
+				}
+				return nil
+			},
+			Tracers: []*obs.Tracer{spans},
+		}))
 		if err != nil {
 			stopManagers(5 * time.Second)
 			return err

@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -133,6 +134,10 @@ func main() {
 		"on SIGINT/SIGTERM, how long to wait for in-flight work before exiting anyway")
 	flag.Parse()
 
+	// SIGQUIT dumps the flight-recorder ring as JSONL to stderr and
+	// keeps running — the field-debugging hook every binary carries.
+	obs.FlightDumpOnSIGQUIT("felaserver")
+
 	oo := obsOpts{statusAddr: *statusAddr, traceJSON: *traceJSON}
 	var err error
 	if !transport.ValidCodec(*codec) {
@@ -213,6 +218,10 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 	}
 
 	var mgr *jobs.Manager
+	// draining flips when shutdown begins (signal, -max-jobs, trace
+	// done); /healthz serves 503 from then on so orchestrators stop
+	// routing new work at the pool while it winds down.
+	var draining atomic.Bool
 	completedJobs := 0
 	cfg.OnJobDone = func(r jobs.JobResult) {
 		// Runs on the manager's event loop: serialized, and Stop is safe.
@@ -231,13 +240,29 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 		completedJobs++
 		if jo.maxJobs > 0 && completedJobs >= jo.maxJobs {
 			fmt.Printf("felaserver: %d jobs complete, draining\n", completedJobs)
+			draining.Store(true)
 			mgr.Stop()
 		}
 	}
 	mgr = jobs.NewManager(cfg)
 
 	if oo.statusAddr != "" {
-		bound, stop, err := obs.Serve(oo.statusAddr, obs.Handler(cfg.Metrics, mgr.StatusAny, cfg.Spans))
+		bound, stop, err := obs.Serve(oo.statusAddr, obs.NewHandler(obs.HandlerOptions{
+			Registry: cfg.Metrics,
+			Status:   mgr.StatusAny,
+			Health: func() error {
+				if draining.Load() {
+					return errors.New("job manager is draining")
+				}
+				select {
+				case <-mgr.Done():
+					return errors.New("job manager stopped")
+				default:
+					return nil
+				}
+			},
+			Tracers: []*obs.Tracer{cfg.Spans},
+		}))
 		if err != nil {
 			mgr.Stop()
 			<-mgr.Done()
@@ -292,6 +317,7 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 			fmt.Printf("felaserver: trace %q replayed in %.2fs: %d submitted, %d rejected, %d completed, %d failed, SLO attainment %.3f\n",
 				tr.Name, time.Since(start).Seconds(), submitted, rejected, completed, failed,
 				float64(met)/float64(max(submitted, 1)))
+			draining.Store(true)
 			mgr.Stop()
 		}()
 	}
@@ -305,6 +331,7 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 		select {
 		case s := <-sigCh:
 			fmt.Printf("felaserver: %v received, draining job manager (timeout %s)\n", s, drainTimeout)
+			draining.Store(true)
 			mgr.Stop()
 			select {
 			case <-mgr.Done():
@@ -328,6 +355,7 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 		}
 		mgr.Admit(c)
 	}
+	draining.Store(true)
 	mgr.Stop()
 	select {
 	case <-mgr.Done():
@@ -394,8 +422,19 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 	if err != nil {
 		return err
 	}
+	var draining atomic.Bool
 	if oo.statusAddr != "" {
-		bound, stop, err := obs.Serve(oo.statusAddr, obs.Handler(cfg.Metrics, co.StatusAny, cfg.Spans))
+		bound, stop, err := obs.Serve(oo.statusAddr, obs.NewHandler(obs.HandlerOptions{
+			Registry: cfg.Metrics,
+			Status:   co.StatusAny,
+			Health: func() error {
+				if draining.Load() {
+					return errors.New("session is draining")
+				}
+				return nil
+			},
+			Tracers: []*obs.Tracer{cfg.Spans},
+		}))
 		if err != nil {
 			return err
 		}
@@ -477,6 +516,7 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 		res = o.res
 	case s := <-sigCh:
 		fmt.Printf("felaserver: %v received, draining session (timeout %s)\n", s, drainTimeout)
+		draining.Store(true)
 		l.Close() // no more joiners
 		select {
 		case o := <-runCh:

@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -215,7 +214,8 @@ func TestServerObservabilityE2E(t *testing.T) {
 
 	// Scrape while the session runs. The obs server dies with run(), so
 	// the last successful bodies are the session's final live state.
-	var lastMetrics string
+	var lastMetrics, lastFlight string
+	healthOK := false
 	liveSeen := map[int]bool{}
 	client := &http.Client{Timeout: time.Second}
 	deadline := time.After(30 * time.Second)
@@ -244,6 +244,19 @@ poll:
 				lastMetrics = string(body)
 			}
 		}
+		if resp, err := client.Get("http://" + statusAddr + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				healthOK = true
+			}
+		}
+		if resp, err := client.Get("http://" + statusAddr + "/debug/flight"); err == nil {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && len(body) > 0 {
+				lastFlight = string(body)
+			}
+		}
 	}
 	if runErr != nil {
 		t.Fatal(runErr)
@@ -256,37 +269,59 @@ poll:
 		t.Errorf("statusz live-worker counts seen = %v, want both 2 and 3", liveSeen)
 	}
 
-	// /metrics parses as Prometheus text: every sample line is
-	// "name{labels} value" with a float value.
+	// /healthz answered 200 while the session ran, and /debug/flight
+	// streamed the protocol ring as JSONL.
+	if !healthOK {
+		t.Error("never saw a 200 from /healthz while the session ran")
+	}
+	if lastFlight == "" {
+		t.Error("never scraped /debug/flight successfully")
+	}
+	flightEvents := 0
+	for _, line := range strings.Split(strings.TrimSpace(lastFlight), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev obs.FlightEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("flight dump line %q: %v", line, err)
+		}
+		flightEvents++
+	}
+	if flightEvents == 0 {
+		t.Error("flight dump held no events after a full session")
+	}
+
+	// /metrics parses as OpenMetrics-flavoured text — including exemplar
+	// suffixes on histogram buckets — and passes the exposition lint.
 	if lastMetrics == "" {
 		t.Fatal("never scraped /metrics successfully")
 	}
+	if errs := obs.LintExposition(strings.NewReader(lastMetrics)); len(errs) > 0 {
+		t.Fatalf("exposition lint: %v", errs)
+	}
+	exp, err := obs.ParseExposition(strings.NewReader(lastMetrics))
+	if err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
 	tokenCount := 0.0
 	tokenBuckets := 0
+	exemplars := 0
 	byteKinds := map[string]bool{}
-	for _, line := range strings.Split(lastMetrics, "\n") {
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			t.Fatalf("unparseable metrics line %q", line)
-		}
-		val, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			t.Fatalf("metrics line %q: bad value: %v", line, err)
-		}
-		name := fields[0]
+	for _, s := range exp.Samples {
 		switch {
-		case name == rt.MetricTokenSeconds+"_count":
-			tokenCount = val
-		case strings.HasPrefix(name, rt.MetricTokenSeconds+"_bucket"):
-			if val > 0 {
+		case s.Name == rt.MetricTokenSeconds+"_count":
+			tokenCount = s.Value
+		case s.Name == rt.MetricTokenSeconds+"_bucket":
+			if s.Value > 0 {
 				tokenBuckets++
 			}
-		case strings.HasPrefix(name, transport.MetricBytes+"{"):
-			if val > 0 {
-				byteKinds[name] = true
+			if s.Exemplar != nil {
+				exemplars++
+			}
+		case s.Name == transport.MetricBytes:
+			if s.Value > 0 {
+				byteKinds[s.Labels["kind"]] = true
 			}
 		}
 	}
@@ -295,6 +330,9 @@ poll:
 	}
 	if tokenBuckets == 0 {
 		t.Errorf("no non-zero %s buckets", rt.MetricTokenSeconds)
+	}
+	if exemplars == 0 {
+		t.Errorf("no exemplars on %s buckets", rt.MetricTokenSeconds)
 	}
 	if len(byteKinds) < 2 {
 		t.Errorf("per-kind transport byte counters = %v, want at least 2 kinds", byteKinds)

@@ -36,6 +36,8 @@ func main() {
 		"fela only: write the Token Server's final telemetry in Prometheus text format to this file (- = stdout)")
 	flag.Parse()
 
+	obs.FlightDumpOnSIGQUIT("felasim")
+
 	if err := run(*modelName, *system, *weightsFlag, *stragKind, *metricsOut, *batch, *iters, *subset, *staleness, *d, *p); err != nil {
 		fmt.Fprintln(os.Stderr, "felasim:", err)
 		os.Exit(1)

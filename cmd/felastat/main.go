@@ -1,0 +1,454 @@
+// Command felastat renders one cluster view from the telemetry
+// endpoints of a running Fela deployment. Point it at the status
+// addresses of a gateway, its shards, standalone job managers,
+// coordinators, or workers, and it scrapes /statusz + /metrics +
+// /debug/flight from each and merges them into a single report:
+// per-tenant SLO burn rate, per-shard queue depth and admission
+// ledger, a worker straggler heatmap, and the flight-recorder tail.
+//
+//	felastat -targets 127.0.0.1:9090                 # one shot, human-readable
+//	felastat -targets gw:9090,w1:9191 -watch 2s      # live top-style refresh
+//	felastat -targets gw:9090 -json                  # machine-readable, for CI
+//
+// Every /metrics body is also run through the OpenMetrics lint; lint
+// findings surface per target so a malformed exposition (a broken
+// exemplar, a counter named like a gauge) is caught by the same tool
+// that reads it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"fela/internal/gate"
+	"fela/internal/jobs"
+	"fela/internal/obs"
+	"fela/internal/rt"
+)
+
+// statOpts bundles every flag so tests can drive run directly.
+type statOpts struct {
+	targets string
+	watch   time.Duration
+	jsonOut bool
+	flightN int
+	timeout time.Duration
+}
+
+func main() {
+	var o statOpts
+	flag.StringVar(&o.targets, "targets", "",
+		"comma-separated status addresses (host:port) to scrape")
+	flag.DurationVar(&o.watch, "watch", 0,
+		"refresh interval for a live top-style view (0 = scrape once and exit)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the cluster view as JSON")
+	flag.IntVar(&o.flightN, "flight", 16,
+		"flight-recorder events to keep per target (0 = skip the flight tail)")
+	flag.DurationVar(&o.timeout, "timeout", 3*time.Second, "per-request scrape timeout")
+	flag.Parse()
+
+	obs.FlightDumpOnSIGQUIT("felastat")
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "felastat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o statOpts, w io.Writer) error {
+	targets := splitTargets(o.targets)
+	if len(targets) == 0 {
+		return fmt.Errorf("no targets: pass -targets host:port[,host:port...]")
+	}
+	client := &http.Client{Timeout: o.timeout}
+	for {
+		view := collect(client, targets, o.flightN)
+		if o.jsonOut {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(view); err != nil {
+				return err
+			}
+		} else {
+			if o.watch > 0 {
+				fmt.Fprint(w, "\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			render(w, view)
+		}
+		if o.watch <= 0 {
+			return nil
+		}
+		time.Sleep(o.watch)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// cluster view
+
+// TargetView is one scrape endpoint's identity and health.
+type TargetView struct {
+	Target  string `json:"target"`
+	Role    string `json:"role"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// LintErrors are OpenMetrics conformance findings in the target's
+	// /metrics body.
+	LintErrors []string `json:"lint_errors,omitempty"`
+}
+
+// TenantBurn is one tenant's SLO accounting at the gateway edge.
+type TenantBurn struct {
+	Target   string  `json:"target"`
+	Tenant   string  `json:"tenant"`
+	Inflight int     `json:"inflight"`
+	Admitted int64   `json:"admitted"`
+	Shed     int64   `json:"shed"`
+	Burn5m   float64 `json:"burn_5m"`
+	Burn1h   float64 `json:"burn_1h"`
+}
+
+// ShardStat is one scheduler shard's queue depth and admission ledger.
+// Shard is the gateway's shard index, or -1 for a standalone manager
+// scraped directly.
+type ShardStat struct {
+	Target        string  `json:"target"`
+	Shard         int     `json:"shard"`
+	Workers       int     `json:"workers"`
+	Idle          int     `json:"idle"`
+	Running       int     `json:"running"`
+	Queued        int     `json:"queued"`
+	Inflight      int64   `json:"inflight"`
+	Completed     int     `json:"completed"`
+	Admission     string  `json:"admission,omitempty"`
+	Rejected      int     `json:"rejected"`
+	BacklogTokens int     `json:"backlog_tokens"`
+	Burn5m        float64 `json:"burn_5m"`
+	Burn1h        float64 `json:"burn_1h"`
+}
+
+// WorkerHeat is one worker's straggler score with its heatmap cell.
+type WorkerHeat struct {
+	Target string  `json:"target"`
+	Worker int     `json:"worker"`
+	Score  float64 `json:"straggler_score"`
+	Heat   string  `json:"heat"`
+}
+
+// ClusterView is the merged scrape — what -json emits.
+type ClusterView struct {
+	Targets []TargetView      `json:"targets"`
+	Tenants []TenantBurn      `json:"tenants"`
+	Shards  []ShardStat       `json:"shards"`
+	Workers []WorkerHeat      `json:"workers"`
+	Flight  []obs.FlightEvent `json:"flight,omitempty"`
+}
+
+// heatRunes maps a straggler score in [0,1] to a heatmap cell: the
+// fastest worker is blank, the most lagged is a full block.
+var heatRunes = []rune{' ', '░', '▒', '▓', '█'}
+
+func heat(score float64) string {
+	i := int(score * float64(len(heatRunes)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(heatRunes) {
+		i = len(heatRunes) - 1
+	}
+	return string(heatRunes[i])
+}
+
+// collect scrapes every target and merges the bodies into one view.
+func collect(client *http.Client, targets []string, flightN int) *ClusterView {
+	view := &ClusterView{}
+	// scores dedups worker heat by (target, worker id); the /metrics
+	// gauge and a coordinator's /statusz map may both report a worker.
+	scores := map[string]map[int]float64{}
+	for _, target := range targets {
+		tv := TargetView{Target: target, Role: "unknown"}
+		if role, err := scrapeStatus(client, target, view, scores); err != nil {
+			tv.Error = err.Error()
+		} else {
+			tv.Role = role
+		}
+		tv.Healthy = scrapeHealth(client, target)
+		lint, stragglers := scrapeMetrics(client, target)
+		tv.LintErrors = lint
+		for wid, score := range stragglers {
+			if scores[target] == nil {
+				scores[target] = map[int]float64{}
+			}
+			scores[target][wid] = score
+		}
+		if flightN > 0 {
+			view.Flight = append(view.Flight, scrapeFlight(client, target, flightN)...)
+		}
+		view.Targets = append(view.Targets, tv)
+	}
+	for target, byWID := range scores {
+		for wid, score := range byWID {
+			view.Workers = append(view.Workers,
+				WorkerHeat{Target: target, Worker: wid, Score: score, Heat: heat(score)})
+		}
+	}
+	sort.Slice(view.Workers, func(i, j int) bool {
+		if view.Workers[i].Target != view.Workers[j].Target {
+			return view.Workers[i].Target < view.Workers[j].Target
+		}
+		return view.Workers[i].Worker < view.Workers[j].Worker
+	})
+	sort.Slice(view.Tenants, func(i, j int) bool { return view.Tenants[i].Tenant < view.Tenants[j].Tenant })
+	sort.Slice(view.Flight, func(i, j int) bool { return view.Flight[i].TS < view.Flight[j].TS })
+	return view
+}
+
+// scrapeStatus reads /statusz, classifies the process by its "role"
+// field, and folds the typed snapshot into the view.
+func scrapeStatus(client *http.Client, target string, view *ClusterView, scores map[string]map[int]float64) (string, error) {
+	raw, err := get(client, target, "/statusz")
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Role string `json:"role"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return "", fmt.Errorf("statusz: %w", err)
+	}
+	switch probe.Role {
+	case "gateway":
+		var st gate.Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return "", fmt.Errorf("gateway statusz: %w", err)
+		}
+		for _, ts := range st.Tenants {
+			view.Tenants = append(view.Tenants, TenantBurn{
+				Target: target, Tenant: ts.Tenant, Inflight: ts.Inflight,
+				Admitted: ts.Admitted, Shed: ts.Shed,
+				Burn5m: ts.SLOBurn5m, Burn1h: ts.SLOBurn1h,
+			})
+		}
+		for _, sv := range st.Shards {
+			view.Shards = append(view.Shards, ShardStat{
+				Target: target, Shard: sv.Shard,
+				Workers: sv.Workers, Idle: sv.Idle, Running: sv.Running,
+				Queued: sv.Queued, Inflight: sv.Inflight, Completed: sv.Completed,
+				Admission: sv.Admission, Rejected: sv.Rejected,
+				BacklogTokens: sv.BacklogTokens,
+				Burn5m:        sv.SLOBurn5m, Burn1h: sv.SLOBurn1h,
+			})
+		}
+	case "jobmanager":
+		var st jobs.PoolStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return "", fmt.Errorf("jobmanager statusz: %w", err)
+		}
+		view.Shards = append(view.Shards, ShardStat{
+			Target: target, Shard: -1,
+			Workers: st.Workers, Idle: st.Idle, Running: st.Running,
+			Queued: st.Queued, Completed: st.Completed,
+			Admission: st.Admission, Rejected: st.Rejected,
+			BacklogTokens: st.BacklogTokens,
+			Burn5m:        st.SLOBurn5m, Burn1h: st.SLOBurn1h,
+		})
+	case "coordinator":
+		var st rt.Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return "", fmt.Errorf("coordinator statusz: %w", err)
+		}
+		for wid, score := range st.StragglerScore {
+			if scores[target] == nil {
+				scores[target] = map[int]float64{}
+			}
+			scores[target][wid] = score
+		}
+	case "worker":
+		// A worker's snapshot carries no cluster-level aggregates; its
+		// row in TARGETS (role + health) is the useful part.
+	default:
+		return "", fmt.Errorf("statusz: unknown role %q", probe.Role)
+	}
+	return probe.Role, nil
+}
+
+func scrapeHealth(client *http.Client, target string) bool {
+	resp, err := client.Get("http://" + target + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// scrapeMetrics lints the exposition and pulls the straggler-score
+// gauges out of it.
+func scrapeMetrics(client *http.Client, target string) (lint []string, scores map[int]float64) {
+	raw, err := get(client, target, "/metrics")
+	if err != nil {
+		return nil, nil
+	}
+	for _, err := range obs.LintExposition(strings.NewReader(string(raw))) {
+		lint = append(lint, err.Error())
+	}
+	exp, err := obs.ParseExposition(strings.NewReader(string(raw)))
+	if err != nil {
+		return append(lint, err.Error()), nil
+	}
+	for _, s := range exp.Find(rt.MetricStragglerScore) {
+		wid, err := strconv.Atoi(s.Labels["worker"])
+		if err != nil {
+			continue
+		}
+		if scores == nil {
+			scores = map[int]float64{}
+		}
+		scores[wid] = s.Value
+	}
+	return lint, scores
+}
+
+// scrapeFlight reads /debug/flight and keeps the newest n events.
+func scrapeFlight(client *http.Client, target string, n int) []obs.FlightEvent {
+	raw, err := get(client, target, "/debug/flight")
+	if err != nil {
+		return nil
+	}
+	var events []obs.FlightEvent
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev obs.FlightEvent
+		if json.Unmarshal([]byte(line), &ev) == nil {
+			events = append(events, ev)
+		}
+	}
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	return events
+}
+
+func get(client *http.Client, target, path string) ([]byte, error) {
+	resp, err := client.Get("http://" + target + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ---------------------------------------------------------------------
+// rendering
+
+func render(w io.Writer, view *ClusterView) {
+	fmt.Fprintf(w, "felastat · %d target(s)\n\n", len(view.Targets))
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TARGET\tROLE\tHEALTH\tNOTES")
+	for _, t := range view.Targets {
+		health := "down"
+		if t.Healthy {
+			health = "healthy"
+		}
+		notes := t.Error
+		if len(t.LintErrors) > 0 {
+			if notes != "" {
+				notes += "; "
+			}
+			notes += fmt.Sprintf("%d lint finding(s)", len(t.LintErrors))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", t.Target, t.Role, health, notes)
+	}
+	tw.Flush()
+
+	if len(view.Tenants) > 0 {
+		fmt.Fprintln(w, "\nTENANTS  (burn = SLO miss fraction / error budget; >1 overruns the budget)")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TENANT\tINFLIGHT\tADMITTED\tSHED\tBURN 5m\tBURN 1h")
+		for _, t := range view.Tenants {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f\t%.2f\n",
+				t.Tenant, t.Inflight, t.Admitted, t.Shed, t.Burn5m, t.Burn1h)
+		}
+		tw.Flush()
+	}
+
+	if len(view.Shards) > 0 {
+		fmt.Fprintln(w, "\nSHARDS")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "SHARD\tWORKERS\tIDLE\tRUN\tQUEUED\tINFLIGHT\tDONE\tADMISSION\tREJ\tBACKLOG\tBURN 5m")
+		for _, s := range view.Shards {
+			shard := strconv.Itoa(s.Shard)
+			if s.Shard < 0 {
+				shard = "-"
+			}
+			adm := s.Admission
+			if adm == "" {
+				adm = "admit-all"
+			}
+			fmt.Fprintf(tw, "%s/%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%.2f\n",
+				s.Target, shard, s.Workers, s.Idle, s.Running, s.Queued,
+				s.Inflight, s.Completed, adm, s.Rejected, s.BacklogTokens, s.Burn5m)
+		}
+		tw.Flush()
+	}
+
+	if len(view.Workers) > 0 {
+		fmt.Fprintln(w, "\nWORKERS  (straggler heat: blank = fastest, █ = most lagged)")
+		var bar strings.Builder
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "WORKER\tSCORE\tHEAT")
+		for _, wh := range view.Workers {
+			bar.WriteString(wh.Heat)
+			fmt.Fprintf(tw, "w%d\t%.3f\t[%s]\n", wh.Worker, wh.Score, wh.Heat)
+		}
+		tw.Flush()
+		fmt.Fprintf(w, "  heatmap [%s]\n", bar.String())
+	}
+
+	if len(view.Flight) > 0 {
+		fmt.Fprintf(w, "\nFLIGHT  (last %d protocol events)\n", len(view.Flight))
+		for _, ev := range view.Flight {
+			ts := time.Unix(0, ev.TS).Format("15:04:05.000")
+			line := fmt.Sprintf("  %s %s/%s", ts, ev.Comp, ev.Event)
+			if ev.Job > 0 {
+				line += fmt.Sprintf(" job=%d", ev.Job)
+			}
+			if ev.Worker >= 0 {
+				line += fmt.Sprintf(" worker=%d", ev.Worker)
+			}
+			if ev.Tenant != "" {
+				line += " tenant=" + ev.Tenant
+			}
+			if ev.Trace != "" {
+				line += " trace=" + ev.Trace
+			}
+			if ev.Detail != "" {
+				line += " " + ev.Detail
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}

@@ -46,6 +46,18 @@ import (
 	"fela/internal/transport"
 )
 
+// healthFromStatus maps the worker's status snapshot to a liveness
+// verdict: healthy until the worker announces a drain, 503 after (a
+// draining worker should fall out of load-balancer rotation). A nil
+// snapshot — before registration completes — still reads healthy: the
+// process is up, it just has no session yet.
+func healthFromStatus(st *rt.WorkerStatus) error {
+	if st != nil && st.Draining {
+		return fmt.Errorf("worker %d is draining", st.WID)
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "coordinator address")
 	wid := flag.Int("wid", 0, "this worker's id (0-based, unique per worker; ignored with -join)")
@@ -61,6 +73,10 @@ func main() {
 	codec := flag.String("codec", transport.DefaultCodec,
 		"wire codec (binary or gob); must match the felaserver's -codec")
 	flag.Parse()
+
+	// SIGQUIT dumps the flight-recorder ring as JSONL to stderr and
+	// keeps running — the field-debugging hook every binary carries.
+	obs.FlightDumpOnSIGQUIT("felaworker")
 
 	var err error
 	if !transport.ValidCodec(*codec) {
@@ -94,7 +110,10 @@ func runPool(addr, codec string, sleepMS, retries int, statusAddr string) error 
 		opts.Spans = obs.NewTracer("felaworker")
 		// Pool workers serve many short sessions, so there is no single
 		// /statusz document; /metrics and /trace aggregate across jobs.
-		bound, stop, err := obs.Serve(statusAddr, obs.Handler(opts.Metrics, nil, opts.Spans))
+		bound, stop, err := obs.Serve(statusAddr, obs.NewHandler(obs.HandlerOptions{
+			Registry: opts.Metrics,
+			Tracers:  []*obs.Tracer{opts.Spans},
+		}))
 		if err != nil {
 			return err
 		}
@@ -144,7 +163,10 @@ func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join boo
 		// A joiner's worker id is assigned mid-protocol, so its /statusz
 		// stays 503; /metrics, /trace and pprof work from the start.
 		if statusAddr != "" {
-			bound, stop, err := obs.Serve(statusAddr, obs.Handler(cfg.Metrics, nil, cfg.Spans))
+			bound, stop, err := obs.Serve(statusAddr, obs.NewHandler(obs.HandlerOptions{
+				Registry: cfg.Metrics,
+				Tracers:  []*obs.Tracer{cfg.Spans},
+			}))
 			if err != nil {
 				return err
 			}
@@ -165,7 +187,12 @@ func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join boo
 
 	w := rt.NewWorker(wid, net, ds, cfg)
 	if statusAddr != "" {
-		bound, stop, err := obs.Serve(statusAddr, obs.Handler(cfg.Metrics, w.StatusAny, cfg.Spans))
+		bound, stop, err := obs.Serve(statusAddr, obs.NewHandler(obs.HandlerOptions{
+			Registry: cfg.Metrics,
+			Status:   w.StatusAny,
+			Health:   func() error { return healthFromStatus(w.Status()) },
+			Tracers:  []*obs.Tracer{cfg.Spans},
+		}))
 		if err != nil {
 			return err
 		}

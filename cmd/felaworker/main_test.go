@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"fela/internal/rt"
+)
+
+// healthFromStatus backs the /healthz endpoint of a fixed-wid worker:
+// healthy while training, 503 once the worker announces a graceful
+// leave, and healthy when no status has been published yet (startup).
+func TestHealthFromStatus(t *testing.T) {
+	if err := healthFromStatus(nil); err != nil {
+		t.Errorf("nil status: got %v, want healthy", err)
+	}
+	if err := healthFromStatus(&rt.WorkerStatus{WID: 3}); err != nil {
+		t.Errorf("running worker: got %v, want healthy", err)
+	}
+	err := healthFromStatus(&rt.WorkerStatus{WID: 3, Draining: true})
+	if err == nil {
+		t.Fatal("draining worker: got nil, want error (503)")
+	}
+}

@@ -64,6 +64,15 @@ type Controller struct {
 	evictQ   []int
 	barriers int
 	reg      *obs.Registry
+	flight   *obs.FlightRecorder
+}
+
+// SetFlight routes the controller's retune events into a private flight
+// recorder (tests); nil keeps the process-global ring.
+func (c *Controller) SetFlight(f *obs.FlightRecorder) {
+	c.mu.Lock()
+	c.flight = f
+	c.mu.Unlock()
 }
 
 // NewController builds a membership controller.
@@ -138,7 +147,7 @@ func (c *Controller) AtBarrier(info rt.BarrierInfo) rt.Decision {
 		live--
 	}
 	c.evictQ = keep
-	c.observeDecision(rtDecisionCounts{
+	c.observeDecision(info.Iter, rtDecisionCounts{
 		admits: dec.AdmitJoins,
 		leaves: len(dec.CompleteLeaves),
 		evicts: len(dec.Evict),

@@ -1,6 +1,7 @@
 package elastic
 
 import (
+	"fmt"
 	"strconv"
 
 	"fela/internal/obs"
@@ -46,7 +47,16 @@ func (c *Controller) SetObs(reg *obs.Registry) {
 }
 
 // observeDecision records one barrier's verdict. Called with c.mu held.
-func (c *Controller) observeDecision(dec rtDecisionCounts) {
+func (c *Controller) observeDecision(iter int, dec rtDecisionCounts) {
+	// The retune verdict always lands in the flight recorder, even with
+	// metrics off — elastic decisions are protocol events.
+	if dec.admits+dec.leaves+dec.evicts+dec.defers > 0 {
+		ev := obs.Evt("elastic", "retune")
+		ev.Iter = iter
+		ev.Detail = fmt.Sprintf("admit=%d leave=%d evict=%d defer=%d",
+			dec.admits, dec.leaves, dec.evicts, dec.defers)
+		obs.FlightOr(c.flight).Record(ev)
+	}
 	if c.reg == nil {
 		return
 	}

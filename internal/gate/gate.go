@@ -92,6 +92,12 @@ type Config struct {
 	// lifetime (admitted → settled). Both may be nil.
 	Metrics *obs.Registry
 	Spans   *obs.Tracer
+	// Flight, when set, receives the edge's protocol events (submit,
+	// shed, settle). Nil records into the process-global ring.
+	Flight *obs.FlightRecorder
+	// SLOObjective is the per-tenant attainment objective the burn-rate
+	// view measures against. Default 0.99.
+	SLOObjective float64
 }
 
 // Gateway is the HTTP serving edge. Create with New; it implements
@@ -102,6 +108,7 @@ type Gateway struct {
 	tenants *tenants
 	router  *router
 	tele    *telemetry
+	flight  *obs.FlightRecorder
 	start   time.Time
 
 	nextID   atomic.Int64
@@ -161,12 +168,16 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.StreamInterval <= 0 {
 		cfg.StreamInterval = 100 * time.Millisecond
 	}
+	if cfg.SLOObjective <= 0 || cfg.SLOObjective >= 1 {
+		cfg.SLOObjective = 0.99
+	}
 	g := &Gateway{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		tenants: newTenants(cfg.TenantRate, cfg.TenantBurst, cfg.TenantQuota),
 		router:  newRouter(len(cfg.Shards)),
 		tele:    newTelemetry(cfg.Metrics),
+		flight:  obs.FlightOr(cfg.Flight),
 		start:   time.Now(),
 		stop:    make(chan struct{}),
 		jobs:    map[string]*gateJob{},
@@ -255,16 +266,26 @@ func (g *Gateway) handle(route string, spanned bool, fn http.HandlerFunc) http.H
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		cw := &codeWriter{ResponseWriter: w}
+		var spanCtx obs.SpanContext
 		if spanned && g.cfg.Spans != nil {
 			sp := g.cfg.Spans.StartRoot("http."+route, 0)
-			r = r.WithContext(context.WithValue(r.Context(), spanCtxKey{}, sp.Context()))
-			defer sp.End()
+			spanCtx = sp.Context()
+			r = r.WithContext(context.WithValue(r.Context(), spanCtxKey{}, spanCtx))
+			defer func() {
+				if cw.code >= 500 {
+					sp.SetError()
+				}
+				sp.End()
+			}()
 		}
 		fn(cw, r)
 		if cw.code == 0 {
 			cw.code = http.StatusOK
 		}
-		hist.Observe(time.Since(start).Seconds())
+		// The worst request in each latency bucket carries its trace id
+		// out as an exemplar, so a tail spike on the dashboard links
+		// straight to a retained trace.
+		hist.ObserveExemplar(time.Since(start).Seconds(), spanCtx)
 		g.tele.request(route, cw.code)
 	}
 }
@@ -312,6 +333,10 @@ func (g *Gateway) shed(w http.ResponseWriter, tenant, reason string, code int, r
 	}
 	g.tele.shed(reason, tenant)
 	g.tenants.markShed(tenant, time.Now())
+	ev := obs.Evt("gate", "shed")
+	ev.Tenant = tenant
+	ev.Detail = reason
+	g.flight.Record(ev)
 	secs := int(math.Ceil(retry.Seconds()))
 	if secs < 1 {
 		secs = 1
@@ -415,6 +440,12 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	g.submitted.Add(1)
 	g.tele.admitted(tenant, shard)
 	g.tenants.markAdmitted(tenant, now)
+	ev := obs.Evt("gate", "submit")
+	ev.Job = shardJob
+	ev.Tenant = tenant
+	ev.Trace = rec.span.Context().TraceHex()
+	ev.Detail = fmt.Sprintf("id=%s shard=%d", rec.id, shard)
+	g.flight.Record(ev)
 	go g.settle(rec, ch)
 
 	// Linger briefly for an immediate scheduler verdict: an OASiS
@@ -468,6 +499,30 @@ func (g *Gateway) settle(rec *gateJob, ch <-chan jobs.JobResult) {
 		g.doneOK.Add(1)
 	}
 	g.tele.settled(outcome, rec.shard)
+	// Per-tenant SLO attainment: the tenant's clock runs from gateway
+	// admission to settlement; a job without an SLO only needs to finish
+	// OK. Cancellations are the tenant's own choice and burn nothing.
+	if outcome != "canceled" {
+		sloOK := res.Err == nil &&
+			(rec.slo == 0 || rec.settled.Sub(rec.submitted) <= rec.slo)
+		g.tenants.observeSLO(rec.tenant, sloOK, rec.settled)
+		if !sloOK {
+			// Keep the whole trace: an SLO miss or failure is exactly
+			// the request the tail tracer exists for.
+			if rec.span != nil {
+				g.cfg.Spans.Retain(rec.span.Context().TraceID)
+			}
+			if res.Err != nil {
+				rec.span.SetError()
+			}
+		}
+	}
+	ev := obs.Evt("gate", "settle")
+	ev.Job = rec.shardJob
+	ev.Tenant = rec.tenant
+	ev.Trace = rec.span.Context().TraceHex()
+	ev.Detail = fmt.Sprintf("id=%s outcome=%s", rec.id, outcome)
+	g.flight.Record(ev)
 	rec.span.End()
 }
 
@@ -675,6 +730,15 @@ type ShardView struct {
 	Running   int `json:"running"`
 	Queued    int `json:"queued"`
 	Completed int `json:"completed"`
+	// Admission ledger: the shard's admission policy ("" = admit all),
+	// how many submissions it refused, and its accepted-but-unfinished
+	// token backlog — the inputs the OASiS policies price queue time by.
+	Admission     string `json:"admission,omitempty"`
+	Rejected      int    `json:"rejected,omitempty"`
+	BacklogTokens int    `json:"backlog_tokens,omitempty"`
+	// SLOBurn5m / SLOBurn1h are the shard pool's burn rates.
+	SLOBurn5m float64 `json:"slo_burn_5m"`
+	SLOBurn1h float64 `json:"slo_burn_1h"`
 }
 
 // Status is the /v1/gate (and /statusz) snapshot.
@@ -697,14 +761,20 @@ type Status struct {
 	JobsOK       int64 `json:"jobs_ok"`
 	JobsFailed   int64 `json:"jobs_failed,omitempty"`
 	JobsCanceled int64 `json:"jobs_canceled,omitempty"`
+	// SLOObjective is the attainment target the per-tenant burn rates
+	// (in Tenants) measure against.
+	SLOObjective float64 `json:"slo_objective"`
 
 	Shards        []ShardView    `json:"shards"`
 	Tenants       []TenantStatus `json:"tenants,omitempty"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
 }
 
-// Status snapshots the gateway.
+// Status snapshots the gateway. Each snapshot also refreshes the
+// per-tenant fela_gate_slo_burn_rate gauges, so any /statusz or
+// /v1/gate poll keeps the scraped burn view current.
 func (g *Gateway) Status() *Status {
+	now := time.Now()
 	st := &Status{
 		Role:              "gateway",
 		Draining:          g.draining.Load(),
@@ -719,14 +789,20 @@ func (g *Gateway) Status() *Status {
 		JobsOK:            g.doneOK.Load(),
 		JobsFailed:        g.doneFailed.Load(),
 		JobsCanceled:      g.doneCanceled.Load(),
-		Tenants:           g.tenants.snapshot(),
+		SLOObjective:      g.cfg.SLOObjective,
+		Tenants:           g.tenants.snapshot(g.cfg.SLOObjective, now),
 		UptimeSeconds:     time.Since(g.start).Seconds(),
+	}
+	for _, ts := range st.Tenants {
+		g.tele.burn(ts.Tenant, ts.SLOBurn5m, ts.SLOBurn1h)
 	}
 	for i, s := range g.cfg.Shards {
 		sv := ShardView{Shard: i, Inflight: g.router.loadOf(i)}
 		if ps := s.Status(); ps != nil {
 			sv.Workers, sv.Idle = ps.Workers, ps.Idle
 			sv.Running, sv.Queued, sv.Completed = ps.Running, ps.Queued, ps.Completed
+			sv.Admission, sv.Rejected, sv.BacklogTokens = ps.Admission, ps.Rejected, ps.BacklogTokens
+			sv.SLOBurn5m, sv.SLOBurn1h = ps.SLOBurn5m, ps.SLOBurn1h
 		}
 		st.Shards = append(st.Shards, sv)
 	}

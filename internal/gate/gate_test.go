@@ -241,7 +241,7 @@ func TestShardUnavailable(t *testing.T) {
 		t.Fatalf("code = %d", w.Code)
 	}
 	// The failed submit must return its quota slot and shard load.
-	if got := g.tenants.snapshot(); len(got) != 1 || got[0].Inflight != 0 {
+	if got := g.tenants.snapshot(g.cfg.SLOObjective, time.Now()); len(got) != 1 || got[0].Inflight != 0 {
 		t.Fatalf("tenant state after failed submit: %+v", got)
 	}
 	if g.router.loadOf(0) != 0 {

@@ -1,0 +1,158 @@
+package gate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"fela/internal/jobs"
+	"fela/internal/obs"
+)
+
+// TestGateFlightBurnAndRetention drives the gateway's observability
+// plane end to end against a scripted shard: flight events for
+// submit/settle/shed, per-tenant burn rates on /v1/gate, the burn
+// gauges, and tail-trace retention for the SLO-missing job.
+func TestGateFlightBurnAndRetention(t *testing.T) {
+	fs := newFakeShard()
+	tr := obs.NewTracer("gate-test")
+	// A generous tail threshold: only retained (missed/errored) traces
+	// survive, everything healthy is dropped.
+	tr.SetTail(time.Hour)
+	reg := obs.NewRegistry()
+	flight := obs.NewFlightRecorder(1 << 8)
+	// Per-tenant buckets of 2 with a negligible refill: each tenant's
+	// third submit sheds.
+	g := newTestGateway(t, Config{
+		Shards: []Shard{fs}, TenantRate: 1e-6, TenantBurst: 2,
+		Metrics: reg, Spans: tr, Flight: flight,
+	})
+
+	// alice: one clean settle (good), one failed settle (bad + retained).
+	srOK, _ := submit(t, g, "alice", `{"iterations": 2}`)
+	fs.settle(1, jobs.JobResult{})
+	srBad, _ := submit(t, g, "alice", `{"iterations": 2}`)
+	fs.settle(2, jobs.JobResult{Err: fmt.Errorf("worker lost")})
+	waitInflight(t, g, 0)
+	if srOK.Job == srBad.Job {
+		t.Fatal("distinct submissions share a gateway id")
+	}
+
+	// bob: two admitted (never settle), the third shed at the edge.
+	for i := 0; i < 3; i++ {
+		do(t, g, "POST", "/v1/jobs", "bob", `{"iterations": 1}`, nil)
+	}
+
+	var st Status
+	do(t, g, "GET", "/v1/gate", "", "", &st)
+	if st.SLOObjective != 0.99 {
+		t.Fatalf("objective = %v", st.SLOObjective)
+	}
+	burns := map[string]TenantStatus{}
+	for _, ts := range st.Tenants {
+		burns[ts.Tenant] = ts
+	}
+	// alice: 1 miss / 2 settles → fraction 0.5, budget 0.01 → burn 50.
+	if b := burns["alice"].SLOBurn5m; b < 40 || b > 60 {
+		t.Fatalf("alice 5m burn = %v, want ≈50", b)
+	}
+	if burns["alice"].SLOBurn1h <= 0 {
+		t.Fatalf("alice 1h burn = %v", burns["alice"].SLOBurn1h)
+	}
+	// bob: sheds only → fraction 1 → burn 100.
+	if b := burns["bob"].SLOBurn5m; b < 90 || b > 110 {
+		t.Fatalf("bob 5m burn = %v, want ≈100", b)
+	}
+	// The status snapshot refreshed the scraped gauges.
+	if v := reg.Gauge(MetricSLOBurn, "tenant", "alice", "window", "5m").Value(); v != burns["alice"].SLOBurn5m {
+		t.Fatalf("burn gauge = %v, status = %v", v, burns["alice"].SLOBurn5m)
+	}
+
+	// Flight ring: 2 submits, 2 settles, 1 shed; settle events carry the
+	// outcome and a trace id that the tracer retained for the failure.
+	events := flight.Snapshot(0)
+	byEvent := map[string][]obs.FlightEvent{}
+	for _, ev := range events {
+		if ev.Comp != "gate" {
+			t.Fatalf("unexpected comp %q", ev.Comp)
+		}
+		byEvent[ev.Event] = append(byEvent[ev.Event], ev)
+	}
+	if n := len(byEvent["submit"]); n != 4 {
+		t.Fatalf("submit events = %d, want 4 (2 alice + 2 bob)", n)
+	}
+	if n := len(byEvent["settle"]); n != 2 {
+		t.Fatalf("settle events = %d, want 2", n)
+	}
+	if n := len(byEvent["shed"]); n != 1 {
+		t.Fatalf("shed events = %d, want 1 (all: %+v)", n, byEvent["shed"])
+	}
+	if ev := byEvent["shed"][0]; ev.Tenant != "bob" || ev.Detail != "rate_limited" {
+		t.Fatalf("shed event = %+v", ev)
+	}
+
+	// The failed settle's trace must be retained by the tail tracer, and
+	// its flight trace id must name it — the dump↔trace intersection.
+	var failTrace string
+	for _, ev := range byEvent["settle"] {
+		if ev.Detail == "id="+srBad.Job+" outcome=failed" {
+			failTrace = ev.Trace
+		}
+	}
+	if failTrace == "" {
+		t.Fatalf("no settle event for the failed job: %+v", byEvent["settle"])
+	}
+	retained := map[string]bool{}
+	for _, id := range tr.RetainedTraceIDs() {
+		retained[fmt.Sprintf("%016x", id)] = true
+	}
+	if !retained[failTrace] {
+		t.Fatalf("failed job's trace %s not retained (retained: %v)", failTrace, retained)
+	}
+
+	// Exemplars: the submit-route latency histogram carries a trace id.
+	if ex := reg.Histogram(MetricLatency, nil, "route", "submit").Exemplar(); ex == nil || ex.Trace == 0 {
+		t.Fatalf("submit latency histogram has no exemplar: %+v", ex)
+	}
+}
+
+// TestGateSLOMissBurnsWithoutError checks a job that finishes OK but
+// past its SLO still burns budget and is retained.
+func TestGateSLOMissBurnsWithoutError(t *testing.T) {
+	fs := newFakeShard()
+	tr := obs.NewTracer("gate-test")
+	tr.SetTail(time.Hour)
+	flight := obs.NewFlightRecorder(1 << 8)
+	g := newTestGateway(t, Config{Shards: []Shard{fs}, Spans: tr, Flight: flight})
+
+	// SLO of 1ns: settles OK but after the deadline.
+	if _, w := submit(t, g, "carol", `{"iterations": 2, "slo_seconds": 1e-9}`); w.Code >= 300 {
+		t.Fatalf("submit code = %d", w.Code)
+	}
+	fs.settle(1, jobs.JobResult{})
+	waitInflight(t, g, 0)
+
+	var st Status
+	do(t, g, "GET", "/v1/gate", "", "", &st)
+	if len(st.Tenants) != 1 || st.Tenants[0].SLOBurn5m <= 0 {
+		t.Fatalf("SLO miss did not burn: %+v", st.Tenants)
+	}
+	if len(tr.RetainedTraceIDs()) == 0 {
+		t.Fatal("SLO miss did not retain its trace")
+	}
+	// The settle is still outcome=ok — the miss is a latency verdict.
+	var settleEv *obs.FlightEvent
+	for _, ev := range flight.Snapshot(0) {
+		if ev.Event == "settle" {
+			e := ev
+			settleEv = &e
+		}
+	}
+	if settleEv == nil || !strings.HasSuffix(settleEv.Detail, "outcome=ok") {
+		t.Fatalf("settle event = %+v", settleEv)
+	}
+	if g.Status().JobsOK != 1 {
+		t.Fatalf("JobsOK = %d", g.Status().JobsOK)
+	}
+}

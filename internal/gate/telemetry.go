@@ -33,6 +33,10 @@ const (
 	MetricTenantShed     = "fela_gate_tenant_shed_total"
 	// MetricStreams gauges live SSE progress streams.
 	MetricStreams = "fela_gate_streams"
+	// MetricSLOBurn gauges each tenant's SLO burn rate per window
+	// (5m, 1h): miss fraction over the window / error budget. Refreshed
+	// on every gateway status snapshot.
+	MetricSLOBurn = "fela_gate_slo_burn_rate"
 )
 
 // telemetry bundles the gateway's instruments. The per-(route,code)
@@ -65,6 +69,7 @@ func newTelemetry(reg *obs.Registry) *telemetry {
 	reg.Help(MetricTenantAdmitted, "Per-tenant submissions admitted at the edge.")
 	reg.Help(MetricTenantShed, "Per-tenant submissions shed at the edge.")
 	reg.Help(MetricStreams, "Live SSE progress streams.")
+	reg.Help(MetricSLOBurn, "Per-tenant SLO burn rate, by window: miss fraction / error budget.")
 	t := &telemetry{
 		reg:      reg,
 		inflight: reg.Gauge(MetricInflight),
@@ -114,6 +119,11 @@ func (t *telemetry) admitted(tenant string, shard int) {
 	t.reg.Counter(MetricTenantAdmitted, "tenant", tenant).Inc()
 	t.inflight.Add(1)
 	t.reg.Gauge(MetricShardInflight, "shard", strconv.Itoa(shard)).Add(1)
+}
+
+func (t *telemetry) burn(tenant string, burn5m, burn1h float64) {
+	t.reg.Gauge(MetricSLOBurn, "tenant", tenant, "window", "5m").Set(burn5m)
+	t.reg.Gauge(MetricSLOBurn, "tenant", tenant, "window", "1h").Set(burn1h)
 }
 
 func (t *telemetry) settled(outcome string, shard int) {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"fela/internal/obs"
 )
 
 // tenants tracks the per-tenant edge state: a token bucket metering the
@@ -27,6 +29,9 @@ type tenantState struct {
 	inflight int
 	admitted int64
 	shed     int64
+	// slo accumulates per-tenant attainment (settled OK within SLO vs
+	// missed/shed) for the multi-window burn-rate view.
+	slo *obs.Window
 }
 
 func newTenants(rate float64, burst, quota int) *tenants {
@@ -45,7 +50,7 @@ func newTenants(rate float64, burst, quota int) *tenants {
 func (t *tenants) state(name string, now time.Time) *tenantState {
 	ts, ok := t.m[name]
 	if !ok {
-		ts = &tenantState{tokens: t.burst, last: now}
+		ts = &tenantState{tokens: t.burst, last: now, slo: obs.NewWindow()}
 		t.m[name] = ts
 	}
 	return ts
@@ -100,7 +105,19 @@ func (t *tenants) markAdmitted(name string, now time.Time) {
 
 func (t *tenants) markShed(name string, now time.Time) {
 	t.mu.Lock()
-	t.state(name, now).shed++
+	ts := t.state(name, now)
+	ts.shed++
+	// A shed submission is a miss the tenant experienced: it burns the
+	// tenant's error budget even though no shard ever saw the job.
+	ts.slo.Observe(false, now)
+	t.mu.Unlock()
+}
+
+// observeSLO lands one settled job's attainment in the tenant's burn
+// window.
+func (t *tenants) observeSLO(name string, ok bool, now time.Time) {
+	t.mu.Lock()
+	t.state(name, now).slo.Observe(ok, now)
 	t.mu.Unlock()
 }
 
@@ -113,15 +130,21 @@ type TenantStatus struct {
 	// Admitted and Shed count edge decisions since the gateway started.
 	Admitted int64 `json:"admitted"`
 	Shed     int64 `json:"shed,omitempty"`
+	// SLOBurn5m / SLOBurn1h are the tenant's burn rates: miss fraction
+	// over the window divided by the error budget (1 - objective).
+	SLOBurn5m float64 `json:"slo_burn_5m"`
+	SLOBurn1h float64 `json:"slo_burn_1h"`
 }
 
-func (t *tenants) snapshot() []TenantStatus {
+func (t *tenants) snapshot(objective float64, now time.Time) []TenantStatus {
 	t.mu.Lock()
 	out := make([]TenantStatus, 0, len(t.m))
 	for name, ts := range t.m {
 		out = append(out, TenantStatus{
 			Tenant: name, Inflight: ts.inflight,
-			Admitted: ts.admitted, Shed: ts.shed,
+			Admitted:  ts.admitted, Shed: ts.shed,
+			SLOBurn5m: ts.slo.Burn(5*time.Minute, objective, now),
+			SLOBurn1h: ts.slo.Burn(time.Hour, objective, now),
 		})
 	}
 	t.mu.Unlock()

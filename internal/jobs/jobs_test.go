@@ -260,6 +260,16 @@ func (k *reassignKiller) Recv() (*transport.Message, error) {
 // the given point of the migration drain. Both jobs must still finish
 // bit-identical to their solo runs.
 func runMigrationChaos(t *testing.T, afterLeave bool) {
+	// A failed chaos run leaves its causal event history in
+	// $FELA_FLIGHT_DIR for CI to upload as an artifact.
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		if path, err := obs.FlightFailureDump(t.Name()); err == nil {
+			t.Logf("flight-recorder dump: %s", path)
+		}
+	})
 	m := NewManager(testConfig(FairShare{}))
 	armed := new(atomic.Bool)
 	armed.Store(true)

@@ -37,6 +37,14 @@ type Config struct {
 	// OnJobDone, when set, is called from the manager goroutine after
 	// each job finishes (keep it quick; it blocks scheduling).
 	OnJobDone func(JobResult)
+	// Flight, when set, receives the manager's protocol events
+	// (submit/admit/reject, lease grant/release, cancel, job
+	// settlement). Nil records into the process-global flight recorder.
+	Flight *obs.FlightRecorder
+	// SLOObjective is the attainment objective the burn-rate gauges
+	// measure against (fraction of jobs that must finish OK within
+	// their SLO). Default 0.99.
+	SLOObjective float64
 }
 
 // SubmitOptions carries per-submission extras.
@@ -215,6 +223,10 @@ type Manager struct {
 
 	tele   mgrTelemetry
 	status atomic.Pointer[PoolStatus]
+	flight *obs.FlightRecorder
+	// sloWin feeds the multi-window burn-rate gauges: every settled job
+	// lands as good (finished OK within its SLO) or bad.
+	sloWin *obs.Window
 }
 
 // NewManager starts a manager and its event loop.
@@ -228,6 +240,9 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Tick <= 0 {
 		cfg.Tick = time.Second
 	}
+	if cfg.SLOObjective <= 0 || cfg.SLOObjective >= 1 {
+		cfg.SLOObjective = defaultSLOObjective
+	}
 	m := &Manager{
 		cfg:       cfg,
 		events:    make(chan any, 1024),
@@ -239,6 +254,8 @@ func NewManager(cfg Config) *Manager {
 		idx:       map[int]int{},
 		dirtyJobs: map[int]struct{}{},
 		tele:      newMgrTelemetry(cfg.Metrics),
+		flight:    obs.FlightOr(cfg.Flight),
+		sloWin:    obs.NewWindow(),
 	}
 	m.publish()
 	go m.loop()
@@ -407,6 +424,14 @@ func (m *Manager) handle(ev any) {
 	m.changed = true
 }
 
+// recordFlight lands one manager protocol event in the flight ring.
+func (m *Manager) recordFlight(event string, jobID int, detail string) {
+	ev := obs.Evt("jobs", event)
+	ev.Job = jobID
+	ev.Detail = detail
+	m.flight.Record(ev)
+}
+
 // markJob flags one job's allocation inputs as changed; markPool flags
 // a pool-wide change (idle count, membership, structure). Either makes
 // the next maybeRebalance run a pass.
@@ -478,6 +503,10 @@ func (m *Manager) enqueue(id int, spec transport.JobSpec, slo time.Duration, rep
 		if ok, reason := m.cfg.Admission.Admit(m.arrivalInfo(spec, slo)); !ok {
 			m.rejected++
 			m.tele.admission(false)
+			// A rejection is an SLO miss the submitter experienced: it
+			// burns the pool's budget just like a blown deadline.
+			m.sloWin.Observe(false, time.Now())
+			m.recordFlight("reject", id, reason)
 			err := fmt.Errorf("%w: %s", ErrRejected, reason)
 			if reply != nil {
 				m.reject(reply, err)
@@ -510,6 +539,7 @@ func (m *Manager) enqueue(id int, spec transport.JobSpec, slo time.Duration, rep
 	m.nQueued++
 	m.backlog += specTokens(spec)
 	m.tele.submitted.Inc()
+	m.recordFlight("submit", j.id, fmt.Sprintf("model=%s min=%d max=%d", spec.Model, spec.MinWorkers, spec.MaxWorkers))
 	m.markJob(j.id, "arrival")
 }
 
@@ -521,6 +551,7 @@ func (m *Manager) cancel(id int) {
 	}
 	m.canceled++
 	m.tele.canceled.Inc()
+	m.recordFlight("cancel", id, string(j.state))
 	switch j.state {
 	case stateQueued:
 		j.canceled = true
@@ -657,6 +688,7 @@ func (m *Manager) pass() {
 			m.led.requestRelease(j.id, eff-want)
 			m.refreshInfo(j)
 			m.tele.releases.Add(int64(eff - want))
+			m.recordFlight("lease.release", j.id, fmt.Sprintf("workers=%d", eff-want))
 		}
 	}
 	// Starts: queued jobs in arrival order, only at or above their
@@ -743,6 +775,7 @@ func (m *Manager) startJob(j *job, n int) {
 			cfg.WorkerTimeout = m.cfg.WorkerTimeout
 			cfg.Metrics = m.cfg.Metrics
 			cfg.Spans = m.cfg.Spans
+			cfg.Flight = m.cfg.Flight
 			j.co, err = rt.NewCoordinator(mk(), cfg)
 		}
 	}
@@ -765,6 +798,7 @@ func (m *Manager) startJob(j *job, n int) {
 	m.refreshInfo(j)
 	m.tele.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 	m.tele.leased("initial", len(conns))
+	m.recordFlight("job.start", j.id, fmt.Sprintf("workers=%d", len(conns)))
 
 	// Coordinator sends go through an async queue (deadlock avoidance,
 	// see asyncConn); the job tracks the wrappers so finishJob's Close
@@ -804,6 +838,7 @@ func (m *Manager) lease(j *job) bool {
 	j.conns = append(j.conns, ac)
 	m.refreshInfo(j)
 	m.tele.leased("join", 1)
+	m.recordFlight("lease.grant", j.id, "kind=join")
 	return true
 }
 
@@ -868,6 +903,21 @@ func (m *Manager) finishJob(e evJobDone) {
 		QueueWait:   j.started.Sub(j.submitted),
 		Runtime:     j.finished.Sub(j.started),
 		WorkerIters: j.workerIters,
+	}
+	outcome := "ok"
+	switch {
+	case j.canceled:
+		outcome = "canceled"
+	case j.err != nil:
+		outcome = "error"
+	}
+	m.recordFlight("job.done", j.id, fmt.Sprintf("outcome=%s iters=%d", outcome, j.iter+1))
+	// SLO attainment: a job is good when it finished OK within its
+	// target (jobs without one only need to finish OK). Cancellations
+	// are the submitter's choice and burn no budget.
+	if !j.canceled {
+		ok := j.err == nil && (j.slo == 0 || out.QueueWait+out.Runtime <= j.slo)
+		m.sloWin.Observe(ok, j.finished)
 	}
 	if j.reply != nil {
 		msg := &transport.Message{Kind: transport.KindJobDone, JobID: j.id}
@@ -941,11 +991,17 @@ func (m *Manager) publish() {
 	}
 	st.Completed = m.finished
 	st.Workers = len(m.idle) + held
+	now := m.lastPublish
+	st.SLOObjective = m.cfg.SLOObjective
+	st.SLOBurn5m = m.sloWin.Burn(5*time.Minute, m.cfg.SLOObjective, now)
+	st.SLOBurn1h = m.sloWin.Burn(time.Hour, m.cfg.SLOObjective, now)
 	m.tele.running.Set(float64(st.Running))
 	m.tele.queued.Set(float64(st.Queued))
 	m.tele.poolIdle.Set(float64(st.Idle))
 	m.tele.poolTotal.Set(float64(st.Workers))
 	m.tele.backlog.Set(float64(m.backlog))
+	m.tele.reg.Gauge(MetricSLOBurn, "window", "5m").Set(st.SLOBurn5m)
+	m.tele.reg.Gauge(MetricSLOBurn, "window", "1h").Set(st.SLOBurn1h)
 	m.status.Store(st)
 }
 

@@ -52,6 +52,15 @@ type PoolStatus struct {
 	BacklogTokens int `json:"backlog_tokens,omitempty"`
 	// RatePerWorker is the cluster-wide EWMA tokens/sec per worker.
 	RatePerWorker float64 `json:"rate_per_worker,omitempty"`
+	// SLOObjective is the attainment target the burn rates measure
+	// against (fraction of settled jobs that must finish OK in SLO).
+	SLOObjective float64 `json:"slo_objective,omitempty"`
+	// SLOBurn5m / SLOBurn1h are multi-window burn rates: the miss
+	// fraction over the window divided by the error budget
+	// (1 - objective). 1.0 consumes the budget exactly at the window's
+	// pace; the 5m window catches fast burns, the 1h window slow ones.
+	SLOBurn5m float64 `json:"slo_burn_5m"`
+	SLOBurn1h float64 `json:"slo_burn_1h"`
 	// Jobs lists queued and running jobs in arrival order, followed by
 	// the most recently completed jobs (up to a small tail).
 	Jobs          []JobStatus `json:"jobs"`

@@ -41,7 +41,18 @@ const (
 	MetricDirty = "fela_jobs_rebalance_dirty"
 	// MetricBacklog gauges the accepted-but-unfinished token estimate.
 	MetricBacklog = "fela_jobs_backlog_tokens"
+	// MetricSLOBurn gauges the pool's SLO burn rate per window (5m, 1h):
+	// the observed miss fraction over the window divided by the error
+	// budget (1 - objective). 1.0 burns the budget exactly; >1 is alarm
+	// territory, with the 5m window catching fast burns and the 1h
+	// window slow ones.
+	MetricSLOBurn = "fela_jobs_slo_burn_rate"
 )
+
+// defaultSLOObjective is the attainment target the burn gauges measure
+// against when the config leaves it unset: 99% of settled jobs finish
+// OK within their SLO.
+const defaultSLOObjective = 0.99
 
 // mgrTelemetry bundles the manager's instruments. All methods are
 // no-ops on a nil registry (obs instruments tolerate nil receivers).
@@ -78,6 +89,7 @@ func newMgrTelemetry(reg *obs.Registry) mgrTelemetry {
 	reg.Help(MetricCanceled, "Jobs canceled by their submitter.")
 	reg.Help(MetricDirty, "Dirty-job set size at the last rebalance pass.")
 	reg.Help(MetricBacklog, "Accepted-but-unfinished token estimate.")
+	reg.Help(MetricSLOBurn, "SLO burn rate by window: miss fraction / error budget.")
 	return mgrTelemetry{
 		reg:       reg,
 		submitted: reg.Counter(MetricSubmitted),

@@ -74,12 +74,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		entries := histFams[name]
 		sort.Slice(entries, func(i, j int) bool { return entries[i].labels < entries[j].labels })
 		for _, e := range entries {
+			// The exemplar rides on the first bucket wide enough to hold
+			// its value (OpenMetrics: an exemplar belongs to the bucket
+			// its observation landed in).
+			exIdx := -1
+			if e.snap.Ex != nil {
+				exIdx = len(e.snap.Uppers) // +Inf by default
+				for i, ub := range e.snap.Uppers {
+					if e.snap.Ex.Value <= ub {
+						exIdx = i
+						break
+					}
+				}
+			}
 			var cum int64
 			for i, ub := range e.snap.Uppers {
 				cum += e.snap.Counts[i]
-				writeSample(&b, name+"_bucket", joinLabels(e.labels, fmt.Sprintf("le=%q", formatFloat(ub))), strconv.FormatInt(cum, 10))
+				line := sampleLine(name+"_bucket", joinLabels(e.labels, fmt.Sprintf("le=%q", formatFloat(ub))), strconv.FormatInt(cum, 10))
+				if i == exIdx {
+					line += exemplarSuffix(e.snap.Ex)
+				}
+				b.WriteString(line + "\n")
 			}
-			writeSample(&b, name+"_bucket", joinLabels(e.labels, `le="+Inf"`), strconv.FormatInt(e.snap.Count, 10))
+			infLine := sampleLine(name+"_bucket", joinLabels(e.labels, `le="+Inf"`), strconv.FormatInt(e.snap.Count, 10))
+			if exIdx == len(e.snap.Uppers) {
+				infLine += exemplarSuffix(e.snap.Ex)
+			}
+			b.WriteString(infLine + "\n")
 			writeSample(&b, name+"_sum", e.labels, formatFloat(e.snap.Sum))
 			writeSample(&b, name+"_count", e.labels, strconv.FormatInt(e.snap.Count, 10))
 		}
@@ -89,11 +110,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func writeSample(b *strings.Builder, name, labels, value string) {
+	b.WriteString(sampleLine(name, labels, value) + "\n")
+}
+
+func sampleLine(name, labels, value string) string {
 	if labels == "" {
-		fmt.Fprintf(b, "%s %s\n", name, value)
-		return
+		return name + " " + value
 	}
-	fmt.Fprintf(b, "%s{%s} %s\n", name, labels, value)
+	return name + "{" + labels + "} " + value
+}
+
+// exemplarSuffix renders an OpenMetrics exemplar clause for a bucket
+// line: ` # {trace_id="…",span_id="…"} value timestamp`. Classic
+// Prometheus scrapers treat everything after the value as ignorable,
+// OpenMetrics scrapers surface the linked trace.
+func exemplarSuffix(ex *Exemplar) string {
+	if ex == nil {
+		return ""
+	}
+	ts := float64(ex.At.UnixNano()) / 1e9
+	return fmt.Sprintf(" # {trace_id=\"%016x\",span_id=\"%016x\"} %s %s",
+		ex.Trace, ex.Span, formatFloat(ex.Value), strconv.FormatFloat(ts, 'f', 3, 64))
 }
 
 func joinLabels(base, extra string) string {

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// FlightEvent is one structured protocol event in the flight recorder:
+// who did what, to which job/worker/tenant, under which trace. The
+// JSONL dump is the causal event history a failed chaos run or a
+// SIGQUIT'd binary leaves behind.
+type FlightEvent struct {
+	// Seq is the recorder-wide monotonic sequence number (1-based).
+	// Gaps in a dump mean the ring wrapped, never that recording
+	// dropped an event silently.
+	Seq uint64 `json:"seq"`
+	// TS is the wall-clock record time in Unix nanoseconds.
+	TS int64 `json:"ts"`
+	// Comp is the recording component: "gate", "jobs", "rt", "elastic".
+	Comp string `json:"comp"`
+	// Event names the protocol step ("submit", "admit", "token.assign",
+	// "death", "retune", …).
+	Event string `json:"event"`
+	// Job is the job id the event concerns (0 = none; job ids are
+	// 1-based everywhere).
+	Job int `json:"job,omitempty"`
+	// Worker is the worker id (-1 = none; worker ids are 0-based, so
+	// the zero value cannot stand for "unset").
+	Worker int `json:"worker"`
+	// Iter is the iteration the event belongs to (-1 = none).
+	Iter int `json:"iter"`
+	// Tenant is the gateway tenant, when known.
+	Tenant string `json:"tenant,omitempty"`
+	// Trace is the %016x trace id tying the event to the span tracer's
+	// retained traces ("" = none).
+	Trace string `json:"trace,omitempty"`
+	// Detail carries the event-specific payload (shed reason, fault
+	// class, outcome, decision counts).
+	Detail string `json:"detail,omitempty"`
+}
+
+// flightSlot is one ring entry. The per-slot mutex spreads writer
+// contention across the whole ring — recording takes an atomic add plus
+// one uncontended lock, never a recorder-wide lock.
+type flightSlot struct {
+	mu sync.Mutex
+	ev FlightEvent
+}
+
+// FlightRecorder is a fixed-size ring of FlightEvents, always-on and
+// safe for concurrent use. A nil *FlightRecorder is a no-op, like every
+// other obs instrument.
+type FlightRecorder struct {
+	seq   atomic.Uint64
+	mask  uint64
+	slots []flightSlot
+}
+
+// flightDefaultSize bounds the process-global ring: 16Ki events is
+// minutes of protocol history at serving rates, a whole session at
+// training rates.
+const flightDefaultSize = 1 << 14
+
+// NewFlightRecorder builds a ring holding at least n events (rounded up
+// to a power of two, minimum 16).
+func NewFlightRecorder(n int) *FlightRecorder {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &FlightRecorder{mask: uint64(size - 1), slots: make([]flightSlot, size)}
+}
+
+// defaultFlight is the process-global always-on recorder: components
+// record into it unless a Config injects a private ring (tests).
+var defaultFlight = NewFlightRecorder(flightDefaultSize)
+
+// Flight returns the process-global flight recorder.
+func Flight() *FlightRecorder { return defaultFlight }
+
+// FlightOr returns f, or the process-global recorder when f is nil —
+// the resolution every component Config applies, keeping recording
+// always-on without forcing every test to build a ring.
+func FlightOr(f *FlightRecorder) *FlightRecorder {
+	if f != nil {
+		return f
+	}
+	return defaultFlight
+}
+
+// Record stamps the event with the next sequence number and the current
+// time and stores it, overwriting the ring's oldest entry. Nil-safe.
+// ev.Worker and ev.Iter default to -1 ("none") when left zero only via
+// the Evt helper; direct Record calls own every field.
+func (f *FlightRecorder) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	s := f.seq.Add(1)
+	ev.Seq = s
+	ev.TS = time.Now().UnixNano()
+	slot := &f.slots[s&f.mask]
+	slot.mu.Lock()
+	slot.ev = ev
+	slot.mu.Unlock()
+}
+
+// Evt builds a FlightEvent with the "none" sentinels in place
+// (Worker = -1, Iter = -1), so call sites only fill what they know.
+func Evt(comp, event string) FlightEvent {
+	return FlightEvent{Comp: comp, Event: event, Worker: -1, Iter: -1}
+}
+
+// Seq returns the most recently issued sequence number (0 before the
+// first event; 0 on nil).
+func (f *FlightRecorder) Seq() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Snapshot copies every retained event with Seq > since, in sequence
+// order. Nil returns nil.
+func (f *FlightRecorder) Snapshot(since uint64) []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		slot := &f.slots[i]
+		slot.mu.Lock()
+		ev := slot.ev
+		slot.mu.Unlock()
+		if ev.Seq > since {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSONL dumps every retained event with Seq > since as one JSON
+// object per line, oldest first. Nil writes nothing.
+func (f *FlightRecorder) WriteJSONL(w io.Writer, since uint64) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range f.Snapshot(since) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlightDumpOnSIGQUIT installs a SIGQUIT handler that dumps the global
+// flight recorder as JSONL to stderr and keeps running — kill -QUIT a
+// wedged binary to get its causal event history without killing it.
+// The name prefixes the dump banner. Call once from main.
+func FlightDumpOnSIGQUIT(name string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			fmt.Fprintf(os.Stderr, "%s: SIGQUIT flight-recorder dump (%d events recorded)\n", name, defaultFlight.Seq())
+			_ = defaultFlight.WriteJSONL(os.Stderr, 0)
+			fmt.Fprintf(os.Stderr, "%s: end of flight-recorder dump\n", name)
+		}
+	}()
+}
+
+// FlightFailureDump writes the global recorder's events to
+// $FELA_FLIGHT_DIR/flight-<name>.jsonl (falling back to the OS temp
+// dir) and returns the path — the chaos suites call this when a test
+// fails so CI can upload the dump as an artifact.
+func FlightFailureDump(name string) (string, error) {
+	dir := os.Getenv("FELA_FLIGHT_DIR")
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "flight-"+name+".jsonl")
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := defaultFlight.WriteJSONL(file, 0); err != nil {
+		file.Close()
+		return "", err
+	}
+	return path, file.Close()
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecordAndSnapshot(t *testing.T) {
+	f := NewFlightRecorder(64)
+	ev := Evt("rt", "token.assign")
+	ev.Job = 3
+	ev.Worker = 1
+	ev.Iter = 7
+	ev.Trace = "00000000deadbeef"
+	f.Record(ev)
+	f.Record(Evt("jobs", "submit"))
+
+	got := f.Snapshot(0)
+	if len(got) != 2 {
+		t.Fatalf("snapshot: got %d events, want 2", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("seqs = %d,%d, want 1,2", got[0].Seq, got[1].Seq)
+	}
+	if got[0].Event != "token.assign" || got[0].Worker != 1 || got[0].Iter != 7 {
+		t.Fatalf("first event mangled: %+v", got[0])
+	}
+	if got[0].TS == 0 {
+		t.Fatal("event not timestamped")
+	}
+	if got[1].Worker != -1 || got[1].Iter != -1 {
+		t.Fatalf("Evt sentinels lost: %+v", got[1])
+	}
+	if tail := f.Snapshot(1); len(tail) != 1 || tail[0].Seq != 2 {
+		t.Fatalf("since filter: got %+v", tail)
+	}
+}
+
+func TestFlightRingWraps(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 100; i++ {
+		f.Record(Evt("rt", fmt.Sprintf("ev-%d", i)))
+	}
+	got := f.Snapshot(0)
+	if len(got) != 16 {
+		t.Fatalf("wrapped ring holds %d events, want 16", len(got))
+	}
+	// The ring keeps exactly the newest window.
+	for i, ev := range got {
+		if want := uint64(85 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+// TestFlightHammer drives many writers into a small ring under the race
+// detector: sequence numbers must come out unique (none lost to a
+// read-modify-write race, none handed out twice) and memory stays
+// bounded at the ring size.
+func TestFlightHammer(t *testing.T) {
+	const (
+		writers = 16
+		each    = 2000
+		ringMin = 256
+	)
+	f := NewFlightRecorder(ringMin)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				ev := Evt("rt", "hammer")
+				ev.Worker = w
+				ev.Iter = i
+				f.Record(ev)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := f.Seq(); got != writers*each {
+		t.Fatalf("seq counter = %d, want %d (lost or duplicated claims)", got, writers*each)
+	}
+	snap := f.Snapshot(0)
+	if len(snap) != len(f.slots) {
+		t.Fatalf("snapshot holds %d events, ring has %d slots", len(snap), len(f.slots))
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range snap {
+		if ev.Seq == 0 || ev.Seq > writers*each {
+			t.Fatalf("seq %d out of range (0, %d]", ev.Seq, writers*each)
+		}
+		if seen[ev.Seq] {
+			t.Fatalf("sequence number %d appears twice", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+// tsRe normalizes wall-clock stamps so the JSONL dump can be compared
+// against a golden file.
+var tsRe = regexp.MustCompile(`"ts":\d+`)
+
+func TestFlightGoldenJSONL(t *testing.T) {
+	f := NewFlightRecorder(16)
+	sub := Evt("gate", "submit")
+	sub.Job = 1
+	sub.Tenant = "alice"
+	sub.Trace = "00000000000000aa"
+	f.Record(sub)
+	adm := Evt("jobs", "admit")
+	adm.Job = 1
+	f.Record(adm)
+	tok := Evt("rt", "token.assign")
+	tok.Job = 1
+	tok.Worker = 0
+	tok.Iter = 2
+	tok.Detail = "tokens=4"
+	f.Record(tok)
+
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := tsRe.ReplaceAllString(buf.String(), `"ts":0`)
+
+	golden := filepath.Join("testdata", "flight.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("JSONL dump drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(Evt("rt", "x")) // must not panic
+	if f.Seq() != 0 || f.Snapshot(0) != nil {
+		t.Fatal("nil recorder should be empty")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf, 0); err != nil || buf.Len() != 0 {
+		t.Fatal("nil recorder should dump nothing")
+	}
+	if FlightOr(nil) != Flight() {
+		t.Fatal("FlightOr(nil) must resolve to the global recorder")
+	}
+	if FlightOr(f) != Flight() {
+		t.Fatal("FlightOr(typed nil) must resolve to the global recorder")
+	}
+	priv := NewFlightRecorder(16)
+	if FlightOr(priv) != priv {
+		t.Fatal("FlightOr must keep a private recorder")
+	}
+}
+
+func TestFlightFailureDump(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("FELA_FLIGHT_DIR", dir)
+	Flight().Record(Evt("rt", "for-failure-dump"))
+	path, err := FlightFailureDump("unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("dump landed in %s, want %s", path, dir)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "for-failure-dump") {
+		t.Fatal("dump missing the recorded event")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev FlightEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("dump line %q is not JSON: %v", line, err)
+		}
+	}
+}
+
+func TestDebugFlightEndpoint(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 3; i++ {
+		ev := Evt("gate", "submit")
+		ev.Job = i + 1
+		f.Record(ev)
+	}
+	h := NewHandler(HandlerOptions{Flight: f})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/flight: %d", rec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump has %d lines, want 3", len(lines))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight?since=2", nil))
+	lines = strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("since=2 dump has %d lines, want 1", len(lines))
+	}
+	var ev FlightEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil || ev.Seq != 3 {
+		t.Fatalf("since filter returned %q (err %v)", lines[0], err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight?since=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad since: got %d, want 400", rec.Code)
+	}
+}

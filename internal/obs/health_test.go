@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthzDefaultsHealthy(t *testing.T) {
+	h := NewHandler(HandlerOptions{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("nil Health: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHealthzDraining(t *testing.T) {
+	var healthErr error
+	h := NewHandler(HandlerOptions{Health: func() error { return healthErr }})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy: got %d", rec.Code)
+	}
+
+	healthErr = errors.New("draining")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining: got %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("503 body should carry the reason: %q", rec.Body.String())
+	}
+}
+
+func TestWindowBurn(t *testing.T) {
+	w := NewWindow()
+	now := time.Now()
+	for i := 0; i < 90; i++ {
+		w.Observe(true, now)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(false, now)
+	}
+	good, bad := w.Totals(5*time.Minute, now)
+	if good != 90 || bad != 10 {
+		t.Fatalf("totals = %d/%d, want 90/10", good, bad)
+	}
+	// 10% misses against a 99% objective = 10× burn.
+	if burn := w.Burn(5*time.Minute, 0.99, now); burn < 9.99 || burn > 10.01 {
+		t.Fatalf("burn = %v, want 10", burn)
+	}
+	// Outside the window nothing counts.
+	if g, b := w.Totals(5*time.Minute, now.Add(10*time.Minute)); g != 0 || b != 0 {
+		t.Fatalf("stale totals = %d/%d, want 0/0", g, b)
+	}
+	// Old buckets are reclaimed when the ring laps.
+	w.Observe(true, now.Add(62*time.Minute))
+	if g, _ := w.Totals(5*time.Minute, now.Add(62*time.Minute)); g != 1 {
+		t.Fatalf("lapped bucket not reset: good=%d", g)
+	}
+	// No events, or no budget → burn 0.
+	if b := NewWindow().Burn(time.Minute, 0.99, now); b != 0 {
+		t.Fatalf("empty burn = %v", b)
+	}
+	if b := w.Burn(time.Minute, 1.0, now); b != 0 {
+		t.Fatalf("zero-budget burn = %v", b)
+	}
+	var nilW *Window
+	nilW.Observe(true, now)
+	if b := nilW.Burn(time.Minute, 0.99, now); b != 0 {
+		t.Fatal("nil window must be a no-op")
+	}
+}

@@ -5,29 +5,52 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
-// Handler builds the telemetry endpoint mux:
+// HandlerOptions configures the telemetry endpoint mux. Every field is
+// optional; zero values degrade to the pre-options behavior.
+type HandlerOptions struct {
+	// Registry feeds /metrics (runtime vitals are collected into it on
+	// every scrape).
+	Registry *Registry
+	// Status feeds /statusz (503 until it returns non-nil).
+	Status func() any
+	// Health feeds /healthz: nil error (or nil func) → 200, an error →
+	// 503 with the error text. Probes use this to pull a draining
+	// process out of rotation before it stops accepting work.
+	Health func() error
+	// Tracers feed /trace (Chrome trace_event JSON).
+	Tracers []*Tracer
+	// Flight feeds /debug/flight (nil → the process-global recorder).
+	Flight *FlightRecorder
+}
+
+// NewHandler builds the telemetry endpoint mux:
 //
-//	/metrics      Prometheus text exposition of reg
-//	/statusz      JSON snapshot from statusFn (503 until it returns non-nil)
-//	/trace        Chrome trace_event JSON of the given tracers (Perfetto)
-//	/debug/pprof  the standard net/http/pprof handlers
+//	/metrics       Prometheus/OpenMetrics text exposition (with exemplars)
+//	/statusz       JSON snapshot from Status (503 until it returns non-nil)
+//	/healthz       200 "ok" while healthy, 503 while draining/unhealthy
+//	/trace         Chrome trace_event JSON of the tracers (Perfetto)
+//	/debug/flight  flight-recorder JSONL dump (?since=SEQ for the tail)
+//	/debug/pprof   the standard net/http/pprof handlers
 //
-// statusFn may be nil (statusz then always 503); reg and tracers may be
-// nil. The handler is safe to serve while training is in flight — every
-// read goes through the registry's and tracers' own synchronization.
-func Handler(reg *Registry, statusFn func() any, tracers ...*Tracer) http.Handler {
+// The handler is safe to serve while training is in flight — every read
+// goes through the instruments' own synchronization.
+func NewHandler(o HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		o.Registry.CollectRuntime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		_ = o.Registry.WritePrometheus(w)
+		// OpenMetrics terminator; 0.0.4 scrapers read it as a comment.
+		_, _ = w.Write([]byte("# EOF\n"))
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
 		var snap any
-		if statusFn != nil {
-			snap = statusFn()
+		if o.Status != nil {
+			snap = o.Status()
 		}
 		if snap == nil {
 			http.Error(w, "status not available yet", http.StatusServiceUnavailable)
@@ -38,9 +61,32 @@ func Handler(reg *Registry, statusFn func() any, tracers ...*Tracer) http.Handle
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(snap)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Health != nil {
+			if err := o.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = WriteChromeTrace(w, tracers...)
+		_ = WriteChromeTrace(w, o.Tracers...)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if q := r.URL.Query().Get("since"); q != "" {
+			n, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = FlightOr(o.Flight).WriteJSONL(w, since)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -48,6 +94,12 @@ func Handler(reg *Registry, statusFn func() any, tracers ...*Tracer) http.Handle
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// Handler is the legacy constructor, kept for call sites that need no
+// health probe or private flight ring.
+func Handler(reg *Registry, statusFn func() any, tracers ...*Tracer) http.Handler {
+	return NewHandler(HandlerOptions{Registry: reg, Status: statusFn, Tracers: tracers})
 }
 
 // Serve binds addr (":0" picks an ephemeral port) and serves the handler

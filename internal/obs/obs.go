@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. All methods are safe for
@@ -98,7 +99,24 @@ type Histogram struct {
 	inf     atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 sum via CAS
+	ex      atomic.Pointer[Exemplar]
 }
+
+// Exemplar links a histogram to the trace behind its worst recent
+// observation: scrape p99 on a dashboard, follow trace_id into /trace
+// or the tail-retained spans. Exposed in OpenMetrics exemplar syntax on
+// the bucket line containing Value.
+type Exemplar struct {
+	Value float64
+	Trace uint64 // trace id, 0 = none
+	Span  uint64 // span id within the trace
+	At    time.Time
+}
+
+// exemplarWindow bounds how long an exemplar stays the champion: after
+// this long even a smaller observation replaces it, so the exemplar
+// tracks the worst *recent* observation rather than the all-time max.
+const exemplarWindow = time.Minute
 
 // Observe records one sample. Nil-safe (no-op).
 func (h *Histogram) Observe(v float64) {
@@ -125,6 +143,39 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one sample and, when ctx names a real trace,
+// offers it as the histogram's exemplar. The exemplar slot keeps the
+// largest observation of the last exemplarWindow, so it points at the
+// trace behind the current tail. Nil-safe.
+func (h *Histogram) ObserveExemplar(v float64, ctx SpanContext) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if !ctx.Valid() {
+		return
+	}
+	cand := &Exemplar{Value: v, Trace: ctx.TraceID, Span: ctx.SpanID, At: time.Now()}
+	for {
+		old := h.ex.Load()
+		if old != nil && v < old.Value && cand.At.Sub(old.At) < exemplarWindow {
+			return
+		}
+		if h.ex.CompareAndSwap(old, cand) {
+			return
+		}
+	}
+}
+
+// Exemplar returns the current exemplar, or nil when none was recorded
+// (or on a nil histogram).
+func (h *Histogram) Exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.ex.Load()
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -149,6 +200,8 @@ type HistSnapshot struct {
 	Inf    int64
 	Count  int64
 	Sum    float64
+	// Ex is the current exemplar (nil when none was ever offered).
+	Ex *Exemplar
 }
 
 // Snapshot copies the histogram state (zero value on nil).
@@ -162,6 +215,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		Inf:    h.inf.Load(),
 		Count:  h.count.Load(),
 		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Ex:     h.ex.Load(),
 	}
 	for i := range h.buckets {
 		s.Counts[i] = h.buckets[i].Load()
@@ -222,6 +276,12 @@ type Registry struct {
 	hists  map[metricKey]*Histogram
 	help   map[string]string // metric name -> HELP line
 	kind   map[string]string // metric name -> TYPE (counter/gauge/histogram)
+
+	// collectorMu serializes runtime-vitals collection; the collector is
+	// a per-Registry singleton so two handlers over one registry never
+	// double-observe a GC pause.
+	collectorMu sync.Mutex
+	collector   *runtimeCollector
 }
 
 // NewRegistry builds an empty registry.

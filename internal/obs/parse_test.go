@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// populatedRegistry builds a registry exercising every instrument kind,
+// including an exemplar-carrying histogram.
+func populatedRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Help("fela_test_requests_total", "Requests seen.")
+	reg.Counter("fela_test_requests_total", "route", "submit").Add(5)
+	reg.Counter("fela_test_requests_total", "route", "status").Add(2)
+	reg.Help("fela_test_depth", "Queue depth.")
+	reg.Gauge("fela_test_depth").Set(3.5)
+	reg.Help("fela_test_latency_seconds", "Latency.")
+	h := reg.Histogram("fela_test_latency_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.ObserveExemplar(4.2, SpanContext{TraceID: 0xabc, SpanID: 0xdef})
+	h.Observe(99)
+	return reg
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	reg := populatedRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("# EOF\n")
+
+	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse our own exposition: %v\n%s", err, buf.String())
+	}
+	if v, ok := exp.Gauge("fela_test_requests_total", "route", "submit"); !ok || v != 5 {
+		t.Fatalf("counter sample: %v %v", v, ok)
+	}
+	if v, ok := exp.Gauge("fela_test_depth"); !ok || v != 3.5 {
+		t.Fatalf("gauge sample: %v %v", v, ok)
+	}
+	if exp.Types["fela_test_latency_seconds"] != "histogram" {
+		t.Fatalf("TYPE lost: %v", exp.Types)
+	}
+	if exp.Help["fela_test_depth"] != "Queue depth." {
+		t.Fatalf("HELP lost: %v", exp.Help)
+	}
+
+	buckets := exp.Find("fela_test_latency_seconds_bucket")
+	if len(buckets) != 4 {
+		t.Fatalf("bucket lines: %d, want 4", len(buckets))
+	}
+	var ex *SampleExemplar
+	var exLE string
+	for _, b := range buckets {
+		if b.Exemplar != nil {
+			if ex != nil {
+				t.Fatal("exemplar on more than one bucket line")
+			}
+			ex = b.Exemplar
+			exLE = b.Labels["le"]
+		}
+	}
+	if ex == nil {
+		t.Fatal("exemplar clause lost in round trip")
+	}
+	if exLE != "10" {
+		t.Fatalf("exemplar rode le=%q, want the containing bucket le=\"10\"", exLE)
+	}
+	if ex.Labels["trace_id"] != "0000000000000abc" || ex.Labels["span_id"] != "0000000000000def" {
+		t.Fatalf("exemplar labels: %v", ex.Labels)
+	}
+	if ex.Value != 4.2 || ex.TS == 0 {
+		t.Fatalf("exemplar value/ts: %+v", ex)
+	}
+}
+
+func TestLintAcceptsOwnOutput(t *testing.T) {
+	reg := populatedRegistry()
+	reg.CollectRuntime() // runtime vitals must lint too
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("# EOF\n")
+	if errs := LintExposition(bytes.NewReader(buf.Bytes())); len(errs) != 0 {
+		t.Fatalf("lint rejected our own exposition: %v\n%s", errs, buf.String())
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"bad metric name", "0bad 1\n", "invalid metric name"},
+		{"bad label name", `m{0l="x"} 1` + "\n", "invalid label name"},
+		{"duplicate sample", "m 1\nm 2\n", "duplicate sample"},
+		{"duplicate TYPE", "# TYPE m counter\n# TYPE m counter\nm 1\n", "duplicate TYPE"},
+		{"unknown TYPE", "# TYPE m widget\nm 1\n", "unknown TYPE"},
+		{"TYPE after samples", "m 1\n# TYPE m counter\n", "after its samples"},
+		{"EOF not last", "# EOF\nm 1\n", "must be the final line"},
+		{
+			"non-cumulative histogram",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"not cumulative",
+		},
+		{
+			"inf-count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n",
+			"+Inf bucket",
+		},
+		{
+			"missing inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			`missing le="+Inf"`,
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum",
+		},
+		{
+			"exemplar off bucket",
+			"# TYPE m counter\nm 1 # {trace_id=\"a\"} 1\n",
+			"exemplar on non-bucket",
+		},
+		{
+			"oversized exemplar labelset",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"" + strings.Repeat("x", 200) + "\"} 1\nh_sum 1\nh_count 1\n",
+			"exceeds 128",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := LintExposition(strings.NewReader(tc.in))
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("lint missed %q; got %v", tc.want, errs)
+		})
+	}
+}
+
+func TestParseValueSpecials(t *testing.T) {
+	exp, err := ParseExposition(strings.NewReader("a +Inf\nb -Inf\nc NaN\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := exp.Gauge("a"); !math.IsInf(v, 1) {
+		t.Fatalf("a = %v", v)
+	}
+	if v, _ := exp.Gauge("b"); !math.IsInf(v, -1) {
+		t.Fatalf("b = %v", v)
+	}
+	if v, _ := exp.Gauge("c"); !math.IsNaN(v) {
+		t.Fatalf("c = %v", v)
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	exp, err := ParseExposition(strings.NewReader(`m{k="a\"b\\c\nd"} 1` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exp.Samples[0].Labels["k"]; got != "a\"b\\c\nd" {
+		t.Fatalf("escapes: %q", got)
+	}
+}
+
+func TestExemplarReplacementPolicy(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x", []float64{1, 10})
+	h.ObserveExemplar(5, SpanContext{TraceID: 1, SpanID: 1})
+	h.ObserveExemplar(2, SpanContext{TraceID: 2, SpanID: 2}) // smaller, fresh champion stays
+	if ex := h.Exemplar(); ex == nil || ex.Trace != 1 {
+		t.Fatalf("smaller observation displaced the champion: %+v", ex)
+	}
+	h.ObserveExemplar(9, SpanContext{TraceID: 3, SpanID: 3}) // larger wins
+	if ex := h.Exemplar(); ex == nil || ex.Trace != 3 || ex.Value != 9 {
+		t.Fatalf("larger observation did not win: %+v", ex)
+	}
+	// A stale champion yields even to a smaller observation.
+	h.ex.Store(&Exemplar{Value: 99, Trace: 4, Span: 4, At: time.Now().Add(-2 * exemplarWindow)})
+	h.ObserveExemplar(0.5, SpanContext{TraceID: 5, SpanID: 5})
+	if ex := h.Exemplar(); ex == nil || ex.Trace != 5 {
+		t.Fatalf("stale champion survived the window: %+v", ex)
+	}
+	// Invalid contexts never become exemplars.
+	h2 := reg.Histogram("y", []float64{1})
+	h2.ObserveExemplar(100, SpanContext{})
+	if h2.Exemplar() != nil {
+		t.Fatal("zero SpanContext must not produce an exemplar")
+	}
+	if h2.Count() != 1 {
+		t.Fatal("observation itself must still be recorded")
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// runtimeCollector refreshes process-vital metrics (goroutines, heap,
+// GC pauses) in a Registry. Collection happens on scrape, not on a
+// timer, so idle processes cost nothing; the GC pause histogram is fed
+// from the runtime's PauseNs ring by NumGC delta so each pause is
+// observed exactly once even with several handlers over one Registry
+// (the Registry holds a single collector).
+type runtimeCollector struct {
+	reg        *Registry
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	gcPause    *Histogram
+	lastNumGC  uint32
+}
+
+// gcPauseBuckets spans the pauses a healthy Go program sees: tens of
+// microseconds to (pathological) tenths of a second.
+var gcPauseBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+func newRuntimeCollector(reg *Registry) *runtimeCollector {
+	reg.Help("fela_go_goroutines", "Current number of goroutines.")
+	reg.Help("fela_go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	reg.Help("fela_go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	reg.Help("fela_go_gc_pause_seconds", "Distribution of GC stop-the-world pause durations.")
+	c := &runtimeCollector{
+		reg:        reg,
+		goroutines: reg.Gauge("fela_go_goroutines"),
+		heapAlloc:  reg.Gauge("fela_go_heap_alloc_bytes"),
+		heapSys:    reg.Gauge("fela_go_heap_sys_bytes"),
+		gcPause:    reg.Histogram("fela_go_gc_pause_seconds", gcPauseBuckets),
+	}
+	// Baseline NumGC so only pauses after the collector exists are
+	// observed — a late-attached handler shouldn't replay old pauses.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.lastNumGC = ms.NumGC
+	return c
+}
+
+// collect refreshes the vitals. Called under the Registry's collector
+// mutex (one caller at a time), typically per /metrics scrape.
+func (c *runtimeCollector) collect() {
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapAlloc.Set(float64(ms.HeapAlloc))
+	c.heapSys.Set(float64(ms.HeapSys))
+	// PauseNs is a circular buffer of the last 256 pauses; replay the
+	// ones since the previous collect, capped at the buffer size.
+	n := ms.NumGC - c.lastNumGC
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		idx := (ms.NumGC - i + uint32(len(ms.PauseNs)) - 1) % uint32(len(ms.PauseNs))
+		c.gcPause.Observe(time.Duration(ms.PauseNs[idx]).Seconds())
+	}
+	c.lastNumGC = ms.NumGC
+}
+
+// CollectRuntime refreshes the Go runtime vitals in the registry,
+// creating the instruments on first use. Every obs.Handler calls this
+// on each /metrics scrape; tests may call it directly. Nil-safe.
+func (r *Registry) CollectRuntime() {
+	if r == nil {
+		return
+	}
+	r.collectorMu.Lock()
+	if r.collector == nil {
+		r.collector = newRuntimeCollector(r)
+	}
+	r.collector.collect()
+	r.collectorMu.Unlock()
+}

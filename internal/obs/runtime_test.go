@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCollectRuntime(t *testing.T) {
+	reg := NewRegistry()
+	reg.CollectRuntime()
+	if v := reg.Gauge("fela_go_goroutines").Value(); v < 1 {
+		t.Fatalf("goroutines = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("fela_go_heap_alloc_bytes").Value(); v <= 0 {
+		t.Fatalf("heap alloc = %v, want > 0", v)
+	}
+	before := reg.Histogram("fela_go_gc_pause_seconds", gcPauseBuckets).Count()
+	runtime.GC()
+	runtime.GC()
+	reg.CollectRuntime()
+	after := reg.Histogram("fela_go_gc_pause_seconds", gcPauseBuckets).Count()
+	if after <= before {
+		t.Fatalf("gc pause count did not grow after runtime.GC(): %d -> %d", before, after)
+	}
+
+	// A second collect with no GC in between must not replay pauses.
+	stable := reg.Histogram("fela_go_gc_pause_seconds", gcPauseBuckets).Count()
+	reg.CollectRuntime()
+	if got := reg.Histogram("fela_go_gc_pause_seconds", gcPauseBuckets).Count(); got != stable {
+		t.Fatalf("pauses double-observed: %d -> %d", stable, got)
+	}
+	reg.CollectRuntime()
+
+	var nilReg *Registry
+	nilReg.CollectRuntime() // must not panic
+}
+
+func TestMetricsScrapeIncludesRuntime(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHandler(HandlerOptions{Registry: reg})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"fela_go_goroutines", "fela_go_heap_alloc_bytes", "fela_go_gc_pause_seconds_bucket"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %s:\n%s", want, body)
+		}
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatal("scrape missing trailing # EOF")
+	}
+	if errs := LintExposition(strings.NewReader(body)); len(errs) != 0 {
+		t.Fatalf("scrape fails lint: %v", errs)
+	}
+}

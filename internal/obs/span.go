@@ -22,6 +22,16 @@ type SpanContext struct {
 // Valid reports whether the context names a real trace.
 func (c SpanContext) Valid() bool { return c.TraceID != 0 }
 
+// TraceHex renders the trace id the way every export spells it —
+// %016x, matching Chrome-trace args, exemplar labels and flight-recorder
+// events — or "" for the zero context, so the exports intersect.
+func (c SpanContext) TraceHex() string {
+	if !c.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("%016x", c.TraceID)
+}
+
 // SpanEvent is one finished span as recorded by a Tracer.
 type SpanEvent struct {
 	// Name is the operation ("assign", "compute", "iteration", …).
@@ -38,6 +48,9 @@ type SpanEvent struct {
 	// Start and Dur place the span in wall-clock time.
 	Start time.Time
 	Dur   time.Duration
+	// Err marks a span that ended in failure (SetError was called) —
+	// one of the two signals tail-based retention keeps a trace for.
+	Err bool
 }
 
 // Tracer records spans into a bounded in-memory buffer. All methods are
@@ -52,11 +65,30 @@ type Tracer struct {
 	events  []SpanEvent
 	max     int
 	dropped int64
+
+	// Tail-based retention (SetTail): instead of recording every span
+	// until the buffer fills, finished spans are buffered per trace and
+	// the whole trace is kept only if its root breached the latency
+	// threshold, ended in error, or was pinned with Retain — bounding
+	// trace memory while guaranteeing the interesting traces survive.
+	tail      bool
+	threshold time.Duration
+	pending   map[uint64][]SpanEvent // undecided traces, keyed by trace id
+	pendOrder []uint64               // FIFO eviction order for pending
+	retained  map[uint64]struct{}    // decided-keep trace ids
+	retOrder  []uint64               // FIFO eviction order for retained ids
 }
 
 // maxSpansDefault bounds the span buffer: a long session keeps the most
 // recent window rather than growing without bound.
 const maxSpansDefault = 1 << 15
+
+// Tail-mode bounds: how many undecided traces may buffer spans at once,
+// and how many kept trace ids stay pinned for late-finishing spans.
+const (
+	maxPendingTraces  = 1024
+	maxRetainedTraces = 4096
+)
 
 // NewTracer builds a tracer for one process. The proc name labels every
 // span and becomes the Perfetto process row.
@@ -80,6 +112,71 @@ func (t *Tracer) newID() uint64 {
 	return z
 }
 
+// SetTail switches the tracer to tail-based retention: a trace is kept
+// only when its root span runs at least threshold, ends in error, or is
+// pinned via Retain. A zero threshold keeps error/pinned traces only.
+// Call before spans start; the switch does not reprocess already-
+// recorded spans. Tail mode needs the root span recorded locally, so it
+// fits root-recording processes (gateway, coordinator) — a worker whose
+// spans are all children of wire contexts would retain nothing.
+func (t *Tracer) SetTail(threshold time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tail = true
+	t.threshold = threshold
+	if t.pending == nil {
+		t.pending = map[uint64][]SpanEvent{}
+		t.retained = map[uint64]struct{}{}
+	}
+	t.mu.Unlock()
+}
+
+// Retain pins a trace id: its buffered spans move to the kept buffer
+// now and spans finishing later are kept too, regardless of the root's
+// own verdict. The gateway calls this when a job misses its SLO after
+// the submit root already ended. No-op outside tail mode.
+func (t *Tracer) Retain(id uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.tail {
+		t.retainLocked(id)
+	}
+	t.mu.Unlock()
+}
+
+// retainLocked marks id kept and flushes its pending spans.
+func (t *Tracer) retainLocked(id uint64) {
+	if _, ok := t.retained[id]; !ok {
+		t.retained[id] = struct{}{}
+		t.retOrder = append(t.retOrder, id)
+		for len(t.retOrder) > maxRetainedTraces {
+			delete(t.retained, t.retOrder[0])
+			t.retOrder = t.retOrder[1:]
+		}
+	}
+	if buf, ok := t.pending[id]; ok {
+		delete(t.pending, id)
+		for _, ev := range buf {
+			t.appendLocked(ev)
+		}
+	}
+}
+
+// RetainedTraceIDs returns the trace ids currently pinned by tail
+// retention (nil on a nil tracer or outside tail mode).
+func (t *Tracer) RetainedTraceIDs() []uint64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]uint64(nil), t.retOrder...)
+}
+
 // Span is an in-flight operation. End records it. Nil-safe.
 type Span struct {
 	t      *Tracer
@@ -88,6 +185,7 @@ type Span struct {
 	ctx    SpanContext
 	parent uint64
 	start  time.Time
+	err    bool
 }
 
 // StartRoot opens a span that begins a fresh trace.
@@ -120,7 +218,18 @@ func (s *Span) Context() SpanContext {
 	return s.ctx
 }
 
-// End finishes the span and records it into the tracer's buffer.
+// SetError marks the span failed, which (in tail mode) forces its whole
+// trace to be retained. Call before End, from the goroutine that owns
+// the span. Nil-safe.
+func (s *Span) SetError() {
+	if s != nil {
+		s.err = true
+	}
+}
+
+// End finishes the span and records it into the tracer's buffer. In
+// tail mode non-root spans buffer until their root's verdict; the root
+// keeps the trace when it breached the threshold or errored.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -129,15 +238,66 @@ func (s *Span) End() {
 		Name: s.name, Proc: s.t.proc, TID: s.tid,
 		Ctx: s.ctx, Parent: s.parent,
 		Start: s.start, Dur: time.Since(s.start),
+		Err: s.err,
 	}
 	t := s.t
 	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.tail {
+		t.appendLocked(ev)
+		return
+	}
+	id := ev.Ctx.TraceID
+	if _, kept := t.retained[id]; kept {
+		t.appendLocked(ev)
+		return
+	}
+	if s.parent == 0 {
+		// Root verdict for the whole trace.
+		if ev.Err || ev.Dur >= t.threshold {
+			t.retainLocked(id)
+			t.appendLocked(ev)
+		} else {
+			t.dropped += int64(len(t.pending[id])) + 1
+			delete(t.pending, id)
+		}
+		return
+	}
+	// Non-root before the verdict: buffer, bounded by FIFO eviction of
+	// the oldest undecided trace.
+	if _, ok := t.pending[id]; !ok {
+		t.pendOrder = append(t.pendOrder, id)
+		for len(t.pending) >= maxPendingTraces {
+			victim := t.pendOrder[0]
+			t.pendOrder = t.pendOrder[1:]
+			if buf, live := t.pending[victim]; live {
+				t.dropped += int64(len(buf))
+				delete(t.pending, victim)
+			}
+		}
+		// pendOrder holds ids of traces already decided (retained or
+		// dropped by their root); compact once the garbage dominates.
+		if len(t.pendOrder) > 4*maxPendingTraces {
+			live := t.pendOrder[:0]
+			for _, pid := range t.pendOrder {
+				if _, ok := t.pending[pid]; ok {
+					live = append(live, pid)
+				}
+			}
+			t.pendOrder = live
+		}
+	}
+	t.pending[id] = append(t.pending[id], ev)
+}
+
+// appendLocked records one finished span, honoring the buffer bound.
+// Callers hold t.mu.
+func (t *Tracer) appendLocked(ev SpanEvent) {
 	if len(t.events) >= t.max {
 		t.dropped++
 	} else {
 		t.events = append(t.events, ev)
 	}
-	t.mu.Unlock()
 }
 
 // Events copies the recorded spans (nil on a nil tracer).

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTailKeepsSlowRoots(t *testing.T) {
+	tr := NewTracer("test")
+	tr.SetTail(5 * time.Millisecond)
+
+	slow := tr.StartRoot("slow", 0)
+	time.Sleep(10 * time.Millisecond)
+	slow.End()
+
+	fast := tr.StartRoot("fast", 0)
+	fast.End()
+
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Name != "slow" {
+		t.Fatalf("retained %+v, want only the slow root", evs)
+	}
+	ids := tr.RetainedTraceIDs()
+	if len(ids) != 1 || ids[0] != slow.Context().TraceID {
+		t.Fatalf("retained ids %v, want [%d]", ids, slow.Context().TraceID)
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1 (the fast root)", tr.Dropped())
+	}
+}
+
+func TestTailKeepsErroredRoots(t *testing.T) {
+	tr := NewTracer("test")
+	tr.SetTail(time.Hour) // nothing is slow enough
+
+	bad := tr.StartRoot("bad", 0)
+	bad.SetError()
+	bad.End()
+
+	ok := tr.StartRoot("ok", 0)
+	ok.End()
+
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Name != "bad" || !evs[0].Err {
+		t.Fatalf("retained %+v, want only the errored root", evs)
+	}
+}
+
+func TestTailChildrenFollowRootVerdict(t *testing.T) {
+	tr := NewTracer("test")
+	tr.SetTail(5 * time.Millisecond)
+
+	root := tr.StartRoot("req", 0)
+	child := tr.StartChild("work", 1, root.Context())
+	child.End() // buffers: verdict not in yet
+	if len(tr.Events()) != 0 {
+		t.Fatal("child recorded before the root's verdict")
+	}
+	time.Sleep(10 * time.Millisecond)
+	root.End() // slow → keep whole trace
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("retained %d spans, want the full 2-span trace", len(evs))
+	}
+
+	// And a fast trace drops its children too.
+	root2 := tr.StartRoot("req2", 0)
+	child2 := tr.StartChild("work2", 1, root2.Context())
+	child2.End()
+	root2.End()
+	if got := tr.Events(); len(got) != 2 {
+		t.Fatalf("fast trace leaked spans: %d", len(got))
+	}
+}
+
+func TestTailLateSpanAfterRetain(t *testing.T) {
+	tr := NewTracer("test")
+	tr.SetTail(time.Hour)
+
+	// Root ends fast (dropped); a long-lived child (the gate.job span)
+	// is still open when the verdict lands.
+	root := tr.StartRoot("submit", 0)
+	job := tr.StartChild("job", 1, root.Context())
+	root.End()
+	if len(tr.Events()) != 0 {
+		t.Fatal("fast root should have been dropped")
+	}
+
+	// Settle path discovers an SLO miss and pins the trace.
+	tr.Retain(root.Context().TraceID)
+	job.End()
+
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Name != "job" {
+		t.Fatalf("late span after Retain: got %+v, want the job span", evs)
+	}
+}
+
+func TestTailPendingBound(t *testing.T) {
+	tr := NewTracer("test")
+	tr.SetTail(time.Hour)
+
+	// Open far more undecided traces than the pending bound: children
+	// buffer, roots never end. Memory must stay bounded via FIFO
+	// eviction, counted as drops.
+	for i := 0; i < 3*maxPendingTraces; i++ {
+		root := tr.StartRoot("orphan", 0)
+		child := tr.StartChild("work", 0, root.Context())
+		child.End()
+	}
+	tr.mu.Lock()
+	pend := len(tr.pending)
+	tr.mu.Unlock()
+	if pend > maxPendingTraces {
+		t.Fatalf("pending traces = %d, bound is %d", pend, maxPendingTraces)
+	}
+	if tr.Dropped() < int64(maxPendingTraces) {
+		t.Fatalf("evictions not counted as drops: %d", tr.Dropped())
+	}
+}
+
+func TestTailZeroThresholdKeepsErrorsOnly(t *testing.T) {
+	tr := NewTracer("test")
+	tr.SetTail(0)
+	// Threshold 0 means every root "breaches" (Dur >= 0) — so a zero
+	// threshold keeps everything; that is the retain-all escape hatch.
+	r := tr.StartRoot("any", 0)
+	r.End()
+	if len(tr.Events()) != 1 {
+		t.Fatal("zero threshold must retain every trace")
+	}
+}
+
+func TestNonTailUnchanged(t *testing.T) {
+	tr := NewTracer("test")
+	r := tr.StartRoot("a", 0)
+	c := tr.StartChild("b", 0, r.Context())
+	c.End()
+	r.End()
+	if len(tr.Events()) != 2 {
+		t.Fatal("legacy record-everything mode broken")
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is a sliding-window good/bad event counter: the primitive
+// under the SLO burn-rate gauges. Events land in fixed-width time
+// buckets on a ring; Totals sums the buckets inside a lookback span, so
+// one Window serves both the 5m and 1h burn windows.
+type Window struct {
+	mu      sync.Mutex
+	bucket  time.Duration
+	good    []int64
+	bad     []int64
+	stamped []int64 // unix-nano start of the interval each slot last held
+}
+
+// windowBucket × windowSlots must cover the longest burn window (1h)
+// with room for bucket-boundary slop.
+const (
+	windowBucket = 10 * time.Second
+	windowSlots  = 366 // 61 minutes of 10s buckets
+)
+
+// NewWindow builds a counter covering at least an hour of history at
+// 10-second resolution.
+func NewWindow() *Window {
+	return &Window{
+		bucket:  windowBucket,
+		good:    make([]int64, windowSlots),
+		bad:     make([]int64, windowSlots),
+		stamped: make([]int64, windowSlots),
+	}
+}
+
+// Observe records one event at time now. Nil-safe.
+func (w *Window) Observe(ok bool, now time.Time) {
+	if w == nil {
+		return
+	}
+	start := now.UnixNano() - now.UnixNano()%int64(w.bucket)
+	idx := (start / int64(w.bucket)) % int64(len(w.good))
+	w.mu.Lock()
+	if w.stamped[idx] != start {
+		w.stamped[idx] = start
+		w.good[idx] = 0
+		w.bad[idx] = 0
+	}
+	if ok {
+		w.good[idx]++
+	} else {
+		w.bad[idx]++
+	}
+	w.mu.Unlock()
+}
+
+// Totals sums events recorded within span of now.
+func (w *Window) Totals(span time.Duration, now time.Time) (good, bad int64) {
+	if w == nil {
+		return 0, 0
+	}
+	oldest := now.Add(-span).UnixNano()
+	w.mu.Lock()
+	for i := range w.good {
+		if w.stamped[i] >= oldest && w.stamped[i] <= now.UnixNano() {
+			good += w.good[i]
+			bad += w.bad[i]
+		}
+	}
+	w.mu.Unlock()
+	return good, bad
+}
+
+// Burn returns the SLO burn rate over span: the observed miss fraction
+// divided by the error budget (1 − objective). 1.0 means the budget is
+// being spent exactly at the allowed rate; above 1 it's burning down.
+// Returns 0 when no events landed in the window or the objective leaves
+// no budget.
+func (w *Window) Burn(span time.Duration, objective float64, now time.Time) float64 {
+	good, bad := w.Totals(span, now)
+	total := good + bad
+	budget := 1 - objective
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	miss := float64(bad) / float64(total)
+	return miss / budget
+}

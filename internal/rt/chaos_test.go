@@ -1,14 +1,35 @@
 package rt
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"fela/internal/metrics"
 	"fela/internal/minidnn"
+	"fela/internal/obs"
 	"fela/internal/trace"
 	"fela/internal/transport"
 )
+
+// dumpFlightOnFailure arranges for the process-global flight recorder
+// to be dumped to $FELA_FLIGHT_DIR (or the OS temp dir) if the test
+// fails, so a bit-identity violation leaves its causal event history
+// behind for CI to upload as an artifact.
+func dumpFlightOnFailure(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		name := strings.ReplaceAll(t.Name(), "/", "-")
+		if path, err := obs.FlightFailureDump(name); err == nil {
+			t.Logf("flight-recorder dump: %s", path)
+		} else {
+			t.Logf("flight-recorder dump failed: %v", err)
+		}
+	})
+}
 
 // chaosCfg returns a fault-tolerant session config. The timeout must
 // dwarf a single token's compute time (sub-millisecond here) but stay
@@ -113,6 +134,7 @@ func runScripted(wid int, conn transport.Conn, cfg Config, sc script, hang <-cha
 func runChaosSession(t *testing.T, cfg Config, badWID int, sc script,
 	wrapServer func(transport.Conn) transport.Conn) *Result {
 	t.Helper()
+	dumpFlightOnFailure(t)
 	throttleHealthy(&cfg, badWID)
 	hang := make(chan struct{})
 	t.Cleanup(func() { close(hang) })
@@ -279,6 +301,7 @@ func TestChaosFaultsAreTraced(t *testing.T) {
 // TestChaosAllWorkersDie: losing every worker must surface an error,
 // not a hang.
 func TestChaosAllWorkersDie(t *testing.T) {
+	dumpFlightOnFailure(t)
 	cfg := chaosCfg()
 	cfg.Workers = 2
 	hang := make(chan struct{})
@@ -311,6 +334,7 @@ func TestChaosAllWorkersDie(t *testing.T) {
 // TestChaosStrictModeStillAborts: without WorkerTimeout the old
 // fail-fast contract holds — a dead worker aborts the session.
 func TestChaosStrictModeStillAborts(t *testing.T) {
+	dumpFlightOnFailure(t)
 	cfg := chaosCfg()
 	cfg.WorkerTimeout = 0
 	throttleHealthy(&cfg, 1)
@@ -349,6 +373,7 @@ func TestChaosStrictModeStillAborts(t *testing.T) {
 // TCP connections: the dead peer surfaces via the socket, the session
 // completes, and the result matches Sequential.
 func TestChaosTCPWorkerKill(t *testing.T) {
+	dumpFlightOnFailure(t)
 	cfg := chaosCfg()
 	cfg.Workers = 3
 	throttleHealthy(&cfg, 2)

@@ -88,6 +88,7 @@ type Coordinator struct {
 	status   atomic.Pointer[Status]
 	rates    map[int]float64
 	iterSpan *obs.Span
+	flight   *obs.FlightRecorder
 }
 
 // NewCoordinator wraps the master network.
@@ -104,6 +105,7 @@ func NewCoordinator(net *minidnn.Network, cfg Config) (*Coordinator, error) {
 		rejected: map[transport.Conn]bool{},
 		tele:     newCoTelemetry(cfg.Metrics),
 		rates:    map[int]float64{},
+		flight:   obs.FlightOr(cfg.Flight),
 		start:    time.Now(),
 		res:      &Result{TokensByWorker: make([]int, cfg.Workers)},
 		it:       -1,
@@ -155,6 +157,17 @@ var errWorkerHung = errors.New("rt: worker deadline expired with token outstandi
 // errProtocol marks a well-formed message that violates the protocol
 // state machine (e.g. a token request before registration).
 var errProtocol = errors.New("rt: protocol violation")
+
+// recordFlight stamps a coordinator protocol event into the flight
+// recorder with the current iteration filled in.
+func (co *Coordinator) recordFlight(event string, wid int, trace string, detail string) {
+	ev := obs.Evt("rt", event)
+	ev.Worker = wid
+	ev.Iter = co.it
+	ev.Trace = trace
+	ev.Detail = detail
+	co.flight.Record(ev)
+}
 
 // faultTolerant reports whether fault handling is enabled.
 func (co *Coordinator) faultTolerant() bool { return co.cfg.WorkerTimeout > 0 }
@@ -257,6 +270,8 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 		co.observeIteration(iterTime)
 		co.applyMembership(iterTime)
 		co.tele.barrier.Observe(time.Since(barrierStart).Seconds())
+		co.recordFlight("barrier", -1, co.iterSpan.Context().TraceHex(),
+			fmt.Sprintf("live=%d iter_ms=%d", co.trainableCount(), iterTime.Milliseconds()))
 		co.iterSpan.End()
 		co.iterSpan = nil
 		co.publishStatus()
@@ -618,7 +633,10 @@ func (co *Coordinator) runIteration(nTok int) error {
 				tok.grads = views
 				tok.loss = m.Loss
 				if assignedAt, ok := ws.outstanding[seq]; ok {
-					co.tele.tokenLat.Observe(time.Since(assignedAt).Seconds())
+					// The round-trip span's context makes the worst token
+					// the histogram's exemplar — follow trace_id from a
+					// /metrics scrape straight into the trace.
+					co.tele.tokenLat.ObserveExemplar(time.Since(assignedAt).Seconds(), tok.span.Context())
 				}
 				tok.span.End()
 				tok.span = nil
@@ -731,6 +749,7 @@ func (co *Coordinator) announceDrain(ws *workerState) {
 		return
 	}
 	ws.draining = true
+	co.recordFlight("drain", ws.wid, "", "")
 	co.reclaimTokens(ws)
 	co.pendingLeaves = append(co.pendingLeaves, ws)
 }
@@ -890,6 +909,8 @@ func (co *Coordinator) sendAssign(ws *workerState, tok *tokenState) error {
 	tok.assigned = true
 	tok.span = co.cfg.Spans.StartChild("token-roundtrip", ws.wid, co.iterSpan.Context())
 	ws.outstanding[tok.info.Seq] = time.Now()
+	co.recordFlight("token.assign", ws.wid, tok.span.Context().TraceHex(),
+		"seq="+strconv.Itoa(tok.info.Seq))
 	return ws.conn.Send(&transport.Message{
 		Kind: transport.KindAssign, Iter: co.it, Token: tok.info, Span: tok.span.Context(),
 	})
@@ -909,6 +930,8 @@ func (co *Coordinator) unassign(ws *workerState, tok *tokenState) {
 func (co *Coordinator) reclaimTokens(ws *workerState) {
 	for seq := range ws.outstanding {
 		if co.tokens != nil && !co.tokens[seq].done {
+			co.recordFlight("token.return", ws.wid, co.tokens[seq].span.Context().TraceHex(),
+				"seq="+strconv.Itoa(seq))
 			co.tokens[seq].assigned = false
 			co.tokens[seq].span = nil // round trip never completed
 			co.res.Reassigned++
@@ -1005,6 +1028,7 @@ func (co *Coordinator) recordFault(wid int, phase, class, detail string) {
 	})
 	co.cfg.Metrics.Counter(MetricFaultsTotal, "class", class).Inc()
 	co.cfg.Trace.AddPoint(trace.Fault, wid, at, class+" during "+phase)
+	co.recordFlight("death", wid, co.iterSpan.Context().TraceHex(), class+" during "+phase+": "+detail)
 }
 
 // recordScale appends a membership change to the result and the
@@ -1021,6 +1045,7 @@ func (co *Coordinator) recordScale(kind string, wid, effectIter int) {
 		tk = trace.Leave
 	}
 	co.cfg.Trace.AddPoint(tk, wid, at, kind)
+	co.recordFlight("scale."+kind, wid, "", "effect_iter="+strconv.Itoa(effectIter))
 }
 
 // pick chooses a token for the worker: own shard first (HF own-STB), then

@@ -69,6 +69,7 @@ type elasticHarness struct {
 // pre-connected join candidates; drain scripts ride on cfg.Drain.
 func newElasticHarness(t *testing.T, cfg Config, joiners int) *elasticHarness {
 	t.Helper()
+	dumpFlightOnFailure(t)
 	co, err := NewCoordinator(mlp(), cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -102,6 +102,11 @@ type Config struct {
 	// contexts propagate inside protocol messages, so coordinator and
 	// worker spans of one token round-trip share a trace id.
 	Spans *obs.Tracer
+	// Flight, when set, receives the session's protocol events (token
+	// assign/return, death verdicts, barriers, membership changes). Nil
+	// records into the process-global flight recorder — recording is
+	// always on; this field exists so tests can isolate a ring.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) validate() error {

@@ -88,7 +88,9 @@ func newCoTelemetry(reg *obs.Registry) coTelemetry {
 // the iteration-time histogram, per-worker EWMA rates and straggler
 // scores (Eq. 3/4's live inputs), and the membership gauges.
 func (co *Coordinator) observeIteration(iterTime time.Duration) {
-	co.tele.iterTime.Observe(iterTime.Seconds())
+	// The iteration root span is still open here; its trace id becomes
+	// the histogram exemplar so tail iterations are traceable.
+	co.tele.iterTime.ObserveExemplar(iterTime.Seconds(), co.iterSpan.Context())
 	co.tele.iteration.Set(float64(co.it))
 	co.tele.live.Set(float64(co.trainableCount()))
 	secs := iterTime.Seconds()
