@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster gate stat lint-metrics ci
+.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster gate stat durable lint-metrics ci
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,19 @@ gate:
 stat:
 	$(GO) test ./cmd/felastat/ -race -count=1 -v
 
+# durable runs the durability-plane suite under the race detector: the
+# record/ledger/store unit tests with their golden frames and fuzz
+# corpora, the rt kill-at-every-protocol-state chaos matrix, the
+# manager crash-recovery tests (multi-job lease state, bit-identical
+# resume), and the felaserver restart-and-resume + felaworker
+# -reconnect e2e paths.
+durable:
+	$(GO) test ./internal/durable/ -race -count=1 -v
+	$(GO) test ./internal/rt/ -race -run 'TestChaosCoordinatorKillEveryProtocolState|TestChaosKillAtEveryIteration' -count=1 -v
+	$(GO) test ./internal/jobs/ -race -run 'TestManagerCrashRecovery|TestManagerRestore|TestManagerSubmitRefused' -count=1 -v
+	$(GO) test ./cmd/felaserver/ -race -run TestServerDurableSessionResume -count=1 -v
+	$(GO) test ./cmd/felaworker/ -race -run TestReconnect -count=1 -v
+
 # lint-metrics is the exposition-conformance gate: every e2e test that
 # scrapes /metrics (felaserver observability, felastat live cluster)
 # runs the body through obs.LintExposition, so a malformed sample or
@@ -92,5 +105,6 @@ lint-metrics:
 
 # ci is the full gate: tier-1, static analysis, race detector, the
 # multi-tenant suite, the benchmark smoke pass, the cluster-mode smoke
-# run, the serving-gateway suite, and the observability aggregator.
-ci: tier1 vet race jobs bench cluster gate stat
+# run, the serving-gateway suite, the observability aggregator, and
+# the durability plane.
+ci: tier1 vet race jobs bench cluster gate stat durable

@@ -26,6 +26,7 @@ import (
 var experimentNames = []string{
 	"all", "table1", "fig1", "table2", "fig5", "fig6", "fig7", "fig8",
 	"fig9", "fig10", "extensions", "rt", "jobs", "wire", "cluster", "gate",
+	"durable",
 }
 
 func validExperiment(which string) bool {
@@ -45,6 +46,7 @@ type benchPaths struct {
 	wire    string
 	cluster string
 	gate    string
+	durable string
 }
 
 func main() {
@@ -58,6 +60,7 @@ func main() {
 	flag.StringVar(&p.wire, "wirejson", "BENCH_wire.json", "path for the wire experiment's machine-readable report")
 	flag.StringVar(&p.cluster, "clusterjson", "BENCH_cluster.json", "path for the cluster experiment's machine-readable report")
 	flag.StringVar(&p.gate, "gatejson", "BENCH_gate.json", "path for the gate experiment's machine-readable report")
+	flag.StringVar(&p.durable, "durablejson", "BENCH_durable.json", "path for the durable experiment's machine-readable report")
 	flag.Parse()
 
 	obs.FlightDumpOnSIGQUIT("felabench")
@@ -209,6 +212,11 @@ func run(ctx *experiments.Context, which string, p benchPaths, quick bool) error
 	}
 	if all || which == "gate" {
 		if err := runGateBench(quick, p.gate, out); err != nil {
+			return err
+		}
+	}
+	if all || which == "durable" {
+		if err := runDurableBench(quick, p.durable, out); err != nil {
 			return err
 		}
 	}

@@ -248,3 +248,56 @@ func TestGateBenchJSON(t *testing.T) {
 		t.Errorf("Jain fairness %.4f under uniform offered load", report.Fairness)
 	}
 }
+
+func TestDurableBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_durable.json")
+	if err := run(experiments.Quick(), "durable", benchPaths{durable: path}, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report durableBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_durable.json does not parse: %v", err)
+	}
+	if report.Name != "durable-plane" || !report.Quick {
+		t.Errorf("report header = %+v", report)
+	}
+	if report.BaselineSeconds <= 0 {
+		t.Errorf("baseline seconds = %v, want > 0", report.BaselineSeconds)
+	}
+	if len(report.Overheads) == 0 {
+		t.Fatal("no overhead entries")
+	}
+	sawDefault := false
+	for _, e := range report.Overheads {
+		if e.Checkpoints <= 0 || e.Seconds <= 0 {
+			t.Errorf("overhead entry %+v has empty measurements", e)
+		}
+		if e.Every == 10 {
+			sawDefault = true
+		}
+	}
+	if !sawDefault {
+		t.Error("no overhead entry at the default checkpoint interval")
+	}
+	if len(report.Recovery) != 3 {
+		t.Fatalf("recovery entries = %d, want 3", len(report.Recovery))
+	}
+	last := 0
+	for _, e := range report.Recovery {
+		if e.Params <= last {
+			t.Errorf("recovery %s: params %d not increasing (prev %d)", e.Model, e.Params, last)
+		}
+		last = e.Params
+		if e.TotalMS <= 0 {
+			t.Errorf("recovery %s: total %vms, want > 0", e.Model, e.TotalMS)
+		}
+	}
+	if report.Replay.Entries <= 0 || report.Replay.AppendPerSec <= 0 || report.Replay.ReplayPerSec <= 0 {
+		t.Errorf("replay = %+v, want positive throughput", report.Replay)
+	}
+}

@@ -44,6 +44,19 @@
 // open-loop clock — -trace-scale speeds the clock up — prints a
 // cluster summary (admitted/rejected, SLO attainment) when every
 // submission has settled, then drains and exits.
+//
+// With -durable-dir, the server is crash-safe: every scheduling
+// decision is appended to a write-ahead ledger under that directory
+// before it is acknowledged, and model checkpoints are committed at
+// iteration boundaries every -ckpt-every iterations. On boot the
+// ledger is replayed and the latest checkpoints are loaded, so a
+// killed server restarted on the same directory resumes where it
+// died — bit-identical to a run that was never interrupted — while
+// workers reconnect through their normal retry (-pool / -retries)
+// loops. /healthz serves 503 "restoring" until replay and worker
+// rejoin complete. -standby starts a warm standby instead: it tails
+// the ledger while another felaserver holds the directory lock and
+// takes over the moment the primary dies.
 package main
 
 import (
@@ -56,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"fela/internal/durable"
 	"fela/internal/elastic"
 	"fela/internal/jobs"
 	"fela/internal/metrics"
@@ -132,6 +146,12 @@ func main() {
 		"wire codec (binary or gob); every felaworker must use the same value")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"on SIGINT/SIGTERM, how long to wait for in-flight work before exiting anyway")
+	durableDir := flag.String("durable-dir", "",
+		"durability root: write-ahead decision ledger plus iteration-boundary checkpoints; on boot the ledger is replayed and the session/jobs resume (empty = off)")
+	ckptEvery := flag.Int("ckpt-every", durable.DefaultEvery,
+		"checkpoint interval in iterations (with -durable-dir)")
+	standby := flag.Bool("standby", false,
+		"warm standby: tail -durable-dir behind the live primary and take over when its lock releases")
 	flag.Parse()
 
 	// SIGQUIT dumps the flight-recorder ring as JSONL to stderr and
@@ -142,22 +162,89 @@ func main() {
 	var err error
 	if !transport.ValidCodec(*codec) {
 		err = fmt.Errorf("unknown codec %q (want %s or %s)", *codec, transport.CodecBinary, transport.CodecGob)
-	} else if *jobsMode {
-		jo := jobsOpts{
-			alloc:      *alloc,
-			admission:  *admission,
-			maxJobs:    *maxJobs,
-			trace:      *clusterTrace,
-			traceScale: *traceScale,
-		}
-		err = runJobs(*addr, *codec, jo, *workerTimeout, oo, nil, *drainTimeout)
 	} else {
-		opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
-		err = run(*addr, *codec, *workers, *iters, *workerTimeout, opts, oo, nil, *drainTimeout)
+		var plane *durable.Plane
+		if plane, err = openDurable(*durableDir, *standby); err == nil {
+			du := durableOpts{plane: plane, every: *ckptEvery}
+			if *jobsMode {
+				jo := jobsOpts{
+					alloc:      *alloc,
+					admission:  *admission,
+					maxJobs:    *maxJobs,
+					trace:      *clusterTrace,
+					traceScale: *traceScale,
+				}
+				err = runJobs(*addr, *codec, jo, *workerTimeout, oo, du, nil, *drainTimeout)
+			} else {
+				opts := elasticOpts{enabled: *elasticMode, minWorkers: *minWorkers, maxWorkers: *maxWorkers}
+				err = run(*addr, *codec, *workers, *iters, *workerTimeout, opts, oo, du, nil, *drainTimeout)
+			}
+			if plane != nil {
+				if cerr := plane.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felaserver:", err)
 		os.Exit(1)
+	}
+}
+
+// durableOpts carries an opened durability plane into a serving mode.
+type durableOpts struct {
+	plane *durable.Plane
+	every int
+}
+
+// sessionJobID is the checkpoint/ledger job id single-session mode
+// files its state under (jobs mode ids are 1-based, so 0 is free).
+const sessionJobID = 0
+
+// openDurable opens the durability plane at dir (nil plane when dir is
+// empty). In standby mode a locked directory is not an error: the
+// standby tails the ledger behind the live primary — printing each
+// decision as it commits — and takes over the moment the primary's
+// flock releases (the kernel drops it on process death).
+func openDurable(dir string, standby bool) (*durable.Plane, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	plane, err := durable.Open(dir, durable.Options{})
+	if err == nil || !standby || !errors.Is(err, durable.ErrLocked) {
+		return plane, err
+	}
+	fmt.Printf("felaserver: standby: %s is held by a live primary, tailing its ledger\n", dir)
+	tail := durable.NewTailer(dir)
+	for {
+		ents, terr := tail.Poll()
+		if terr != nil {
+			fmt.Fprintf(os.Stderr, "felaserver: standby: ledger tail: %v\n", terr)
+		}
+		for _, e := range ents {
+			fmt.Printf("felaserver: standby: seq %d %s job=%d iter=%d\n", e.Seq, e.Op, e.JobID, e.Iter)
+		}
+		plane, err = durable.Open(dir, durable.Options{})
+		if err == nil {
+			fmt.Println("felaserver: standby: primary lock released, taking over")
+			return plane, nil
+		}
+		if !errors.Is(err, durable.ErrLocked) {
+			return nil, err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// ledgerAppend lands a decision in the ledger, best effort (session
+// mode keeps serving when the disk misbehaves; the loss is printed).
+func ledgerAppend(plane *durable.Plane, e durable.Entry) {
+	if plane == nil {
+		return
+	}
+	if _, err := plane.Ledger.Append(e); err != nil {
+		fmt.Fprintf(os.Stderr, "felaserver: ledger append: %v\n", err)
 	}
 }
 
@@ -188,8 +275,10 @@ func signalChan(sig <-chan os.Signal) (<-chan os.Signal, func()) {
 // and exits after that many completions; with a trace it drains once
 // every replayed submission has settled. A signal on sig (nil = real
 // SIGINT/SIGTERM) drains the manager, bounded by drainTimeout, and
-// returns nil for a clean exit.
-func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo obsOpts, sig <-chan os.Signal, drainTimeout time.Duration) error {
+// returns nil for a clean exit. With du.plane set, every scheduling
+// decision write-aheads through the ledger and open jobs from a prior
+// incarnation are restored before the listener opens.
+func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo obsOpts, du durableOpts, sig <-chan os.Signal, drainTimeout time.Duration) error {
 	if drainTimeout <= 0 {
 		drainTimeout = 30 * time.Second
 	}
@@ -220,8 +309,22 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 	var mgr *jobs.Manager
 	// draining flips when shutdown begins (signal, -max-jobs, trace
 	// done); /healthz serves 503 from then on so orchestrators stop
-	// routing new work at the pool while it winds down.
-	var draining atomic.Bool
+	// routing new work at the pool while it winds down. restoring is
+	// its boot-time mirror: 503 until the replayed jobs have workers
+	// again (or there is nothing to resume).
+	var draining, restoring atomic.Bool
+	if du.plane != nil {
+		cfg.Ledger = du.plane.Ledger
+		cfg.Store = du.plane.Store
+		cfg.CheckpointEvery = du.every
+		st := durable.Reduce(du.plane.Entries)
+		cfg.Restore = &st
+		fmt.Printf("felaserver: durable: replayed %d ledger entries — %d open jobs to resume, %d settled, next id %d\n",
+			len(du.plane.Entries), len(st.Jobs), st.Finished+st.Canceled, st.NextID)
+		if len(st.Jobs) > 0 {
+			restoring.Store(true)
+		}
+	}
 	completedJobs := 0
 	cfg.OnJobDone = func(r jobs.JobResult) {
 		// Runs on the manager's event loop: serialized, and Stop is safe.
@@ -245,12 +348,36 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 		}
 	}
 	mgr = jobs.NewManager(cfg)
+	if restoring.Load() {
+		// The replayed jobs sit queued until pool workers reconnect
+		// through their own retry loops; /healthz flips healthy once the
+		// pool has capacity again (or the restored work settles without
+		// needing any, e.g. jobs whose final checkpoint already landed).
+		go func() {
+			for {
+				select {
+				case <-mgr.Done():
+					return
+				case <-time.After(50 * time.Millisecond):
+				}
+				st := mgr.Status()
+				if st.Workers > 0 || st.Queued+st.Running == 0 {
+					restoring.Store(false)
+					fmt.Println("felaserver: durable: restore complete, pool serving")
+					return
+				}
+			}
+		}()
+	}
 
 	if oo.statusAddr != "" {
 		bound, stop, err := obs.Serve(oo.statusAddr, obs.NewHandler(obs.HandlerOptions{
 			Registry: cfg.Metrics,
 			Status:   mgr.StatusAny,
 			Health: func() error {
+				if restoring.Load() {
+					return errors.New("restoring")
+				}
 				if draining.Load() {
 					return errors.New("job manager is draining")
 				}
@@ -385,7 +512,10 @@ func runJobs(addr, codec string, jo jobsOpts, workerTimeout time.Duration, oo ob
 // run serves one synchronous training session. A signal on sig (nil =
 // real SIGINT/SIGTERM) stops accepting joiners and waits up to
 // drainTimeout for the in-flight session to finish before exiting 0.
-func run(addr, codec string, workers, iters int, workerTimeout time.Duration, opts elasticOpts, oo obsOpts, sig <-chan os.Signal, drainTimeout time.Duration) error {
+// With du.plane set the session checkpoints through the durability
+// plane and resumes from the latest checkpoint on boot; /healthz
+// serves 503 "restoring" until the initial worker set has rejoined.
+func run(addr, codec string, workers, iters int, workerTimeout time.Duration, opts elasticOpts, oo obsOpts, du durableOpts, sig <-chan os.Signal, drainTimeout time.Duration) error {
 	if drainTimeout <= 0 {
 		drainTimeout = 30 * time.Second
 	}
@@ -395,6 +525,37 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 		workerTimeout = 10 * time.Second
 	}
 	cfg, mk, ds := sessionConfig(workers, iters, workerTimeout)
+
+	var draining, restoring atomic.Bool
+	if du.plane != nil {
+		ckpt, err := du.plane.Store.Load(sessionJobID)
+		if err != nil {
+			return err
+		}
+		if ckpt != nil && ckpt.Iter+1 >= iters {
+			// The final checkpoint committed before the crash: the crash
+			// ate only the verification and exit, so no workers are needed.
+			return finishFromCheckpoint(cfg, mk, ds, ckpt)
+		}
+		if ckpt != nil {
+			cfg.Resume = &rt.Resume{Iter: ckpt.Iter, Params: ckpt.Params, Vel: ckpt.Vel, Losses: ckpt.Losses}
+			fmt.Printf("felaserver: durable: resuming from checkpoint at iteration %d/%d\n", ckpt.Iter, iters)
+		}
+		cfg.CheckpointEvery = du.every
+		// Store-before-ledger: the checkpoint frame commits, then the
+		// barrier lands in the ledger. A failure aborts the session — the
+		// coordinator must never run ahead of state it claims is durable.
+		cfg.Checkpoint = func(iter int, params, vel [][]float32, losses []float64) error {
+			c := &durable.Checkpoint{JobID: sessionJobID, Iter: iter, Params: params, Vel: vel, Losses: losses}
+			if err := du.plane.Store.Save(c); err != nil {
+				return err
+			}
+			_, err := du.plane.Ledger.Append(durable.Entry{Op: durable.OpBarrier, JobID: sessionJobID, WID: -1, Iter: iter})
+			return err
+		}
+		// 503 until every initial worker has (re)connected.
+		restoring.Store(true)
+	}
 
 	if oo.enabled() {
 		cfg.Metrics = obs.NewRegistry()
@@ -422,12 +583,14 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 	if err != nil {
 		return err
 	}
-	var draining atomic.Bool
 	if oo.statusAddr != "" {
 		bound, stop, err := obs.Serve(oo.statusAddr, obs.NewHandler(obs.HandlerOptions{
 			Registry: cfg.Metrics,
 			Status:   co.StatusAny,
 			Health: func() error {
+				if restoring.Load() {
+					return errors.New("restoring")
+				}
 				if draining.Load() {
 					return errors.New("session is draining")
 				}
@@ -470,17 +633,21 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 		select {
 		case c := <-connCh:
 			conns = append(conns, c)
+			ledgerAppend(du.plane, durable.Entry{Op: durable.OpJoin, JobID: sessionJobID, WID: len(conns) - 1})
 			fmt.Printf("felaserver: worker connection %d/%d\n", len(conns), workers)
 		case <-acceptDone:
 			return fmt.Errorf("listener closed with %d/%d workers connected", len(conns), workers)
 		case s := <-sigCh:
 			fmt.Printf("felaserver: %v received with %d/%d workers connected, exiting\n", s, len(conns), workers)
+			ledgerAppend(du.plane, durable.Entry{Op: durable.OpDrain, JobID: sessionJobID, WID: -1})
 			for _, c := range conns {
 				c.Close()
 			}
 			return nil
 		}
 	}
+	// Replay and rejoin are complete: the session is about to train.
+	restoring.Store(false)
 	if opts.enabled {
 		// Keep admitting joiners for the rest of the session; the loop
 		// ends when the deferred l.Close() unblocks Accept.
@@ -517,6 +684,7 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 	case s := <-sigCh:
 		fmt.Printf("felaserver: %v received, draining session (timeout %s)\n", s, drainTimeout)
 		draining.Store(true)
+		ledgerAppend(du.plane, durable.Entry{Op: durable.OpDrain, JobID: sessionJobID, WID: -1})
 		l.Close() // no more joiners
 		select {
 		case o := <-runCh:
@@ -575,5 +743,32 @@ func run(addr, codec string, workers, iters int, workerTimeout time.Duration, op
 	} else {
 		return fmt.Errorf("distributed result diverged from sequential reference")
 	}
+	return nil
+}
+
+// finishFromCheckpoint settles a session whose final checkpoint
+// already covers every iteration: the crash ate only the verification
+// and exit, so the model is rebuilt from the frame and verified
+// against the sequential reference without waiting for any workers.
+func finishFromCheckpoint(cfg rt.Config, mk func() *minidnn.Network, ds *minidnn.Dataset, ckpt *durable.Checkpoint) error {
+	fmt.Printf("felaserver: durable: checkpoint at iteration %d already covers the session, verifying\n", ckpt.Iter)
+	net := mk()
+	if err := rt.InstallFlat(net.Params(), ckpt.Params); err != nil {
+		return err
+	}
+	for i, loss := range ckpt.Losses {
+		fmt.Printf("iteration %3d: loss %.6f\n", i, loss)
+	}
+	refCfg := cfg
+	refCfg.Resume = nil
+	refCfg.Checkpoint = nil
+	ref, err := rt.Sequential(mk(), ds, refCfg)
+	if err != nil {
+		return err
+	}
+	if !minidnn.ParamsEqual(ref.Params, net.Params()) {
+		return fmt.Errorf("restored checkpoint diverged from sequential reference")
+	}
+	fmt.Println("verified: restored result is bit-identical to sequential SGD")
 	return nil
 }

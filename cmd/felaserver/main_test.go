@@ -16,6 +16,7 @@ import (
 
 	"fmt"
 
+	"fela/internal/durable"
 	"fela/internal/jobs"
 	"fela/internal/minidnn"
 	"fela/internal/obs"
@@ -72,7 +73,7 @@ func TestServerStrictSession(t *testing.T) {
 	for wid := 0; wid < workers; wid++ {
 		startWorker(t, addr, wid, workers, iters, cfg, &wg)
 	}
-	if err := run(addr, transport.DefaultCodec, workers, iters, 0, elasticOpts{}, obsOpts{}, nil, 0); err != nil {
+	if err := run(addr, transport.DefaultCodec, workers, iters, 0, elasticOpts{}, obsOpts{}, durableOpts{}, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -127,7 +128,7 @@ func TestServerElasticSession(t *testing.T) {
 		joined <- assigned
 	}()
 
-	if err := run(addr, transport.DefaultCodec, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}, nil, 0); err != nil {
+	if err := run(addr, transport.DefaultCodec, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}, durableOpts{}, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -138,7 +139,7 @@ func TestServerElasticSession(t *testing.T) {
 
 // TestServerElasticValidation: nonsensical elastic bounds fail fast.
 func TestServerElasticValidation(t *testing.T) {
-	err := run(freeAddr(t), transport.DefaultCodec, 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{}, nil, 0)
+	err := run(freeAddr(t), transport.DefaultCodec, 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{}, durableOpts{}, nil, 0)
 	if err == nil {
 		t.Fatal("min-workers > max-workers accepted")
 	}
@@ -209,7 +210,7 @@ func TestServerObservabilityE2E(t *testing.T) {
 	go func() {
 		done <- run(addr, transport.DefaultCodec, workers, iters, 2*time.Second,
 			elasticOpts{enabled: true, minWorkers: 1},
-			obsOpts{statusAddr: statusAddr, traceJSON: traceJSON}, nil, 0)
+			obsOpts{statusAddr: statusAddr, traceJSON: traceJSON}, durableOpts{}, nil, 0)
 	}()
 
 	// Scrape while the session runs. The obs server dies with run(), so
@@ -373,7 +374,7 @@ func TestServerJobsMode(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- runJobs(addr, transport.DefaultCodec,
-			jobsOpts{alloc: "throughput-max", maxJobs: 2}, 2*time.Second, obsOpts{}, nil, 0)
+			jobsOpts{alloc: "throughput-max", maxJobs: 2}, 2*time.Second, obsOpts{}, durableOpts{}, nil, 0)
 	}()
 
 	const poolWorkers = 3
@@ -458,7 +459,7 @@ func TestServerClusterTrace(t *testing.T) {
 	go func() {
 		done <- runJobs(addr, transport.DefaultCodec, jobsOpts{
 			alloc: "oasis", admission: "oasis", trace: path, traceScale: 4,
-		}, 2*time.Second, obsOpts{}, nil, 0)
+		}, 2*time.Second, obsOpts{}, durableOpts{}, nil, 0)
 	}()
 
 	const poolWorkers = 2
@@ -547,7 +548,7 @@ func TestJobsModeGracefulShutdown(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- runJobs(addr, transport.DefaultCodec, jobsOpts{alloc: "fair-share"},
-			2*time.Second, obsOpts{}, sig, 10*time.Second)
+			2*time.Second, obsOpts{}, durableOpts{}, sig, 10*time.Second)
 	}()
 
 	workerDone := make(chan error, 1)
@@ -584,7 +585,7 @@ func TestSessionModeSignalBeforeWorkers(t *testing.T) {
 	sig := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(addr, transport.DefaultCodec, 4, 4, 0, elasticOpts{}, obsOpts{}, sig, time.Second)
+		done <- run(addr, transport.DefaultCodec, 4, 4, 0, elasticOpts{}, obsOpts{}, durableOpts{}, sig, time.Second)
 	}()
 	// Wait until the listener is up so the signal lands mid-wait.
 	deadline := time.Now().Add(5 * time.Second)
@@ -607,5 +608,113 @@ func TestSessionModeSignalBeforeWorkers(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run did not exit after SIGINT")
+	}
+}
+
+// TestServerDurableSessionResume: a felaserver on -durable-dir survives
+// restarts. Phase 1 trains a 4-iteration session to completion, leaving
+// a ledger and checkpoints behind. Phase 2 reopens the same directory
+// for a longer 8-iteration session: /healthz must serve 503 "restoring"
+// until the workers reconnect, then the session resumes from the
+// iteration-3 checkpoint and run() itself verifies the result is
+// bit-identical to an uninterrupted sequential run. Phase 3 restarts
+// once more — the final checkpoint already covers every iteration, so
+// the server settles and verifies without waiting for any workers.
+func TestServerDurableSessionResume(t *testing.T) {
+	dir := t.TempDir()
+	open := func() durableOpts {
+		t.Helper()
+		plane, err := openDurable(dir, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return durableOpts{plane: plane, every: 2}
+	}
+
+	// Phase 1: checkpointDue commits frames at iterations 1 and 3.
+	du := open()
+	addr := freeAddr(t)
+	cfg4, _, _ := sessionConfig(2, 4, 0)
+	var wg sync.WaitGroup
+	for wid := 0; wid < 2; wid++ {
+		startWorker(t, addr, wid, 2, 4, cfg4, &wg)
+	}
+	if err := run(addr, transport.DefaultCodec, 2, 4, 0, elasticOpts{}, obsOpts{}, du, nil, 0); err != nil {
+		t.Fatalf("phase 1: %v", err)
+	}
+	wg.Wait()
+	if err := du.plane.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: same directory, longer session — resume from iteration 3.
+	du = open()
+	if got := len(du.plane.Entries); got == 0 {
+		t.Fatal("phase 2: replayed ledger is empty")
+	}
+	addr = freeAddr(t)
+	statusAddr := freeAddr(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, transport.DefaultCodec, 2, 8, 0, elasticOpts{}, obsOpts{statusAddr: statusAddr}, du, nil, 0)
+	}()
+
+	// Before any worker reconnects the health gate must hold: 503 with
+	// "restoring" in the body. Any other response once the obs server is
+	// up is a bug (restoring is set before the listener opens).
+	deadline := time.Now().Add(5 * time.Second)
+	sawRestoring := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + statusAddr + "/healthz")
+		if err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "restoring") {
+			t.Fatalf("healthz before rejoin: status %d body %q, want 503 restoring", resp.StatusCode, body)
+		}
+		sawRestoring = true
+		break
+	}
+	if !sawRestoring {
+		t.Fatal("healthz never answered before the rejoin window closed")
+	}
+
+	cfg8, _, _ := sessionConfig(2, 8, 0)
+	var wg2 sync.WaitGroup
+	for wid := 0; wid < 2; wid++ {
+		startWorker(t, addr, wid, 2, 8, cfg8, &wg2)
+	}
+	// run() returns an error if the resumed result diverges from the
+	// sequential reference, so a nil here is the bit-identity proof.
+	if err := <-done; err != nil {
+		t.Fatalf("phase 2: %v", err)
+	}
+	wg2.Wait()
+	if err := du.plane.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: the covering checkpoint settles the session workerless.
+	du = open()
+	defer du.plane.Close()
+	var joins, barriers, lastBarrier int
+	for _, e := range du.plane.Entries {
+		switch e.Op {
+		case durable.OpJoin:
+			joins++
+		case durable.OpBarrier:
+			barriers++
+			lastBarrier = e.Iter
+		}
+	}
+	if joins != 4 || barriers < 3 || lastBarrier != 7 {
+		t.Fatalf("ledger history: joins=%d barriers=%d last=%d, want 4 joins, >=3 barriers ending at 7",
+			joins, barriers, lastBarrier)
+	}
+	if err := run(freeAddr(t), transport.DefaultCodec, 2, 8, 0, elasticOpts{}, obsOpts{}, du, nil, 0); err != nil {
+		t.Fatalf("phase 3: %v", err)
 	}
 }

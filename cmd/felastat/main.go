@@ -153,11 +153,29 @@ type WorkerHeat struct {
 	Heat   string  `json:"heat"`
 }
 
+// JobRow is one job on a scraped manager, including its durability
+// posture: the last committed checkpoint iteration and how stale that
+// checkpoint is (the work a crash right now would redo).
+type JobRow struct {
+	Target     string `json:"target"`
+	Job        int    `json:"job"`
+	Name       string `json:"name"`
+	State      string `json:"state"`
+	Workers    int    `json:"workers"`
+	Iter       int    `json:"iter"`
+	Iterations int    `json:"iterations"`
+	// CkptIter is -1 until the first checkpoint commits (or when the
+	// manager runs without a durability plane).
+	CkptIter       int     `json:"ckpt_iter"`
+	CkptAgeSeconds float64 `json:"ckpt_age_seconds,omitempty"`
+}
+
 // ClusterView is the merged scrape — what -json emits.
 type ClusterView struct {
 	Targets []TargetView      `json:"targets"`
 	Tenants []TenantBurn      `json:"tenants"`
 	Shards  []ShardStat       `json:"shards"`
+	Jobs    []JobRow          `json:"jobs,omitempty"`
 	Workers []WorkerHeat      `json:"workers"`
 	Flight  []obs.FlightEvent `json:"flight,omitempty"`
 }
@@ -217,6 +235,12 @@ func collect(client *http.Client, targets []string, flightN int) *ClusterView {
 		return view.Workers[i].Worker < view.Workers[j].Worker
 	})
 	sort.Slice(view.Tenants, func(i, j int) bool { return view.Tenants[i].Tenant < view.Tenants[j].Tenant })
+	sort.Slice(view.Jobs, func(i, j int) bool {
+		if view.Jobs[i].Target != view.Jobs[j].Target {
+			return view.Jobs[i].Target < view.Jobs[j].Target
+		}
+		return view.Jobs[i].Job < view.Jobs[j].Job
+	})
 	sort.Slice(view.Flight, func(i, j int) bool { return view.Flight[i].TS < view.Flight[j].TS })
 	return view
 }
@@ -270,6 +294,13 @@ func scrapeStatus(client *http.Client, target string, view *ClusterView, scores 
 			BacklogTokens: st.BacklogTokens,
 			Burn5m:        st.SLOBurn5m, Burn1h: st.SLOBurn1h,
 		})
+		for _, js := range st.Jobs {
+			view.Jobs = append(view.Jobs, JobRow{
+				Target: target, Job: js.ID, Name: js.Name, State: js.State,
+				Workers: js.Workers, Iter: js.Iter, Iterations: js.Iterations,
+				CkptIter: js.CkptIter, CkptAgeSeconds: js.CkptAgeSeconds,
+			})
+		}
 	case "coordinator":
 		var st rt.Status
 		if err := json.Unmarshal(raw, &st); err != nil {
@@ -411,6 +442,24 @@ func render(w io.Writer, view *ClusterView) {
 			fmt.Fprintf(tw, "%s/%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%.2f\n",
 				s.Target, shard, s.Workers, s.Idle, s.Running, s.Queued,
 				s.Inflight, s.Completed, adm, s.Rejected, s.BacklogTokens, s.Burn5m)
+		}
+		tw.Flush()
+	}
+
+	if len(view.Jobs) > 0 {
+		fmt.Fprintln(w, "\nJOBS  (ckpt age = work a crash right now would redo)")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "JOB\tNAME\tSTATE\tWORKERS\tITER\tCKPT\tCKPT AGE")
+		for _, j := range view.Jobs {
+			ckpt, age := "-", "-"
+			if j.CkptIter >= 0 {
+				ckpt = strconv.Itoa(j.CkptIter)
+				if j.CkptAgeSeconds > 0 {
+					age = fmt.Sprintf("%.1fs", j.CkptAgeSeconds)
+				}
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d/%d\t%s\t%s\n",
+				j.Job, j.Name, j.State, j.Workers, j.Iter, j.Iterations, ckpt, age)
 		}
 		tw.Flush()
 	}

@@ -307,3 +307,54 @@ func TestFelastatNoTargets(t *testing.T) {
 		t.Fatal("empty -targets accepted")
 	}
 }
+
+// TestFelastatJobsCheckpointColumn: a durable job manager's per-job
+// checkpoint posture (last committed iteration + its age) surfaces in
+// both the JSON view and the rendered JOBS table.
+func TestFelastatJobsCheckpointColumn(t *testing.T) {
+	st := jobs.PoolStatus{
+		Role: "jobmanager", Policy: "fair-share", Workers: 3, Running: 2,
+		Jobs: []jobs.JobStatus{
+			{ID: 1, Name: "durable-a", State: "running", Workers: 2,
+				Iter: 17, Iterations: 40, CkptIter: 15, CkptAgeSeconds: 2.5},
+			{ID: 2, Name: "fresh-b", State: "queued", Iter: -1, Iterations: 10, CkptIter: -1},
+		},
+	}
+	statusAddr, stop, err := obs.Serve("127.0.0.1:0", obs.NewHandler(obs.HandlerOptions{
+		Status: func() any { return st },
+		Health: func() error { return nil },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	var buf bytes.Buffer
+	if err := run(statOpts{targets: statusAddr, jsonOut: true, timeout: 5 * time.Second}, &buf); err != nil {
+		t.Fatalf("felastat -json: %v", err)
+	}
+	var view ClusterView
+	if err := json.Unmarshal(buf.Bytes(), &view); err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	if len(view.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2 (%+v)", len(view.Jobs), view.Jobs)
+	}
+	if j := view.Jobs[0]; j.Job != 1 || j.CkptIter != 15 || j.CkptAgeSeconds != 2.5 {
+		t.Errorf("job 1 row = %+v, want ckpt_iter 15 age 2.5", j)
+	}
+	if j := view.Jobs[1]; j.CkptIter != -1 || j.CkptAgeSeconds != 0 {
+		t.Errorf("job 2 row = %+v, want no checkpoint", j)
+	}
+
+	buf.Reset()
+	if err := run(statOpts{targets: statusAddr, timeout: 5 * time.Second}, &buf); err != nil {
+		t.Fatalf("felastat: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"JOBS", "CKPT AGE", "durable-a", "2.5s", "fresh-b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -31,6 +31,12 @@
 //	                                      (reconnecting between jobs and
 //	                                      across migrations) until the
 //	                                      pool shuts down
+//
+// With -reconnect a fixed-wid worker outlives its coordinator: when the
+// server dies mid-session the worker re-dials (with the -retries
+// backoff) and re-registers with a fresh model replica instead of
+// exiting, which is how workers rejoin a `felaserver -durable-dir`
+// restart-and-resume.
 package main
 
 import (
@@ -67,6 +73,8 @@ func main() {
 	retries := flag.Int("retries", 10, "connection attempts before giving up")
 	join := flag.Bool("join", false, "join an in-progress elastic session instead of registering a fixed wid")
 	drainAfter := flag.Int("drain-after", -1, "announce a graceful leave at this iteration (elastic sessions; -1 = never)")
+	reconnect := flag.Bool("reconnect", false,
+		"survive coordinator restarts: when the server dies mid-session, re-dial and re-register instead of exiting (pairs with felaserver -durable-dir)")
 	pool := flag.Bool("pool", false, "register with a felaserver -jobs pool and serve assigned jobs until shutdown")
 	statusAddr := flag.String("status-addr", "",
 		"serve worker-side telemetry (/metrics, /statusz, /trace, /debug/pprof) on this address (empty = off)")
@@ -84,7 +92,7 @@ func main() {
 	} else if *pool {
 		err = runPool(*addr, *codec, *sleepMS, *retries, *statusAddr)
 	} else {
-		err = run(*addr, *codec, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *statusAddr)
+		err = run(*addr, *codec, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *reconnect, *statusAddr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felaworker:", err)
@@ -131,7 +139,7 @@ func runPool(addr, codec string, sleepMS, retries int, statusAddr string) error 
 	return nil
 }
 
-func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int, statusAddr string) error {
+func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int, reconnect bool, statusAddr string) error {
 	cfg := rt.Config{
 		Workers:    workers,
 		TotalBatch: 64,
@@ -160,6 +168,9 @@ func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join boo
 	fmt.Printf("felaworker: connected to %s\n", addr)
 
 	if join {
+		if reconnect {
+			return fmt.Errorf("-reconnect applies to fixed-wid workers (a joiner's id dies with its session)")
+		}
 		// A joiner's worker id is assigned mid-protocol, so its /statusz
 		// stays 503; /metrics, /trace and pprof work from the start.
 		if statusAddr != "" {
@@ -199,11 +210,34 @@ func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join boo
 		defer stop()
 		fmt.Printf("felaworker %d: telemetry on http://%s (/metrics /statusz /trace /debug/pprof)\n", wid, bound)
 	}
-	if err := w.Run(conn); err != nil {
-		return workerExit(wid, err)
+	for {
+		err := w.Run(conn)
+		if err == nil {
+			fmt.Printf("felaworker %d: session complete\n", wid)
+			return nil
+		}
+		switch transport.Classify(err) {
+		case transport.ClassPeerGone, transport.ClassClosed:
+			if !reconnect {
+				return workerExit(wid, err)
+			}
+		default:
+			return err
+		}
+		// The coordinator died (or evicted us). A durable server replays
+		// its ledger and resumes the session from the last checkpoint, so
+		// re-register with a fresh replica — the first iter-start after
+		// registration delivers the resumed model snapshot.
+		conn.Close()
+		fmt.Printf("felaworker %d: coordinator lost (%v), reconnecting\n", wid, err)
+		conn, err = transport.DialRetryCodec(addr, retries, 100*time.Millisecond, codec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("felaworker %d: reconnected to %s\n", wid, addr)
+		net = minidnn.NewMLP(42, 16, 32, 4)
+		w = rt.NewWorker(wid, net, ds, cfg)
 	}
-	fmt.Printf("felaworker %d: session complete\n", wid)
-	return nil
 }
 
 // workerExit folds coordinator-side disconnects into a clean exit: a

@@ -1,0 +1,231 @@
+package durable
+
+// The write-ahead ledger: an append-only file of Entry records,
+// fsynced before the decision each entry describes is acknowledged.
+// Replay at open distinguishes a torn tail (the crash left a partial
+// final record — truncate it and keep going) from interior corruption
+// (bit rot mid-file — also truncated, but loudly, since history after
+// the bad record is unrecoverable).
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"fela/internal/obs"
+)
+
+// LedgerName is the ledger file's name inside a durable directory.
+const LedgerName = "ledger.wal"
+
+// Ledger is an open write-ahead ledger. Append is safe for concurrent
+// use: the manager's event loop and a session coordinator's checkpoint
+// hook may both write.
+type Ledger struct {
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	closed bool
+	buf    []byte
+	opts   Options
+}
+
+// OpenLedger opens (creating if absent) dir/ledger.wal, replays every
+// intact entry and truncates any torn or corrupt tail. The returned
+// entries are in append order; the next Append continues the sequence.
+func OpenLedger(dir string, opts Options) (*Ledger, []Entry, error) {
+	path := filepath.Join(dir, LedgerName)
+	entries, goodOff, err := replayLedger(path, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open ledger: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > goodOff {
+		// Torn or corrupt tail: cut history back to the last record that
+		// parsed, so the next append starts on a clean boundary.
+		ev := obs.Evt("durable", "ledger.truncate")
+		ev.Detail = fmt.Sprintf("dropped %d tail bytes at offset %d", fi.Size()-goodOff, goodOff)
+		obs.FlightOr(opts.Flight).Record(ev)
+		if err := f.Truncate(goodOff); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: truncate torn ledger tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: sync truncated ledger: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: seek ledger end: %w", err)
+	}
+	led := &Ledger{f: f, opts: opts}
+	if n := len(entries); n > 0 {
+		led.seq = entries[n-1].Seq
+	}
+	if opts.Metrics != nil && len(entries) > 0 {
+		opts.Metrics.Help(MetricLedgerReplayed, "Ledger entries replayed at open.")
+		opts.Metrics.Counter(MetricLedgerReplayed).Add(int64(len(entries)))
+	}
+	return led, entries, nil
+}
+
+// replayLedger reads every intact record from path and returns the
+// decoded entries plus the offset just past the last good record. A
+// missing file is an empty history, not an error.
+func replayLedger(path string, opts Options) ([]Entry, int64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: read ledger: %w", err)
+	}
+	corrupt := func(detail string) {
+		ev := obs.Evt("durable", "ledger.corrupt")
+		ev.Detail = detail
+		obs.FlightOr(opts.Flight).Record(ev)
+	}
+	var entries []Entry
+	var off int64
+	for len(data) > 0 {
+		kind, payload, n, err := ScanRecord(data)
+		if err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				corrupt(fmt.Sprintf("offset %d: %v", off, ce.Err))
+			}
+			// Torn tail or corruption: history ends here either way.
+			return entries, off, nil
+		}
+		if kind != RecordEntry {
+			corrupt(fmt.Sprintf("offset %d: unexpected %s record in ledger", off, kind))
+			return entries, off, nil
+		}
+		e, err := DecodeEntry(payload)
+		if err != nil {
+			corrupt(fmt.Sprintf("offset %d: %v", off, err))
+			return entries, off, nil
+		}
+		entries = append(entries, e)
+		data = data[n:]
+		off += int64(n)
+	}
+	return entries, off, nil
+}
+
+// Append durably commits e: it stamps the sequence number and
+// timestamp, encodes, writes and fsyncs before returning. Callers must
+// not acknowledge the decision until Append returns nil. The stamped
+// entry is returned so callers can log or mirror it.
+func (l *Ledger) Append(e Entry) (Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Entry{}, fmt.Errorf("durable: append to closed ledger")
+	}
+	l.seq++
+	e.Seq = l.seq
+	if e.TS == 0 {
+		e.TS = time.Now().UnixNano()
+	}
+	l.buf = AppendEntry(l.buf[:0], &e)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return Entry{}, fmt.Errorf("durable: ledger write: %w", err)
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return Entry{}, fmt.Errorf("durable: ledger fsync: %w", err)
+	}
+	if m := l.opts.Metrics; m != nil {
+		m.Help(MetricFsyncSecs, "fsync latency by durable op.")
+		m.Histogram(MetricFsyncSecs, obs.DefBuckets, "op", "ledger").
+			Observe(time.Since(start).Seconds())
+		m.Help(MetricLedgerAppends, "Fsynced ledger appends by op.")
+		m.Counter(MetricLedgerAppends, "op", e.Op.String()).Inc()
+	}
+	ev := obs.Evt("durable", "ledger.append")
+	ev.Job = e.JobID
+	ev.Iter = e.Iter
+	ev.Detail = fmt.Sprintf("seq=%d op=%s", e.Seq, e.Op)
+	obs.FlightOr(l.opts.Flight).Record(ev)
+	return e, nil
+}
+
+// Close flushes and closes the ledger file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("durable: close ledger: %w", err)
+	}
+	return l.f.Close()
+}
+
+// A Tailer incrementally reads a ledger another process is writing —
+// the warm standby's view. Poll returns the entries appended since the
+// last call; a torn tail (the primary mid-append) simply ends the
+// batch and is retried on the next poll.
+type Tailer struct {
+	path string
+	off  int64
+}
+
+// NewTailer tails dir/ledger.wal from the beginning.
+func NewTailer(dir string) *Tailer {
+	return &Tailer{path: filepath.Join(dir, LedgerName)}
+}
+
+// Poll returns entries appended since the previous Poll. A missing
+// file or a partially-written tail yields an empty batch, not an
+// error; interior corruption is returned as *CorruptError.
+func (t *Tailer) Poll() ([]Entry, error) {
+	f, err := os.Open(t.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: tail ledger: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(t.off, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("durable: tail seek: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("durable: tail read: %w", err)
+	}
+	var batch []Entry
+	for len(data) > 0 {
+		kind, payload, n, err := ScanRecord(data)
+		if errors.Is(err, errShortRecord) {
+			return batch, nil // mid-append tail: wait for the rest
+		}
+		if err != nil {
+			return batch, err
+		}
+		if kind != RecordEntry {
+			return batch, &CorruptError{fmt.Errorf("unexpected %s record in ledger", kind)}
+		}
+		e, err := DecodeEntry(payload)
+		if err != nil {
+			return batch, err
+		}
+		batch = append(batch, e)
+		data = data[n:]
+		t.off += int64(n)
+	}
+	return batch, nil
+}

@@ -1,0 +1,282 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fela/internal/obs"
+)
+
+func openTestLedger(t *testing.T, dir string) (*Ledger, []Entry) {
+	t.Helper()
+	led, entries, err := OpenLedger(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { led.Close() })
+	return led, entries
+}
+
+func TestLedgerAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	led, entries := openTestLedger(t, dir)
+	if len(entries) != 0 {
+		t.Fatalf("fresh ledger replayed %d entries", len(entries))
+	}
+	want := sampleEntries()
+	for _, e := range want {
+		e.Seq, e.TS = 0, 0 // Append stamps both
+		stamped, err := led.Append(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stamped.Seq == 0 || stamped.TS == 0 {
+			t.Fatalf("append did not stamp seq/ts: %+v", stamped)
+		}
+	}
+	led.Close()
+
+	_, replayed := openTestLedger(t, dir)
+	if len(replayed) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(replayed), len(want))
+	}
+	for i, e := range replayed {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+		if e.Op != want[i].Op || e.JobID != want[i].JobID || e.Detail != want[i].Detail {
+			t.Fatalf("entry %d mangled: %+v vs %+v", i, e, want[i])
+		}
+		if want[i].Op == OpSubmit && e.Spec != want[i].Spec {
+			t.Fatalf("submit spec mangled: %+v vs %+v", e.Spec, want[i].Spec)
+		}
+	}
+}
+
+func TestLedgerSequenceContinuesAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	led, _ := openTestLedger(t, dir)
+	for range 3 {
+		if _, err := led.Append(Entry{Op: OpJoin, WID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	led.Close()
+	led2, entries := openTestLedger(t, dir)
+	if len(entries) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(entries))
+	}
+	e, err := led2.Append(Entry{Op: OpLeave, WID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 4 {
+		t.Fatalf("post-reopen append got seq %d, want 4", e.Seq)
+	}
+}
+
+// TestLedgerTornTailTruncated: a crash mid-append leaves a partial
+// final record; reopen must keep every complete entry, truncate the
+// torn bytes, and accept new appends on the clean boundary.
+func TestLedgerTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	led, _ := openTestLedger(t, dir)
+	for i := range 5 {
+		if _, err := led.Append(Entry{Op: OpJoin, WID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	led.Close()
+
+	path := filepath.Join(dir, LedgerName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := len(data)
+	torn := AppendEntry(nil, &Entry{Seq: 6, TS: 1, Op: OpDrain, WID: -1})
+	for cut := 1; cut < len(torn); cut++ {
+		if err := os.WriteFile(path, append(data[:clean:clean], torn[:cut]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		led2, entries, err := OpenLedger(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(entries) != 5 {
+			t.Fatalf("cut %d: replayed %d entries, want 5", cut, len(entries))
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() != int64(clean) {
+			t.Fatalf("cut %d: torn tail not truncated: size %d, want %d", cut, fi.Size(), clean)
+		}
+		if e, err := led2.Append(Entry{Op: OpLeave, WID: 9}); err != nil || e.Seq != 6 {
+			t.Fatalf("cut %d: append after truncation: seq %d err %v", cut, e.Seq, err)
+		}
+		led2.Close()
+		// Restore the clean 5-entry file for the next cut.
+		if err := os.WriteFile(path, data[:clean], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLedgerInteriorCorruptionStopsReplay: a bit flip mid-file ends
+// usable history at the last good record — replay keeps the prefix and
+// truncates the rest rather than guessing.
+func TestLedgerInteriorCorruptionStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	led, _ := openTestLedger(t, dir)
+	var offsets []int64
+	off := int64(0)
+	for i := range 5 {
+		e, err := led.Append(Entry{Op: OpJoin, WID: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, off)
+		off += int64(len(AppendEntry(nil, &e)))
+	}
+	led.Close()
+
+	path := filepath.Join(dir, LedgerName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the third record.
+	mut := append([]byte(nil), data...)
+	mut[offsets[2]+recHeader] ^= 0x40
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flight := obs.NewFlightRecorder(64)
+	led2, entries, err := OpenLedger(dir, Options{Flight: flight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led2.Close()
+	if len(entries) != 2 {
+		t.Fatalf("replayed %d entries past corruption, want 2", len(entries))
+	}
+	if fi, _ := os.Stat(path); fi.Size() != offsets[2] {
+		t.Fatalf("corrupt tail not truncated: size %d, want %d", fi.Size(), offsets[2])
+	}
+	var sawCorrupt bool
+	for _, ev := range flight.Snapshot(0) {
+		if ev.Comp == "durable" && ev.Event == "ledger.corrupt" {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("interior corruption left no ledger.corrupt flight event")
+	}
+}
+
+func TestLedgerAppendAfterCloseFails(t *testing.T) {
+	led, _ := openTestLedger(t, t.TempDir())
+	led.Close()
+	if _, err := led.Append(Entry{Op: OpDrain, WID: -1}); err == nil {
+		t.Fatal("append on closed ledger succeeded")
+	}
+}
+
+func TestTailerFollowsAppends(t *testing.T) {
+	dir := t.TempDir()
+	tail := NewTailer(dir)
+	if batch, err := tail.Poll(); err != nil || len(batch) != 0 {
+		t.Fatalf("poll before ledger exists: %d entries, err %v", len(batch), err)
+	}
+	led, _ := openTestLedger(t, dir)
+	for i := range 3 {
+		if _, err := led.Append(Entry{Op: OpJoin, WID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := tail.Poll()
+	if err != nil || len(batch) != 3 {
+		t.Fatalf("first poll: %d entries, err %v", len(batch), err)
+	}
+	if batch[2].Seq != 3 {
+		t.Fatalf("tail out of order: %+v", batch)
+	}
+	if batch, err := tail.Poll(); err != nil || len(batch) != 0 {
+		t.Fatalf("idle poll: %d entries, err %v", len(batch), err)
+	}
+	if _, err := led.Append(Entry{Op: OpLeave, WID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	batch, err = tail.Poll()
+	if err != nil || len(batch) != 1 || batch[0].Op != OpLeave {
+		t.Fatalf("incremental poll: %+v, err %v", batch, err)
+	}
+}
+
+// TestTailerTornTailWaits: a partial record at the tail (the primary
+// mid-append) ends the batch without advancing the offset; the next
+// poll picks the completed record up.
+func TestTailerTornTailWaits(t *testing.T) {
+	dir := t.TempDir()
+	led, _ := openTestLedger(t, dir)
+	if _, err := led.Append(Entry{Op: OpJoin, WID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	led.Close()
+
+	path := filepath.Join(dir, LedgerName)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := AppendEntry(nil, &Entry{Seq: 2, TS: 2, Op: OpLeave, WID: 0})
+	if err := os.WriteFile(path, append(clean[:len(clean):len(clean)], next[:3]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tail := NewTailer(dir)
+	batch, err := tail.Poll()
+	if err != nil || len(batch) != 1 {
+		t.Fatalf("poll over torn tail: %d entries, err %v", len(batch), err)
+	}
+	// The append completes; the tailer must resume exactly there.
+	if err := os.WriteFile(path, append(clean[:len(clean):len(clean)], next...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	batch, err = tail.Poll()
+	if err != nil || len(batch) != 1 || batch[0].Op != OpLeave {
+		t.Fatalf("poll after tail completed: %+v, err %v", batch, err)
+	}
+}
+
+func TestPlaneLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open: got %v, want ErrLocked", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The standby's poll succeeds the moment the primary lets go.
+	p2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	p2.Close()
+}
+
+func TestLedgerAppendStampsWallClock(t *testing.T) {
+	led, _ := openTestLedger(t, t.TempDir())
+	before := time.Now().UnixNano()
+	e, err := led.Append(Entry{Op: OpDrain, WID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TS < before || e.TS > time.Now().UnixNano() {
+		t.Fatalf("stamped TS %d outside append window", e.TS)
+	}
+}

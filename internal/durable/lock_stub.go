@@ -1,0 +1,26 @@
+//go:build !unix
+
+package durable
+
+// Fallback for platforms without flock(2): the lock file is opened but
+// confers no exclusion. Single-process use (every test and the default
+// deployment) is unaffected; warm standby requires a unix platform.
+
+import (
+	"fmt"
+	"os"
+)
+
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open lock file: %w", err)
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package durable
+
+// The durable directory's exclusive lock, via flock(2): advisory, but
+// both the primary and the standby go through Open, and the kernel
+// releases it the instant the holder dies — exactly the failover
+// signal a warm standby polls for. No stale-lockfile cleanup needed.
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, ErrLocked
+		}
+		return nil, fmt.Errorf("durable: flock: %w", err)
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

@@ -1,0 +1,551 @@
+package durable
+
+// The durable record codec: every byte the persistence plane writes —
+// ledger entries and model checkpoints alike — is one self-delimiting
+// frame in the style of the transport's binary wire codec (DESIGN.md
+// §10), extended with a CRC so bit rot and torn writes are detected at
+// replay instead of silently corrupting a restore.
+//
+// Record layout (version 1, DESIGN.md §14):
+//
+//	offset  size  field
+//	0       2     magic 0xD5 0x7A
+//	2       1     version (1)
+//	3       1     kind (1 = ledger entry, 2 = checkpoint)
+//	4       4     payload length N, uint32 little-endian (≤ MaxRecordBytes)
+//	8       4     CRC-32C (Castagnoli) over bytes [0,8) and the payload
+//	12      N     payload
+//
+// Entry payload (varint = zig-zag signed, uvarint = unsigned, both
+// from encoding/binary; str = uvarint length + bytes):
+//
+//	uvarint  Seq
+//	varint   TS (unix nanoseconds)
+//	1B       Op
+//	varint   JobID, WID, Iter, N
+//	varint   SLO (nanoseconds)
+//	1B       OK flag (0 or 1)
+//	str      Detail
+//	1B       job-spec presence flag (0 or 1); if 1 the spec fields in
+//	         the transport codec's order: str Name, str Model, varint
+//	         Seed, Iterations, TotalBatch, TokenBatch, 4B LR, 4B
+//	         Momentum (float32 bits), varint MinWorkers, MaxWorkers,
+//	         Priority
+//
+// Checkpoint payload:
+//
+//	varint   JobID, Iter
+//	uvarint  len(Params); per tensor: uvarint length, then 4·len bytes
+//	         of float32 bits, little-endian
+//	uvarint  len(Vel); same encoding
+//	uvarint  len(Losses); per loss 8 bytes of float64 bits
+//
+// Decoding is strict: the CRC is checked before any field is read,
+// every length is validated against the bytes actually present before
+// anything is allocated, and trailing payload bytes are an error.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"slices"
+	"time"
+
+	"fela/internal/transport"
+)
+
+const (
+	recMagic0  = 0xD5
+	recMagic1  = 0x7A
+	recVersion = 1
+	// recHeader is the fixed prefix: 8 bytes of frame header plus the
+	// 4-byte CRC.
+	recHeader = 12
+)
+
+// MaxRecordBytes bounds one record's payload, mirroring the wire
+// codec's frame cap: a garbled length can never force an oversized
+// allocation.
+const MaxRecordBytes = 1 << 28 // 256 MiB
+
+// RecordKind discriminates the two durable record types.
+type RecordKind byte
+
+const (
+	// RecordEntry is one write-ahead ledger entry.
+	RecordEntry RecordKind = 1
+	// RecordCheckpoint is one model checkpoint.
+	RecordCheckpoint RecordKind = 2
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case RecordEntry:
+		return "entry"
+	case RecordCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// castagnoli is the CRC-32C table shared by encode and decode.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError marks a record that failed structural validation — bad
+// magic, CRC mismatch, malformed field, hostile length. Replay treats
+// it as the end of usable history.
+type CorruptError struct{ Err error }
+
+func (e *CorruptError) Error() string { return "durable: corrupt record: " + e.Err.Error() }
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// errShortRecord marks a record whose trailing bytes are missing — the
+// torn-tail case an interrupted append leaves behind. Unlike
+// CorruptError it is recoverable by waiting for (or truncating) the
+// tail.
+var errShortRecord = fmt.Errorf("durable: record extends past the buffer")
+
+// Op enumerates the decisions the write-ahead ledger records.
+type Op byte
+
+const (
+	// OpSubmit records an admitted job entering the queue; the entry
+	// carries the normalized spec and the submitter's SLO.
+	OpSubmit Op = iota + 1
+	// OpReject records an admission rejection (Detail = reason).
+	OpReject
+	// OpCancel records a submitter-requested cancellation.
+	OpCancel
+	// OpJobStart records a job's first lease bundle (N = workers).
+	OpJobStart
+	// OpJobDone records a job settling (OK = finished within SLO).
+	OpJobDone
+	// OpLeaseGrant records N workers leased to a running job.
+	OpLeaseGrant
+	// OpLeaseRelease records N release requests against a running job.
+	OpLeaseRelease
+	// OpJoin records a worker registering with the pool or session.
+	OpJoin
+	// OpLeave records a worker's graceful departure.
+	OpLeave
+	// OpDrain records the manager or session beginning shutdown.
+	OpDrain
+	// OpBarrier records a checkpoint committing at an iteration barrier
+	// (Iter = the checkpointed iteration).
+	OpBarrier
+)
+
+var opNames = [...]string{
+	OpSubmit: "submit", OpReject: "reject", OpCancel: "cancel",
+	OpJobStart: "job.start", OpJobDone: "job.done",
+	OpLeaseGrant: "lease.grant", OpLeaseRelease: "lease.release",
+	OpJoin: "join", OpLeave: "leave", OpDrain: "drain",
+	OpBarrier: "barrier",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// validOp reports whether o is a known ledger operation.
+func validOp(o Op) bool { return int(o) >= 1 && int(o) < len(opNames) }
+
+// Entry is one write-ahead ledger record: a manager or coordinator
+// decision durably committed before it was acknowledged.
+type Entry struct {
+	// Seq is the append sequence number, assigned by the ledger.
+	Seq uint64
+	// TS is the decision's wall-clock time in unix nanoseconds,
+	// stamped at append.
+	TS int64
+	// Op is the decision class.
+	Op Op
+	// JobID identifies the job the decision concerns (0 = none / the
+	// single-session pseudo-job).
+	JobID int
+	// WID identifies the worker for membership ops (-1 = none).
+	WID int
+	// Iter is the checkpointed iteration, meaningful only on OpBarrier.
+	Iter int
+	// N is the op's count operand (workers leased, released, …).
+	N int
+	// SLO echoes a submission's completion-latency target.
+	SLO time.Duration
+	// OK carries a verdict (job finished within SLO, …).
+	OK bool
+	// Detail is a short free-form annotation (rejection reason, …).
+	Detail string
+	// Spec carries the normalized job spec on OpSubmit (zero = absent).
+	Spec transport.JobSpec
+}
+
+// Checkpoint is one job's model state at an iteration barrier, taken
+// right after the optimizer step so Params and Vel are the post-step
+// values: resuming at Iter+1 recomputes exactly what an uninterrupted
+// run would have.
+type Checkpoint struct {
+	// JobID is the owning job (0 for a single-session coordinator).
+	JobID int
+	// Iter is the last completed iteration this state reflects.
+	Iter int
+	// Params are the flattened model parameters, one slice per tensor.
+	Params [][]float32
+	// Vel is the flattened momentum state, parallel to Params.
+	Vel [][]float32
+	// Losses is the per-iteration loss history through Iter.
+	Losses []float64
+}
+
+// beginRecord appends the 12-byte header placeholder and returns the
+// frame's base offset; finishRecord back-fills length and CRC.
+func beginRecord(dst []byte, kind RecordKind) ([]byte, int) {
+	base := len(dst)
+	dst = append(dst, recMagic0, recMagic1, recVersion, byte(kind),
+		0, 0, 0, 0, // payload length
+		0, 0, 0, 0) // CRC-32C
+	return dst, base
+}
+
+func finishRecord(dst []byte, base int) ([]byte, error) {
+	payload := len(dst) - base - recHeader
+	if payload > MaxRecordBytes {
+		return dst[:base], &CorruptError{fmt.Errorf("payload %d exceeds MaxRecordBytes %d", payload, MaxRecordBytes)}
+	}
+	binary.LittleEndian.PutUint32(dst[base+4:base+8], uint32(payload))
+	crc := crc32.Update(0, castagnoli, dst[base:base+8])
+	crc = crc32.Update(crc, castagnoli, dst[base+recHeader:])
+	binary.LittleEndian.PutUint32(dst[base+8:base+12], crc)
+	return dst, nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFloat32s(dst []byte, fs []float32) []byte {
+	off := len(dst)
+	dst = slices.Grow(dst, 4*len(fs))[:off+4*len(fs)]
+	buf := dst[off:]
+	for i, f := range fs {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+	}
+	return dst
+}
+
+func appendTensorGroup(dst []byte, ts [][]float32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ts)))
+	for _, t := range ts {
+		dst = binary.AppendUvarint(dst, uint64(len(t)))
+		dst = appendFloat32s(dst, t)
+	}
+	return dst
+}
+
+// AppendEntry encodes e as one durable record appended to dst.
+func AppendEntry(dst []byte, e *Entry) []byte {
+	dst, base := beginRecord(dst, RecordEntry)
+	dst = binary.AppendUvarint(dst, e.Seq)
+	dst = binary.AppendVarint(dst, e.TS)
+	dst = append(dst, byte(e.Op))
+	dst = binary.AppendVarint(dst, int64(e.JobID))
+	dst = binary.AppendVarint(dst, int64(e.WID))
+	dst = binary.AppendVarint(dst, int64(e.Iter))
+	dst = binary.AppendVarint(dst, int64(e.N))
+	dst = binary.AppendVarint(dst, int64(e.SLO))
+	ok := byte(0)
+	if e.OK {
+		ok = 1
+	}
+	dst = append(dst, ok)
+	dst = appendStr(dst, e.Detail)
+	if e.Spec == (transport.JobSpec{}) {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendStr(dst, e.Spec.Name)
+		dst = appendStr(dst, e.Spec.Model)
+		dst = binary.AppendVarint(dst, e.Spec.Seed)
+		dst = binary.AppendVarint(dst, int64(e.Spec.Iterations))
+		dst = binary.AppendVarint(dst, int64(e.Spec.TotalBatch))
+		dst = binary.AppendVarint(dst, int64(e.Spec.TokenBatch))
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(e.Spec.LR))
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(e.Spec.Momentum))
+		dst = binary.AppendVarint(dst, int64(e.Spec.MinWorkers))
+		dst = binary.AppendVarint(dst, int64(e.Spec.MaxWorkers))
+		dst = binary.AppendVarint(dst, int64(e.Spec.Priority))
+	}
+	dst, _ = finishRecord(dst, base) // entries cannot exceed the cap
+	return dst
+}
+
+// AppendCheckpoint encodes c as one durable record appended to dst.
+func AppendCheckpoint(dst []byte, c *Checkpoint) ([]byte, error) {
+	dst, base := beginRecord(dst, RecordCheckpoint)
+	dst = binary.AppendVarint(dst, int64(c.JobID))
+	dst = binary.AppendVarint(dst, int64(c.Iter))
+	dst = appendTensorGroup(dst, c.Params)
+	dst = appendTensorGroup(dst, c.Vel)
+	dst = binary.AppendUvarint(dst, uint64(len(c.Losses)))
+	for _, l := range c.Losses {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(l))
+	}
+	return finishRecord(dst, base)
+}
+
+// ScanRecord validates the record at the head of data and returns its
+// kind, payload view and total encoded size. errShortRecord (via
+// errors.Is on the sentinel) means the buffer ends mid-record — the
+// torn-tail case; *CorruptError means the bytes can never parse.
+func ScanRecord(data []byte) (RecordKind, []byte, int, error) {
+	if len(data) < recHeader {
+		return 0, nil, 0, errShortRecord
+	}
+	if data[0] != recMagic0 || data[1] != recMagic1 {
+		return 0, nil, 0, &CorruptError{fmt.Errorf("bad magic %#02x %#02x", data[0], data[1])}
+	}
+	if data[2] != recVersion {
+		return 0, nil, 0, &CorruptError{fmt.Errorf("unsupported record version %d", data[2])}
+	}
+	kind := RecordKind(data[3])
+	if kind != RecordEntry && kind != RecordCheckpoint {
+		return 0, nil, 0, &CorruptError{fmt.Errorf("unknown record kind %d", data[3])}
+	}
+	n := binary.LittleEndian.Uint32(data[4:8])
+	if n > MaxRecordBytes {
+		return 0, nil, 0, &CorruptError{fmt.Errorf("payload length %d exceeds MaxRecordBytes %d", n, MaxRecordBytes)}
+	}
+	total := recHeader + int(n)
+	if len(data) < total {
+		return 0, nil, 0, errShortRecord
+	}
+	want := binary.LittleEndian.Uint32(data[8:12])
+	crc := crc32.Update(0, castagnoli, data[:8])
+	crc = crc32.Update(crc, castagnoli, data[recHeader:total])
+	if crc != want {
+		return 0, nil, 0, &CorruptError{fmt.Errorf("CRC mismatch: stored %#08x computed %#08x", want, crc)}
+	}
+	return kind, data[recHeader:total], total, nil
+}
+
+// recReader walks one record payload with sticky error state, the
+// durable twin of the wire codec's payloadReader: every accessor
+// validates against the bytes remaining before allocating.
+type recReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *recReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = &CorruptError{fmt.Errorf(format, args...)}
+	}
+}
+
+func (r *recReader) remaining() int { return len(r.data) - r.off }
+
+func (r *recReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("truncated or malformed varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *recReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("truncated or malformed uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *recReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail("%d bytes requested with %d remaining", n, r.remaining())
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *recReader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *recReader) u64() uint64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *recReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.remaining()) {
+		r.fail("string length %d with %d bytes remaining", n, r.remaining())
+		return ""
+	}
+	return string(r.bytes(int(n)))
+}
+
+func (r *recReader) tensorGroup() [][]float32 {
+	cnt := r.uvarint()
+	if r.err != nil || cnt == 0 {
+		return nil
+	}
+	if cnt > uint64(r.remaining()) {
+		r.fail("%d tensors declared with %d bytes remaining", cnt, r.remaining())
+		return nil
+	}
+	out := make([][]float32, cnt)
+	for i := range out {
+		ln := r.uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if ln > uint64(r.remaining())/4 {
+			r.fail("tensor of %d floats with %d bytes remaining", ln, r.remaining())
+			return nil
+		}
+		src := r.bytes(int(ln) * 4)
+		t := make([]float32, ln)
+		for j := range t {
+			t[j] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*j:]))
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func (r *recReader) finish() error {
+	if r.err == nil && r.remaining() != 0 {
+		r.fail("%d trailing payload bytes", r.remaining())
+	}
+	return r.err
+}
+
+// DecodeEntry decodes one ledger-entry payload (from ScanRecord).
+func DecodeEntry(payload []byte) (Entry, error) {
+	r := &recReader{data: payload}
+	var e Entry
+	e.Seq = r.uvarint()
+	e.TS = r.varint()
+	if op := r.bytes(1); r.err == nil {
+		e.Op = Op(op[0])
+		if !validOp(e.Op) {
+			r.fail("unknown ledger op %d", op[0])
+		}
+	}
+	e.JobID = int(r.varint())
+	e.WID = int(r.varint())
+	e.Iter = int(r.varint())
+	e.N = int(r.varint())
+	e.SLO = time.Duration(r.varint())
+	if ok := r.bytes(1); r.err == nil {
+		switch ok[0] {
+		case 0:
+		case 1:
+			e.OK = true
+		default:
+			r.fail("OK flag %d", ok[0])
+		}
+	}
+	e.Detail = r.str()
+	switch flag := r.bytes(1); {
+	case r.err != nil:
+	case flag[0] == 1:
+		e.Spec.Name = r.str()
+		e.Spec.Model = r.str()
+		e.Spec.Seed = r.varint()
+		e.Spec.Iterations = int(r.varint())
+		e.Spec.TotalBatch = int(r.varint())
+		e.Spec.TokenBatch = int(r.varint())
+		e.Spec.LR = math.Float32frombits(r.u32())
+		e.Spec.Momentum = math.Float32frombits(r.u32())
+		e.Spec.MinWorkers = int(r.varint())
+		e.Spec.MaxWorkers = int(r.varint())
+		e.Spec.Priority = int(r.varint())
+	case flag[0] != 0:
+		r.fail("job-spec presence flag %d", flag[0])
+	}
+	if err := r.finish(); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// DecodeCheckpoint decodes one checkpoint payload (from ScanRecord).
+func DecodeCheckpoint(payload []byte) (*Checkpoint, error) {
+	r := &recReader{data: payload}
+	c := &Checkpoint{}
+	c.JobID = int(r.varint())
+	c.Iter = int(r.varint())
+	c.Params = r.tensorGroup()
+	c.Vel = r.tensorGroup()
+	cnt := r.uvarint()
+	if r.err == nil && cnt > uint64(r.remaining())/8 {
+		r.fail("%d losses declared with %d bytes remaining", cnt, r.remaining())
+	}
+	if r.err == nil && cnt > 0 {
+		c.Losses = make([]float64, cnt)
+		for i := range c.Losses {
+			c.Losses[i] = math.Float64frombits(r.u64())
+		}
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DecodeRecord scans and decodes the record at the head of data,
+// returning an Entry or *Checkpoint plus the encoded size — the
+// convenience path golden tests and diagnostics use.
+func DecodeRecord(data []byte) (any, int, error) {
+	kind, payload, n, err := ScanRecord(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch kind {
+	case RecordEntry:
+		e, err := DecodeEntry(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		return e, n, nil
+	default:
+		c, err := DecodeCheckpoint(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, n, nil
+	}
+}

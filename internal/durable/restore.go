@@ -1,0 +1,141 @@
+package durable
+
+// Reduce folds a replayed ledger into the state a restarting manager
+// needs: which jobs were open (queued or running) at the crash, their
+// lease counts, the id counter, the settled-job tallies, and the SLO
+// burn-window samples. The fold is the restore state machine of
+// DESIGN.md §14 — every Op either opens, mutates or closes exactly one
+// job's row, so replay order is the only ordering that matters.
+
+import (
+	"time"
+
+	"fela/internal/transport"
+)
+
+// JobRestore is one job that was open (submitted but not settled) when
+// the ledger ended.
+type JobRestore struct {
+	// ID is the job's manager-assigned id.
+	ID int
+	// Spec is the normalized spec from the submit entry.
+	Spec transport.JobSpec
+	// SLO is the submission's completion-latency target (0 = none).
+	SLO time.Duration
+	// Submitted is the submit entry's timestamp.
+	Submitted time.Time
+	// Started reports whether the job had received its first lease
+	// bundle — a started job resumes from its checkpoint, a queued one
+	// starts fresh.
+	Started bool
+	// Workers is the lease count at the crash (grants minus releases).
+	Workers int
+	// CkptIter is the last barrier-committed iteration (-1 = none).
+	CkptIter int
+}
+
+// SLOSample is one settled job's SLO verdict, replayed to rebuild the
+// manager's burn window with its original timestamps.
+type SLOSample struct {
+	At time.Time
+	OK bool
+}
+
+// State is the reduction of a ledger: everything a restarting manager
+// restores before accepting new work.
+type State struct {
+	// NextID is the smallest job id the restarted manager may assign;
+	// it exceeds every id in the ledger so restored jobs and their
+	// checkpoints are never shadowed by new submissions.
+	NextID int
+	// Jobs are the open jobs in submit order.
+	Jobs []JobRestore
+	// Finished, Rejected and Canceled carry the settled-job counters.
+	Finished, Rejected, Canceled int
+	// SLOWithin counts finished jobs that met their SLO.
+	SLOWithin int
+	// SLOSamples replays the burn window (finish verdicts, in order).
+	SLOSamples []SLOSample
+	// Draining reports whether the ledger ends in a drain — the
+	// previous process was shutting down deliberately.
+	Draining bool
+	// LastSeq is the final entry's sequence number (0 = empty ledger).
+	LastSeq uint64
+}
+
+// Reduce folds entries (in append order) into a State.
+func Reduce(entries []Entry) State {
+	st := State{NextID: 1}
+	open := map[int]int{} // job id -> index into st.Jobs
+	drop := func(id int) {
+		i, ok := open[id]
+		if !ok {
+			return
+		}
+		delete(open, id)
+		st.Jobs = append(st.Jobs[:i], st.Jobs[i+1:]...)
+		for jid, j := range open {
+			if j > i {
+				open[jid] = j - 1
+			}
+		}
+	}
+	for _, e := range entries {
+		st.LastSeq = e.Seq
+		if e.JobID >= st.NextID {
+			st.NextID = e.JobID + 1
+		}
+		switch e.Op {
+		case OpSubmit:
+			open[e.JobID] = len(st.Jobs)
+			st.Jobs = append(st.Jobs, JobRestore{
+				ID:        e.JobID,
+				Spec:      e.Spec,
+				SLO:       e.SLO,
+				Submitted: time.Unix(0, e.TS),
+				CkptIter:  -1,
+			})
+		case OpReject:
+			// Rejections are logged for the ledger's audit value; the job
+			// was never opened.
+			st.Rejected++
+		case OpCancel:
+			st.Canceled++
+			drop(e.JobID)
+		case OpJobStart:
+			if i, ok := open[e.JobID]; ok {
+				st.Jobs[i].Started = true
+				st.Jobs[i].Workers = e.N
+			}
+		case OpJobDone:
+			st.Finished++
+			if e.OK {
+				st.SLOWithin++
+			}
+			st.SLOSamples = append(st.SLOSamples, SLOSample{At: time.Unix(0, e.TS), OK: e.OK})
+			drop(e.JobID)
+		case OpLeaseGrant:
+			if i, ok := open[e.JobID]; ok {
+				st.Jobs[i].Workers += e.N
+			}
+		case OpLeaseRelease:
+			if i, ok := open[e.JobID]; ok {
+				st.Jobs[i].Workers -= e.N
+				if st.Jobs[i].Workers < 0 {
+					st.Jobs[i].Workers = 0
+				}
+			}
+		case OpBarrier:
+			if i, ok := open[e.JobID]; ok {
+				st.Jobs[i].CkptIter = e.Iter
+			}
+		case OpDrain:
+			st.Draining = true
+		case OpJoin, OpLeave:
+			// Membership entries are informational: pool workers
+			// re-register through their own reconnect loops, so restore
+			// never trusts a pre-crash join.
+		}
+	}
+	return st
+}

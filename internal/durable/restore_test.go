@@ -1,0 +1,155 @@
+package durable
+
+import (
+	"testing"
+	"time"
+
+	"fela/internal/transport"
+)
+
+func ent(op Op, jobID int, mut ...func(*Entry)) Entry {
+	e := Entry{Op: op, JobID: jobID, WID: -1, TS: int64(1700000000000000000) + int64(jobID)}
+	for _, f := range mut {
+		f(&e)
+	}
+	return e
+}
+
+func TestReduceEmptyLedger(t *testing.T) {
+	st := Reduce(nil)
+	if st.NextID != 1 || len(st.Jobs) != 0 || st.LastSeq != 0 {
+		t.Fatalf("empty reduce: %+v", st)
+	}
+}
+
+func TestReduceOpenJobsAndLeases(t *testing.T) {
+	spec := transport.JobSpec{Name: "a", Model: "mlp-small", Iterations: 20}
+	st := Reduce([]Entry{
+		ent(OpSubmit, 1, func(e *Entry) { e.Seq = 1; e.Spec = spec; e.SLO = time.Minute }),
+		ent(OpSubmit, 2, func(e *Entry) { e.Seq = 2; e.Spec = spec }),
+		ent(OpJobStart, 1, func(e *Entry) { e.Seq = 3; e.N = 2 }),
+		ent(OpLeaseGrant, 1, func(e *Entry) { e.Seq = 4; e.N = 2 }),
+		ent(OpLeaseRelease, 1, func(e *Entry) { e.Seq = 5; e.N = 1 }),
+		ent(OpBarrier, 1, func(e *Entry) { e.Seq = 6; e.Iter = 9 }),
+	})
+	if st.NextID != 3 {
+		t.Fatalf("NextID = %d, want 3", st.NextID)
+	}
+	if st.LastSeq != 6 {
+		t.Fatalf("LastSeq = %d, want 6", st.LastSeq)
+	}
+	if len(st.Jobs) != 2 {
+		t.Fatalf("%d open jobs, want 2", len(st.Jobs))
+	}
+	j1, j2 := st.Jobs[0], st.Jobs[1]
+	if j1.ID != 1 || !j1.Started || j1.Workers != 3 || j1.CkptIter != 9 || j1.SLO != time.Minute {
+		t.Fatalf("job 1 restore: %+v", j1)
+	}
+	if j1.Spec != spec {
+		t.Fatalf("job 1 spec mangled: %+v", j1.Spec)
+	}
+	if j2.ID != 2 || j2.Started || j2.Workers != 0 || j2.CkptIter != -1 {
+		t.Fatalf("job 2 restore: %+v", j2)
+	}
+}
+
+func TestReduceSettledJobsDropAndCount(t *testing.T) {
+	st := Reduce([]Entry{
+		ent(OpSubmit, 1),
+		ent(OpSubmit, 2),
+		ent(OpSubmit, 3),
+		ent(OpReject, 4, func(e *Entry) { e.Detail = "queue full" }),
+		ent(OpJobStart, 1, func(e *Entry) { e.N = 2 }),
+		ent(OpJobDone, 1, func(e *Entry) { e.OK = true }),
+		ent(OpCancel, 2),
+		ent(OpJobDone, 3, func(e *Entry) { e.OK = false }),
+	})
+	if len(st.Jobs) != 0 {
+		t.Fatalf("%d open jobs after settlement, want 0: %+v", len(st.Jobs), st.Jobs)
+	}
+	if st.Finished != 2 || st.Rejected != 1 || st.Canceled != 1 || st.SLOWithin != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if len(st.SLOSamples) != 2 || !st.SLOSamples[0].OK || st.SLOSamples[1].OK {
+		t.Fatalf("SLO samples: %+v", st.SLOSamples)
+	}
+	// NextID must clear even settled ids so restarted managers never
+	// reuse a checkpointed id.
+	if st.NextID != 5 {
+		t.Fatalf("NextID = %d, want 5", st.NextID)
+	}
+}
+
+func TestReduceDropKeepsSubmitOrder(t *testing.T) {
+	st := Reduce([]Entry{
+		ent(OpSubmit, 1),
+		ent(OpSubmit, 2),
+		ent(OpSubmit, 3),
+		ent(OpSubmit, 4),
+		ent(OpJobDone, 2, func(e *Entry) { e.OK = true }),
+		ent(OpCancel, 1),
+		ent(OpLeaseGrant, 4, func(e *Entry) { e.N = 1 }),
+	})
+	if len(st.Jobs) != 2 || st.Jobs[0].ID != 3 || st.Jobs[1].ID != 4 {
+		t.Fatalf("open jobs after drops: %+v", st.Jobs)
+	}
+	if st.Jobs[1].Workers != 1 {
+		t.Fatalf("lease applied to wrong row after drops: %+v", st.Jobs)
+	}
+}
+
+func TestReduceWorkersNeverNegative(t *testing.T) {
+	st := Reduce([]Entry{
+		ent(OpSubmit, 1),
+		ent(OpJobStart, 1, func(e *Entry) { e.N = 1 }),
+		ent(OpLeaseRelease, 1, func(e *Entry) { e.N = 5 }),
+	})
+	if st.Jobs[0].Workers != 0 {
+		t.Fatalf("Workers = %d, want clamp at 0", st.Jobs[0].Workers)
+	}
+}
+
+func TestReduceDrainAndMembership(t *testing.T) {
+	st := Reduce([]Entry{
+		ent(OpJoin, 0, func(e *Entry) { e.WID = 3 }),
+		ent(OpLeave, 0, func(e *Entry) { e.WID = 3 }),
+		ent(OpDrain, 0),
+	})
+	if !st.Draining {
+		t.Fatal("drain entry not reflected")
+	}
+	if len(st.Jobs) != 0 || st.NextID != 1 {
+		t.Fatalf("membership entries perturbed job state: %+v", st)
+	}
+}
+
+// TestReduceRoundTripThroughLedger: the reducer consumes exactly what
+// the ledger replays — an end-to-end append → reopen → Reduce pass.
+func TestReduceRoundTripThroughLedger(t *testing.T) {
+	dir := t.TempDir()
+	led, _ := openTestLedger(t, dir)
+	spec := transport.JobSpec{Name: "rt", Model: "mlp-wide", Iterations: 12}
+	for _, e := range []Entry{
+		{Op: OpSubmit, JobID: 1, WID: -1, Spec: spec, SLO: 10 * time.Second},
+		{Op: OpJobStart, JobID: 1, WID: -1, N: 2},
+		{Op: OpBarrier, JobID: 1, WID: -1, Iter: 4},
+		{Op: OpSubmit, JobID: 2, WID: -1, Spec: spec},
+	} {
+		if _, err := led.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	led.Close()
+
+	_, entries := openTestLedger(t, dir)
+	st := Reduce(entries)
+	if st.NextID != 3 || len(st.Jobs) != 2 {
+		t.Fatalf("reduce after replay: %+v", st)
+	}
+	if !st.Jobs[0].Started || st.Jobs[0].CkptIter != 4 || st.Jobs[0].Spec != spec {
+		t.Fatalf("job 1 after replay: %+v", st.Jobs[0])
+	}
+	if st.Jobs[0].Submitted.IsZero() {
+		t.Fatal("submit timestamp lost through replay")
+	}
+}

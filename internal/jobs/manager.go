@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fela/internal/durable"
 	"fela/internal/elastic"
 	"fela/internal/obs"
 	"fela/internal/rt"
@@ -45,6 +46,23 @@ type Config struct {
 	// measure against (fraction of jobs that must finish OK within
 	// their SLO). Default 0.99.
 	SLOObjective float64
+	// Ledger, when set, receives a write-ahead entry for every manager
+	// decision before the decision is acknowledged (see durability.go).
+	Ledger *durable.Ledger
+	// Store, when set, persists each job's iteration-boundary
+	// checkpoints; its coordinators commit store-first, then the ledger
+	// barrier. Restored jobs resume from their latest checkpoint.
+	Store durable.Store
+	// CheckpointEvery is the checkpoint interval in iterations
+	// (0 = the rt default, durable.DefaultEvery). Meaningful only with
+	// Store.
+	CheckpointEvery int
+	// Restore, when set, is the reduced ledger of a previous
+	// incarnation (durable.Reduce over the replayed entries): open jobs
+	// are re-queued — started ones resume from their checkpoints —
+	// counters carry over, and job ids continue past everything ever
+	// assigned.
+	Restore *durable.State
 }
 
 // SubmitOptions carries per-submission extras.
@@ -117,6 +135,12 @@ type (
 		res   *rt.Result
 		err   error
 	}
+	// evCkpt reports one durably committed checkpoint (store saved,
+	// ledger barrier appended) from a job coordinator's hook.
+	evCkpt struct {
+		jobID int
+		iter  int
+	}
 )
 
 type jobState string
@@ -155,6 +179,13 @@ type job struct {
 	// steady-state training does not force a policy pass per barrier.
 	polRate  float64
 	canceled bool
+
+	// ckptIter/ckptAt track the last durably committed checkpoint
+	// (-1/zero before the first, or with durability off); resume seeds
+	// the coordinator when the job was restored from one.
+	ckptIter int
+	ckptAt   time.Time
+	resume   *rt.Resume
 
 	// conns is every connection ever handed to this job's coordinator.
 	// All are closed when the job finishes: the coordinator does not
@@ -256,6 +287,9 @@ func NewManager(cfg Config) *Manager {
 		tele:      newMgrTelemetry(cfg.Metrics),
 		flight:    obs.FlightOr(cfg.Flight),
 		sloWin:    obs.NewWindow(),
+	}
+	if cfg.Restore != nil {
+		m.restore(cfg.Restore)
 	}
 	m.publish()
 	go m.loop()
@@ -384,6 +418,7 @@ func (m *Manager) loop() {
 			quit = nil
 			m.closing = true
 			m.changed = true
+			m.walOr(durable.Entry{Op: durable.OpDrain, WID: -1})
 		}
 		if m.closing && len(m.order) == 0 {
 			for _, c := range m.idle {
@@ -420,6 +455,11 @@ func (m *Manager) handle(ev any) {
 		m.atBarrier(e)
 	case evJobDone:
 		m.finishJob(e)
+	case evCkpt:
+		if j := m.jobs[e.jobID]; j != nil {
+			j.ckptIter = e.iter
+			j.ckptAt = time.Now()
+		}
 	}
 	m.changed = true
 }
@@ -460,6 +500,7 @@ func (m *Manager) classify(e evConn) {
 		if e.msg.JobID > 0 {
 			m.tele.returns.Inc()
 		}
+		m.walOr(durable.Entry{Op: durable.OpJoin, JobID: e.msg.JobID, WID: e.msg.WID})
 		m.idle = append(m.idle, e.conn)
 		m.markPool("worker")
 	case transport.KindSubmitJob:
@@ -507,6 +548,7 @@ func (m *Manager) enqueue(id int, spec transport.JobSpec, slo time.Duration, rep
 			// burns the pool's budget just like a blown deadline.
 			m.sloWin.Observe(false, time.Now())
 			m.recordFlight("reject", id, reason)
+			m.walOr(durable.Entry{Op: durable.OpReject, JobID: id, WID: -1, Detail: reason})
 			err := fmt.Errorf("%w: %s", ErrRejected, reason)
 			if reply != nil {
 				m.reject(reply, err)
@@ -518,6 +560,21 @@ func (m *Manager) enqueue(id int, spec transport.JobSpec, slo time.Duration, rep
 		}
 		m.tele.admission(true)
 	}
+	// Write-ahead: the submission must be on disk before the job can be
+	// scheduled or acknowledged. A ledger that cannot take the entry
+	// cannot promise durability, so the submission is refused.
+	if err := m.appendWAL(durable.Entry{Op: durable.OpSubmit, JobID: id, WID: -1, SLO: slo, Spec: spec}); err != nil {
+		m.rejected++
+		m.recordFlight("reject", id, "ledger: "+err.Error())
+		err = fmt.Errorf("%w: ledger append: %v", ErrRejected, err)
+		if reply != nil {
+			m.reject(reply, err)
+		}
+		if done != nil {
+			done <- JobResult{ID: id, Spec: spec, SLO: slo, Err: err}
+		}
+		return
+	}
 	j := &job{
 		id:        id,
 		spec:      spec,
@@ -527,6 +584,7 @@ func (m *Manager) enqueue(id int, spec transport.JobSpec, slo time.Duration, rep
 		reply:     reply,
 		done:      done,
 		iter:      -1,
+		ckptIter:  -1,
 	}
 	m.jobs[j.id] = j
 	m.led.add(j.id)
@@ -552,6 +610,7 @@ func (m *Manager) cancel(id int) {
 	m.canceled++
 	m.tele.canceled.Inc()
 	m.recordFlight("cancel", id, string(j.state))
+	m.walOr(durable.Entry{Op: durable.OpCancel, JobID: id, WID: -1})
 	switch j.state {
 	case stateQueued:
 		j.canceled = true
@@ -689,6 +748,7 @@ func (m *Manager) pass() {
 			m.refreshInfo(j)
 			m.tele.releases.Add(int64(eff - want))
 			m.recordFlight("lease.release", j.id, fmt.Sprintf("workers=%d", eff-want))
+			m.walOr(durable.Entry{Op: durable.OpLeaseRelease, JobID: j.id, WID: -1, N: eff - want})
 		}
 	}
 	// Starts: queued jobs in arrival order, only at or above their
@@ -776,6 +836,7 @@ func (m *Manager) startJob(j *job, n int) {
 			cfg.Metrics = m.cfg.Metrics
 			cfg.Spans = m.cfg.Spans
 			cfg.Flight = m.cfg.Flight
+			m.durableRTHooks(j, &cfg)
 			j.co, err = rt.NewCoordinator(mk(), cfg)
 		}
 	}
@@ -790,6 +851,7 @@ func (m *Manager) startJob(j *job, n int) {
 		return
 	}
 
+	m.walOr(durable.Entry{Op: durable.OpJobStart, JobID: j.id, WID: -1, N: len(conns)})
 	j.state = stateRunning
 	j.started = time.Now()
 	m.led.start(j.id, len(conns))
@@ -834,6 +896,7 @@ func (m *Manager) lease(j *job) bool {
 		ac.Close()
 		return false
 	}
+	m.walOr(durable.Entry{Op: durable.OpLeaseGrant, JobID: j.id, WID: -1, N: 1})
 	m.led.lease(j.id)
 	j.conns = append(j.conns, ac)
 	m.refreshInfo(j)
@@ -914,9 +977,12 @@ func (m *Manager) finishJob(e evJobDone) {
 	m.recordFlight("job.done", j.id, fmt.Sprintf("outcome=%s iters=%d", outcome, j.iter+1))
 	// SLO attainment: a job is good when it finished OK within its
 	// target (jobs without one only need to finish OK). Cancellations
-	// are the submitter's choice and burn no budget.
+	// are the submitter's choice and burn no budget — and their OpCancel
+	// entry already settled them in the ledger, so only genuine
+	// completions append an OpJobDone (write-ahead of the reply below).
 	if !j.canceled {
 		ok := j.err == nil && (j.slo == 0 || out.QueueWait+out.Runtime <= j.slo)
+		m.walOr(durable.Entry{Op: durable.OpJobDone, JobID: j.id, WID: -1, OK: ok, Detail: "outcome=" + outcome})
 		m.sloWin.Observe(ok, j.finished)
 	}
 	if j.reply != nil {
@@ -1023,6 +1089,10 @@ func (m *Manager) jobStatus(j *job, eff int) JobStatus {
 	case stateDone:
 		js.QueueWaitSeconds = j.started.Sub(j.submitted).Seconds()
 		js.RuntimeSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	js.CkptIter = j.ckptIter
+	if j.ckptIter >= 0 && !j.ckptAt.IsZero() {
+		js.CkptAgeSeconds = time.Since(j.ckptAt).Seconds()
 	}
 	if j.err != nil {
 		js.Error = j.err.Error()

@@ -25,6 +25,12 @@ type JobStatus struct {
 	// RuntimeSeconds is the time since the job started (final for done
 	// jobs).
 	RuntimeSeconds float64 `json:"runtime_seconds"`
+	// CkptIter is the last durably committed checkpoint iteration, -1
+	// before the first (or with durability disabled).
+	CkptIter int `json:"ckpt_iter"`
+	// CkptAgeSeconds is that checkpoint's age, 0 when unknown (the
+	// commit predates this manager incarnation).
+	CkptAgeSeconds float64 `json:"ckpt_age_seconds,omitempty"`
 	Error          string  `json:"error,omitempty"`
 }
 

@@ -3,6 +3,7 @@ package rt
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -244,7 +245,25 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 	acc := zerosLike(co.net.Params())
 	co.initGradArena(nTok)
 
-	for co.it = 0; co.it < co.cfg.Iterations; co.it++ {
+	// Restore a checkpointed session: install the barrier state, replay
+	// the loss history, and start the loop at the next iteration. The
+	// canonical-order aggregation then recomputes the uncheckpointed
+	// tail exactly as an uninterrupted run would have.
+	startIter := 0
+	if r := co.cfg.Resume; r != nil {
+		if err := InstallFlat(co.net.Params(), r.Params); err != nil {
+			return nil, fmt.Errorf("rt: resume params: %w", err)
+		}
+		if err := InstallFlat(vel, r.Vel); err != nil {
+			return nil, fmt.Errorf("rt: resume velocity: %w", err)
+		}
+		co.res.Losses = append(co.res.Losses, r.Losses...)
+		startIter = r.Iter + 1
+		co.recordFlight("restore.resume", -1, "",
+			fmt.Sprintf("iter=%d of %d", r.Iter, co.cfg.Iterations))
+	}
+
+	for co.it = startIter; co.it < co.cfg.Iterations; co.it++ {
 		iterStart := time.Now()
 		if err := co.runIteration(nTok); err != nil {
 			return nil, err
@@ -266,6 +285,13 @@ func (co *Coordinator) Run(conns []transport.Conn) (*Result, error) {
 		}
 		applyUpdate(co.net, vel, acc, co.cfg)
 		co.res.Losses = append(co.res.Losses, loss)
+		if co.cfg.checkpointDue(co.it) {
+			// The hook gets copies (flatten allocates): the checkpoint
+			// must not alias live state the next iteration mutates.
+			if err := co.cfg.Checkpoint(co.it, flatten(co.net.Params()), flatten(vel), slices.Clone(co.res.Losses)); err != nil {
+				return nil, fmt.Errorf("rt: checkpoint at iteration %d: %w", co.it, err)
+			}
+		}
 		iterTime := time.Since(iterStart)
 		co.observeIteration(iterTime)
 		co.applyMembership(iterTime)

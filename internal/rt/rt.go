@@ -107,6 +107,38 @@ type Config struct {
 	// records into the process-global flight recorder — recording is
 	// always on; this field exists so tests can isolate a ring.
 	Flight *obs.FlightRecorder
+	// Checkpoint, when set, is called at checkpoint barriers — right
+	// after the optimizer step of iteration iter, with copies of the
+	// post-step parameters, velocity and the full loss history — and
+	// must durably commit them before returning (internal/durable). A
+	// returned error aborts the session: training past an unwritable
+	// checkpoint would sacrifice the resume guarantee silently.
+	Checkpoint func(iter int, params, vel [][]float32, losses []float64) error
+	// CheckpointEvery is the checkpoint interval in iterations: every
+	// CheckpointEvery-th barrier commits, plus always the final one.
+	// Zero or negative defaults to 10 (durable.DefaultEvery).
+	CheckpointEvery int
+	// Resume, when set, restores a checkpointed session: the model and
+	// velocity are installed before the first barrier and training
+	// starts at Resume.Iter+1. Because gradients aggregate in canonical
+	// token order, the resumed tail recomputes exactly what an
+	// uninterrupted run would have — the final parameters are
+	// bit-identical no matter where the crash hit.
+	Resume *Resume
+}
+
+// Resume is the state a restarting coordinator installs from a
+// checkpoint before its first iteration.
+type Resume struct {
+	// Iter is the last completed iteration (the checkpoint's barrier);
+	// training resumes at Iter+1.
+	Iter int
+	// Params and Vel are the post-step model parameters and momentum
+	// velocity at that barrier, flattened per tensor.
+	Params [][]float32
+	Vel    [][]float32
+	// Losses is the per-iteration loss history through Iter.
+	Losses []float64
 }
 
 func (c Config) validate() error {
@@ -125,7 +157,33 @@ func (c Config) validate() error {
 	if c.WorkerTimeout < 0 {
 		return fmt.Errorf("rt: worker timeout must not be negative")
 	}
+	if r := c.Resume; r != nil {
+		if r.Iter < 0 || r.Iter >= c.Iterations {
+			return fmt.Errorf("rt: resume iteration %d outside [0, %d)", r.Iter, c.Iterations)
+		}
+		if len(r.Losses) != r.Iter+1 {
+			return fmt.Errorf("rt: resume carries %d losses for %d completed iterations", len(r.Losses), r.Iter+1)
+		}
+	}
 	return nil
+}
+
+// checkpointEvery resolves the checkpoint interval (see
+// Config.CheckpointEvery).
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return 10
+}
+
+// checkpointDue reports whether iteration it ends at a checkpoint
+// barrier: every checkpointEvery-th iteration, plus always the last.
+func (c Config) checkpointDue(it int) bool {
+	if c.Checkpoint == nil {
+		return false
+	}
+	return (it+1)%c.checkpointEvery() == 0 || it == c.Iterations-1
 }
 
 func (c Config) tokensPerIter() int { return c.TotalBatch / c.TokenBatch }
@@ -276,6 +334,22 @@ func zeroAll(ts []*tensor.Tensor) {
 	for _, t := range ts {
 		t.Zero()
 	}
+}
+
+// InstallFlat copies flattened per-tensor data (a checkpoint's Params
+// or Vel, or an rt.Resume) back into live tensors, validating every
+// shape first.
+func InstallFlat(ts []*tensor.Tensor, flat [][]float32) error {
+	if len(ts) != len(flat) {
+		return fmt.Errorf("rt: install %d flat tensors into %d", len(flat), len(ts))
+	}
+	for i, t := range ts {
+		if t.Len() != len(flat[i]) {
+			return fmt.Errorf("rt: flat tensor %d has %d elements, model wants %d", i, len(flat[i]), t.Len())
+		}
+		copy(t.Data, flat[i])
+	}
+	return nil
 }
 
 // flatten copies the tensors' data into per-tensor slices carved from
