@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster gate stat durable lint-metrics ci
+.PHONY: build test tier1 vet race fuzz chaos elastic-chaos obs jobs bench cluster gate stat durable kernels lint-metrics ci
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,16 @@ durable:
 	$(GO) test ./cmd/felaserver/ -race -run TestServerDurableSessionResume -count=1 -v
 	$(GO) test ./cmd/felaworker/ -race -run TestReconnect -count=1 -v
 
+# kernels runs the parallel compute-kernel and gradient-compression
+# suites under the race detector: bit-identity across fan-out widths,
+# the fp16/int8/topk codec properties with their golden v2 frames and
+# hostile-header cases, and the negotiated end-to-end TCP sessions.
+kernels:
+	$(GO) test ./internal/tensor/ -race -count=1 -v
+	$(GO) test ./internal/minidnn/ -race -run 'TestConv|TestParallel' -count=1 -v
+	$(GO) test ./internal/transport/ -race -run 'TestFP16|TestInt8|TestTopK|TestCompress|TestParamsStayExact' -count=1 -v
+	$(GO) test ./internal/rt/ -race -run 'TestCompress' -count=1 -v
+
 # lint-metrics is the exposition-conformance gate: every e2e test that
 # scrapes /metrics (felaserver observability, felastat live cluster)
 # runs the body through obs.LintExposition, so a malformed sample or
@@ -105,6 +115,6 @@ lint-metrics:
 
 # ci is the full gate: tier-1, static analysis, race detector, the
 # multi-tenant suite, the benchmark smoke pass, the cluster-mode smoke
-# run, the serving-gateway suite, the observability aggregator, and
-# the durability plane.
-ci: tier1 vet race jobs bench cluster gate stat durable
+# run, the serving-gateway suite, the observability aggregator, the
+# durability plane, and the compute-kernel/compression suite.
+ci: tier1 vet race jobs bench cluster gate stat durable kernels

@@ -73,7 +73,7 @@ func TestServerStrictSession(t *testing.T) {
 	for wid := 0; wid < workers; wid++ {
 		startWorker(t, addr, wid, workers, iters, cfg, &wg)
 	}
-	if err := run(addr, transport.DefaultCodec, workers, iters, 0, elasticOpts{}, obsOpts{}, durableOpts{}, nil, 0); err != nil {
+	if err := run(addr, transport.DefaultCodec, workers, iters, 0, elasticOpts{}, obsOpts{}, durableOpts{}, nil, 0, transport.CompressExact); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -128,7 +128,7 @@ func TestServerElasticSession(t *testing.T) {
 		joined <- assigned
 	}()
 
-	if err := run(addr, transport.DefaultCodec, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}, durableOpts{}, nil, 0); err != nil {
+	if err := run(addr, transport.DefaultCodec, workers, iters, 2*time.Second, elasticOpts{enabled: true, minWorkers: 1}, obsOpts{}, durableOpts{}, nil, 0, transport.CompressExact); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -139,7 +139,7 @@ func TestServerElasticSession(t *testing.T) {
 
 // TestServerElasticValidation: nonsensical elastic bounds fail fast.
 func TestServerElasticValidation(t *testing.T) {
-	err := run(freeAddr(t), transport.DefaultCodec, 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{}, durableOpts{}, nil, 0)
+	err := run(freeAddr(t), transport.DefaultCodec, 2, 4, time.Second, elasticOpts{enabled: true, minWorkers: 5, maxWorkers: 2}, obsOpts{}, durableOpts{}, nil, 0, transport.CompressExact)
 	if err == nil {
 		t.Fatal("min-workers > max-workers accepted")
 	}
@@ -210,7 +210,7 @@ func TestServerObservabilityE2E(t *testing.T) {
 	go func() {
 		done <- run(addr, transport.DefaultCodec, workers, iters, 2*time.Second,
 			elasticOpts{enabled: true, minWorkers: 1},
-			obsOpts{statusAddr: statusAddr, traceJSON: traceJSON}, durableOpts{}, nil, 0)
+			obsOpts{statusAddr: statusAddr, traceJSON: traceJSON}, durableOpts{}, nil, 0, transport.CompressExact)
 	}()
 
 	// Scrape while the session runs. The obs server dies with run(), so
@@ -585,7 +585,7 @@ func TestSessionModeSignalBeforeWorkers(t *testing.T) {
 	sig := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(addr, transport.DefaultCodec, 4, 4, 0, elasticOpts{}, obsOpts{}, durableOpts{}, sig, time.Second)
+		done <- run(addr, transport.DefaultCodec, 4, 4, 0, elasticOpts{}, obsOpts{}, durableOpts{}, sig, time.Second, transport.CompressExact)
 	}()
 	// Wait until the listener is up so the signal lands mid-wait.
 	deadline := time.Now().Add(5 * time.Second)
@@ -639,7 +639,7 @@ func TestServerDurableSessionResume(t *testing.T) {
 	for wid := 0; wid < 2; wid++ {
 		startWorker(t, addr, wid, 2, 4, cfg4, &wg)
 	}
-	if err := run(addr, transport.DefaultCodec, 2, 4, 0, elasticOpts{}, obsOpts{}, du, nil, 0); err != nil {
+	if err := run(addr, transport.DefaultCodec, 2, 4, 0, elasticOpts{}, obsOpts{}, du, nil, 0, transport.CompressExact); err != nil {
 		t.Fatalf("phase 1: %v", err)
 	}
 	wg.Wait()
@@ -656,7 +656,7 @@ func TestServerDurableSessionResume(t *testing.T) {
 	statusAddr := freeAddr(t)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(addr, transport.DefaultCodec, 2, 8, 0, elasticOpts{}, obsOpts{statusAddr: statusAddr}, du, nil, 0)
+		done <- run(addr, transport.DefaultCodec, 2, 8, 0, elasticOpts{}, obsOpts{statusAddr: statusAddr}, du, nil, 0, transport.CompressExact)
 	}()
 
 	// Before any worker reconnects the health gate must hold: 503 with
@@ -714,7 +714,7 @@ func TestServerDurableSessionResume(t *testing.T) {
 		t.Fatalf("ledger history: joins=%d barriers=%d last=%d, want 4 joins, >=3 barriers ending at 7",
 			joins, barriers, lastBarrier)
 	}
-	if err := run(freeAddr(t), transport.DefaultCodec, 2, 8, 0, elasticOpts{}, obsOpts{}, du, nil, 0); err != nil {
+	if err := run(freeAddr(t), transport.DefaultCodec, 2, 8, 0, elasticOpts{}, obsOpts{}, du, nil, 0, transport.CompressExact); err != nil {
 		t.Fatalf("phase 3: %v", err)
 	}
 }

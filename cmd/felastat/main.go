@@ -33,6 +33,7 @@ import (
 	"fela/internal/jobs"
 	"fela/internal/obs"
 	"fela/internal/rt"
+	"fela/internal/transport"
 )
 
 // statOpts bundles every flag so tests can drive run directly.
@@ -153,6 +154,23 @@ type WorkerHeat struct {
 	Heat   string  `json:"heat"`
 }
 
+// CompressStat is one codec's cumulative gradient compression ratio at
+// a target (raw dense bytes / encoded wire bytes; stays absent until a
+// negotiated-lossy report crosses the wire).
+type CompressStat struct {
+	Target      string  `json:"target"`
+	Compression string  `json:"compression"`
+	Ratio       float64 `json:"ratio"`
+}
+
+// KernelUtil is one worker process's parallel compute-kernel
+// utilization: busy / (wall × fan-out) over its last token.
+type KernelUtil struct {
+	Target string  `json:"target"`
+	Worker int     `json:"worker"`
+	Util   float64 `json:"kernel_utilization"`
+}
+
 // JobRow is one job on a scraped manager, including its durability
 // posture: the last committed checkpoint iteration and how stale that
 // checkpoint is (the work a crash right now would redo).
@@ -172,12 +190,14 @@ type JobRow struct {
 
 // ClusterView is the merged scrape — what -json emits.
 type ClusterView struct {
-	Targets []TargetView      `json:"targets"`
-	Tenants []TenantBurn      `json:"tenants"`
-	Shards  []ShardStat       `json:"shards"`
-	Jobs    []JobRow          `json:"jobs,omitempty"`
-	Workers []WorkerHeat      `json:"workers"`
-	Flight  []obs.FlightEvent `json:"flight,omitempty"`
+	Targets  []TargetView      `json:"targets"`
+	Tenants  []TenantBurn      `json:"tenants"`
+	Shards   []ShardStat       `json:"shards"`
+	Jobs     []JobRow          `json:"jobs,omitempty"`
+	Workers  []WorkerHeat      `json:"workers"`
+	Compress []CompressStat    `json:"compress,omitempty"`
+	Kernels  []KernelUtil      `json:"kernels,omitempty"`
+	Flight   []obs.FlightEvent `json:"flight,omitempty"`
 }
 
 // heatRunes maps a straggler score in [0,1] to a heatmap cell: the
@@ -209,14 +229,16 @@ func collect(client *http.Client, targets []string, flightN int) *ClusterView {
 			tv.Role = role
 		}
 		tv.Healthy = scrapeHealth(client, target)
-		lint, stragglers := scrapeMetrics(client, target)
-		tv.LintErrors = lint
-		for wid, score := range stragglers {
+		ms := scrapeMetrics(client, target)
+		tv.LintErrors = ms.lint
+		for wid, score := range ms.stragglers {
 			if scores[target] == nil {
 				scores[target] = map[int]float64{}
 			}
 			scores[target][wid] = score
 		}
+		view.Compress = append(view.Compress, ms.compress...)
+		view.Kernels = append(view.Kernels, ms.kernels...)
 		if flightN > 0 {
 			view.Flight = append(view.Flight, scrapeFlight(client, target, flightN)...)
 		}
@@ -235,6 +257,18 @@ func collect(client *http.Client, targets []string, flightN int) *ClusterView {
 		return view.Workers[i].Worker < view.Workers[j].Worker
 	})
 	sort.Slice(view.Tenants, func(i, j int) bool { return view.Tenants[i].Tenant < view.Tenants[j].Tenant })
+	sort.Slice(view.Compress, func(i, j int) bool {
+		if view.Compress[i].Target != view.Compress[j].Target {
+			return view.Compress[i].Target < view.Compress[j].Target
+		}
+		return view.Compress[i].Compression < view.Compress[j].Compression
+	})
+	sort.Slice(view.Kernels, func(i, j int) bool {
+		if view.Kernels[i].Target != view.Kernels[j].Target {
+			return view.Kernels[i].Target < view.Kernels[j].Target
+		}
+		return view.Kernels[i].Worker < view.Kernels[j].Worker
+	})
 	sort.Slice(view.Jobs, func(i, j int) bool {
 		if view.Jobs[i].Target != view.Jobs[j].Target {
 			return view.Jobs[i].Target < view.Jobs[j].Target
@@ -330,31 +364,58 @@ func scrapeHealth(client *http.Client, target string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// scrapeMetrics lints the exposition and pulls the straggler-score
-// gauges out of it.
-func scrapeMetrics(client *http.Client, target string) (lint []string, scores map[int]float64) {
+// metricsScrape is everything one /metrics body contributes to the view.
+type metricsScrape struct {
+	lint       []string
+	stragglers map[int]float64
+	compress   []CompressStat
+	kernels    []KernelUtil
+}
+
+// scrapeMetrics lints the exposition and pulls the straggler-score,
+// compression-ratio and kernel-utilization gauges out of it.
+func scrapeMetrics(client *http.Client, target string) metricsScrape {
+	var ms metricsScrape
 	raw, err := get(client, target, "/metrics")
 	if err != nil {
-		return nil, nil
+		return ms
 	}
 	for _, err := range obs.LintExposition(strings.NewReader(string(raw))) {
-		lint = append(lint, err.Error())
+		ms.lint = append(ms.lint, err.Error())
 	}
 	exp, err := obs.ParseExposition(strings.NewReader(string(raw)))
 	if err != nil {
-		return append(lint, err.Error()), nil
+		ms.lint = append(ms.lint, err.Error())
+		return ms
 	}
 	for _, s := range exp.Find(rt.MetricStragglerScore) {
 		wid, err := strconv.Atoi(s.Labels["worker"])
 		if err != nil {
 			continue
 		}
-		if scores == nil {
-			scores = map[int]float64{}
+		if ms.stragglers == nil {
+			ms.stragglers = map[int]float64{}
 		}
-		scores[wid] = s.Value
+		ms.stragglers[wid] = s.Value
 	}
-	return lint, scores
+	for _, s := range exp.Find(transport.MetricCompressRatio) {
+		// The exact codec's gauge idles at zero unless lossless traffic
+		// was explicitly measured; skip silent zero rows either way.
+		if s.Value == 0 {
+			continue
+		}
+		ms.compress = append(ms.compress, CompressStat{
+			Target: target, Compression: s.Labels["compression"], Ratio: s.Value,
+		})
+	}
+	for _, s := range exp.Find(rt.MetricWorkerKernelUtilization) {
+		wid, err := strconv.Atoi(s.Labels["worker"])
+		if err != nil {
+			continue
+		}
+		ms.kernels = append(ms.kernels, KernelUtil{Target: target, Worker: wid, Util: s.Value})
+	}
+	return ms
 }
 
 // scrapeFlight reads /debug/flight and keeps the newest n events.
@@ -475,6 +536,26 @@ func render(w io.Writer, view *ClusterView) {
 		}
 		tw.Flush()
 		fmt.Fprintf(w, "  heatmap [%s]\n", bar.String())
+	}
+
+	if len(view.Compress) > 0 {
+		fmt.Fprintln(w, "\nCOMPRESSION  (cumulative raw/wire ratio of the gradient report path)")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TARGET\tCODEC\tRATIO")
+		for _, c := range view.Compress {
+			fmt.Fprintf(tw, "%s\t%s\t%.2fx\n", c.Target, c.Compression, c.Ratio)
+		}
+		tw.Flush()
+	}
+
+	if len(view.Kernels) > 0 {
+		fmt.Fprintln(w, "\nKERNELS  (busy / (wall × fan-out) of the parallel compute kernels, last token)")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "WORKER\tUTIL")
+		for _, k := range view.Kernels {
+			fmt.Fprintf(tw, "%s/w%d\t%.0f%%\n", k.Target, k.Worker, k.Util*100)
+		}
+		tw.Flush()
 	}
 
 	if len(view.Flight) > 0 {

@@ -49,6 +49,7 @@ import (
 	"fela/internal/minidnn"
 	"fela/internal/obs"
 	"fela/internal/rt"
+	"fela/internal/tensor"
 	"fela/internal/transport"
 )
 
@@ -80,19 +81,28 @@ func main() {
 		"serve worker-side telemetry (/metrics, /statusz, /trace, /debug/pprof) on this address (empty = off)")
 	codec := flag.String("codec", transport.DefaultCodec,
 		"wire codec (binary or gob); must match the felaserver's -codec")
+	compressName := flag.String("compress", "",
+		"gradient compression to request for reports (exact, fp16, int8, topk; empty = exact). Engages only when the felaserver permits the same codec and the wire codec is binary; lossy codecs trade the bit-identical guarantee for smaller reports")
+	kernelPar := flag.Int("kernel-par", 0,
+		"compute-kernel fan-out: goroutines per matmul/conv (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	// SIGQUIT dumps the flight-recorder ring as JSONL to stderr and
 	// keeps running — the field-debugging hook every binary carries.
 	obs.FlightDumpOnSIGQUIT("felaworker")
 
+	tensor.SetParallelism(*kernelPar)
+
 	var err error
-	if !transport.ValidCodec(*codec) {
+	compress, cerr := transport.ParseCompression(*compressName)
+	if cerr != nil {
+		err = cerr
+	} else if !transport.ValidCodec(*codec) {
 		err = fmt.Errorf("unknown codec %q (want %s or %s)", *codec, transport.CodecBinary, transport.CodecGob)
 	} else if *pool {
 		err = runPool(*addr, *codec, *sleepMS, *retries, *statusAddr)
 	} else {
-		err = run(*addr, *codec, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *reconnect, *statusAddr)
+		err = run(*addr, *codec, *wid, *workers, *iters, *sleepMS, *retries, *join, *drainAfter, *reconnect, *statusAddr, compress)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felaworker:", err)
@@ -139,13 +149,14 @@ func runPool(addr, codec string, sleepMS, retries int, statusAddr string) error 
 	return nil
 }
 
-func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int, reconnect bool, statusAddr string) error {
+func run(addr, codec string, wid, workers, iters, sleepMS, retries int, join bool, drainAfter int, reconnect bool, statusAddr string, compress transport.Compression) error {
 	cfg := rt.Config{
 		Workers:    workers,
 		TotalBatch: 64,
 		TokenBatch: 8,
 		Iterations: iters,
 		LR:         0.05,
+		Compress:   compress,
 	}
 	if statusAddr != "" {
 		cfg.Metrics = obs.NewRegistry()

@@ -9,9 +9,12 @@ import (
 )
 
 // Conv2D is a real 2-D convolution layer (NCHW, square kernels, stride
-// 1, symmetric zero padding) with direct-loop forward and backward
-// passes. It exists so the real-time engine can train genuine CNNs, not
-// just MLPs; sizes are expected to be small.
+// 1, symmetric zero padding). Forward and backward run over an im2col
+// expansion of the input — contiguous dot products instead of strided
+// gather loops — parallelized over disjoint row bands via the shared
+// tensor kernel pool. Both passes reproduce the direct naive loops
+// (kept below as test references) bit for bit: accumulation order per
+// output element is unchanged, only the traversal moves.
 type Conv2D struct {
 	InC, OutC, K, Pad int
 	InH, InW          int
@@ -19,6 +22,14 @@ type Conv2D struct {
 	W, B   *tensor.Tensor // W shape (OutC, InC*K*K), B shape (OutC)
 	gW, gB *tensor.Tensor
 	lastX  *tensor.Tensor
+
+	// cols is the grow-only im2col scratch from the last Forward: row
+	// (n·OutH + i)·OutW + j holds output pixel (n,i,j)'s receptive
+	// field in (ic,ki,kj) order — the exact order the naive loops walk,
+	// with literal zeros where the window hangs over the padding. Dot
+	// products along a row therefore replay the naive addition
+	// sequence, including the no-op adds of w·0 at padded taps.
+	cols []float32
 }
 
 // NewConv2D builds a convolution layer with N(0, 1/(InC·K²))
@@ -51,7 +62,136 @@ func (c *Conv2D) at(x *tensor.Tensor, n, ch, i, j int) float32 {
 
 // Forward implements Layer. The input is (batch, InC*InH*InW) flattened
 // row-major; the output is (batch, OutC*OutH*OutW).
+//
+// Each output pixel row of the im2col matrix is built and consumed by
+// the same band, so the pass parallelizes over (n,i,j) rows with no
+// shared writes. The accumulator is seeded with the bias — the naive
+// kernel folds products onto B[oc], and float addition is not
+// associative, so summing first and adding the bias last would change
+// the bits.
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 2 || x.Shape[1] != c.InC*c.InH*c.InW {
+		panic(fmt.Sprintf("minidnn: conv input shape %v, want (*,%d)", x.Shape, c.InC*c.InH*c.InW))
+	}
+	c.lastX = x
+	batch := x.Shape[0]
+	oh, ow := c.OutH(), c.OutW()
+	rf := c.InC * c.K * c.K // receptive-field size: one im2col row
+	rows := batch * oh * ow
+	if need := rows * rf; cap(c.cols) < need {
+		c.cols = make([]float32, need)
+	} else {
+		c.cols = c.cols[:need]
+	}
+	out := tensor.New(batch, c.OutC*oh*ow)
+	flops := int64(rows) * int64(rf) * int64(c.OutC)
+	tensor.ParallelRows(rows, flops, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			n := r / (oh * ow)
+			i := r / ow % oh
+			j := r % ow
+			row := c.cols[r*rf : (r+1)*rf]
+			idx := 0
+			for ic := 0; ic < c.InC; ic++ {
+				for ki := 0; ki < c.K; ki++ {
+					ii := i - c.Pad + ki
+					for kj := 0; kj < c.K; kj++ {
+						row[idx] = c.at(x, n, ic, ii, j-c.Pad+kj)
+						idx++
+					}
+				}
+			}
+			for oc := 0; oc < c.OutC; oc++ {
+				w := c.W.Data[oc*rf : (oc+1)*rf]
+				sum := c.B.Data[oc]
+				for p, wv := range w {
+					sum += wv * row[p]
+				}
+				out.Data[(n*c.OutC+oc)*oh*ow+i*ow+j] = sum
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer. Two band-parallel passes replace the naive
+// single pass, each preserving the naive accumulation order:
+//
+//   - dx is parallel over samples — a sample's dx rows are touched by
+//     no other sample, and within one sample the loops below are the
+//     naive loops verbatim;
+//   - gW/gB are parallel over output channels — channel oc owns gW row
+//     oc and gB[oc] alone, and for a fixed oc the naive kernel visits
+//     contributions in ascending (n,i,j) order, which is exactly this
+//     loop's order. The weight-gradient dot rides the im2col rows
+//     cached by Forward (identical values to the strided gathers,
+//     including the padding zeros).
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastX == nil {
+		panic("minidnn: conv Backward before Forward")
+	}
+	batch := c.lastX.Shape[0]
+	oh, ow := c.OutH(), c.OutW()
+	rf := c.InC * c.K * c.K
+	flops := int64(batch) * int64(oh*ow) * int64(rf) * int64(c.OutC)
+	dx := tensor.New(batch, c.InC*c.InH*c.InW)
+	tensor.ParallelRows(batch, flops, func(nLo, nHi int) {
+		for n := nLo; n < nHi; n++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				for i := 0; i < oh; i++ {
+					for j := 0; j < ow; j++ {
+						g := grad.Data[(n*c.OutC+oc)*oh*ow+i*ow+j]
+						if g == 0 {
+							continue
+						}
+						for ic := 0; ic < c.InC; ic++ {
+							for ki := 0; ki < c.K; ki++ {
+								ii := i - c.Pad + ki
+								if ii < 0 || ii >= c.InH {
+									continue
+								}
+								for kj := 0; kj < c.K; kj++ {
+									jj := j - c.Pad + kj
+									if jj < 0 || jj >= c.InW {
+										continue
+									}
+									wIdx := oc*rf + (ic*c.K+ki)*c.K + kj
+									dx.Data[((n*c.InC+ic)*c.InH+ii)*c.InW+jj] += g * c.W.Data[wIdx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	tensor.ParallelRows(c.OutC, flops, func(ocLo, ocHi int) {
+		for oc := ocLo; oc < ocHi; oc++ {
+			gw := c.gW.Data[oc*rf : (oc+1)*rf]
+			for n := 0; n < batch; n++ {
+				for i := 0; i < oh; i++ {
+					for j := 0; j < ow; j++ {
+						g := grad.Data[(n*c.OutC+oc)*oh*ow+i*ow+j]
+						if g == 0 {
+							continue
+						}
+						c.gB.Data[oc] += g
+						row := c.cols[((n*oh+i)*ow+j)*rf : ((n*oh+i)*ow+j+1)*rf]
+						for p, v := range row {
+							gw[p] += g * v
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}
+
+// forwardNaive and backwardNaive are the original direct-loop kernels,
+// kept as the references the bit-identity tests compare the im2col
+// band-parallel passes against.
+func (c *Conv2D) forwardNaive(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dims() != 2 || x.Shape[1] != c.InC*c.InH*c.InW {
 		panic(fmt.Sprintf("minidnn: conv input shape %v, want (*,%d)", x.Shape, c.InC*c.InH*c.InW))
 	}
@@ -80,8 +220,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
-func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2D) backwardNaive(grad *tensor.Tensor) *tensor.Tensor {
 	if c.lastX == nil {
 		panic("minidnn: conv Backward before Forward")
 	}

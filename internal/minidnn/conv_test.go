@@ -102,6 +102,51 @@ func cloneForLoss(n *Network) *Network {
 	return out
 }
 
+// TestConvParallelBitIdentical proves the im2col band-parallel
+// Forward/Backward reproduce the direct naive loops bit for bit at every
+// fan-out width. The geometry is chosen large enough to clear the
+// tensor package's parallel cutoff, so the parallel path genuinely
+// runs; odd spatial dims make the bands land unevenly.
+func TestConvParallelBitIdentical(t *testing.T) {
+	const (
+		batch, inC, outC = 24, 3, 8
+		k, pad, h, w     = 3, 1, 15, 17
+	)
+	newLayer := func() *Conv2D {
+		return NewConv2D(rand.New(rand.NewSource(9)), inC, outC, k, pad, h, w)
+	}
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.New(batch, inC*h*w).Randn(rng, 1)
+	ref := newLayer()
+	wantOut := ref.forwardNaive(x)
+	grad := tensor.New(wantOut.Shape...).Randn(rng, 1)
+	for i := range grad.Data {
+		if i%9 == 0 {
+			grad.Data[i] = 0 // exercise the zero-skip path
+		}
+	}
+	wantDx := ref.backwardNaive(grad)
+	for _, par := range []int{1, 2, 8} {
+		tensor.SetParallelism(par)
+		c := newLayer()
+		out := c.Forward(x)
+		if !out.Equal(wantOut) {
+			t.Errorf("par=%d: Forward diverges from naive (max |Δ| %g)", par, out.MaxAbsDiff(wantOut))
+		}
+		dx := c.Backward(grad)
+		if !dx.Equal(wantDx) {
+			t.Errorf("par=%d: Backward dx diverges from naive (max |Δ| %g)", par, dx.MaxAbsDiff(wantDx))
+		}
+		if !c.gW.Equal(ref.gW) {
+			t.Errorf("par=%d: gW diverges from naive (max |Δ| %g)", par, c.gW.MaxAbsDiff(ref.gW))
+		}
+		if !c.gB.Equal(ref.gB) {
+			t.Errorf("par=%d: gB diverges from naive (max |Δ| %g)", par, c.gB.MaxAbsDiff(ref.gB))
+		}
+	}
+	tensor.SetParallelism(0)
+}
+
 func TestMaxPool(t *testing.T) {
 	p := NewMaxPool2D(1, 4, 4, 2)
 	x := tensor.FromSlice([]float32{

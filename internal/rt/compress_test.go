@@ -1,0 +1,178 @@
+package rt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fela/internal/minidnn"
+	"fela/internal/obs"
+	"fela/internal/transport"
+)
+
+// runTCPSession drives a full binary-codec TCP session with the given
+// coordinator and worker configs and returns the result plus the
+// coordinator-side registry.
+func runTCPSession(t *testing.T, coCfg, wCfg Config, seed func() *minidnn.Network, ds *minidnn.Dataset) (*Result, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	coCfg.Metrics = reg
+
+	l, err := transport.ListenCodec("127.0.0.1:0", transport.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	serverConns := make([]transport.Conn, coCfg.Workers)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := range serverConns {
+			c, err := l.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			serverConns[i] = c
+		}
+		acceptErr <- nil
+	}()
+
+	workerErrs := make(chan error, coCfg.Workers)
+	for wid := 0; wid < coCfg.Workers; wid++ {
+		wid := wid
+		go func() {
+			c, err := transport.DialCodec(l.Addr(), transport.CodecBinary)
+			if err != nil {
+				workerErrs <- err
+				return
+			}
+			defer c.Close()
+			workerErrs <- NewWorker(wid, seed(), ds, wCfg).Run(c)
+		}()
+	}
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+
+	co, err := NewCoordinator(seed(), coCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run(serverConns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < coCfg.Workers; i++ {
+		if err := <-workerErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res, reg
+}
+
+// compressedWireBytes sums the coordinator-side decoded wire bytes for
+// one codec label — nonzero iff reports actually arrived compressed.
+func compressedWireBytes(reg *obs.Registry, codec string) int64 {
+	var total int64
+	for labels, v := range reg.CounterValues(transport.MetricCompressWireBytes) {
+		if strings.Contains(labels, "decode") && strings.Contains(labels, codec) {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestCompressedSessionOverTCP runs a full session with int8 gradient
+// compression negotiated on both sides: reports must actually travel
+// compressed (wire-byte telemetry on the coordinator), training must
+// still converge, and the compression ratio must be ≈4×.
+func TestCompressedSessionOverTCP(t *testing.T) {
+	cfg := Config{
+		Workers: 3, TotalBatch: 30, TokenBatch: 5,
+		Iterations: 8, LR: 0.1,
+		Compress: transport.CompressInt8,
+	}
+	seed := func() *minidnn.Network { return minidnn.NewMLP(1, 8, 16, 3) }
+	ds := minidnn.SyntheticBlobs(2, 30, 8, 3)
+
+	res, reg := runTCPSession(t, cfg, cfg, seed, ds)
+	if len(res.Losses) != cfg.Iterations {
+		t.Fatalf("session recorded %d losses for %d iterations", len(res.Losses), cfg.Iterations)
+	}
+	for i, l := range res.Losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("iteration %d loss is %v under int8 compression", i, l)
+		}
+	}
+	if last, first := res.Losses[len(res.Losses)-1], res.Losses[0]; last >= first {
+		t.Fatalf("loss did not decrease under int8 compression: %v -> %v", first, last)
+	}
+	wire := compressedWireBytes(reg, "int8")
+	if wire == 0 {
+		t.Fatal("no int8-compressed report bytes decoded: negotiation failed to engage")
+	}
+	var raw int64
+	for labels, v := range reg.CounterValues(transport.MetricCompressRawBytes) {
+		if strings.Contains(labels, "decode") && strings.Contains(labels, "int8") {
+			raw += v
+		}
+	}
+	if raw < 3*wire {
+		t.Fatalf("int8 ratio %.2f, want ≈4 (raw %d wire %d)", float64(raw)/float64(wire), raw, wire)
+	}
+}
+
+// TestCompressionNegotiationMismatch: a worker requesting a lossy codec
+// against a coordinator permitting only exact must degrade to lossless —
+// the session completes bit-identical to Sequential and no compressed
+// bytes ever cross the wire.
+func TestCompressionNegotiationMismatch(t *testing.T) {
+	coCfg := Config{
+		Workers: 2, TotalBatch: 16, TokenBatch: 4,
+		Iterations: 4, LR: 0.1,
+		// Compress left at the default: exact only.
+	}
+	wCfg := coCfg
+	wCfg.Compress = transport.CompressTopK // request denied at negotiation
+	seed := func() *minidnn.Network { return minidnn.NewMLP(1, 8, 16, 3) }
+	ds := minidnn.SyntheticBlobs(2, 16, 8, 3)
+
+	res, reg := runTCPSession(t, coCfg, wCfg, seed, ds)
+	want, err := Sequential(seed(), ds, coCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Params {
+		if !res.Params[i].Equal(want.Params[i]) {
+			t.Fatalf("parameter tensor %d differs from Sequential after a denied compression request", i)
+		}
+	}
+	if wire := compressedWireBytes(reg, "topk"); wire != 0 {
+		t.Fatalf("%d top-k bytes decoded despite the coordinator denying compression", wire)
+	}
+}
+
+// TestCompressionNegotiatedExactStaysBitIdentical: both sides agreeing
+// on a lossy codec is opt-in; both sides agreeing on exact (the default)
+// must keep the existing bit-identical guarantee over the same wire.
+func TestCompressionNegotiatedExactStaysBitIdentical(t *testing.T) {
+	cfg := Config{
+		Workers: 2, TotalBatch: 16, TokenBatch: 4,
+		Iterations: 4, LR: 0.1,
+		Compress: transport.CompressExact,
+	}
+	seed := func() *minidnn.Network { return minidnn.NewMLP(1, 8, 16, 3) }
+	ds := minidnn.SyntheticBlobs(2, 16, 8, 3)
+
+	res, _ := runTCPSession(t, cfg, cfg, seed, ds)
+	want, err := Sequential(seed(), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Params {
+		if !res.Params[i].Equal(want.Params[i]) {
+			t.Fatalf("parameter tensor %d differs from Sequential under negotiated-exact", i)
+		}
+	}
+}

@@ -63,9 +63,11 @@ type Coordinator struct {
 
 	// pendingJoins are admitted connections that asked to join, FIFO;
 	// pendingLeaves are workers that announced a drain. Both wait for an
-	// iteration barrier.
-	pendingJoins  []transport.Conn
-	pendingLeaves []*workerState
+	// iteration barrier. pendingJoinReq remembers each pending joiner's
+	// requested gradient codec until admission negotiates it.
+	pendingJoins   []transport.Conn
+	pendingJoinReq map[transport.Conn]transport.Compression
+	pendingLeaves  []*workerState
 
 	// Per-iteration state.
 	it         int
@@ -98,18 +100,19 @@ func NewCoordinator(net *minidnn.Network, cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	co := &Coordinator{
-		net:      net,
-		cfg:      cfg,
-		events:   make(chan event, 16*cfg.Workers+64),
-		byConn:   map[transport.Conn]*workerState{},
-		initial:  map[transport.Conn]bool{},
-		rejected: map[transport.Conn]bool{},
-		tele:     newCoTelemetry(cfg.Metrics),
-		rates:    map[int]float64{},
-		flight:   obs.FlightOr(cfg.Flight),
-		start:    time.Now(),
-		res:      &Result{TokensByWorker: make([]int, cfg.Workers)},
-		it:       -1,
+		net:            net,
+		cfg:            cfg,
+		events:         make(chan event, 16*cfg.Workers+64),
+		byConn:         map[transport.Conn]*workerState{},
+		initial:        map[transport.Conn]bool{},
+		rejected:       map[transport.Conn]bool{},
+		tele:           newCoTelemetry(cfg.Metrics),
+		rates:          map[int]float64{},
+		pendingJoinReq: map[transport.Conn]transport.Compression{},
+		flight:         obs.FlightOr(cfg.Flight),
+		start:          time.Now(),
+		res:            &Result{TokensByWorker: make([]int, cfg.Workers)},
+		it:             -1,
 	}
 	// Publish an initial snapshot so /statusz answers from the moment
 	// the coordinator exists, not only after registration completes.
@@ -150,6 +153,11 @@ type workerState struct {
 	// outstanding maps assigned-but-unreported token seqs to their
 	// assignment time, the basis for hang detection.
 	outstanding map[int]time.Time
+	// codec is the gradient codec negotiated at registration: the
+	// worker's request when it matches Config.Compress, exact otherwise.
+	// Reports must arrive under this codec or exact (transports without
+	// codec support degrade to exact, which is always legal).
+	codec transport.Compression
 }
 
 // errWorkerHung marks a deadline expiry on an assigned token.
@@ -168,6 +176,22 @@ func (co *Coordinator) recordFlight(event string, wid int, trace string, detail 
 	ev.Trace = trace
 	ev.Detail = detail
 	co.flight.Record(ev)
+}
+
+// negotiate resolves a worker's requested gradient codec against the
+// session's permit (Config.Compress): the request wins only when it
+// matches the permit exactly; any mismatch degrades to lossless. wid is
+// only for the flight record (-1 for not-yet-admitted joiners).
+func (co *Coordinator) negotiate(wid int, req transport.Compression) transport.Compression {
+	neg := transport.CompressExact
+	if req.Valid() && req == co.cfg.Compress {
+		neg = req
+	}
+	if req != transport.CompressExact || co.cfg.Compress != transport.CompressExact {
+		co.recordFlight("compress.negotiate", wid, "",
+			fmt.Sprintf("req=%v permit=%v negotiated=%v", req, co.cfg.Compress, neg))
+	}
+	return neg
 }
 
 // faultTolerant reports whether fault handling is enabled.
@@ -339,6 +363,7 @@ func (co *Coordinator) closeLeftoverAdmitted() {
 		c.Close()
 	}
 	co.pendingJoins = nil
+	co.pendingJoinReq = map[transport.Conn]transport.Compression{}
 }
 
 // register pairs worker ids with connections. In fault-tolerant mode a
@@ -394,6 +419,7 @@ wait:
 				// arrived on one of the initial connections it consumed a
 				// registration slot, which fault tolerance absorbs.
 				co.pendingJoins = append(co.pendingJoins, ev.conn)
+				co.pendingJoinReq[ev.conn] = ev.msg.GradCodec()
 				if co.initial[ev.conn] {
 					resolved++
 				}
@@ -446,6 +472,7 @@ wait:
 			}
 			ws.conn = ev.conn
 			ws.alive = true
+			ws.codec = co.negotiate(wid, ev.msg.GradCodec())
 			co.byConn[ev.conn] = ws
 			resolved++
 		case <-deadline:
@@ -641,6 +668,11 @@ func (co *Coordinator) runIteration(nTok int) error {
 				if seq < 0 || seq >= nTok || co.tokens[seq].done {
 					return fmt.Errorf("rt: bogus report for token seq %d", seq)
 				}
+				// Exact is always legal (codec-blind transports degrade to
+				// it losslessly); anything else must match the negotiation.
+				if rc := m.GradCodec(); rc != transport.CompressExact && rc != ws.codec {
+					return fmt.Errorf("rt: worker %d reported with codec %v, negotiated %v", ws.wid, rc, ws.codec)
+				}
 				// Validate and copy the gradients into the token's arena
 				// views now, so the (possibly pooled) message can be
 				// released instead of retained until the barrier.
@@ -742,6 +774,7 @@ func (co *Coordinator) strayEvent(ev event) error {
 			}
 		}
 		co.pendingJoins = append(co.pendingJoins, ev.conn)
+		co.pendingJoinReq[ev.conn] = ev.msg.GradCodec()
 		return nil
 	}
 	// Anything else from a non-worker connection is a protocol
@@ -760,6 +793,7 @@ func (co *Coordinator) dropPendingJoin(c transport.Conn, phase string, cause err
 	for i, pc := range co.pendingJoins {
 		if pc == c {
 			co.pendingJoins = append(co.pendingJoins[:i], co.pendingJoins[i+1:]...)
+			delete(co.pendingJoinReq, c)
 			co.recordFault(-1, phase, transport.Classify(cause).String(), cause.Error())
 			return
 		}
@@ -813,13 +847,17 @@ func (co *Coordinator) applyMembership(iterTime time.Duration) {
 		co.pendingJoins = co.pendingJoins[1:]
 		wid := len(co.workers)
 		ws := &workerState{wid: wid, conn: conn, alive: true, outstanding: map[int]time.Time{}}
+		ws.codec = co.negotiate(wid, co.pendingJoinReq[conn])
+		delete(co.pendingJoinReq, conn)
 		co.workers = append(co.workers, ws)
 		co.byConn[conn] = ws
 		co.res.TokensByWorker = append(co.res.TokensByWorker, 0)
-		// The admission ack carries the assigned wid; the next iter-start
-		// broadcast delivers the current model snapshot before the
-		// joiner's first pull.
-		if err := conn.Send(&transport.Message{Kind: transport.KindJoin, WID: wid, Iter: effect}); err != nil {
+		// The admission ack carries the assigned wid and the negotiated
+		// gradient codec; the next iter-start broadcast delivers the
+		// current model snapshot before the joiner's first pull.
+		ack := &transport.Message{Kind: transport.KindJoin, WID: wid, Iter: effect}
+		ack.SetGradCodec(ws.codec)
+		if err := conn.Send(ack); err != nil {
 			co.markDead(ws, "join", err)
 			continue
 		}
@@ -937,9 +975,15 @@ func (co *Coordinator) sendAssign(ws *workerState, tok *tokenState) error {
 	ws.outstanding[tok.info.Seq] = time.Now()
 	co.recordFlight("token.assign", ws.wid, tok.span.Context().TraceHex(),
 		"seq="+strconv.Itoa(tok.info.Seq))
-	return ws.conn.Send(&transport.Message{
+	// Every assign restates the negotiated codec, so a worker that
+	// registered through a codec-blind transport (which drops the
+	// negotiation field) still learns the verdict before its first
+	// report.
+	am := &transport.Message{
 		Kind: transport.KindAssign, Iter: co.it, Token: tok.info, Span: tok.span.Context(),
-	})
+	}
+	am.SetGradCodec(ws.codec)
+	return ws.conn.Send(am)
 }
 
 // unassign reverts an assignment whose send never reached the worker:

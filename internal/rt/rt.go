@@ -35,6 +35,7 @@ import (
 	"fela/internal/obs"
 	"fela/internal/tensor"
 	"fela/internal/trace"
+	"fela/internal/transport"
 )
 
 // Config describes a real-time training session.
@@ -80,6 +81,17 @@ type Config struct {
 	// as Result.Scales; the policy's Distribution hook re-tunes token
 	// ownership for the live worker set.
 	Elastic MembershipPolicy
+	// Compress names the gradient-compression codec this side of the
+	// session is willing to use on the report path (transport package:
+	// exact, fp16, int8, topk). On a worker it is the codec requested at
+	// registration; on the coordinator it is the codec permitted. The
+	// negotiated codec is the request when it matches the permit and
+	// exact otherwise, so a mixed fleet silently degrades to lossless
+	// rather than failing. Only the Grads section of reports is ever
+	// lossy — parameter broadcasts stay bit-exact — and the default
+	// (CompressExact) preserves the bit-identical-to-Sequential
+	// guarantee end to end.
+	Compress transport.Compression
 	// WorkerTimeout, when positive, enables fault tolerance: a worker
 	// that has not registered, or has sat on an assigned token, for
 	// longer than this is declared dead; its tokens return to the pool
@@ -156,6 +168,9 @@ func (c Config) validate() error {
 	}
 	if c.WorkerTimeout < 0 {
 		return fmt.Errorf("rt: worker timeout must not be negative")
+	}
+	if !c.Compress.Valid() {
+		return fmt.Errorf("rt: unknown compression codec %d", c.Compress)
 	}
 	if r := c.Resume; r != nil {
 		if r.Iter < 0 || r.Iter >= c.Iterations {

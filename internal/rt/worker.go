@@ -8,6 +8,7 @@ import (
 
 	"fela/internal/minidnn"
 	"fela/internal/obs"
+	"fela/internal/tensor"
 	"fela/internal/transport"
 )
 
@@ -21,6 +22,12 @@ const (
 	MetricWorkerFetchSeconds = "fela_worker_fetch_seconds"
 	// MetricWorkerTokensTotal counts tokens computed and reported.
 	MetricWorkerTokensTotal = "fela_worker_tokens_total"
+	// MetricWorkerKernelUtilization is the fraction of the parallel
+	// compute kernels' wall time × fan-out actually spent inside band
+	// loops since the last token (1.0 = every kernel worker busy the
+	// whole time; low values mean bands are too small or the machine is
+	// oversubscribed). Serial-only windows leave the gauge unchanged.
+	MetricWorkerKernelUtilization = "fela_worker_kernel_utilization"
 )
 
 // Worker is the real-time training worker (§III-A worker logic): it
@@ -34,9 +41,18 @@ type Worker struct {
 	cfg Config
 
 	// Hot-path instruments, nil (no-op) when cfg.Metrics is nil.
-	compute *obs.Histogram
-	fetch   *obs.Histogram
-	tokens  *obs.Counter
+	compute    *obs.Histogram
+	fetch      *obs.Histogram
+	tokens     *obs.Counter
+	kernelUtil *obs.Gauge
+	// kernelBase is the last-seen snapshot of the process-wide kernel
+	// counters, the delta basis for the utilization gauge.
+	kernelBase tensor.KernelStats
+
+	// codec is the negotiated gradient codec reports are stamped with:
+	// requested as cfg.Compress at registration, adopted from the
+	// coordinator's verdict on the join ack and every assign.
+	codec transport.Compression
 
 	// Live snapshot state, owned by the protocol-loop goroutine and
 	// published atomically for the /statusz handler.
@@ -57,11 +73,34 @@ func NewWorker(wid int, net *minidnn.Network, ds *minidnn.Dataset, cfg Config) *
 	reg.Help(MetricWorkerComputeSeconds, "Forward+backward time per token in seconds.")
 	reg.Help(MetricWorkerFetchSeconds, "Parameter install time per iteration in seconds.")
 	reg.Help(MetricWorkerTokensTotal, "Tokens computed and reported by this worker.")
+	reg.Help(MetricWorkerKernelUtilization, "Busy fraction of the parallel compute kernels over the last token (busy / (wall × fan-out)).")
 	wl := strconv.Itoa(wid)
 	w.compute = reg.Histogram(MetricWorkerComputeSeconds, nil, "worker", wl)
 	w.fetch = reg.Histogram(MetricWorkerFetchSeconds, nil, "worker", wl)
 	w.tokens = reg.Counter(MetricWorkerTokensTotal, "worker", wl)
+	w.kernelUtil = reg.Gauge(MetricWorkerKernelUtilization, "worker", wl)
+	w.kernelBase = tensor.ReadKernelStats()
 	return w
+}
+
+// observeKernels publishes the kernel-utilization gauge from the delta
+// of the process-wide kernel counters since the last observation. The
+// counters are process-global, so with several in-process workers the
+// gauge reflects the shared pool — which is exactly what utilization
+// means on one machine.
+func (w *Worker) observeKernels() {
+	now := tensor.ReadKernelStats()
+	busy := now.BusyNanos - w.kernelBase.BusyNanos
+	wall := now.WallNanos - w.kernelBase.WallNanos
+	w.kernelBase = now
+	if wall == 0 {
+		return // no parallel kernel ran in this window
+	}
+	util := float64(busy) / (float64(wall) * float64(tensor.Parallelism()))
+	if util > 1 {
+		util = 1
+	}
+	w.kernelUtil.Set(util)
 }
 
 // Status returns the most recently published worker snapshot, nil before
@@ -92,7 +131,11 @@ func (w *Worker) publishStatus(draining bool) {
 // Run speaks the protocol over conn until shutdown.
 func (w *Worker) Run(conn transport.Conn) error {
 	conn = transport.Instrument(conn, w.cfg.Metrics)
-	if err := conn.Send(&transport.Message{Kind: transport.KindRegister, WID: w.wid}); err != nil {
+	// The registration rides the requested gradient codec; the
+	// coordinator answers with its verdict on every assign.
+	reg := &transport.Message{Kind: transport.KindRegister, WID: w.wid}
+	reg.SetGradCodec(w.cfg.Compress)
+	if err := conn.Send(reg); err != nil {
 		return fmt.Errorf("rt: worker %d register: %w", w.wid, err)
 	}
 	w.publishStatus(false)
@@ -120,7 +163,9 @@ func (w *Worker) Serve(conn transport.Conn) error {
 // a barrier admitted this worker (not an error).
 func Join(conn transport.Conn, net *minidnn.Network, ds *minidnn.Dataset, cfg Config) (int, error) {
 	conn = transport.Instrument(conn, cfg.Metrics)
-	if err := conn.Send(&transport.Message{Kind: transport.KindJoin}); err != nil {
+	req := &transport.Message{Kind: transport.KindJoin}
+	req.SetGradCodec(cfg.Compress)
+	if err := conn.Send(req); err != nil {
 		return -1, fmt.Errorf("rt: join request: %w", err)
 	}
 	m, err := conn.Recv()
@@ -136,6 +181,7 @@ func Join(conn transport.Conn, net *minidnn.Network, ds *minidnn.Dataset, cfg Co
 		return -1, fmt.Errorf("rt: expected join ack, got %v", m.Kind)
 	}
 	w := NewWorker(m.WID, net, ds, cfg)
+	w.codec = m.GradCodec() // the ack carries the negotiated codec
 	w.publishStatus(false)
 	return m.WID, w.loop(conn)
 }
@@ -187,6 +233,7 @@ func (w *Worker) loop(conn transport.Conn) error {
 			if draining {
 				continue // an assign that raced the leave; it was reclaimed
 			}
+			w.codec = m.GradCodec() // the assign restates the negotiated codec
 			// Continue the coordinator's token-roundtrip trace: the compute
 			// span is a child of the span context that rode in the assign.
 			sp := w.cfg.Spans.StartChild("compute", w.wid, m.Span)
@@ -203,6 +250,7 @@ func (w *Worker) loop(conn transport.Conn) error {
 				return err
 			}
 			w.compute.Observe(w.lastCompute)
+			w.observeKernels()
 			report.Span = m.Span // tie the report to the same trace
 			if err := conn.Send(report); err != nil {
 				return err
@@ -261,13 +309,15 @@ func (w *Worker) train(tok transport.TokenInfo) (*transport.Message, error) {
 	x, labels := w.ds.Batch(tok.Lo, tok.Hi)
 	w.net.ZeroGrads()
 	loss := w.net.Loss(x, labels)
-	return &transport.Message{
+	m := &transport.Message{
 		Kind:  transport.KindReport,
 		WID:   w.wid,
 		Token: tok,
 		Grads: flatten(w.net.Grads()),
 		Loss:  loss,
-	}, nil
+	}
+	m.SetGradCodec(w.codec)
+	return m, nil
 }
 
 // Train runs a complete in-process session: a coordinator plus

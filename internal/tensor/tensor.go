@@ -151,6 +151,13 @@ const matmulBlock = 64
 // value, so results are bitwise identical to the naive kernels (the
 // repo-wide bit-reproducibility guarantee). The naive kernels are kept
 // as unexported references that the correctness tests compare against.
+//
+// Each public kernel dispatches through ParallelRows (parallel.go):
+// above the flops cutoff the output rows are split into disjoint bands
+// claimed by pool workers, and the band kernels below run unchanged
+// inside each band. Banding the i dimension never moves an output
+// element between workers, so parallel results are bitwise identical to
+// serial ones too.
 
 // MatMul computes C = A·B for A (m×k) and B (k×n).
 func MatMul(a, b *Tensor) *Tensor {
@@ -158,17 +165,40 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	if k <= matmulBlock {
-		return matMulNaive(a, b) // a single tile; skip the tiling overhead
-	}
 	c := New(m, n)
-	// Block the p dimension: a band of matmulBlock rows of B stays
-	// cache-resident while every row of A sweeps it, so B is pulled
-	// from memory once instead of once per row of A. p ascends across
-	// and within bands, so each (i,j) sees the naive addition order.
+	flops := int64(m) * int64(k) * int64(n)
+	ParallelRows(m, flops, func(lo, hi int) { matMulRows(a, b, c, lo, hi) })
+	return c
+}
+
+// matMulRows computes rows [lo, hi) of C = A·B with the p-blocked
+// traversal: a band of matmulBlock rows of B stays cache-resident while
+// the band's rows of A sweep it, so B is pulled from memory once
+// instead of once per row of A. p ascends across and within blocks, so
+// each (i,j) sees the naive addition order. A single-tile k skips the
+// blocking overhead entirely (the naive row loop, same arithmetic).
+func matMulRows(a, b, c *Tensor, lo, hi int) {
+	k, n := a.Shape[1], b.Shape[1]
+	if k <= matmulBlock {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+		return
+	}
 	for pb := 0; pb < k; pb += matmulBlock {
 		pe := min(pb+matmulBlock, k)
-		for i := 0; i < m; i++ {
+		for i := lo; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]
 			crow := c.Data[i*n : (i+1)*n]
 			for p := pb; p < pe; p++ {
@@ -183,7 +213,6 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return c
 }
 
 func matMulNaive(a, b *Tensor) *Tensor {
@@ -212,16 +241,21 @@ func MatMulAT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulAT shapes %v x %v", a.Shape, b.Shape))
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	if m <= matmulBlock {
-		return matMulATNaive(a, b)
-	}
 	c := New(m, n)
-	// Block the i dimension: a band of matmulBlock rows of C stays
-	// cache-resident for the entire p sweep instead of the naive
-	// kernel's full C re-walk per p. Within a band p remains the outer
-	// loop, so each (i,j) still accumulates in ascending p order.
-	for ib := 0; ib < m; ib += matmulBlock {
-		ie := min(ib+matmulBlock, m)
+	flops := int64(k) * int64(m) * int64(n)
+	ParallelRows(m, flops, func(lo, hi int) { matMulATRows(a, b, c, lo, hi) })
+	return c
+}
+
+// matMulATRows computes rows [lo, hi) of C = Aᵀ·B with the i-blocked
+// traversal: a tile of matmulBlock rows of C stays cache-resident for
+// the entire p sweep instead of the naive kernel's full C re-walk per
+// p. Within a tile p remains the outer loop, so each (i,j) still
+// accumulates in ascending p order.
+func matMulATRows(a, b, c *Tensor, lo, hi int) {
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	for ib := lo; ib < hi; ib += matmulBlock {
+		ie := min(ib+matmulBlock, hi)
 		for p := 0; p < k; p++ {
 			arow := a.Data[p*m : (p+1)*m]
 			brow := b.Data[p*n : (p+1)*n]
@@ -237,7 +271,6 @@ func MatMulAT(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return c
 }
 
 func matMulATNaive(a, b *Tensor) *Tensor {
@@ -266,18 +299,38 @@ func MatMulBT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulBT shapes %v x %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	if n <= matmulBlock {
-		return matMulBTNaive(a, b)
-	}
 	c := New(m, n)
-	// Block the j dimension: a band of matmulBlock rows of B stays
-	// cache-resident while every row of A dots against it, so B is
-	// pulled from memory once instead of once per row of A. Each dot
-	// product is still one left-to-right pass over p — the naive
-	// addition sequence exactly.
+	flops := int64(m) * int64(k) * int64(n)
+	ParallelRows(m, flops, func(lo, hi int) { matMulBTRows(a, b, c, lo, hi) })
+	return c
+}
+
+// matMulBTRows computes rows [lo, hi) of C = A·Bᵀ with the j-blocked
+// traversal: a band of matmulBlock rows of B stays cache-resident while
+// the band's rows of A dot against it, so B is pulled from memory once
+// per band of A rows instead of once per row. Each dot product is still
+// one left-to-right pass over p — the naive addition sequence exactly.
+// A single-tile n skips the blocking.
+func matMulBTRows(a, b, c *Tensor, lo, hi int) {
+	k, n := a.Shape[1], b.Shape[0]
+	if n <= matmulBlock {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var sum float32
+				for p, av := range arow {
+					sum += av * brow[p]
+				}
+				crow[j] = sum
+			}
+		}
+		return
+	}
 	for jb := 0; jb < n; jb += matmulBlock {
 		je := min(jb+matmulBlock, n)
-		for i := 0; i < m; i++ {
+		for i := lo; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]
 			crow := c.Data[i*n : (i+1)*n]
 			for j := jb; j < je; j++ {
@@ -290,7 +343,6 @@ func MatMulBT(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return c
 }
 
 func matMulBTNaive(a, b *Tensor) *Tensor {

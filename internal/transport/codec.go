@@ -79,6 +79,14 @@ const (
 	frameMagic1  = 0x7A
 	frameVersion = 1
 	frameHeader  = 8
+
+	// Version-2 frames exist only to carry a non-exact gradient codec:
+	// same first 8 bytes (version byte = 2), then the codec id and 3
+	// reserved zero bytes. Exact-mode frames are always emitted as
+	// version 1, so compression never changes a byte of the default
+	// wire format.
+	frameVersion2 = 2
+	frameHeaderV2 = 12
 )
 
 // MaxFrameBytes bounds one frame's payload. A length field beyond it is
@@ -99,6 +107,16 @@ const (
 	// MetricCodecSecs is the encode/decode latency histogram by op and
 	// codec.
 	MetricCodecSecs = "fela_transport_codec_seconds"
+	// MetricCompressRawBytes counts dense gradient bytes (4 per float)
+	// entering the gradient codec, by op and compression name.
+	MetricCompressRawBytes = "fela_transport_compress_raw_bytes_total"
+	// MetricCompressWireBytes counts the encoded grads-section bytes
+	// those gradients became on the wire, by op and compression name.
+	MetricCompressWireBytes = "fela_transport_compress_wire_bytes_total"
+	// MetricCompressRatio is the cumulative raw/wire ratio per
+	// compression name (≈1 for exact, ≈2 for fp16, ≈4 for int8, ≈5–6
+	// for topk).
+	MetricCompressRatio = "fela_transport_compress_ratio"
 )
 
 // codecStats caches the codec instruments per kind so the hot path never
@@ -108,6 +126,13 @@ type codecStats struct {
 	encOps, decOps     []*obs.Counter // indexed by kind; last slot catches unknown kinds
 	encBytes, decBytes *obs.Counter
 	encSecs, decSecs   *obs.Histogram
+
+	// Gradient-compression accounting, indexed by Compression then op
+	// (0 = encode, 1 = decode). Recorded only for frames that actually
+	// carry gradients, so handshake and broadcast frames don't skew the
+	// ratio.
+	compRaw, compWire [compressCount][2]*obs.Counter
+	compRatio         [compressCount]*obs.Gauge
 }
 
 func newCodecStats(reg *obs.Registry, codec string) *codecStats {
@@ -133,7 +158,45 @@ func newCodecStats(reg *obs.Registry, codec string) *codecStats {
 		s.encOps[k] = reg.Counter(MetricCodecOps, "op", "encode", "codec", codec, "kind", name)
 		s.decOps[k] = reg.Counter(MetricCodecOps, "op", "decode", "codec", codec, "kind", name)
 	}
+	reg.Help(MetricCompressRawBytes, "Dense gradient bytes entering the gradient codec by op and compression.")
+	reg.Help(MetricCompressWireBytes, "Encoded grads-section wire bytes by op and compression.")
+	reg.Help(MetricCompressRatio, "Cumulative gradient compression ratio (raw/wire) per compression.")
+	for c := range s.compRatio {
+		name := Compression(c).String()
+		s.compRaw[c][0] = reg.Counter(MetricCompressRawBytes, "op", "encode", "compression", name)
+		s.compRaw[c][1] = reg.Counter(MetricCompressRawBytes, "op", "decode", "compression", name)
+		s.compWire[c][0] = reg.Counter(MetricCompressWireBytes, "op", "encode", "compression", name)
+		s.compWire[c][1] = reg.Counter(MetricCompressWireBytes, "op", "decode", "compression", name)
+		s.compRatio[c] = reg.Gauge(MetricCompressRatio, "compression", name)
+	}
 	return s
+}
+
+// gradInfo summarizes one frame's gradient payload for the compression
+// telemetry: the dense size the Grads slices represent and the wire
+// bytes their encoded section occupied. raw == 0 means the frame
+// carried no gradients.
+type gradInfo struct {
+	codec Compression
+	raw   int
+	wire  int
+}
+
+// compressed records one encode (op 0) or decode (op 1) of a
+// gradient-bearing frame and refreshes the codec's cumulative ratio
+// gauge.
+func (s *codecStats) compressed(op int, gi gradInfo) {
+	if s == nil || gi.raw == 0 || !gi.codec.Valid() {
+		return
+	}
+	raw, wire := s.compRaw[gi.codec][op], s.compWire[gi.codec][op]
+	raw.Add(int64(gi.raw))
+	wire.Add(int64(gi.wire))
+	rawTot := s.compRaw[gi.codec][0].Value() + s.compRaw[gi.codec][1].Value()
+	wireTot := s.compWire[gi.codec][0].Value() + s.compWire[gi.codec][1].Value()
+	if wireTot > 0 {
+		s.compRatio[gi.codec].Set(float64(rawTot) / float64(wireTot))
+	}
 }
 
 func (s *codecStats) slot(k Kind) int {
@@ -240,11 +303,30 @@ func appendString(dst []byte, s string) []byte {
 // (which may be nil). The hot path passes pooled scratch buffers here;
 // EncodeBinary is the allocating convenience wrapper.
 func AppendFrame(dst []byte, m *Message) ([]byte, error) {
+	out, _, err := appendFrameMeta(dst, m)
+	return out, err
+}
+
+// appendFrameMeta is AppendFrame plus the gradient-payload accounting
+// the compression telemetry records (gradInfo.raw == 0 when the frame
+// carries no gradients).
+func appendFrameMeta(dst []byte, m *Message) ([]byte, gradInfo, error) {
+	var gi gradInfo
 	if m.Kind < 0 || m.Kind > 255 {
-		return dst, &CodecError{fmt.Errorf("kind %d does not fit the wire's kind byte", int(m.Kind))}
+		return dst, gi, &CodecError{fmt.Errorf("kind %d does not fit the wire's kind byte", int(m.Kind))}
+	}
+	if !m.gradCodec.Valid() {
+		return dst, gi, &CodecError{fmt.Errorf("unknown gradient codec %d", uint8(m.gradCodec))}
 	}
 	base := len(dst)
-	dst = append(dst, frameMagic0, frameMagic1, frameVersion, byte(m.Kind), 0, 0, 0, 0)
+	header := frameHeader
+	if m.gradCodec == CompressExact {
+		dst = append(dst, frameMagic0, frameMagic1, frameVersion, byte(m.Kind), 0, 0, 0, 0)
+	} else {
+		header = frameHeaderV2
+		dst = append(dst, frameMagic0, frameMagic1, frameVersion2, byte(m.Kind), 0, 0, 0, 0,
+			byte(m.gradCodec), 0, 0, 0)
+	}
 	dst = binary.AppendVarint(dst, int64(m.WID))
 	dst = binary.AppendVarint(dst, int64(m.Iter))
 	dst = binary.AppendVarint(dst, int64(m.Token.ID))
@@ -253,7 +335,17 @@ func AppendFrame(dst []byte, m *Message) ([]byte, error) {
 	dst = binary.AppendVarint(dst, int64(m.Token.Hi))
 	dst = binary.AppendVarint(dst, int64(m.Token.Owner))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Loss))
-	dst = appendSlices(dst, m.Grads)
+	gradStart := len(dst)
+	if m.gradCodec == CompressExact {
+		dst = appendSlices(dst, m.Grads)
+	} else {
+		dst = appendCompressedSlices(dst, m.Grads, m.gradCodec)
+	}
+	gi.codec = m.gradCodec
+	gi.wire = len(dst) - gradStart
+	for _, g := range m.Grads {
+		gi.raw += 4 * len(g)
+	}
 	dst = appendSlices(dst, m.Params)
 	dst = appendString(dst, m.Err)
 	if m.Job == (JobSpec{}) {
@@ -275,12 +367,12 @@ func AppendFrame(dst []byte, m *Message) ([]byte, error) {
 	dst = binary.AppendVarint(dst, int64(m.JobID))
 	dst = binary.LittleEndian.AppendUint64(dst, m.Span.TraceID)
 	dst = binary.LittleEndian.AppendUint64(dst, m.Span.SpanID)
-	payload := len(dst) - base - frameHeader
+	payload := len(dst) - base - header
 	if payload > MaxFrameBytes {
-		return dst[:base], &CodecError{fmt.Errorf("payload %d exceeds MaxFrameBytes %d", payload, MaxFrameBytes)}
+		return dst[:base], gi, &CodecError{fmt.Errorf("payload %d exceeds MaxFrameBytes %d", payload, MaxFrameBytes)}
 	}
 	binary.LittleEndian.PutUint32(dst[base+4:base+8], uint32(payload))
-	return dst, nil
+	return dst, gi, nil
 }
 
 // EncodeBinary renders one message in the binary wire format (golden
@@ -321,17 +413,34 @@ func DecodeBinary(data []byte) (*Message, error) {
 	if data[0] != frameMagic0 || data[1] != frameMagic1 {
 		return nil, &CodecError{fmt.Errorf("bad magic %#02x %#02x", data[0], data[1])}
 	}
-	if data[2] != frameVersion {
+	header := frameHeader
+	codec := CompressExact
+	switch data[2] {
+	case frameVersion:
+	case frameVersion2:
+		header = frameHeaderV2
+		if len(data) < header {
+			return nil, &CodecError{fmt.Errorf("frame shorter than %d-byte v2 header", header)}
+		}
+		codec = Compression(data[8])
+		if codec == CompressExact || !codec.Valid() {
+			return nil, &CodecError{fmt.Errorf("bad gradient codec id %d in v2 header", data[8])}
+		}
+		if data[9] != 0 || data[10] != 0 || data[11] != 0 {
+			return nil, &CodecError{fmt.Errorf("nonzero reserved bytes in v2 header")}
+		}
+	default:
 		return nil, &CodecError{fmt.Errorf("unsupported frame version %d", data[2])}
 	}
 	n := binary.LittleEndian.Uint32(data[4:8])
 	if n > MaxFrameBytes {
 		return nil, &CodecError{fmt.Errorf("payload length %d exceeds MaxFrameBytes %d", n, MaxFrameBytes)}
 	}
-	if uint64(n) != uint64(len(data)-frameHeader) {
-		return nil, &CodecError{fmt.Errorf("payload length %d does not match %d frame bytes", n, len(data)-frameHeader)}
+	if uint64(n) != uint64(len(data)-header) {
+		return nil, &CodecError{fmt.Errorf("payload length %d does not match %d frame bytes", n, len(data)-header)}
 	}
-	return decodePayload(Kind(data[3]), data[frameHeader:])
+	m, _, err := decodePayloadMeta(Kind(data[3]), codec, data[header:])
+	return m, err
 }
 
 // payloadReader walks one frame payload with sticky error state; every
@@ -452,10 +561,14 @@ func (r *payloadReader) slicesInto(arena *[]float32) [][]float32 {
 	return out
 }
 
-// decodePayload decodes a frame body whose header already validated.
-func decodePayload(kind Kind, payload []byte) (*Message, error) {
+// decodePayloadMeta decodes a frame body whose header already
+// validated, expanding a compressed grads section to dense floats when
+// codec is non-exact. The returned gradInfo feeds the compression
+// telemetry.
+func decodePayloadMeta(kind Kind, codec Compression, payload []byte) (*Message, gradInfo, error) {
+	var gi gradInfo
 	r := &payloadReader{data: payload}
-	m := &Message{Kind: kind}
+	m := &Message{Kind: kind, gradCodec: codec}
 	m.WID = int(r.varint())
 	m.Iter = int(r.varint())
 	m.Token.ID = int(r.varint())
@@ -464,10 +577,32 @@ func decodePayload(kind Kind, payload []byte) (*Message, error) {
 	m.Token.Hi = int(r.varint())
 	m.Token.Owner = int(r.varint())
 	m.Loss = math.Float64frombits(r.u64())
-	// The arena is capacity-bounded by the payload itself: every float
-	// still to be decoded costs at least 4 payload bytes.
-	arena := getFloatArena(r.remaining() / 4)
-	m.Grads = r.slicesInto(arena)
+	gradStart := r.off
+	var arena *[]float32
+	if codec == CompressExact {
+		// The arena is capacity-bounded by the payload itself: every
+		// float still to be decoded costs at least 4 payload bytes.
+		arena = getFloatArena(r.remaining() / 4)
+		m.Grads = r.slicesInto(arena)
+	} else if r.err == nil {
+		// Compressed floats cost less than 4 wire bytes each, so the
+		// payload no longer bounds the arena — a scan pass sizes the
+		// gradient expansion (validating every length) and the params
+		// that follow stay exact.
+		total, err := r.scanCompressedSlices(codec)
+		if err != nil {
+			return nil, gi, err
+		}
+		arena = getFloatArena(total + r.remaining()/4)
+		m.Grads = r.compressedSlicesInto(arena, codec)
+	} else {
+		arena = getFloatArena(0)
+	}
+	gi.codec = codec
+	gi.wire = r.off - gradStart
+	for _, g := range m.Grads {
+		gi.raw += 4 * len(g)
+	}
 	m.Params = r.slicesInto(arena)
 	if len(*arena) > 0 {
 		m.pooled = arena
@@ -500,9 +635,15 @@ func decodePayload(kind Kind, payload []byte) (*Message, error) {
 	}
 	if r.err != nil {
 		m.Release()
-		return nil, r.err
+		return nil, gi, r.err
 	}
-	return m, nil
+	return m, gi, nil
+}
+
+// decodePayload decodes an exact (version-1) frame body.
+func decodePayload(kind Kind, payload []byte) (*Message, error) {
+	m, _, err := decodePayloadMeta(kind, CompressExact, payload)
+	return m, err
 }
 
 // Broadcast wraps a message whose encoded frame is shared across many

@@ -372,6 +372,24 @@ func FuzzBinaryDecode(f *testing.F) {
 	f.Add(oversize)
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	// Version-2 compressed frames: valid, truncated, and hostile-header
+	// seeds per lossy codec.
+	for _, codec := range []Compression{CompressFP16, CompressInt8, CompressTopK} {
+		m := compressedSample()
+		m.SetGradCodec(codec)
+		data, err := EncodeBinary(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		badCodec := bytes.Clone(data)
+		badCodec[8] = 0x7f
+		f.Add(badCodec)
+		badReserved := bytes.Clone(data)
+		badReserved[10] = 1
+		f.Add(badReserved)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeBinary(data)
 		if err != nil {

@@ -1,0 +1,459 @@
+package transport
+
+// Gradient compression for the report path. A report's Grads section —
+// the megabytes of float32 a token round-trip actually moves — can be
+// encoded with a lossy codec negotiated at registration, while every
+// other field (and the Params broadcast, which must stay bit-exact for
+// the bit-identical-to-Sequential guarantee) keeps the exact encoding.
+//
+// The codec travels in the frame header: frames whose gradient codec is
+// CompressExact are emitted as version-1 frames, byte-identical to what
+// the codec shipped before compression existed, so golden frames, the
+// chaos suites and cross-version peers are untouched. A non-exact codec
+// switches the frame to version 2, which carries 4 extra header bytes
+// (codec id + 3 reserved zeros).
+//
+// Grads-section layout per codec (count/lengths as uvarints, floats
+// little-endian, replacing the exact section only — Params keep the
+// exact layout):
+//
+//	fp16:  count; per slice: len, then 2·len bytes of IEEE 754 half
+//	       floats (round-to-nearest-even)
+//	int8:  count; per slice: len, 4B scale (float32 = maxAbs/127),
+//	       then len bytes of signed int8 quantized round-half-away
+//	topk:  count; per slice: full len, k (the ⌈len/8⌉ largest |g|,
+//	       ties to the lowest index), k index deltas (strictly
+//	       ascending: idx₀ = δ₀, idxᵢ₊₁ = idxᵢ + 1 + δᵢ₊₁), then
+//	       4·k bytes of the kept values; everything else decodes to 0
+//
+// Decoding is as strict as the exact path: a two-pass scan validates
+// every length (k ≤ len ≤ 16·k for top-k, totals capped at
+// MaxFrameBytes worth of floats) before the pooled arena is sized, so a
+// hostile count can never cause an oversized allocation.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+)
+
+// Compression identifies the codec a frame's Grads section is encoded
+// with. The zero value is the exact (lossless) encoding and the only
+// one the bit-identical guarantee holds under.
+type Compression uint8
+
+const (
+	// CompressExact is raw float32 — the default, bit-identical.
+	CompressExact Compression = iota
+	// CompressFP16 halves gradient bytes via IEEE 754 half precision.
+	CompressFP16
+	// CompressInt8 quantizes each slice linearly to int8 with a
+	// per-slice float32 scale (≈4× smaller).
+	CompressInt8
+	// CompressTopK keeps the largest-magnitude eighth of each slice
+	// with delta-coded indices (≈5–6× smaller); dropped entries decode
+	// as zero.
+	CompressTopK
+
+	compressCount
+)
+
+var compressionNames = [compressCount]string{
+	CompressExact: "exact",
+	CompressFP16:  "fp16",
+	CompressInt8:  "int8",
+	CompressTopK:  "topk",
+}
+
+// Valid reports whether c names a known codec.
+func (c Compression) Valid() bool { return c < compressCount }
+
+// String names the codec ("exact", "fp16", "int8", "topk").
+func (c Compression) String() string {
+	if c.Valid() {
+		return compressionNames[c]
+	}
+	return fmt.Sprintf("compression(%d)", uint8(c))
+}
+
+// Compressions lists every codec, exact first (test and flag
+// enumeration).
+func Compressions() []Compression {
+	out := make([]Compression, compressCount)
+	for i := range out {
+		out[i] = Compression(i)
+	}
+	return out
+}
+
+// ParseCompression resolves a codec name from the -compress flags.
+// Empty means exact.
+func ParseCompression(name string) (Compression, error) {
+	if name == "" {
+		return CompressExact, nil
+	}
+	for i, n := range compressionNames {
+		if name == n {
+			return Compression(i), nil
+		}
+	}
+	return CompressExact, fmt.Errorf("transport: unknown compression %q (valid: exact, fp16, int8, topk)", name)
+}
+
+// SetGradCodec selects the codec the message's Grads section is encoded
+// with on the binary wire. It also rides otherwise-gradient-free
+// handshake frames (register, join, assign) as the codec negotiation
+// field. Gob and in-memory transports ignore it for encoding; the
+// in-memory pair still delivers it by reference.
+func (m *Message) SetGradCodec(c Compression) { m.gradCodec = c }
+
+// GradCodec returns the message's gradient codec (CompressExact for
+// messages decoded from version-1 frames or built by hand).
+func (m *Message) GradCodec() Compression { return m.gradCodec }
+
+// ---- fp16 ----
+
+// f32tof16 converts to IEEE 754 binary16 with round-to-nearest-even.
+// Overflow rounds to ±Inf, NaN stays NaN, subnormal halves are exact.
+func f32tof16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint32(b>>16) & 0x8000
+	exp := b & 0x7f800000
+	coef := b & 0x007fffff
+	if exp == 0x7f800000 { // Inf or NaN
+		var nan uint32
+		if coef != 0 {
+			nan = 0x0200
+		}
+		return uint16(sign | 0x7c00 | nan | coef>>13)
+	}
+	halfExp := int32(exp>>23) - 127 + 15
+	if halfExp >= 0x1f {
+		return uint16(sign | 0x7c00) // overflow → Inf
+	}
+	if halfExp <= 0 { // subnormal half (or zero)
+		if 14-halfExp > 24 {
+			return uint16(sign) // too small even for a subnormal: ±0
+		}
+		c := coef | 0x00800000
+		shift := uint32(14 - halfExp)
+		halfCoef := c >> shift
+		round := uint32(1) << (shift - 1)
+		if c&round != 0 && c&(3*round-1) != 0 {
+			halfCoef++
+		}
+		return uint16(sign | halfCoef)
+	}
+	halfCoef := coef >> 13
+	out := sign | uint32(halfExp)<<10 | halfCoef
+	const round = uint32(0x1000)
+	if coef&round != 0 && coef&(3*round-1) != 0 {
+		out++ // may carry into the exponent — correct rounding to Inf
+	}
+	return uint16(out)
+}
+
+// f16tof32 widens an IEEE 754 binary16 value; exact for every input.
+func f16tof32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	coef := uint32(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if coef == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7fc00000 | coef<<13)
+	case exp == 0: // zero or subnormal
+		if coef == 0 {
+			return math.Float32frombits(sign)
+		}
+		e := uint32(113) // 127 - 15 + 1
+		for coef&0x400 == 0 {
+			coef <<= 1
+			e--
+		}
+		return math.Float32frombits(sign | e<<23 | (coef&0x3ff)<<13)
+	}
+	return math.Float32frombits(sign | (exp+112)<<23 | coef<<13)
+}
+
+// ---- int8 ----
+
+// int8Scale returns the per-slice quantization step: maxAbs/127, so the
+// full int8 range covers the slice. NaN/Inf poison the scale exactly as
+// they would poison training — the codec does not try to outguess them.
+func int8Scale(s []float32) float32 {
+	var maxAbs float32
+	for _, v := range s {
+		if a := float32(math.Abs(float64(v))); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs / 127
+}
+
+// quantInt8 rounds v/scale half away from zero, clamped to ±127.
+func quantInt8(v, scale float32) int8 {
+	if scale == 0 {
+		return 0
+	}
+	q := math.Round(float64(v) / float64(scale))
+	if q > 127 {
+		q = 127
+	} else if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// ---- top-k ----
+
+// topKCount is how many entries the top-k codec keeps for a slice of n:
+// the largest eighth, at least one.
+func topKCount(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return (n + 7) / 8
+}
+
+// topkMagLimit caps the decoded-length inflation a top-k frame may
+// claim: full length ≤ 16·k. The encoder's k = ⌈n/8⌉ always satisfies
+// it; a hostile frame declaring a huge dense length against a tiny k
+// fails before any allocation.
+const topkMagLimit = 16
+
+// topkScratch pools the magnitude copies the top-k threshold selection
+// sorts.
+var topkScratch = sync.Pool{New: func() any { s := make([]float32, 0, 1024); return &s }}
+
+// keyMag is the selection magnitude: |v|, with NaN treated as the
+// largest so a pathological gradient is always kept and k is always
+// met (a frame that silently dropped NaNs would decode to a different
+// k than it declared).
+func keyMag(v float32) float32 {
+	if v != v {
+		return float32(math.Inf(1))
+	}
+	return float32(math.Abs(float64(v)))
+}
+
+// topKSelect appends the indices of the k largest-magnitude entries of
+// s to idx, in ascending index order. Ties break to the lowest index,
+// so the selection is deterministic for a given slice.
+func topKSelect(s []float32, k int, idx []int) []int {
+	sp := topkScratch.Get().(*[]float32)
+	mag := (*sp)[:0]
+	for _, v := range s {
+		mag = append(mag, keyMag(v))
+	}
+	slices.Sort(mag)
+	thr := mag[len(mag)-k]
+	// Entries strictly above the threshold are all kept; entries equal
+	// to it fill the remainder in index order.
+	atThr := k
+	for _, m := range mag[len(mag)-k:] {
+		if m > thr {
+			atThr--
+		}
+	}
+	*sp = mag[:0]
+	topkScratch.Put(sp)
+	for i, v := range s {
+		m := keyMag(v)
+		if m > thr {
+			idx = append(idx, i)
+		} else if m == thr && atThr > 0 {
+			idx = append(idx, i)
+			atThr--
+		}
+	}
+	return idx
+}
+
+// topkIdxScratch pools the index buffers topKSelect fills.
+var topkIdxScratch = sync.Pool{New: func() any { s := make([]int, 0, 1024); return &s }}
+
+// ---- encoding ----
+
+// appendCompressedSlices encodes ss as one grads section under a
+// non-exact codec (the exact section is appendSlices).
+func appendCompressedSlices(dst []byte, ss [][]float32, codec Compression) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		switch codec {
+		case CompressFP16:
+			off := len(dst)
+			dst = slices.Grow(dst, 2*len(s))[:off+2*len(s)]
+			buf := dst[off:]
+			for i, v := range s {
+				binary.LittleEndian.PutUint16(buf[2*i:], f32tof16(v))
+			}
+		case CompressInt8:
+			scale := int8Scale(s)
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(scale))
+			off := len(dst)
+			dst = slices.Grow(dst, len(s))[:off+len(s)]
+			buf := dst[off:]
+			for i, v := range s {
+				buf[i] = byte(quantInt8(v, scale))
+			}
+		case CompressTopK:
+			k := topKCount(len(s))
+			dst = binary.AppendUvarint(dst, uint64(k))
+			if k == 0 {
+				continue
+			}
+			ip := topkIdxScratch.Get().(*[]int)
+			idx := topKSelect(s, k, (*ip)[:0])
+			prev := -1
+			for _, i := range idx {
+				dst = binary.AppendUvarint(dst, uint64(i-prev-1))
+				prev = i
+			}
+			for _, i := range idx {
+				dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(s[i]))
+			}
+			*ip = idx[:0]
+			topkIdxScratch.Put(ip)
+		}
+	}
+	return dst
+}
+
+// ---- decoding ----
+
+// scanCompressedSlices walks the grads section ahead of the real decode
+// and returns the total dense float count it will expand to, validating
+// every length against the bytes present so the arena can be sized
+// before anything is allocated. The reader copy is discarded; the
+// caller's reader is untouched.
+func (r *payloadReader) scanCompressedSlices(codec Compression) (int, error) {
+	s := *r // shallow copy: same payload, independent offset
+	total := int64(0)
+	cnt := s.uvarint()
+	if cnt > uint64(s.remaining()) {
+		s.fail("%d compressed slices declared with %d bytes remaining", cnt, s.remaining())
+	}
+	for i := uint64(0); i < cnt && s.err == nil; i++ {
+		ln := s.uvarint()
+		if s.err != nil {
+			break
+		}
+		switch codec {
+		case CompressFP16:
+			if ln > uint64(s.remaining())/2 {
+				s.fail("fp16 slice of %d floats with %d bytes remaining", ln, s.remaining())
+			}
+			s.bytes(int(ln) * 2)
+		case CompressInt8:
+			if ln > uint64(s.remaining()) {
+				s.fail("int8 slice of %d floats with %d bytes remaining", ln, s.remaining())
+			}
+			s.bytes(4 + int(ln))
+		case CompressTopK:
+			k := s.uvarint()
+			if s.err != nil {
+				break
+			}
+			switch {
+			case k > ln:
+				s.fail("top-k count %d exceeds dense length %d", k, ln)
+			case ln > topkMagLimit*k && ln > 0:
+				s.fail("top-k dense length %d too large for count %d", ln, k)
+			case k > uint64(s.remaining()):
+				s.fail("top-k count %d with %d bytes remaining", k, s.remaining())
+			}
+			for j := uint64(0); j < k && s.err == nil; j++ {
+				s.uvarint()
+			}
+			s.bytes(int(k) * 4)
+		default:
+			s.fail("unknown gradient codec %d", codec)
+		}
+		total += int64(ln)
+		if total > MaxFrameBytes/4 {
+			s.fail("compressed grads expand to %d floats (limit %d)", total, MaxFrameBytes/4)
+		}
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	return int(total), nil
+}
+
+// compressedSlicesInto decodes one compressed grads section into dense
+// float32 slices carved from the arena, which scanCompressedSlices has
+// already sized. Structural errors were caught by the scan; this pass
+// still validates index monotonicity for top-k.
+func (r *payloadReader) compressedSlicesInto(arena *[]float32, codec Compression) [][]float32 {
+	cnt := r.uvarint()
+	if r.err != nil || cnt == 0 {
+		return nil
+	}
+	out := make([][]float32, cnt)
+	for i := range out {
+		ln := int(r.uvarint())
+		if r.err != nil {
+			return nil
+		}
+		start := len(*arena)
+		*arena = (*arena)[:start+ln]
+		dst := (*arena)[start : start+ln : start+ln]
+		switch codec {
+		case CompressFP16:
+			src := r.bytes(ln * 2)
+			if r.err != nil {
+				return nil
+			}
+			for j := range dst {
+				dst[j] = f16tof32(binary.LittleEndian.Uint16(src[2*j:]))
+			}
+		case CompressInt8:
+			scale := math.Float32frombits(r.u32())
+			src := r.bytes(ln)
+			if r.err != nil {
+				return nil
+			}
+			for j := range dst {
+				dst[j] = float32(int8(src[j])) * scale
+			}
+		case CompressTopK:
+			k := int(r.uvarint())
+			if r.err != nil {
+				return nil
+			}
+			for j := range dst {
+				dst[j] = 0
+			}
+			idx := make([]int, k)
+			prev := -1
+			for j := 0; j < k; j++ {
+				d := r.uvarint()
+				if r.err != nil {
+					return nil
+				}
+				next := prev + 1 + int(d)
+				if d > uint64(ln) || next >= ln {
+					r.fail("top-k index %d out of range %d", next, ln)
+					return nil
+				}
+				idx[j] = next
+				prev = next
+			}
+			src := r.bytes(k * 4)
+			if r.err != nil {
+				return nil
+			}
+			for j, ix := range idx {
+				dst[ix] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*j:]))
+			}
+		}
+		out[i] = dst
+	}
+	return out
+}

@@ -61,15 +61,61 @@ func main() {
 		fmt.Printf("gencorpus: wrote %d corpus entries to %s\n", n, dir)
 		total += n
 	}
-	writeCorpus("FuzzWireDecode", transport.EncodeFrame, nil)
-	writeCorpus("FuzzBinaryDecode", transport.EncodeBinary, map[string][]byte{
+	binExtra := map[string][]byte{
 		// A header whose declared payload length is far beyond the bytes
 		// present: must be rejected before any allocation.
 		"oversized-length": {0xFE, 0x7A, 1, 3, 0xff, 0xff, 0xff, 0x0f},
 		// Wrong magic and an unsupported version.
 		"bad-magic":   {0x00, 0x7A, 1, 0, 0, 0, 0, 0},
 		"bad-version": {0xFE, 0x7A, 9, 0, 0, 0, 0, 0},
-	})
+	}
+	// Version-2 (compressed-gradient) seeds: a valid and a truncated
+	// frame per lossy codec, plus hostile header variants.
+	report := &transport.Message{
+		Kind: transport.KindReport, WID: 2, Iter: 5,
+		Token: transport.TokenInfo{ID: 9, Seq: 1, Lo: 8, Hi: 16},
+		Grads: [][]float32{{1.5, -2.25, 0, 3, -3, 0.5, 0.125, -8, 7.25}, {0.125}},
+		Loss:  0.75,
+	}
+	for _, codec := range []transport.Compression{
+		transport.CompressFP16, transport.CompressInt8, transport.CompressTopK,
+	} {
+		report.SetGradCodec(codec)
+		data, err := transport.EncodeBinary(report)
+		if err != nil {
+			fatal(err)
+		}
+		binExtra["compressed-"+codec.String()] = data
+		binExtra["compressed-truncated-"+codec.String()] = data[:len(data)/2]
+	}
+	report.SetGradCodec(transport.CompressTopK)
+	v2, err := transport.EncodeBinary(report)
+	if err != nil {
+		fatal(err)
+	}
+	badCodec := append([]byte(nil), v2...)
+	badCodec[8] = 0x7f // unknown gradient codec id
+	binExtra["compressed-bad-codec"] = badCodec
+	badReserved := append([]byte(nil), v2...)
+	badReserved[9] = 0x5a // reserved header bytes must be zero
+	binExtra["compressed-bad-reserved"] = badReserved
+	// A top-k section whose dense length dwarfs its kept count: must be
+	// rejected in the pre-allocation scan. The report payload carries 7
+	// zero varints and 8 loss bytes before the grads section claims an
+	// expansion to 1<<30 floats against a single kept entry.
+	hostile := []byte{
+		0xFE, 0x7A, 2, 3, 22, 0, 0, 0, // v2 header, kind report, payload 22
+		byte(transport.CompressTopK), 0, 0, 0,
+	}
+	hostile = append(hostile, make([]byte, 7+8)...) // WID..Owner varints + loss
+	hostile = append(hostile,
+		1,                            // one slice
+		0x80, 0x80, 0x80, 0x80, 0x04, // dense length 1<<30
+		1, // k = 1
+	)
+	binExtra["compressed-topk-oversized"] = hostile
+	writeCorpus("FuzzWireDecode", transport.EncodeFrame, nil)
+	writeCorpus("FuzzBinaryDecode", transport.EncodeBinary, binExtra)
 	_ = total
 }
 

@@ -179,6 +179,14 @@ type Message struct {
 	// were carved from; Release returns it. Unexported so gob ignores
 	// it and hand-built messages are never mistaken for pooled ones.
 	pooled *[]float32
+
+	// gradCodec selects the gradient compression applied to the Grads
+	// section on the binary wire (compress.go); zero is the exact
+	// encoding. Unexported so gob drops it — a gob session silently
+	// degrades to exact, which the negotiation treats as a valid
+	// answer — and so hand-built messages default to exact. Set and
+	// read through SetGradCodec/GradCodec.
+	gradCodec Compression
 }
 
 // WireSize estimates the message's encoded size in bytes: the float
@@ -529,12 +537,13 @@ func (c *tcpConn) Send(m *Message) error {
 	st := c.stats.Load()
 	start := time.Now()
 	bp := framePool.Get().(*[]byte)
-	buf, err := AppendFrame((*bp)[:0], m)
+	buf, gi, err := appendFrameMeta((*bp)[:0], m)
 	if err != nil {
 		framePool.Put(bp)
 		return err
 	}
 	st.encoded(m.Kind, len(buf), start)
+	st.compressed(0, gi)
 	_, werr := c.conn.Write(buf)
 	*bp = buf[:0]
 	framePool.Put(bp)
@@ -592,14 +601,30 @@ func (c *tcpConn) Recv() (*Message, error) {
 func (c *tcpConn) recvBinary() (*Message, error) {
 	st := c.stats.Load()
 	start := time.Now()
-	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+	var hdr [frameHeaderV2]byte
+	if _, err := io.ReadFull(c.br, hdr[:frameHeader]); err != nil {
 		return nil, err
 	}
 	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
 		return nil, &CodecError{fmt.Errorf("bad magic %#02x %#02x", hdr[0], hdr[1])}
 	}
-	if hdr[2] != frameVersion {
+	header := frameHeader
+	codec := CompressExact
+	switch hdr[2] {
+	case frameVersion:
+	case frameVersion2:
+		header = frameHeaderV2
+		if _, err := io.ReadFull(c.br, hdr[frameHeader:]); err != nil {
+			return nil, err
+		}
+		codec = Compression(hdr[8])
+		if codec == CompressExact || !codec.Valid() {
+			return nil, &CodecError{fmt.Errorf("bad gradient codec id %d in v2 header", hdr[8])}
+		}
+		if hdr[9] != 0 || hdr[10] != 0 || hdr[11] != 0 {
+			return nil, &CodecError{fmt.Errorf("nonzero reserved bytes in v2 header")}
+		}
+	default:
 		return nil, &CodecError{fmt.Errorf("unsupported frame version %d", hdr[2])}
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:8])
@@ -611,11 +636,12 @@ func (c *tcpConn) recvBinary() (*Message, error) {
 	if _, err := io.ReadFull(c.br, *bp); err != nil {
 		return nil, err
 	}
-	m, err := decodePayload(Kind(hdr[3]), *bp)
+	m, gi, err := decodePayloadMeta(Kind(hdr[3]), codec, *bp)
 	if err != nil {
 		return nil, err
 	}
-	st.decoded(m.Kind, frameHeader+int(n), start)
+	st.decoded(m.Kind, header+int(n), start)
+	st.compressed(1, gi)
 	return m, nil
 }
 
